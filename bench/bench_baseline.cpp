@@ -1,0 +1,172 @@
+// E4 — neutralizer vs anonymous routing (paper §5: "our design is
+// considerably more efficient and scalable in terms of resource
+// consumption. In our design, routers don't keep per-flow state, and
+// perform much fewer public key encryption/decryption operations.")
+//
+// Three comparisons against a Tor-style onion baseline:
+//   * per-flow setup cost (public-key operations at the infrastructure),
+//   * per-packet datapath cost,
+//   * infrastructure state as the number of flows grows.
+#include <benchmark/benchmark.h>
+
+#include "baseline/onion.hpp"
+#include "core/neutralizer.hpp"
+#include "crypto/chacha.hpp"
+#include "net/shim.hpp"
+
+namespace {
+
+using namespace nn;
+
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+const net::Ipv4Addr kAnn(10, 1, 0, 2);
+const net::Ipv4Addr kGoogle(20, 0, 0, 10);
+
+core::NeutralizerConfig service_config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey root_key() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+std::vector<baseline::OnionRelay>& shared_relays() {
+  static std::vector<baseline::OnionRelay> relays = [] {
+    crypto::ChaChaRng rng(0xBEEF);
+    std::vector<baseline::OnionRelay> out;
+    for (int i = 0; i < 3; ++i) {
+      out.emplace_back(crypto::rsa_generate(rng, 1024, 3));
+    }
+    return out;
+  }();
+  return relays;
+}
+
+// --- per-flow setup ---------------------------------------------------------
+
+// Onion circuit build: 3 RSA-1024 encryptions at the client and, more
+// importantly, 3 RSA-1024 *decryptions* inside the infrastructure.
+void BM_SetupOnionCircuit3Hops(benchmark::State& state) {
+  auto& relays = shared_relays();
+  baseline::OnionClient client(1);
+  std::vector<baseline::OnionRelay*> path;
+  for (auto& r : relays) path.push_back(&r);
+  std::uint64_t infra_rsa = 0;
+  for (auto _ : state) {
+    auto circuit = client.build_circuit(path);
+    infra_rsa += circuit.path.size();
+    benchmark::DoNotOptimize(circuit);
+    // Tear down so relay tables don't grow across iterations.
+    state.PauseTiming();
+    for (std::size_t i = 0; i < circuit.path.size(); ++i) {
+      circuit.path[i]->destroy_circuit(circuit.circuit_ids[i]);
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["infra_rsa_ops_per_flow"] = 3;
+}
+BENCHMARK(BM_SetupOnionCircuit3Hops)->Unit(benchmark::kMicrosecond);
+
+// Neutralizer "setup" per flow: zero. One key setup per *source* per
+// master-key epoch covers every flow to every customer (§3.2). Measured
+// here as the infrastructure cost of an additional flow for a source
+// that already holds Ks: nothing.
+void BM_SetupNeutralizerAdditionalFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state.iterations());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["infra_rsa_ops_per_flow"] = 0;
+}
+BENCHMARK(BM_SetupNeutralizerAdditionalFlow);
+
+// --- per-packet datapath ----------------------------------------------------
+
+void BM_PacketOnion3Hops(benchmark::State& state) {
+  auto& relays = shared_relays();
+  baseline::OnionClient client(2);
+  std::vector<baseline::OnionRelay*> path;
+  for (auto& r : relays) path.push_back(&r);
+  auto circuit = client.build_circuit(path);
+  std::vector<std::uint8_t> payload(112, 0xE5);
+
+  for (auto _ : state) {
+    auto cell = client.wrap(circuit, payload);
+    auto out = baseline::OnionClient::transit(circuit, std::move(cell));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  for (std::size_t i = 0; i < circuit.path.size(); ++i) {
+    circuit.path[i]->destroy_circuit(circuit.circuit_ids[i]);
+  }
+}
+BENCHMARK(BM_PacketOnion3Hops);
+
+void BM_PacketNeutralizer(benchmark::State& state) {
+  core::Neutralizer service(service_config(), root_key());
+  const core::MasterKeySchedule sched(root_key());
+  const std::uint64_t nonce = 7;
+  const auto ks =
+      crypto::derive_source_key(sched.current_key(0), nonce, kAnn.value());
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kDataForward;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, kGoogle.value());
+  std::vector<std::uint8_t> payload(76, 0xE5);
+  const auto packet = net::make_shim_packet(kAnn, kAnycast, shim, payload);
+
+  for (auto _ : state) {
+    auto copy = packet;
+    auto out = service.process(std::move(copy), 0);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PacketNeutralizer);
+
+// --- state growth -----------------------------------------------------------
+
+// Relay state after N circuits vs neutralizer state after N sources.
+// Reported via counters; runtime is the setup loop.
+void BM_StateVsFlows(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  crypto::ChaChaRng rng(3);
+  for (auto _ : state) {
+    baseline::OnionRelay relay(
+        [] {
+          crypto::ChaChaRng krng(0xBEE5);
+          return crypto::rsa_generate(krng, 1024, 3);
+        }());
+    baseline::OnionClient client(4);
+    state.PauseTiming();
+    std::vector<std::uint8_t> wrapped;
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < flows; ++i) {
+      crypto::AesKey key;
+      rng.fill(key);
+      wrapped = crypto::rsa_encrypt(rng, relay.public_key(), key);
+      benchmark::DoNotOptimize(relay.create_circuit(wrapped));
+    }
+    state.counters["onion_state_bytes"] =
+        static_cast<double>(relay.state_bytes());
+    // The stateless neutralizer: master key + config, independent of N.
+    state.counters["neutralizer_state_bytes"] =
+        static_cast<double>(sizeof(crypto::AesKey) +
+                            sizeof(core::NeutralizerConfig));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(flows));
+}
+BENCHMARK(BM_StateVsFlows)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,162 @@
+// E3 — raw cryptographic operation rates (paper §4: "Our openssl speed
+// tests show that the CPU of the neutralizer can perform the
+// cryptographic operations at 2.35 million per second").
+//
+// Reproduces the `openssl speed` analog for every primitive on the
+// neutralizer datapath. Absolute rates are hardware-dependent; the
+// *shape* the paper relies on is (a) symmetric ops in the millions/sec,
+// (b) RSA-512 e=3 encryption orders of magnitude cheaper than RSA
+// decryption, (c) decryption cost pushed to the source.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes_modes.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+
+namespace {
+
+using namespace nn;
+using namespace nn::crypto;
+
+AesKey bench_key() {
+  AesKey k;
+  k.fill(0x42);
+  return k;
+}
+
+void BM_AesBlockEncrypt(benchmark::State& state) {
+  const Aes128 aes(bench_key());
+  AesBlock block{};
+  for (auto _ : state) {
+    block = aes.encrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AesBlockEncrypt);
+
+void BM_AesBlockDecrypt(benchmark::State& state) {
+  const Aes128 aes(bench_key());
+  AesBlock block{};
+  for (auto _ : state) {
+    block = aes.decrypt(block);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AesBlockDecrypt);
+
+// The neutralizer's per-packet "hash": Ks = CMAC(KM, nonce ‖ srcIP).
+void BM_DeriveSourceKey(benchmark::State& state) {
+  const AesKey km = bench_key();
+  std::uint64_t nonce = 1;
+  for (auto _ : state) {
+    auto ks = derive_source_key(km, nonce++, 0x0A010002);
+    benchmark::DoNotOptimize(ks);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeriveSourceKey);
+
+// The neutralizer's per-packet address decrypt (4-byte AES-CTR).
+void BM_CryptAddress(benchmark::State& state) {
+  const AesKey ks = bench_key();
+  std::uint32_t addr = 0x14000001;
+  for (auto _ : state) {
+    addr = crypt_address(ks, 7, false, addr);
+    benchmark::DoNotOptimize(addr);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CryptAddress);
+
+void BM_Cmac64Bytes(benchmark::State& state) {
+  const Cmac cmac(bench_key());
+  std::vector<std::uint8_t> msg(64, 0x5A);
+  for (auto _ : state) {
+    auto tag = cmac.mac(msg);
+    benchmark::DoNotOptimize(tag);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Cmac64Bytes);
+
+void BM_ChaCha20Block(benchmark::State& state) {
+  std::array<std::uint8_t, 32> key{};
+  std::array<std::uint8_t, 12> nonce{};
+  std::array<std::uint8_t, 64> out{};
+  std::uint32_t ctr = 0;
+  for (auto _ : state) {
+    chacha20_block(key, ctr++, nonce, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChaCha20Block);
+
+// RSA-512 e=3 encryption: the neutralizer's per-key-setup cost ("as few
+// as two multiplications", §3.2).
+void BM_Rsa512EncryptE3(benchmark::State& state) {
+  ChaChaRng rng(1);
+  const auto key = rsa_generate(rng, 512, 3);
+  const BigUInt m = BigUInt::random_below(rng, key.pub.n);
+  for (auto _ : state) {
+    auto c = rsa_public_op(key.pub, m);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Rsa512EncryptE3);
+
+// RSA-512 decryption: the *source's* cost, deliberately the heavy side.
+void BM_Rsa512DecryptCrt(benchmark::State& state) {
+  ChaChaRng rng(2);
+  const auto key = rsa_generate(rng, 512, 3);
+  const RsaDecryptor dec(key);
+  const BigUInt c = rsa_public_op(key.pub, BigUInt{123456789});
+  for (auto _ : state) {
+    auto m = dec.private_op(c);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Rsa512DecryptCrt);
+
+void BM_Rsa1024EncryptE3(benchmark::State& state) {
+  ChaChaRng rng(3);
+  const auto key = rsa_generate(rng, 1024, 3);
+  const BigUInt m = BigUInt::random_below(rng, key.pub.n);
+  for (auto _ : state) {
+    auto c = rsa_public_op(key.pub, m);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Rsa1024EncryptE3);
+
+void BM_Rsa1024DecryptCrt(benchmark::State& state) {
+  ChaChaRng rng(4);
+  const auto key = rsa_generate(rng, 1024, 3);
+  const RsaDecryptor dec(key);
+  const BigUInt c = rsa_public_op(key.pub, BigUInt{987654321});
+  for (auto _ : state) {
+    auto m = dec.private_op(c);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Rsa1024DecryptCrt);
+
+// One-time key generation: the source pays this once per key setup.
+void BM_Rsa512KeyGen(benchmark::State& state) {
+  ChaChaRng rng(5);
+  for (auto _ : state) {
+    auto key = rsa_generate(rng, 512, 3);
+    benchmark::DoNotOptimize(key);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Rsa512KeyGen)->Unit(benchmark::kMillisecond);
+
+}  // namespace

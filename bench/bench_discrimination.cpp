@@ -1,0 +1,140 @@
+// E5 — "a discriminatory ISP cannot deterministically harm a
+// competitor's service" (paper §1/§3, Fig. 1 scenario).
+//
+// AT&T tries to degrade the VoIP service Vonage sells to AT&T's own
+// customer Ann, using progressively weaker handles as defenses come up:
+//   plain        — DPI on the SIP signature + destination address: works.
+//   e2e_only     — contents hidden, but dst = Vonage still matches: works.
+//   neutralized  — dst is Cogent's anycast address: nothing matches;
+//                  only the blunt "throttle all of Cogent" remains,
+//                  which also hurts AT&T's relationship with every other
+//                  Cogent destination (the paper's intended end state).
+//
+// Reported per variant: received packets, mean latency, loss, MOS.
+// Expected shape: MOS(plain) ≈ MOS(e2e) ≪ MOS(neutralized), and
+// rule-hit counters showing WHY (which classifier still fires).
+#include <benchmark/benchmark.h>
+
+#include "discrim/policy.hpp"
+#include "scenario/fig1.hpp"
+
+namespace {
+
+using namespace nn;
+using scenario::Fig1;
+using scenario::VoipMode;
+
+std::shared_ptr<discrim::DiscriminationPolicy> att_anti_vonage_policy() {
+  auto policy = std::make_shared<discrim::DiscriminationPolicy>(
+      "att-anti-vonage", /*seed=*/11);
+  // Rule 1: DPI — SIP/RTP signatures toward the competitor (AT&T's own
+  // VoIP must keep working, so the rule is scoped to Vonage).
+  auto dpi = discrim::MatchCriteria::against_signature("SIP/2.0");
+  dpi.dst_prefix = net::Ipv4Prefix(scenario::kVonageAddr, 32);
+  policy->add_rule("dpi-sip-to-vonage", dpi,
+                   discrim::DiscriminationAction::degrade(
+                       0.25, 60 * sim::kMillisecond));
+  // Rule 2: address-based — all traffic to/from Vonage's published IP.
+  auto to_vonage = discrim::MatchCriteria::against_destination(
+      net::Ipv4Prefix(scenario::kVonageAddr, 32));
+  policy->add_rule("dst-vonage", to_vonage,
+                   discrim::DiscriminationAction::degrade(
+                       0.25, 60 * sim::kMillisecond));
+  auto from_vonage = discrim::MatchCriteria::against_source(
+      net::Ipv4Prefix(scenario::kVonageAddr, 32));
+  policy->add_rule("src-vonage", from_vonage,
+                   discrim::DiscriminationAction::degrade(
+                       0.25, 60 * sim::kMillisecond));
+  return policy;
+}
+
+void report(benchmark::State& state, const Fig1::FlowResult& r,
+            const discrim::DiscriminationPolicy& policy) {
+  state.counters["received"] = static_cast<double>(r.received);
+  state.counters["mean_ms"] = r.mean_latency_ms;
+  state.counters["loss_pct"] = r.loss * 100.0;
+  state.counters["mos"] = r.mos;
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < policy.rule_count(); ++i) {
+    hits += policy.rule_stats(i).hits;
+  }
+  state.counters["rule_hits"] = static_cast<double>(hits);
+}
+
+void run_variant(benchmark::State& state, VoipMode mode) {
+  for (auto _ : state) {
+    Fig1 fig;
+    auto policy = att_anti_vonage_policy();
+    fig.att->apply_policy(policy);
+    const auto result =
+        fig.run_voip(mode, fig.ann, fig.vonage, 1, /*pps=*/50,
+                     /*start=*/sim::kSecond, /*duration=*/10 * sim::kSecond);
+    report(state, result, *policy);
+  }
+}
+
+void BM_VoipPlain(benchmark::State& state) {
+  run_variant(state, VoipMode::kPlain);
+}
+BENCHMARK(BM_VoipPlain)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_VoipE2eOnly(benchmark::State& state) {
+  run_variant(state, VoipMode::kE2eOnly);
+}
+BENCHMARK(BM_VoipE2eOnly)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_VoipNeutralized(benchmark::State& state) {
+  run_variant(state, VoipMode::kNeutralized);
+}
+BENCHMARK(BM_VoipNeutralized)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// The §3.6 residual: AT&T can still throttle *all* traffic toward the
+// neutral ISP (customers' and neutralizer's addresses). That degrades
+// Vonage — but identically degrades Ann's traffic to every other Cogent
+// site, so it is no longer *targeted* harm. We measure both the victim
+// and an innocent flow (Ann -> Google) under the blunt rule.
+void BM_VoipNeutralizedBluntThrottle(benchmark::State& state) {
+  for (auto _ : state) {
+    Fig1 fig;
+    auto policy = std::make_shared<discrim::DiscriminationPolicy>(
+        "att-blunt", 13);
+    discrim::MatchCriteria all_cogent;
+    all_cogent.dst_prefix = net::Ipv4Prefix(scenario::kAnycast, 8);
+    policy->add_rule("all-cogent", all_cogent,
+                     discrim::DiscriminationAction::degrade(
+                         0.15, 40 * sim::kMillisecond));
+    fig.att->apply_policy(policy);
+
+    const auto victim =
+        fig.run_voip(VoipMode::kNeutralized, fig.ann, fig.vonage, 1, 50,
+                     sim::kSecond, 10 * sim::kSecond);
+    const auto innocent =
+        fig.run_voip(VoipMode::kNeutralized, fig.bob, fig.google, 2, 50,
+                     fig.engine.now(), 10 * sim::kSecond);
+    state.counters["victim_mos"] = victim.mos;
+    state.counters["innocent_mos"] = innocent.mos;
+    state.counters["victim_loss_pct"] = victim.loss * 100;
+    state.counters["innocent_loss_pct"] = innocent.loss * 100;
+  }
+}
+BENCHMARK(BM_VoipNeutralizedBluntThrottle)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+// Control: AT&T's own VoIP offering rides clean either way — the
+// asymmetry that motivates the paper ("give a high priority service to
+// their own VoIP service and intentionally slow down a competitor's").
+void BM_VoipAttOwnService(benchmark::State& state) {
+  for (auto _ : state) {
+    Fig1 fig;
+    auto policy = att_anti_vonage_policy();
+    fig.att->apply_policy(policy);
+    const auto result =
+        fig.run_voip(VoipMode::kPlain, fig.ann, fig.att_voip, 3, 50,
+                     sim::kSecond, 10 * sim::kSecond, 60);
+    report(state, result, *policy);
+  }
+}
+BENCHMARK(BM_VoipAttOwnService)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,207 @@
+// E9 — multi-homed sites (paper §3.5): a site publishes one neutralizer
+// address per provider; sources pick among them, so "the ISP-level path
+// … is controlled by how other sources pick the neutralizers". When one
+// provider is congested, a fixed choice may land on the bad path, while
+// the paper's trial-and-error suggestion finds the working one.
+//
+// Topology: Ann reaches a dual-homed site via provider A (congested,
+// 300 ms queueing + loss) or provider B (clean). Strategies: fixed on A,
+// uniform random, probe (epsilon-greedy trial-and-error).
+// Metric: delivery rate and mean latency of Ann's flow.
+#include <benchmark/benchmark.h>
+
+#include "core/box.hpp"
+#include "host/host.hpp"
+#include "multihome/selector.hpp"
+#include "scenario/fig1.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace nn;
+
+const net::Ipv4Addr kAnycastA(200, 0, 0, 1);
+const net::Ipv4Addr kAnycastB(201, 0, 0, 1);
+const net::Ipv4Addr kAnnAddr(10, 1, 0, 2);
+const net::Ipv4Addr kSiteAddr(20, 0, 0, 10);
+
+struct MultihomeResult {
+  double delivered_pct;
+  double mean_ms;
+  double picked_a_pct;
+};
+
+MultihomeResult run_strategy(multihome::Strategy strategy) {
+  sim::Engine engine;
+  sim::Network net(engine);
+
+  auto& ann_node = net.add<sim::Host>("ann");
+  auto& att = net.add<sim::Router>("att");
+  crypto::AesKey root;
+  root.fill(0xD0);
+
+  core::NeutralizerConfig cfg_a;
+  cfg_a.anycast_addr = kAnycastA;
+  cfg_a.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  auto& box_a = net.add<core::NeutralizerBox>("provider-a-box", cfg_a, root, 1);
+  core::NeutralizerConfig cfg_b = cfg_a;
+  cfg_b.anycast_addr = kAnycastB;
+  auto& box_b = net.add<core::NeutralizerBox>("provider-b-box", cfg_b, root, 2);
+  auto& site_node = net.add<sim::Host>("site");
+
+  sim::LinkConfig clean;
+  clean.bandwidth_bps = 100e6;
+  clean.propagation = 2 * sim::kMillisecond;
+  // Provider A's path: thin and long (congested provider) — alive, but
+  // queueing delay dominates.
+  sim::LinkConfig congested = clean;
+  congested.bandwidth_bps = 1e6;
+  congested.propagation = 120 * sim::kMillisecond;
+  congested.queue_bytes = 16 * 1024;
+
+  net.connect(ann_node, att, clean);
+  net.connect(att, box_a, congested);
+  net.connect(att, box_b, clean);
+  net.connect(box_a, site_node, clean);
+  net.connect(box_b, site_node, clean);
+
+  net.assign_address(ann_node, kAnnAddr);
+  net.assign_address(site_node, kSiteAddr);
+  net.assign_address(box_a, net::Ipv4Addr(20, 0, 255, 1));
+  net.assign_address(box_b, net::Ipv4Addr(20, 0, 255, 2));
+  box_a.join_service_anycast(net);
+  box_b.join_service_anycast(net);
+  net.compute_routes();
+
+  // Site: standard inside-stack homed on BOTH services (multi-homed,
+  // §3.5 — it publishes both anycast addresses).
+  crypto::ChaChaRng krng(0x517E);
+  static const auto site_identity = crypto::rsa_generate(krng, 1024, 3);
+  static const auto ann_identity = crypto::rsa_generate(krng, 1024, 3);
+
+  host::HostConfig site_cfg;
+  site_cfg.self = kSiteAddr;
+  site_cfg.inside_neutral_domain = true;
+  site_cfg.home_anycast = kAnycastA;
+  host::NeutralizedHost site_stack(
+      site_cfg, site_identity,
+      [&site_node](net::Packet&& p) { site_node.transmit(std::move(p)); },
+      &engine, 31);
+  sim::FlowSink site_sink;
+  site_node.set_handler([&](net::Packet&& pkt) {
+    site_stack.on_packet(std::move(pkt), engine.now());
+  });
+  site_stack.set_app_handler([&](net::Ipv4Addr,
+                                 std::span<const std::uint8_t> payload,
+                                 sim::SimTime now) {
+    site_sink.on_payload(payload, now);
+  });
+
+  // Ann: two stacks' worth of peer info — one per provider path — and a
+  // selector choosing per flow segment. We re-register the peer with the
+  // currently selected anycast before each burst (per-flow selection).
+  host::HostConfig ann_cfg;
+  ann_cfg.self = kAnnAddr;
+  host::NeutralizedHost ann_stack(
+      ann_cfg, ann_identity,
+      [&ann_node](net::Packet&& p) { ann_node.transmit(std::move(p)); },
+      &engine, 32);
+  ann_node.set_handler([&](net::Packet&& pkt) {
+    ann_stack.on_packet(std::move(pkt), engine.now());
+  });
+
+  multihome::NeutralizerSelector selector(
+      strategy, {{kAnycastA, 1.0}, {kAnycastB, 1.0}}, 77);
+
+  // Probe feedback: the site echoes every payload; Ann's app handler
+  // reports RTT to the selector.
+  site_stack.set_app_handler([&](net::Ipv4Addr peer,
+                                 std::span<const std::uint8_t> payload,
+                                 sim::SimTime now) {
+    site_sink.on_payload(payload, now);
+    site_stack.send(peer, std::vector<std::uint8_t>(payload.begin(),
+                                                    payload.end()),
+                    now);
+  });
+  sim::FlowSink ann_sink;
+  net::Ipv4Addr current_choice = kAnycastA;
+  std::uint64_t picked_a = 0, picks = 0;
+  ann_stack.set_app_handler([&](net::Ipv4Addr,
+                                std::span<const std::uint8_t> payload,
+                                sim::SimTime now) {
+    const auto header = sim::AppHeader::parse(payload);
+    if (header.has_value()) {
+      const double rtt_ms = static_cast<double>(now - header->sent_at) /
+                            static_cast<double>(sim::kMillisecond);
+      selector.report(current_choice, true, rtt_ms);
+    }
+    ann_sink.on_payload(payload, now);
+  });
+
+  // 100 bursts of 10 packets; the selector picks a provider per burst.
+  const int kBursts = 100;
+  const int kPerBurst = 10;
+  std::uint32_t seq = 0;
+  for (int burst = 0; burst < kBursts; ++burst) {
+    current_choice = selector.pick();
+    ++picks;
+    if (current_choice == kAnycastA) ++picked_a;
+    host::PeerInfo info;
+    info.addr = kSiteAddr;
+    info.anycast = current_choice;
+    info.public_key = site_identity.pub;
+    ann_stack.add_peer(info);  // §3.5: source picks the published address
+
+    for (int i = 0; i < kPerBurst; ++i) {
+      sim::AppHeader h;
+      h.flow_id = 1;
+      h.seq = seq++;
+      h.sent_at = engine.now();
+      ann_stack.send(kSiteAddr, h.build_payload(160), engine.now());
+      engine.run_until(engine.now() + 20 * sim::kMillisecond);
+    }
+    // Unanswered bursts: negative feedback (trial-and-error, §3.5).
+    if (strategy == multihome::Strategy::kProbe) {
+      selector.report(current_choice,
+                      ann_sink.flow(1).received > 0 || burst == 0, 500.0);
+    }
+  }
+  engine.run_until(engine.now() + 2 * sim::kSecond);
+
+  MultihomeResult out;
+  out.delivered_pct = 100.0 *
+                      static_cast<double>(ann_sink.flow(1).received) /
+                      static_cast<double>(seq);
+  out.mean_ms = ann_sink.flow(1).latency_ms.mean() / 2.0;  // one-way approx
+  out.picked_a_pct = 100.0 * static_cast<double>(picked_a) /
+                     static_cast<double>(picks);
+  return out;
+}
+
+void run_case(benchmark::State& state, multihome::Strategy strategy) {
+  for (auto _ : state) {
+    const auto r = run_strategy(strategy);
+    state.counters["delivered_pct"] = r.delivered_pct;
+    state.counters["rtt_ms"] = r.mean_ms * 2.0;
+    state.counters["picked_congested_pct"] = r.picked_a_pct;
+  }
+}
+
+void BM_MultihomeFixedCongested(benchmark::State& state) {
+  run_case(state, multihome::Strategy::kFixed);
+}
+BENCHMARK(BM_MultihomeFixedCongested)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MultihomeRandom(benchmark::State& state) {
+  run_case(state, multihome::Strategy::kRandom);
+}
+BENCHMARK(BM_MultihomeRandom)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_MultihomeProbe(benchmark::State& state) {
+  run_case(state, multihome::Strategy::kProbe);
+}
+BENCHMARK(BM_MultihomeProbe)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace

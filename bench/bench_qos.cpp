@@ -1,0 +1,97 @@
+// E6 — tiered service survives neutralization (paper §3.4: "a
+// neutralizer will not modify the Differentiated Services Code Point …
+// The discriminatory ISP may provide differentiated services according
+// to the DSCPs in packet headers").
+//
+// The shared AT&T uplink is the 2 Mbps bottleneck, saturated by
+// best-effort cross traffic. Two *neutralized* probe flows differ only
+// in purchased tier (EF vs best effort).
+//
+// Expected shape:
+//   * strict-priority uplink: EF latency/loss stays low, BE suffers —
+//     tiered service works on anonymized traffic;
+//   * FIFO uplink (control): both tiers suffer identically — the
+//     difference really is the DSCP scheduling, not the neutralizer.
+#include <benchmark/benchmark.h>
+
+#include "qos/scheduler.hpp"
+#include "scenario/fig1.hpp"
+
+namespace {
+
+using namespace nn;
+using scenario::Fig1;
+
+struct TierResult {
+  double ef_mean_ms, ef_loss, be_mean_ms, be_loss;
+};
+
+TierResult run_tiered(bool priority_uplink) {
+  scenario::Fig1Config cfg;
+  cfg.att_uplink_bps = 2e6;  // the bottleneck
+  if (priority_uplink) {
+    cfg.att_uplink_queue = [] {
+      return std::make_unique<qos::StrictPriorityQueue>(64 * 1024);
+    };
+  }
+  Fig1 fig(cfg);
+
+  // Purchased tiers (§3.4): Ann bought EF, Bob rides best effort.
+  fig.ann.stack->set_dscp(net::Dscp::kExpeditedForwarding);
+  fig.bob.stack->set_dscp(net::Dscp::kBestEffort);
+
+  // Saturating best-effort cross traffic over the same uplink.
+  sim::TrafficSource::Config cross;
+  cross.flow_id = 9;
+  cross.payload_size = 1400;
+  cross.packets_per_second = 200;  // ~2.3 Mbps > 2 Mbps uplink
+  cross.start = 0;
+  cross.stop = 13 * sim::kSecond;
+  cross.seed = 99;
+  sim::Host* att_voip_node = fig.att_voip.node;
+  sim::TrafficSource cross_src(
+      fig.engine, cross, [att_voip_node](std::vector<std::uint8_t>&& p) {
+        att_voip_node->transmit(net::make_udp_packet(
+            att_voip_node->address(), scenario::kVonageAddr, 7000, 7000, p,
+            net::Dscp::kBestEffort));
+      });
+  cross_src.start();
+
+  // Both probes share the congested uplink concurrently.
+  fig.schedule_voip(scenario::VoipMode::kNeutralized, fig.ann, fig.google, 1,
+                    50, sim::kSecond, 10 * sim::kSecond);
+  fig.schedule_voip(scenario::VoipMode::kNeutralized, fig.bob, fig.google, 2,
+                    50, sim::kSecond, 10 * sim::kSecond);
+  fig.engine.run_until(13 * sim::kSecond);
+  const auto ef = fig.collect(fig.google, 1);
+  const auto be = fig.collect(fig.google, 2);
+  return {ef.mean_latency_ms, ef.loss, be.mean_latency_ms, be.loss};
+}
+
+void BM_TieredServiceStrictPriority(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto r = run_tiered(true);
+    state.counters["ef_mean_ms"] = r.ef_mean_ms;
+    state.counters["ef_loss_pct"] = r.ef_loss * 100;
+    state.counters["be_mean_ms"] = r.be_mean_ms;
+    state.counters["be_loss_pct"] = r.be_loss * 100;
+  }
+}
+BENCHMARK(BM_TieredServiceStrictPriority)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TieredServiceFifoControl(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto r = run_tiered(false);
+    state.counters["ef_mean_ms"] = r.ef_mean_ms;
+    state.counters["ef_loss_pct"] = r.ef_loss * 100;
+    state.counters["be_mean_ms"] = r.be_mean_ms;
+    state.counters["be_loss_pct"] = r.be_loss * 100;
+  }
+}
+BENCHMARK(BM_TieredServiceFifoControl)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,63 @@
+// Before deploying a neutralizer you need evidence (the paper's §1 is
+// full of suspicion but ISPs deny throttling): a Glasnost/Wehe-style
+// differential probe. Run paired flows that differ in one classifiable
+// feature and compare outcomes — then verify the neutralizer makes the
+// measured discrimination disappear.
+//
+// Build & run:  ./build/examples/detect_discrimination
+#include <cstdio>
+
+#include "discrim/policy.hpp"
+#include "probe/probe.hpp"
+#include "scenario/fig1.hpp"
+
+namespace {
+
+using namespace nn;
+
+std::shared_ptr<discrim::DiscriminationPolicy> hidden_policy() {
+  // What the ISP denies doing: degrade traffic to/from Vonage.
+  auto policy =
+      std::make_shared<discrim::DiscriminationPolicy>("denied", 23);
+  policy->add_rule("dst",
+                   discrim::MatchCriteria::against_destination(
+                       net::Ipv4Prefix(scenario::kVonageAddr, 32)),
+                   discrim::DiscriminationAction::degrade(
+                       0.3, 50 * sim::kMillisecond));
+  policy->add_rule("src",
+                   discrim::MatchCriteria::against_source(
+                       net::Ipv4Prefix(scenario::kVonageAddr, 32)),
+                   discrim::DiscriminationAction::degrade(
+                       0.3, 50 * sim::kMillisecond));
+  return policy;
+}
+
+probe::Verdict run_probe(scenario::VoipMode mode) {
+  scenario::Fig1 fig;
+  fig.att->apply_policy(hidden_policy());
+  // Target flow: to the suspected victim. Control: same app, same path
+  // length, different destination.
+  fig.run_voip(mode, fig.ann, fig.vonage, 1, 50, sim::kSecond,
+               5 * sim::kSecond);
+  fig.run_voip(mode, fig.ann, fig.google, 2, 50, fig.engine.now(),
+               5 * sim::kSecond);
+  return probe::compare("destination=vonage",
+                        probe::measure(fig.vonage.sink, 1, 250),
+                        probe::measure(fig.google.sink, 2, 250));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Differential neutrality probe (target: vonage, control:"
+              " google)\n\n");
+  const auto exposed = run_probe(scenario::VoipMode::kPlain);
+  std::printf("  without defense : %s\n", exposed.summary().c_str());
+  const auto protected_ = run_probe(scenario::VoipMode::kNeutralized);
+  std::printf("  neutralized     : %s\n", protected_.summary().c_str());
+  std::printf(
+      "\nReading: the paired-flow probe exposes the ISP's (denied)\n"
+      "targeting of Vonage; behind the neutralizer the same probe finds\n"
+      "both flows treated identically — measurable neutrality.\n");
+  return 0;
+}

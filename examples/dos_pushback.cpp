@@ -1,0 +1,102 @@
+// §3.6: "A neutralizer box may be subject to DoS attacks … a neutralizer
+// can invoke DoS defense mechanisms such as pushback to get rid of
+// attack traffic", and crucially pushback still works when the attack
+// sources are spoofed or anonymized, because aggregates are defined by
+// destination and type, never by source.
+//
+// A botnet floods spoofed key-setup packets at the neutralizer across
+// AT&T's peering link while Ann holds a neutralized VoIP call.
+//
+// Build & run:  ./build/examples/dos_pushback
+#include <cstdio>
+
+#include "pushback/pushback.hpp"
+#include "scenario/fig1.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nn;
+
+struct Outcome {
+  double goodput_pct;
+  double mean_ms;
+  std::uint64_t flood_dropped_upstream;
+};
+
+Outcome run(double flood_pps, bool defend) {
+  scenario::Fig1Config cfg;
+  cfg.core_bps = 20e6;
+  scenario::Fig1 fig(cfg);
+
+  std::shared_ptr<pushback::PushbackPolicy> at_access;
+  if (defend) {
+    pushback::PushbackPolicy::Config pcfg;
+    pcfg.capacity_bps = 20e6 / 8.0;
+    pcfg.detect_fraction = 0.5;
+    pcfg.window = 50 * sim::kMillisecond;
+    pcfg.limit_bps = 50e3;
+    auto at_peering = std::make_shared<pushback::PushbackPolicy>(pcfg);
+    at_access = std::make_shared<pushback::PushbackPolicy>(pcfg);
+    at_peering->set_upstream(at_access);  // push the filter upstream
+    fig.att_peering->add_policy(at_peering);
+    fig.att_access->add_policy(at_access);
+  }
+
+  sim::TrafficSource::Config attack;
+  attack.flow_id = 66;
+  attack.payload_size = 70;
+  attack.packets_per_second = flood_pps;
+  attack.start = 0;
+  attack.stop = 12 * sim::kSecond;
+  attack.seed = 666;
+  sim::Host* bot = fig.bob.node;
+  auto spoof_rng = std::make_shared<SplitMix64>(13);
+  sim::TrafficSource attacker(
+      fig.engine, attack, [bot, spoof_rng](std::vector<std::uint8_t>&& p) {
+        net::ShimHeader shim;
+        shim.type = net::ShimType::kKeySetup;
+        shim.nonce = spoof_rng->next_u64();
+        const net::Ipv4Addr spoofed(0x0A010000u | static_cast<std::uint32_t>(
+                                                      spoof_rng->uniform(60000)));
+        bot->transmit(
+            net::make_shim_packet(spoofed, scenario::kAnycast, shim, p));
+      });
+  attacker.start();
+
+  const auto call =
+      fig.run_voip(scenario::VoipMode::kNeutralized, fig.ann, fig.google, 1,
+                   50, sim::kSecond, 10 * sim::kSecond);
+
+  Outcome out;
+  out.goodput_pct = 100.0 * static_cast<double>(call.received) / 500.0;
+  out.mean_ms = call.mean_latency_ms;
+  out.flood_dropped_upstream =
+      at_access ? at_access->stats().limited_drops : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Spoofed key-setup flood at the neutralizer vs Ann's VoIP call.\n\n");
+  std::printf("%-12s %-10s %12s %12s %18s\n", "flood pps", "pushback",
+              "goodput %", "latency ms", "shed upstream");
+  for (double pps : {1e3, 1e4, 3e4}) {
+    const auto undefended = run(pps, false);
+    std::printf("%-12.0f %-10s %12.1f %12.1f %18s\n", pps, "off",
+                undefended.goodput_pct, undefended.mean_ms, "-");
+    const auto defended = run(pps, true);
+    std::printf("%-12.0f %-10s %12.1f %12.1f %18llu\n", pps, "on",
+                defended.goodput_pct, defended.mean_ms,
+                static_cast<unsigned long long>(
+                    defended.flood_dropped_upstream));
+  }
+  std::printf(
+      "\nReading: without pushback a large flood starves the call; with\n"
+      "pushback the (anycast, key-setup) aggregate is rate-limited and the\n"
+      "filter propagates upstream, shedding attack packets before the\n"
+      "bottleneck. Spoofed sources don't help the attacker (§3.6).\n");
+  return 0;
+}

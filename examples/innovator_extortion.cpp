@@ -1,0 +1,101 @@
+// The paper's extortion scenario (§1): "once a user has chosen his
+// access provider, that access provider becomes a monopoly to Google.
+// There is no way for Google to bypass the access provider to reach the
+// user." The ISP can therefore demand payment per innovator — unless it
+// can no longer tell which packets belong to which innovator.
+//
+// AT&T installs a pay-or-throttle rule against Google specifically.
+// We measure bulk transfer goodput for Google and for YouTube (who
+// "paid") with and without the neutralizer, and then show the only
+// remaining lever: throttling the whole neutral ISP, which punishes
+// every destination equally — no longer targeted extortion.
+//
+// Build & run:  ./build/examples/innovator_extortion
+#include <cstdio>
+
+#include "discrim/policy.hpp"
+#include "scenario/fig1.hpp"
+
+namespace {
+
+using namespace nn;
+
+struct Outcome {
+  double google_kbps;
+  double youtube_kbps;
+};
+
+Outcome run(bool neutralized, bool blunt_fallback) {
+  scenario::Fig1 fig;
+  auto policy =
+      std::make_shared<discrim::DiscriminationPolicy>("att-extortion", 31);
+  if (!blunt_fallback) {
+    // Targeted: throttle traffic exchanged with Google to ~64 kbps.
+    policy->add_rule("throttle-google-up",
+                     discrim::MatchCriteria::against_destination(
+                         net::Ipv4Prefix(scenario::kGoogleAddr, 32)),
+                     discrim::DiscriminationAction::throttle(8e3, 4e3));
+    policy->add_rule("throttle-google-down",
+                     discrim::MatchCriteria::against_source(
+                         net::Ipv4Prefix(scenario::kGoogleAddr, 32)),
+                     discrim::DiscriminationAction::throttle(8e3, 4e3));
+  } else {
+    // Blunt: throttle everything toward the neutral ISP's whole space.
+    discrim::MatchCriteria all;
+    all.dst_prefix = net::Ipv4Prefix::from_string("20.0.0.0/16");
+    policy->add_rule("throttle-cogent", all,
+                     discrim::DiscriminationAction::throttle(16e3, 8e3));
+    discrim::MatchCriteria anycast_too;
+    anycast_too.dst_prefix = net::Ipv4Prefix(scenario::kAnycast, 32);
+    policy->add_rule("throttle-neutralizer", anycast_too,
+                     discrim::DiscriminationAction::throttle(16e3, 8e3));
+  }
+  fig.att->apply_policy(policy);
+
+  const auto mode = neutralized ? scenario::VoipMode::kNeutralized
+                                : scenario::VoipMode::kPlain;
+  // "Bulk" flows: 100 pps of 1000-byte payloads = 800 kbps offered.
+  fig.schedule_voip(mode, fig.ann, fig.google, 1, 100, sim::kSecond,
+                    10 * sim::kSecond, 1000);
+  fig.schedule_voip(mode, fig.bob, fig.youtube, 2, 100, sim::kSecond,
+                    10 * sim::kSecond, 1000);
+  fig.engine.run_until(12 * sim::kSecond);
+
+  const auto g = fig.collect(fig.google, 1);
+  const auto y = fig.collect(fig.youtube, 2);
+  const double seconds = 10.0;
+  return {static_cast<double>(g.received) * 1000 * 8 / seconds / 1000,
+          static_cast<double>(y.received) * 1000 * 8 / seconds / 1000};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "AT&T demands payment from Google; Google refuses, YouTube pays.\n"
+      "Offered load: 800 kbps to each. Measured goodput:\n\n");
+  std::printf("%-34s %14s %14s\n", "configuration", "google kbps",
+              "youtube kbps");
+
+  const auto targeted_plain = run(false, false);
+  std::printf("%-34s %14.0f %14.0f\n",
+              "targeted throttle, no defense", targeted_plain.google_kbps,
+              targeted_plain.youtube_kbps);
+
+  const auto targeted_neut = run(true, false);
+  std::printf("%-34s %14.0f %14.0f\n",
+              "targeted throttle, neutralized", targeted_neut.google_kbps,
+              targeted_neut.youtube_kbps);
+
+  const auto blunt_neut = run(true, true);
+  std::printf("%-34s %14.0f %14.0f\n",
+              "blunt throttle of the neutral ISP", blunt_neut.google_kbps,
+              blunt_neut.youtube_kbps);
+
+  std::printf(
+      "\nReading: with the neutralizer, the targeted rule has nothing to\n"
+      "match — singling out one innovator for extortion is impossible.\n"
+      "The blunt fallback hits the paying customer exactly as hard as the\n"
+      "non-paying one, destroying the extortion business model (§3.6).\n");
+  return 0;
+}

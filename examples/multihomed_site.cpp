@@ -1,0 +1,73 @@
+// §3.5: a multi-homed site publishes one neutralizer address per
+// provider; sources choose which to use. "Two hosts may always use
+// trial-and-error to find a path that's working for them."
+//
+// Provider A's path is congested; provider B's is clean. We compare the
+// source-side selection strategies the library ships.
+//
+// Build & run:  ./build/examples/multihomed_site
+#include <cstdio>
+
+#include "multihome/selector.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace nn;
+  using multihome::NeutralizerSelector;
+  using multihome::Strategy;
+
+  const net::Ipv4Addr provider_a(200, 0, 0, 1);  // congested: ~250 ms, lossy
+  const net::Ipv4Addr provider_b(201, 0, 0, 1);  // clean: ~20 ms
+
+  // A simple path model (the full-simulation version of this experiment
+  // is bench/bench_multihome): per-pick outcome drawn from the path.
+  SplitMix64 world(42);
+  auto outcome = [&](net::Ipv4Addr pick) {
+    if (pick == provider_a) {
+      const bool ok = world.uniform_double() > 0.25;
+      return std::pair(ok, 250.0 + world.uniform_double() * 100);
+    }
+    return std::pair(true, 18.0 + world.uniform_double() * 6);
+  };
+
+  std::printf("1000 flows from one source to a dual-homed site:\n\n");
+  std::printf("%-10s %12s %12s %16s\n", "strategy", "success %", "mean ms",
+              "used congested%");
+  const struct {
+    const char* name;
+    Strategy strategy;
+  } strategies[] = {
+      {"fixed", Strategy::kFixed},
+      {"random", Strategy::kRandom},
+      {"weighted", Strategy::kWeighted},
+      {"probe", Strategy::kProbe},
+  };
+  for (const auto& s : strategies) {
+    NeutralizerSelector selector(
+        s.strategy, {{provider_a, 1.0}, {provider_b, 3.0}}, 7);
+    int ok_count = 0;
+    int used_a = 0;
+    double latency_sum = 0;
+    const int kFlows = 1000;
+    for (int i = 0; i < kFlows; ++i) {
+      const auto pick = selector.pick();
+      if (pick == provider_a) ++used_a;
+      const auto [ok, latency] = outcome(pick);
+      if (ok) {
+        ++ok_count;
+        latency_sum += latency;
+      }
+      selector.report(pick, ok, latency);
+    }
+    std::printf("%-10s %12.1f %12.1f %16.1f\n", s.name,
+                100.0 * ok_count / kFlows,
+                ok_count ? latency_sum / ok_count : 0.0,
+                100.0 * used_a / kFlows);
+  }
+  std::printf(
+      "\nReading: the paper's trial-and-error suggestion (probe) learns to\n"
+      "avoid the congested provider without any routing-protocol help —\n"
+      "inbound path control moved from the site's BGP to the sources,\n"
+      "and it still works.\n");
+  return 0;
+}

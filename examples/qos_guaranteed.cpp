@@ -1,0 +1,82 @@
+// §3.4: "a discriminatory ISP can no longer keep per flow state … to
+// provide guaranteed services to anonymized traffic", and the paper's
+// remedy — neutralizer-assigned dynamic addresses.
+//
+// Google wants to sell Ann a guaranteed-bandwidth video stream. Ann's
+// ISP (legitimately!) requires per-flow state to reserve bandwidth.
+// We show the conflict and the §3.4 resolution:
+//   1. anonymized:     every neutralized flow is (ann, anycast) — the
+//                      second reservation collides; guaranteed service
+//                      is impossible,
+//   2. dynamic address: the neutralizer assigns one address per session;
+//                      reservations work, the customer stays hidden.
+//
+// Build & run:  ./build/examples/qos_guaranteed
+#include <cstdio>
+
+#include "core/box.hpp"
+#include "net/shim.hpp"
+#include "qos/intserv.hpp"
+#include "util/bytes.hpp"
+
+int main() {
+  using namespace nn;
+  const net::Ipv4Addr anycast(200, 0, 0, 1);
+  const net::Ipv4Addr ann(10, 1, 0, 2);
+  const net::Ipv4Addr google(20, 0, 0, 10);
+  const net::Ipv4Addr youtube(20, 0, 0, 11);
+
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = anycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("172.16.0.0/24");
+  crypto::AesKey root;
+  root.fill(0xD0);
+  core::Neutralizer service(cfg, root);
+
+  qos::ReservationTable att_rsvp(10e6);  // Ann's ISP: 10 Mbps for QoS
+
+  std::printf("1) Fully anonymized flows (everything looks like ann<->%s):\n",
+              anycast.to_string().c_str());
+  const bool first = att_rsvp.reserve({ann, anycast}, 2e6);
+  const bool second = att_rsvp.reserve({ann, anycast}, 2e6);
+  std::printf("   reserve video-from-google : %s\n", first ? "OK" : "REFUSED");
+  std::printf("   reserve video-from-youtube: %s  <- the §3.4 problem\n\n",
+              second ? "OK" : "REFUSED");
+
+  std::printf("2) Dynamic addresses per QoS session:\n");
+  auto request_dyn = [&](net::Ipv4Addr customer) {
+    net::ShimHeader shim;
+    shim.type = net::ShimType::kDynAddrRequest;
+    auto resp = service.process(
+        net::make_shim_packet(customer, anycast, shim, {}), 0);
+    const auto parsed = net::parse_packet(resp->view());
+    ByteReader r(parsed.payload);
+    return net::Ipv4Addr(r.u32());
+  };
+  const auto dyn_google = request_dyn(google);
+  const auto dyn_youtube = request_dyn(youtube);
+  std::printf("   google's session address : %s\n",
+              dyn_google.to_string().c_str());
+  std::printf("   youtube's session address: %s\n",
+              dyn_youtube.to_string().c_str());
+  std::printf("   reserve (%s -> ann): %s\n", dyn_google.to_string().c_str(),
+              att_rsvp.reserve({dyn_google, ann}, 2e6) ? "OK" : "REFUSED");
+  std::printf("   reserve (%s -> ann): %s\n", dyn_youtube.to_string().c_str(),
+              att_rsvp.reserve({dyn_youtube, ann}, 2e6) ? "OK" : "REFUSED");
+
+  std::printf(
+      "\n   Ann's ISP now holds per-flow state for both streams, yet the\n"
+      "   addresses map to customers only inside the neutralizer:\n");
+  auto pkt = net::make_udp_packet(ann, dyn_google, 700, 800,
+                                  std::vector<std::uint8_t>{1});
+  auto out = service.translate_dynamic(std::move(pkt));
+  std::printf("   packet to %s translated to -> %s (by the neutralizer)\n",
+              dyn_google.to_string().c_str(),
+              net::parse_packet(out->view()).ip.dst.to_string().c_str());
+  std::printf(
+      "\nReading: tiered *aggregate* service needs no state (DSCP, see\n"
+      "bench_qos); per-flow *guaranteed* service is restored by dynamic\n"
+      "addresses without revealing which customer is behind the flow.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// The paper's motivating scenario (§1): "a broadband ISP may
+// intentionally degrade the VoIP service offered by Vonage, but give a
+// high priority service to its own VoIP offerings."
+//
+// Ann (AT&T customer) calls Vonage (Cogent customer). AT&T degrades
+// Vonage traffic with DPI and address rules. We run the call four ways
+// and print a table of call quality (MOS, 1=unusable .. 4.4=toll):
+//
+//   plain          cleartext RTP: DPI + address rules both hit
+//   e2e-encrypted  contents hidden, address still visible
+//   neutralized    the paper's design: nothing left to match
+//   att's own      AT&T's competing service, untouched either way
+//
+// Build & run:  ./build/examples/voip_protection
+#include <cstdio>
+
+#include "discrim/policy.hpp"
+#include "scenario/fig1.hpp"
+
+namespace {
+
+std::shared_ptr<nn::discrim::DiscriminationPolicy> anti_vonage_policy() {
+  using namespace nn;
+  auto policy =
+      std::make_shared<discrim::DiscriminationPolicy>("att-anti-vonage", 21);
+  auto dpi = discrim::MatchCriteria::against_signature("SIP/2.0");
+  dpi.dst_prefix = net::Ipv4Prefix(scenario::kVonageAddr, 32);
+  policy->add_rule("dpi-sip-to-vonage", dpi,
+                   discrim::DiscriminationAction::degrade(
+                       0.25, 60 * nn::sim::kMillisecond));
+  policy->add_rule("dst-vonage",
+                   discrim::MatchCriteria::against_destination(
+                       net::Ipv4Prefix(scenario::kVonageAddr, 32)),
+                   discrim::DiscriminationAction::degrade(
+                       0.25, 60 * nn::sim::kMillisecond));
+  policy->add_rule("src-vonage",
+                   discrim::MatchCriteria::against_source(
+                       net::Ipv4Prefix(scenario::kVonageAddr, 32)),
+                   discrim::DiscriminationAction::degrade(
+                       0.25, 60 * nn::sim::kMillisecond));
+  return policy;
+}
+
+struct Row {
+  const char* label;
+  nn::scenario::Fig1::FlowResult result;
+  std::uint64_t rule_hits;
+};
+
+Row run_call(const char* label, nn::scenario::VoipMode mode, bool to_vonage) {
+  using namespace nn;
+  scenario::Fig1 fig;
+  auto policy = anti_vonage_policy();
+  fig.att->apply_policy(policy);
+  auto& callee = to_vonage ? fig.vonage : fig.att_voip;
+  const auto result = fig.run_voip(mode, fig.ann, callee, 1, /*pps=*/50,
+                                   sim::kSecond, 10 * sim::kSecond);
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < policy->rule_count(); ++i) {
+    hits += policy->rule_stats(i).hits;
+  }
+  return {label, result, hits};
+}
+
+}  // namespace
+
+int main() {
+  using nn::scenario::VoipMode;
+
+  std::printf("Ann calls Vonage across a hostile AT&T (10 s, 50 pps)...\n\n");
+  const Row rows[] = {
+      run_call("plain RTP", VoipMode::kPlain, true),
+      run_call("e2e-encrypted", VoipMode::kE2eOnly, true),
+      run_call("neutralized", VoipMode::kNeutralized, true),
+      run_call("att's own VoIP", VoipMode::kPlain, false),
+  };
+
+  std::printf("%-16s %9s %10s %9s %6s %10s\n", "variant", "received",
+              "latency ms", "loss %", "MOS", "rule hits");
+  for (const auto& row : rows) {
+    std::printf("%-16s %9llu %10.1f %9.1f %6.2f %10llu\n", row.label,
+                static_cast<unsigned long long>(row.result.received),
+                row.result.mean_latency_ms, row.result.loss * 100,
+                row.result.mos,
+                static_cast<unsigned long long>(row.rule_hits));
+  }
+  std::printf(
+      "\nReading: encryption alone does not help (the address rule still\n"
+      "fires); behind the neutralizer no discrimination rule matches at\n"
+      "all, and the call is as clean as AT&T's own service.\n");
+  return 0;
+}

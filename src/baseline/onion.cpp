@@ -1,0 +1,101 @@
+#include "baseline/onion.hpp"
+
+#include <stdexcept>
+
+namespace nn::baseline {
+
+namespace {
+std::array<std::uint8_t, 12> cell_iv(std::uint64_t counter) noexcept {
+  std::array<std::uint8_t, 12> iv{};
+  for (int i = 0; i < 8; ++i) {
+    iv[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(counter >> (56 - 8 * i));
+  }
+  iv[8] = 'O';
+  iv[9] = 'N';
+  return iv;
+}
+}  // namespace
+
+OnionRelay::OnionRelay(crypto::RsaPrivateKey identity)
+    : identity_(std::move(identity)) {}
+
+std::optional<std::uint32_t> OnionRelay::create_circuit(
+    std::span<const std::uint8_t> wrapped_key) {
+  ++stats_.rsa_decryptions;
+  const auto key_bytes = identity_.decrypt(wrapped_key);
+  if (!key_bytes.has_value() || key_bytes->size() != crypto::kAesKeySize) {
+    return std::nullopt;
+  }
+  Circuit c;
+  std::copy(key_bytes->begin(), key_bytes->end(), c.key.begin());
+  const std::uint32_t id = next_circuit_id_++;
+  circuits_[id] = c;
+  return id;
+}
+
+bool OnionRelay::process_cell(std::uint32_t circuit_id,
+                              std::vector<std::uint8_t>& cell) {
+  const auto it = circuits_.find(circuit_id);
+  if (it == circuits_.end()) return false;
+  Circuit& c = it->second;
+  crypto::Ctr(c.key).crypt(cell_iv(c.cells), cell);
+  ++c.cells;
+  ++stats_.cells_processed;
+  return true;
+}
+
+void OnionRelay::destroy_circuit(std::uint32_t circuit_id) {
+  circuits_.erase(circuit_id);
+}
+
+std::size_t OnionRelay::state_bytes() const noexcept {
+  // Key + counter + table-entry bookkeeping per circuit: the number a
+  // router architect would budget, not the allocator's exact figure.
+  constexpr std::size_t kPerCircuit =
+      sizeof(std::uint32_t) + sizeof(Circuit) + 16 /* hash-table slot */;
+  return circuits_.size() * kPerCircuit;
+}
+
+OnionClient::Circuit OnionClient::build_circuit(
+    const std::vector<OnionRelay*>& path) {
+  Circuit circuit;
+  circuit.path = path;
+  for (OnionRelay* relay : path) {
+    crypto::AesKey key;
+    rng_.fill(key);
+    const auto wrapped = crypto::rsa_encrypt(rng_, relay->public_key(), key);
+    ++rsa_encryptions_;
+    const auto id = relay->create_circuit(wrapped);
+    if (!id.has_value()) {
+      throw std::runtime_error("OnionClient: relay rejected CREATE");
+    }
+    circuit.circuit_ids.push_back(*id);
+    circuit.keys.push_back(key);
+  }
+  return circuit;
+}
+
+std::vector<std::uint8_t> OnionClient::wrap(
+    Circuit& circuit, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> cell(payload.begin(), payload.end());
+  // Innermost layer first (exit), outermost last: relays peel in path
+  // order with their per-direction counters.
+  for (std::size_t i = circuit.path.size(); i-- > 0;) {
+    crypto::Ctr(circuit.keys[i]).crypt(cell_iv(circuit.cells_sent), cell);
+  }
+  ++circuit.cells_sent;
+  return cell;
+}
+
+std::optional<std::vector<std::uint8_t>> OnionClient::transit(
+    Circuit& circuit, std::vector<std::uint8_t> cell) {
+  for (std::size_t i = 0; i < circuit.path.size(); ++i) {
+    if (!circuit.path[i]->process_cell(circuit.circuit_ids[i], cell)) {
+      return std::nullopt;
+    }
+  }
+  return cell;
+}
+
+}  // namespace nn::baseline

@@ -1,0 +1,108 @@
+// Simplified onion-routing baseline for the paper's §5 comparison:
+// "Anonymous routing aims to anonymize both the source and destination
+// addresses … our design is considerably more efficient and scalable in
+// terms of resource consumption. In our design, routers don't keep
+// per-flow state, and perform much fewer public key operations."
+//
+// This is a faithful *resource* model of a Tor-style design (telescoped
+// circuits, per-hop RSA key establishment, layered AES, per-circuit
+// relay state); cell padding, directory services and flow control are
+// out of scope because E4 measures state bytes and crypto operations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/aes_modes.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+#include "util/rng.hpp"
+
+namespace nn::baseline {
+
+struct RelayStats {
+  std::uint64_t rsa_decryptions = 0;
+  std::uint64_t cells_processed = 0;
+};
+
+class OnionRelay {
+ public:
+  /// Relays hold long-term RSA identities (1024-bit in the benches).
+  explicit OnionRelay(crypto::RsaPrivateKey identity);
+
+  /// CREATE cell: RSA-unwrap the circuit key, allocate a circuit id.
+  /// Returns nullopt on malformed cells.
+  [[nodiscard]] std::optional<std::uint32_t> create_circuit(
+      std::span<const std::uint8_t> wrapped_key);
+
+  /// RELAY cell: strips this relay's onion layer in place.
+  /// Returns false for unknown circuits.
+  bool process_cell(std::uint32_t circuit_id,
+                    std::vector<std::uint8_t>& cell);
+
+  void destroy_circuit(std::uint32_t circuit_id);
+
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const noexcept {
+    return identity_.key().pub;
+  }
+  [[nodiscard]] std::size_t circuit_count() const noexcept {
+    return circuits_.size();
+  }
+  /// Approximate resident state: per-circuit table entries.
+  [[nodiscard]] std::size_t state_bytes() const noexcept;
+  [[nodiscard]] const RelayStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Circuit {
+    crypto::AesKey key;
+    std::uint64_t cells = 0;  // per-direction counter = CTR IV source
+  };
+
+  crypto::RsaDecryptor identity_;
+  std::unordered_map<std::uint32_t, Circuit> circuits_;
+  std::uint32_t next_circuit_id_ = 1;
+  RelayStats stats_;
+};
+
+/// Client side: builds a circuit over an ordered relay path and wraps
+/// payloads in onion layers.
+class OnionClient {
+ public:
+  explicit OnionClient(std::uint64_t seed) : rng_(seed) {}
+
+  struct Circuit {
+    std::vector<OnionRelay*> path;
+    std::vector<std::uint32_t> circuit_ids;  // per relay
+    std::vector<crypto::AesKey> keys;        // outermost first
+    std::uint64_t cells_sent = 0;
+  };
+
+  /// Establishes per-hop keys (one RSA encryption per hop here, one RSA
+  /// decryption per hop at the relays). Throws std::runtime_error if a
+  /// relay rejects.
+  [[nodiscard]] Circuit build_circuit(const std::vector<OnionRelay*>& path);
+
+  /// Wraps `payload` in onion layers (innermost = exit).
+  [[nodiscard]] std::vector<std::uint8_t> wrap(Circuit& circuit,
+                                               std::span<const std::uint8_t>
+                                                   payload);
+
+  /// Pushes a wrapped cell through every relay of the circuit; returns
+  /// the fully peeled payload (what the exit sees), or nullopt if any
+  /// relay fails.
+  [[nodiscard]] static std::optional<std::vector<std::uint8_t>> transit(
+      Circuit& circuit, std::vector<std::uint8_t> cell);
+
+  [[nodiscard]] std::uint64_t rsa_encryptions() const noexcept {
+    return rsa_encryptions_;
+  }
+
+ private:
+  crypto::ChaChaRng rng_;
+  std::uint64_t rsa_encryptions_ = 0;
+};
+
+}  // namespace nn::baseline

@@ -1,0 +1,90 @@
+#include "baseline/stateful.hpp"
+
+#include "crypto/aes_modes.hpp"
+#include "net/shim.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::baseline {
+
+using net::ShimHeader;
+using net::ShimPacketView;
+using net::ShimType;
+
+StatefulNeutralizer::StatefulNeutralizer(const core::NeutralizerConfig& config,
+                                         std::uint64_t nonce_seed)
+    : config_(config), rng_(nonce_seed) {}
+
+std::optional<net::Packet> StatefulNeutralizer::process(net::Packet&& pkt,
+                                                        sim::SimTime now) {
+  (void)now;  // no epochs: state lives until purged
+  try {
+    ShimPacketView view(pkt.mutable_view());
+    switch (view.type()) {
+      case ShimType::kKeySetup: {
+        const auto parsed = net::parse_packet(pkt.view());
+        const auto source_key = crypto::RsaPublicKey::parse(parsed.payload);
+        const std::uint64_t nonce = rng_.next_u64();
+        Entry entry;
+        rng_.fill(entry.ks);  // random key: nothing to recompute from
+        entry.source = parsed.ip.src;
+        table_[nonce] = entry;
+
+        ByteWriter msg(24);
+        msg.u64(nonce);
+        msg.raw(entry.ks);
+        const auto ct = crypto::rsa_encrypt(rng_, source_key, msg.view());
+        ShimHeader shim;
+        shim.type = ShimType::kKeySetupResponse;
+        shim.nonce = parsed.shim->nonce;
+        ++stats_.key_setups;
+        return net::make_shim_packet(config_.anycast_addr, parsed.ip.src,
+                                     shim, ct, parsed.ip.dscp);
+      }
+      case ShimType::kDataForward: {
+        const auto it = table_.find(view.nonce());
+        if (it == table_.end() || it->second.source != view.src()) {
+          ++stats_.rejected;
+          return std::nullopt;
+        }
+        const net::Ipv4Addr true_dst(crypto::crypt_address(
+            it->second.ks, view.nonce(), false, view.inner_addr()));
+        if (!config_.customer_space.contains(true_dst)) {
+          ++stats_.rejected;
+          return std::nullopt;
+        }
+        view.set_dst(true_dst);
+        view.set_inner_addr(config_.anycast_addr.value());
+        view.refresh_ip_checksum();
+        ++stats_.data_forwarded;
+        return std::move(pkt);
+      }
+      case ShimType::kDataReturn: {
+        if (!config_.customer_space.contains(view.src())) {
+          ++stats_.rejected;
+          return std::nullopt;
+        }
+        const auto it = table_.find(view.nonce());
+        if (it == table_.end()) {
+          ++stats_.rejected;
+          return std::nullopt;
+        }
+        const net::Ipv4Addr initiator(view.inner_addr());
+        view.set_inner_addr(crypto::crypt_address(
+            it->second.ks, view.nonce(), true, view.src().value()));
+        view.set_src(config_.anycast_addr);
+        view.set_dst(initiator);
+        view.refresh_ip_checksum();
+        ++stats_.data_returned;
+        return std::move(pkt);
+      }
+      default:
+        ++stats_.rejected;
+        return std::nullopt;
+    }
+  } catch (const ParseError&) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+}
+
+}  // namespace nn::baseline

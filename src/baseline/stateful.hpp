@@ -1,0 +1,56 @@
+// Ablation baseline: a *stateful* neutralizer that stores (nonce → Ks,
+// source) in a table at key-setup time instead of recomputing
+// Ks = CMAC(KM, nonce, srcIP) per packet.
+//
+// The paper's design argument (§3.2) is that statelessness buys
+// (a) O(1) memory independent of source count, and (b) replica
+// interchangeability under a shared master key. This variant exists so
+// E8 can put numbers on (a) and tests can demonstrate (b) breaking.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/neutralizer.hpp"
+
+namespace nn::baseline {
+
+class StatefulNeutralizer {
+ public:
+  StatefulNeutralizer(const core::NeutralizerConfig& config,
+                      std::uint64_t nonce_seed = 1);
+
+  /// Same packet-in/packet-out contract as core::Neutralizer::process.
+  [[nodiscard]] std::optional<net::Packet> process(net::Packet&& pkt,
+                                                   sim::SimTime now);
+
+  [[nodiscard]] std::size_t table_entries() const noexcept {
+    return table_.size();
+  }
+  /// Budget-style state estimate (key + source + table slot per entry).
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    constexpr std::size_t kPerEntry =
+        sizeof(std::uint64_t) + sizeof(Entry) + 16;
+    return table_.size() * kPerEntry;
+  }
+  [[nodiscard]] const core::NeutralizerStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const core::NeutralizerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  struct Entry {
+    crypto::AesKey ks;
+    net::Ipv4Addr source;
+  };
+
+  core::NeutralizerConfig config_;
+  crypto::ChaChaRng rng_;
+  std::unordered_map<std::uint64_t, Entry> table_;
+  core::NeutralizerStats stats_;
+};
+
+}  // namespace nn::baseline

@@ -1,0 +1,40 @@
+#include "core/box.hpp"
+
+#include "net/shim.hpp"
+
+namespace nn::core {
+
+void NeutralizerBox::consume(net::Packet&& pkt) {
+  // §3.4 inbound leg: packets to a dynamic address are translated to
+  // the owning customer and re-sent (any protocol, not just shim).
+  if (pkt.size() >= net::kIpv4HeaderSize) {
+    const net::Ipv4Addr dst(
+        (static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
+        (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
+        (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) | pkt.bytes[19]);
+    if (service_.owns_dynamic(dst)) {
+      auto translated = service_.translate_dynamic(std::move(pkt));
+      if (translated.has_value()) send(std::move(*translated));
+      return;
+    }
+  }
+  // Charge the configured service time before the result leaves.
+  sim::SimTime cost = costs_.data_path;
+  if (pkt.size() > net::kIpv4HeaderSize &&
+      pkt.bytes[net::kIpv4HeaderSize] ==
+          static_cast<std::uint8_t>(net::ShimType::kKeySetup)) {
+    cost = costs_.key_setup;
+  }
+
+  auto result = service_.process(std::move(pkt), network().now());
+  if (!result.has_value()) return;
+
+  if (cost > 0) {
+    network().engine().schedule_in(
+        cost, [this, p = std::move(*result)]() mutable { send(std::move(p)); });
+  } else {
+    send(std::move(*result));
+  }
+}
+
+}  // namespace nn::core

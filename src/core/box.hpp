@@ -1,0 +1,64 @@
+// Simulator adapter: a border router that also hosts the neutralizer
+// service ("these neutralizers can either be inline boxes or part of a
+// border router's functionality", paper §3). It intercepts packets
+// addressed to the service anycast address, runs them through the
+// Neutralizer, and re-emits the result — optionally after a configurable
+// processing delay so simulations can model the measured crypto costs.
+#pragma once
+
+#include <memory>
+
+#include "core/neutralizer.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+
+namespace nn::core {
+
+struct BoxCosts {
+  /// Service time charged per key-setup packet (models the RSA
+  /// encryption; e.g. 1e9/24400 ns to mirror the paper's 24.4 kpps).
+  sim::SimTime key_setup = 0;
+  /// Service time per data packet (CMAC + AES address decrypt).
+  sim::SimTime data_path = 0;
+};
+
+class NeutralizerBox final : public sim::Router {
+ public:
+  NeutralizerBox(std::string name, const NeutralizerConfig& config,
+                 const crypto::AesKey& root_key, std::uint64_t nonce_seed = 1,
+                 BoxCosts costs = {})
+      : Router(std::move(name)),
+        service_(config, root_key, nonce_seed),
+        costs_(costs) {}
+
+  [[nodiscard]] const Neutralizer& service() const noexcept {
+    return service_;
+  }
+  [[nodiscard]] net::Ipv4Addr anycast_addr() const noexcept {
+    return service_.config().anycast_addr;
+  }
+
+  /// Registers the box in the service's anycast group. Call once per
+  /// box after topology construction.
+  void join_service_anycast(sim::Network& net) {
+    net.join_anycast(*this, anycast_addr());
+    if (service_.config().dynamic_pool.has_value()) {
+      net.assign_prefix(*this, *service_.config().dynamic_pool);
+    }
+  }
+
+ protected:
+  [[nodiscard]] bool is_local_destination(
+      net::Ipv4Addr dst) const override {
+    return dst == anycast_addr() || service_.owns_dynamic(dst) ||
+           sim::Router::is_local_destination(dst);
+  }
+
+  void consume(net::Packet&& pkt) override;
+
+ private:
+  Neutralizer service_;
+  BoxCosts costs_;
+};
+
+}  // namespace nn::core

@@ -1,0 +1,43 @@
+#include "core/dynamic_addr.hpp"
+
+#include <stdexcept>
+
+namespace nn::core {
+
+DynamicAddressAllocator::DynamicAddressAllocator(net::Ipv4Prefix pool)
+    : pool_(pool) {
+  if (pool.length() > 30) {
+    throw std::invalid_argument(
+        "DynamicAddressAllocator: pool must hold at least 4 addresses");
+  }
+  capacity_ = (~pool.mask());  // host portion, minus offset-0 base
+}
+
+std::optional<net::Ipv4Addr> DynamicAddressAllocator::allocate(
+    net::Ipv4Addr customer) {
+  if (mapping_.size() >= capacity_) return std::nullopt;
+  // Linear probe from next_offset_ (wrapping) until a free slot.
+  for (std::uint32_t i = 0; i < capacity_; ++i) {
+    const std::uint32_t offset = 1 + (next_offset_ - 1 + i) % capacity_;
+    const net::Ipv4Addr candidate = pool_.at(offset);
+    if (!mapping_.contains(candidate)) {
+      mapping_[candidate] = customer;
+      next_offset_ = 1 + offset % capacity_;
+      return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<net::Ipv4Addr> DynamicAddressAllocator::resolve(
+    net::Ipv4Addr dynamic) const {
+  const auto it = mapping_.find(dynamic);
+  if (it == mapping_.end()) return std::nullopt;
+  return it->second;
+}
+
+void DynamicAddressAllocator::release(net::Ipv4Addr dynamic) {
+  mapping_.erase(dynamic);
+}
+
+}  // namespace nn::core

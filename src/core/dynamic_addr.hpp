@@ -1,0 +1,51 @@
+// Dynamic address allocation for guaranteed (per-flow) QoS sessions,
+// paper §3.4: anonymized traffic defeats per-flow reservations, so "a
+// neutralizer [may] assign a dynamic address to a customer that
+// initiates a QoS session. This dynamic address allows the
+// discriminatory ISP to identify a flow, but does not allow it to map
+// the flow to a specific customer."
+//
+// Unlike the datapath, this is deliberately stateful — it exists only
+// for customers that opt into RSVP-style sessions, and the state is
+// per-session, not per-packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "net/addr.hpp"
+
+namespace nn::core {
+
+class DynamicAddressAllocator {
+ public:
+  /// `pool` must not overlap the customer space (the addresses must be
+  /// meaningless to outside observers).
+  explicit DynamicAddressAllocator(net::Ipv4Prefix pool);
+
+  /// Allocates a fresh dynamic address mapped to `customer`; nullopt
+  /// when the pool is exhausted. One customer may hold many sessions.
+  [[nodiscard]] std::optional<net::Ipv4Addr> allocate(
+      net::Ipv4Addr customer);
+
+  /// Resolves a dynamic address back to the real customer (neutralizer
+  /// internal use only — this mapping is the secret).
+  [[nodiscard]] std::optional<net::Ipv4Addr> resolve(
+      net::Ipv4Addr dynamic) const;
+
+  void release(net::Ipv4Addr dynamic);
+
+  [[nodiscard]] std::size_t active_sessions() const noexcept {
+    return mapping_.size();
+  }
+  [[nodiscard]] const net::Ipv4Prefix& pool() const noexcept { return pool_; }
+
+ private:
+  net::Ipv4Prefix pool_;
+  std::uint32_t next_offset_ = 1;
+  std::uint32_t capacity_;
+  std::unordered_map<net::Ipv4Addr, net::Ipv4Addr> mapping_;
+};
+
+}  // namespace nn::core

@@ -1,0 +1,45 @@
+#include "core/master_key.hpp"
+
+#include <stdexcept>
+
+namespace nn::core {
+
+MasterKeySchedule::MasterKeySchedule(const crypto::AesKey& root,
+                                     sim::SimTime rotation_period)
+    : root_(root), rotation_period_(rotation_period) {
+  if (rotation_period <= 0) {
+    throw std::invalid_argument("MasterKeySchedule: rotation must be > 0");
+  }
+}
+
+std::uint16_t MasterKeySchedule::epoch_at(sim::SimTime now) const noexcept {
+  if (now < 0) return 0;
+  // 16-bit epoch wraps after ~7.5 years at hourly rotation; acceptable
+  // for both simulation and the paper's deployment story.
+  return static_cast<std::uint16_t>(now / rotation_period_);
+}
+
+crypto::AesKey MasterKeySchedule::derive(std::uint16_t epoch) const {
+  std::array<std::uint8_t, 8> msg = {'K', 'M', 'E', 'P',
+                                     0,   0,   static_cast<std::uint8_t>(epoch >> 8),
+                                     static_cast<std::uint8_t>(epoch)};
+  const crypto::AesBlock tag = crypto::Cmac(root_).mac(msg);
+  crypto::AesKey out;
+  std::copy(tag.begin(), tag.end(), out.begin());
+  return out;
+}
+
+std::optional<crypto::AesKey> MasterKeySchedule::key_for_epoch(
+    std::uint16_t epoch, sim::SimTime now) const {
+  const std::uint16_t current = epoch_at(now);
+  if (epoch == current || (current > 0 && epoch == current - 1)) {
+    return derive(epoch);
+  }
+  return std::nullopt;
+}
+
+crypto::AesKey MasterKeySchedule::current_key(sim::SimTime now) const {
+  return derive(epoch_at(now));
+}
+
+}  // namespace nn::core

@@ -1,0 +1,52 @@
+// Master-key schedule for the neutralizer service (paper §3.2/§4).
+//
+// The paper assumes "a neutralizer's master key lasts for an hour" and
+// that all neutralizers of a domain share it. We derive epoch keys
+// deterministically from a long-lived root secret:
+//
+//     KM_epoch = CMAC(root, epoch)
+//
+// so every replica sharing the root computes identical keys with O(1)
+// state and zero synchronization — preserving the design's "stateless
+// and fault-tolerant feature of IP routing". Data packets carry their
+// epoch in the shim; the service accepts the current and the previous
+// epoch (grace window for in-flight packets across a rotation).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/aes_modes.hpp"
+#include "sim/engine.hpp"
+
+namespace nn::core {
+
+class MasterKeySchedule {
+ public:
+  static constexpr sim::SimTime kDefaultRotation = 3600 * sim::kSecond;
+
+  explicit MasterKeySchedule(const crypto::AesKey& root,
+                             sim::SimTime rotation_period = kDefaultRotation);
+
+  [[nodiscard]] std::uint16_t epoch_at(sim::SimTime now) const noexcept;
+
+  /// Key for `epoch`, but only if `epoch` is the current or previous
+  /// epoch at `now` (otherwise the packet is too old / from the future
+  /// and must be dropped).
+  [[nodiscard]] std::optional<crypto::AesKey> key_for_epoch(
+      std::uint16_t epoch, sim::SimTime now) const;
+
+  [[nodiscard]] crypto::AesKey current_key(sim::SimTime now) const;
+
+  [[nodiscard]] sim::SimTime rotation_period() const noexcept {
+    return rotation_period_;
+  }
+
+ private:
+  crypto::AesKey root_;
+  sim::SimTime rotation_period_;
+
+  [[nodiscard]] crypto::AesKey derive(std::uint16_t epoch) const;
+};
+
+}  // namespace nn::core

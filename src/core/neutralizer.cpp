@@ -1,0 +1,301 @@
+#include "core/neutralizer.hpp"
+
+#include "crypto/aes_modes.hpp"
+#include "net/shim.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::core {
+
+using net::ShimFlags;
+using net::ShimHeader;
+using net::ShimPacketView;
+using net::ShimType;
+
+Neutralizer::Neutralizer(const NeutralizerConfig& config,
+                         const crypto::AesKey& root_key,
+                         std::uint64_t nonce_seed)
+    : config_(config),
+      keys_(root_key, config.rotation_period),
+      rng_(nonce_seed) {
+  if (config_.dynamic_pool.has_value()) {
+    allocator_.emplace(*config_.dynamic_pool);
+  }
+  if (config_.setup_rate_limit > 0) {
+    // Tokens are counted in setups; allow a quarter-second burst.
+    setup_limiter_.emplace(config_.setup_rate_limit,
+                           std::max(1.0, config_.setup_rate_limit / 4.0));
+  }
+}
+
+const crypto::Cmac& Neutralizer::keyed_master(
+    std::uint16_t epoch, const crypto::AesKey& km) const {
+  if (const auto it = cmac_cache_.find(epoch); it != cmac_cache_.end()) {
+    return it->second;
+  }
+  if (cmac_cache_.size() > 4) cmac_cache_.clear();  // stale epochs
+  return cmac_cache_.emplace(epoch, crypto::Cmac(km)).first->second;
+}
+
+std::optional<crypto::AesKey> Neutralizer::session_key(
+    std::uint16_t epoch, std::uint8_t flags, std::uint64_t nonce,
+    net::Ipv4Addr outside_addr, sim::SimTime now) const {
+  const auto km = keys_.key_for_epoch(epoch, now);
+  if (!km.has_value()) return std::nullopt;
+  const crypto::Cmac& keyed = keyed_master(epoch, *km);
+  if (flags & ShimFlags::kLeaseKey) {
+    return crypto::derive_lease_key(keyed, nonce);
+  }
+  return crypto::derive_source_key(keyed, nonce, outside_addr.value());
+}
+
+std::optional<net::Packet> Neutralizer::process(net::Packet&& pkt,
+                                                sim::SimTime now) {
+  ShimType type;
+  try {
+    const ShimPacketView view(pkt.mutable_view());
+    type = view.type();
+  } catch (const ParseError&) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+
+  switch (type) {
+    case ShimType::kDataForward:
+      return handle_data_forward(std::move(pkt), now);
+    case ShimType::kDataReturn:
+      return handle_data_return(std::move(pkt), now);
+    case ShimType::kKeySetup:
+    case ShimType::kKeyLease: {
+      // Control packets are parsed fully (payload included).
+      net::ParsedPacket parsed;
+      try {
+        parsed = net::parse_packet(pkt.view());
+      } catch (const ParseError&) {
+        ++stats_.rejected;
+        return std::nullopt;
+      }
+      return type == ShimType::kKeySetup ? handle_key_setup(parsed, now)
+                                         : handle_key_lease(parsed, now);
+    }
+    case ShimType::kDynAddrRequest: {
+      net::ParsedPacket parsed;
+      try {
+        parsed = net::parse_packet(pkt.view());
+      } catch (const ParseError&) {
+        ++stats_.rejected;
+        return std::nullopt;
+      }
+      return handle_dyn_request(parsed);
+    }
+    case ShimType::kKeySetupResponse:
+    case ShimType::kKeyLeaseResponse:
+    case ShimType::kDynAddrResponse:
+      break;  // responses are never addressed to the service
+  }
+  ++stats_.rejected;
+  return std::nullopt;
+}
+
+std::optional<net::Packet> Neutralizer::handle_dyn_request(
+    const net::ParsedPacket& p) {
+  if (!allocator_.has_value() ||
+      !config_.customer_space.contains(p.ip.src)) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  const auto dyn = allocator_->allocate(p.ip.src);
+  if (!dyn.has_value()) {
+    ++stats_.rejected;  // pool exhausted
+    return std::nullopt;
+  }
+  ByteWriter msg(4);
+  msg.u32(dyn->value());
+  ShimHeader shim;
+  shim.type = ShimType::kDynAddrResponse;
+  shim.nonce = p.shim->nonce;  // request id
+  ++stats_.dyn_allocated;
+  return net::make_shim_packet(config_.anycast_addr, p.ip.src, shim,
+                               msg.view(), p.ip.dscp);
+}
+
+std::optional<net::Packet> Neutralizer::translate_dynamic(net::Packet&& pkt) {
+  if (!allocator_.has_value() || pkt.size() < net::kIpv4HeaderSize) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  const net::Ipv4Addr dyn(
+      (static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
+      (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
+      (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) | pkt.bytes[19]);
+  const auto customer = allocator_->resolve(dyn);
+  if (!customer.has_value()) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  pkt.bytes[16] = static_cast<std::uint8_t>(customer->value() >> 24);
+  pkt.bytes[17] = static_cast<std::uint8_t>(customer->value() >> 16);
+  pkt.bytes[18] = static_cast<std::uint8_t>(customer->value() >> 8);
+  pkt.bytes[19] = static_cast<std::uint8_t>(customer->value());
+  pkt.bytes[10] = 0;
+  pkt.bytes[11] = 0;
+  const std::uint16_t sum = net::internet_checksum(
+      std::span<const std::uint8_t>(pkt.bytes).subspan(0,
+                                                       net::kIpv4HeaderSize));
+  pkt.bytes[10] = static_cast<std::uint8_t>(sum >> 8);
+  pkt.bytes[11] = static_cast<std::uint8_t>(sum);
+  ++stats_.dyn_translated;
+  return std::move(pkt);
+}
+
+std::optional<net::Packet> Neutralizer::handle_key_setup(
+    const net::ParsedPacket& p, sim::SimTime now) {
+  if (setup_limiter_.has_value() && !setup_limiter_->try_consume(1, now)) {
+    ++stats_.setup_rate_limited;  // shed before any RSA work
+    return std::nullopt;
+  }
+  crypto::RsaPublicKey source_key;
+  try {
+    source_key = crypto::RsaPublicKey::parse(p.payload);
+  } catch (const ParseError&) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+
+  // Mint the symmetric key. It is never stored: any replica recomputes
+  // it from (epoch, nonce, srcIP) when data packets arrive.
+  const std::uint64_t nonce = rng_.next_u64();
+  const std::uint16_t epoch = keys_.epoch_at(now);
+  const crypto::AesKey ks =
+      crypto::derive_source_key(keys_.current_key(now), nonce,
+                                p.ip.src.value());
+
+  if (config_.offload_enabled && !config_.offload_helper.is_unspecified()) {
+    // §3.2 offload: hand (nonce, Ks) and the source's public key to a
+    // willing customer. The stamped extension only crosses our own
+    // domain, where the threat model permits cleartext keys.
+    ShimHeader shim;
+    shim.type = ShimType::kKeySetup;
+    shim.flags = ShimFlags::kRekeyFilled;
+    shim.key_epoch = epoch;
+    shim.nonce = p.shim->nonce;  // the source's request id, echoed back
+    shim.rekey = net::RekeyExt{nonce, epoch, ks};
+    ++stats_.key_setups;
+    ++stats_.offloaded;
+    return net::make_shim_packet(p.ip.src, config_.offload_helper, shim,
+                                 p.payload, p.ip.dscp);
+  }
+
+  // Normal path: RSA-encrypt (nonce ‖ Ks) under the one-time key. For
+  // e = 3 this is two modular multiplications (§3.2).
+  ByteWriter msg(24);
+  msg.u64(nonce);
+  msg.raw(ks);
+  std::vector<std::uint8_t> ciphertext;
+  try {
+    ciphertext = crypto::rsa_encrypt(rng_, source_key, msg.view());
+  } catch (const std::invalid_argument&) {
+    ++stats_.rejected;  // degenerate public key
+    return std::nullopt;
+  }
+
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetupResponse;
+  shim.key_epoch = epoch;
+  shim.nonce = p.shim->nonce;
+  ++stats_.key_setups;
+  return net::make_shim_packet(config_.anycast_addr, p.ip.src, shim,
+                               ciphertext, p.ip.dscp);
+}
+
+std::optional<net::Packet> Neutralizer::handle_key_lease(
+    const net::ParsedPacket& p, sim::SimTime now) {
+  if (!config_.customer_space.contains(p.ip.src)) {
+    ++stats_.rejected;  // leases are a courtesy to our own customers
+    return std::nullopt;
+  }
+  const std::uint64_t nonce = rng_.next_u64();
+  const std::uint16_t epoch = keys_.epoch_at(now);
+  const crypto::AesKey ks =
+      crypto::derive_lease_key(keys_.current_key(now), nonce);
+
+  ByteWriter msg(24);
+  msg.u64(nonce);
+  msg.raw(ks);
+
+  ShimHeader shim;
+  shim.type = ShimType::kKeyLeaseResponse;
+  shim.flags = ShimFlags::kLeaseKey;
+  shim.key_epoch = epoch;
+  shim.nonce = p.shim->nonce;
+  ++stats_.key_leases;
+  return net::make_shim_packet(config_.anycast_addr, p.ip.src, shim,
+                               msg.view(), p.ip.dscp);
+}
+
+std::optional<net::Packet> Neutralizer::handle_data_forward(
+    net::Packet&& pkt, sim::SimTime now) {
+  ShimPacketView view(pkt.mutable_view());
+  const auto ks = session_key(view.key_epoch(), view.flags(), view.nonce(),
+                              view.src(), now);
+  if (!ks.has_value()) {
+    ++stats_.rejected;  // expired or future epoch
+    return std::nullopt;
+  }
+  const net::Ipv4Addr true_dst(crypto::crypt_address(
+      *ks, view.nonce(), /*return_direction=*/false, view.inner_addr()));
+  if (!config_.customer_space.contains(true_dst)) {
+    ++stats_.rejected;  // not our customer: refuse to relay
+    return std::nullopt;
+  }
+
+  if ((view.flags() & ShimFlags::kKeyRequest) &&
+      !(view.flags() & ShimFlags::kRekeyFilled)) {
+    // Stamp a strong replacement key (Fig. 2 packet 4). It travels in
+    // clear only inside our own domain; the customer echoes it to the
+    // source under end-to-end encryption.
+    const std::uint64_t fresh_nonce = rng_.next_u64();
+    const std::uint16_t epoch = keys_.epoch_at(now);
+    const crypto::AesKey fresh_ks = crypto::derive_source_key(
+        keys_.current_key(now), fresh_nonce, view.src().value());
+    view.stamp_rekey(fresh_nonce, epoch, fresh_ks);
+    ++stats_.rekeys_stamped;
+  }
+
+  view.set_dst(true_dst);
+  // Fig. 2 packet 4: the forwarded packet carries the neutralizer's
+  // address as the customer's return handle.
+  view.set_inner_addr(config_.anycast_addr.value());
+  view.refresh_ip_checksum();
+  ++stats_.data_forwarded;
+  return std::move(pkt);
+}
+
+std::optional<net::Packet> Neutralizer::handle_data_return(
+    net::Packet&& pkt, sim::SimTime now) {
+  ShimPacketView view(pkt.mutable_view());
+  if (!config_.customer_space.contains(view.src())) {
+    ++stats_.rejected;  // only our customers may return through us
+    return std::nullopt;
+  }
+  const net::Ipv4Addr initiator(view.inner_addr());
+  const auto ks = session_key(view.key_epoch(), view.flags(), view.nonce(),
+                              initiator, now);
+  if (!ks.has_value()) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  // Hide the customer: their address leaves encrypted in the inner
+  // field; the outside header pair becomes (anycast -> initiator).
+  const std::uint32_t hidden_customer = crypto::crypt_address(
+      *ks, view.nonce(), /*return_direction=*/true, view.src().value());
+  view.set_inner_addr(hidden_customer);
+  view.set_src(config_.anycast_addr);
+  view.set_dst(initiator);
+  // Never stamp rekeys on the return direction: the extension would
+  // cross the discriminatory ISP in clear text.
+  view.refresh_ip_checksum();
+  ++stats_.data_returned;
+  return std::move(pkt);
+}
+
+}  // namespace nn::core

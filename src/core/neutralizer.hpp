@@ -1,0 +1,150 @@
+// The neutralizer (paper §3): an efficient, stateless service at the
+// border of a cooperating ISP that hides which customer of that ISP an
+// outside host is talking to.
+//
+// Datapath summary (Fig. 2):
+//
+//   KeySetup        outside source sends a one-time RSA public key; we
+//                   mint (nonce, Ks = CMAC(KM, nonce ‖ srcIP)) and return
+//                   it RSA-encrypted. Cheap for us (e = 3 encryption),
+//                   expensive for the source (decryption) — the DoS
+//                   asymmetry the paper wants. No state is kept: Ks is
+//                   recomputable from any later packet header.
+//   KeyLease        inside customer asks for a key in the clear (§3.3).
+//   DataForward     outside -> customer. We recompute Ks from
+//                   (epoch, nonce, srcIP), decrypt the inner destination,
+//                   rewrite dst to the true customer, put our anycast
+//                   address in the inner field (the return handle,
+//                   Fig. 2 packet 4), and stamp a fresh (nonce', Ks')
+//                   when the source requested one.
+//   DataReturn      customer -> outside. We recompute Ks, encrypt the
+//                   *customer's* address into the inner field, rewrite
+//                   src to our anycast address, dst to the initiator.
+//
+// The class is pure packet-in/packet-out and knows nothing about the
+// simulator; sim adapters live in core/box.hpp. Statelessness is a
+// tested invariant: two Neutralizer instances sharing a root key are
+// interchangeable mid-flow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include <unordered_map>
+
+#include "core/dynamic_addr.hpp"
+#include "core/master_key.hpp"
+#include "crypto/aes_modes.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+#include "net/packet.hpp"
+#include "qos/token_bucket.hpp"
+
+namespace nn::core {
+
+struct NeutralizerConfig {
+  /// The service's anycast address, shared by all replicas of a domain.
+  net::Ipv4Addr anycast_addr;
+  /// Addresses of the customers this service protects; decrypted
+  /// destinations outside this space are rejected (otherwise the
+  /// neutralizer would be an open relay).
+  net::Ipv4Prefix customer_space;
+  sim::SimTime rotation_period = MasterKeySchedule::kDefaultRotation;
+  /// When set, key setups are not answered locally: the packet is
+  /// re-targeted at `offload_helper`, a customer that performs the RSA
+  /// encryption and answers on the service's behalf (§3.2).
+  bool offload_enabled = false;
+  net::Ipv4Addr offload_helper;
+  /// §3.6 self-protection: cap served key setups (per replica) in
+  /// setups/second; 0 = unlimited. "If attackers flood key setup
+  /// packets at line speed, a neutralizer may be overloaded" — this cap
+  /// bounds the RSA work an attacker can force, complementing pushback.
+  double setup_rate_limit = 0;
+  /// §3.4: address pool for guaranteed-service sessions. When set, the
+  /// service allocates dynamic addresses on request and translates
+  /// inbound packets addressed to them. This is deliberate, opt-in,
+  /// per-*session* state — the packet datapath stays stateless.
+  std::optional<net::Ipv4Prefix> dynamic_pool;
+};
+
+struct NeutralizerStats {
+  std::uint64_t key_setups = 0;
+  std::uint64_t key_leases = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t data_returned = 0;
+  std::uint64_t rekeys_stamped = 0;
+  std::uint64_t offloaded = 0;
+  std::uint64_t dyn_allocated = 0;
+  std::uint64_t dyn_translated = 0;
+  std::uint64_t setup_rate_limited = 0;
+  std::uint64_t rejected = 0;  // malformed, bad epoch, non-customer, …
+};
+
+class Neutralizer {
+ public:
+  /// All replicas of a domain are constructed with the same `root_key`;
+  /// `nonce_seed` may differ per replica (nonces are random, not
+  /// sequenced).
+  Neutralizer(const NeutralizerConfig& config, const crypto::AesKey& root_key,
+              std::uint64_t nonce_seed = 1);
+
+  /// Processes one packet addressed to the service and returns the
+  /// packet to emit, or nullopt when the input is dropped.
+  [[nodiscard]] std::optional<net::Packet> process(net::Packet&& pkt,
+                                                   sim::SimTime now);
+
+  [[nodiscard]] const NeutralizerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const NeutralizerStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const MasterKeySchedule& keys() const noexcept {
+    return keys_;
+  }
+  /// True if `addr` belongs to the dynamic pool this service manages.
+  [[nodiscard]] bool owns_dynamic(net::Ipv4Addr addr) const noexcept {
+    return config_.dynamic_pool.has_value() &&
+           config_.dynamic_pool->contains(addr);
+  }
+  /// Translates an inbound packet addressed to a dynamic address to its
+  /// customer (§3.4); nullopt (drop) for unallocated addresses.
+  [[nodiscard]] std::optional<net::Packet> translate_dynamic(
+      net::Packet&& pkt);
+  [[nodiscard]] std::size_t dynamic_sessions() const noexcept {
+    return allocator_ ? allocator_->active_sessions() : 0;
+  }
+
+ private:
+  NeutralizerConfig config_;
+  MasterKeySchedule keys_;
+  crypto::ChaChaRng rng_;
+  NeutralizerStats stats_;
+  // Keyed-CMAC cache per epoch (the datapath's per-packet "hash" then
+  // skips the AES key schedule). Bounded: epochs are admitted only
+  // inside the current/previous grace window.
+  mutable std::unordered_map<std::uint16_t, crypto::Cmac> cmac_cache_;
+  std::optional<DynamicAddressAllocator> allocator_;
+  std::optional<qos::TokenBucket> setup_limiter_;
+
+  [[nodiscard]] const crypto::Cmac& keyed_master(std::uint16_t epoch,
+                                                 const crypto::AesKey& km)
+      const;
+
+  [[nodiscard]] std::optional<net::Packet> handle_key_setup(
+      const net::ParsedPacket& p, sim::SimTime now);
+  [[nodiscard]] std::optional<net::Packet> handle_key_lease(
+      const net::ParsedPacket& p, sim::SimTime now);
+  [[nodiscard]] std::optional<net::Packet> handle_data_forward(
+      net::Packet&& pkt, sim::SimTime now);
+  [[nodiscard]] std::optional<net::Packet> handle_data_return(
+      net::Packet&& pkt, sim::SimTime now);
+  [[nodiscard]] std::optional<net::Packet> handle_dyn_request(
+      const net::ParsedPacket& p);
+
+  [[nodiscard]] std::optional<crypto::AesKey> session_key(
+      std::uint16_t epoch, std::uint8_t flags, std::uint64_t nonce,
+      net::Ipv4Addr outside_addr, sim::SimTime now) const;
+};
+
+}  // namespace nn::core

@@ -1,0 +1,251 @@
+#include "crypto/aes.hpp"
+
+#include <stdexcept>
+
+namespace nn::crypto {
+
+namespace {
+
+// S-box and its inverse, generated at compile time from the AES
+// definition (multiplicative inverse in GF(2^8) followed by the affine
+// transform) so no opaque magic tables appear in the source.
+constexpr std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t p = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (b & 1) p ^= a;
+    const bool hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1B;  // x^8 + x^4 + x^3 + x + 1
+    b >>= 1;
+  }
+  return p;
+}
+
+constexpr std::uint8_t gf_inverse(std::uint8_t a) {
+  if (a == 0) return 0;
+  // a^254 = a^{-1} in GF(2^8)
+  std::uint8_t result = 1;
+  std::uint8_t base = a;
+  int e = 254;
+  while (e > 0) {
+    if (e & 1) result = gf_mul(result, base);
+    base = gf_mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+constexpr std::array<std::uint8_t, 256> make_sbox() {
+  std::array<std::uint8_t, 256> box{};
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t inv = gf_inverse(static_cast<std::uint8_t>(i));
+    std::uint8_t x = inv;
+    std::uint8_t y = inv;
+    for (int r = 0; r < 4; ++r) {
+      y = static_cast<std::uint8_t>((y << 1) | (y >> 7));
+      x ^= y;
+    }
+    box[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x ^ 0x63);
+  }
+  return box;
+}
+
+constexpr std::array<std::uint8_t, 256> kSbox = make_sbox();
+
+constexpr std::array<std::uint8_t, 256> make_inv_sbox() {
+  std::array<std::uint8_t, 256> inv{};
+  for (int i = 0; i < 256; ++i) inv[kSbox[static_cast<std::size_t>(i)]] =
+      static_cast<std::uint8_t>(i);
+  return inv;
+}
+
+constexpr std::array<std::uint8_t, 256> kInvSbox = make_inv_sbox();
+
+constexpr std::uint32_t rot_word(std::uint32_t w) {
+  return (w << 8) | (w >> 24);
+}
+
+constexpr std::uint32_t sub_word(std::uint32_t w) {
+  return (static_cast<std::uint32_t>(kSbox[(w >> 24) & 0xFF]) << 24) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 16) & 0xFF]) << 16) |
+         (static_cast<std::uint32_t>(kSbox[(w >> 8) & 0xFF]) << 8) |
+         static_cast<std::uint32_t>(kSbox[w & 0xFF]);
+}
+
+constexpr std::array<std::uint32_t, 10> kRcon = [] {
+  std::array<std::uint32_t, 10> rcon{};
+  std::uint8_t c = 1;
+  for (int i = 0; i < 10; ++i) {
+    rcon[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(c) << 24;
+    c = gf_mul(c, 2);
+  }
+  return rcon;
+}();
+
+}  // namespace
+
+Aes128::Aes128(std::span<const std::uint8_t> key) {
+  if (key.size() != kAesKeySize) {
+    throw std::invalid_argument("Aes128: key must be 16 bytes");
+  }
+  AesKey k;
+  std::copy(key.begin(), key.end(), k.begin());
+  expand_key(k);
+}
+
+void Aes128::expand_key(const AesKey& key) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    rk_[static_cast<std::size_t>(i)] =
+        (static_cast<std::uint32_t>(key[4 * i]) << 24) |
+        (static_cast<std::uint32_t>(key[4 * i + 1]) << 16) |
+        (static_cast<std::uint32_t>(key[4 * i + 2]) << 8) |
+        static_cast<std::uint32_t>(key[4 * i + 3]);
+  }
+  for (std::size_t i = 4; i < rk_.size(); ++i) {
+    std::uint32_t temp = rk_[i - 1];
+    if (i % 4 == 0) {
+      temp = sub_word(rot_word(temp)) ^ kRcon[i / 4 - 1];
+    }
+    rk_[i] = rk_[i - 4] ^ temp;
+  }
+}
+
+namespace {
+
+inline void add_round_key(std::uint8_t state[16], const std::uint32_t* rk) {
+  for (int c = 0; c < 4; ++c) {
+    state[4 * c] ^= static_cast<std::uint8_t>(rk[c] >> 24);
+    state[4 * c + 1] ^= static_cast<std::uint8_t>(rk[c] >> 16);
+    state[4 * c + 2] ^= static_cast<std::uint8_t>(rk[c] >> 8);
+    state[4 * c + 3] ^= static_cast<std::uint8_t>(rk[c]);
+  }
+}
+
+inline void sub_bytes(std::uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) state[i] = kSbox[state[i]];
+}
+
+inline void inv_sub_bytes(std::uint8_t state[16]) {
+  for (int i = 0; i < 16; ++i) state[i] = kInvSbox[state[i]];
+}
+
+// State layout: state[4*c + r] = byte at row r, column c (FIPS-197
+// column-major order, i.e. the natural byte order of the input block).
+inline void shift_rows(std::uint8_t s[16]) {
+  std::uint8_t t;
+  // row 1: shift left by 1
+  t = s[1];
+  s[1] = s[5];
+  s[5] = s[9];
+  s[9] = s[13];
+  s[13] = t;
+  // row 2: shift left by 2
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // row 3: shift left by 3 (= right by 1)
+  t = s[15];
+  s[15] = s[11];
+  s[11] = s[7];
+  s[7] = s[3];
+  s[3] = t;
+}
+
+inline void inv_shift_rows(std::uint8_t s[16]) {
+  std::uint8_t t;
+  // row 1: shift right by 1
+  t = s[13];
+  s[13] = s[9];
+  s[9] = s[5];
+  s[5] = s[1];
+  s[1] = t;
+  // row 2: shift right by 2
+  std::swap(s[2], s[10]);
+  std::swap(s[6], s[14]);
+  // row 3: shift right by 3 (= left by 1)
+  t = s[3];
+  s[3] = s[7];
+  s[7] = s[11];
+  s[11] = s[15];
+  s[15] = t;
+}
+
+inline std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1B : 0));
+}
+
+inline void mix_columns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    const std::uint8_t all = static_cast<std::uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+    col[0] = static_cast<std::uint8_t>(a0 ^ all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1)));
+    col[1] = static_cast<std::uint8_t>(a1 ^ all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2)));
+    col[2] = static_cast<std::uint8_t>(a2 ^ all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3)));
+    col[3] = static_cast<std::uint8_t>(a3 ^ all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0)));
+  }
+}
+
+// Compile-time multiplication tables for the inverse MixColumns
+// coefficients; bit-by-bit gf_mul per byte would dominate decryption.
+constexpr std::array<std::uint8_t, 256> make_mul_table(std::uint8_t k) {
+  std::array<std::uint8_t, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    t[static_cast<std::size_t>(i)] = gf_mul(static_cast<std::uint8_t>(i), k);
+  }
+  return t;
+}
+constexpr auto kMul9 = make_mul_table(9);
+constexpr auto kMul11 = make_mul_table(11);
+constexpr auto kMul13 = make_mul_table(13);
+constexpr auto kMul14 = make_mul_table(14);
+
+inline void inv_mix_columns(std::uint8_t s[16]) {
+  for (int c = 0; c < 4; ++c) {
+    std::uint8_t* col = s + 4 * c;
+    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+    col[0] = static_cast<std::uint8_t>(kMul14[a0] ^ kMul11[a1] ^ kMul13[a2] ^
+                                       kMul9[a3]);
+    col[1] = static_cast<std::uint8_t>(kMul9[a0] ^ kMul14[a1] ^ kMul11[a2] ^
+                                       kMul13[a3]);
+    col[2] = static_cast<std::uint8_t>(kMul13[a0] ^ kMul9[a1] ^ kMul14[a2] ^
+                                       kMul11[a3]);
+    col[3] = static_cast<std::uint8_t>(kMul11[a0] ^ kMul13[a1] ^ kMul9[a2] ^
+                                       kMul14[a3]);
+  }
+}
+
+}  // namespace
+
+void Aes128::encrypt_block(const AesBlock& in, AesBlock& out) const noexcept {
+  std::uint8_t s[16];
+  std::copy(in.begin(), in.end(), s);
+  add_round_key(s, rk_.data());
+  for (int round = 1; round < kRounds; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, rk_.data() + 4 * round);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, rk_.data() + 4 * kRounds);
+  std::copy(s, s + 16, out.begin());
+}
+
+void Aes128::decrypt_block(const AesBlock& in, AesBlock& out) const noexcept {
+  std::uint8_t s[16];
+  std::copy(in.begin(), in.end(), s);
+  add_round_key(s, rk_.data() + 4 * kRounds);
+  for (int round = kRounds - 1; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, rk_.data() + 4 * round);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, rk_.data());
+  std::copy(s, s + 16, out.begin());
+}
+
+}  // namespace nn::crypto

@@ -1,0 +1,51 @@
+// AES-128 block cipher (FIPS-197), implemented from scratch.
+//
+// The paper's neutralizer (§4) uses "128-bit AES for both hashing and
+// encryption/decryption": the per-source key Ks is derived with an
+// AES-based keyed hash (we use AES-CMAC, see aes_modes.hpp) and the inner
+// destination address is encrypted with AES. This file provides the raw
+// block transform both directions; modes live in aes_modes.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace nn::crypto {
+
+inline constexpr std::size_t kAesBlockSize = 16;
+inline constexpr std::size_t kAesKeySize = 16;  // AES-128
+
+using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
+using AesKey = std::array<std::uint8_t, kAesKeySize>;
+
+/// Expanded-key AES-128 context. Cheap to copy; no secret erasure is
+/// attempted (out of scope for this reproduction).
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key) noexcept { expand_key(key); }
+  explicit Aes128(std::span<const std::uint8_t> key);
+
+  void encrypt_block(const AesBlock& in, AesBlock& out) const noexcept;
+  void decrypt_block(const AesBlock& in, AesBlock& out) const noexcept;
+
+  [[nodiscard]] AesBlock encrypt(const AesBlock& in) const noexcept {
+    AesBlock out;
+    encrypt_block(in, out);
+    return out;
+  }
+  [[nodiscard]] AesBlock decrypt(const AesBlock& in) const noexcept {
+    AesBlock out;
+    decrypt_block(in, out);
+    return out;
+  }
+
+ private:
+  static constexpr int kRounds = 10;
+  // Round keys as 4 words per round, 11 rounds.
+  std::array<std::uint32_t, 4 * (kRounds + 1)> rk_{};
+
+  void expand_key(const AesKey& key) noexcept;
+};
+
+}  // namespace nn::crypto

@@ -1,0 +1,169 @@
+#include "crypto/aes_modes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nn::crypto {
+
+namespace {
+// Doubling in GF(2^128) with the CMAC polynomial (RFC 4493 subkey step).
+AesBlock gf_double(const AesBlock& in) noexcept {
+  AesBlock out{};
+  std::uint8_t carry = 0;
+  for (std::size_t i = kAesBlockSize; i-- > 0;) {
+    out[i] = static_cast<std::uint8_t>((in[i] << 1) | carry);
+    carry = static_cast<std::uint8_t>(in[i] >> 7);
+  }
+  if (carry) out[kAesBlockSize - 1] ^= 0x87;
+  return out;
+}
+}  // namespace
+
+Cmac::Cmac(const AesKey& key) noexcept : cipher_(key) {
+  const AesBlock zero{};
+  const AesBlock l = cipher_.encrypt(zero);
+  k1_ = gf_double(l);
+  k2_ = gf_double(k1_);
+}
+
+AesBlock Cmac::mac(std::span<const std::uint8_t> msg) const noexcept {
+  const std::size_t n_blocks =
+      msg.empty() ? 1 : (msg.size() + kAesBlockSize - 1) / kAesBlockSize;
+  const bool last_complete =
+      !msg.empty() && msg.size() % kAesBlockSize == 0;
+
+  AesBlock x{};
+  // All blocks but the last.
+  for (std::size_t b = 0; b + 1 < n_blocks; ++b) {
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+      x[i] ^= msg[b * kAesBlockSize + i];
+    }
+    x = cipher_.encrypt(x);
+  }
+  // Last block: XOR with K1 if complete, pad + XOR with K2 otherwise.
+  AesBlock last{};
+  const std::size_t off = (n_blocks - 1) * kAesBlockSize;
+  if (last_complete) {
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+      last[i] = static_cast<std::uint8_t>(msg[off + i] ^ k1_[i]);
+    }
+  } else {
+    const std::size_t rem = msg.size() - off;
+    for (std::size_t i = 0; i < rem; ++i) last[i] = msg[off + i];
+    last[rem] = 0x80;
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) last[i] ^= k2_[i];
+  }
+  for (std::size_t i = 0; i < kAesBlockSize; ++i) x[i] ^= last[i];
+  return cipher_.encrypt(x);
+}
+
+std::vector<std::uint8_t> Cmac::mac_truncated(std::span<const std::uint8_t> msg,
+                                              std::size_t len) const {
+  if (len > kAesBlockSize) {
+    throw std::invalid_argument("Cmac: truncated tag longer than block");
+  }
+  const AesBlock full = mac(msg);
+  return {full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len)};
+}
+
+void Ctr::crypt(std::span<const std::uint8_t, 12> iv,
+                std::span<std::uint8_t> data) const noexcept {
+  AesBlock counter{};
+  std::copy(iv.begin(), iv.end(), counter.begin());
+  std::uint32_t block_index = 0;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    counter[12] = static_cast<std::uint8_t>(block_index >> 24);
+    counter[13] = static_cast<std::uint8_t>(block_index >> 16);
+    counter[14] = static_cast<std::uint8_t>(block_index >> 8);
+    counter[15] = static_cast<std::uint8_t>(block_index);
+    const AesBlock ks = cipher_.encrypt(counter);
+    const std::size_t n = std::min(kAesBlockSize, data.size() - pos);
+    for (std::size_t i = 0; i < n; ++i) data[pos + i] ^= ks[i];
+    pos += n;
+    ++block_index;
+  }
+}
+
+std::vector<std::uint8_t> Ctr::crypt_copy(
+    std::span<const std::uint8_t, 12> iv,
+    std::span<const std::uint8_t> data) const {
+  std::vector<std::uint8_t> out(data.begin(), data.end());
+  crypt(iv, out);
+  return out;
+}
+
+AesKey derive_source_key(const Cmac& keyed_master, std::uint64_t nonce,
+                         std::uint32_t src_ip) noexcept {
+  // CMAC(KM, nonce ‖ srcIP ‖ "NNKS"): the paper's Ks = hash(KM, nonce, srcIP).
+  std::array<std::uint8_t, 16> msg{};
+  for (int i = 0; i < 8; ++i) {
+    msg[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  msg[8] = static_cast<std::uint8_t>(src_ip >> 24);
+  msg[9] = static_cast<std::uint8_t>(src_ip >> 16);
+  msg[10] = static_cast<std::uint8_t>(src_ip >> 8);
+  msg[11] = static_cast<std::uint8_t>(src_ip);
+  msg[12] = 'N';
+  msg[13] = 'N';
+  msg[14] = 'K';
+  msg[15] = 'S';
+  const AesBlock tag = keyed_master.mac(msg);
+  AesKey out;
+  std::copy(tag.begin(), tag.end(), out.begin());
+  return out;
+}
+
+AesKey derive_source_key(const AesKey& master_key, std::uint64_t nonce,
+                         std::uint32_t src_ip) noexcept {
+  return derive_source_key(Cmac(master_key), nonce, src_ip);
+}
+
+AesKey derive_lease_key(const Cmac& keyed_master,
+                        std::uint64_t nonce) noexcept {
+  std::array<std::uint8_t, 16> msg{};
+  for (int i = 0; i < 8; ++i) {
+    msg[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  // Bytes 8..11 stay zero: domain-separated from derive_source_key by
+  // the trailing tag.
+  msg[12] = 'N';
+  msg[13] = 'N';
+  msg[14] = 'K';
+  msg[15] = 'L';
+  const AesBlock tag = keyed_master.mac(msg);
+  AesKey out;
+  std::copy(tag.begin(), tag.end(), out.begin());
+  return out;
+}
+
+AesKey derive_lease_key(const AesKey& master_key,
+                        std::uint64_t nonce) noexcept {
+  return derive_lease_key(Cmac(master_key), nonce);
+}
+
+std::uint32_t crypt_address(const AesKey& ks, std::uint64_t nonce,
+                            bool return_direction,
+                            std::uint32_t addr) noexcept {
+  std::array<std::uint8_t, 12> iv{};
+  for (int i = 0; i < 8; ++i) {
+    iv[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  iv[8] = return_direction ? 0x52 : 0x46;  // 'R' / 'F'
+  std::array<std::uint8_t, 4> buf{
+      static_cast<std::uint8_t>(addr >> 24),
+      static_cast<std::uint8_t>(addr >> 16),
+      static_cast<std::uint8_t>(addr >> 8),
+      static_cast<std::uint8_t>(addr),
+  };
+  Ctr(ks).crypt(iv, buf);
+  return (static_cast<std::uint32_t>(buf[0]) << 24) |
+         (static_cast<std::uint32_t>(buf[1]) << 16) |
+         (static_cast<std::uint32_t>(buf[2]) << 8) |
+         static_cast<std::uint32_t>(buf[3]);
+}
+
+}  // namespace nn::crypto

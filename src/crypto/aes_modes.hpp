@@ -1,0 +1,88 @@
+// AES modes used by the neutralizer datapath:
+//
+//  * AES-CMAC (RFC 4493) — the paper's "keyed hash". The neutralizer's
+//    per-source key is Ks = CMAC(KM, nonce ‖ srcIP ‖ tag) (paper §3.2:
+//    "Ks = hash(KM, nonce, srcIP)"), and CMAC also serves as the MAC of
+//    the e2e encryption layer.
+//  * AES-CTR — stream encryption of the inner (hidden) address and of
+//    e2e payloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.hpp"
+
+namespace nn::crypto {
+
+/// AES-CMAC per RFC 4493. 128-bit tag.
+class Cmac {
+ public:
+  explicit Cmac(const AesKey& key) noexcept;
+
+  /// One-shot MAC over `msg`.
+  [[nodiscard]] AesBlock mac(std::span<const std::uint8_t> msg) const noexcept;
+
+  /// Truncated tag (first `len` bytes of the full MAC), len <= 16.
+  [[nodiscard]] std::vector<std::uint8_t> mac_truncated(
+      std::span<const std::uint8_t> msg, std::size_t len) const;
+
+ private:
+  Aes128 cipher_;
+  AesBlock k1_{};
+  AesBlock k2_{};
+};
+
+/// AES-CTR keystream generator / encryptor. The counter block is
+/// iv (12 bytes) ‖ 32-bit big-endian block counter starting at 0.
+class Ctr {
+ public:
+  explicit Ctr(const AesKey& key) noexcept : cipher_(key) {}
+
+  /// XORs `data` in place with the keystream for (iv, starting block 0).
+  /// Encrypt and decrypt are the same operation.
+  void crypt(std::span<const std::uint8_t, 12> iv,
+             std::span<std::uint8_t> data) const noexcept;
+
+  /// Convenience: returns the transformed copy.
+  [[nodiscard]] std::vector<std::uint8_t> crypt_copy(
+      std::span<const std::uint8_t, 12> iv,
+      std::span<const std::uint8_t> data) const;
+
+ private:
+  Aes128 cipher_;
+};
+
+/// Derives the paper's per-source key: Ks = CMAC(KM, nonce ‖ srcIP ‖ "NNKS").
+/// Kept here (rather than in nn_core) so host and neutralizer share one
+/// definition and tests can cross-check both sides.
+[[nodiscard]] AesKey derive_source_key(const AesKey& master_key,
+                                       std::uint64_t nonce,
+                                       std::uint32_t src_ip) noexcept;
+
+/// Same derivation against a pre-keyed CMAC — the neutralizer datapath
+/// caches one Cmac per master-key epoch and saves the AES key schedule
+/// on every packet.
+[[nodiscard]] AesKey derive_source_key(const Cmac& keyed_master,
+                                       std::uint64_t nonce,
+                                       std::uint32_t src_ip) noexcept;
+
+/// Derives a *leased* key (paper §3.3 reverse-direction setup): bound to
+/// the nonce alone, Ks = CMAC(KM, nonce ‖ 0 ‖ "NNKL"), so the neutralizer
+/// can recompute it from any packet carrying the nonce regardless of
+/// which outside host is on the other end.
+[[nodiscard]] AesKey derive_lease_key(const AesKey& master_key,
+                                      std::uint64_t nonce) noexcept;
+[[nodiscard]] AesKey derive_lease_key(const Cmac& keyed_master,
+                                      std::uint64_t nonce) noexcept;
+
+/// Encrypts/decrypts a 4-byte IPv4 address with AES-CTR keyed by Ks.
+/// The IV binds the nonce and direction so forward and return packets
+/// use distinct keystreams.
+[[nodiscard]] std::uint32_t crypt_address(const AesKey& ks,
+                                          std::uint64_t nonce,
+                                          bool return_direction,
+                                          std::uint32_t addr) noexcept;
+
+}  // namespace nn::crypto

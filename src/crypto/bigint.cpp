@@ -1,0 +1,560 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace nn::crypto {
+
+using u64 = std::uint64_t;
+__extension__ typedef unsigned __int128 u128;
+
+void BigUInt::normalize() noexcept {
+  while (!w_.empty() && w_.back() == 0) w_.pop_back();
+}
+
+BigUInt::BigUInt(u64 v) {
+  if (v != 0) w_.push_back(v);
+}
+
+BigUInt BigUInt::from_bytes_be(std::span<const std::uint8_t> bytes) {
+  BigUInt out;
+  out.w_.assign((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // byte i is the (size-1-i)-th least significant byte
+    const std::size_t pos = bytes.size() - 1 - i;
+    out.w_[pos / 8] |= static_cast<u64>(bytes[i]) << (8 * (pos % 8));
+  }
+  out.normalize();
+  return out;
+}
+
+std::vector<std::uint8_t> BigUInt::to_bytes_be(std::size_t min_len) const {
+  const std::size_t nbytes = (bit_length() + 7) / 8;
+  const std::size_t len = std::max(nbytes, min_len);
+  std::vector<std::uint8_t> out(len, 0);
+  for (std::size_t pos = 0; pos < nbytes; ++pos) {
+    out[len - 1 - pos] =
+        static_cast<std::uint8_t>(w_[pos / 8] >> (8 * (pos % 8)));
+  }
+  return out;
+}
+
+BigUInt BigUInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_bytes_be(nn::from_hex(padded));
+}
+
+std::string BigUInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = nn::to_hex(to_bytes_be());
+  const std::size_t first = s.find_first_not_of('0');
+  return s.substr(first);
+}
+
+std::size_t BigUInt::bit_length() const noexcept {
+  if (w_.empty()) return 0;
+  const u64 top = w_.back();
+  return (w_.size() - 1) * 64 +
+         (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigUInt::bit(std::size_t i) const noexcept {
+  const std::size_t word = i / 64;
+  if (word >= w_.size()) return false;
+  return (w_[word] >> (i % 64)) & 1;
+}
+
+void BigUInt::set_bit(std::size_t i) {
+  const std::size_t word = i / 64;
+  if (word >= w_.size()) w_.resize(word + 1, 0);
+  w_[word] |= u64{1} << (i % 64);
+}
+
+std::strong_ordering operator<=>(const BigUInt& a, const BigUInt& b) noexcept {
+  if (a.w_.size() != b.w_.size()) return a.w_.size() <=> b.w_.size();
+  for (std::size_t i = a.w_.size(); i-- > 0;) {
+    if (a.w_[i] != b.w_[i]) return a.w_[i] <=> b.w_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigUInt operator+(const BigUInt& a, const BigUInt& b) {
+  BigUInt out;
+  const std::size_t n = std::max(a.w_.size(), b.w_.size());
+  out.w_.assign(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 av = i < a.w_.size() ? a.w_[i] : 0;
+    const u64 bv = i < b.w_.size() ? b.w_[i] : 0;
+    const u128 sum = static_cast<u128>(av) + bv + carry;
+    out.w_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  out.w_[n] = carry;
+  out.normalize();
+  return out;
+}
+
+BigUInt operator-(const BigUInt& a, const BigUInt& b) {
+  if (a < b) throw std::underflow_error("BigUInt subtraction underflow");
+  BigUInt out;
+  out.w_.assign(a.w_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < a.w_.size(); ++i) {
+    const u64 bv = i < b.w_.size() ? b.w_[i] : 0;
+    const u128 lhs = static_cast<u128>(a.w_[i]);
+    const u128 rhs = static_cast<u128>(bv) + borrow;
+    if (lhs >= rhs) {
+      out.w_[i] = static_cast<u64>(lhs - rhs);
+      borrow = 0;
+    } else {
+      out.w_[i] = static_cast<u64>((static_cast<u128>(1) << 64) + lhs - rhs);
+      borrow = 1;
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator*(const BigUInt& a, const BigUInt& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  BigUInt out;
+  out.w_.assign(a.w_.size() + b.w_.size(), 0);
+  for (std::size_t i = 0; i < a.w_.size(); ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < b.w_.size(); ++j) {
+      const u128 cur =
+          static_cast<u128>(a.w_[i]) * b.w_[j] + out.w_[i + j] + carry;
+      out.w_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    out.w_[i + b.w_.size()] = carry;
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator<<(const BigUInt& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) return a;
+  const std::size_t words = bits / 64;
+  const std::size_t rem = bits % 64;
+  BigUInt out;
+  out.w_.assign(a.w_.size() + words + 1, 0);
+  for (std::size_t i = 0; i < a.w_.size(); ++i) {
+    out.w_[i + words] |= rem ? (a.w_[i] << rem) : a.w_[i];
+    if (rem) out.w_[i + words + 1] |= a.w_[i] >> (64 - rem);
+  }
+  out.normalize();
+  return out;
+}
+
+BigUInt operator>>(const BigUInt& a, std::size_t bits) {
+  const std::size_t words = bits / 64;
+  if (words >= a.w_.size()) return {};
+  const std::size_t rem = bits % 64;
+  BigUInt out;
+  out.w_.assign(a.w_.size() - words, 0);
+  for (std::size_t i = 0; i < out.w_.size(); ++i) {
+    out.w_[i] = rem ? (a.w_[i + words] >> rem) : a.w_[i + words];
+    if (rem && i + words + 1 < a.w_.size()) {
+      out.w_[i] |= a.w_[i + words + 1] << (64 - rem);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+BigUIntDivMod BigUInt::divmod(const BigUInt& a, const BigUInt& b) {
+  if (b.is_zero()) throw std::domain_error("BigUInt division by zero");
+  if (a < b) return {BigUInt{}, a};
+  if (b.w_.size() == 1) {
+    return {a.div_u64(b.w_[0]), BigUInt{a.mod_u64(b.w_[0])}};
+  }
+
+  // Knuth TAOCP vol. 2 Algorithm D with 64-bit digits. This sits under
+  // the RSA public operation (e = 3 is two multiply-reduce steps), so
+  // it must be fast — the neutralizer's key-setup rate depends on it.
+  const int shift = __builtin_clzll(b.w_.back());
+  const BigUInt u_n = a << static_cast<std::size_t>(shift);
+  const BigUInt v_n = b << static_cast<std::size_t>(shift);
+  std::vector<u64> u = u_n.w_;
+  const std::vector<u64>& v = v_n.w_;
+  const std::size_t n = v.size();
+  // (a << shift) has at least as many digits as a; pad one extra.
+  u.resize(std::max(u.size(), a.w_.size() + (shift ? 1u : 0u)), 0);
+  u.push_back(0);
+  const std::size_t m = u.size() - 1 - n;
+
+  BigUInt quotient;
+  quotient.w_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate the next quotient digit from the top two dividend digits.
+    const u128 num = (static_cast<u128>(u[j + n]) << 64) | u[j + n - 1];
+    u64 qhat, rhat;
+    if (u[j + n] >= v[n - 1]) {
+      qhat = ~u64{0};
+      rhat = static_cast<u64>(num - static_cast<u128>(qhat) * v[n - 1]);
+    } else {
+      qhat = static_cast<u64>(num / v[n - 1]);
+      rhat = static_cast<u64>(num % v[n - 1]);
+    }
+    // Refine using the third digit (at most two corrections).
+    while (static_cast<u128>(qhat) * v[n - 2] >
+           ((static_cast<u128>(rhat) << 64) | u[j + n - 2])) {
+      --qhat;
+      const u128 next = static_cast<u128>(rhat) + v[n - 1];
+      if (next >> 64) break;  // rhat overflowed: qhat is now exact enough
+      rhat = static_cast<u64>(next);
+    }
+
+    // u[j..j+n] -= qhat * v (multiply-and-subtract with signed borrow
+    // tracking, Hacker's Delight divmnu64 style).
+    __extension__ typedef __int128 i128;
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 product = static_cast<u128>(qhat) * v[i];
+      const i128 t = static_cast<i128>(static_cast<u128>(u[i + j])) -
+                     borrow - static_cast<u64>(product);
+      u[i + j] = static_cast<u64>(t);
+      borrow = static_cast<u64>(product >> 64) -
+               static_cast<u64>(t >> 64);  // t>>64 is -1 when t < 0
+    }
+    const i128 top = static_cast<i128>(static_cast<u128>(u[j + n])) - borrow;
+    u[j + n] = static_cast<u64>(top);
+    const bool went_negative = top < 0;
+
+    if (went_negative) {
+      // qhat was one too large: add v back once.
+      --qhat;
+      u128 add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 sum = static_cast<u128>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<u64>(sum);
+        add_carry = sum >> 64;
+      }
+      u[j + n] += static_cast<u64>(add_carry);
+    }
+    quotient.w_[j] = qhat;
+  }
+
+  BigUInt remainder;
+  remainder.w_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  remainder.normalize();
+  remainder = remainder >> static_cast<std::size_t>(shift);
+  quotient.normalize();
+  return {quotient, remainder};
+}
+
+std::uint64_t BigUInt::mod_u64(u64 m) const {
+  if (m == 0) throw std::domain_error("BigUInt mod by zero");
+  u128 rem = 0;
+  for (std::size_t i = w_.size(); i-- > 0;) {
+    rem = ((rem << 64) | w_[i]) % m;
+  }
+  return static_cast<u64>(rem);
+}
+
+BigUInt BigUInt::div_u64(u64 d) const {
+  if (d == 0) throw std::domain_error("BigUInt division by zero");
+  BigUInt out;
+  out.w_.assign(w_.size(), 0);
+  u128 rem = 0;
+  for (std::size_t i = w_.size(); i-- > 0;) {
+    rem = (rem << 64) | w_[i];
+    out.w_[i] = static_cast<u64>(rem / d);
+    rem %= d;
+  }
+  out.normalize();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery arithmetic (CIOS multiplication)
+// ---------------------------------------------------------------------------
+
+Montgomery::Montgomery(const BigUInt& modulus) : n_big_(modulus) {
+  if (modulus.is_zero() || !modulus.is_odd()) {
+    throw std::domain_error("Montgomery modulus must be odd and nonzero");
+  }
+  k_ = modulus.w_.size();
+  n_ = modulus.w_;
+  // Newton's iteration for n^{-1} mod 2^64, then negate.
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - n_[0] * inv;
+  n0inv_ = ~inv + 1;
+  // rr = (2^(64k))^2 mod n, computed with plain big-int ops (setup only).
+  BigUInt r = BigUInt{1} << (64 * k_);
+  BigUInt rmod = r % modulus;
+  rr_ = to_words((rmod * rmod) % modulus);
+}
+
+std::vector<u64> Montgomery::to_words(const BigUInt& x) const {
+  std::vector<u64> out(k_, 0);
+  std::copy(x.w_.begin(), x.w_.end(), out.begin());
+  return out;
+}
+
+std::vector<u64> Montgomery::mul(const std::vector<u64>& a,
+                                 const std::vector<u64>& b) const {
+  // CIOS: interleaved multiply and Montgomery reduction.
+  std::vector<u64> t(k_ + 2, 0);
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k_]) + carry;
+    t[k_] = static_cast<u64>(cur);
+    t[k_ + 1] = static_cast<u64>(cur >> 64);
+
+    // m chosen so (t + m*n) ≡ 0 mod 2^64; add m*n and shift one word.
+    const u64 m = t[0] * n0inv_;
+    u128 c0 = static_cast<u128>(m) * n_[0] + t[0];
+    carry = static_cast<u64>(c0 >> 64);
+    for (std::size_t j = 1; j < k_; ++j) {
+      const u128 cur2 = static_cast<u128>(m) * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<u64>(cur2);
+      carry = static_cast<u64>(cur2 >> 64);
+    }
+    cur = static_cast<u128>(t[k_]) + carry;
+    t[k_ - 1] = static_cast<u64>(cur);
+    t[k_] = t[k_ + 1] + static_cast<u64>(cur >> 64);
+    t[k_ + 1] = 0;
+  }
+  // Result is t[0..k]; subtract n once if t >= n.
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        ge = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  std::vector<u64> out(k_, 0);
+  if (ge) {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const u128 lhs = static_cast<u128>(t[i]);
+      const u128 rhs = static_cast<u128>(n_[i]) + borrow;
+      if (lhs >= rhs) {
+        out[i] = static_cast<u64>(lhs - rhs);
+        borrow = 0;
+      } else {
+        out[i] = static_cast<u64>((static_cast<u128>(1) << 64) + lhs - rhs);
+        borrow = 1;
+      }
+    }
+  } else {
+    std::copy(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k_),
+              out.begin());
+  }
+  return out;
+}
+
+BigUInt Montgomery::exp(const BigUInt& base, const BigUInt& exponent) const {
+  const BigUInt reduced = base % n_big_;
+  if (exponent.is_zero()) {
+    return n_big_.is_one() ? BigUInt{} : BigUInt{1};
+  }
+  const std::vector<u64> base_m = mul(to_words(reduced), rr_);
+  std::vector<u64> one(k_, 0);
+  one[0] = 1;
+  // acc starts at R mod n (the Montgomery representation of 1).
+  std::vector<u64> acc = mul(one, rr_);
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    acc = mul(acc, acc);
+    if (exponent.bit(i)) acc = mul(acc, base_m);
+  }
+  acc = mul(acc, one);  // convert out of Montgomery form
+  BigUInt out;
+  out.w_ = std::move(acc);
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::mod_exp(const BigUInt& base, const BigUInt& exp,
+                         const BigUInt& modulus) {
+  if (modulus.is_zero()) throw std::domain_error("mod_exp: zero modulus");
+  if (modulus.is_one()) return {};
+  if (modulus.is_odd()) return Montgomery(modulus).exp(base, exp);
+  // Even modulus: plain square-and-multiply with division-based
+  // reduction. Rare (no RSA/Miller-Rabin use), correctness over speed.
+  BigUInt result{1};
+  BigUInt b = base % modulus;
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = (result * result) % modulus;
+    if (exp.bit(i)) result = (result * b) % modulus;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// gcd / modular inverse
+// ---------------------------------------------------------------------------
+
+BigUInt BigUInt::gcd(BigUInt a, BigUInt b) {
+  while (!b.is_zero()) {
+    BigUInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+namespace {
+// Minimal signed value for the extended-Euclid coefficient track.
+struct Signed {
+  BigUInt mag;
+  bool neg = false;
+};
+
+Signed sub_signed(const Signed& a, const Signed& b) {
+  // a - b
+  if (a.neg == b.neg) {
+    if (a.mag >= b.mag) return {a.mag - b.mag, a.neg};
+    return {b.mag - a.mag, !a.neg};
+  }
+  return {a.mag + b.mag, a.neg};
+}
+
+Signed mul_signed(const Signed& a, const BigUInt& k) {
+  return {a.mag * k, a.neg};
+}
+}  // namespace
+
+BigUInt BigUInt::mod_inverse(const BigUInt& a, const BigUInt& m) {
+  if (m.is_zero()) throw std::domain_error("mod_inverse: zero modulus");
+  BigUInt old_r = a % m;
+  BigUInt r = m;
+  Signed old_s{BigUInt{1}, false};
+  Signed s{BigUInt{}, false};
+  while (!r.is_zero()) {
+    auto [q, rem] = divmod(old_r, r);
+    old_r = std::move(r);
+    r = std::move(rem);
+    Signed new_s = sub_signed(old_s, mul_signed(s, q));
+    old_s = std::move(s);
+    s = std::move(new_s);
+  }
+  if (!old_r.is_one()) {
+    throw std::domain_error("mod_inverse: arguments not coprime");
+  }
+  if (old_s.neg) return m - (old_s.mag % m);
+  return old_s.mag % m;
+}
+
+// ---------------------------------------------------------------------------
+// Randomness and primality
+// ---------------------------------------------------------------------------
+
+BigUInt BigUInt::random_bits(Rng& rng, std::size_t bits) {
+  if (bits == 0) return {};
+  BigUInt out;
+  out.w_.assign((bits + 63) / 64, 0);
+  for (auto& w : out.w_) w = rng.next_u64();
+  const std::size_t top = (bits - 1) % 64;
+  out.w_.back() &= (top == 63) ? ~u64{0} : ((u64{1} << (top + 1)) - 1);
+  out.set_bit(bits - 1);
+  out.normalize();
+  return out;
+}
+
+BigUInt BigUInt::random_below(Rng& rng, const BigUInt& bound) {
+  if (bound.is_zero()) throw std::domain_error("random_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling over [0, 2^bits).
+  for (;;) {
+    BigUInt out;
+    out.w_.assign((bits + 63) / 64, 0);
+    for (auto& w : out.w_) w = rng.next_u64();
+    const std::size_t top = (bits - 1) % 64;
+    out.w_.back() &= (top == 63) ? ~u64{0} : ((u64{1} << (top + 1)) - 1);
+    out.normalize();
+    if (out < bound) return out;
+  }
+}
+
+namespace {
+// Odd primes below 2048 for trial division, generated on first use.
+const std::vector<u64>& small_primes() {
+  static const std::vector<u64> primes = [] {
+    std::vector<u64> out;
+    std::array<bool, 2048> composite{};
+    for (u64 p = 3; p < composite.size(); p += 2) {
+      if (!composite[p]) {
+        out.push_back(p);
+        for (u64 q = p * p; q < composite.size(); q += 2 * p) {
+          composite[q] = true;
+        }
+      }
+    }
+    return out;
+  }();
+  return primes;
+}
+}  // namespace
+
+bool is_probable_prime(const BigUInt& n, Rng& rng, int rounds) {
+  if (n < BigUInt{2}) return false;
+  if (n == BigUInt{2} || n == BigUInt{3}) return true;
+  if (!n.is_odd()) return false;
+  for (u64 p : small_primes()) {
+    if (n == BigUInt{p}) return true;
+    if (n.mod_u64(p) == 0) return false;
+  }
+  // n - 1 = d * 2^s with d odd
+  const BigUInt n_minus_1 = n - BigUInt{1};
+  BigUInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+  const Montgomery mont(n);
+  const BigUInt two{2};
+  const BigUInt n_minus_3 = n - BigUInt{3};
+  for (int round = 0; round < rounds; ++round) {
+    const BigUInt a = BigUInt::random_below(rng, n_minus_3) + two;  // [2, n-2]
+    BigUInt x = mont.exp(a, d);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < s; ++i) {
+      x = mont.exp(x, two);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigUInt random_prime(Rng& rng, std::size_t bits, std::uint64_t coprime_e) {
+  if (bits < 8) throw std::domain_error("random_prime: need >= 8 bits");
+  for (;;) {
+    BigUInt candidate = BigUInt::random_bits(rng, bits);
+    candidate.set_bit(0);         // odd
+    candidate.set_bit(bits - 2);  // top two bits set => product has 2*bits
+    if (coprime_e != 0) {
+      // gcd(p-1, e) must be 1. p is odd so p-1 is even; for odd e it is
+      // enough to check (p-1) mod each prime factor of e. e is small
+      // (3 or 65537 in practice), so check e directly when prime-like.
+      const BigUInt p_minus_1 = candidate - BigUInt{1};
+      if (BigUInt::gcd(p_minus_1, BigUInt{coprime_e}) != BigUInt{1}) continue;
+    }
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+}  // namespace nn::crypto

@@ -1,0 +1,162 @@
+// Arbitrary-precision unsigned integers sized for RSA (512–2048 bits).
+//
+// Implemented from scratch for this reproduction because the neutralizer's
+// key-setup path (paper §3.2) is built on short-RSA public-key operations
+// and no external crypto library is assumed. The hot path — modular
+// exponentiation — uses Montgomery multiplication (CIOS); everything else
+// favors clarity over speed.
+//
+// NOTE on side channels: exponentiation is left-to-right square-and-
+// multiply and NOT constant-time. The paper's threat model (§2) excludes
+// the neutralizer's own ISP as an adversary and remote timing is out of
+// scope for this reproduction; a deployment would swap in a fixed-window
+// constant-time ladder.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace nn::crypto {
+
+class BigUInt;
+
+/// Result pair of BigUInt::divmod.
+struct BigUIntDivMod;
+
+class BigUInt {
+ public:
+  BigUInt() = default;
+  explicit BigUInt(std::uint64_t v);
+
+  /// Big-endian byte import/export (the wire format of RSA fields).
+  static BigUInt from_bytes_be(std::span<const std::uint8_t> bytes);
+  /// Exports big-endian, left-padded with zeros to at least `min_len`.
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes_be(
+      std::size_t min_len = 0) const;
+
+  static BigUInt from_hex(std::string_view hex);
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const noexcept { return w_.empty(); }
+  [[nodiscard]] bool is_odd() const noexcept {
+    return !w_.empty() && (w_[0] & 1);
+  }
+  [[nodiscard]] bool is_one() const noexcept {
+    return w_.size() == 1 && w_[0] == 1;
+  }
+  /// Number of significant bits; 0 for zero.
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+  void set_bit(std::size_t i);
+  [[nodiscard]] std::size_t word_count() const noexcept { return w_.size(); }
+  /// Low 64 bits (value mod 2^64).
+  [[nodiscard]] std::uint64_t low_u64() const noexcept {
+    return w_.empty() ? 0 : w_[0];
+  }
+
+  friend bool operator==(const BigUInt& a, const BigUInt& b) noexcept {
+    return a.w_ == b.w_;
+  }
+  friend std::strong_ordering operator<=>(const BigUInt& a,
+                                          const BigUInt& b) noexcept;
+
+  friend BigUInt operator+(const BigUInt& a, const BigUInt& b);
+  /// Throws std::underflow_error if b > a (values are unsigned).
+  friend BigUInt operator-(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator*(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator<<(const BigUInt& a, std::size_t bits);
+  friend BigUInt operator>>(const BigUInt& a, std::size_t bits);
+
+  BigUInt& operator+=(const BigUInt& b) { return *this = *this + b; }
+  BigUInt& operator-=(const BigUInt& b) { return *this = *this - b; }
+  BigUInt& operator*=(const BigUInt& b) { return *this = *this * b; }
+
+  /// Throws std::domain_error on division by zero.
+  static BigUIntDivMod divmod(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator/(const BigUInt& a, const BigUInt& b);
+  friend BigUInt operator%(const BigUInt& a, const BigUInt& b);
+
+  /// Division/remainder by a machine word (used by RSA keygen: solving
+  /// e·d ≡ 1 with small e, and trial division by small primes).
+  [[nodiscard]] std::uint64_t mod_u64(std::uint64_t m) const;
+  [[nodiscard]] BigUInt div_u64(std::uint64_t d) const;
+
+  /// (base ^ exp) mod modulus. Montgomery CIOS when the modulus is odd
+  /// (all RSA/Miller–Rabin uses); plain square-and-multiply otherwise.
+  static BigUInt mod_exp(const BigUInt& base, const BigUInt& exp,
+                         const BigUInt& modulus);
+
+  /// Modular inverse via extended Euclid. Throws std::domain_error when
+  /// gcd(a, m) != 1.
+  static BigUInt mod_inverse(const BigUInt& a, const BigUInt& m);
+
+  static BigUInt gcd(BigUInt a, BigUInt b);
+
+  /// Uniform in [0, bound).
+  static BigUInt random_below(Rng& rng, const BigUInt& bound);
+  /// Exactly `bits` bits (top bit set) of randomness.
+  static BigUInt random_bits(Rng& rng, std::size_t bits);
+
+ private:
+  // Little-endian 64-bit words; no trailing zero words; empty == 0.
+  std::vector<std::uint64_t> w_;
+
+  void normalize() noexcept;
+  friend class Montgomery;
+};
+
+struct BigUIntDivMod {
+  BigUInt quotient;
+  BigUInt remainder;
+};
+
+inline BigUInt operator/(const BigUInt& a, const BigUInt& b) {
+  return BigUInt::divmod(a, b).quotient;
+}
+inline BigUInt operator%(const BigUInt& a, const BigUInt& b) {
+  return BigUInt::divmod(a, b).remainder;
+}
+
+/// Miller–Rabin probabilistic primality test. `rounds` random witnesses
+/// (error probability ≤ 4^-rounds) after trial division by small primes.
+[[nodiscard]] bool is_probable_prime(const BigUInt& n, Rng& rng,
+                                     int rounds = 32);
+
+/// Random prime with exactly `bits` bits (top two bits set, so products
+/// of two such primes have exactly 2·bits bits). If `coprime_e` is
+/// nonzero, guarantees gcd(p − 1, coprime_e) == 1 (an RSA keygen
+/// requirement).
+[[nodiscard]] BigUInt random_prime(Rng& rng, std::size_t bits,
+                                   std::uint64_t coprime_e = 0);
+
+/// Montgomery context for repeated multiplications mod one odd modulus
+/// (exposed because Miller–Rabin and RSA-CRT reuse it across many
+/// exponentiations).
+class Montgomery {
+ public:
+  /// Throws std::domain_error if the modulus is even or zero.
+  explicit Montgomery(const BigUInt& modulus);
+
+  [[nodiscard]] BigUInt exp(const BigUInt& base, const BigUInt& exponent) const;
+  [[nodiscard]] const BigUInt& modulus() const noexcept { return n_big_; }
+
+ private:
+  BigUInt n_big_;
+  std::vector<std::uint64_t> n_;   // modulus words (size k_)
+  std::vector<std::uint64_t> rr_;  // R^2 mod n
+  std::uint64_t n0inv_ = 0;        // -n^{-1} mod 2^64
+  std::size_t k_ = 0;
+
+  [[nodiscard]] std::vector<std::uint64_t> mul(
+      const std::vector<std::uint64_t>& a,
+      const std::vector<std::uint64_t>& b) const;
+  [[nodiscard]] std::vector<std::uint64_t> to_words(const BigUInt& x) const;
+};
+
+}  // namespace nn::crypto

@@ -1,0 +1,100 @@
+#include "crypto/chacha.hpp"
+
+namespace nn::crypto {
+
+namespace {
+
+inline std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) noexcept {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void chacha20_block(const std::array<std::uint8_t, 32>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint8_t, 12>& nonce,
+                    std::span<std::uint8_t, 64> out) noexcept {
+  std::uint32_t state[16];
+  state[0] = 0x61707865;  // "expa"
+  state[1] = 0x3320646e;  // "nd 3"
+  state[2] = 0x79622d32;  // "2-by"
+  state[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint32_t w[16];
+  for (int i = 0; i < 16; ++i) w[i] = state[i];
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(w[0], w[4], w[8], w[12]);
+    quarter_round(w[1], w[5], w[9], w[13]);
+    quarter_round(w[2], w[6], w[10], w[14]);
+    quarter_round(w[3], w[7], w[11], w[15]);
+    quarter_round(w[0], w[5], w[10], w[15]);
+    quarter_round(w[1], w[6], w[11], w[12]);
+    quarter_round(w[2], w[7], w[8], w[13]);
+    quarter_round(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, w[i] + state[i]);
+  }
+}
+
+ChaChaRng::ChaChaRng(std::uint64_t seed) noexcept {
+  // Expand the 64-bit seed into the key by simple repetition + counter;
+  // uniqueness of streams comes from distinct seeds.
+  for (int i = 0; i < 4; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      key_[static_cast<std::size_t>(8 * i + b)] =
+          static_cast<std::uint8_t>((seed + static_cast<std::uint64_t>(i)) >>
+                                    (8 * b));
+    }
+  }
+}
+
+ChaChaRng::ChaChaRng(const std::array<std::uint8_t, 32>& key) noexcept
+    : key_(key) {}
+
+void ChaChaRng::refill() noexcept {
+  chacha20_block(key_, counter_++, nonce_, block_);
+  offset_ = 0;
+}
+
+std::uint64_t ChaChaRng::next_u64() {
+  if (offset_ + 8 > block_.size()) refill();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(block_[offset_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  offset_ += 8;
+  return v;
+}
+
+}  // namespace nn::crypto

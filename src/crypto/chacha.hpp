@@ -1,0 +1,42 @@
+// ChaCha20 block function (RFC 7539) and a DRBG built on it.
+//
+// The project needs a *seedable, deterministic* cryptographic RNG so
+// every experiment (key generation, nonces, padding) is reproducible
+// from a seed recorded in the harness output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace nn::crypto {
+
+/// Computes one 64-byte ChaCha20 block (RFC 7539 §2.3).
+void chacha20_block(const std::array<std::uint8_t, 32>& key,
+                    std::uint32_t counter,
+                    const std::array<std::uint8_t, 12>& nonce,
+                    std::span<std::uint8_t, 64> out) noexcept;
+
+/// Deterministic random bit generator: ChaCha20 keystream under a
+/// seed-derived key. Forward-secure reseeding is not needed here — the
+/// goal is reproducibility, not long-lived key protection.
+class ChaChaRng final : public Rng {
+ public:
+  explicit ChaChaRng(std::uint64_t seed) noexcept;
+  explicit ChaChaRng(const std::array<std::uint8_t, 32>& key) noexcept;
+
+  std::uint64_t next_u64() override;
+
+ private:
+  std::array<std::uint8_t, 32> key_{};
+  std::array<std::uint8_t, 12> nonce_{};
+  std::array<std::uint8_t, 64> block_{};
+  std::uint32_t counter_ = 0;
+  std::size_t offset_ = 64;  // forces refill on first use
+
+  void refill() noexcept;
+};
+
+}  // namespace nn::crypto

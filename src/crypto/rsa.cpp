@@ -1,0 +1,178 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace nn::crypto {
+
+std::vector<std::uint8_t> RsaPublicKey::serialize() const {
+  ByteWriter w;
+  const auto mod = n.to_bytes_be();
+  w.u16(static_cast<std::uint16_t>(mod.size()));
+  w.raw(mod);
+  w.u32(static_cast<std::uint32_t>(e.low_u64()));
+  return w.take();
+}
+
+RsaPublicKey RsaPublicKey::parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  const std::uint16_t mod_len = r.u16();
+  const auto mod = r.take(mod_len);
+  const std::uint32_t exp = r.u32();
+  RsaPublicKey key;
+  key.n = BigUInt::from_bytes_be(mod);
+  key.e = BigUInt{exp};
+  if (key.n.is_zero() || key.e < BigUInt{3}) {
+    throw ParseError("RsaPublicKey: degenerate key");
+  }
+  return key;
+}
+
+RsaPrivateKey rsa_generate(Rng& rng, std::size_t bits, std::uint64_t e) {
+  if (bits < 128 || bits % 2 != 0) {
+    throw std::invalid_argument("rsa_generate: bits must be even and >= 128");
+  }
+  if (e < 3 || e % 2 == 0) {
+    throw std::invalid_argument("rsa_generate: e must be odd and >= 3");
+  }
+  const std::size_t half = bits / 2;
+  RsaPrivateKey key;
+  key.p = random_prime(rng, half, e);
+  do {
+    key.q = random_prime(rng, half, e);
+  } while (key.q == key.p);
+  if (key.p < key.q) std::swap(key.p, key.q);  // p > q for CRT recombination
+  key.pub.n = key.p * key.q;
+  key.pub.e = BigUInt{e};
+
+  const BigUInt p1 = key.p - BigUInt{1};
+  const BigUInt q1 = key.q - BigUInt{1};
+  const BigUInt phi = p1 * q1;
+  key.d = BigUInt::mod_inverse(BigUInt{e}, phi);
+  key.dp = key.d % p1;
+  key.dq = key.d % q1;
+  // p is prime: q^{-1} mod p = q^{p-2} mod p (Fermat), avoiding a
+  // second extended-Euclid path.
+  key.qinv = BigUInt::mod_exp(key.q % key.p, key.p - BigUInt{2}, key.p);
+  return key;
+}
+
+BigUInt rsa_public_op(const RsaPublicKey& key, const BigUInt& m) {
+  if (m >= key.n) throw std::invalid_argument("rsa_public_op: m >= n");
+  // Small exponents (e = 3 is the paper's choice) go through plain
+  // square-and-multiply: for e = 3 this is literally two modular
+  // multiplications, cheaper than setting up Montgomery state for a
+  // one-time key.
+  if (key.e < BigUInt{1 << 20}) {
+    BigUInt result{1};
+    BigUInt base = m;
+    std::uint64_t e = key.e.low_u64();
+    while (e > 0) {
+      if (e & 1) result = (result * base) % key.n;
+      e >>= 1;
+      if (e) base = (base * base) % key.n;
+    }
+    return result;
+  }
+  return BigUInt::mod_exp(m, key.e, key.n);
+}
+
+namespace {
+
+BigUInt crt_combine(const RsaPrivateKey& key, const BigUInt& m1,
+                    const BigUInt& m2) {
+  // h = qinv * (m1 - m2) mod p ; m = m2 + h*q
+  BigUInt diff = m1 >= m2 ? m1 - m2 : key.p - ((m2 - m1) % key.p);
+  const BigUInt h = (key.qinv * diff) % key.p;
+  return m2 + h * key.q;
+}
+
+std::vector<std::uint8_t> pkcs1_pad(Rng& rng, std::span<const std::uint8_t> msg,
+                                    std::size_t k) {
+  if (msg.size() + 11 > k) {
+    throw std::invalid_argument("rsa_encrypt: message too long for modulus");
+  }
+  std::vector<std::uint8_t> block(k, 0);
+  block[0] = 0x00;
+  block[1] = 0x02;
+  const std::size_t pad_len = k - 3 - msg.size();
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    std::uint8_t b;
+    do {
+      b = static_cast<std::uint8_t>(rng.next_u64());
+    } while (b == 0);
+    block[2 + i] = b;
+  }
+  block[2 + pad_len] = 0x00;
+  std::copy(msg.begin(), msg.end(), block.begin() + 3 +
+                                        static_cast<std::ptrdiff_t>(pad_len));
+  return block;
+}
+
+std::optional<std::vector<std::uint8_t>> pkcs1_unpad(
+    std::span<const std::uint8_t> block) {
+  if (block.size() < 11 || block[0] != 0x00 || block[1] != 0x02) {
+    return std::nullopt;
+  }
+  std::size_t sep = 0;
+  for (std::size_t i = 2; i < block.size(); ++i) {
+    if (block[i] == 0x00) {
+      sep = i;
+      break;
+    }
+  }
+  if (sep < 10) return std::nullopt;  // require >= 8 pad bytes
+  return std::vector<std::uint8_t>(block.begin() +
+                                       static_cast<std::ptrdiff_t>(sep + 1),
+                                   block.end());
+}
+
+}  // namespace
+
+BigUInt rsa_private_op(const RsaPrivateKey& key, const BigUInt& c) {
+  if (c >= key.pub.n) throw std::invalid_argument("rsa_private_op: c >= n");
+  const BigUInt m1 = BigUInt::mod_exp(c % key.p, key.dp, key.p);
+  const BigUInt m2 = BigUInt::mod_exp(c % key.q, key.dq, key.q);
+  return crt_combine(key, m1, m2);
+}
+
+std::vector<std::uint8_t> rsa_encrypt(Rng& rng, const RsaPublicKey& key,
+                                      std::span<const std::uint8_t> msg) {
+  const std::size_t k = key.modulus_bytes();
+  const auto block = pkcs1_pad(rng, msg, k);
+  const BigUInt m = BigUInt::from_bytes_be(block);
+  return rsa_public_op(key, m).to_bytes_be(k);
+}
+
+std::optional<std::vector<std::uint8_t>> rsa_decrypt(
+    const RsaPrivateKey& key, std::span<const std::uint8_t> ciphertext) {
+  const std::size_t k = key.pub.modulus_bytes();
+  if (ciphertext.size() != k) return std::nullopt;
+  const BigUInt c = BigUInt::from_bytes_be(ciphertext);
+  if (c >= key.pub.n) return std::nullopt;
+  const auto block = rsa_private_op(key, c).to_bytes_be(k);
+  return pkcs1_unpad(block);
+}
+
+RsaDecryptor::RsaDecryptor(const RsaPrivateKey& key)
+    : key_(key), mont_p_(key.p), mont_q_(key.q) {}
+
+BigUInt RsaDecryptor::private_op(const BigUInt& c) const {
+  if (c >= key_.pub.n) throw std::invalid_argument("RsaDecryptor: c >= n");
+  const BigUInt m1 = mont_p_.exp(c % key_.p, key_.dp);
+  const BigUInt m2 = mont_q_.exp(c % key_.q, key_.dq);
+  return crt_combine(key_, m1, m2);
+}
+
+std::optional<std::vector<std::uint8_t>> RsaDecryptor::decrypt(
+    std::span<const std::uint8_t> ciphertext) const {
+  const std::size_t k = key_.pub.modulus_bytes();
+  if (ciphertext.size() != k) return std::nullopt;
+  const BigUInt c = BigUInt::from_bytes_be(ciphertext);
+  if (c >= key_.pub.n) return std::nullopt;
+  const auto block = private_op(c).to_bytes_be(k);
+  return pkcs1_unpad(block);
+}
+
+}  // namespace nn::crypto

@@ -1,0 +1,99 @@
+// RSA for the neutralizer protocol (paper §3.2).
+//
+// Two roles, with deliberately asymmetric cost:
+//   * The *source* generates a short (512-bit) one-time key pair and
+//     performs the expensive private-key decryption of the key-setup
+//     response.
+//   * The *neutralizer* performs only the public-key encryption with
+//     e = 3 — "as few as two multiplications" (paper §3.2) — keeping the
+//     middlebox cheap and DoS-resistant.
+// Strong 1024-bit keys are used by the end-to-end encryption layer and
+// by the onion-routing baseline.
+//
+// Padding is PKCS#1 v1.5 type 2 (random nonzero pad bytes). The paper's
+// security argument does not rest on padding strength: the 512-bit key
+// is used once and replaced within two RTTs by the neutralizer-stamped
+// strong key Ks' (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace nn::crypto {
+
+struct RsaPublicKey {
+  BigUInt n;
+  BigUInt e;
+
+  /// Modulus size in bytes (= ciphertext size).
+  [[nodiscard]] std::size_t modulus_bytes() const {
+    return (n.bit_length() + 7) / 8;
+  }
+  /// Largest message PKCS#1 v1.5 can carry under this modulus.
+  [[nodiscard]] std::size_t max_message_bytes() const {
+    return modulus_bytes() >= 11 ? modulus_bytes() - 11 : 0;
+  }
+
+  /// Wire format: u16 modulus length ‖ modulus (BE) ‖ u32 exponent.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static RsaPublicKey parse(std::span<const std::uint8_t> data);
+
+  friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  BigUInt d;
+  BigUInt p, q;      // prime factors
+  BigUInt dp, dq;    // d mod (p-1), d mod (q-1)
+  BigUInt qinv;      // q^{-1} mod p
+};
+
+/// Generates an RSA key pair: modulus of exactly `bits` bits, public
+/// exponent `e` (default 3, matching the paper's efficiency argument).
+[[nodiscard]] RsaPrivateKey rsa_generate(Rng& rng, std::size_t bits,
+                                         std::uint64_t e = 3);
+
+/// Textbook public operation m^e mod n (no padding). Exposed for tests
+/// and the benchmark that counts raw modular multiplications.
+[[nodiscard]] BigUInt rsa_public_op(const RsaPublicKey& key, const BigUInt& m);
+
+/// Textbook private operation c^d mod n via CRT.
+[[nodiscard]] BigUInt rsa_private_op(const RsaPrivateKey& key,
+                                     const BigUInt& c);
+
+/// PKCS#1-v1.5-type-2 encrypt. Throws std::invalid_argument if the
+/// message is too long for the modulus.
+[[nodiscard]] std::vector<std::uint8_t> rsa_encrypt(
+    Rng& rng, const RsaPublicKey& key, std::span<const std::uint8_t> msg);
+
+/// Decrypt + unpad; nullopt on malformed padding (treat as a dropped
+/// packet, never as a distinguishable error, to avoid oracle behavior).
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> rsa_decrypt(
+    const RsaPrivateKey& key, std::span<const std::uint8_t> ciphertext);
+
+/// Precomputed CRT decryptor: caches the Montgomery contexts for p and
+/// q so a host that decrypts many key-setup responses (or an onion
+/// relay) does not pay the setup cost per packet.
+class RsaDecryptor {
+ public:
+  explicit RsaDecryptor(const RsaPrivateKey& key);
+
+  [[nodiscard]] BigUInt private_op(const BigUInt& c) const;
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decrypt(
+      std::span<const std::uint8_t> ciphertext) const;
+
+  [[nodiscard]] const RsaPrivateKey& key() const noexcept { return key_; }
+
+ private:
+  RsaPrivateKey key_;
+  Montgomery mont_p_;
+  Montgomery mont_q_;
+};
+
+}  // namespace nn::crypto

@@ -1,0 +1,71 @@
+#include "discrim/classifier.hpp"
+
+#include "discrim/dpi.hpp"
+
+namespace nn::discrim {
+
+bool MatchCriteria::matches(const net::Packet& pkt) const noexcept {
+  net::ParsedPacket p;
+  try {
+    p = net::parse_packet(pkt.view());
+  } catch (const ParseError&) {
+    return false;
+  }
+  if (src_prefix && !src_prefix->contains(p.ip.src)) return false;
+  if (dst_prefix && !dst_prefix->contains(p.ip.dst)) return false;
+  if (ip_proto && p.ip.protocol != *ip_proto) return false;
+  if (src_port && (!p.udp || p.udp->src_port != *src_port)) return false;
+  if (dst_port && (!p.udp || p.udp->dst_port != *dst_port)) return false;
+  if (dscp && p.ip.dscp != *dscp) return false;
+  if (shim_type && (!p.shim || p.shim->type != *shim_type)) return false;
+  if (min_size && pkt.size() < *min_size) return false;
+  if (max_size && pkt.size() > *max_size) return false;
+  if (!payload_signature.empty() &&
+      !contains_signature(p.payload, payload_signature)) {
+    return false;
+  }
+  if (require_high_entropy &&
+      shannon_entropy(p.payload) < entropy_threshold) {
+    return false;
+  }
+  return true;
+}
+
+MatchCriteria MatchCriteria::against_destination(net::Ipv4Prefix dst) {
+  MatchCriteria m;
+  m.dst_prefix = dst;
+  return m;
+}
+
+MatchCriteria MatchCriteria::against_source(net::Ipv4Prefix src) {
+  MatchCriteria m;
+  m.src_prefix = src;
+  return m;
+}
+
+MatchCriteria MatchCriteria::against_udp_port(std::uint16_t port) {
+  MatchCriteria m;
+  m.dst_port = port;
+  return m;
+}
+
+MatchCriteria MatchCriteria::against_signature(std::string_view signature) {
+  MatchCriteria m;
+  m.payload_signature.assign(signature.begin(), signature.end());
+  return m;
+}
+
+MatchCriteria MatchCriteria::against_encrypted() {
+  MatchCriteria m;
+  m.require_high_entropy = true;
+  m.entropy_threshold = kEncryptedEntropyThreshold;
+  return m;
+}
+
+MatchCriteria MatchCriteria::against_key_setup() {
+  MatchCriteria m;
+  m.shim_type = net::ShimType::kKeySetup;
+  return m;
+}
+
+}  // namespace nn::discrim

@@ -1,0 +1,45 @@
+// Packet classifier for the discriminatory ISP. Every capability the
+// paper grants the adversary (§2, §3.6) is a criterion here:
+// header fields, payload contents (DPI), packet size, encrypted-traffic
+// detection (entropy), and key-setup-packet detection (shim type).
+// Nothing else — the ISP cannot, e.g., decrypt inner addresses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nn::discrim {
+
+struct MatchCriteria {
+  std::optional<net::Ipv4Prefix> src_prefix;
+  std::optional<net::Ipv4Prefix> dst_prefix;
+  std::optional<std::uint8_t> ip_proto;
+  std::optional<std::uint16_t> src_port;  // UDP only
+  std::optional<std::uint16_t> dst_port;  // UDP only
+  std::optional<net::Dscp> dscp;
+  std::optional<net::ShimType> shim_type;
+  std::optional<std::size_t> min_size;
+  std::optional<std::size_t> max_size;
+  /// DPI: payload must contain these bytes.
+  std::vector<std::uint8_t> payload_signature;
+  /// Flags payloads whose entropy exceeds the threshold ("encrypted").
+  bool require_high_entropy = false;
+  double entropy_threshold = 6.5;
+
+  /// All present criteria must hold. Malformed packets never match.
+  [[nodiscard]] bool matches(const net::Packet& pkt) const noexcept;
+
+  /// Convenience builders for the common discrimination rules.
+  static MatchCriteria against_destination(net::Ipv4Prefix dst);
+  static MatchCriteria against_source(net::Ipv4Prefix src);
+  static MatchCriteria against_udp_port(std::uint16_t dst_port);
+  static MatchCriteria against_signature(std::string_view signature);
+  static MatchCriteria against_encrypted();
+  static MatchCriteria against_key_setup();
+};
+
+}  // namespace nn::discrim

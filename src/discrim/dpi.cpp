@@ -1,0 +1,38 @@
+#include "discrim/dpi.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace nn::discrim {
+
+double shannon_entropy(std::span<const std::uint8_t> data) noexcept {
+  if (data.empty()) return 0.0;
+  std::array<std::size_t, 256> counts{};
+  for (std::uint8_t b : data) ++counts[b];
+  const double n = static_cast<double>(data.size());
+  double entropy = 0.0;
+  for (std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / n;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+bool contains_signature(std::span<const std::uint8_t> haystack,
+                        std::span<const std::uint8_t> needle) noexcept {
+  if (needle.empty() || needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      if (haystack[i + j] != needle[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+}  // namespace nn::discrim

@@ -1,0 +1,28 @@
+// Deep-packet-inspection primitives available to a discriminatory ISP:
+// byte-signature search and a Shannon-entropy estimate used to flag
+// encrypted traffic. These are the paper's §3.6 residual capabilities —
+// an ISP can still "discriminate against encrypted traffic" as a class,
+// just not against specific contents once they are encrypted.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nn::discrim {
+
+/// Shannon entropy of the byte distribution, in bits/byte (0..8).
+/// Returns 0 for empty input.
+[[nodiscard]] double shannon_entropy(
+    std::span<const std::uint8_t> data) noexcept;
+
+/// True if `needle` occurs in `haystack` (naive search; packets are
+/// small). Empty needles match nothing.
+[[nodiscard]] bool contains_signature(
+    std::span<const std::uint8_t> haystack,
+    std::span<const std::uint8_t> needle) noexcept;
+
+/// Heuristic used in experiments: payloads above this entropy are
+/// treated as encrypted by the classifier's `require_high_entropy`.
+inline constexpr double kEncryptedEntropyThreshold = 6.5;
+
+}  // namespace nn::discrim

@@ -1,0 +1,36 @@
+#include "discrim/policy.hpp"
+
+namespace nn::discrim {
+
+DiscriminationPolicy& DiscriminationPolicy::add_rule(
+    std::string label, MatchCriteria match, DiscriminationAction action) {
+  rules_.push_back(Rule{std::move(label), std::move(match), std::move(action),
+                        RuleStats{}});
+  return *this;
+}
+
+sim::PolicyDecision DiscriminationPolicy::process(const net::Packet& pkt,
+                                                  sim::SimTime now) {
+  for (auto& rule : rules_) {
+    if (!rule.match.matches(pkt)) continue;
+    ++rule.stats.hits;
+    if (rule.action.rate_limit &&
+        !rule.action.rate_limit->try_consume(pkt.size(), now)) {
+      ++rule.stats.drops;
+      return sim::PolicyDecision::dropped();
+    }
+    if (rule.action.drop_probability > 0.0 &&
+        rng_.chance(rule.action.drop_probability)) {
+      ++rule.stats.drops;
+      return sim::PolicyDecision::dropped();
+    }
+    if (rule.action.added_delay > 0) {
+      ++rule.stats.delayed;
+      return sim::PolicyDecision::delayed(rule.action.added_delay);
+    }
+    return sim::PolicyDecision::forward();
+  }
+  return sim::PolicyDecision::forward();
+}
+
+}  // namespace nn::discrim

@@ -1,0 +1,79 @@
+// The discriminatory ISP's policy engine: an ordered rule table of
+// (classifier, action) pairs, attached to routers as a transit policy.
+// First matching rule wins. Actions are the paper's §2 capabilities:
+// delay, probabilistic drop, and rate limiting — never modification.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "discrim/classifier.hpp"
+#include "qos/token_bucket.hpp"
+#include "sim/node.hpp"
+#include "util/rng.hpp"
+
+namespace nn::discrim {
+
+struct DiscriminationAction {
+  double drop_probability = 0.0;
+  sim::SimTime added_delay = 0;
+  /// Shared token bucket (one per rule, shared across the ISP's
+  /// routers); packets exceeding the rate are dropped.
+  std::shared_ptr<qos::TokenBucket> rate_limit;
+
+  static DiscriminationAction drop() {
+    return {1.0, 0, nullptr};
+  }
+  static DiscriminationAction degrade(double drop_prob, sim::SimTime delay) {
+    return {drop_prob, delay, nullptr};
+  }
+  static DiscriminationAction throttle(double bytes_per_sec,
+                                       double burst_bytes) {
+    return {0.0, 0,
+            std::make_shared<qos::TokenBucket>(bytes_per_sec, burst_bytes)};
+  }
+};
+
+struct RuleStats {
+  std::uint64_t hits = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t delayed = 0;
+};
+
+/// Transit policy assembled from discrimination rules.
+class DiscriminationPolicy final : public sim::TransitPolicy {
+ public:
+  explicit DiscriminationPolicy(std::string name, std::uint64_t seed = 1)
+      : name_(std::move(name)), rng_(seed) {}
+
+  DiscriminationPolicy& add_rule(std::string label, MatchCriteria match,
+                                 DiscriminationAction action);
+
+  sim::PolicyDecision process(const net::Packet& pkt,
+                              sim::SimTime now) override;
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return name_;
+  }
+  [[nodiscard]] const RuleStats& rule_stats(std::size_t index) const {
+    return rules_.at(index).stats;
+  }
+  [[nodiscard]] std::size_t rule_count() const noexcept {
+    return rules_.size();
+  }
+
+ private:
+  struct Rule {
+    std::string label;
+    MatchCriteria match;
+    DiscriminationAction action;
+    RuleStats stats;
+  };
+
+  std::string name_;
+  std::vector<Rule> rules_;
+  SplitMix64 rng_;
+};
+
+}  // namespace nn::discrim

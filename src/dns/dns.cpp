@@ -1,0 +1,254 @@
+#include "dns/dns.hpp"
+
+#include "crypto/aes_modes.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::dns {
+
+namespace {
+
+constexpr std::uint8_t kPlain = 0;
+constexpr std::uint8_t kEncrypted = 1;
+constexpr std::uint8_t kFound = 1;
+constexpr std::uint8_t kNxDomain = 0;
+
+std::array<std::uint8_t, 12> dns_iv(std::uint16_t txid, bool response) {
+  std::array<std::uint8_t, 12> iv{};
+  iv[0] = static_cast<std::uint8_t>(txid >> 8);
+  iv[1] = static_cast<std::uint8_t>(txid);
+  iv[2] = response ? 'R' : 'Q';
+  iv[3] = 'D';
+  iv[4] = 'N';
+  iv[5] = 'S';
+  return iv;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> DomainRecords::serialize() const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(name.size()));
+  w.raw(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+  w.u32(address.value());
+  w.u8(static_cast<std::uint8_t>(neutralizers.size()));
+  for (const auto& n : neutralizers) w.u32(n.value());
+  w.u16(static_cast<std::uint16_t>(public_key.size()));
+  w.raw(public_key);
+  return w.take();
+}
+
+std::optional<DomainRecords> DomainRecords::parse(
+    std::span<const std::uint8_t> data) {
+  try {
+    ByteReader r(data);
+    DomainRecords rec;
+    const std::uint8_t name_len = r.u8();
+    const auto name_bytes = r.take(name_len);
+    rec.name.assign(name_bytes.begin(), name_bytes.end());
+    rec.address = net::Ipv4Addr(r.u32());
+    const std::uint8_t n_neut = r.u8();
+    for (std::uint8_t i = 0; i < n_neut; ++i) {
+      rec.neutralizers.emplace_back(r.u32());
+    }
+    const std::uint16_t key_len = r.u16();
+    rec.public_key = r.bytes(key_len);
+    if (!r.empty()) return std::nullopt;
+    return rec;
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+host::PeerInfo to_peer_info(const DomainRecords& records,
+                            std::size_t which_neutralizer) {
+  host::PeerInfo info;
+  info.addr = records.address;
+  if (which_neutralizer < records.neutralizers.size()) {
+    info.anycast = records.neutralizers[which_neutralizer];
+  }
+  info.public_key = crypto::RsaPublicKey::parse(records.public_key);
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// ResolverApp
+// ---------------------------------------------------------------------------
+
+ResolverApp::ResolverApp(sim::Host& node, sim::Engine& engine,
+                         RecordStore store,
+                         std::optional<crypto::RsaPrivateKey> identity)
+    : node_(node), store_(std::move(store)) {
+  (void)engine;
+  if (identity.has_value()) {
+    pub_ = identity->pub;
+    identity_.emplace(*identity);
+  }
+  node_.set_handler([this](net::Packet&& pkt) { on_packet(std::move(pkt)); });
+}
+
+const crypto::RsaPublicKey& ResolverApp::public_key() const {
+  if (!pub_.has_value()) {
+    throw std::logic_error("ResolverApp: no identity configured");
+  }
+  return *pub_;
+}
+
+void ResolverApp::on_packet(net::Packet&& pkt) {
+  net::ParsedPacket p;
+  try {
+    p = net::parse_packet(pkt.view());
+  } catch (const ParseError&) {
+    return;
+  }
+  if (!p.udp.has_value() || p.udp->dst_port != kDnsPort) return;
+
+  std::uint16_t txid = 0;
+  std::uint8_t mode = kPlain;
+  std::string name;
+  crypto::AesKey reply_key{};
+  try {
+    ByteReader r(p.payload);
+    txid = r.u16();
+    mode = r.u8();
+    if (mode == kPlain) {
+      const std::uint8_t len = r.u8();
+      const auto bytes = r.take(len);
+      name.assign(bytes.begin(), bytes.end());
+    } else if (mode == kEncrypted && identity_.has_value()) {
+      const std::uint16_t ct_len = r.u16();
+      const auto ct = r.take(ct_len);
+      const auto plain = identity_->decrypt(ct);
+      if (!plain.has_value() || plain->size() < 17) return;
+      ByteReader q(*plain);
+      const auto key = q.take(16);
+      std::copy(key.begin(), key.end(), reply_key.begin());
+      const std::uint8_t len = q.u8();
+      const auto bytes = q.take(len);
+      name.assign(bytes.begin(), bytes.end());
+    } else {
+      return;  // encrypted query to a resolver with no identity
+    }
+  } catch (const ParseError&) {
+    return;
+  }
+
+  const auto records = store_.lookup(name);
+  ByteWriter body;
+  body.u8(records.has_value() ? kFound : kNxDomain);
+  if (records.has_value()) body.raw(records->serialize());
+
+  ByteWriter reply;
+  reply.u16(txid);
+  reply.u8(mode);
+  if (mode == kEncrypted) {
+    auto enc = body.take();
+    crypto::Ctr(reply_key).crypt(dns_iv(txid, /*response=*/true), enc);
+    reply.raw(enc);
+  } else {
+    reply.raw(body.view());
+  }
+  ++served_;
+  node_.transmit(net::make_udp_packet(node_.address(), p.ip.src, kDnsPort,
+                                      p.udp->src_port, reply.view()));
+}
+
+// ---------------------------------------------------------------------------
+// StubResolverApp
+// ---------------------------------------------------------------------------
+
+StubResolverApp::StubResolverApp(
+    sim::Host& node, sim::Engine& engine, net::Ipv4Addr resolver,
+    std::optional<crypto::RsaPublicKey> resolver_key, std::uint64_t seed)
+    : node_(node),
+      engine_(engine),
+      resolver_(resolver),
+      resolver_key_(std::move(resolver_key)),
+      rng_(seed) {
+  auto next = node_.handler();
+  node_.set_handler([this, next](net::Packet&& pkt) {
+    on_packet(std::move(pkt), next);
+  });
+}
+
+void StubResolverApp::resolve(const std::string& name, bool encrypted,
+                              Callback cb) {
+  if (name.size() > 255) {
+    cb(std::nullopt);
+    return;
+  }
+  const auto txid = static_cast<std::uint16_t>(rng_.next_u64());
+  Pending pending;
+  pending.cb = std::move(cb);
+  pending.encrypted = encrypted;
+
+  ByteWriter query;
+  query.u16(txid);
+  if (encrypted) {
+    if (!resolver_key_.has_value()) {
+      pending.cb(std::nullopt);
+      return;
+    }
+    rng_.fill(pending.key);
+    ByteWriter inner;
+    inner.raw(pending.key);
+    inner.u8(static_cast<std::uint8_t>(name.size()));
+    inner.raw(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+    const auto ct = crypto::rsa_encrypt(rng_, *resolver_key_, inner.view());
+    query.u8(kEncrypted);
+    query.u16(static_cast<std::uint16_t>(ct.size()));
+    query.raw(ct);
+  } else {
+    query.u8(kPlain);
+    query.u8(static_cast<std::uint8_t>(name.size()));
+    query.raw(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(name.data()), name.size()));
+  }
+  pending_[txid] = std::move(pending);
+  node_.transmit(net::make_udp_packet(node_.address(), resolver_, kDnsPort,
+                                      kDnsPort, query.view()));
+}
+
+void StubResolverApp::on_packet(net::Packet&& pkt,
+                                const sim::Host::Handler& next) {
+  net::ParsedPacket p;
+  try {
+    p = net::parse_packet(pkt.view());
+  } catch (const ParseError&) {
+    return;
+  }
+  if (!p.udp.has_value() || p.udp->src_port != kDnsPort ||
+      p.ip.src != resolver_) {
+    if (next) next(std::move(pkt));
+    return;
+  }
+
+  try {
+    ByteReader r(p.payload);
+    const std::uint16_t txid = r.u16();
+    const std::uint8_t mode = r.u8();
+    const auto it = pending_.find(txid);
+    if (it == pending_.end() || (it->second.encrypted != (mode == kEncrypted))) {
+      return;
+    }
+    Pending pending = std::move(it->second);
+    pending_.erase(it);
+
+    std::vector<std::uint8_t> body(r.rest().begin(), r.rest().end());
+    if (mode == kEncrypted) {
+      crypto::Ctr(pending.key).crypt(dns_iv(txid, /*response=*/true), body);
+    }
+    ++answered_;
+    if (body.empty() || body[0] == kNxDomain) {
+      pending.cb(std::nullopt);
+      return;
+    }
+    pending.cb(DomainRecords::parse(
+        std::span<const std::uint8_t>(body).subspan(1)));
+  } catch (const ParseError&) {
+    return;
+  }
+}
+
+}  // namespace nn::dns

@@ -1,0 +1,128 @@
+// Bootstrapping substrate (paper §3.1): a destination publishes its
+// address, its neutralizers' anycast addresses, and its public key in
+// DNS; sources fetch them before connecting.
+//
+// Because "a discriminatory ISP may eavesdrop on its customer's DNS
+// queries and discriminate DNS queries based on the query destination",
+// the client can also send *encrypted* queries to a third-party
+// resolver: the query name is hidden under a fresh AES key transported
+// with RSA, and the response comes back AES-encrypted. An on-path
+// classifier sees only the resolver's address and noise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+#include "host/host.hpp"
+#include "sim/network.hpp"
+
+namespace nn::dns {
+
+inline constexpr std::uint16_t kDnsPort = 53;
+
+/// The records a neutralized site publishes (§3.1, §3.5).
+struct DomainRecords {
+  std::string name;
+  net::Ipv4Addr address;                       // A
+  std::vector<net::Ipv4Addr> neutralizers;     // NEUT (≥2 when multi-homed)
+  std::vector<std::uint8_t> public_key;        // KEY (serialized RSA key)
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<DomainRecords> parse(
+      std::span<const std::uint8_t> data);
+
+  friend bool operator==(const DomainRecords&, const DomainRecords&) = default;
+};
+
+/// Builds host-stack bootstrap info from published records.
+[[nodiscard]] host::PeerInfo to_peer_info(const DomainRecords& records,
+                                          std::size_t which_neutralizer = 0);
+
+/// Authoritative record store.
+class RecordStore {
+ public:
+  void add(DomainRecords records) {
+    store_[records.name] = std::move(records);
+  }
+  [[nodiscard]] std::optional<DomainRecords> lookup(
+      const std::string& name) const {
+    const auto it = store_.find(name);
+    if (it == store_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+
+ private:
+  std::unordered_map<std::string, DomainRecords> store_;
+};
+
+/// Resolver application attached to a simulation host. Serves plaintext
+/// queries always; serves encrypted queries when constructed with an
+/// identity key (third-party resolvers per §3.1).
+class ResolverApp {
+ public:
+  ResolverApp(sim::Host& node, sim::Engine& engine, RecordStore store,
+              std::optional<crypto::RsaPrivateKey> identity);
+
+  [[nodiscard]] std::uint64_t queries_served() const noexcept {
+    return served_;
+  }
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const;
+
+ private:
+  sim::Host& node_;
+  RecordStore store_;
+  std::optional<crypto::RsaDecryptor> identity_;
+  std::optional<crypto::RsaPublicKey> pub_;
+  std::uint64_t served_ = 0;
+
+  void on_packet(net::Packet&& pkt);
+};
+
+/// Stub-resolver application for client hosts. Chains onto the host's
+/// existing packet handler: non-DNS traffic still reaches the previous
+/// handler (e.g. the NeutralizedHost stack).
+class StubResolverApp {
+ public:
+  using Callback = std::function<void(std::optional<DomainRecords>)>;
+
+  /// `resolver_key` enables encrypted queries; without it only
+  /// plaintext queries are possible.
+  StubResolverApp(sim::Host& node, sim::Engine& engine,
+                  net::Ipv4Addr resolver,
+                  std::optional<crypto::RsaPublicKey> resolver_key,
+                  std::uint64_t seed = 1);
+
+  /// Issues a query. Encrypted queries require a resolver key.
+  /// The callback fires with nullopt on NXDOMAIN or malformed replies
+  /// (lost packets simply never call back; DNS retry policy is the
+  /// caller's concern).
+  void resolve(const std::string& name, bool encrypted, Callback cb);
+
+  [[nodiscard]] std::uint64_t answered() const noexcept { return answered_; }
+
+ private:
+  struct Pending {
+    Callback cb;
+    crypto::AesKey key;  // encrypted queries only
+    bool encrypted = false;
+  };
+
+  sim::Host& node_;
+  sim::Engine& engine_;
+  net::Ipv4Addr resolver_;
+  std::optional<crypto::RsaPublicKey> resolver_key_;
+  crypto::ChaChaRng rng_;
+  std::unordered_map<std::uint16_t, Pending> pending_;
+  std::uint64_t answered_ = 0;
+
+  void on_packet(net::Packet&& pkt, const sim::Host::Handler& next);
+};
+
+}  // namespace nn::dns

@@ -1,0 +1,69 @@
+#include "host/e2e.hpp"
+
+#include "util/bytes.hpp"
+
+namespace nn::host {
+
+namespace {
+std::array<std::uint8_t, 12> iv_from_seq(std::uint64_t seq,
+                                         bool direction) noexcept {
+  std::array<std::uint8_t, 12> iv{};
+  for (int i = 0; i < 8; ++i) {
+    iv[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seq >> (56 - 8 * i));
+  }
+  iv[8] = 'E';
+  iv[9] = '2';
+  iv[10] = 'E';
+  iv[11] = direction ? 1 : 0;
+  return iv;
+}
+}  // namespace
+
+std::vector<std::uint8_t> E2eSession::seal(
+    std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t seq = ++send_seq_;
+  ByteWriter w(kE2eSealOverhead + plaintext.size());
+  w.u64(seq);
+  w.raw(plaintext);
+  // Encrypt in place after the seq field.
+  auto bytes = w.take();
+  const std::span<std::uint8_t> body(bytes.data() + 8, plaintext.size());
+  ctr_.crypt(iv_from_seq(seq, !initiator_), body);
+  // Tag over seq ‖ ciphertext.
+  const auto tag = cmac_.mac_truncated(bytes, kE2eTagSize);
+  bytes.insert(bytes.end(), tag.begin(), tag.end());
+  return bytes;
+}
+
+std::optional<std::vector<std::uint8_t>> E2eSession::open(
+    std::span<const std::uint8_t> sealed) {
+  if (sealed.size() < kE2eSealOverhead) return std::nullopt;
+  const auto body = sealed.first(sealed.size() - kE2eTagSize);
+  const auto tag = sealed.subspan(sealed.size() - kE2eTagSize);
+  const auto expected = cmac_.mac_truncated(body, kE2eTagSize);
+  if (!ct_equal(tag, expected)) return std::nullopt;
+
+  ByteReader r(body);
+  const std::uint64_t seq = r.u64();
+  if (any_recv_ && seq <= highest_recv_) return std::nullopt;  // replay
+  std::vector<std::uint8_t> plaintext(r.rest().begin(), r.rest().end());
+  ctr_.crypt(iv_from_seq(seq, initiator_), plaintext);
+  highest_recv_ = seq;
+  any_recv_ = true;
+  return plaintext;
+}
+
+std::vector<std::uint8_t> wrap_key(Rng& rng,
+                                   const crypto::RsaPublicKey& peer_key,
+                                   std::span<const std::uint8_t> key_block) {
+  return crypto::rsa_encrypt(rng, peer_key, key_block);
+}
+
+std::optional<std::vector<std::uint8_t>> unwrap_key(
+    const crypto::RsaDecryptor& identity,
+    std::span<const std::uint8_t> wrapped) {
+  return identity.decrypt(wrapped);
+}
+
+}  // namespace nn::host

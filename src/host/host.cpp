@@ -1,0 +1,560 @@
+#include "host/host.hpp"
+
+#include "crypto/aes_modes.hpp"
+#include "net/shim.hpp"
+
+namespace nn::host {
+
+using net::ShimFlags;
+using net::ShimHeader;
+using net::ShimType;
+
+NeutralizedHost::NeutralizedHost(HostConfig config,
+                                 crypto::RsaPrivateKey identity,
+                                 TransmitFn transmit, sim::Engine* engine,
+                                 std::uint64_t seed)
+    : config_(config),
+      identity_(std::move(identity)),
+      transmit_(std::move(transmit)),
+      engine_(engine),
+      rng_(seed) {}
+
+std::size_t NeutralizedHost::purge_idle_sessions(sim::SimTime now,
+                                                 sim::SimTime max_age) {
+  std::size_t purged = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now - it->second.last_active > max_age) {
+      it = sessions_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+bool NeutralizedHost::has_strong_key(net::Ipv4Addr anycast) const {
+  const auto it = services_.find(anycast);
+  return it != services_.end() && it->second.current.has_value() &&
+         it->second.current->strong;
+}
+
+void NeutralizedHost::remember_key(net::Ipv4Addr anycast, std::uint64_t nonce,
+                                   const crypto::AesKey& ks) {
+  known_keys_[KnownKeyId{anycast.value(), nonce}] = ks;
+}
+
+const crypto::AesKey* NeutralizedHost::lookup_key(net::Ipv4Addr anycast,
+                                                  std::uint64_t nonce) const {
+  const auto it = known_keys_.find(KnownKeyId{anycast.value(), nonce});
+  return it == known_keys_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Handshakes
+// ---------------------------------------------------------------------------
+
+void NeutralizedHost::start_handshake(net::Ipv4Addr anycast, ServiceState& st,
+                                      sim::SimTime now) {
+  (void)now;
+  st.status = ServiceState::Status::kPending;
+  st.request_id = rng_.next_u64();
+
+  ShimHeader shim;
+  shim.nonce = st.request_id;
+  if (st.lease_mode) {
+    // §3.3: a customer "may simply request a nonce and a symmetric key
+    // from a neutralizer without encryption".
+    shim.type = ShimType::kKeyLease;
+    ++stats_.key_leases_sent;
+    transmit_(net::make_shim_packet(config_.self, anycast, shim, {},
+                                    config_.dscp));
+  } else {
+    // §3.2: generate a short one-time RSA key; the neutralizer performs
+    // the cheap encryption, we will perform the expensive decryption.
+    if (!st.onetime.has_value()) {
+      st.onetime = crypto::rsa_generate(rng_, config_.onetime_rsa_bits, 3);
+    }
+    const auto pub = st.onetime->pub.serialize();
+    shim.type = ShimType::kKeySetup;
+    ++stats_.key_setups_sent;
+    transmit_(net::make_shim_packet(config_.self, anycast, shim, pub,
+                                    config_.dscp));
+  }
+  schedule_handshake_retry(anycast);
+}
+
+void NeutralizedHost::schedule_handshake_retry(net::Ipv4Addr anycast) {
+  if (engine_ == nullptr || config_.handshake_timeout <= 0) return;
+  engine_->schedule_in(config_.handshake_timeout, [this, anycast] {
+    auto it = services_.find(anycast);
+    if (it == services_.end()) return;
+    ServiceState& st = it->second;
+    if (st.status != ServiceState::Status::kPending) return;
+    if (st.retries >= config_.max_handshake_retries) {
+      // Give up; fail queued sends.
+      stats_.send_failures += st.queue.size();
+      st.queue.clear();
+      st.status = ServiceState::Status::kNone;
+      st.onetime.reset();
+      st.retries = 0;
+      return;
+    }
+    ++st.retries;
+    ++stats_.handshake_retries;
+    start_handshake(anycast, st, engine_->now());
+  });
+}
+
+void NeutralizedHost::handle_key_response(const net::ParsedPacket& p,
+                                          bool lease, sim::SimTime now) {
+  (void)now;
+  const net::Ipv4Addr anycast = p.ip.src;
+  auto it = services_.find(anycast);
+  if (it == services_.end()) return;
+  ServiceState& st = it->second;
+  if (st.status != ServiceState::Status::kPending ||
+      p.shim->nonce != st.request_id) {
+    return;  // stale or unsolicited
+  }
+
+  std::uint64_t nonce = 0;
+  crypto::AesKey ks{};
+  if (lease) {
+    if (p.payload.size() != 24) return;
+    ByteReader r(p.payload);
+    nonce = r.u64();
+    const auto key = r.take(16);
+    std::copy(key.begin(), key.end(), ks.begin());
+  } else {
+    if (!st.onetime.has_value()) return;
+    // The expensive RSA decryption, deliberately placed on the source
+    // (paper §3.2).
+    const auto plain = crypto::rsa_decrypt(*st.onetime, p.payload);
+    if (!plain.has_value() || plain->size() != 24) {
+      ++stats_.decrypt_failures;
+      return;
+    }
+    ByteReader r(*plain);
+    nonce = r.u64();
+    const auto key = r.take(16);
+    std::copy(key.begin(), key.end(), ks.begin());
+  }
+
+  ServiceKey key;
+  key.epoch = p.shim->key_epoch;
+  key.nonce = nonce;
+  key.ks = ks;
+  key.lease = lease;
+  // A leased key never crossed a hostile network; a setup key came via
+  // a short one-time RSA exchange and should be upgraded (kKeyRequest).
+  key.strong = lease;
+  st.current = key;
+  st.status = ServiceState::Status::kReady;
+  st.onetime.reset();
+  st.retries = 0;
+  ++stats_.keys_established;
+  remember_key(anycast, nonce, ks);
+
+  // Flush sends queued behind the handshake.
+  auto queue = std::move(st.queue);
+  st.queue.clear();
+  for (auto& pending : queue) {
+    send(pending.peer, std::move(pending.payload), now);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Application send path
+// ---------------------------------------------------------------------------
+
+void NeutralizedHost::send(net::Ipv4Addr peer,
+                           std::vector<std::uint8_t> payload,
+                           sim::SimTime now) {
+  Session& sess = sessions_[peer];
+
+  // Established reply routes take precedence (responder roles).
+  if (sess.route == Session::Route::kRespond ||
+      sess.route == Session::Route::kReverseOutside) {
+    transmit_data(peer, sess, payload, now);
+    return;
+  }
+
+  // Initiator roles need a service key first.
+  const bool via_home = config_.inside_neutral_domain;
+  net::Ipv4Addr anycast;
+  if (via_home) {
+    anycast = config_.home_anycast;
+  } else {
+    const auto info = peers_.find(peer);
+    if (info == peers_.end() || info->second.anycast.is_unspecified()) {
+      ++stats_.send_failures;
+      return;
+    }
+    anycast = info->second.anycast;
+  }
+
+  ServiceState& st = services_[anycast];
+  st.lease_mode = via_home;
+
+  // Proactive refresh across master-key rotations: a key older than the
+  // previous epoch will be rejected by the service.
+  if (st.status == ServiceState::Status::kReady && st.current.has_value()) {
+    const std::uint16_t expected = local_epoch_estimate(now);
+    if (st.current->epoch + 1 < expected ||
+        (st.current->epoch < expected && st.current->lease)) {
+      st.status = ServiceState::Status::kNone;  // full re-handshake
+      st.current.reset();
+    } else if (st.current->epoch < expected) {
+      st.current->strong = false;  // ask for a re-stamp on the next packet
+    }
+  }
+
+  if (st.status != ServiceState::Status::kReady) {
+    st.queue.push_back(PendingSend{peer, std::move(payload)});
+    ++stats_.queued_sends;
+    if (st.status == ServiceState::Status::kNone) {
+      start_handshake(anycast, st, now);
+    }
+    return;
+  }
+
+  sess.route = Session::Route::kViaPeerService;  // also used for via-home
+  sess.via_anycast = anycast;
+  transmit_data(peer, sess, payload, now);
+}
+
+void NeutralizedHost::transmit_data(net::Ipv4Addr peer, Session& sess,
+                                    std::span<const std::uint8_t> payload,
+                                    sim::SimTime now) {
+  sess.last_active = now;
+  // Build the inner application frame (with a rekey echo when owed).
+  AppFrame frame;
+  if (sess.pending_echo.has_value()) {
+    frame.echo = sess.pending_echo;
+    sess.pending_echo.reset();
+    ++stats_.echoes_sent;
+  }
+  frame.payload.assign(payload.begin(), payload.end());
+  auto frame_bytes = frame.serialize();
+  if (config_.mask_payload_sizes) {
+    frame_bytes = masker_.mask(frame_bytes);  // §2: defeat size analysis
+  }
+
+  // Establish e2e lazily (we are the conversation initiator if no
+  // session exists yet).
+  const bool need_transport = !sess.e2e.has_value() || sess.transport_sent;
+  if (!sess.e2e.has_value()) {
+    crypto::AesKey session_key;
+    rng_.fill(session_key);
+    sess.e2e.emplace(session_key, /*initiator=*/true);
+    sess.transport_sent = true;
+  }
+  const auto sealed = sess.e2e->seal(frame_bytes);
+
+  std::vector<std::uint8_t> shim_payload;
+  if (need_transport) {
+    const auto info = peers_.find(peer);
+    if (info == peers_.end()) {
+      ++stats_.send_failures;
+      return;
+    }
+    KeyBlock kb;
+    kb.session_key = sess.e2e->key();
+    if (config_.inside_neutral_domain &&
+        sess.route == Session::Route::kViaPeerService) {
+      // §3.3: ship the leased neutralizer key to the outside peer so it
+      // can address us through our neutralizer.
+      const auto& st = services_.at(sess.via_anycast);
+      kb.has_lease = true;
+      kb.lease_epoch = st.current->epoch;
+      kb.lease_nonce = st.current->nonce;
+      kb.lease_key = st.current->ks;
+    }
+    const auto wrapped = wrap_key(rng_, info->second.public_key, kb.serialize());
+    shim_payload = frame_key_transport(wrapped, sealed);
+  } else {
+    shim_payload = frame_sealed(sealed);
+  }
+
+  // Build the shim header per route.
+  ShimHeader shim;
+  switch (sess.route) {
+    case Session::Route::kViaPeerService: {
+      const auto& st = services_.at(sess.via_anycast);
+      const ServiceKey& key = *st.current;
+      if (config_.inside_neutral_domain) {
+        // Customer-initiated (§3.3): leave via our own neutralizer.
+        shim.type = ShimType::kDataReturn;
+        shim.flags = ShimFlags::kLeaseKey;
+        shim.inner_addr = peer.value();  // clear inside our domain
+      } else {
+        shim.type = ShimType::kDataForward;
+        shim.flags = key.lease ? ShimFlags::kLeaseKey : 0;
+        if (!key.strong) shim.flags |= ShimFlags::kKeyRequest;
+        shim.inner_addr =
+            crypto::crypt_address(key.ks, key.nonce, false, peer.value());
+      }
+      shim.key_epoch = key.epoch;
+      shim.nonce = key.nonce;
+      break;
+    }
+    case Session::Route::kRespond:
+      // We are the customer answering an outside initiator (Fig. 2
+      // packet 5): dst is the return handle, the initiator's address
+      // rides in clear inside our domain.
+      shim.type = ShimType::kDataReturn;
+      shim.flags = sess.lease ? ShimFlags::kLeaseKey : 0;
+      shim.key_epoch = sess.epoch;
+      shim.nonce = sess.nonce;
+      shim.inner_addr = peer.value();
+      break;
+    case Session::Route::kReverseOutside:
+      // We are the outside party of a customer-initiated flow (§3.3),
+      // sending back with the leased key it gave us.
+      shim.type = ShimType::kDataForward;
+      shim.flags = ShimFlags::kLeaseKey;
+      shim.key_epoch = sess.epoch;
+      shim.nonce = sess.nonce;
+      shim.inner_addr =
+          crypto::crypt_address(sess.flow_ks, sess.nonce, false, peer.value());
+      break;
+    case Session::Route::kNone:
+      ++stats_.send_failures;
+      return;
+  }
+
+  ++stats_.app_sent;
+  transmit_(net::make_shim_packet(config_.self, sess.via_anycast, shim,
+                                  shim_payload, config_.dscp));
+}
+
+// ---------------------------------------------------------------------------
+// Receive paths
+// ---------------------------------------------------------------------------
+
+void NeutralizedHost::on_packet(net::Packet&& pkt, sim::SimTime now) {
+  net::ParsedPacket p;
+  try {
+    p = net::parse_packet(pkt.view());
+  } catch (const ParseError&) {
+    return;
+  }
+  if (!p.shim.has_value()) return;
+
+  switch (p.shim->type) {
+    case ShimType::kKeySetupResponse:
+      handle_key_response(p, /*lease=*/false, now);
+      return;
+    case ShimType::kKeyLeaseResponse:
+      handle_key_response(p, /*lease=*/true, now);
+      return;
+    case ShimType::kKeySetup:
+      // Only reaches a host via the offload path (§3.2).
+      if (config_.inside_neutral_domain && p.shim->rekey.has_value()) {
+        handle_offload_request(p, now);
+      }
+      return;
+    case ShimType::kDataForward:
+      handle_forward_delivery(std::move(pkt), now);
+      return;
+    case ShimType::kDataReturn:
+      handle_return_delivery(std::move(pkt), now);
+      return;
+    case ShimType::kKeyLease:
+    case ShimType::kDynAddrRequest:
+    case ShimType::kDynAddrResponse:
+      // Key leases are never addressed to hosts; dynamic-address
+      // control messages are consumed by QoS-session applications that
+      // install their own handlers (see tests/core/test_dynamic_datapath).
+      return;
+  }
+}
+
+void NeutralizedHost::deliver(net::Ipv4Addr peer, Session& sess,
+                              std::span<const std::uint8_t> sealed,
+                              sim::SimTime now) {
+  sess.last_active = now;
+  if (!sess.e2e.has_value()) {
+    ++stats_.decrypt_failures;
+    return;
+  }
+  auto plain = sess.e2e->open(sealed);
+  if (!plain.has_value()) {
+    ++stats_.decrypt_failures;
+    return;
+  }
+  if (config_.mask_payload_sizes) {
+    plain = SizeMasker::unmask(*plain);
+    if (!plain.has_value()) {
+      ++stats_.decrypt_failures;
+      return;
+    }
+  }
+  const auto frame = AppFrame::parse(*plain);
+  if (!frame.has_value()) {
+    ++stats_.decrypt_failures;
+    return;
+  }
+  if (frame->echo.has_value() &&
+      sess.route == Session::Route::kViaPeerService) {
+    adopt_echo(sess.via_anycast, *frame->echo);
+  }
+  // A successfully opened frame proves the peer holds the session key;
+  // stop resending the key transport.
+  sess.transport_sent = false;
+  ++stats_.app_delivered;
+  if (app_handler_) app_handler_(peer, frame->payload, now);
+}
+
+void NeutralizedHost::adopt_echo(net::Ipv4Addr anycast,
+                                 const RekeyEcho& echo) {
+  auto it = services_.find(anycast);
+  if (it == services_.end()) return;
+  ServiceState& st = it->second;
+  ServiceKey key;
+  key.epoch = echo.epoch;
+  key.nonce = echo.nonce;
+  key.ks = echo.key;
+  key.lease = false;
+  key.strong = true;  // stamped by the neutralizer, never exposed
+  st.current = key;
+  remember_key(anycast, echo.nonce, echo.key);
+  ++stats_.rekeys_adopted;
+}
+
+void NeutralizedHost::handle_forward_delivery(net::Packet&& pkt,
+                                              sim::SimTime now) {
+  net::ShimPacketView view(pkt.mutable_view());
+  const net::Ipv4Addr peer = view.src();
+  const net::Ipv4Addr return_anycast(view.inner_addr());
+
+  Session& sess = sessions_[peer];
+  // Record/refresh the reply route (Fig. 2 packet 4 -> 5). Established
+  // initiator routes are kept: both endpoints of a §3.3 flow may send
+  // forward packets.
+  if (sess.route == Session::Route::kNone ||
+      sess.route == Session::Route::kRespond) {
+    sess.route = Session::Route::kRespond;
+    sess.via_anycast = return_anycast;
+    sess.nonce = view.nonce();
+    sess.epoch = view.key_epoch();
+    sess.lease = (view.flags() & ShimFlags::kLeaseKey) != 0;
+  }
+  if (view.flags() & ShimFlags::kRekeyFilled) {
+    const auto ext = view.rekey();
+    sess.pending_echo = RekeyEcho{ext.epoch, ext.nonce, ext.key};
+  }
+
+  const auto frame = parse_frame(view.payload());
+  if (!frame.has_value()) {
+    ++stats_.decrypt_failures;
+    return;
+  }
+  if (frame->type == FrameType::kKeyTransport) {
+    const auto block_bytes = unwrap_key(identity_, frame->wrapped_key);
+    const auto block =
+        block_bytes ? KeyBlock::parse(*block_bytes) : std::nullopt;
+    if (!block.has_value()) {
+      ++stats_.decrypt_failures;
+      return;
+    }
+    // Adopt the transported key; a *different* key means the peer
+    // restarted the session (e.g. after GC) and the old state is stale.
+    if (!sess.e2e.has_value() || sess.e2e->key() != block->session_key) {
+      sess.e2e.emplace(block->session_key, /*initiator=*/false);
+    }
+  }
+  deliver(peer, sess, frame->sealed, now);
+}
+
+void NeutralizedHost::handle_return_delivery(net::Packet&& pkt,
+                                             sim::SimTime now) {
+  net::ShimPacketView view(pkt.mutable_view());
+  const net::Ipv4Addr anycast = view.src();
+  const std::uint64_t nonce = view.nonce();
+
+  if (const crypto::AesKey* ks = lookup_key(anycast, nonce)) {
+    // Normal return leg: recover the hidden peer, then open.
+    const net::Ipv4Addr peer(
+        crypto::crypt_address(*ks, nonce, true, view.inner_addr()));
+    const auto sit = sessions_.find(peer);
+    if (sit == sessions_.end()) {
+      ++stats_.decrypt_failures;
+      return;
+    }
+    const auto frame = parse_frame(view.payload());
+    if (!frame.has_value()) {
+      ++stats_.decrypt_failures;
+      return;
+    }
+    deliver(peer, sit->second, frame->sealed, now);
+    return;
+  }
+
+  // Unknown (nonce, neutralizer): §3.3 — "it will attempt to use its
+  // public key to decrypt the packet".
+  const auto frame = parse_frame(view.payload());
+  if (!frame.has_value() || frame->type != FrameType::kKeyTransport) {
+    ++stats_.decrypt_failures;
+    return;
+  }
+  const auto block_bytes = unwrap_key(identity_, frame->wrapped_key);
+  const auto block = block_bytes ? KeyBlock::parse(*block_bytes) : std::nullopt;
+  if (!block.has_value() || !block->has_lease ||
+      block->lease_nonce != nonce) {
+    ++stats_.decrypt_failures;
+    return;
+  }
+  // The leased key both names the flow and unhides the customer.
+  const net::Ipv4Addr peer(
+      crypto::crypt_address(block->lease_key, nonce, true, view.inner_addr()));
+  remember_key(anycast, nonce, block->lease_key);
+
+  Session& sess = sessions_[peer];
+  sess.route = Session::Route::kReverseOutside;
+  sess.via_anycast = anycast;
+  sess.nonce = nonce;
+  sess.epoch = block->lease_epoch;
+  sess.lease = true;
+  sess.flow_ks = block->lease_key;
+  if (!sess.e2e.has_value() || sess.e2e->key() != block->session_key) {
+    sess.e2e.emplace(block->session_key, /*initiator=*/false);
+  }
+  deliver(peer, sess, frame->sealed, now);
+}
+
+void NeutralizedHost::handle_offload_request(const net::ParsedPacket& p,
+                                             sim::SimTime now) {
+  (void)now;
+  // §3.2: the neutralizer forwarded a key setup to us with (nonce, Ks)
+  // stamped; we do the RSA encryption and answer as the service.
+  crypto::RsaPublicKey source_key;
+  try {
+    source_key = crypto::RsaPublicKey::parse(p.payload);
+  } catch (const ParseError&) {
+    return;
+  }
+  const net::RekeyExt& ext = *p.shim->rekey;
+  ByteWriter msg(24);
+  msg.u64(ext.nonce);
+  msg.raw(ext.key);
+  std::vector<std::uint8_t> ciphertext;
+  try {
+    ciphertext = crypto::rsa_encrypt(rng_, source_key, msg.view());
+  } catch (const std::invalid_argument&) {
+    return;
+  }
+
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetupResponse;
+  shim.key_epoch = ext.epoch;
+  shim.nonce = p.shim->nonce;  // request id
+  ++stats_.offload_served;
+  // Answer with the service's source address: indistinguishable from a
+  // locally-answered setup (our domain permits this spoof).
+  transmit_(net::make_shim_packet(config_.home_anycast, p.ip.src, shim,
+                                  ciphertext, p.ip.dscp));
+}
+
+}  // namespace nn::host

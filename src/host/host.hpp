@@ -1,0 +1,236 @@
+// NeutralizedHost: the end-host protocol stack of the paper, covering
+// every packet sequence in Fig. 2 and §3.3:
+//
+//  * outside initiator:  one-time RSA-512 key setup -> encrypted-
+//    destination DataForward with a rekey request on the first packet ->
+//    adoption of the neutralizer-stamped strong key (nonce', Ks') echoed
+//    back under end-to-end encryption;
+//  * customer responder: records the return handle (anycast, nonce,
+//    epoch), echoes stamped keys, replies via DataReturn;
+//  * customer initiator (§3.3): clear-text key lease, key transport of
+//    (session key, lease) under the peer's public key;
+//  * outside responder (§3.3): falls back to its RSA identity when no
+//    cached key matches (nonce, neutralizer address), then replies via
+//    DataForward with the leased key;
+//  * offload helper (§3.2): answers key setups on the service's behalf.
+//
+// The class is transport-only: applications hand it payload bytes and
+// get payload bytes back. It is simulator-agnostic except for the
+// optional Engine used for retransmission timers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/master_key.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+#include "host/e2e.hpp"
+#include "host/masking.hpp"
+#include "host/wire.hpp"
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace nn::host {
+
+/// Bootstrap information about a remote peer, as published in its DNS
+/// records (paper §3.1): address, neutralizer anycast address(es), and
+/// public key.
+struct PeerInfo {
+  net::Ipv4Addr addr;
+  /// The peer's neutralizer service; unspecified = peer is not behind a
+  /// neutralizer (sending to it will fail by design).
+  net::Ipv4Addr anycast;
+  crypto::RsaPublicKey public_key;
+};
+
+struct HostConfig {
+  net::Ipv4Addr self;
+  /// Set for customers of a neutral ISP; enables key leases and the
+  /// offload-helper role.
+  bool inside_neutral_domain = false;
+  net::Ipv4Addr home_anycast;
+  /// Master-key rotation period of the neutralizer service(s); hosts
+  /// use it to refresh keys proactively.
+  sim::SimTime rotation_period = core::MasterKeySchedule::kDefaultRotation;
+  std::size_t onetime_rsa_bits = 512;
+  net::Dscp dscp = net::Dscp::kBestEffort;
+  /// Traffic-analysis countermeasure (paper §2 future work): pad every
+  /// e2e plaintext to a size bucket so packet lengths stop identifying
+  /// applications. Both conversation endpoints must agree.
+  bool mask_payload_sizes = false;
+  /// Retransmission timeout for lost key handshakes (0 = no retries;
+  /// requires an Engine to be active).
+  sim::SimTime handshake_timeout = 250 * sim::kMillisecond;
+  int max_handshake_retries = 5;
+};
+
+struct HostStats {
+  std::uint64_t key_setups_sent = 0;
+  std::uint64_t key_leases_sent = 0;
+  std::uint64_t keys_established = 0;
+  std::uint64_t handshake_retries = 0;
+  std::uint64_t rekeys_adopted = 0;
+  std::uint64_t echoes_sent = 0;
+  std::uint64_t offload_served = 0;
+  std::uint64_t app_sent = 0;
+  std::uint64_t app_delivered = 0;
+  std::uint64_t queued_sends = 0;
+  std::uint64_t decrypt_failures = 0;
+  std::uint64_t send_failures = 0;  // no peer info / no route / expired
+};
+
+class NeutralizedHost {
+ public:
+  using TransmitFn = std::function<void(net::Packet&&)>;
+  using AppReceiveFn = std::function<void(
+      net::Ipv4Addr peer, std::span<const std::uint8_t> payload,
+      sim::SimTime now)>;
+
+  /// `identity` is the host's published RSA key pair (1024-bit in the
+  /// experiments); `engine` may be null (no retransmission timers).
+  NeutralizedHost(HostConfig config, crypto::RsaPrivateKey identity,
+                  TransmitFn transmit, sim::Engine* engine = nullptr,
+                  std::uint64_t seed = 1);
+
+  void set_app_handler(AppReceiveFn handler) {
+    app_handler_ = std::move(handler);
+  }
+  /// Changes the DSCP used for subsequent packets (the "purchased
+  /// tier", §3.4 — the neutralizer preserves it end to end).
+  void set_dscp(net::Dscp dscp) noexcept { config_.dscp = dscp; }
+  void add_peer(const PeerInfo& info) { peers_[info.addr] = info; }
+
+  /// Application send. Queues transparently while key handshakes are in
+  /// flight.
+  void send(net::Ipv4Addr peer, std::vector<std::uint8_t> payload,
+            sim::SimTime now);
+
+  /// Network delivery entry point (wire Host::set_handler to this).
+  void on_packet(net::Packet&& pkt, sim::SimTime now);
+
+  [[nodiscard]] const HostStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const crypto::RsaPublicKey& public_key() const noexcept {
+    return identity_.key().pub;
+  }
+  [[nodiscard]] net::Ipv4Addr address() const noexcept {
+    return config_.self;
+  }
+  /// True once a strong (rekeyed) service key replaced the short-RSA
+  /// bootstrap key for `anycast`.
+  [[nodiscard]] bool has_strong_key(net::Ipv4Addr anycast) const;
+
+  /// Garbage-collects sessions idle for longer than `max_age` (a server
+  /// like Google talks to millions of short-lived peers; per-peer state
+  /// must be reclaimable). Returns the number of sessions dropped.
+  std::size_t purge_idle_sessions(sim::SimTime now, sim::SimTime max_age);
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+
+ private:
+  struct ServiceKey {
+    std::uint16_t epoch = 0;
+    std::uint64_t nonce = 0;
+    crypto::AesKey ks{};
+    bool lease = false;
+    bool strong = false;  // false: short-RSA bootstrap, keep requesting rekey
+  };
+
+  struct PendingSend {
+    net::Ipv4Addr peer;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Handshake/key state toward one neutralizer service.
+  struct ServiceState {
+    enum class Status { kNone, kPending, kReady };
+    Status status = Status::kNone;
+    bool lease_mode = false;  // KeyLease (inside) vs KeySetup (outside)
+    std::optional<ServiceKey> current;
+    std::optional<crypto::RsaPrivateKey> onetime;  // while pending
+    std::uint64_t request_id = 0;
+    int retries = 0;
+    std::deque<PendingSend> queue;
+  };
+
+  /// Per-peer conversation state.
+  struct Session {
+    std::optional<E2eSession> e2e;
+    bool transport_sent = false;  // we still resend KeyBlock until peer talks
+    // Reply routing:
+    enum class Route {
+      kNone,
+      kViaPeerService,   // we initiated: DataForward through peer's service
+      kRespond,          // peer initiated from outside world: DataReturn
+      kReverseOutside,   // peer (a customer) initiated to us: DataForward
+                         // with the leased key it gave us
+    };
+    Route route = Route::kNone;
+    net::Ipv4Addr via_anycast;
+    std::uint64_t nonce = 0;  // kRespond / kReverseOutside flow key handle
+    std::uint16_t epoch = 0;
+    bool lease = false;
+    crypto::AesKey flow_ks{};              // kReverseOutside only
+    std::optional<RekeyEcho> pending_echo;  // responder -> initiator
+    sim::SimTime last_active = 0;
+  };
+
+  HostConfig config_;
+  crypto::RsaDecryptor identity_;
+  TransmitFn transmit_;
+  sim::Engine* engine_;
+  crypto::ChaChaRng rng_;
+  AppReceiveFn app_handler_;
+  HostStats stats_;
+  SizeMasker masker_;
+
+  std::unordered_map<net::Ipv4Addr, PeerInfo> peers_;
+  std::unordered_map<net::Ipv4Addr, ServiceState> services_;
+  std::unordered_map<net::Ipv4Addr, Session> sessions_;
+  // Every service key we hold, for decrypting returns:
+  // (anycast, nonce) -> key material.
+  struct KnownKeyId {
+    std::uint64_t packed_addr_hi;  // anycast address
+    std::uint64_t nonce;
+    friend bool operator==(const KnownKeyId&, const KnownKeyId&) = default;
+  };
+  struct KnownKeyIdHash {
+    std::size_t operator()(const KnownKeyId& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.packed_addr_hi * 0x9E3779B97F4A7C15ULL ^
+                                        k.nonce);
+    }
+  };
+  std::unordered_map<KnownKeyId, crypto::AesKey, KnownKeyIdHash> known_keys_;
+
+  [[nodiscard]] std::uint16_t local_epoch_estimate(sim::SimTime now) const {
+    return static_cast<std::uint16_t>(now / config_.rotation_period);
+  }
+
+  void start_handshake(net::Ipv4Addr anycast, ServiceState& st,
+                       sim::SimTime now);
+  void schedule_handshake_retry(net::Ipv4Addr anycast);
+  void transmit_data(net::Ipv4Addr peer, Session& sess,
+                     std::span<const std::uint8_t> payload, sim::SimTime now);
+
+  void handle_key_response(const net::ParsedPacket& p, bool lease,
+                           sim::SimTime now);
+  void handle_forward_delivery(net::Packet&& pkt, sim::SimTime now);
+  void handle_return_delivery(net::Packet&& pkt, sim::SimTime now);
+  void handle_offload_request(const net::ParsedPacket& p, sim::SimTime now);
+
+  void adopt_echo(net::Ipv4Addr anycast, const RekeyEcho& echo);
+  void remember_key(net::Ipv4Addr anycast, std::uint64_t nonce,
+                    const crypto::AesKey& ks);
+  [[nodiscard]] const crypto::AesKey* lookup_key(net::Ipv4Addr anycast,
+                                                 std::uint64_t nonce) const;
+  void deliver(net::Ipv4Addr peer, Session& sess,
+               std::span<const std::uint8_t> sealed, sim::SimTime now);
+};
+
+}  // namespace nn::host

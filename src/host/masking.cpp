@@ -1,0 +1,53 @@
+#include "host/masking.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace nn::host {
+
+SizeMasker::SizeMasker(std::vector<std::size_t> buckets)
+    : buckets_(std::move(buckets)) {
+  if (buckets_.empty() || !std::is_sorted(buckets_.begin(), buckets_.end()) ||
+      buckets_.front() < 3) {
+    throw std::invalid_argument(
+        "SizeMasker: buckets must be sorted, nonempty, and >= 3 bytes");
+  }
+}
+
+std::size_t SizeMasker::bucket_for(std::size_t payload_size) const {
+  const std::size_t need = payload_size + 2;  // length prefix
+  for (const std::size_t b : buckets_) {
+    if (need <= b) return b;
+  }
+  // Oversized: round up to a multiple of the largest bucket so large
+  // transfers still quantize.
+  const std::size_t top = buckets_.back();
+  return ((need + top - 1) / top) * top;
+}
+
+std::vector<std::uint8_t> SizeMasker::mask(
+    std::span<const std::uint8_t> payload) const {
+  if (payload.size() > 0xFFFF) {
+    throw std::invalid_argument("SizeMasker: payload too large");
+  }
+  const std::size_t target = bucket_for(payload.size());
+  ByteWriter w(target);
+  w.u16(static_cast<std::uint16_t>(payload.size()));
+  w.raw(payload);
+  w.zeros(target - 2 - payload.size());
+  return w.take();
+}
+
+std::optional<std::vector<std::uint8_t>> SizeMasker::unmask(
+    std::span<const std::uint8_t> masked) {
+  if (masked.size() < 2) return std::nullopt;
+  ByteReader r(masked);
+  const std::uint16_t true_len = r.u16();
+  if (true_len > r.remaining()) return std::nullopt;
+  const auto body = r.take(true_len);
+  return std::vector<std::uint8_t>(body.begin(), body.end());
+}
+
+}  // namespace nn::host

@@ -1,0 +1,50 @@
+// Traffic masking (paper §2, future work): "If in the practical
+// deployment ISPs can use traffic analysis to successfully
+// discriminate, we will consider incorporating mechanisms such as
+// adaptive traffic masking [19] to defeat such attacks."
+//
+// This implements the size half of that defense: payloads are padded up
+// to a small set of buckets before encryption, so packet length carries
+// at most log2(#buckets) bits instead of identifying the application.
+// (Timing masking — cover traffic and jitter — is modeled by the
+// traffic sources' Poisson mode and is out of scope here, as in the
+// paper.)
+//
+// Wire format inside the e2e payload: [u16 true_length] payload pad...
+// The length prefix is encrypted along with everything else, so only
+// the receiver learns the real size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace nn::host {
+
+/// Pads `payload` (prefixed with its true length) to the smallest
+/// bucket that fits. Buckets must be sorted ascending; payloads larger
+/// than the last bucket are padded to a multiple of it.
+class SizeMasker {
+ public:
+  /// Default buckets follow common MTU-ish breakpoints.
+  explicit SizeMasker(std::vector<std::size_t> buckets = {128, 256, 512,
+                                                          1024, 1400});
+
+  [[nodiscard]] std::vector<std::uint8_t> mask(
+      std::span<const std::uint8_t> payload) const;
+
+  /// Recovers the true payload; nullopt on malformed input.
+  [[nodiscard]] static std::optional<std::vector<std::uint8_t>> unmask(
+      std::span<const std::uint8_t> masked);
+
+  [[nodiscard]] std::size_t bucket_for(std::size_t payload_size) const;
+  [[nodiscard]] const std::vector<std::size_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::size_t> buckets_;
+};
+
+}  // namespace nn::host

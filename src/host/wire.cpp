@@ -1,0 +1,108 @@
+#include "host/wire.hpp"
+
+namespace nn::host {
+
+std::vector<std::uint8_t> KeyBlock::serialize() const {
+  ByteWriter w(kSize);
+  w.raw(session_key);
+  w.u8(has_lease ? 1 : 0);
+  w.u16(lease_epoch);
+  w.u64(lease_nonce);
+  w.raw(lease_key);
+  return w.take();
+}
+
+std::optional<KeyBlock> KeyBlock::parse(std::span<const std::uint8_t> data) {
+  if (data.size() != kSize) return std::nullopt;
+  ByteReader r(data);
+  KeyBlock kb;
+  const auto sk = r.take(16);
+  std::copy(sk.begin(), sk.end(), kb.session_key.begin());
+  kb.has_lease = r.u8() != 0;
+  kb.lease_epoch = r.u16();
+  kb.lease_nonce = r.u64();
+  const auto lk = r.take(16);
+  std::copy(lk.begin(), lk.end(), kb.lease_key.begin());
+  return kb;
+}
+
+namespace {
+constexpr std::uint8_t kFlagHasEcho = 0x01;
+}
+
+std::vector<std::uint8_t> AppFrame::serialize() const {
+  ByteWriter w(1 + (echo ? 26 : 0) + payload.size());
+  w.u8(echo ? kFlagHasEcho : 0);
+  if (echo) {
+    w.u16(echo->epoch);
+    w.u64(echo->nonce);
+    w.raw(echo->key);
+  }
+  w.raw(payload);
+  return w.take();
+}
+
+std::optional<AppFrame> AppFrame::parse(std::span<const std::uint8_t> data) {
+  if (data.empty()) return std::nullopt;
+  ByteReader r(data);
+  const std::uint8_t flags = r.u8();
+  AppFrame frame;
+  try {
+    if (flags & kFlagHasEcho) {
+      RekeyEcho echo;
+      echo.epoch = r.u16();
+      echo.nonce = r.u64();
+      const auto key = r.take(16);
+      std::copy(key.begin(), key.end(), echo.key.begin());
+      frame.echo = echo;
+    }
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  frame.payload.assign(r.rest().begin(), r.rest().end());
+  return frame;
+}
+
+std::vector<std::uint8_t> frame_key_transport(
+    std::span<const std::uint8_t> wrapped_key,
+    std::span<const std::uint8_t> sealed) {
+  ByteWriter w(3 + wrapped_key.size() + sealed.size());
+  w.u8(static_cast<std::uint8_t>(FrameType::kKeyTransport));
+  w.u16(static_cast<std::uint16_t>(wrapped_key.size()));
+  w.raw(wrapped_key);
+  w.raw(sealed);
+  return w.take();
+}
+
+std::vector<std::uint8_t> frame_sealed(std::span<const std::uint8_t> sealed) {
+  ByteWriter w(1 + sealed.size());
+  w.u8(static_cast<std::uint8_t>(FrameType::kSealed));
+  w.raw(sealed);
+  return w.take();
+}
+
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> data) {
+  if (data.empty()) return std::nullopt;
+  ByteReader r(data);
+  const std::uint8_t type = r.u8();
+  ParsedFrame out{};
+  try {
+    if (type == static_cast<std::uint8_t>(FrameType::kKeyTransport)) {
+      out.type = FrameType::kKeyTransport;
+      const std::uint16_t len = r.u16();
+      out.wrapped_key = r.take(len);
+      out.sealed = r.rest();
+      return out;
+    }
+    if (type == static_cast<std::uint8_t>(FrameType::kSealed)) {
+      out.type = FrameType::kSealed;
+      out.sealed = r.rest();
+      return out;
+    }
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nn::host

@@ -1,0 +1,80 @@
+// Host-level framing inside the shim payload of Data packets.
+//
+//   frame := [u8 frame_type] body
+//     kKeyTransport: [u16 len][RSA ciphertext][sealed...]   first packet
+//     kSealed:       [sealed...]                            steady state
+//
+//   RSA key-transport plaintext (KeyBlock):
+//     [16 session key][u8 has_lease][u16 epoch][u64 nonce][16 lease Ks]
+//     (lease fields are the reverse-direction §3.3 handshake: "the
+//      customer encrypts the shared key with its intended destination's
+//      public key and sends the encrypted key")
+//
+//   sealed plaintext (AppFrame):
+//     [u8 flags][echo? u16 epoch u64 nonce 16B key][app payload...]
+//     The echo is how a destination returns the neutralizer-stamped
+//     (nonce', Ks') to the source under end-to-end encryption (Fig. 2
+//      packets 5/6).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::host {
+
+enum class FrameType : std::uint8_t {
+  kKeyTransport = 1,
+  kSealed = 2,
+};
+
+struct KeyBlock {
+  crypto::AesKey session_key{};
+  bool has_lease = false;
+  std::uint16_t lease_epoch = 0;
+  std::uint64_t lease_nonce = 0;
+  crypto::AesKey lease_key{};
+
+  static constexpr std::size_t kSize = 16 + 1 + 2 + 8 + 16;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<KeyBlock> parse(std::span<const std::uint8_t> data);
+};
+
+struct RekeyEcho {
+  std::uint16_t epoch = 0;
+  std::uint64_t nonce = 0;
+  crypto::AesKey key{};
+
+  friend bool operator==(const RekeyEcho&, const RekeyEcho&) = default;
+};
+
+struct AppFrame {
+  std::optional<RekeyEcho> echo;
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<AppFrame> parse(std::span<const std::uint8_t> data);
+};
+
+/// Outer frame helpers.
+[[nodiscard]] std::vector<std::uint8_t> frame_key_transport(
+    std::span<const std::uint8_t> wrapped_key,
+    std::span<const std::uint8_t> sealed);
+[[nodiscard]] std::vector<std::uint8_t> frame_sealed(
+    std::span<const std::uint8_t> sealed);
+
+struct ParsedFrame {
+  FrameType type;
+  std::span<const std::uint8_t> wrapped_key;  // kKeyTransport only
+  std::span<const std::uint8_t> sealed;
+};
+
+[[nodiscard]] std::optional<ParsedFrame> parse_frame(
+    std::span<const std::uint8_t> data);
+
+}  // namespace nn::host

@@ -1,0 +1,81 @@
+#include "multihome/selector.hpp"
+
+namespace nn::multihome {
+
+NeutralizerSelector::NeutralizerSelector(Strategy strategy,
+                                         std::vector<Option> options,
+                                         std::uint64_t seed)
+    : strategy_(strategy), rng_(seed) {
+  if (options.empty()) {
+    throw std::invalid_argument("NeutralizerSelector: no options");
+  }
+  for (auto& opt : options) {
+    if (opt.weight <= 0) {
+      throw std::invalid_argument("NeutralizerSelector: weight must be > 0");
+    }
+    // Optimistic initialization so kProbe explores everything once.
+    options_.push_back(State{opt, 0.0, 0});
+  }
+}
+
+std::size_t NeutralizerSelector::index_of(net::Ipv4Addr addr) const {
+  for (std::size_t i = 0; i < options_.size(); ++i) {
+    if (options_[i].option.anycast == addr) return i;
+  }
+  throw std::invalid_argument("NeutralizerSelector: unknown address");
+}
+
+net::Ipv4Addr NeutralizerSelector::pick() {
+  std::size_t chosen = 0;
+  switch (strategy_) {
+    case Strategy::kFixed:
+      chosen = 0;
+      break;
+    case Strategy::kRandom:
+      chosen = rng_.uniform(options_.size());
+      break;
+    case Strategy::kWeighted: {
+      double total = 0;
+      for (const auto& s : options_) total += s.option.weight;
+      double draw = rng_.uniform_double() * total;
+      for (std::size_t i = 0; i < options_.size(); ++i) {
+        draw -= options_[i].option.weight;
+        if (draw <= 0) {
+          chosen = i;
+          break;
+        }
+        chosen = i;
+      }
+      break;
+    }
+    case Strategy::kProbe: {
+      if (rng_.uniform_double() < kExploreEpsilon) {
+        chosen = rng_.uniform(options_.size());
+      } else {
+        double best = options_[0].ewma_score;
+        for (std::size_t i = 1; i < options_.size(); ++i) {
+          if (options_[i].ewma_score < best) {
+            best = options_[i].ewma_score;
+            chosen = i;
+          }
+        }
+      }
+      break;
+    }
+  }
+  ++options_[chosen].picks;
+  return options_[chosen].option.anycast;
+}
+
+void NeutralizerSelector::report(net::Ipv4Addr addr, bool success,
+                                 double latency_ms) {
+  State& s = options_[index_of(addr)];
+  const double sample = success ? latency_ms : kFailurePenalty;
+  s.ewma_score = (1.0 - kAlpha) * s.ewma_score + kAlpha * sample;
+}
+
+double NeutralizerSelector::score(net::Ipv4Addr addr) const {
+  return options_[index_of(addr)].ewma_score;
+}
+
+}  // namespace nn::multihome

@@ -1,0 +1,71 @@
+// Multi-homed site support (paper §3.5): a site publishes one
+// neutralizer address per provider; sources choose which to use, which
+// moves inbound path control from the site's BGP to the sources —
+// "we can borrow any technique that can balance traffic load in that
+// [IPv6 multi-address] context … two hosts may always use
+// trial-and-error to find a path that's working for them."
+//
+// Strategies:
+//   kFixed    — always the first address (the degenerate baseline);
+//   kRandom   — uniform per-flow choice;
+//   kWeighted — static weights (e.g. provisioned capacities);
+//   kProbe    — trial-and-error: epsilon-greedy on an EWMA of observed
+//               success/latency, the paper's suggestion.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "util/rng.hpp"
+
+namespace nn::multihome {
+
+enum class Strategy {
+  kFixed,
+  kRandom,
+  kWeighted,
+  kProbe,
+};
+
+class NeutralizerSelector {
+ public:
+  struct Option {
+    net::Ipv4Addr anycast;
+    double weight = 1.0;  // kWeighted only
+  };
+
+  NeutralizerSelector(Strategy strategy, std::vector<Option> options,
+                      std::uint64_t seed = 1);
+
+  /// Picks the neutralizer for the next flow/packet.
+  [[nodiscard]] net::Ipv4Addr pick();
+
+  /// Feedback for kProbe: report whether traffic through `addr`
+  /// succeeded and its observed latency (lower score = better).
+  void report(net::Ipv4Addr addr, bool success, double latency_ms);
+
+  [[nodiscard]] std::size_t option_count() const noexcept {
+    return options_.size();
+  }
+  [[nodiscard]] double score(net::Ipv4Addr addr) const;
+
+ private:
+  struct State {
+    Option option;
+    double ewma_score;  // latency-ms equivalent; failures count heavily
+    std::uint64_t picks = 0;
+  };
+
+  Strategy strategy_;
+  std::vector<State> options_;
+  SplitMix64 rng_;
+  static constexpr double kAlpha = 0.3;        // EWMA gain
+  static constexpr double kFailurePenalty = 1000.0;
+  static constexpr double kExploreEpsilon = 0.1;
+
+  [[nodiscard]] std::size_t index_of(net::Ipv4Addr addr) const;
+};
+
+}  // namespace nn::multihome

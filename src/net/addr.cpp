@@ -1,0 +1,82 @@
+#include "net/addr.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+
+namespace nn::net {
+
+namespace {
+std::uint32_t parse_octet(std::string_view& s) {
+  unsigned value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || value > 255 || ptr == begin) {
+    throw ParseError("Ipv4Addr: bad octet in '" + std::string(s) + "'");
+  }
+  s.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+}  // namespace
+
+Ipv4Addr Ipv4Addr::from_string(std::string_view s) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value = (value << 8) | parse_octet(s);
+    if (i < 3) {
+      if (s.empty() || s.front() != '.') {
+        throw ParseError("Ipv4Addr: expected '.'");
+      }
+      s.remove_prefix(1);
+    }
+  }
+  if (!s.empty()) throw ParseError("Ipv4Addr: trailing characters");
+  return Ipv4Addr(value);
+}
+
+std::string Ipv4Addr::to_string() const {
+  return std::to_string((value_ >> 24) & 0xFF) + "." +
+         std::to_string((value_ >> 16) & 0xFF) + "." +
+         std::to_string((value_ >> 8) & 0xFF) + "." +
+         std::to_string(value_ & 0xFF);
+}
+
+Ipv4Prefix::Ipv4Prefix(Ipv4Addr base, int length) : length_(length) {
+  if (length < 0 || length > 32) {
+    throw std::invalid_argument("Ipv4Prefix: length must be in [0,32]");
+  }
+  base_ = Ipv4Addr(base.value() & mask());
+}
+
+Ipv4Prefix Ipv4Prefix::from_string(std::string_view s) {
+  const auto slash = s.find('/');
+  if (slash == std::string_view::npos) {
+    throw ParseError("Ipv4Prefix: missing '/'");
+  }
+  const Ipv4Addr base = Ipv4Addr::from_string(s.substr(0, slash));
+  int len = 0;
+  const auto len_str = s.substr(slash + 1);
+  const auto* begin = len_str.data();
+  const auto* end = len_str.data() + len_str.size();
+  auto [ptr, ec] = std::from_chars(begin, end, len);
+  if (ec != std::errc{} || ptr != end) {
+    throw ParseError("Ipv4Prefix: bad length");
+  }
+  return {base, len};
+}
+
+Ipv4Addr Ipv4Prefix::at(std::uint32_t offset) const {
+  const std::uint32_t host_bits_max = length_ == 32 ? 0 : (~mask());
+  if (offset > host_bits_max) {
+    throw std::out_of_range("Ipv4Prefix::at: offset outside prefix");
+  }
+  return Ipv4Addr(base_.value() | offset);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace nn::net

@@ -1,0 +1,81 @@
+// IPv4 address and prefix value types. Strongly typed so simulator code
+// cannot confuse an address with other 32-bit quantities.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace nn::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  /// Parses dotted-quad notation; throws ParseError on malformed input.
+  static Ipv4Addr from_string(std::string_view s);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept {
+    return value_;
+  }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] constexpr bool is_unspecified() const noexcept {
+    return value_ == 0;
+  }
+
+  friend constexpr bool operator==(Ipv4Addr, Ipv4Addr) noexcept = default;
+  friend constexpr std::strong_ordering operator<=>(Ipv4Addr,
+                                                    Ipv4Addr) noexcept =
+      default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix, e.g. 10.1.0.0/16.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() = default;
+  /// Throws std::invalid_argument if length > 32. The base address is
+  /// masked down to the prefix, so Ipv4Prefix(10.1.2.3/16) == 10.1.0.0/16.
+  Ipv4Prefix(Ipv4Addr base, int length);
+
+  /// Parses "a.b.c.d/len".
+  static Ipv4Prefix from_string(std::string_view s);
+
+  [[nodiscard]] constexpr Ipv4Addr base() const noexcept { return base_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return length_ == 0 ? 0 : ~std::uint32_t{0} << (32 - length_);
+  }
+  [[nodiscard]] constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & mask()) == base_.value();
+  }
+  /// Address at `offset` within the prefix (for address assignment).
+  [[nodiscard]] Ipv4Addr at(std::uint32_t offset) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(Ipv4Prefix, Ipv4Prefix) noexcept = default;
+
+ private:
+  Ipv4Addr base_;
+  int length_ = 0;
+};
+
+}  // namespace nn::net
+
+template <>
+struct std::hash<nn::net::Ipv4Addr> {
+  std::size_t operator()(nn::net::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

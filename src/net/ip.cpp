@@ -1,0 +1,78 @@
+#include "net/ip.hpp"
+
+namespace nn::net {
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  const std::size_t start = w.size();
+  w.u8(0x45);  // version 4, IHL 5 (no options)
+  w.u8(static_cast<std::uint8_t>(static_cast<std::uint8_t>(dscp) << 2));
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(0);  // flags/fragment: DF not modeled
+  w.u8(ttl);
+  w.u8(protocol);
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+  const auto header = w.view().subspan(start, kIpv4HeaderSize);
+  w.patch_u16(start + 10, internet_checksum(header));
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+  const auto raw = r.take(kIpv4HeaderSize);
+  if (raw[0] != 0x45) {
+    throw ParseError("Ipv4Header: unsupported version/IHL");
+  }
+  if (internet_checksum(raw) != 0) {
+    throw ParseError("Ipv4Header: bad checksum");
+  }
+  Ipv4Header h;
+  h.dscp = static_cast<Dscp>(raw[1] >> 2);
+  h.total_length = static_cast<std::uint16_t>((raw[2] << 8) | raw[3]);
+  h.identification = static_cast<std::uint16_t>((raw[4] << 8) | raw[5]);
+  h.ttl = raw[8];
+  h.protocol = raw[9];
+  h.src = Ipv4Addr((static_cast<std::uint32_t>(raw[12]) << 24) |
+                   (static_cast<std::uint32_t>(raw[13]) << 16) |
+                   (static_cast<std::uint32_t>(raw[14]) << 8) | raw[15]);
+  h.dst = Ipv4Addr((static_cast<std::uint32_t>(raw[16]) << 24) |
+                   (static_cast<std::uint32_t>(raw[17]) << 16) |
+                   (static_cast<std::uint32_t>(raw[18]) << 8) | raw[19]);
+  return h;
+}
+
+void UdpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum optional in IPv4; not modeled
+}
+
+UdpHeader UdpHeader::parse(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  r.skip(2);  // checksum
+  if (h.length < kUdpHeaderSize) {
+    throw ParseError("UdpHeader: length smaller than header");
+  }
+  return h;
+}
+
+}  // namespace nn::net

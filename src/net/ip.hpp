@@ -1,0 +1,73 @@
+// IPv4 header (RFC 791, no options) with DSCP access, plus the internet
+// checksum. The neutralizer must preserve the DSCP field end to end
+// (paper §3.4), so DSCP is a first-class concept here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::net {
+
+/// Diffserv code points used by the tiered-service experiments. Values
+/// are the standard DSCP numbers (RFC 2474 / RFC 2597 / RFC 3246).
+enum class Dscp : std::uint8_t {
+  kBestEffort = 0,
+  kAf11 = 10,
+  kAf21 = 18,
+  kAf31 = 26,
+  kAf41 = 34,
+  kExpeditedForwarding = 46,
+};
+
+/// IP protocol numbers used in this project.
+enum class IpProto : std::uint8_t {
+  kUdp = 17,
+  // RFC 3692 experimental value; carries the neutralizer shim layer
+  // (paper §2: "The protocol field in an IP header is set to a fixed
+  // and known value").
+  kShim = 253,
+};
+
+inline constexpr std::size_t kIpv4HeaderSize = 20;
+
+/// RFC 1071 internet checksum over `data` (16-bit one's complement sum).
+[[nodiscard]] std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data) noexcept;
+
+struct Ipv4Header {
+  Dscp dscp = Dscp::kBestEffort;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  /// Serializes with a correct header checksum.
+  void serialize(ByteWriter& w) const;
+
+  /// Parses and verifies version/IHL and checksum; throws ParseError on
+  /// malformed headers.
+  static Ipv4Header parse(ByteReader& r);
+
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+inline constexpr std::size_t kUdpHeaderSize = 8;
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+
+  void serialize(ByteWriter& w) const;
+  static UdpHeader parse(ByteReader& r);
+
+  friend bool operator==(const UdpHeader&, const UdpHeader&) = default;
+};
+
+}  // namespace nn::net

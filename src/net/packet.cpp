@@ -1,0 +1,64 @@
+#include "net/packet.hpp"
+
+namespace nn::net {
+
+ParsedPacket parse_packet(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  ParsedPacket p;
+  p.ip = Ipv4Header::parse(r);
+  if (p.ip.total_length != bytes.size()) {
+    throw ParseError("parse_packet: total_length mismatch");
+  }
+  if (p.ip.protocol == static_cast<std::uint8_t>(IpProto::kUdp)) {
+    p.udp = UdpHeader::parse(r);
+  } else if (p.ip.protocol == static_cast<std::uint8_t>(IpProto::kShim)) {
+    p.shim = ShimHeader::parse(r);
+  }
+  p.payload = r.rest();
+  return p;
+}
+
+Packet make_udp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
+                       std::uint16_t dst_port,
+                       std::span<const std::uint8_t> payload, Dscp dscp,
+                       std::uint8_t ttl) {
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.dscp = dscp;
+  ip.ttl = ttl;
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderSize +
+                                               kUdpHeaderSize + payload.size());
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderSize + payload.size());
+
+  ByteWriter w(ip.total_length);
+  ip.serialize(w);
+  udp.serialize(w);
+  w.raw(payload);
+  return Packet{w.take()};
+}
+
+Packet make_shim_packet(Ipv4Addr src, Ipv4Addr dst, const ShimHeader& shim,
+                        std::span<const std::uint8_t> payload, Dscp dscp,
+                        std::uint8_t ttl) {
+  Ipv4Header ip;
+  ip.src = src;
+  ip.dst = dst;
+  ip.dscp = dscp;
+  ip.ttl = ttl;
+  ip.protocol = static_cast<std::uint8_t>(IpProto::kShim);
+  ip.total_length = static_cast<std::uint16_t>(
+      kIpv4HeaderSize + shim.serialized_size() + payload.size());
+
+  ByteWriter w(ip.total_length);
+  ip.serialize(w);
+  shim.serialize(w);
+  w.raw(payload);
+  return Packet{w.take()};
+}
+
+}  // namespace nn::net

@@ -1,0 +1,58 @@
+// Packet: the unit that flows through the simulated network. It owns the
+// fully serialized IPv4 datagram — classifiers, DPI, and the neutralizer
+// all operate on real bytes, exactly as a middlebox would.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip.hpp"
+#include "net/shim.hpp"
+
+namespace nn::net {
+
+struct Packet {
+  std::vector<std::uint8_t> bytes;
+
+  [[nodiscard]] std::size_t size() const noexcept { return bytes.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+    return bytes;
+  }
+  [[nodiscard]] std::span<std::uint8_t> mutable_view() noexcept {
+    return bytes;
+  }
+
+  friend bool operator==(const Packet&, const Packet&) = default;
+};
+
+/// Structured read-only decomposition of a packet. Spans reference the
+/// original buffer and are valid only while it lives.
+struct ParsedPacket {
+  Ipv4Header ip;
+  std::optional<UdpHeader> udp;
+  std::optional<ShimHeader> shim;
+  std::span<const std::uint8_t> payload;
+};
+
+/// Parses IP and, when the protocol matches, the UDP or shim layer.
+/// Throws ParseError on malformed packets (simulated routers drop those).
+[[nodiscard]] ParsedPacket parse_packet(std::span<const std::uint8_t> bytes);
+
+/// Builds IP+UDP+payload.
+[[nodiscard]] Packet make_udp_packet(Ipv4Addr src, Ipv4Addr dst,
+                                     std::uint16_t src_port,
+                                     std::uint16_t dst_port,
+                                     std::span<const std::uint8_t> payload,
+                                     Dscp dscp = Dscp::kBestEffort,
+                                     std::uint8_t ttl = 64);
+
+/// Builds IP+shim+payload (protocol 253).
+[[nodiscard]] Packet make_shim_packet(Ipv4Addr src, Ipv4Addr dst,
+                                      const ShimHeader& shim,
+                                      std::span<const std::uint8_t> payload,
+                                      Dscp dscp = Dscp::kBestEffort,
+                                      std::uint8_t ttl = 64);
+
+}  // namespace nn::net

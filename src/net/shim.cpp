@@ -1,0 +1,182 @@
+#include "net/shim.hpp"
+
+namespace nn::net {
+
+std::size_t ShimHeader::serialized_size() const noexcept {
+  std::size_t size = kShimBaseSize;
+  if (shim_type_has_inner_addr(type)) size += kShimInnerAddrSize;
+  if (has_rekey_space()) size += kShimRekeyExtSize;
+  return size;
+}
+
+void ShimHeader::serialize(ByteWriter& w) const {
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(flags);
+  w.u16(key_epoch);
+  w.u64(nonce);
+  if (shim_type_has_inner_addr(type)) w.u32(inner_addr);
+  if (has_rekey_space()) {
+    if (rekey.has_value()) {
+      w.u64(rekey->nonce);
+      w.u16(rekey->epoch);
+      w.raw(rekey->key);
+    } else {
+      w.zeros(kShimRekeyExtSize);  // reserved space for the neutralizer
+    }
+  }
+}
+
+ShimHeader ShimHeader::parse(ByteReader& r) {
+  ShimHeader h;
+  const std::uint8_t raw_type = r.u8();
+  if (raw_type < 1 || raw_type > 8) {
+    throw ParseError("ShimHeader: unknown type");
+  }
+  h.type = static_cast<ShimType>(raw_type);
+  h.flags = r.u8();
+  h.key_epoch = r.u16();
+  h.nonce = r.u64();
+  if (shim_type_has_inner_addr(h.type)) h.inner_addr = r.u32();
+  if (h.has_rekey_space()) {
+    RekeyExt ext;
+    ext.nonce = r.u64();
+    ext.epoch = r.u16();
+    const auto key = r.take(crypto::kAesKeySize);
+    std::copy(key.begin(), key.end(), ext.key.begin());
+    if (h.flags & ShimFlags::kRekeyFilled) {
+      h.rekey = ext;
+    } else {
+      h.rekey = std::nullopt;  // reserved-but-empty space
+    }
+  }
+  return h;
+}
+
+ShimPacketView::ShimPacketView(std::span<std::uint8_t> packet)
+    : bytes_(packet) {
+  if (packet.size() < kIpv4HeaderSize + kShimBaseSize) {
+    throw ParseError("ShimPacketView: packet too short");
+  }
+  if ((packet[0] >> 4) != 4 ||
+      packet[9] != static_cast<std::uint8_t>(IpProto::kShim)) {
+    throw ParseError("ShimPacketView: not an IPv4 shim packet");
+  }
+  const auto t = static_cast<std::uint8_t>(type());
+  if (t < 1 || t > 8) throw ParseError("ShimPacketView: unknown shim type");
+  if (packet.size() < payload_offset()) {
+    throw ParseError("ShimPacketView: truncated shim fields");
+  }
+}
+
+Ipv4Addr ShimPacketView::read_addr(std::size_t off) const noexcept {
+  return Ipv4Addr((static_cast<std::uint32_t>(bytes_[off]) << 24) |
+                  (static_cast<std::uint32_t>(bytes_[off + 1]) << 16) |
+                  (static_cast<std::uint32_t>(bytes_[off + 2]) << 8) |
+                  bytes_[off + 3]);
+}
+
+void ShimPacketView::write_addr(std::size_t off, Ipv4Addr a) noexcept {
+  bytes_[off] = static_cast<std::uint8_t>(a.value() >> 24);
+  bytes_[off + 1] = static_cast<std::uint8_t>(a.value() >> 16);
+  bytes_[off + 2] = static_cast<std::uint8_t>(a.value() >> 8);
+  bytes_[off + 3] = static_cast<std::uint8_t>(a.value());
+}
+
+std::uint16_t ShimPacketView::key_epoch() const noexcept {
+  const std::size_t off = kIpv4HeaderSize + 2;
+  return static_cast<std::uint16_t>((bytes_[off] << 8) | bytes_[off + 1]);
+}
+
+void ShimPacketView::set_key_epoch(std::uint16_t epoch) noexcept {
+  const std::size_t off = kIpv4HeaderSize + 2;
+  bytes_[off] = static_cast<std::uint8_t>(epoch >> 8);
+  bytes_[off + 1] = static_cast<std::uint8_t>(epoch);
+}
+
+std::uint64_t ShimPacketView::nonce() const noexcept {
+  const std::size_t off = kIpv4HeaderSize + 4;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | bytes_[off + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint32_t ShimPacketView::inner_addr() const noexcept {
+  const std::size_t off = kIpv4HeaderSize + kShimBaseSize;
+  return (static_cast<std::uint32_t>(bytes_[off]) << 24) |
+         (static_cast<std::uint32_t>(bytes_[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(bytes_[off + 2]) << 8) | bytes_[off + 3];
+}
+
+void ShimPacketView::set_inner_addr(std::uint32_t v) noexcept {
+  const std::size_t off = kIpv4HeaderSize + kShimBaseSize;
+  bytes_[off] = static_cast<std::uint8_t>(v >> 24);
+  bytes_[off + 1] = static_cast<std::uint8_t>(v >> 16);
+  bytes_[off + 2] = static_cast<std::uint8_t>(v >> 8);
+  bytes_[off + 3] = static_cast<std::uint8_t>(v);
+}
+
+std::size_t ShimPacketView::rekey_offset() const noexcept {
+  std::size_t off = kIpv4HeaderSize + kShimBaseSize;
+  if (shim_type_has_inner_addr(type())) off += kShimInnerAddrSize;
+  return off;
+}
+
+std::size_t ShimPacketView::payload_offset() const noexcept {
+  std::size_t off = rekey_offset();
+  if (has_rekey_space()) off += kShimRekeyExtSize;
+  return off;
+}
+
+void ShimPacketView::stamp_rekey(std::uint64_t nonce, std::uint16_t epoch,
+                                 const crypto::AesKey& key) {
+  if (!has_rekey_space()) {
+    throw ParseError("ShimPacketView: no rekey space reserved");
+  }
+  std::size_t off = rekey_offset();
+  for (int i = 0; i < 8; ++i) {
+    bytes_[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
+  }
+  off += 8;
+  bytes_[off] = static_cast<std::uint8_t>(epoch >> 8);
+  bytes_[off + 1] = static_cast<std::uint8_t>(epoch);
+  off += 2;
+  std::copy(key.begin(), key.end(),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(off));
+  set_flags(flags() | ShimFlags::kRekeyFilled);
+}
+
+RekeyExt ShimPacketView::rekey() const {
+  if (!has_rekey_space()) {
+    throw ParseError("ShimPacketView: no rekey extension");
+  }
+  RekeyExt ext;
+  std::size_t off = rekey_offset();
+  for (int i = 0; i < 8; ++i) {
+    ext.nonce = (ext.nonce << 8) | bytes_[off + static_cast<std::size_t>(i)];
+  }
+  off += 8;
+  ext.epoch = static_cast<std::uint16_t>((bytes_[off] << 8) | bytes_[off + 1]);
+  off += 2;
+  std::copy(bytes_.begin() + static_cast<std::ptrdiff_t>(off),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(off + 16),
+            ext.key.begin());
+  return ext;
+}
+
+std::span<std::uint8_t> ShimPacketView::payload() const noexcept {
+  return bytes_.subspan(payload_offset());
+}
+
+void ShimPacketView::refresh_ip_checksum() noexcept {
+  bytes_[10] = 0;
+  bytes_[11] = 0;
+  const std::uint16_t sum =
+      internet_checksum(bytes_.subspan(0, kIpv4HeaderSize));
+  bytes_[10] = static_cast<std::uint8_t>(sum >> 8);
+  bytes_[11] = static_cast<std::uint8_t>(sum);
+}
+
+}  // namespace nn::net

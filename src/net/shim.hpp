@@ -1,0 +1,170 @@
+// The neutralizer shim layer (paper §2: "additional fields needed by our
+// design are carried in a shim layer between IP and an upper layer").
+//
+// Wire layout, following the IPv4 header (all big-endian):
+//
+//   byte 0      1        2..3
+//   +--------+--------+----------------+
+//   |  type  | flags  | key epoch      |
+//   +--------+--------+----------------+
+//   |            nonce (8 B)           |
+//   +----------------------------------+
+//   | inner address (4 B)              |  DataForward / DataReturn only
+//   +----------------------------------+
+//   | rekey ext: nonce' (8) Ks' (16)   |  iff flags & (KeyRequest|RekeyFilled)
+//   +----------------------------------+
+//   | type-specific payload ...        |
+//
+// The rekey extension space is *reserved by the source* when it sets
+// KeyRequest, so the neutralizer can stamp (nonce', Ks') in place
+// without growing the packet (paper §3.2: "it stamps a new nonce, and a
+// new key K's into the packet").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "net/addr.hpp"
+#include "net/ip.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::net {
+
+enum class ShimType : std::uint8_t {
+  // Source outside the neutral domain requests a symmetric key; payload
+  // is the source's one-time RSA public key (§3.2).
+  kKeySetup = 1,
+  // Neutralizer's reply; payload is the RSA encryption of (nonce, Ks).
+  kKeySetupResponse = 2,
+  // Outside -> neutral domain data; inner address = encrypted true
+  // destination.
+  kDataForward = 3,
+  // Neutral domain -> outside data. Sent by the customer with the
+  // initiator's address in the inner field (clear on the neutral
+  // segment); the neutralizer swaps in the encrypted customer address.
+  kDataReturn = 4,
+  // Customer inside the neutral domain requests a key without
+  // encryption (§3.3) — the request never crosses a discriminatory ISP.
+  kKeyLease = 5,
+  kKeyLeaseResponse = 6,
+  // §3.4 guaranteed-service support: a customer starting a QoS session
+  // requests a dynamic address "that allows the discriminatory ISP to
+  // identify a flow, but does not allow it to map the flow to a
+  // specific customer". Request/response stay inside the neutral domain.
+  kDynAddrRequest = 7,
+  kDynAddrResponse = 8,
+};
+
+[[nodiscard]] constexpr bool shim_type_has_inner_addr(ShimType t) noexcept {
+  return t == ShimType::kDataForward || t == ShimType::kDataReturn;
+}
+
+struct ShimFlags {
+  // Source asks the neutralizer for a fresh (nonce', Ks'); implies the
+  // 24-byte rekey extension space is reserved (zero) in the packet.
+  static constexpr std::uint8_t kKeyRequest = 0x01;
+  // Neutralizer has stamped (nonce', Ks') into the extension.
+  static constexpr std::uint8_t kRekeyFilled = 0x02;
+  // The nonce names a *leased* key (reverse-direction communication,
+  // paper §3.3) derived from the nonce alone rather than from
+  // (nonce, srcIP) — the neutralizer recomputes it statelessly either
+  // way.
+  static constexpr std::uint8_t kLeaseKey = 0x04;
+};
+
+struct RekeyExt {
+  std::uint64_t nonce = 0;
+  // Epoch of the master key the stamped Ks' was derived from; carried
+  // in the extension (not the shim epoch field) so the echo names the
+  // right key even across a rotation.
+  std::uint16_t epoch = 0;
+  crypto::AesKey key{};
+
+  friend bool operator==(const RekeyExt&, const RekeyExt&) = default;
+};
+
+inline constexpr std::size_t kShimBaseSize = 12;       // type..nonce
+inline constexpr std::size_t kShimInnerAddrSize = 4;
+inline constexpr std::size_t kShimRekeyExtSize = 26;
+
+struct ShimHeader {
+  ShimType type = ShimType::kKeySetup;
+  std::uint8_t flags = 0;
+  std::uint16_t key_epoch = 0;
+  std::uint64_t nonce = 0;
+  // Meaning depends on type: encrypted destination (DataForward after
+  // encryption), initiator address (DataReturn before neutralization)
+  // or encrypted customer address (after).
+  std::uint32_t inner_addr = 0;
+  std::optional<RekeyExt> rekey;  // nullopt = zero-filled reserved space
+
+  [[nodiscard]] bool has_rekey_space() const noexcept {
+    return (flags & (ShimFlags::kKeyRequest | ShimFlags::kRekeyFilled)) != 0;
+  }
+  [[nodiscard]] std::size_t serialized_size() const noexcept;
+
+  void serialize(ByteWriter& w) const;
+  static ShimHeader parse(ByteReader& r);
+
+  friend bool operator==(const ShimHeader&, const ShimHeader&) = default;
+};
+
+/// Zero-copy mutable view of a serialized shim packet (IPv4 + shim).
+/// This is the neutralizer's datapath interface: field reads/rewrites
+/// happen in place, mirroring what a Click element does to a packet
+/// buffer. Construction validates structure; accessors are unchecked.
+class ShimPacketView {
+ public:
+  /// Throws ParseError if the buffer is not an IPv4+shim packet large
+  /// enough for the fields its flags promise.
+  explicit ShimPacketView(std::span<std::uint8_t> packet);
+
+  [[nodiscard]] Ipv4Addr src() const noexcept { return read_addr(12); }
+  [[nodiscard]] Ipv4Addr dst() const noexcept { return read_addr(16); }
+  void set_src(Ipv4Addr a) noexcept { write_addr(12, a); }
+  void set_dst(Ipv4Addr a) noexcept { write_addr(16, a); }
+  [[nodiscard]] Dscp dscp() const noexcept {
+    return static_cast<Dscp>(bytes_[1] >> 2);
+  }
+
+  [[nodiscard]] ShimType type() const noexcept {
+    return static_cast<ShimType>(bytes_[kIpv4HeaderSize]);
+  }
+  [[nodiscard]] std::uint8_t flags() const noexcept {
+    return bytes_[kIpv4HeaderSize + 1];
+  }
+  void set_flags(std::uint8_t f) noexcept { bytes_[kIpv4HeaderSize + 1] = f; }
+  [[nodiscard]] std::uint16_t key_epoch() const noexcept;
+  void set_key_epoch(std::uint16_t epoch) noexcept;
+  [[nodiscard]] std::uint64_t nonce() const noexcept;
+  [[nodiscard]] std::uint32_t inner_addr() const noexcept;
+  void set_inner_addr(std::uint32_t v) noexcept;
+
+  [[nodiscard]] bool has_rekey_space() const noexcept {
+    return (flags() & (ShimFlags::kKeyRequest | ShimFlags::kRekeyFilled)) != 0;
+  }
+  /// Stamps (nonce', epoch', Ks') and sets kRekeyFilled. Precondition
+  /// (checked): rekey space present.
+  void stamp_rekey(std::uint64_t nonce, std::uint16_t epoch,
+                   const crypto::AesKey& key);
+  [[nodiscard]] RekeyExt rekey() const;
+
+  /// Payload after all shim fields.
+  [[nodiscard]] std::span<std::uint8_t> payload() const noexcept;
+
+  /// Recomputes the IPv4 header checksum after address rewrites.
+  void refresh_ip_checksum() noexcept;
+
+ private:
+  std::span<std::uint8_t> bytes_;
+
+  [[nodiscard]] Ipv4Addr read_addr(std::size_t off) const noexcept;
+  void write_addr(std::size_t off, Ipv4Addr a) noexcept;
+  [[nodiscard]] std::size_t rekey_offset() const noexcept;
+  [[nodiscard]] std::size_t payload_offset() const noexcept;
+};
+
+}  // namespace nn::net

@@ -1,0 +1,58 @@
+#include "probe/probe.hpp"
+
+#include <sstream>
+
+namespace nn::probe {
+
+std::string Verdict::summary() const {
+  std::ostringstream os;
+  os << feature << ": "
+     << (discriminated ? "DISCRIMINATION DETECTED" : "no evidence")
+     << " (loss gap " << loss_gap * 100 << " pp, latency gap "
+     << latency_gap_ms << " ms)";
+  return os.str();
+}
+
+Verdict compare(const std::string& feature, const FlowMeasurement& target,
+                const FlowMeasurement& control,
+                const ProbeThresholds& thresholds) {
+  Verdict v;
+  v.feature = feature;
+  v.loss_gap = target.loss() - control.loss();
+  v.latency_gap_ms = target.mean_latency_ms - control.mean_latency_ms;
+  if (target.sent < thresholds.min_samples ||
+      control.sent < thresholds.min_samples) {
+    return v;  // not enough data: never flag
+  }
+  v.discriminated = v.loss_gap >= thresholds.min_loss_gap ||
+                    v.latency_gap_ms >= thresholds.min_latency_gap_ms;
+  return v;
+}
+
+Verdict majority(const std::vector<Verdict>& trials) {
+  Verdict out;
+  if (trials.empty()) return out;
+  out.feature = trials.front().feature;
+  std::size_t flagged = 0;
+  for (const auto& t : trials) {
+    if (t.discriminated) ++flagged;
+    out.loss_gap += t.loss_gap;
+    out.latency_gap_ms += t.latency_gap_ms;
+  }
+  out.loss_gap /= static_cast<double>(trials.size());
+  out.latency_gap_ms /= static_cast<double>(trials.size());
+  out.discriminated = 2 * flagged > trials.size();
+  return out;
+}
+
+FlowMeasurement measure(const sim::FlowSink& sink, std::uint16_t flow_id,
+                        std::uint64_t sent) {
+  FlowMeasurement m;
+  m.sent = sent;
+  const auto& stats = sink.flow(flow_id);
+  m.received = stats.received;
+  m.mean_latency_ms = stats.latency_ms.mean();
+  return m;
+}
+
+}  // namespace nn::probe

@@ -1,0 +1,67 @@
+// Differential neutrality probe, in the spirit of Glasnost/Wehe: before
+// anyone deploys a neutralizer, users need evidence that their access
+// ISP discriminates (paper §1: the Whitacre statement and the Vonage
+// scenario are exactly what this detects).
+//
+// Method: run paired probe flows that differ in exactly one classifiable
+// feature (application signature, destination, or entropy) and compare
+// delivered quality. A significant gap on the controlled feature is
+// evidence of discrimination on that feature.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/workload.hpp"
+
+namespace nn::probe {
+
+/// One flow's measured outcome.
+struct FlowMeasurement {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  double mean_latency_ms = 0;
+
+  [[nodiscard]] double loss() const noexcept {
+    return sent == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(received) / static_cast<double>(sent);
+  }
+};
+
+/// Verdict for one paired comparison.
+struct Verdict {
+  std::string feature;    // what differed between the pair
+  bool discriminated = false;
+  double loss_gap = 0;    // target loss - control loss
+  double latency_gap_ms = 0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Decision thresholds. Defaults: flag if the targeted flow loses 5+
+/// percentage points more, or runs 20+ ms slower, than its control.
+struct ProbeThresholds {
+  double min_loss_gap = 0.05;
+  double min_latency_gap_ms = 20.0;
+  /// Minimum packets per flow for a meaningful comparison.
+  std::uint64_t min_samples = 50;
+};
+
+/// Compares a (target, control) measurement pair.
+[[nodiscard]] Verdict compare(const std::string& feature,
+                              const FlowMeasurement& target,
+                              const FlowMeasurement& control,
+                              const ProbeThresholds& thresholds = {});
+
+/// Aggregates verdicts over repeated trials: discrimination is reported
+/// only if a majority of trials agree (robust to one noisy run).
+[[nodiscard]] Verdict majority(const std::vector<Verdict>& trials);
+
+/// Helper: turns a FlowSink flow into a measurement.
+[[nodiscard]] FlowMeasurement measure(const sim::FlowSink& sink,
+                                      std::uint16_t flow_id,
+                                      std::uint64_t sent);
+
+}  // namespace nn::probe

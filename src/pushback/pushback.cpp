@@ -1,0 +1,80 @@
+#include "pushback/pushback.hpp"
+
+namespace nn::pushback {
+
+AggregateKey PushbackPolicy::classify(const net::Packet& pkt) const noexcept {
+  AggregateKey key;
+  if (pkt.size() < net::kIpv4HeaderSize) return key;
+  const std::uint32_t dst =
+      (static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
+      (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
+      (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) | pkt.bytes[19];
+  const std::uint32_t mask =
+      config_.prefix_len == 0
+          ? 0
+          : ~std::uint32_t{0} << (32 - config_.prefix_len);
+  key.dst_prefix = dst & mask;
+  if (pkt.bytes[9] == static_cast<std::uint8_t>(net::IpProto::kShim) &&
+      pkt.size() > net::kIpv4HeaderSize) {
+    key.shim_type = pkt.bytes[net::kIpv4HeaderSize];
+  }
+  return key;
+}
+
+void PushbackPolicy::roll_window(sim::SimTime now) {
+  if (now - window_start_ < config_.window) return;
+  const double elapsed_s = static_cast<double>(now - window_start_) /
+                           static_cast<double>(sim::kSecond);
+  if (elapsed_s > 0) {
+    const double arrival_bps = window_bytes_ / elapsed_s;
+    if (arrival_bps > config_.capacity_bps * config_.detect_fraction) {
+      // Flag the dominant aggregate of the congested window.
+      AggregateKey worst{};
+      double worst_bytes = 0;
+      for (const auto& [key, bytes] : window_per_agg_) {
+        if (bytes > worst_bytes) {
+          worst = key;
+          worst_bytes = bytes;
+        }
+      }
+      if (worst_bytes > 0 && !limiters_.contains(worst)) {
+        install_limiter(worst, /*depth=*/0);
+      }
+    }
+  }
+  window_start_ = now;
+  window_bytes_ = 0;
+  window_per_agg_.clear();
+}
+
+void PushbackPolicy::install_limiter(AggregateKey key, int depth) {
+  if (!limiters_.contains(key)) {
+    limiters_.emplace(key, qos::TokenBucket(config_.limit_bps,
+                                            config_.limit_bps / 4));
+    ++stats_.aggregates_flagged;
+  }
+  // Recursive propagation toward the sources ("pushback"), bounded to
+  // avoid cycles in misconfigured topologies.
+  if (upstream_ && depth < 8) {
+    ++stats_.pushback_propagations;
+    upstream_->install_limiter(key, depth + 1);
+  }
+}
+
+sim::PolicyDecision PushbackPolicy::process(const net::Packet& pkt,
+                                            sim::SimTime now) {
+  roll_window(now);
+  const AggregateKey key = classify(pkt);
+  window_bytes_ += static_cast<double>(pkt.size());
+  window_per_agg_[key] += static_cast<double>(pkt.size());
+
+  if (const auto it = limiters_.find(key); it != limiters_.end()) {
+    if (!it->second.try_consume(pkt.size(), now)) {
+      ++stats_.limited_drops;
+      return sim::PolicyDecision::dropped();
+    }
+  }
+  return sim::PolicyDecision::forward();
+}
+
+}  // namespace nn::pushback

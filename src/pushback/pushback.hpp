@@ -1,0 +1,91 @@
+// Pushback-style DoS defense (paper §3.6, after Mahajan et al. [15]):
+// detect high-bandwidth aggregates at a congested router, rate-limit
+// them locally, and propagate the limit upstream. Works with anonymized
+// (or spoofed) sources because aggregates are identified by what can be
+// seen — destination and protocol/shim type — never by source address.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/shim.hpp"
+#include "qos/token_bucket.hpp"
+#include "sim/node.hpp"
+
+namespace nn::pushback {
+
+/// Aggregate identity: (destination /prefix, shim type or 0 for
+/// non-shim). Source addresses are deliberately excluded (§3.6: "does
+/// not rely on source addresses to filter attack traffic").
+struct AggregateKey {
+  std::uint32_t dst_prefix = 0;
+  std::uint8_t shim_type = 0;
+
+  friend bool operator==(AggregateKey, AggregateKey) noexcept = default;
+};
+
+struct AggregateKeyHash {
+  std::size_t operator()(AggregateKey k) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.dst_prefix) << 8) | k.shim_type);
+  }
+};
+
+struct PushbackStats {
+  std::uint64_t limited_drops = 0;
+  std::uint64_t aggregates_flagged = 0;
+  std::uint64_t pushback_propagations = 0;
+};
+
+class PushbackPolicy final : public sim::TransitPolicy {
+ public:
+  struct Config {
+    /// Output capacity this policy protects (bytes/second).
+    double capacity_bps = 1.25e6;  // 10 Mbps
+    /// Detection triggers when window arrivals exceed this fraction of
+    /// capacity.
+    double detect_fraction = 0.9;
+    sim::SimTime window = 100 * sim::kMillisecond;
+    /// Rate granted to a flagged aggregate.
+    double limit_bps = 1.25e5;
+    int prefix_len = 32;
+  };
+
+  explicit PushbackPolicy(Config config) : config_(config) {}
+
+  sim::PolicyDecision process(const net::Packet& pkt,
+                              sim::SimTime now) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "pushback";
+  }
+
+  /// Upstream neighbor (toward traffic sources); flagged aggregates are
+  /// propagated there, moving drops closer to the attackers.
+  void set_upstream(std::shared_ptr<PushbackPolicy> upstream) {
+    upstream_ = std::move(upstream);
+  }
+
+  [[nodiscard]] const PushbackStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] bool is_limited(AggregateKey key) const {
+    return limiters_.contains(key);
+  }
+
+ private:
+  Config config_;
+  std::shared_ptr<PushbackPolicy> upstream_;
+  PushbackStats stats_;
+
+  sim::SimTime window_start_ = 0;
+  double window_bytes_ = 0;
+  std::unordered_map<AggregateKey, double, AggregateKeyHash> window_per_agg_;
+  std::unordered_map<AggregateKey, qos::TokenBucket, AggregateKeyHash>
+      limiters_;
+
+  [[nodiscard]] AggregateKey classify(const net::Packet& pkt) const noexcept;
+  void roll_window(sim::SimTime now);
+  void install_limiter(AggregateKey key, int depth);
+};
+
+}  // namespace nn::pushback

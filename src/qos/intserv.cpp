@@ -1,0 +1,26 @@
+#include "qos/intserv.hpp"
+
+namespace nn::qos {
+
+bool ReservationTable::reserve(FlowKey key, double bps) {
+  if (reservations_.contains(key)) return false;
+  if (allocated_ + bps > capacity_bps_) return false;
+  reservations_[key] = bps;
+  allocated_ += bps;
+  return true;
+}
+
+void ReservationTable::release(FlowKey key) {
+  const auto it = reservations_.find(key);
+  if (it == reservations_.end()) return;
+  allocated_ -= it->second;
+  reservations_.erase(it);
+}
+
+std::optional<double> ReservationTable::reservation_for(FlowKey key) const {
+  const auto it = reservations_.find(key);
+  if (it == reservations_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace nn::qos

@@ -1,0 +1,61 @@
+// IntServ-style per-flow guaranteed service (RFC 1633): a reservation
+// table keyed by (source, destination).
+//
+// This exists to demonstrate the paper's §3.4 observation: once traffic
+// is anonymized behind the neutralizer's anycast address, a
+// discriminatory ISP "can no longer keep per flow state (a flow refers
+// to a source and a destination pair)". The two remedies the paper
+// offers — neutralizer-assigned dynamic addresses, or opting out of
+// anonymization — are exercised against this table in tests and E6/E8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "net/addr.hpp"
+
+namespace nn::qos {
+
+struct FlowKey {
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+
+  friend bool operator==(FlowKey, FlowKey) noexcept = default;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(FlowKey k) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.src.value()) << 32) | k.dst.value());
+  }
+};
+
+/// Admission-controlled reservation table for one bottleneck.
+class ReservationTable {
+ public:
+  explicit ReservationTable(double capacity_bps) noexcept
+      : capacity_bps_(capacity_bps) {}
+
+  /// Reserves bandwidth for the flow; false if admission fails (or the
+  /// flow already holds a reservation — RSVP refresh would update, but
+  /// a second *different* reservation for the same key is the collision
+  /// the paper warns about, surfaced to callers via reservation_for).
+  bool reserve(FlowKey key, double bps);
+  void release(FlowKey key);
+
+  [[nodiscard]] std::optional<double> reservation_for(FlowKey key) const;
+  [[nodiscard]] double allocated_bps() const noexcept { return allocated_; }
+  [[nodiscard]] double capacity_bps() const noexcept { return capacity_bps_; }
+  [[nodiscard]] std::size_t flow_count() const noexcept {
+    return reservations_.size();
+  }
+
+ private:
+  double capacity_bps_;
+  double allocated_ = 0;
+  std::unordered_map<FlowKey, double, FlowKeyHash> reservations_;
+};
+
+}  // namespace nn::qos

@@ -1,0 +1,124 @@
+#include "qos/scheduler.hpp"
+
+namespace nn::qos {
+
+int default_band(net::Dscp dscp) noexcept {
+  switch (dscp) {
+    case net::Dscp::kExpeditedForwarding:
+      return 0;
+    case net::Dscp::kAf41:
+    case net::Dscp::kAf31:
+    case net::Dscp::kAf21:
+    case net::Dscp::kAf11:
+      return 1;
+    case net::Dscp::kBestEffort:
+      return 2;
+  }
+  return 2;
+}
+
+net::Dscp packet_dscp(const net::Packet& pkt) noexcept {
+  if (pkt.size() < 2) return net::Dscp::kBestEffort;
+  return static_cast<net::Dscp>(pkt.bytes[1] >> 2);
+}
+
+bool StrictPriorityQueue::enqueue(net::Packet&& pkt) {
+  auto& band =
+      bands_[static_cast<std::size_t>(default_band(packet_dscp(pkt)))];
+  if (band.bytes + pkt.size() > capacity_) return false;
+  band.bytes += pkt.size();
+  band.queue.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<net::Packet> StrictPriorityQueue::dequeue() {
+  for (auto& band : bands_) {
+    if (!band.queue.empty()) {
+      net::Packet pkt = std::move(band.queue.front());
+      band.queue.pop_front();
+      band.bytes -= pkt.size();
+      return pkt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t StrictPriorityQueue::packet_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& band : bands_) n += band.queue.size();
+  return n;
+}
+
+std::size_t StrictPriorityQueue::byte_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& band : bands_) n += band.bytes;
+  return n;
+}
+
+WfqQueue::WfqQueue(std::vector<std::uint32_t> weights,
+                   std::size_t per_band_capacity_bytes)
+    : capacity_(per_band_capacity_bytes) {
+  if (weights.empty()) weights.push_back(1);
+  bands_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    bands_[i].weight = weights[i] == 0 ? 1 : weights[i];
+  }
+}
+
+bool WfqQueue::enqueue(net::Packet&& pkt) {
+  const auto idx = static_cast<std::size_t>(default_band(packet_dscp(pkt)));
+  auto& band = bands_[idx < bands_.size() ? idx : bands_.size() - 1];
+  if (band.bytes + pkt.size() > capacity_) return false;
+  band.bytes += pkt.size();
+  band.queue.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<net::Packet> WfqQueue::dequeue() {
+  if (packet_count() == 0) return std::nullopt;
+  // Deficit round robin: visit bands cyclically, adding quantum, and
+  // serve the head-of-line packet once the deficit covers it.
+  for (std::size_t visited = 0; visited < 2 * bands_.size() + 1; ++visited) {
+    auto& band = bands_[next_band_];
+    if (band.queue.empty()) {
+      band.deficit = 0;  // idle bands don't accumulate credit
+      next_band_ = (next_band_ + 1) % bands_.size();
+      continue;
+    }
+    band.deficit += kQuantumPerWeight * band.weight;
+    if (band.queue.front().size() <= band.deficit) {
+      net::Packet pkt = std::move(band.queue.front());
+      band.queue.pop_front();
+      band.bytes -= pkt.size();
+      band.deficit -= pkt.size();
+      if (band.queue.empty()) band.deficit = 0;
+      return pkt;
+    }
+    next_band_ = (next_band_ + 1) % bands_.size();
+  }
+  // Quantum guarantees progress within a full cycle for any non-empty
+  // band, so this is unreachable; kept defensive.
+  for (auto& band : bands_) {
+    if (!band.queue.empty()) {
+      net::Packet pkt = std::move(band.queue.front());
+      band.queue.pop_front();
+      band.bytes -= pkt.size();
+      return pkt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t WfqQueue::packet_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& band : bands_) n += band.queue.size();
+  return n;
+}
+
+std::size_t WfqQueue::byte_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& band : bands_) n += band.bytes;
+  return n;
+}
+
+}  // namespace nn::qos

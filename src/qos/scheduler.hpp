@@ -1,0 +1,76 @@
+// DSCP-aware link schedulers: strict priority and deficit-round-robin
+// WFQ. These implement the paper's premise that tiered service is
+// legitimate (§3.4): an ISP schedules by DSCP, which the neutralizer
+// never touches, so tiered service and neutralization compose.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/queue.hpp"
+
+namespace nn::qos {
+
+/// Maps a DSCP to a service band; band 0 is the highest priority.
+[[nodiscard]] int default_band(net::Dscp dscp) noexcept;
+
+/// Reads the DSCP straight from packet bytes (works for any protocol).
+[[nodiscard]] net::Dscp packet_dscp(const net::Packet& pkt) noexcept;
+
+/// Strict-priority queue discipline: always serves the lowest-numbered
+/// non-empty band; each band has its own byte capacity.
+class StrictPriorityQueue final : public sim::QueueDisc {
+ public:
+  static constexpr int kBands = 3;
+
+  explicit StrictPriorityQueue(std::size_t per_band_capacity_bytes) noexcept
+      : capacity_(per_band_capacity_bytes) {}
+
+  bool enqueue(net::Packet&& pkt) override;
+  std::optional<net::Packet> dequeue() override;
+  [[nodiscard]] std::size_t packet_count() const noexcept override;
+  [[nodiscard]] std::size_t byte_count() const noexcept override;
+
+  [[nodiscard]] std::size_t band_packets(int band) const noexcept {
+    return bands_[static_cast<std::size_t>(band)].queue.size();
+  }
+
+ private:
+  struct Band {
+    std::deque<net::Packet> queue;
+    std::size_t bytes = 0;
+  };
+  std::array<Band, kBands> bands_{};
+  std::size_t capacity_;
+};
+
+/// Deficit-round-robin approximation of weighted fair queuing across
+/// DSCP bands. Weights are per band, proportional to throughput share.
+class WfqQueue final : public sim::QueueDisc {
+ public:
+  WfqQueue(std::vector<std::uint32_t> weights,
+           std::size_t per_band_capacity_bytes);
+
+  bool enqueue(net::Packet&& pkt) override;
+  std::optional<net::Packet> dequeue() override;
+  [[nodiscard]] std::size_t packet_count() const noexcept override;
+  [[nodiscard]] std::size_t byte_count() const noexcept override;
+
+ private:
+  struct Band {
+    std::deque<net::Packet> queue;
+    std::size_t bytes = 0;
+    std::size_t deficit = 0;
+    std::uint32_t weight = 1;
+  };
+  std::vector<Band> bands_;
+  std::size_t capacity_;
+  std::size_t next_band_ = 0;
+  static constexpr std::size_t kQuantumPerWeight = 512;
+};
+
+}  // namespace nn::qos

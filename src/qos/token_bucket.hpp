@@ -1,0 +1,56 @@
+// Token bucket rate limiter over simulated time. Shared by the
+// diffserv schedulers, the discriminatory ISP's throttles, and the
+// pushback rate limiters.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/engine.hpp"
+
+namespace nn::qos {
+
+class TokenBucket {
+ public:
+  /// rate is in bytes/second; burst is the bucket depth in bytes.
+  TokenBucket(double rate_bytes_per_sec, double burst_bytes) noexcept
+      : rate_(rate_bytes_per_sec),
+        burst_(burst_bytes),
+        tokens_(burst_bytes) {}
+
+  /// Consumes `bytes` if available at `now`; returns false (no side
+  /// effect) otherwise.
+  bool try_consume(std::size_t bytes, sim::SimTime now) noexcept {
+    refill(now);
+    const double need = static_cast<double>(bytes);
+    if (tokens_ < need) return false;
+    tokens_ -= need;
+    return true;
+  }
+
+  [[nodiscard]] double tokens(sim::SimTime now) noexcept {
+    refill(now);
+    return tokens_;
+  }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+  void set_rate(double rate_bytes_per_sec) noexcept {
+    rate_ = rate_bytes_per_sec;
+  }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  sim::SimTime last_ = 0;
+
+  void refill(sim::SimTime now) noexcept {
+    if (now <= last_) return;
+    const double elapsed_s =
+        static_cast<double>(now - last_) / static_cast<double>(sim::kSecond);
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+    last_ = now;
+  }
+};
+
+}  // namespace nn::qos

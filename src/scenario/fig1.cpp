@@ -1,0 +1,245 @@
+#include "scenario/fig1.hpp"
+
+#include "crypto/chacha.hpp"
+
+namespace nn::scenario {
+
+const crypto::RsaPrivateKey& scenario_identity(int which) {
+  static const std::vector<crypto::RsaPrivateKey> keys = [] {
+    crypto::ChaChaRng rng(0xF161);
+    std::vector<crypto::RsaPrivateKey> out;
+    for (int i = 0; i < 6; ++i) {
+      out.push_back(crypto::rsa_generate(rng, 1024, 3));
+    }
+    return out;
+  }();
+  return keys[static_cast<std::size_t>(which) % keys.size()];
+}
+
+void Fig1::wire(ScenarioHost& sh, bool inside, std::uint64_t seed,
+                const crypto::RsaPrivateKey& identity) {
+  host::HostConfig cfg;
+  cfg.self = sh.node->address();
+  cfg.inside_neutral_domain = inside;
+  if (inside) cfg.home_anycast = kAnycast;
+  sim::Host* node = sh.node;
+  sh.stack = std::make_unique<host::NeutralizedHost>(
+      cfg, identity,
+      [node](net::Packet&& p) { node->transmit(std::move(p)); }, &engine,
+      seed);
+
+  ScenarioHost* shp = &sh;
+  sim::Engine* eng = &engine;
+  sh.node->set_handler([shp, eng](net::Packet&& pkt) {
+    net::ParsedPacket p;
+    try {
+      p = net::parse_packet(pkt.view());
+    } catch (const ParseError&) {
+      return;
+    }
+    if (p.ip.protocol == static_cast<std::uint8_t>(net::IpProto::kShim)) {
+      shp->stack->on_packet(std::move(pkt), eng->now());
+      return;
+    }
+    if (p.udp.has_value()) {
+      if (shp->plain_rx.has_value()) {
+        const auto opened = shp->plain_rx->open(p.payload);
+        if (opened.has_value()) shp->sink.on_payload(*opened, eng->now());
+        return;
+      }
+      shp->sink.on_payload(p.payload, eng->now());
+    }
+  });
+  sh.stack->set_app_handler([shp](net::Ipv4Addr,
+                                  std::span<const std::uint8_t> payload,
+                                  sim::SimTime now) {
+    shp->sink.on_payload(payload, now);
+  });
+}
+
+Fig1::Fig1(Fig1Config config) {
+  auto& ann_node = net.add<sim::Host>("ann");
+  auto& bob_node = net.add<sim::Host>("bob");
+  auto& att_voip_node = net.add<sim::Host>("att-voip");
+  att_access = &net.add<sim::Router>("att-access");
+  att_peering = &net.add<sim::Router>("att-peering");
+
+  core::NeutralizerConfig ncfg;
+  ncfg.anycast_addr = kAnycast;
+  ncfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  crypto::AesKey root;
+  root.fill(0xD0);
+  box = &net.add<core::NeutralizerBox>("cogent-box", ncfg, root, 1,
+                                       config.box_costs);
+  cogent_core = &net.add<sim::Router>("cogent-core");
+  auto& vonage_node = net.add<sim::Host>("vonage");
+  auto& google_node = net.add<sim::Host>("google");
+  auto& youtube_node = net.add<sim::Host>("youtube");
+
+  sim::LinkConfig access;
+  access.bandwidth_bps = config.access_bps;
+  access.propagation = config.propagation;
+  sim::LinkConfig core;
+  core.bandwidth_bps = config.core_bps;
+  core.propagation = config.propagation;
+
+  net.connect(ann_node, *att_access, access);
+  net.connect(bob_node, *att_access, access);
+  net.connect(att_voip_node, *att_access, access);
+  sim::LinkConfig uplink = core;
+  if (config.att_uplink_bps > 0) uplink.bandwidth_bps = config.att_uplink_bps;
+  if (config.att_uplink_queue) uplink.queue_factory = config.att_uplink_queue;
+  net.connect(*att_access, *att_peering, uplink);
+  net.connect(*att_peering, *box, core);
+  net.connect(*box, *cogent_core, core);
+  net.connect(*cogent_core, vonage_node, access);
+  net.connect(*cogent_core, google_node, access);
+  net.connect(*cogent_core, youtube_node, access);
+
+  net.assign_address(ann_node, kAnnAddr);
+  net.assign_address(bob_node, kBobAddr);
+  net.assign_address(att_voip_node, kAttVoipAddr);
+  net.assign_address(vonage_node, kVonageAddr);
+  net.assign_address(google_node, kGoogleAddr);
+  net.assign_address(youtube_node, kYouTubeAddr);
+  net.assign_address(*box, net::Ipv4Addr(20, 0, 255, 1));
+  box->join_service_anycast(net);
+  net.compute_routes();
+
+  att = std::make_unique<sim::Isp>("AT&T",
+                                   net::Ipv4Prefix::from_string("10.1.0.0/16"));
+  att->add_router(*att_access);
+  att->add_router(*att_peering);
+  cogent = std::make_unique<sim::Isp>(
+      "Cogent", net::Ipv4Prefix::from_string("20.0.0.0/16"));
+  cogent->add_router(*cogent_core);
+
+  ann.node = &ann_node;
+  bob.node = &bob_node;
+  att_voip.node = &att_voip_node;
+  vonage.node = &vonage_node;
+  google.node = &google_node;
+  youtube.node = &youtube_node;
+
+  wire(ann, false, 201, scenario_identity(0));
+  wire(bob, false, 202, scenario_identity(1));
+  wire(att_voip, false, 203, scenario_identity(2));
+  wire(vonage, true, 204, scenario_identity(3));
+  wire(google, true, 205, scenario_identity(4));
+  wire(youtube, true, 206, scenario_identity(5));
+
+  // §3.1 bootstrap information, as if resolved from DNS.
+  struct Entry {
+    ScenarioHost* host;
+    const crypto::RsaPrivateKey* key;
+    bool inside;
+  };
+  const Entry entries[] = {
+      {&ann, &scenario_identity(0), false},
+      {&bob, &scenario_identity(1), false},
+      {&att_voip, &scenario_identity(2), false},
+      {&vonage, &scenario_identity(3), true},
+      {&google, &scenario_identity(4), true},
+      {&youtube, &scenario_identity(5), true},
+  };
+  for (const auto& a : entries) {
+    for (const auto& b : entries) {
+      if (a.host == b.host) continue;
+      host::PeerInfo info;
+      info.addr = b.host->addr();
+      info.anycast = b.inside ? kAnycast : net::Ipv4Addr{};
+      info.public_key = b.key->pub;
+      a.host->stack->add_peer(info);
+    }
+  }
+}
+
+void Fig1::schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
+                         std::uint16_t flow_id, double pps, sim::SimTime start,
+                         sim::SimTime duration, std::size_t payload_size) {
+  sim::TrafficSource::Config cfg;
+  cfg.flow_id = flow_id;
+  cfg.payload_size = payload_size;
+  cfg.packets_per_second = pps;
+  cfg.start = start;
+  cfg.stop = start + duration;
+  cfg.seed = 1000 + flow_id;
+
+  sim::TrafficSource::SendFn send;
+  switch (mode) {
+    case VoipMode::kPlain: {
+      // Cleartext UDP with an application signature a DPI box can see.
+      static constexpr char kSig[] = "SIP/2.0 RTP-STREAM";
+      sim::Host* src = from.node;
+      const net::Ipv4Addr dst = to.addr();
+      send = [src, dst](std::vector<std::uint8_t>&& payload) {
+        const char* sig = kSig;
+        for (std::size_t i = 0; sig[i] != '\0' &&
+                                sim::AppHeader::kSize + i < payload.size();
+             ++i) {
+          payload[sim::AppHeader::kSize + i] =
+              static_cast<std::uint8_t>(sig[i]);
+        }
+        src->transmit(net::make_udp_packet(src->address(), dst, 5060, 5060,
+                                           payload));
+      };
+      to.plain_rx.reset();
+      break;
+    }
+    case VoipMode::kE2eOnly: {
+      // Shared-key e2e encryption, headers exposed.
+      crypto::AesKey key;
+      crypto::ChaChaRng krng(e2e_seed_++);
+      krng.fill(key);
+      to.plain_rx.emplace(key, /*initiator=*/false);
+      auto tx = std::make_shared<host::E2eSession>(key, /*initiator=*/true);
+      sim::Host* src = from.node;
+      const net::Ipv4Addr dst = to.addr();
+      send = [src, dst, tx](std::vector<std::uint8_t>&& payload) {
+        src->transmit(net::make_udp_packet(src->address(), dst, 5060, 5060,
+                                           tx->seal(payload)));
+      };
+      break;
+    }
+    case VoipMode::kNeutralized: {
+      host::NeutralizedHost* stack = from.stack.get();
+      const net::Ipv4Addr dst = to.addr();
+      sim::Engine* eng = &engine;
+      send = [stack, dst, eng](std::vector<std::uint8_t>&& payload) {
+        stack->send(dst, std::move(payload), eng->now());
+      };
+      to.plain_rx.reset();
+      break;
+    }
+  }
+
+  sources_.push_back(
+      std::make_unique<sim::TrafficSource>(engine, cfg, std::move(send)));
+  sources_.back()->start();
+}
+
+Fig1::FlowResult Fig1::collect(const ScenarioHost& to,
+                               std::uint16_t flow_id) const {
+  FlowResult result;
+  const auto& stats = to.sink.flow(flow_id);
+  result.received = stats.received;
+  result.mean_latency_ms = stats.latency_ms.mean();
+  result.p95_latency_ms = stats.latency_ms.p95();
+  result.loss = stats.loss_rate();
+  result.mos = sim::estimate_mos(
+      result.mean_latency_ms == 0 ? 1000.0 : result.mean_latency_ms,
+      stats.any ? result.loss : 1.0);
+  return result;
+}
+
+Fig1::FlowResult Fig1::run_voip(VoipMode mode, ScenarioHost& from,
+                                ScenarioHost& to, std::uint16_t flow_id,
+                                double pps, sim::SimTime start,
+                                sim::SimTime duration,
+                                std::size_t payload_size) {
+  schedule_voip(mode, from, to, flow_id, pps, start, duration, payload_size);
+  engine.run_until(start + duration + sim::kSecond);
+  return collect(to, flow_id);
+}
+
+}  // namespace nn::scenario

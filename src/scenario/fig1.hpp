@@ -1,0 +1,118 @@
+// Reusable experiment scenario: the paper's Fig. 1 topology with a
+// discriminatory access ISP (AT&T), a neutral transit ISP (Cogent)
+// running the neutralizer, content providers behind it, and the access
+// ISP's own competing service.
+//
+//   ann ┐                                        ┌ vonage (20.0.0.20)
+//   bob ┴ att-access ── att-peering ══ [box] ── cogent ┼ google (20.0.0.10)
+//   att-voip ┘ (10.1.0.9)                               └ youtube (20.0.0.11)
+//
+// Used by the E5/E6 benches and the examples; policies are attached by
+// the caller (AT&T's routers are exposed).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/box.hpp"
+#include "host/e2e.hpp"
+#include "host/host.hpp"
+#include "sim/isp.hpp"
+#include "sim/network.hpp"
+#include "sim/workload.hpp"
+
+namespace nn::scenario {
+
+inline const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+inline const net::Ipv4Addr kAnnAddr(10, 1, 0, 2);
+inline const net::Ipv4Addr kBobAddr(10, 1, 0, 3);
+inline const net::Ipv4Addr kAttVoipAddr(10, 1, 0, 9);
+inline const net::Ipv4Addr kVonageAddr(20, 0, 0, 20);
+inline const net::Ipv4Addr kGoogleAddr(20, 0, 0, 10);
+inline const net::Ipv4Addr kYouTubeAddr(20, 0, 0, 11);
+
+/// How application traffic is protected in a flow run.
+enum class VoipMode {
+  kPlain,        // cleartext UDP with a SIP signature: fully classifiable
+  kE2eOnly,      // end-to-end encrypted, addresses exposed
+  kNeutralized,  // encrypted + neutralizer (the paper's design)
+};
+
+/// A simulation host plus (optionally) its protocol stack and a flow
+/// sink that aggregates whatever the host receives.
+struct ScenarioHost {
+  sim::Host* node = nullptr;
+  std::unique_ptr<host::NeutralizedHost> stack;
+  sim::FlowSink sink;
+  // Receiver side of a kE2eOnly flow (shared-key session).
+  std::optional<host::E2eSession> plain_rx;
+
+  [[nodiscard]] net::Ipv4Addr addr() const { return node->address(); }
+};
+
+struct Fig1Config {
+  core::BoxCosts box_costs{};
+  double access_bps = 100e6;
+  double core_bps = 1e9;
+  /// Bandwidth of the shared AT&T uplink (att-access <-> att-peering);
+  /// 0 means core_bps. Lowering it creates the congestion point for the
+  /// tiered-service experiments.
+  double att_uplink_bps = 0;
+  /// Optional queue discipline for the AT&T uplink (e.g. a DSCP-aware
+  /// qos::StrictPriorityQueue factory); default drop-tail FIFO.
+  sim::QueueFactory att_uplink_queue;
+  sim::SimTime propagation = 2 * sim::kMillisecond;
+};
+
+class Fig1 {
+ public:
+  explicit Fig1(Fig1Config config = {});
+
+  sim::Engine engine;
+  sim::Network net{engine};
+
+  ScenarioHost ann, bob, att_voip, vonage, google, youtube;
+  sim::Router* att_access = nullptr;
+  sim::Router* att_peering = nullptr;
+  sim::Router* cogent_core = nullptr;
+  core::NeutralizerBox* box = nullptr;
+  std::unique_ptr<sim::Isp> att;
+  std::unique_ptr<sim::Isp> cogent;
+
+  struct FlowResult {
+    std::uint64_t received = 0;
+    double mean_latency_ms = 0;
+    double p95_latency_ms = 0;
+    double loss = 0;
+    double mos = 1.0;
+  };
+
+  /// Schedules a one-way CBR "VoIP" flow without advancing time (for
+  /// experiments with concurrent flows).
+  void schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
+                     std::uint16_t flow_id, double pps, sim::SimTime start,
+                     sim::SimTime duration, std::size_t payload_size = 160);
+
+  /// Receiver-side quality metrics for a finished flow.
+  [[nodiscard]] FlowResult collect(const ScenarioHost& to,
+                                   std::uint16_t flow_id) const;
+
+  /// schedule_voip + run to completion + collect, for one-at-a-time
+  /// experiments.
+  FlowResult run_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
+                      std::uint16_t flow_id, double pps, sim::SimTime start,
+                      sim::SimTime duration, std::size_t payload_size = 160);
+
+ private:
+  std::vector<std::unique_ptr<sim::TrafficSource>> sources_;
+  std::uint64_t e2e_seed_ = 900;
+
+  void wire(ScenarioHost& sh, bool inside, std::uint64_t seed,
+            const crypto::RsaPrivateKey& identity);
+};
+
+/// Shared (cached) RSA identities so scenario construction stays fast.
+const crypto::RsaPrivateKey& scenario_identity(int which);
+
+}  // namespace nn::scenario

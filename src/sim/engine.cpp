@@ -1,0 +1,36 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace nn::sim {
+
+void Engine::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) at = now_;  // never schedule into the past
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the function object must be moved
+  // out before pop, so copy the handle first.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Engine::run(std::size_t max_events) {
+  for (std::size_t i = 0; i < max_events && step(); ++i) {
+  }
+}
+
+void Engine::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace nn::sim

@@ -1,0 +1,61 @@
+// Discrete-event simulation engine. Single-threaded, deterministic:
+// events at equal timestamps fire in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace nn::sim {
+
+/// Simulated time in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1'000;
+inline constexpr SimTime kMillisecond = 1'000'000;
+inline constexpr SimTime kSecond = 1'000'000'000;
+
+class Engine {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (clamped to now).
+  void schedule_at(SimTime at, std::function<void()> fn);
+  /// Schedules `fn` `delay` from now.
+  void schedule_in(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs one event; returns false if none pending.
+  bool step();
+  /// Runs until the queue empties or `max_events` fire.
+  void run(std::size_t max_events = SIZE_MAX);
+  /// Runs events with timestamp <= `until`, then advances the clock to
+  /// `until` even if idle.
+  void run_until(SimTime until);
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-breaker for deterministic ordering
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace nn::sim

@@ -1,0 +1,49 @@
+// ISP domain: a named group of routers with a customer address space.
+// Used by experiments to say "AT&T applies this policy at its borders"
+// in one line.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/addr.hpp"
+#include "sim/node.hpp"
+
+namespace nn::sim {
+
+class Isp {
+ public:
+  Isp(std::string name, net::Ipv4Prefix customer_space)
+      : name_(std::move(name)), customer_space_(customer_space) {}
+
+  void add_router(Router& r) { routers_.push_back(&r); }
+
+  /// Attaches the policy to every router of the domain. In the threat
+  /// model (§2) an ISP can only act inside its own network, which this
+  /// models exactly.
+  void apply_policy(const std::shared_ptr<TransitPolicy>& policy) {
+    for (Router* r : routers_) r->add_policy(policy);
+  }
+  void clear_policies() {
+    for (Router* r : routers_) r->clear_policies();
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const net::Ipv4Prefix& customer_space() const noexcept {
+    return customer_space_;
+  }
+  [[nodiscard]] bool is_customer(net::Ipv4Addr addr) const noexcept {
+    return customer_space_.contains(addr);
+  }
+  [[nodiscard]] const std::vector<Router*>& routers() const noexcept {
+    return routers_;
+  }
+
+ private:
+  std::string name_;
+  net::Ipv4Prefix customer_space_;
+  std::vector<Router*> routers_;
+};
+
+}  // namespace nn::sim

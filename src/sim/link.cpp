@@ -1,0 +1,53 @@
+#include "sim/link.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace nn::sim {
+
+Link::Link(Engine& engine, const LinkConfig& config, DeliverFn deliver)
+    : engine_(engine), config_(config), deliver_(std::move(deliver)) {
+  if (config_.queue_factory) {
+    queue_ = config_.queue_factory();
+  } else {
+    queue_ = std::make_unique<DropTailQueue>(config_.queue_bytes);
+  }
+}
+
+SimTime Link::tx_time(std::size_t bytes) const noexcept {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return static_cast<SimTime>(std::llround(seconds * 1e9));
+}
+
+void Link::send(net::Packet&& pkt) {
+  if (transmitting_) {
+    if (!queue_->enqueue(std::move(pkt))) {
+      ++stats_.dropped_packets;
+    }
+    return;
+  }
+  start_transmission(std::move(pkt));
+}
+
+void Link::start_transmission(net::Packet&& pkt) {
+  transmitting_ = true;
+  const SimTime serialize = tx_time(pkt.size());
+  ++stats_.tx_packets;
+  stats_.tx_bytes += pkt.size();
+  // Delivery happens after serialization + propagation; the link frees
+  // up after serialization alone.
+  engine_.schedule_in(
+      serialize + config_.propagation,
+      [this, p = std::move(pkt)]() mutable { deliver_(std::move(p)); });
+  engine_.schedule_in(serialize, [this] { transmission_done(); });
+}
+
+void Link::transmission_done() {
+  transmitting_ = false;
+  if (auto next = queue_->dequeue()) {
+    start_transmission(std::move(*next));
+  }
+}
+
+}  // namespace nn::sim

@@ -1,0 +1,58 @@
+// Unidirectional point-to-point link: serialization delay (bandwidth),
+// propagation delay, and an egress queue discipline. Network::connect
+// creates one in each direction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/queue.hpp"
+
+namespace nn::sim {
+
+struct LinkConfig {
+  double bandwidth_bps = 1e9;          // 1 Gbps default
+  SimTime propagation = kMillisecond;  // one-way
+  std::size_t queue_bytes = 256 * 1024;
+  // Optional custom queue discipline (e.g. qos::PriorityQueueDisc);
+  // nullptr selects DropTailQueue(queue_bytes).
+  QueueFactory queue_factory;
+};
+
+struct LinkStats {
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(net::Packet&&)>;
+
+  Link(Engine& engine, const LinkConfig& config, DeliverFn deliver);
+
+  /// Queues or begins transmitting the packet; drops (and counts) when
+  /// the egress queue is full.
+  void send(net::Packet&& pkt);
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool busy() const noexcept { return transmitting_; }
+
+ private:
+  Engine& engine_;
+  LinkConfig config_;
+  DeliverFn deliver_;
+  std::unique_ptr<QueueDisc> queue_;
+  bool transmitting_ = false;
+  LinkStats stats_;
+
+  void start_transmission(net::Packet&& pkt);
+  void transmission_done();
+  [[nodiscard]] SimTime tx_time(std::size_t bytes) const noexcept;
+};
+
+}  // namespace nn::sim

@@ -1,0 +1,179 @@
+#include "sim/network.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace nn::sim {
+
+void Network::register_node(std::unique_ptr<Node> node) {
+  node->network_ = this;
+  node->id_ = NodeId{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
+  routes_valid_ = false;
+}
+
+void Network::connect(Node& a, Node& b, const LinkConfig& config) {
+  connect(a, b, config, config);
+}
+
+void Network::connect(Node& a, Node& b, const LinkConfig& ab,
+                      const LinkConfig& ba) {
+  Node* bp = &b;
+  Node* ap = &a;
+  adjacency_[a.id().value].push_back(Edge{
+      b.id(), std::make_unique<Link>(engine_, ab, [bp](net::Packet&& pkt) {
+        bp->receive(std::move(pkt));
+      })});
+  adjacency_[b.id().value].push_back(Edge{
+      a.id(), std::make_unique<Link>(engine_, ba, [ap](net::Packet&& pkt) {
+        ap->receive(std::move(pkt));
+      })});
+  routes_valid_ = false;
+}
+
+void Network::assign_address(Node& node, net::Ipv4Addr addr) {
+  if (unicast_owner_.contains(addr)) {
+    throw std::invalid_argument("address already assigned: " +
+                                addr.to_string());
+  }
+  unicast_owner_[addr] = node.id();
+  if (node.address_.is_unspecified()) node.address_ = addr;
+}
+
+void Network::assign_prefix(Node& node, net::Ipv4Prefix prefix) {
+  prefix_owner_.emplace_back(prefix, node.id());
+}
+
+void Network::join_anycast(Node& node, net::Ipv4Addr group) {
+  anycast_groups_[group].push_back(node.id());
+}
+
+void Network::compute_routes() {
+  const std::size_t n = nodes_.size();
+  const auto inf = std::numeric_limits<std::size_t>::max();
+  next_hop_.assign(n, std::vector<NodeId>(n));
+  distance_.assign(n, std::vector<std::size_t>(n, inf));
+
+  // BFS from every node; first-hop recorded per destination.
+  for (std::size_t src = 0; src < n; ++src) {
+    auto& dist = distance_[src];
+    auto& hops = next_hop_[src];
+    dist[src] = 0;
+    std::queue<std::size_t> frontier;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const std::size_t cur = frontier.front();
+      frontier.pop();
+      for (const auto& edge : adjacency_[cur]) {
+        const std::size_t peer = edge.peer.value;
+        if (dist[peer] != inf) continue;
+        dist[peer] = dist[cur] + 1;
+        // First hop toward peer: either the edge itself (cur == src) or
+        // whatever first hop led to cur.
+        hops[peer] = cur == src ? edge.peer : hops[cur];
+        frontier.push(peer);
+      }
+    }
+  }
+  routes_valid_ = true;
+}
+
+std::optional<NodeId> Network::owner_of(net::Ipv4Addr addr) const {
+  if (const auto it = unicast_owner_.find(addr); it != unicast_owner_.end()) {
+    return it->second;
+  }
+  // Longest prefix match.
+  std::optional<NodeId> best;
+  int best_len = -1;
+  for (const auto& [prefix, owner] : prefix_owner_) {
+    if (prefix.contains(addr) && prefix.length() > best_len) {
+      best = owner;
+      best_len = prefix.length();
+    }
+  }
+  return best;
+}
+
+std::optional<NodeId> Network::resolve_destination(NodeId src,
+                                                   net::Ipv4Addr dst) const {
+  // Anycast: nearest group member by hop distance (ties -> first added,
+  // deterministically).
+  if (const auto it = anycast_groups_.find(dst); it != anycast_groups_.end()) {
+    const auto& members = it->second;
+    std::optional<NodeId> best;
+    std::size_t best_dist = std::numeric_limits<std::size_t>::max();
+    for (const NodeId member : members) {
+      const std::size_t d = distance_[src.value][member.value];
+      if (d < best_dist) {
+        best = member;
+        best_dist = d;
+      }
+    }
+    return best;
+  }
+  return owner_of(dst);
+}
+
+void Network::send_from(NodeId src, net::Packet&& pkt) {
+  if (!routes_valid_) {
+    throw std::logic_error("Network::send_from before compute_routes()");
+  }
+  if (pkt.size() < net::kIpv4HeaderSize) {
+    ++stats_.unroutable_dropped;
+    return;
+  }
+  const auto dst =
+      net::Ipv4Addr((static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
+                    (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
+                    (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) |
+                    pkt.bytes[19]);
+
+  const auto target = resolve_destination(src, dst);
+  if (!target.has_value()) {
+    ++stats_.unroutable_dropped;
+    return;
+  }
+  if (*target == src) {
+    deliver_local(*target, std::move(pkt));
+    return;
+  }
+  const NodeId hop = next_hop_[src.value][target->value];
+  if (!hop.valid()) {
+    ++stats_.unroutable_dropped;  // disconnected
+    return;
+  }
+  for (auto& edge : adjacency_[src.value]) {
+    if (edge.peer == hop) {
+      edge.link->send(std::move(pkt));
+      return;
+    }
+  }
+  ++stats_.unroutable_dropped;  // should not happen with valid routes
+}
+
+void Network::deliver_local(NodeId target, net::Packet&& pkt) {
+  ++stats_.delivered_local;
+  // Schedule (rather than call) so local delivery is still asynchronous
+  // and cannot reenter the sender's stack.
+  Node* node = nodes_[target.value].get();
+  engine_.schedule_in(
+      0, [node, p = std::move(pkt)]() mutable { node->receive(std::move(p)); });
+}
+
+Link* Network::link_between(NodeId a, NodeId b) {
+  for (auto& edge : adjacency_[a.value]) {
+    if (edge.peer == b) return edge.link.get();
+  }
+  return nullptr;
+}
+
+std::size_t Network::hop_distance(NodeId from, NodeId to) const {
+  if (!routes_valid_) {
+    throw std::logic_error("Network::hop_distance before compute_routes()");
+  }
+  return distance_[from.value][to.value];
+}
+
+}  // namespace nn::sim

@@ -1,0 +1,107 @@
+// Network: node/link container, address ownership, shortest-path
+// routing, and anycast groups.
+//
+// Anycast is load-bearing for the reproduction: the paper (§3) gives
+// every neutralizer of an ISP one shared anycast address, so "any
+// neutralizer can decrypt the destination address and forward the
+// packet"; routing delivers to the nearest instance.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+#include "sim/link.hpp"
+#include "sim/node.hpp"
+
+namespace nn::sim {
+
+struct NetworkStats {
+  std::uint64_t unroutable_dropped = 0;
+  std::uint64_t delivered_local = 0;
+};
+
+class Network {
+ public:
+  explicit Network(Engine& engine) : engine_(engine) {}
+
+  /// Constructs a node of type T in place and registers it.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *node;
+    register_node(std::move(node));
+    return ref;
+  }
+
+  /// Connects a<->b with symmetric link configs (two unidirectional
+  /// links). Call compute_routes() after the topology is final.
+  void connect(Node& a, Node& b, const LinkConfig& config);
+  /// Asymmetric variant.
+  void connect(Node& a, Node& b, const LinkConfig& ab, const LinkConfig& ba);
+
+  /// Assigns a /32 unicast address owned by `node` (also sets the
+  /// node's primary address if unset).
+  void assign_address(Node& node, net::Ipv4Addr addr);
+  /// Assigns a covering prefix (longest-prefix-match routing).
+  void assign_prefix(Node& node, net::Ipv4Prefix prefix);
+  /// Adds the node to an anycast group address.
+  void join_anycast(Node& node, net::Ipv4Addr group);
+
+  /// (Re)computes all-pairs next hops by BFS hop count. Must be called
+  /// after topology changes and before traffic flows.
+  void compute_routes();
+
+  /// Routes a packet from `src` toward its IP destination: local
+  /// delivery, anycast resolution, /32, then longest prefix match.
+  void send_from(NodeId src, net::Packet&& pkt);
+
+  [[nodiscard]] Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] SimTime now() const noexcept { return engine_.now(); }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id.value); }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+
+  /// Resolves the owning node for a unicast address (nullopt for
+  /// anycast or unknown addresses).
+  [[nodiscard]] std::optional<NodeId> owner_of(net::Ipv4Addr addr) const;
+
+  /// Link from `a` toward neighbor `b`, if adjacent (for stats).
+  [[nodiscard]] Link* link_between(NodeId a, NodeId b);
+
+  /// Hop distance between nodes (SIZE_MAX if unreachable); exposed for
+  /// tests and multihoming strategies.
+  [[nodiscard]] std::size_t hop_distance(NodeId from, NodeId to) const;
+
+ private:
+  struct Edge {
+    NodeId peer;
+    std::unique_ptr<Link> link;
+  };
+
+  Engine& engine_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::vector<Edge>> adjacency_;
+  std::unordered_map<net::Ipv4Addr, NodeId> unicast_owner_;
+  std::vector<std::pair<net::Ipv4Prefix, NodeId>> prefix_owner_;
+  std::unordered_map<net::Ipv4Addr, std::vector<NodeId>> anycast_groups_;
+  // next_hop_[src][dst] = neighbor on a shortest path (or invalid).
+  std::vector<std::vector<NodeId>> next_hop_;
+  std::vector<std::vector<std::size_t>> distance_;
+  bool routes_valid_ = false;
+  NetworkStats stats_;
+
+  void register_node(std::unique_ptr<Node> node);
+  void deliver_local(NodeId target, net::Packet&& pkt);
+  [[nodiscard]] std::optional<NodeId> resolve_destination(
+      NodeId src, net::Ipv4Addr dst) const;
+};
+
+}  // namespace nn::sim

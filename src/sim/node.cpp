@@ -1,0 +1,76 @@
+#include "sim/node.hpp"
+
+#include <cassert>
+
+#include "sim/network.hpp"
+
+namespace nn::sim {
+
+Network& Node::network() const {
+  assert(network_ != nullptr && "node not registered with a Network");
+  return *network_;
+}
+
+void Node::send(net::Packet&& pkt) {
+  network().send_from(id_, std::move(pkt));
+}
+
+void Host::receive(net::Packet&& pkt) {
+  ++received_;
+  if (handler_) handler_(std::move(pkt));
+}
+
+void Router::receive(net::Packet&& pkt) {
+  // Packets addressed to this router itself are consumed (the
+  // neutralizer box overrides consume()).
+  const auto dst = net::Ipv4Addr((static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
+                                 (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
+                                 (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) |
+                                 pkt.bytes[19]);
+  if (is_local_destination(dst)) {
+    ++stats_.consumed;
+    consume(std::move(pkt));
+    return;
+  }
+
+  SimTime delay = 0;
+  for (auto& policy : policies_) {
+    const PolicyDecision d = policy->process(pkt, network().now());
+    if (d.drop) {
+      ++stats_.policy_dropped;
+      return;
+    }
+    delay += d.extra_delay;
+  }
+  if (delay > 0) {
+    network().engine().schedule_in(
+        delay, [this, p = std::move(pkt)]() mutable { forward(std::move(p)); });
+  } else {
+    forward(std::move(pkt));
+  }
+}
+
+void Router::consume(net::Packet&& pkt) {
+  (void)pkt;  // default: swallow
+}
+
+void Router::forward(net::Packet&& pkt) {
+  // Decrement TTL in place and refresh the header checksum.
+  std::uint8_t& ttl = pkt.bytes[8];
+  if (ttl <= 1) {
+    ++stats_.ttl_dropped;
+    return;
+  }
+  --ttl;
+  pkt.bytes[10] = 0;
+  pkt.bytes[11] = 0;
+  const std::uint16_t sum = net::internet_checksum(
+      std::span<const std::uint8_t>(pkt.bytes).subspan(0, net::kIpv4HeaderSize));
+  pkt.bytes[10] = static_cast<std::uint8_t>(sum >> 8);
+  pkt.bytes[11] = static_cast<std::uint8_t>(sum);
+
+  ++stats_.forwarded;
+  send(std::move(pkt));
+}
+
+}  // namespace nn::sim

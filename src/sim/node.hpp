@@ -1,0 +1,150 @@
+// Simulation nodes: the Node base, Host endpoints, and Router with
+// pluggable transit policies.
+//
+// The transit-policy interface deliberately takes a *const* packet: the
+// paper's threat model (§2) lets a discriminatory ISP "eavesdrop on all
+// traffic, perform traffic analysis, delay or drop packets within its
+// network" but NOT modify them. The type system enforces that boundary.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace nn::sim {
+
+class Network;
+
+struct NodeId {
+  std::uint32_t value = UINT32_MAX;
+
+  [[nodiscard]] bool valid() const noexcept { return value != UINT32_MAX; }
+  friend bool operator==(NodeId, NodeId) noexcept = default;
+};
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Called when a packet is delivered to this node by a link (or by
+  /// local delivery).
+  virtual void receive(net::Packet&& pkt) = 0;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  /// Primary unicast address (set by Network::assign_address).
+  [[nodiscard]] net::Ipv4Addr address() const noexcept { return address_; }
+
+ protected:
+  [[nodiscard]] Network& network() const;
+  /// Routes a packet into the network from this node.
+  void send(net::Packet&& pkt);
+
+ private:
+  friend class Network;
+  Network* network_ = nullptr;
+  NodeId id_{};
+  net::Ipv4Addr address_;
+  std::string name_;
+};
+
+/// Decision returned by a transit policy for one packet.
+struct PolicyDecision {
+  bool drop = false;
+  SimTime extra_delay = 0;
+
+  static PolicyDecision forward() noexcept { return {}; }
+  static PolicyDecision dropped() noexcept { return {true, 0}; }
+  static PolicyDecision delayed(SimTime d) noexcept { return {false, d}; }
+};
+
+/// A policy applied to packets in transit through a router. Policies
+/// observe but cannot modify packets (threat model §2).
+class TransitPolicy {
+ public:
+  virtual ~TransitPolicy() = default;
+  virtual PolicyDecision process(const net::Packet& pkt, SimTime now) = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept {
+    return "policy";
+  }
+};
+
+/// End host: delivers packets to an application handler.
+class Host : public Node {
+ public:
+  using Handler = std::function<void(net::Packet&&)>;
+
+  explicit Host(std::string name) : Node(std::move(name)) {}
+
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  /// Current handler (copyable), so applications can chain: install a
+  /// filter that passes non-matching packets to the previous handler.
+  [[nodiscard]] Handler handler() const { return handler_; }
+  void receive(net::Packet&& pkt) override;
+
+  /// Sends a packet into the network (public so protocol stacks and
+  /// traffic generators can transmit on the host's behalf).
+  void transmit(net::Packet&& pkt) { send(std::move(pkt)); }
+
+  [[nodiscard]] std::uint64_t received_packets() const noexcept {
+    return received_;
+  }
+
+ private:
+  Handler handler_;
+  std::uint64_t received_ = 0;
+};
+
+struct RouterStats {
+  std::uint64_t forwarded = 0;
+  std::uint64_t policy_dropped = 0;
+  std::uint64_t ttl_dropped = 0;
+  std::uint64_t no_route_dropped = 0;
+  std::uint64_t consumed = 0;
+};
+
+/// IP router: applies transit policies, decrements TTL, forwards.
+class Router : public Node {
+ public:
+  explicit Router(std::string name) : Node(std::move(name)) {}
+
+  /// Policies run in attachment order; the first drop wins, delays add.
+  void add_policy(std::shared_ptr<TransitPolicy> policy) {
+    policies_.push_back(std::move(policy));
+  }
+  void clear_policies() { policies_.clear(); }
+
+  void receive(net::Packet&& pkt) override;
+
+  [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
+
+ protected:
+  /// True if this node terminates packets addressed to `dst`. The
+  /// default matches the router's unicast address; the neutralizer box
+  /// extends it with its anycast service address.
+  [[nodiscard]] virtual bool is_local_destination(net::Ipv4Addr dst) const {
+    return dst == address() && !address().is_unspecified();
+  }
+  /// Hook for subclasses (e.g. the neutralizer box) to process packets
+  /// addressed to this node. Default: count and drop.
+  virtual void consume(net::Packet&& pkt);
+  /// Forwards after policy/TTL handling.
+  void forward(net::Packet&& pkt);
+
+  RouterStats stats_;
+
+ private:
+  std::vector<std::shared_ptr<TransitPolicy>> policies_;
+};
+
+}  // namespace nn::sim

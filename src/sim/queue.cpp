@@ -1,0 +1,20 @@
+#include "sim/queue.hpp"
+
+namespace nn::sim {
+
+bool DropTailQueue::enqueue(net::Packet&& pkt) {
+  if (bytes_ + pkt.size() > capacity_bytes_) return false;
+  bytes_ += pkt.size();
+  queue_.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<net::Packet> DropTailQueue::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  net::Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  bytes_ -= pkt.size();
+  return pkt;
+}
+
+}  // namespace nn::sim

@@ -1,0 +1,55 @@
+// Queue disciplines for link egress queues. The base interface is here;
+// DSCP-aware disciplines (strict priority, WFQ) live in nn_qos and plug
+// into the same links — that is how a "discriminatory ISP [provides]
+// differentiated services according to the DSCPs" (paper §3.4).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace nn::sim {
+
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  /// Returns false (and drops) when the queue is full.
+  virtual bool enqueue(net::Packet&& pkt) = 0;
+  virtual std::optional<net::Packet> dequeue() = 0;
+
+  [[nodiscard]] virtual std::size_t packet_count() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t byte_count() const noexcept = 0;
+  [[nodiscard]] bool empty() const noexcept { return packet_count() == 0; }
+};
+
+/// Plain FIFO with a byte-capacity drop-tail bound.
+class DropTailQueue final : public QueueDisc {
+ public:
+  explicit DropTailQueue(std::size_t capacity_bytes) noexcept
+      : capacity_bytes_(capacity_bytes) {}
+
+  bool enqueue(net::Packet&& pkt) override;
+  std::optional<net::Packet> dequeue() override;
+  [[nodiscard]] std::size_t packet_count() const noexcept override {
+    return queue_.size();
+  }
+  [[nodiscard]] std::size_t byte_count() const noexcept override {
+    return bytes_;
+  }
+
+ private:
+  std::deque<net::Packet> queue_;
+  std::size_t capacity_bytes_;
+  std::size_t bytes_ = 0;
+};
+
+/// Factory signature used by LinkConfig so each link builds its own
+/// queue instance.
+using QueueFactory = std::function<std::unique_ptr<QueueDisc>()>;
+
+}  // namespace nn::sim

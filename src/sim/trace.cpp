@@ -1,0 +1,83 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+#include "net/shim.hpp"
+
+namespace nn::sim {
+
+namespace {
+const char* shim_type_name(std::uint8_t t) {
+  switch (static_cast<net::ShimType>(t)) {
+    case net::ShimType::kKeySetup:
+      return "KEY_SETUP";
+    case net::ShimType::kKeySetupResponse:
+      return "KEY_SETUP_RESP";
+    case net::ShimType::kDataForward:
+      return "DATA_FWD";
+    case net::ShimType::kDataReturn:
+      return "DATA_RET";
+    case net::ShimType::kKeyLease:
+      return "KEY_LEASE";
+    case net::ShimType::kKeyLeaseResponse:
+      return "KEY_LEASE_RESP";
+    case net::ShimType::kDynAddrRequest:
+      return "DYN_REQ";
+    case net::ShimType::kDynAddrResponse:
+      return "DYN_RESP";
+  }
+  return "?";
+}
+}  // namespace
+
+PolicyDecision TracePolicy::process(const net::Packet& pkt, SimTime now) {
+  ++seen_;
+  if (records_.size() < max_records_ && pkt.size() >= net::kIpv4HeaderSize) {
+    Record r;
+    r.at = now;
+    r.src = net::Ipv4Addr((static_cast<std::uint32_t>(pkt.bytes[12]) << 24) |
+                          (static_cast<std::uint32_t>(pkt.bytes[13]) << 16) |
+                          (static_cast<std::uint32_t>(pkt.bytes[14]) << 8) |
+                          pkt.bytes[15]);
+    r.dst = net::Ipv4Addr((static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
+                          (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
+                          (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) |
+                          pkt.bytes[19]);
+    r.protocol = pkt.bytes[9];
+    r.size = pkt.size();
+    if (r.protocol == static_cast<std::uint8_t>(net::IpProto::kShim) &&
+        pkt.size() >= net::kIpv4HeaderSize + net::kShimBaseSize) {
+      r.is_shim = true;
+      r.shim_type = pkt.bytes[net::kIpv4HeaderSize];
+      for (int i = 0; i < 8; ++i) {
+        r.nonce = (r.nonce << 8) |
+                  pkt.bytes[net::kIpv4HeaderSize + 4 +
+                            static_cast<std::size_t>(i)];
+      }
+    }
+    records_.push_back(r);
+  }
+  return PolicyDecision::forward();
+}
+
+std::string TracePolicy::Record::to_string() const {
+  std::ostringstream os;
+  os << static_cast<double>(at) / static_cast<double>(kMillisecond) << "ms "
+     << src.to_string() << " > " << dst.to_string() << " ";
+  if (is_shim) {
+    os << shim_type_name(shim_type) << " nonce=" << std::hex << nonce
+       << std::dec;
+  } else {
+    os << "proto=" << static_cast<int>(protocol);
+  }
+  os << " len=" << size;
+  return os.str();
+}
+
+std::string TracePolicy::dump() const {
+  std::ostringstream os;
+  for (const auto& r : records_) os << r.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace nn::sim

@@ -1,0 +1,52 @@
+// Packet tracing: a transit policy that records a tcpdump-style line
+// per packet. The debugging workhorse for experiment topologies — drop
+// it on any router and read what actually crossed the wire.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace nn::sim {
+
+class TracePolicy final : public TransitPolicy {
+ public:
+  explicit TracePolicy(std::size_t max_records = 100000)
+      : max_records_(max_records) {}
+
+  PolicyDecision process(const net::Packet& pkt, SimTime now) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "trace";
+  }
+
+  struct Record {
+    SimTime at = 0;
+    net::Ipv4Addr src;
+    net::Ipv4Addr dst;
+    std::uint8_t protocol = 0;
+    std::size_t size = 0;
+    // Shim details when applicable.
+    bool is_shim = false;
+    std::uint8_t shim_type = 0;
+    std::uint64_t nonce = 0;
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  [[nodiscard]] const std::vector<Record>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t total_seen() const noexcept { return seen_; }
+  void clear() { records_.clear(); }
+
+  /// All records as one newline-separated dump.
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::size_t max_records_;
+  std::vector<Record> records_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace nn::sim

@@ -1,0 +1,94 @@
+#include "sim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bytes.hpp"
+
+namespace nn::sim {
+
+std::vector<std::uint8_t> AppHeader::build_payload(
+    std::size_t payload_size) const {
+  const std::size_t size = std::max(payload_size, kSize);
+  ByteWriter w(size);
+  w.u16(kMagic);
+  w.u16(flow_id);
+  w.u32(seq);
+  w.u64(static_cast<std::uint64_t>(sent_at));
+  w.zeros(size - kSize);
+  return w.take();
+}
+
+std::optional<AppHeader> AppHeader::parse(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() < kSize) return std::nullopt;
+  ByteReader r(payload);
+  if (r.u16() != kMagic) return std::nullopt;
+  AppHeader h;
+  h.flow_id = r.u16();
+  h.seq = r.u32();
+  h.sent_at = static_cast<SimTime>(r.u64());
+  return h;
+}
+
+TrafficSource::TrafficSource(Engine& engine, Config config, SendFn send)
+    : engine_(engine),
+      config_(config),
+      send_(std::move(send)),
+      rng_(config.seed) {}
+
+void TrafficSource::start() {
+  engine_.schedule_at(config_.start, [this] { emit(); });
+}
+
+SimTime TrafficSource::interval() {
+  const double mean_ns = 1e9 / config_.packets_per_second;
+  if (config_.poisson) {
+    return static_cast<SimTime>(std::llround(rng_.exponential(mean_ns)));
+  }
+  return static_cast<SimTime>(std::llround(mean_ns));
+}
+
+void TrafficSource::emit() {
+  if (engine_.now() >= config_.stop) return;
+  AppHeader h;
+  h.flow_id = config_.flow_id;
+  h.seq = next_seq_++;
+  h.sent_at = engine_.now();
+  send_(h.build_payload(config_.payload_size));
+  engine_.schedule_in(interval(), [this] { emit(); });
+}
+
+const FlowSink::FlowStats FlowSink::kEmpty{};
+
+void FlowSink::on_payload(std::span<const std::uint8_t> payload, SimTime now) {
+  const auto header = AppHeader::parse(payload);
+  if (!header.has_value()) return;
+  auto& stats = flows_[header->flow_id];
+  ++stats.received;
+  ++total_;
+  stats.max_seq_seen = std::max(stats.max_seq_seen, header->seq);
+  stats.any = true;
+  stats.latency_ms.add(static_cast<double>(now - header->sent_at) /
+                       static_cast<double>(kMillisecond));
+}
+
+const FlowSink::FlowStats& FlowSink::flow(std::uint16_t id) const {
+  const auto it = flows_.find(id);
+  return it == flows_.end() ? kEmpty : it->second;
+}
+
+double estimate_mos(double one_way_latency_ms, double loss_rate) noexcept {
+  // Simplified E-model: R = 93.2 - Id - Ie_eff.
+  const double d = one_way_latency_ms;
+  double id = 0.024 * d;
+  if (d > 177.3) id += 0.11 * (d - 177.3);
+  const double ppl = std::clamp(loss_rate, 0.0, 1.0) * 100.0;
+  const double ie_eff = 95.0 * ppl / (ppl + 4.3);
+  double r = 93.2 - id - ie_eff;
+  r = std::clamp(r, 0.0, 100.0);
+  const double mos = 1.0 + 0.035 * r + 7e-6 * r * (r - 60.0) * (100.0 - r);
+  return std::clamp(mos, 1.0, 5.0);
+}
+
+}  // namespace nn::sim

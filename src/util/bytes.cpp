@@ -1,0 +1,123 @@
+#include "util/bytes.hpp"
+
+namespace nn {
+
+std::uint16_t ByteReader::u16() {
+  auto b = take(2);
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+std::uint32_t ByteReader::u32() {
+  auto b = take(4);
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t hi = u32();
+  std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+std::span<const std::uint8_t> ByteReader::take(std::size_t n) {
+  if (n > remaining()) {
+    throw ParseError("ByteReader: truncated input (need " + std::to_string(n) +
+                     " bytes, have " + std::to_string(remaining()) + ")");
+  }
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint8_t> ByteReader::bytes(std::size_t n) {
+  auto v = take(n);
+  return {v.begin(), v.end()};
+}
+
+ByteWriter& ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+ByteWriter& ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+  return *this;
+}
+
+ByteWriter& ByteWriter::raw(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  return *this;
+}
+
+ByteWriter& ByteWriter::zeros(std::size_t n) {
+  buf_.insert(buf_.end(), n, 0);
+  return *this;
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) {
+    throw std::out_of_range("ByteWriter::patch_u16 out of bounds");
+  }
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    throw ParseError("from_hex: odd-length input");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_value(hex[i]);
+    int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      throw ParseError("from_hex: invalid hex character");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ct_equal(std::span<const std::uint8_t> a,
+              std::span<const std::uint8_t> b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace nn

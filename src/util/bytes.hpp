@@ -1,0 +1,105 @@
+// Byte-order-safe serialization helpers used by every wire format in the
+// project. All multi-byte integers on the wire are big-endian (network
+// order), matching the IPv4/UDP/shim header layouts in DESIGN.md §5.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nn {
+
+/// Error thrown when a reader runs past the end of its buffer or a
+/// decoder meets malformed input. Wire-facing code catches this at the
+/// packet boundary and drops the packet.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sequential big-endian reader over a non-owning byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool empty() const noexcept { return remaining() == 0; }
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Returns a view of the next `n` bytes and advances.
+  std::span<const std::uint8_t> take(std::size_t n);
+
+  /// Copies the next `n` bytes into an owned vector and advances.
+  std::vector<std::uint8_t> bytes(std::size_t n);
+
+  /// Skips `n` bytes; throws ParseError if fewer remain.
+  void skip(std::size_t n) { (void)take(n); }
+
+  /// Everything not yet consumed, without advancing.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const noexcept {
+    return data_.subspan(pos_);
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only big-endian writer backed by a growable vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  ByteWriter& u8(std::uint8_t v) {
+    buf_.push_back(v);
+    return *this;
+  }
+  ByteWriter& u16(std::uint16_t v);
+  ByteWriter& u32(std::uint32_t v);
+  ByteWriter& u64(std::uint64_t v);
+  ByteWriter& raw(std::span<const std::uint8_t> bytes);
+  ByteWriter& zeros(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
+    return buf_;
+  }
+  /// Moves the accumulated bytes out; the writer is empty afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+
+  /// Overwrites two bytes at `offset` (used to patch checksums/lengths
+  /// after the fact). Throws std::out_of_range if out of bounds.
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Lowercase hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decodes a hex string (case-insensitive, even length). Throws
+/// ParseError on bad characters or odd length.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+/// Constant-time byte-span equality (length leak only), for comparing
+/// MAC tags without creating a timing oracle.
+[[nodiscard]] bool ct_equal(std::span<const std::uint8_t> a,
+                            std::span<const std::uint8_t> b) noexcept;
+
+}  // namespace nn

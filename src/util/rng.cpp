@@ -1,0 +1,47 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace nn {
+
+void Rng::fill(std::span<std::uint8_t> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    std::uint64_t v = next_u64();
+    for (int b = 0; b < 8; ++b) {
+      out[i + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint64_t v = next_u64();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  // Rejection sampling: draw until the value falls below the largest
+  // multiple of `bound`, which removes modulo bias.
+  const std::uint64_t limit =
+      std::numeric_limits<std::uint64_t>::max() -
+      (std::numeric_limits<std::uint64_t>::max() % bound + 1) % bound;
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v > limit && limit != std::numeric_limits<std::uint64_t>::max());
+  return v % bound;
+}
+
+double Rng::exponential(double mean) {
+  double u;
+  do {
+    u = uniform_double();
+  } while (u <= 0.0);  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+}  // namespace nn

@@ -1,0 +1,64 @@
+// Random-number source abstraction. Everything in the project that needs
+// randomness (crypto key generation, nonces, simulated workloads) takes an
+// Rng&, so experiments are reproducible by seeding deterministically.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace nn {
+
+/// Abstract random source. Implementations: SplitMix64 (fast,
+/// non-cryptographic, for simulation workloads) and crypto::ChaChaRng
+/// (a ChaCha20-based DRBG for key material).
+class Rng {
+ public:
+  virtual ~Rng() = default;
+
+  /// Next 64 uniformly random bits.
+  virtual std::uint64_t next_u64() = 0;
+
+  /// Fills `out` with random bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  /// Uniform value in [0, bound). `bound` must be nonzero. Uses
+  /// rejection sampling, so the result is exactly uniform.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + uniform(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform_double() < p; }
+
+  /// Exponentially distributed value with the given mean (for Poisson
+  /// inter-arrival times in workload generators).
+  double exponential(double mean);
+};
+
+/// SplitMix64: tiny, fast, statistically solid PRNG. NOT for key
+/// material — simulation and workload generation only.
+class SplitMix64 final : public Rng {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next_u64() override {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace nn

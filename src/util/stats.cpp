@@ -1,0 +1,63 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nn {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Histogram::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  // Linear interpolation between closest ranks.
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string Histogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count() << " mean=" << mean() << " p50=" << median()
+     << " p95=" << p95() << " p99=" << p99() << " max=" << max();
+  return os.str();
+}
+
+}  // namespace nn

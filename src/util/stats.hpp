@@ -1,0 +1,63 @@
+// Streaming statistics used by the simulator's flow monitors and the
+// benchmark harnesses: online mean/variance (Welford) and a sampling
+// histogram with percentile queries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nn {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every sample (doubles) and answers percentile queries by
+/// sorting on demand. Fine for simulation scale (≤ millions of samples).
+class Histogram {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// p in [0,100]; returns 0 for an empty histogram.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double min() const { return percentile(0); }
+  [[nodiscard]] double median() const { return percentile(50); }
+  [[nodiscard]] double p95() const { return percentile(95); }
+  [[nodiscard]] double p99() const { return percentile(99); }
+  [[nodiscard]] double max() const { return percentile(100); }
+
+  /// "n=.. mean=.. p50=.. p95=.. p99=.. max=.." summary line.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+}  // namespace nn

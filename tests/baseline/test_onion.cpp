@@ -1,0 +1,114 @@
+#include "baseline/onion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn::baseline {
+namespace {
+
+class OnionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::ChaChaRng rng(0x10);
+    keys_ = new std::vector<crypto::RsaPrivateKey>();
+    for (int i = 0; i < 3; ++i) {
+      keys_->push_back(crypto::rsa_generate(rng, 1024, 3));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+
+  OnionTest() {
+    for (const auto& key : *keys_) relays_.emplace_back(key);
+  }
+
+  std::vector<OnionRelay*> path() {
+    std::vector<OnionRelay*> p;
+    for (auto& r : relays_) p.push_back(&r);
+    return p;
+  }
+
+  static std::vector<crypto::RsaPrivateKey>* keys_;
+  std::vector<OnionRelay> relays_;
+};
+
+std::vector<crypto::RsaPrivateKey>* OnionTest::keys_ = nullptr;
+
+TEST_F(OnionTest, CircuitBuildCostsOneRsaPerHop) {
+  OnionClient client(1);
+  const auto circuit = client.build_circuit(path());
+  EXPECT_EQ(circuit.path.size(), 3u);
+  EXPECT_EQ(client.rsa_encryptions(), 3u);
+  for (auto& relay : relays_) {
+    EXPECT_EQ(relay.stats().rsa_decryptions, 1u);
+    EXPECT_EQ(relay.circuit_count(), 1u);
+  }
+}
+
+TEST_F(OnionTest, OnionPeelsToPlaintextOnlyAtExit) {
+  OnionClient client(2);
+  auto circuit = client.build_circuit(path());
+  const std::vector<std::uint8_t> payload = {'t', 'o', 'r'};
+  auto cell = client.wrap(circuit, payload);
+  EXPECT_NE(cell, payload);  // encrypted on the wire
+
+  // Peel layer by layer: only after the final relay is it plaintext.
+  auto partial = cell;
+  ASSERT_TRUE(relays_[0].process_cell(circuit.circuit_ids[0], partial));
+  EXPECT_NE(partial, payload);
+  ASSERT_TRUE(relays_[1].process_cell(circuit.circuit_ids[1], partial));
+  EXPECT_NE(partial, payload);
+  ASSERT_TRUE(relays_[2].process_cell(circuit.circuit_ids[2], partial));
+  EXPECT_EQ(partial, payload);
+}
+
+TEST_F(OnionTest, TransitHelperMatchesManualPeeling) {
+  OnionClient client(3);
+  auto circuit = client.build_circuit(path());
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto out = OnionClient::transit(circuit, client.wrap(circuit, payload));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, payload);
+}
+
+TEST_F(OnionTest, MultipleCellsKeepDistinctKeystreams) {
+  OnionClient client(4);
+  auto circuit = client.build_circuit(path());
+  const std::vector<std::uint8_t> payload(64, 0x55);
+  const auto c1 = client.wrap(circuit, payload);
+  const auto c2 = client.wrap(circuit, payload);
+  EXPECT_NE(c1, c2);  // per-cell counter IVs
+  EXPECT_EQ(*OnionClient::transit(circuit, c1), payload);
+  EXPECT_EQ(*OnionClient::transit(circuit, c2), payload);
+}
+
+TEST_F(OnionTest, UnknownCircuitRejected) {
+  std::vector<std::uint8_t> cell(16, 0);
+  EXPECT_FALSE(relays_[0].process_cell(999, cell));
+}
+
+TEST_F(OnionTest, StateGrowsPerCircuitAndShrinksOnDestroy) {
+  OnionClient client(5);
+  const std::size_t before = relays_[0].state_bytes();
+  std::vector<OnionClient::Circuit> circuits;
+  for (int i = 0; i < 10; ++i) circuits.push_back(client.build_circuit(path()));
+  EXPECT_EQ(relays_[0].circuit_count(), 10u);
+  EXPECT_GT(relays_[0].state_bytes(), before);
+  // This is exactly the §5 contrast: the neutralizer's per-source state
+  // is zero regardless of how many sources set up keys.
+  for (auto& c : circuits) {
+    for (std::size_t i = 0; i < c.path.size(); ++i) {
+      c.path[i]->destroy_circuit(c.circuit_ids[i]);
+    }
+  }
+  EXPECT_EQ(relays_[0].circuit_count(), 0u);
+}
+
+TEST_F(OnionTest, MalformedCreateRejected) {
+  std::vector<std::uint8_t> garbage(128, 0xAB);
+  EXPECT_FALSE(relays_[0].create_circuit(garbage).has_value());
+}
+
+}  // namespace
+}  // namespace nn::baseline

@@ -1,0 +1,140 @@
+#include "baseline/stateful.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes_modes.hpp"
+#include "net/shim.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::baseline {
+namespace {
+
+using net::Ipv4Addr;
+using net::ShimHeader;
+using net::ShimType;
+
+const Ipv4Addr kAnycast(200, 0, 0, 1);
+const Ipv4Addr kAnn(10, 1, 0, 2);
+const Ipv4Addr kGoogle(20, 0, 0, 10);
+
+core::NeutralizerConfig config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+class StatefulTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::ChaChaRng rng(0x5F);
+    onetime_ = new crypto::RsaPrivateKey(crypto::rsa_generate(rng, 512, 3));
+  }
+  static void TearDownTestSuite() {
+    delete onetime_;
+    onetime_ = nullptr;
+  }
+
+  std::pair<std::uint64_t, crypto::AesKey> setup(StatefulNeutralizer& n,
+                                                 Ipv4Addr src) {
+    ShimHeader shim;
+    shim.type = ShimType::kKeySetup;
+    shim.nonce = 1;
+    auto resp = n.process(
+        net::make_shim_packet(src, kAnycast, shim, onetime_->pub.serialize()),
+        0);
+    EXPECT_TRUE(resp.has_value());
+    const auto parsed = net::parse_packet(resp->view());
+    const auto plain = crypto::rsa_decrypt(*onetime_, parsed.payload);
+    EXPECT_TRUE(plain.has_value());
+    ByteReader r(*plain);
+    const std::uint64_t nonce = r.u64();
+    crypto::AesKey ks{};
+    const auto key = r.take(16);
+    std::copy(key.begin(), key.end(), ks.begin());
+    return {nonce, ks};
+  }
+
+  static crypto::RsaPrivateKey* onetime_;
+};
+
+crypto::RsaPrivateKey* StatefulTest::onetime_ = nullptr;
+
+net::Packet forward_packet(std::uint64_t nonce, const crypto::AesKey& ks,
+                           Ipv4Addr src, Ipv4Addr dst) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataForward;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, dst.value());
+  return net::make_shim_packet(src, kAnycast, shim,
+                               std::vector<std::uint8_t>{9});
+}
+
+TEST_F(StatefulTest, ForwardWorksLikeStatelessVariant) {
+  StatefulNeutralizer n(config());
+  const auto [nonce, ks] = setup(n, kAnn);
+  auto out = n.process(forward_packet(nonce, ks, kAnn, kGoogle), 0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(net::parse_packet(out->view()).ip.dst, kGoogle);
+}
+
+TEST_F(StatefulTest, StateGrowsLinearlyWithSources) {
+  // The measurable §3.2 difference: table entries per source.
+  StatefulNeutralizer n(config());
+  EXPECT_EQ(n.table_entries(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    setup(n, Ipv4Addr(10, 1, 1, static_cast<std::uint8_t>(i)));
+  }
+  EXPECT_EQ(n.table_entries(), 50u);
+  EXPECT_GT(n.state_bytes(), 50u * 20u);
+}
+
+TEST_F(StatefulTest, ReplicaFailoverBreaks) {
+  // Two replicas do NOT share state: a key minted by one is useless at
+  // the other — the fault-tolerance argument for statelessness (§3.2).
+  StatefulNeutralizer a(config(), 1);
+  StatefulNeutralizer b(config(), 2);
+  const auto [nonce, ks] = setup(a, kAnn);
+  EXPECT_TRUE(a.process(forward_packet(nonce, ks, kAnn, kGoogle), 0)
+                  .has_value());
+  EXPECT_FALSE(b.process(forward_packet(nonce, ks, kAnn, kGoogle), 0)
+                   .has_value());
+}
+
+TEST_F(StatefulTest, SourceBindingEnforced) {
+  StatefulNeutralizer n(config());
+  const auto [nonce, ks] = setup(n, kAnn);
+  // Another host replaying Ann's nonce is rejected by the stored source.
+  EXPECT_FALSE(
+      n.process(forward_packet(nonce, ks, Ipv4Addr(10, 1, 0, 99), kGoogle), 0)
+          .has_value());
+}
+
+TEST_F(StatefulTest, ReturnPathUsesTable) {
+  StatefulNeutralizer n(config());
+  const auto [nonce, ks] = setup(n, kAnn);
+  ShimHeader shim;
+  shim.type = ShimType::kDataReturn;
+  shim.nonce = nonce;
+  shim.inner_addr = kAnn.value();
+  auto out = n.process(
+      net::make_shim_packet(kGoogle, kAnycast, shim,
+                            std::vector<std::uint8_t>{1}),
+      0);
+  ASSERT_TRUE(out.has_value());
+  const auto parsed = net::parse_packet(out->view());
+  EXPECT_EQ(parsed.ip.src, kAnycast);
+  EXPECT_EQ(parsed.ip.dst, kAnn);
+  EXPECT_EQ(crypto::crypt_address(ks, nonce, true, parsed.shim->inner_addr),
+            kGoogle.value());
+}
+
+TEST_F(StatefulTest, UnknownNonceRejected) {
+  StatefulNeutralizer n(config());
+  crypto::AesKey ks{};
+  EXPECT_FALSE(
+      n.process(forward_packet(12345, ks, kAnn, kGoogle), 0).has_value());
+}
+
+}  // namespace
+}  // namespace nn::baseline

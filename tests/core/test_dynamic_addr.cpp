@@ -1,0 +1,67 @@
+#include "core/dynamic_addr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nn::core {
+namespace {
+
+using net::Ipv4Addr;
+using net::Ipv4Prefix;
+
+TEST(DynamicAddressAllocator, AllocatesFromPool) {
+  DynamicAddressAllocator alloc(Ipv4Prefix::from_string("172.16.0.0/24"));
+  const auto a = alloc.allocate(Ipv4Addr(20, 0, 0, 1));
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(alloc.pool().contains(*a));
+  EXPECT_EQ(alloc.resolve(*a), Ipv4Addr(20, 0, 0, 1));
+}
+
+TEST(DynamicAddressAllocator, DistinctSessionsDistinctAddresses) {
+  DynamicAddressAllocator alloc(Ipv4Prefix::from_string("172.16.0.0/24"));
+  // Same customer, two QoS sessions: two dynamic addresses (the point
+  // of §3.4 — flows are identifiable, the customer is not).
+  const auto a = alloc.allocate(Ipv4Addr(20, 0, 0, 1));
+  const auto b = alloc.allocate(Ipv4Addr(20, 0, 0, 1));
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(alloc.resolve(*a), alloc.resolve(*b));
+  EXPECT_EQ(alloc.active_sessions(), 2u);
+}
+
+TEST(DynamicAddressAllocator, ReleaseAllowsReuse) {
+  DynamicAddressAllocator alloc(Ipv4Prefix::from_string("172.16.0.0/30"));
+  std::set<std::uint32_t> seen;
+  // Pool of /30 has 3 usable offsets (1..3).
+  for (int i = 0; i < 3; ++i) {
+    const auto a = alloc.allocate(Ipv4Addr(20, 0, 0, 1));
+    ASSERT_TRUE(a.has_value());
+    seen.insert(a->value());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_FALSE(alloc.allocate(Ipv4Addr(20, 0, 0, 1)).has_value());  // full
+
+  alloc.release(Ipv4Addr(*seen.begin()));
+  EXPECT_TRUE(alloc.allocate(Ipv4Addr(20, 0, 0, 2)).has_value());
+}
+
+TEST(DynamicAddressAllocator, ResolveUnknownIsNull) {
+  DynamicAddressAllocator alloc(Ipv4Prefix::from_string("172.16.0.0/24"));
+  EXPECT_FALSE(alloc.resolve(Ipv4Addr(172, 16, 0, 200)).has_value());
+}
+
+TEST(DynamicAddressAllocator, ReleaseUnknownIsNoop) {
+  DynamicAddressAllocator alloc(Ipv4Prefix::from_string("172.16.0.0/24"));
+  alloc.release(Ipv4Addr(1, 2, 3, 4));
+  EXPECT_EQ(alloc.active_sessions(), 0u);
+}
+
+TEST(DynamicAddressAllocator, RejectsTinyPool) {
+  EXPECT_THROW(
+      DynamicAddressAllocator(Ipv4Prefix::from_string("172.16.0.0/31")),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nn::core

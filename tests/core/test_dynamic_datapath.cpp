@@ -1,0 +1,169 @@
+// §3.4 dynamic-address datapath: allocation via control messages and
+// inbound translation at the box, end to end.
+#include <gtest/gtest.h>
+
+#include "core/box.hpp"
+#include "net/shim.hpp"
+#include "qos/intserv.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::core {
+namespace {
+
+using net::Ipv4Addr;
+using net::ShimHeader;
+using net::ShimType;
+
+const Ipv4Addr kAnycast(200, 0, 0, 1);
+const Ipv4Addr kAnn(10, 1, 0, 2);
+const Ipv4Addr kGoogle(20, 0, 0, 10);
+
+NeutralizerConfig pool_config() {
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("172.16.0.0/24");
+  return cfg;
+}
+
+crypto::AesKey root() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+Ipv4Addr request_dynamic(Neutralizer& service, Ipv4Addr customer) {
+  ShimHeader shim;
+  shim.type = ShimType::kDynAddrRequest;
+  shim.nonce = 0x12;
+  auto resp =
+      service.process(net::make_shim_packet(customer, kAnycast, shim, {}), 0);
+  EXPECT_TRUE(resp.has_value());
+  const auto parsed = net::parse_packet(resp->view());
+  EXPECT_EQ(parsed.shim->type, ShimType::kDynAddrResponse);
+  EXPECT_EQ(parsed.shim->nonce, 0x12u);
+  EXPECT_EQ(parsed.payload.size(), 4u);
+  ByteReader r(parsed.payload);
+  return Ipv4Addr(r.u32());
+}
+
+TEST(DynamicDatapath, AllocationViaControlMessage) {
+  Neutralizer service(pool_config(), root());
+  const auto dyn = request_dynamic(service, kGoogle);
+  EXPECT_TRUE(service.owns_dynamic(dyn));
+  EXPECT_EQ(service.dynamic_sessions(), 1u);
+  EXPECT_EQ(service.stats().dyn_allocated, 1u);
+}
+
+TEST(DynamicDatapath, RequestFromOutsiderRefused) {
+  Neutralizer service(pool_config(), root());
+  ShimHeader shim;
+  shim.type = ShimType::kDynAddrRequest;
+  EXPECT_FALSE(service
+                   .process(net::make_shim_packet(kAnn, kAnycast, shim, {}),
+                            0)
+                   .has_value());
+}
+
+TEST(DynamicDatapath, RequestWithoutPoolRefused) {
+  NeutralizerConfig cfg = pool_config();
+  cfg.dynamic_pool.reset();
+  Neutralizer service(cfg, root());
+  ShimHeader shim;
+  shim.type = ShimType::kDynAddrRequest;
+  EXPECT_FALSE(service
+                   .process(net::make_shim_packet(kGoogle, kAnycast, shim, {}),
+                            0)
+                   .has_value());
+}
+
+TEST(DynamicDatapath, TranslatesInboundToCustomer) {
+  Neutralizer service(pool_config(), root());
+  const auto dyn = request_dynamic(service, kGoogle);
+  auto pkt = net::make_udp_packet(kAnn, dyn, 700, 800,
+                                  std::vector<std::uint8_t>{1, 2, 3});
+  auto out = service.translate_dynamic(std::move(pkt));
+  ASSERT_TRUE(out.has_value());
+  const auto parsed = net::parse_packet(out->view());
+  EXPECT_EQ(parsed.ip.dst, kGoogle);
+  EXPECT_EQ(parsed.ip.src, kAnn);  // sender unchanged
+  EXPECT_EQ(service.stats().dyn_translated, 1u);
+}
+
+TEST(DynamicDatapath, UnallocatedAddressDropped) {
+  Neutralizer service(pool_config(), root());
+  auto pkt = net::make_udp_packet(kAnn, Ipv4Addr(172, 16, 0, 99), 1, 2,
+                                  std::vector<std::uint8_t>{1});
+  EXPECT_FALSE(service.translate_dynamic(std::move(pkt)).has_value());
+}
+
+TEST(DynamicDatapath, EndToEndOverSimWithPerFlowReservation) {
+  // The full §3.4 story: Google gets a dynamic address, streams with
+  // src=dyn (assigned by its own ISP), Ann's ISP reserves per-flow state
+  // on (dyn -> Ann) without ever learning the customer; Ann's replies to
+  // dyn are translated back at the box.
+  sim::Engine engine;
+  sim::Network net(engine);
+  auto& ann = net.add<sim::Host>("ann");
+  auto& att = net.add<sim::Router>("att");
+  auto& box = net.add<NeutralizerBox>("box", pool_config(), root());
+  auto& google = net.add<sim::Host>("google");
+  sim::LinkConfig cfg;
+  net.connect(ann, att, cfg);
+  net.connect(att, box, cfg);
+  net.connect(box, google, cfg);
+  net.assign_address(ann, kAnn);
+  net.assign_address(google, kGoogle);
+  net.assign_address(box, Ipv4Addr(20, 0, 255, 1));
+  box.join_service_anycast(net);  // also claims the dynamic pool
+  net.compute_routes();
+
+  // Google requests a dynamic address over the wire.
+  Ipv4Addr dyn;
+  google.set_handler([&](net::Packet&& pkt) {
+    const auto p = net::parse_packet(pkt.view());
+    if (p.shim.has_value() &&
+        p.shim->type == ShimType::kDynAddrResponse) {
+      ByteReader r(p.payload);
+      dyn = Ipv4Addr(r.u32());
+    }
+  });
+  ShimHeader req;
+  req.type = ShimType::kDynAddrRequest;
+  google.transmit(net::make_shim_packet(kGoogle, kAnycast, req, {}));
+  engine.run();
+  ASSERT_TRUE(box.service().owns_dynamic(dyn));
+
+  // Ann's ISP installs per-flow guaranteed service on the visible flow.
+  qos::ReservationTable rsvp(10e6);
+  EXPECT_TRUE(rsvp.reserve({dyn, kAnn}, 2e6));
+  // The flow is identifiable; the customer is not.
+  EXPECT_NE(dyn, kGoogle);
+
+  // Ann replies toward the dynamic address; the box translates.
+  int google_got = 0;
+  google.set_handler([&](net::Packet&& pkt) {
+    const auto p = net::parse_packet(pkt.view());
+    if (p.udp.has_value()) ++google_got;
+  });
+  ann.transmit(net::make_udp_packet(kAnn, dyn, 700, 800,
+                                    std::vector<std::uint8_t>{42}));
+  engine.run();
+  EXPECT_EQ(google_got, 1);
+  EXPECT_EQ(box.service().stats().dyn_translated, 1u);
+}
+
+TEST(DynamicDatapath, TwoSessionsSameCustomerDistinctFlows) {
+  // §3.4: per-session addresses, so two QoS sessions of one customer
+  // are distinct flows to the outside world.
+  Neutralizer service(pool_config(), root());
+  const auto dyn1 = request_dynamic(service, kGoogle);
+  const auto dyn2 = request_dynamic(service, kGoogle);
+  EXPECT_NE(dyn1, dyn2);
+  qos::ReservationTable rsvp(10e6);
+  EXPECT_TRUE(rsvp.reserve({dyn1, kAnn}, 1e6));
+  EXPECT_TRUE(rsvp.reserve({dyn2, kAnn}, 1e6));
+}
+
+}  // namespace
+}  // namespace nn::core

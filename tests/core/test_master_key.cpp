@@ -1,0 +1,76 @@
+#include "core/master_key.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn::core {
+namespace {
+
+crypto::AesKey root_key(std::uint8_t fill = 0x11) {
+  crypto::AesKey k;
+  k.fill(fill);
+  return k;
+}
+
+TEST(MasterKeySchedule, EpochAdvancesWithTime) {
+  const MasterKeySchedule sched(root_key(), 3600 * sim::kSecond);
+  EXPECT_EQ(sched.epoch_at(0), 0);
+  EXPECT_EQ(sched.epoch_at(3599 * sim::kSecond), 0);
+  EXPECT_EQ(sched.epoch_at(3600 * sim::kSecond), 1);
+  EXPECT_EQ(sched.epoch_at(2 * 3600 * sim::kSecond + 1), 2);
+}
+
+TEST(MasterKeySchedule, ReplicasDeriveIdenticalKeys) {
+  const MasterKeySchedule a(root_key(0x42));
+  const MasterKeySchedule b(root_key(0x42));
+  EXPECT_EQ(a.current_key(0), b.current_key(0));
+  EXPECT_EQ(a.current_key(5 * 3600 * sim::kSecond),
+            b.current_key(5 * 3600 * sim::kSecond));
+}
+
+TEST(MasterKeySchedule, DifferentRootsDifferentKeys) {
+  const MasterKeySchedule a(root_key(1));
+  const MasterKeySchedule b(root_key(2));
+  EXPECT_NE(a.current_key(0), b.current_key(0));
+}
+
+TEST(MasterKeySchedule, KeysDifferAcrossEpochs) {
+  const MasterKeySchedule sched(root_key());
+  EXPECT_NE(sched.current_key(0),
+            sched.current_key(3600 * sim::kSecond));
+}
+
+TEST(MasterKeySchedule, GraceWindowAcceptsPreviousEpochOnly) {
+  const MasterKeySchedule sched(root_key(), 3600 * sim::kSecond);
+  const sim::SimTime t = 5 * 3600 * sim::kSecond + 10;  // epoch 5
+  EXPECT_TRUE(sched.key_for_epoch(5, t).has_value());
+  EXPECT_TRUE(sched.key_for_epoch(4, t).has_value());
+  EXPECT_FALSE(sched.key_for_epoch(3, t).has_value());  // expired
+  EXPECT_FALSE(sched.key_for_epoch(6, t).has_value());  // future
+}
+
+TEST(MasterKeySchedule, PreviousEpochKeyIsStable) {
+  const MasterKeySchedule sched(root_key(), 3600 * sim::kSecond);
+  const auto during = sched.current_key(10);
+  const auto after = sched.key_for_epoch(0, 3600 * sim::kSecond + 5);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(*after, during);
+}
+
+TEST(MasterKeySchedule, AtEpochZeroNoPrevious) {
+  const MasterKeySchedule sched(root_key());
+  EXPECT_TRUE(sched.key_for_epoch(0, 0).has_value());
+  EXPECT_FALSE(sched.key_for_epoch(1, 0).has_value());
+}
+
+TEST(MasterKeySchedule, RejectsNonPositiveRotation) {
+  EXPECT_THROW(MasterKeySchedule(root_key(), 0), std::invalid_argument);
+  EXPECT_THROW(MasterKeySchedule(root_key(), -5), std::invalid_argument);
+}
+
+TEST(MasterKeySchedule, CustomRotationPeriod) {
+  const MasterKeySchedule sched(root_key(), sim::kSecond);
+  EXPECT_EQ(sched.epoch_at(10 * sim::kSecond), 10);
+}
+
+}  // namespace
+}  // namespace nn::core

@@ -1,0 +1,341 @@
+#include "core/neutralizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes_modes.hpp"
+#include "crypto/chacha.hpp"
+#include "net/shim.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::core {
+namespace {
+
+using net::Ipv4Addr;
+using net::ShimFlags;
+using net::ShimHeader;
+using net::ShimType;
+
+const Ipv4Addr kAnycast(200, 0, 0, 1);
+const Ipv4Addr kAnn(10, 1, 0, 2);       // outside source
+const Ipv4Addr kGoogle(20, 0, 0, 10);   // customer
+const Ipv4Addr kOutsider(99, 0, 0, 1);  // not a customer
+
+NeutralizerConfig test_config() {
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey test_root() {
+  crypto::AesKey k;
+  k.fill(0x77);
+  return k;
+}
+
+/// Drives the §3.2 key setup against `n` and returns (nonce, Ks).
+std::pair<std::uint64_t, crypto::AesKey> do_key_setup(
+    Neutralizer& n, const crypto::RsaPrivateKey& onetime, Ipv4Addr src,
+    sim::SimTime now) {
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetup;
+  shim.nonce = 0xAABB;  // request id
+  const auto pub = onetime.pub.serialize();
+  auto setup = net::make_shim_packet(src, kAnycast, shim, pub);
+
+  auto response = n.process(std::move(setup), now);
+  EXPECT_TRUE(response.has_value());
+  const auto parsed = net::parse_packet(response->view());
+  EXPECT_EQ(parsed.ip.src, kAnycast);
+  EXPECT_EQ(parsed.ip.dst, src);
+  EXPECT_EQ(parsed.shim->type, ShimType::kKeySetupResponse);
+  EXPECT_EQ(parsed.shim->nonce, 0xAABBu);  // request id echoed
+
+  const auto plain = crypto::rsa_decrypt(onetime, parsed.payload);
+  EXPECT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->size(), 24u);
+  ByteReader r(*plain);
+  const std::uint64_t nonce = r.u64();
+  crypto::AesKey ks{};
+  const auto key = r.take(16);
+  std::copy(key.begin(), key.end(), ks.begin());
+  return {nonce, ks};
+}
+
+net::Packet make_forward(std::uint64_t nonce, const crypto::AesKey& ks,
+                         Ipv4Addr src, Ipv4Addr true_dst, std::uint8_t flags,
+                         std::uint16_t epoch,
+                         net::Dscp dscp = net::Dscp::kBestEffort) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataForward;
+  shim.flags = flags;
+  shim.key_epoch = epoch;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, true_dst.value());
+  const std::vector<std::uint8_t> payload = {'e', 'n', 'c'};
+  return net::make_shim_packet(src, kAnycast, shim, payload, dscp);
+}
+
+class NeutralizerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::ChaChaRng rng(99);
+    onetime_ = new crypto::RsaPrivateKey(crypto::rsa_generate(rng, 512, 3));
+  }
+  static void TearDownTestSuite() {
+    delete onetime_;
+    onetime_ = nullptr;
+  }
+
+  NeutralizerTest() : neut_(test_config(), test_root(), 7) {}
+
+  Neutralizer neut_;
+  static crypto::RsaPrivateKey* onetime_;
+};
+
+crypto::RsaPrivateKey* NeutralizerTest::onetime_ = nullptr;
+
+TEST_F(NeutralizerTest, KeySetupMintsConsistentKey) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  // Ks must equal the documented derivation, so any replica sharing the
+  // master key can recompute it.
+  const MasterKeySchedule sched(test_root());
+  EXPECT_EQ(ks, crypto::derive_source_key(sched.current_key(0), nonce,
+                                          kAnn.value()));
+  EXPECT_EQ(neut_.stats().key_setups, 1u);
+}
+
+TEST_F(NeutralizerTest, DataForwardRewritesToCustomer) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  auto pkt = make_forward(nonce, ks, kAnn, kGoogle, 0, 0,
+                          net::Dscp::kExpeditedForwarding);
+  auto out = neut_.process(std::move(pkt), 0);
+  ASSERT_TRUE(out.has_value());
+  const auto parsed = net::parse_packet(out->view());
+  EXPECT_EQ(parsed.ip.src, kAnn);      // source kept (Fig. 2 packet 4)
+  EXPECT_EQ(parsed.ip.dst, kGoogle);   // true destination restored
+  EXPECT_EQ(parsed.shim->inner_addr, kAnycast.value());  // return handle
+  EXPECT_EQ(parsed.ip.dscp, net::Dscp::kExpeditedForwarding);  // §3.4
+  EXPECT_EQ(neut_.stats().data_forwarded, 1u);
+}
+
+TEST_F(NeutralizerTest, StatelessnessReplicaInterchangeable) {
+  // Setup against one replica, data through another sharing the root.
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  Neutralizer replica(test_config(), test_root(), /*nonce_seed=*/12345);
+  auto out =
+      replica.process(make_forward(nonce, ks, kAnn, kGoogle, 0, 0), 0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(net::parse_packet(out->view()).ip.dst, kGoogle);
+}
+
+TEST_F(NeutralizerTest, WrongKeyYieldsWrongDestinationAndIsRejected) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  crypto::AesKey wrong = ks;
+  wrong[0] ^= 0xFF;
+  // Encrypting with a wrong key decrypts to a (almost surely)
+  // non-customer address, which the neutralizer refuses to relay.
+  auto out = neut_.process(make_forward(nonce, wrong, kAnn, kGoogle, 0, 0), 0);
+  EXPECT_FALSE(out.has_value());
+  EXPECT_GE(neut_.stats().rejected, 1u);
+}
+
+TEST_F(NeutralizerTest, SpoofedSourceCannotUseAnothersKey) {
+  // The key is bound to Ann's address: a different source using Ann's
+  // (nonce, Ks) derives a different Ks at the neutralizer and the inner
+  // address decrypts to garbage.
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  auto out =
+      neut_.process(make_forward(nonce, ks, kOutsider, kGoogle, 0, 0), 0);
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST_F(NeutralizerTest, PreviousEpochAcceptedExpiredRejected) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  const sim::SimTime next_epoch = MasterKeySchedule::kDefaultRotation + 5;
+  auto out = neut_.process(make_forward(nonce, ks, kAnn, kGoogle, 0, 0),
+                           next_epoch);
+  EXPECT_TRUE(out.has_value());  // grace window
+
+  const sim::SimTime two_later = 2 * MasterKeySchedule::kDefaultRotation + 5;
+  out = neut_.process(make_forward(nonce, ks, kAnn, kGoogle, 0, 0), two_later);
+  EXPECT_FALSE(out.has_value());  // paper: key expires with the master key
+}
+
+TEST_F(NeutralizerTest, FutureEpochRejected) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  auto out = neut_.process(make_forward(nonce, ks, kAnn, kGoogle, 0, 99), 0);
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST_F(NeutralizerTest, NonCustomerDestinationRefused) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  auto out = neut_.process(make_forward(nonce, ks, kAnn, kOutsider, 0, 0), 0);
+  EXPECT_FALSE(out.has_value());  // not an open relay
+}
+
+TEST_F(NeutralizerTest, KeyRequestGetsStampedRekey) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  auto out = neut_.process(
+      make_forward(nonce, ks, kAnn, kGoogle, ShimFlags::kKeyRequest, 0), 0);
+  ASSERT_TRUE(out.has_value());
+  const auto parsed = net::parse_packet(out->view());
+  ASSERT_TRUE(parsed.shim->rekey.has_value());
+  const auto& ext = *parsed.shim->rekey;
+  EXPECT_NE(ext.nonce, nonce);
+  // The stamped key must follow the documented derivation for Ann.
+  const MasterKeySchedule sched(test_root());
+  EXPECT_EQ(ext.key, crypto::derive_source_key(sched.current_key(0),
+                                               ext.nonce, kAnn.value()));
+  EXPECT_EQ(ext.epoch, 0);
+  EXPECT_EQ(neut_.stats().rekeys_stamped, 1u);
+}
+
+TEST_F(NeutralizerTest, DataReturnHidesCustomer) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  ShimHeader shim;
+  shim.type = ShimType::kDataReturn;
+  shim.key_epoch = 0;
+  shim.nonce = nonce;
+  shim.inner_addr = kAnn.value();  // initiator, clear inside the domain
+  const std::vector<std::uint8_t> payload = {'r'};
+  auto pkt = net::make_shim_packet(kGoogle, kAnycast, shim, payload);
+
+  auto out = neut_.process(std::move(pkt), 0);
+  ASSERT_TRUE(out.has_value());
+  const auto parsed = net::parse_packet(out->view());
+  EXPECT_EQ(parsed.ip.src, kAnycast);  // customer hidden
+  EXPECT_EQ(parsed.ip.dst, kAnn);
+  EXPECT_NE(parsed.shim->inner_addr, kGoogle.value());  // encrypted
+  // Ann can recover the peer with her Ks.
+  EXPECT_EQ(crypto::crypt_address(ks, nonce, true, parsed.shim->inner_addr),
+            kGoogle.value());
+  EXPECT_EQ(neut_.stats().data_returned, 1u);
+}
+
+TEST_F(NeutralizerTest, DataReturnFromNonCustomerRefused) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  ShimHeader shim;
+  shim.type = ShimType::kDataReturn;
+  shim.nonce = nonce;
+  shim.inner_addr = kAnn.value();
+  auto pkt = net::make_shim_packet(kOutsider, kAnycast, shim,
+                                   std::vector<std::uint8_t>{1});
+  EXPECT_FALSE(neut_.process(std::move(pkt), 0).has_value());
+}
+
+TEST_F(NeutralizerTest, NoRekeyStampOnReturnPath) {
+  // A stamped key on the return leg would cross the discriminatory ISP
+  // in clear text; the neutralizer must never do it.
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  ShimHeader shim;
+  shim.type = ShimType::kDataReturn;
+  shim.flags = ShimFlags::kKeyRequest;  // malicious/buggy customer asks
+  shim.nonce = nonce;
+  shim.inner_addr = kAnn.value();
+  auto pkt = net::make_shim_packet(kGoogle, kAnycast, shim,
+                                   std::vector<std::uint8_t>{1});
+  auto out = neut_.process(std::move(pkt), 0);
+  ASSERT_TRUE(out.has_value());
+  const auto parsed = net::parse_packet(out->view());
+  EXPECT_FALSE(parsed.shim->rekey.has_value());  // still zero-filled space
+}
+
+TEST_F(NeutralizerTest, KeyLeaseForCustomer) {
+  ShimHeader shim;
+  shim.type = ShimType::kKeyLease;
+  shim.nonce = 0x1234;
+  auto pkt = net::make_shim_packet(kGoogle, kAnycast, shim, {});
+  auto out = neut_.process(std::move(pkt), 0);
+  ASSERT_TRUE(out.has_value());
+  const auto parsed = net::parse_packet(out->view());
+  EXPECT_EQ(parsed.shim->type, ShimType::kKeyLeaseResponse);
+  EXPECT_EQ(parsed.shim->nonce, 0x1234u);
+  ASSERT_EQ(parsed.payload.size(), 24u);
+  ByteReader r(parsed.payload);
+  const std::uint64_t nonce = r.u64();
+  crypto::AesKey ks{};
+  const auto key = r.take(16);
+  std::copy(key.begin(), key.end(), ks.begin());
+  const MasterKeySchedule sched(test_root());
+  EXPECT_EQ(ks, crypto::derive_lease_key(sched.current_key(0), nonce));
+}
+
+TEST_F(NeutralizerTest, KeyLeaseFromOutsideRefused) {
+  ShimHeader shim;
+  shim.type = ShimType::kKeyLease;
+  auto pkt = net::make_shim_packet(kAnn, kAnycast, shim, {});
+  EXPECT_FALSE(neut_.process(std::move(pkt), 0).has_value());
+}
+
+TEST_F(NeutralizerTest, LeaseKeyedForwardWorks) {
+  // Outside host uses a leased key (reverse-initiated flow, §3.3).
+  ShimHeader lease;
+  lease.type = ShimType::kKeyLease;
+  auto lout = neut_.process(
+      net::make_shim_packet(kGoogle, kAnycast, lease, {}), 0);
+  ASSERT_TRUE(lout.has_value());
+  const auto lparsed = net::parse_packet(lout->view());
+  ByteReader r(lparsed.payload);
+  const std::uint64_t nonce = r.u64();
+  crypto::AesKey ks{};
+  const auto key = r.take(16);
+  std::copy(key.begin(), key.end(), ks.begin());
+
+  auto out = neut_.process(
+      make_forward(nonce, ks, kAnn, kGoogle, ShimFlags::kLeaseKey, 0), 0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(net::parse_packet(out->view()).ip.dst, kGoogle);
+}
+
+TEST_F(NeutralizerTest, OffloadRetargetsToHelper) {
+  NeutralizerConfig cfg = test_config();
+  cfg.offload_enabled = true;
+  cfg.offload_helper = kGoogle;
+  Neutralizer offloading(cfg, test_root(), 3);
+
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetup;
+  shim.nonce = 0xCC;
+  const auto pub = onetime_->pub.serialize();
+  auto out = offloading.process(
+      net::make_shim_packet(kAnn, kAnycast, shim, pub), 0);
+  ASSERT_TRUE(out.has_value());
+  const auto parsed = net::parse_packet(out->view());
+  EXPECT_EQ(parsed.ip.dst, kGoogle);          // redirected to the helper
+  EXPECT_EQ(parsed.ip.src, kAnn);             // reply-to preserved
+  EXPECT_EQ(parsed.shim->type, ShimType::kKeySetup);
+  ASSERT_TRUE(parsed.shim->rekey.has_value());
+  // The stamped key must match what a data packet from Ann will derive.
+  const MasterKeySchedule sched(test_root());
+  EXPECT_EQ(parsed.shim->rekey->key,
+            crypto::derive_source_key(sched.current_key(0),
+                                      parsed.shim->rekey->nonce,
+                                      kAnn.value()));
+  EXPECT_EQ(offloading.stats().offloaded, 1u);
+}
+
+TEST_F(NeutralizerTest, MalformedPacketsRejected) {
+  // Not a shim packet at all.
+  auto udp = net::make_udp_packet(kAnn, kAnycast, 1, 2,
+                                  std::vector<std::uint8_t>{1, 2});
+  EXPECT_FALSE(neut_.process(std::move(udp), 0).has_value());
+  // Key setup with garbage payload.
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetup;
+  auto bad = net::make_shim_packet(kAnn, kAnycast, shim,
+                                   std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_FALSE(neut_.process(std::move(bad), 0).has_value());
+  EXPECT_GE(neut_.stats().rejected, 2u);
+}
+
+TEST_F(NeutralizerTest, ResponseTypesNotForService) {
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetupResponse;
+  auto pkt = net::make_shim_packet(kAnn, kAnycast, shim,
+                                   std::vector<std::uint8_t>(64, 0));
+  EXPECT_FALSE(neut_.process(std::move(pkt), 0).has_value());
+}
+
+}  // namespace
+}  // namespace nn::core

@@ -1,0 +1,124 @@
+// §3.6 box self-protection: a per-replica cap on served key setups
+// bounds the RSA work a flood can force, independent of pushback.
+#include <gtest/gtest.h>
+
+#include "core/neutralizer.hpp"
+#include "crypto/chacha.hpp"
+#include "net/shim.hpp"
+
+namespace nn::core {
+namespace {
+
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+const net::Ipv4Addr kGoogle(20, 0, 0, 10);
+
+NeutralizerConfig limited_config(double rate) {
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  cfg.setup_rate_limit = rate;
+  return cfg;
+}
+
+crypto::AesKey root() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+net::Packet setup_packet(const crypto::RsaPublicKey& pub, net::Ipv4Addr src) {
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kKeySetup;
+  shim.nonce = 1;
+  return net::make_shim_packet(src, kAnycast, shim, pub.serialize());
+}
+
+class RateLimitTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::ChaChaRng rng(0x4C);
+    onetime_ = new crypto::RsaPrivateKey(crypto::rsa_generate(rng, 512, 3));
+  }
+  static void TearDownTestSuite() {
+    delete onetime_;
+    onetime_ = nullptr;
+  }
+  static crypto::RsaPrivateKey* onetime_;
+};
+
+crypto::RsaPrivateKey* RateLimitTest::onetime_ = nullptr;
+
+TEST_F(RateLimitTest, FloodIsShedAtTheConfiguredRate) {
+  Neutralizer service(limited_config(100), root());
+  int served = 0;
+  // 1000 setups inside one second >> 100/s limit.
+  for (int i = 0; i < 1000; ++i) {
+    const sim::SimTime t = i * sim::kMillisecond;
+    if (service
+            .process(setup_packet(onetime_->pub,
+                                  net::Ipv4Addr(10, 1, 0, 2)),
+                     t)
+            .has_value()) {
+      ++served;
+    }
+  }
+  // Burst (25) + refill over 1 s (~100).
+  EXPECT_GE(served, 100);
+  EXPECT_LE(served, 140);
+  EXPECT_EQ(service.stats().setup_rate_limited,
+            static_cast<std::uint64_t>(1000 - served));
+}
+
+TEST_F(RateLimitTest, SlowLegitimateSetupsUnaffected) {
+  Neutralizer service(limited_config(100), root());
+  int served = 0;
+  for (int i = 0; i < 20; ++i) {
+    const sim::SimTime t = i * sim::kSecond;  // 1/s << 100/s
+    if (service
+            .process(setup_packet(onetime_->pub, net::Ipv4Addr(10, 1, 0, 2)),
+                     t)
+            .has_value()) {
+      ++served;
+    }
+  }
+  EXPECT_EQ(served, 20);
+  EXPECT_EQ(service.stats().setup_rate_limited, 0u);
+}
+
+TEST_F(RateLimitTest, DataPathNeverRateLimited) {
+  // The cap protects the RSA path only: data packets are symmetric-
+  // crypto cheap and flow freely.
+  Neutralizer service(limited_config(1), root());
+  // Exhaust the setup budget.
+  for (int i = 0; i < 10; ++i) {
+    (void)service.process(
+        setup_packet(onetime_->pub, net::Ipv4Addr(10, 1, 0, 2)), 0);
+  }
+  const MasterKeySchedule sched(root());
+  const std::uint64_t nonce = 9;
+  const auto ks = crypto::derive_source_key(sched.current_key(0), nonce,
+                                            net::Ipv4Addr(10, 1, 0, 2).value());
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kDataForward;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, kGoogle.value());
+  for (int i = 0; i < 100; ++i) {
+    auto pkt = net::make_shim_packet(net::Ipv4Addr(10, 1, 0, 2), kAnycast,
+                                     shim, std::vector<std::uint8_t>{1});
+    EXPECT_TRUE(service.process(std::move(pkt), 0).has_value());
+  }
+}
+
+TEST_F(RateLimitTest, ZeroMeansUnlimited) {
+  Neutralizer service(limited_config(0), root());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(service
+                    .process(setup_packet(onetime_->pub,
+                                          net::Ipv4Addr(10, 1, 0, 2)),
+                             0)
+                    .has_value());
+  }
+}
+
+}  // namespace
+}  // namespace nn::core

@@ -1,0 +1,98 @@
+#include "crypto/aes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace nn::crypto {
+namespace {
+
+AesBlock block_from_hex(std::string_view hex) {
+  const auto bytes = nn::from_hex(hex);
+  AesBlock out{};
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  return out;
+}
+
+AesKey key_from_hex(std::string_view hex) {
+  const auto bytes = nn::from_hex(hex);
+  AesKey out{};
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  return out;
+}
+
+// FIPS-197 Appendix C.1 known-answer test.
+TEST(Aes128, Fips197AppendixC1) {
+  const Aes128 aes(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const auto pt = block_from_hex("00112233445566778899aabbccddeeff");
+  const auto ct = aes.encrypt(pt);
+  EXPECT_EQ(nn::to_hex(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes.decrypt(ct), pt);
+}
+
+// NIST SP 800-38A F.1.1 (ECB-AES128 block 1).
+TEST(Aes128, Sp800_38aEcbVector) {
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto pt = block_from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(nn::to_hex(aes.encrypt(pt)), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+// All four SP 800-38A ECB-AES128 blocks.
+TEST(Aes128, Sp800_38aEcbAllBlocks) {
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const char* pts[] = {
+      "6bc1bee22e409f96e93d7e117393172a", "ae2d8a571e03ac9c9eb76fac45af8e51",
+      "30c81c46a35ce411e5fbc1191a0a52ef", "f69f2445df4f9b17ad2b417be66c3710"};
+  const char* cts[] = {
+      "3ad77bb40d7a3660a89ecaf32466ef97", "f5d3d58503b9699de785895a96fdbaaf",
+      "43b1cd7f598ece23881b00e3ed030688", "7b0c785e27e8ad3f8223207104725dd4"};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(nn::to_hex(aes.encrypt(block_from_hex(pts[i]))), cts[i]);
+  }
+}
+
+TEST(Aes128, DecryptInvertsEncryptRandom) {
+  SplitMix64 rng(101);
+  for (int i = 0; i < 200; ++i) {
+    AesKey key{};
+    AesBlock pt{};
+    rng.fill(key);
+    rng.fill(pt);
+    const Aes128 aes(key);
+    EXPECT_EQ(aes.decrypt(aes.encrypt(pt)), pt);
+  }
+}
+
+TEST(Aes128, DifferentKeysGiveDifferentCiphertext) {
+  const auto pt = block_from_hex("00000000000000000000000000000000");
+  const Aes128 a(key_from_hex("00000000000000000000000000000000"));
+  const Aes128 b(key_from_hex("00000000000000000000000000000001"));
+  EXPECT_NE(a.encrypt(pt), b.encrypt(pt));
+}
+
+TEST(Aes128, SpanConstructorValidatesLength) {
+  const std::vector<std::uint8_t> short_key(15, 0);
+  EXPECT_THROW(Aes128{std::span<const std::uint8_t>(short_key)},
+               std::invalid_argument);
+  const std::vector<std::uint8_t> ok_key(16, 0);
+  EXPECT_NO_THROW(Aes128{std::span<const std::uint8_t>(ok_key)});
+}
+
+// Avalanche sanity: flipping one plaintext bit changes ~half the output.
+TEST(Aes128, AvalancheEffect) {
+  const Aes128 aes(key_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  auto pt = block_from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const auto ct1 = aes.encrypt(pt);
+  pt[0] ^= 0x01;
+  const auto ct2 = aes.encrypt(pt);
+  int diff_bits = 0;
+  for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+    diff_bits += __builtin_popcount(ct1[i] ^ ct2[i]);
+  }
+  EXPECT_GT(diff_bits, 32);
+  EXPECT_LT(diff_bits, 96);
+}
+
+}  // namespace
+}  // namespace nn::crypto

@@ -1,0 +1,190 @@
+#include "crypto/aes_modes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace nn::crypto {
+namespace {
+
+AesKey key_from_hex(std::string_view hex) {
+  const auto bytes = nn::from_hex(hex);
+  AesKey out{};
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  return out;
+}
+
+const AesKey kRfc4493Key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+
+// RFC 4493 test vectors (examples 1-4).
+TEST(Cmac, Rfc4493Example1EmptyMessage) {
+  const Cmac cmac(kRfc4493Key);
+  EXPECT_EQ(nn::to_hex(cmac.mac({})), "bb1d6929e95937287fa37d129b756746");
+}
+
+TEST(Cmac, Rfc4493Example2OneBlock) {
+  const Cmac cmac(kRfc4493Key);
+  const auto msg = nn::from_hex("6bc1bee22e409f96e93d7e117393172a");
+  EXPECT_EQ(nn::to_hex(cmac.mac(msg)), "070a16b46b4d4144f79bdd9dd04a287c");
+}
+
+TEST(Cmac, Rfc4493Example3FortyBytes) {
+  const Cmac cmac(kRfc4493Key);
+  const auto msg = nn::from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411");
+  EXPECT_EQ(nn::to_hex(cmac.mac(msg)), "dfa66747de9ae63030ca32611497c827");
+}
+
+TEST(Cmac, Rfc4493Example4FourBlocks) {
+  const Cmac cmac(kRfc4493Key);
+  const auto msg = nn::from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  EXPECT_EQ(nn::to_hex(cmac.mac(msg)), "51f0bebf7e3b9d92fc49741779363cfe");
+}
+
+TEST(Cmac, TruncationTakesPrefix) {
+  const Cmac cmac(kRfc4493Key);
+  const auto msg = nn::from_hex("6bc1bee22e409f96e93d7e117393172a");
+  const auto t8 = cmac.mac_truncated(msg, 8);
+  EXPECT_EQ(nn::to_hex(t8), "070a16b46b4d4144");
+  EXPECT_THROW(cmac.mac_truncated(msg, 17), std::invalid_argument);
+}
+
+TEST(Cmac, DistinctMessagesDistinctTags) {
+  const Cmac cmac(kRfc4493Key);
+  std::vector<std::uint8_t> a = {1, 2, 3};
+  std::vector<std::uint8_t> b = {1, 2, 4};
+  EXPECT_NE(cmac.mac(a), cmac.mac(b));
+}
+
+// Parameterized property: CMAC over different lengths never collides
+// with a tag on a truncated prefix (checks padding/domain separation).
+class CmacLengths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CmacLengths, PrefixExtensionChangesTag) {
+  SplitMix64 rng(GetParam() * 31 + 7);
+  AesKey key{};
+  rng.fill(key);
+  const Cmac cmac(key);
+  std::vector<std::uint8_t> msg(GetParam());
+  rng.fill(msg);
+  auto extended = msg;
+  extended.push_back(0x00);
+  EXPECT_NE(cmac.mac(msg), cmac.mac(extended));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CmacLengths,
+                         ::testing::Values(0, 1, 15, 16, 17, 31, 32, 33, 63,
+                                           64, 100, 255));
+
+TEST(Ctr, RoundTripIsIdentity) {
+  SplitMix64 rng(55);
+  AesKey key{};
+  rng.fill(key);
+  const Ctr ctr(key);
+  std::array<std::uint8_t, 12> iv{};
+  rng.fill(iv);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 64u, 113u, 1000u}) {
+    std::vector<std::uint8_t> data(len);
+    rng.fill(data);
+    const auto original = data;
+    ctr.crypt(iv, data);
+    if (len > 4) {
+      EXPECT_NE(data, original);
+    }
+    ctr.crypt(iv, data);
+    EXPECT_EQ(data, original) << "len=" << len;
+  }
+}
+
+TEST(Ctr, KeystreamMatchesManualEcb) {
+  // CTR of zeros = raw keystream; block i must equal AES(iv ‖ ctr=i).
+  const AesKey key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Ctr ctr(key);
+  const Aes128 aes(key);
+  std::array<std::uint8_t, 12> iv{};
+  for (std::size_t i = 0; i < iv.size(); ++i) {
+    iv[i] = static_cast<std::uint8_t>(i);
+  }
+  std::vector<std::uint8_t> zeros(48, 0);
+  ctr.crypt(iv, zeros);
+  for (std::uint32_t blk = 0; blk < 3; ++blk) {
+    AesBlock counter{};
+    std::copy(iv.begin(), iv.end(), counter.begin());
+    counter[15] = static_cast<std::uint8_t>(blk);
+    const auto ks = aes.encrypt(counter);
+    for (std::size_t i = 0; i < kAesBlockSize; ++i) {
+      EXPECT_EQ(zeros[blk * kAesBlockSize + i], ks[i]);
+    }
+  }
+}
+
+TEST(Ctr, DifferentIvsDifferentStreams) {
+  SplitMix64 rng(66);
+  AesKey key{};
+  rng.fill(key);
+  const Ctr ctr(key);
+  std::array<std::uint8_t, 12> iv1{};
+  std::array<std::uint8_t, 12> iv2{};
+  iv2[11] = 1;
+  std::vector<std::uint8_t> a(32, 0);
+  std::vector<std::uint8_t> b(32, 0);
+  ctr.crypt(iv1, a);
+  ctr.crypt(iv2, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(Ctr, CryptCopyLeavesInputIntact) {
+  AesKey key{};
+  const Ctr ctr(key);
+  std::array<std::uint8_t, 12> iv{};
+  const std::vector<std::uint8_t> msg = {1, 2, 3, 4, 5};
+  const auto ct = ctr.crypt_copy(iv, msg);
+  EXPECT_EQ(msg.size(), ct.size());
+  EXPECT_EQ(msg[0], 1);  // unchanged
+  const auto rt = ctr.crypt_copy(iv, ct);
+  EXPECT_EQ(rt, msg);
+}
+
+TEST(DeriveSourceKey, DeterministicAndKeyed) {
+  AesKey km{};
+  km[0] = 0x42;
+  const auto k1 = derive_source_key(km, 12345, 0x0A000001);
+  const auto k2 = derive_source_key(km, 12345, 0x0A000001);
+  EXPECT_EQ(k1, k2);
+  // Different nonce, source, or master key => different Ks.
+  EXPECT_NE(k1, derive_source_key(km, 12346, 0x0A000001));
+  EXPECT_NE(k1, derive_source_key(km, 12345, 0x0A000002));
+  AesKey km2{};
+  km2[0] = 0x43;
+  EXPECT_NE(k1, derive_source_key(km2, 12345, 0x0A000001));
+}
+
+TEST(CryptAddress, RoundTripsAndDirectionSeparated) {
+  AesKey ks{};
+  ks[3] = 0x99;
+  const std::uint32_t addr = 0xC0A80101;  // 192.168.1.1
+  const auto enc_fwd = crypt_address(ks, 777, false, addr);
+  EXPECT_NE(enc_fwd, addr);
+  EXPECT_EQ(crypt_address(ks, 777, false, enc_fwd), addr);
+  // Return direction uses a different keystream.
+  const auto enc_ret = crypt_address(ks, 777, true, addr);
+  EXPECT_NE(enc_ret, enc_fwd);
+  EXPECT_EQ(crypt_address(ks, 777, true, enc_ret), addr);
+}
+
+TEST(CryptAddress, NonceBindsKeystream) {
+  AesKey ks{};
+  const std::uint32_t addr = 0x08080808;
+  EXPECT_NE(crypt_address(ks, 1, false, addr),
+            crypt_address(ks, 2, false, addr));
+}
+
+}  // namespace
+}  // namespace nn::crypto

@@ -1,0 +1,308 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace nn::crypto {
+namespace {
+
+TEST(BigUInt, ZeroBasics) {
+  BigUInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z, BigUInt{0});
+}
+
+TEST(BigUInt, HexRoundTrip) {
+  const auto x = BigUInt::from_hex("deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(x.to_hex(), "deadbeefcafebabe0123456789abcdef");
+  EXPECT_EQ(x.bit_length(), 128u);
+}
+
+TEST(BigUInt, BytesRoundTripWithPadding) {
+  const auto x = BigUInt::from_hex("abcd");
+  const auto bytes = x.to_bytes_be(8);
+  ASSERT_EQ(bytes.size(), 8u);
+  EXPECT_EQ(bytes[6], 0xAB);
+  EXPECT_EQ(bytes[7], 0xCD);
+  EXPECT_EQ(BigUInt::from_bytes_be(bytes), x);
+}
+
+TEST(BigUInt, OddHexLength) {
+  const auto x = BigUInt::from_hex("f00");
+  EXPECT_EQ(x, BigUInt{0xF00});
+}
+
+TEST(BigUInt, AdditionWithCarryPropagation) {
+  const auto x = BigUInt::from_hex("ffffffffffffffffffffffffffffffff");
+  const auto y = BigUInt{1};
+  EXPECT_EQ((x + y).to_hex(), "100000000000000000000000000000000");
+}
+
+TEST(BigUInt, SubtractionWithBorrow) {
+  const auto x = BigUInt::from_hex("100000000000000000000000000000000");
+  const auto y = BigUInt{1};
+  EXPECT_EQ((x - y).to_hex(), "ffffffffffffffffffffffffffffffff");
+}
+
+TEST(BigUInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUInt{1} - BigUInt{2}, std::underflow_error);
+}
+
+TEST(BigUInt, MultiplicationKnownValue) {
+  // 0xFFFFFFFFFFFFFFFF^2 = 0xFFFFFFFFFFFFFFFE0000000000000001
+  const auto x = BigUInt{0xFFFFFFFFFFFFFFFFULL};
+  EXPECT_EQ((x * x).to_hex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigUInt, ShiftLeftRightInverse) {
+  const auto x = BigUInt::from_hex("123456789abcdef0fedcba9876543210");
+  EXPECT_EQ((x << 77) >> 77, x);
+  EXPECT_EQ((x << 64) >> 64, x);
+  EXPECT_EQ((x << 1) >> 1, x);
+}
+
+TEST(BigUInt, ShiftRightDropsBits) {
+  EXPECT_EQ(BigUInt{0b1011} >> 2, BigUInt{0b10});
+  EXPECT_EQ(BigUInt{1} >> 1, BigUInt{});
+}
+
+TEST(BigUInt, CompareOrdering) {
+  EXPECT_LT(BigUInt{5}, BigUInt{6});
+  EXPECT_GT(BigUInt::from_hex("10000000000000000"), BigUInt{0xFFFFFFFFFFFFFFFFULL});
+  EXPECT_EQ(BigUInt{42}, BigUInt{42});
+}
+
+TEST(BigUInt, DivModSmall) {
+  const auto [q, r] = BigUInt::divmod(BigUInt{100}, BigUInt{7});
+  EXPECT_EQ(q, BigUInt{14});
+  EXPECT_EQ(r, BigUInt{2});
+}
+
+TEST(BigUInt, DivModByZeroThrows) {
+  EXPECT_THROW(BigUInt::divmod(BigUInt{1}, BigUInt{}), std::domain_error);
+  EXPECT_THROW((void)BigUInt{1}.mod_u64(0), std::domain_error);
+  EXPECT_THROW((void)BigUInt{1}.div_u64(0), std::domain_error);
+}
+
+TEST(BigUInt, DivModLargerDivisor) {
+  const auto [q, r] = BigUInt::divmod(BigUInt{5}, BigUInt{100});
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r, BigUInt{5});
+}
+
+TEST(BigUInt, ModU64MatchesDivmod) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = BigUInt::random_bits(rng, 192);
+    const std::uint64_t m = rng.next_u64() | 1;
+    EXPECT_EQ(BigUInt{a.mod_u64(m)}, a % BigUInt{m});
+  }
+}
+
+TEST(BigUInt, DivU64MatchesDivmod) {
+  SplitMix64 rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto a = BigUInt::random_bits(rng, 192);
+    const std::uint64_t d = rng.next_u64() | 1;
+    EXPECT_EQ(a.div_u64(d), a / BigUInt{d});
+  }
+}
+
+// Property sweep: a = q*b + r with 0 <= r < b, across operand widths.
+class DivModProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(DivModProperty, EuclideanInvariant) {
+  const auto [abits, bbits] = GetParam();
+  SplitMix64 rng(static_cast<std::uint64_t>(abits * 1000 + bbits));
+  for (int i = 0; i < 25; ++i) {
+    const auto a = BigUInt::random_bits(rng, static_cast<std::size_t>(abits));
+    const auto b = BigUInt::random_bits(rng, static_cast<std::size_t>(bbits));
+    const auto [q, r] = BigUInt::divmod(a, b);
+    EXPECT_LT(r, b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, DivModProperty,
+    ::testing::Values(std::pair{64, 32}, std::pair{128, 64},
+                      std::pair{256, 128}, std::pair{512, 256},
+                      std::pair{1024, 512}, std::pair{1024, 1024},
+                      std::pair{80, 512}, std::pair{512, 37}));
+
+// Algebraic identities on random operands.
+class BigUIntAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigUIntAlgebra, RingIdentities) {
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()));
+  const auto a = BigUInt::random_bits(rng, 200 + GetParam() * 17 % 300);
+  const auto b = BigUInt::random_bits(rng, 100 + GetParam() * 31 % 400);
+  const auto c = BigUInt::random_bits(rng, 150 + GetParam() * 13 % 200);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ(a * BigUInt{1}, a);
+  EXPECT_EQ(a * BigUInt{}, BigUInt{});
+  EXPECT_EQ(a + BigUInt{}, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigUIntAlgebra, ::testing::Range(1, 21));
+
+TEST(BigUInt, ModExpSmallKnown) {
+  // 4^13 mod 497 = 445 (classic example)
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt{4}, BigUInt{13}, BigUInt{497}),
+            BigUInt{445});
+}
+
+TEST(BigUInt, ModExpAgainstU64Reference) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t base = rng.next_u64() % 1000003;
+    const std::uint64_t exp = rng.next_u64() % 100;
+    const std::uint64_t mod = (rng.next_u64() % 999983) | 1;  // odd
+    // u64 reference via __int128 arithmetic
+    __extension__ typedef unsigned __int128 u128ref;
+    u128ref acc = 1 % mod;
+    for (std::uint64_t e = 0; e < exp; ++e) {
+      acc = acc * base % mod;
+    }
+    EXPECT_EQ(
+        BigUInt::mod_exp(BigUInt{base}, BigUInt{exp}, BigUInt{mod}).low_u64(),
+        static_cast<std::uint64_t>(acc))
+        << "base=" << base << " exp=" << exp << " mod=" << mod;
+  }
+}
+
+TEST(BigUInt, ModExpEvenModulusMatchesOdd) {
+  // Cross-check the Montgomery path against the division-based path on
+  // an odd modulus by comparing via a known relation: x mod 2m determines
+  // x mod m. Simpler: compute with both code paths on even modulus
+  // reference values.
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt{7}, BigUInt{5}, BigUInt{100}),
+            BigUInt{7 * 7 * 7 * 7 * 7 % 100});
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt{3}, BigUInt{20}, BigUInt{1 << 20}),
+            BigUInt{3486784401ULL % (1 << 20)});
+}
+
+TEST(BigUInt, ModExpEdgeCases) {
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt{5}, BigUInt{}, BigUInt{7}), BigUInt{1});
+  EXPECT_EQ(BigUInt::mod_exp(BigUInt{5}, BigUInt{3}, BigUInt{1}), BigUInt{});
+  EXPECT_THROW(BigUInt::mod_exp(BigUInt{5}, BigUInt{3}, BigUInt{}),
+               std::domain_error);
+}
+
+TEST(BigUInt, ModExpFermatLittleTheorem) {
+  // a^(p-1) ≡ 1 mod p for prime p and gcd(a,p)=1; p = 2^61 - 1 (prime).
+  const BigUInt p = (BigUInt{1} << 61) - BigUInt{1};
+  SplitMix64 rng(6);
+  for (int i = 0; i < 20; ++i) {
+    const BigUInt a = BigUInt::random_below(rng, p - BigUInt{2}) + BigUInt{1};
+    EXPECT_EQ(BigUInt::mod_exp(a, p - BigUInt{1}, p), BigUInt{1});
+  }
+}
+
+TEST(Montgomery, RejectsEvenModulus) {
+  EXPECT_THROW(Montgomery(BigUInt{10}), std::domain_error);
+  EXPECT_THROW(Montgomery(BigUInt{}), std::domain_error);
+}
+
+TEST(Montgomery, MatchesPlainModExpOnWideOperands) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10; ++i) {
+    BigUInt mod = BigUInt::random_bits(rng, 256);
+    mod.set_bit(0);  // make odd
+    const auto base = BigUInt::random_bits(rng, 300);
+    const auto exp = BigUInt::random_bits(rng, 64);
+    const Montgomery mont(mod);
+    // Reference: square-and-multiply with division-based reduction.
+    BigUInt ref{1};
+    BigUInt b = base % mod;
+    for (std::size_t bit = exp.bit_length(); bit-- > 0;) {
+      ref = (ref * ref) % mod;
+      if (exp.bit(bit)) ref = (ref * b) % mod;
+    }
+    EXPECT_EQ(mont.exp(base, exp), ref);
+  }
+}
+
+TEST(BigUInt, GcdKnownValues) {
+  EXPECT_EQ(BigUInt::gcd(BigUInt{48}, BigUInt{18}), BigUInt{6});
+  EXPECT_EQ(BigUInt::gcd(BigUInt{17}, BigUInt{5}), BigUInt{1});
+  EXPECT_EQ(BigUInt::gcd(BigUInt{0}, BigUInt{5}), BigUInt{5});
+  EXPECT_EQ(BigUInt::gcd(BigUInt{5}, BigUInt{0}), BigUInt{5});
+}
+
+TEST(BigUInt, ModInverseKnownAndProperty) {
+  EXPECT_EQ(BigUInt::mod_inverse(BigUInt{3}, BigUInt{11}), BigUInt{4});
+  SplitMix64 rng(8);
+  for (int i = 0; i < 30; ++i) {
+    const auto m = BigUInt::random_bits(rng, 128);
+    auto a = BigUInt::random_below(rng, m);
+    if (BigUInt::gcd(a, m) != BigUInt{1}) continue;
+    const auto inv = BigUInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigUInt{1});
+    EXPECT_LT(inv, m);
+  }
+}
+
+TEST(BigUInt, ModInverseNotCoprimeThrows) {
+  EXPECT_THROW(BigUInt::mod_inverse(BigUInt{4}, BigUInt{8}), std::domain_error);
+}
+
+TEST(BigUInt, RandomBitsHasExactLength) {
+  SplitMix64 rng(9);
+  for (std::size_t bits : {1u, 7u, 64u, 65u, 256u, 511u, 512u}) {
+    EXPECT_EQ(BigUInt::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(BigUInt, RandomBelowIsBelow) {
+  SplitMix64 rng(10);
+  const auto bound = BigUInt::from_hex("10000000000000001");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(BigUInt::random_below(rng, bound), bound);
+  }
+}
+
+TEST(Primality, KnownPrimes) {
+  SplitMix64 rng(11);
+  EXPECT_TRUE(is_probable_prime(BigUInt{2}, rng));
+  EXPECT_TRUE(is_probable_prime(BigUInt{3}, rng));
+  EXPECT_TRUE(is_probable_prime(BigUInt{65537}, rng));
+  // 2^61 - 1 is a Mersenne prime.
+  EXPECT_TRUE(is_probable_prime((BigUInt{1} << 61) - BigUInt{1}, rng));
+  // 2^127 - 1 is a Mersenne prime.
+  EXPECT_TRUE(is_probable_prime((BigUInt{1} << 127) - BigUInt{1}, rng));
+}
+
+TEST(Primality, KnownComposites) {
+  SplitMix64 rng(12);
+  EXPECT_FALSE(is_probable_prime(BigUInt{1}, rng));
+  EXPECT_FALSE(is_probable_prime(BigUInt{0}, rng));
+  EXPECT_FALSE(is_probable_prime(BigUInt{561}, rng));    // Carmichael
+  EXPECT_FALSE(is_probable_prime(BigUInt{41041}, rng));  // Carmichael
+  EXPECT_FALSE(is_probable_prime((BigUInt{1} << 67) - BigUInt{1}, rng));
+  // Product of two 64-bit-ish primes.
+  const auto p = BigUInt{0xFFFFFFFFFFFFFFC5ULL};  // largest 64-bit prime
+  EXPECT_FALSE(is_probable_prime(p * p, rng));
+}
+
+TEST(Primality, RandomPrimeProperties) {
+  SplitMix64 rng(13);
+  const auto p = random_prime(rng, 128, 3);
+  EXPECT_EQ(p.bit_length(), 128u);
+  EXPECT_TRUE(p.bit(126));  // second-highest bit forced
+  EXPECT_TRUE(p.is_odd());
+  EXPECT_EQ(BigUInt::gcd(p - BigUInt{1}, BigUInt{3}), BigUInt{1});
+  EXPECT_TRUE(is_probable_prime(p, rng));
+}
+
+}  // namespace
+}  // namespace nn::crypto

@@ -1,0 +1,137 @@
+// Stress tests targeting the Knuth Algorithm D division paths that the
+// uniform-random property sweep rarely exercises: qhat overestimation
+// (the add-back branch), divisors with extreme top digits, and
+// carry-chain saturation.
+#include <gtest/gtest.h>
+
+#include "crypto/bigint.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+#include "util/rng.hpp"
+
+namespace nn::crypto {
+namespace {
+
+void check_divmod(const BigUInt& a, const BigUInt& b) {
+  const auto [q, r] = BigUInt::divmod(a, b);
+  EXPECT_LT(r, b);
+  EXPECT_EQ(q * b + r, a) << "a=" << a.to_hex() << " b=" << b.to_hex();
+}
+
+BigUInt all_ones(std::size_t words) {
+  BigUInt x;
+  for (std::size_t i = 0; i < words * 64; ++i) x.set_bit(i);
+  return x;
+}
+
+TEST(BigUIntStress, AllOnesPatterns) {
+  for (std::size_t aw : {1u, 2u, 3u, 4u, 8u, 16u}) {
+    for (std::size_t bw : {1u, 2u, 3u, 4u, 8u}) {
+      check_divmod(all_ones(aw), all_ones(bw));
+    }
+  }
+}
+
+TEST(BigUIntStress, DividendJustBelowAndAboveMultiples) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto b = BigUInt::random_bits(rng, 128 + i);
+    const auto q = BigUInt::random_bits(rng, 200);
+    const BigUInt product = q * b;
+    check_divmod(product, b);                 // exact multiple
+    check_divmod(product + BigUInt{1}, b);    // one above
+    if (!product.is_zero()) {
+      check_divmod(product - BigUInt{1}, b);  // one below
+    }
+  }
+}
+
+TEST(BigUIntStress, DivisorTopDigitBoundaries) {
+  // Divisor top word at the normalization boundaries: 0x8000…,
+  // 0xFFFF…, and 0x8000…+1.
+  SplitMix64 rng(2);
+  for (int i = 0; i < 30; ++i) {
+    BigUInt b_hi;
+    b_hi.set_bit(255);  // 0x8000... top word
+    check_divmod(BigUInt::random_bits(rng, 500), b_hi);
+
+    const auto b_max = all_ones(4);  // 0xFFFF... everywhere
+    check_divmod(BigUInt::random_bits(rng, 500), b_max);
+
+    BigUInt b_mid = b_hi + BigUInt{1};
+    check_divmod(BigUInt::random_bits(rng, 500), b_mid);
+  }
+}
+
+TEST(BigUIntStress, QhatCorrectionTriggers) {
+  // The classic add-back trigger family (Knuth 4.3.1 exercise 21-style):
+  // dividends of the form (B^2)/2-ish over divisors just above B/2.
+  const BigUInt base_hi = BigUInt{0x8000000000000000ULL};
+  BigUInt v = (base_hi << 64) + BigUInt{1};  // 0x8000…0001 (two words)
+  BigUInt u = (base_hi << 192);              // huge power-of-two multiple
+  check_divmod(u, v);
+  check_divmod(u - BigUInt{1}, v);
+  check_divmod(u + BigUInt{1}, v);
+
+  // And a dense sweep around it.
+  SplitMix64 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    BigUInt vv = (base_hi << 64) + BigUInt{rng.next_u64() & 0xFFFF};
+    BigUInt uu = (base_hi << 192) + BigUInt::random_bits(rng, 100);
+    check_divmod(uu, vv);
+  }
+}
+
+TEST(BigUIntStress, SingleWordDivisorFastPathAgrees) {
+  SplitMix64 rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = BigUInt::random_bits(rng, 320);
+    const std::uint64_t d = rng.next_u64() | 1;
+    const auto [q, r] = BigUInt::divmod(a, BigUInt{d});
+    EXPECT_EQ(q, a.div_u64(d));
+    EXPECT_EQ(r.low_u64(), a.mod_u64(d));
+  }
+}
+
+TEST(BigUIntStress, WideRandomSweep) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const std::size_t abits = 1 + rng.uniform(2048);
+    const std::size_t bbits = 1 + rng.uniform(1024);
+    check_divmod(BigUInt::random_bits(rng, abits),
+                 BigUInt::random_bits(rng, bbits));
+  }
+}
+
+TEST(BigUIntStress, MontgomeryAgreesWithDivisionReduction) {
+  SplitMix64 rng(6);
+  for (int i = 0; i < 40; ++i) {
+    BigUInt mod = BigUInt::random_bits(rng, 512);
+    mod.set_bit(0);
+    const auto base = BigUInt::random_bits(rng, 700);
+    const auto exp = BigUInt::random_bits(rng, 32);
+    BigUInt ref{1};
+    BigUInt b = base % mod;
+    for (std::size_t bit = exp.bit_length(); bit-- > 0;) {
+      ref = (ref * ref) % mod;
+      if (exp.bit(bit)) ref = (ref * b) % mod;
+    }
+    EXPECT_EQ(BigUInt::mod_exp(base, exp, mod), ref);
+  }
+}
+
+TEST(BigUIntStress, RsaRoundTripManyKeys) {
+  // Whole-stack agreement across fresh keys (keygen exercises division,
+  // gcd, inverse, Montgomery, and primality together).
+  crypto::ChaChaRng rng(7);
+  for (int i = 0; i < 4; ++i) {
+    const auto key = rsa_generate(rng, 512, 3);
+    for (int j = 0; j < 5; ++j) {
+      const BigUInt m = BigUInt::random_below(rng, key.pub.n);
+      EXPECT_EQ(rsa_private_op(key, rsa_public_op(key.pub, m)), m);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nn::crypto

@@ -1,0 +1,173 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::crypto {
+namespace {
+
+// Key generation is the slow part; share fixtures across tests.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ChaChaRng rng(2026);
+    key512_ = new RsaPrivateKey(rsa_generate(rng, 512, 3));
+    key1024_ = new RsaPrivateKey(rsa_generate(rng, 1024, 3));
+  }
+  static void TearDownTestSuite() {
+    delete key512_;
+    delete key1024_;
+    key512_ = nullptr;
+    key1024_ = nullptr;
+  }
+  static RsaPrivateKey* key512_;
+  static RsaPrivateKey* key1024_;
+};
+
+RsaPrivateKey* RsaTest::key512_ = nullptr;
+RsaPrivateKey* RsaTest::key1024_ = nullptr;
+
+TEST_F(RsaTest, ModulusHasExactBitLength) {
+  EXPECT_EQ(key512_->pub.n.bit_length(), 512u);
+  EXPECT_EQ(key1024_->pub.n.bit_length(), 1024u);
+  EXPECT_EQ(key512_->pub.modulus_bytes(), 64u);
+  EXPECT_EQ(key1024_->pub.modulus_bytes(), 128u);
+}
+
+TEST_F(RsaTest, FactorsMultiplyToModulus) {
+  EXPECT_EQ(key512_->p * key512_->q, key512_->pub.n);
+  ChaChaRng rng(1);
+  EXPECT_TRUE(is_probable_prime(key512_->p, rng));
+  EXPECT_TRUE(is_probable_prime(key512_->q, rng));
+}
+
+TEST_F(RsaTest, PublicPrivateAreInverses) {
+  ChaChaRng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    const BigUInt m = BigUInt::random_below(rng, key512_->pub.n);
+    const BigUInt c = rsa_public_op(key512_->pub, m);
+    EXPECT_EQ(rsa_private_op(*key512_, c), m);
+  }
+}
+
+TEST_F(RsaTest, PublicOpWithE3IsCube) {
+  const BigUInt m{12345};
+  const BigUInt expected = (m * m * m) % key512_->pub.n;
+  EXPECT_EQ(rsa_public_op(key512_->pub, m), expected);
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  ChaChaRng rng(4);
+  const std::vector<std::uint8_t> msg = {'n', 'o', 'n', 'c', 'e', '+',
+                                         'K', 's', 0x00, 0xFF, 0x80};
+  const auto ct = rsa_encrypt(rng, key512_->pub, msg);
+  EXPECT_EQ(ct.size(), 64u);
+  const auto pt = rsa_decrypt(*key512_, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, msg);
+}
+
+TEST_F(RsaTest, EncryptionIsRandomized) {
+  ChaChaRng rng(5);
+  const std::vector<std::uint8_t> msg = {1, 2, 3};
+  EXPECT_NE(rsa_encrypt(rng, key512_->pub, msg),
+            rsa_encrypt(rng, key512_->pub, msg));
+}
+
+TEST_F(RsaTest, MaxLengthMessage) {
+  ChaChaRng rng(6);
+  std::vector<std::uint8_t> msg(key512_->pub.max_message_bytes(), 0xA5);
+  const auto ct = rsa_encrypt(rng, key512_->pub, msg);
+  const auto pt = rsa_decrypt(*key512_, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, msg);
+}
+
+TEST_F(RsaTest, OverlongMessageThrows) {
+  ChaChaRng rng(7);
+  std::vector<std::uint8_t> msg(key512_->pub.max_message_bytes() + 1, 0);
+  EXPECT_THROW(rsa_encrypt(rng, key512_->pub, msg), std::invalid_argument);
+}
+
+TEST_F(RsaTest, TamperedCiphertextFailsCleanly) {
+  ChaChaRng rng(8);
+  const std::vector<std::uint8_t> msg = {9, 9, 9};
+  auto ct = rsa_encrypt(rng, key512_->pub, msg);
+  ct[10] ^= 0xFF;
+  const auto pt = rsa_decrypt(*key512_, ct);
+  // Either padding fails (nullopt) or the recovered bytes differ.
+  if (pt.has_value()) {
+    EXPECT_NE(*pt, msg);
+  }
+}
+
+TEST_F(RsaTest, WrongLengthCiphertextRejected) {
+  std::vector<std::uint8_t> short_ct(63, 1);
+  EXPECT_EQ(rsa_decrypt(*key512_, short_ct), std::nullopt);
+}
+
+TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
+  const auto wire = key512_->pub.serialize();
+  EXPECT_EQ(wire.size(), 2u + 64u + 4u);
+  const auto parsed = RsaPublicKey::parse(wire);
+  EXPECT_EQ(parsed, key512_->pub);
+}
+
+TEST_F(RsaTest, ParseRejectsDegenerateKey) {
+  nn::ByteWriter w;
+  w.u16(1).u8(0).u32(3);  // zero modulus
+  EXPECT_THROW(RsaPublicKey::parse(w.view()), nn::ParseError);
+}
+
+TEST_F(RsaTest, DecryptorMatchesOneShot) {
+  ChaChaRng rng(9);
+  const RsaDecryptor dec(*key512_);
+  for (int i = 0; i < 5; ++i) {
+    const std::vector<std::uint8_t> msg = {static_cast<std::uint8_t>(i), 7};
+    const auto ct = rsa_encrypt(rng, key512_->pub, msg);
+    const auto a = rsa_decrypt(*key512_, ct);
+    const auto b = dec.decrypt(ct);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(*a, *b);
+  }
+  const BigUInt m{424242};
+  EXPECT_EQ(dec.private_op(rsa_public_op(key512_->pub, m)), m);
+}
+
+TEST_F(RsaTest, StrongKeyRoundTrip) {
+  ChaChaRng rng(10);
+  const std::vector<std::uint8_t> msg(32, 0xE2);  // e2e session key size
+  const auto ct = rsa_encrypt(rng, key1024_->pub, msg);
+  EXPECT_EQ(ct.size(), 128u);
+  const auto pt = rsa_decrypt(*key1024_, ct);
+  ASSERT_TRUE(pt.has_value());
+  EXPECT_EQ(*pt, msg);
+}
+
+TEST(RsaGenerate, RejectsBadParameters) {
+  ChaChaRng rng(11);
+  EXPECT_THROW(rsa_generate(rng, 100, 3), std::invalid_argument);   // < 128
+  EXPECT_THROW(rsa_generate(rng, 513, 3), std::invalid_argument);   // odd
+  EXPECT_THROW(rsa_generate(rng, 512, 4), std::invalid_argument);   // even e
+  EXPECT_THROW(rsa_generate(rng, 512, 1), std::invalid_argument);   // e < 3
+}
+
+TEST(RsaGenerate, E65537Works) {
+  ChaChaRng rng(12);
+  const auto key = rsa_generate(rng, 256, 65537);
+  const BigUInt m{999};
+  EXPECT_EQ(rsa_private_op(key, rsa_public_op(key.pub, m)), m);
+}
+
+TEST(RsaOps, RangeChecks) {
+  ChaChaRng rng(13);
+  const auto key = rsa_generate(rng, 128, 3);
+  EXPECT_THROW(rsa_public_op(key.pub, key.pub.n), std::invalid_argument);
+  EXPECT_THROW(rsa_private_op(key, key.pub.n), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nn::crypto

@@ -1,0 +1,143 @@
+#include "discrim/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "host/e2e.hpp"
+
+namespace nn::discrim {
+namespace {
+
+using net::Dscp;
+using net::Ipv4Addr;
+using net::Ipv4Prefix;
+
+net::Packet voip_packet(Ipv4Addr src, Ipv4Addr dst) {
+  const std::string sig = "SIP/2.0 INVITE";
+  std::vector<std::uint8_t> payload(sig.begin(), sig.end());
+  payload.resize(160, 0);
+  return net::make_udp_packet(src, dst, 5060, 5060, payload);
+}
+
+TEST(MatchCriteria, DestinationPrefix) {
+  const auto rule =
+      MatchCriteria::against_destination(Ipv4Prefix::from_string("20.0.0.0/16"));
+  EXPECT_TRUE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                       Ipv4Addr(20, 0, 0, 10))));
+  EXPECT_FALSE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                        Ipv4Addr(21, 0, 0, 10))));
+}
+
+TEST(MatchCriteria, SourcePrefix) {
+  const auto rule =
+      MatchCriteria::against_source(Ipv4Prefix::from_string("10.0.0.0/8"));
+  EXPECT_TRUE(rule.matches(voip_packet(Ipv4Addr(10, 9, 9, 9),
+                                       Ipv4Addr(20, 0, 0, 1))));
+  EXPECT_FALSE(rule.matches(voip_packet(Ipv4Addr(11, 0, 0, 1),
+                                        Ipv4Addr(20, 0, 0, 1))));
+}
+
+TEST(MatchCriteria, UdpPort) {
+  const auto rule = MatchCriteria::against_udp_port(5060);
+  EXPECT_TRUE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                       Ipv4Addr(2, 2, 2, 2))));
+  auto other = net::make_udp_packet(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2),
+                                    53, 53, std::vector<std::uint8_t>{1});
+  EXPECT_FALSE(rule.matches(other));
+}
+
+TEST(MatchCriteria, DpiSignatureFindsPlaintextVoip) {
+  const auto rule = MatchCriteria::against_signature("SIP/2.0");
+  EXPECT_TRUE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                       Ipv4Addr(2, 2, 2, 2))));
+}
+
+TEST(MatchCriteria, DpiSignatureDefeatedByEncryption) {
+  // The paper's first line of defense: e2e encryption hides contents.
+  const auto rule = MatchCriteria::against_signature("SIP/2.0");
+  crypto::AesKey key;
+  key.fill(0x5A);
+  host::E2eSession session(key, true);
+  const std::string sig = "SIP/2.0 INVITE";
+  std::vector<std::uint8_t> payload(sig.begin(), sig.end());
+  payload.resize(160, 0);
+  const auto sealed = session.seal(payload);
+  const auto pkt = net::make_udp_packet(Ipv4Addr(1, 1, 1, 1),
+                                        Ipv4Addr(2, 2, 2, 2), 5060, 5060,
+                                        sealed);
+  EXPECT_FALSE(rule.matches(pkt));
+}
+
+TEST(MatchCriteria, EntropyFlagsEncryptedTraffic) {
+  const auto rule = MatchCriteria::against_encrypted();
+  // Plaintext VoIP: low entropy, not flagged.
+  EXPECT_FALSE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                        Ipv4Addr(2, 2, 2, 2))));
+  // Encrypted payload: flagged (a §3.6 residual capability).
+  crypto::AesKey key{};
+  host::E2eSession session(key, true);
+  std::vector<std::uint8_t> payload(160, 'A');
+  const auto pkt = net::make_udp_packet(Ipv4Addr(1, 1, 1, 1),
+                                        Ipv4Addr(2, 2, 2, 2), 1, 2,
+                                        session.seal(payload));
+  EXPECT_TRUE(rule.matches(pkt));
+}
+
+TEST(MatchCriteria, ShimTypeSpotsKeySetups) {
+  const auto rule = MatchCriteria::against_key_setup();
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kKeySetup;
+  const auto setup = net::make_shim_packet(
+      Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), shim,
+      std::vector<std::uint8_t>(70, 0));
+  EXPECT_TRUE(rule.matches(setup));
+
+  shim.type = net::ShimType::kDataForward;
+  const auto data = net::make_shim_packet(
+      Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), shim,
+      std::vector<std::uint8_t>(70, 0));
+  EXPECT_FALSE(rule.matches(data));
+}
+
+TEST(MatchCriteria, SizeBounds) {
+  MatchCriteria rule;
+  rule.min_size = 100;
+  rule.max_size = 200;
+  EXPECT_TRUE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                       Ipv4Addr(2, 2, 2, 2))));  // 188 B
+  rule.max_size = 150;
+  EXPECT_FALSE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                        Ipv4Addr(2, 2, 2, 2))));
+}
+
+TEST(MatchCriteria, DscpMatch) {
+  MatchCriteria rule;
+  rule.dscp = Dscp::kExpeditedForwarding;
+  auto pkt = net::make_udp_packet(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2),
+                                  1, 2, std::vector<std::uint8_t>{1},
+                                  Dscp::kExpeditedForwarding);
+  EXPECT_TRUE(rule.matches(pkt));
+  rule.dscp = Dscp::kBestEffort;
+  EXPECT_FALSE(rule.matches(pkt));
+}
+
+TEST(MatchCriteria, ConjunctionOfCriteria) {
+  MatchCriteria rule;
+  rule.dst_prefix = Ipv4Prefix::from_string("20.0.0.0/16");
+  rule.dst_port = 5060;
+  rule.payload_signature = {'S', 'I', 'P'};
+  EXPECT_TRUE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                       Ipv4Addr(20, 0, 0, 1))));
+  // Wrong destination: conjunction fails.
+  EXPECT_FALSE(rule.matches(voip_packet(Ipv4Addr(1, 1, 1, 1),
+                                        Ipv4Addr(30, 0, 0, 1))));
+}
+
+TEST(MatchCriteria, MalformedPacketNeverMatches) {
+  MatchCriteria anything;  // all-empty criteria matches everything...
+  net::Packet garbage;
+  garbage.bytes = {1, 2, 3};
+  EXPECT_FALSE(anything.matches(garbage));  // ...except unparseable bytes
+}
+
+}  // namespace
+}  // namespace nn::discrim

@@ -1,0 +1,66 @@
+#include "discrim/dpi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.hpp"
+
+namespace nn::discrim {
+namespace {
+
+TEST(ShannonEntropy, EmptyIsZero) {
+  EXPECT_EQ(shannon_entropy({}), 0.0);
+}
+
+TEST(ShannonEntropy, ConstantBytesAreZero) {
+  std::vector<std::uint8_t> data(256, 0x41);
+  EXPECT_EQ(shannon_entropy(data), 0.0);
+}
+
+TEST(ShannonEntropy, UniformBytesApproachEight) {
+  std::vector<std::uint8_t> data(256);
+  for (int i = 0; i < 256; ++i) data[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  EXPECT_NEAR(shannon_entropy(data), 8.0, 1e-9);
+}
+
+TEST(ShannonEntropy, TwoSymbolsIsOneBit) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back(0);
+    data.push_back(1);
+  }
+  EXPECT_NEAR(shannon_entropy(data), 1.0, 1e-9);
+}
+
+TEST(ShannonEntropy, EnglishTextBelowThresholdCiphertextAbove) {
+  const std::string text =
+      "the quick brown fox jumps over the lazy dog and keeps on running "
+      "because the networks of the world must remain open to innovation";
+  EXPECT_LT(shannon_entropy(std::vector<std::uint8_t>(text.begin(), text.end())),
+            kEncryptedEntropyThreshold);
+
+  crypto::ChaChaRng rng(1);
+  std::vector<std::uint8_t> ciphertext(256);
+  rng.fill(ciphertext);
+  EXPECT_GT(shannon_entropy(ciphertext), kEncryptedEntropyThreshold);
+}
+
+TEST(ContainsSignature, FindsSubstringAnywhere) {
+  const std::vector<std::uint8_t> hay = {'a', 'b', 'c', 'd', 'e'};
+  EXPECT_TRUE(contains_signature(hay, std::vector<std::uint8_t>{'a', 'b'}));
+  EXPECT_TRUE(contains_signature(hay, std::vector<std::uint8_t>{'c', 'd'}));
+  EXPECT_TRUE(contains_signature(hay, std::vector<std::uint8_t>{'e'}));
+  EXPECT_TRUE(contains_signature(hay, hay));
+}
+
+TEST(ContainsSignature, RejectsAbsentAndDegenerate) {
+  const std::vector<std::uint8_t> hay = {'a', 'b', 'c'};
+  EXPECT_FALSE(contains_signature(hay, std::vector<std::uint8_t>{'x'}));
+  EXPECT_FALSE(contains_signature(hay, std::vector<std::uint8_t>{'c', 'a'}));
+  EXPECT_FALSE(contains_signature(hay, {}));  // empty needle: no match
+  EXPECT_FALSE(
+      contains_signature(hay, std::vector<std::uint8_t>{'a', 'b', 'c', 'd'}));
+}
+
+}  // namespace
+}  // namespace nn::discrim

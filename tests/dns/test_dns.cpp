@@ -1,0 +1,181 @@
+#include "dns/dns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "discrim/classifier.hpp"
+
+namespace nn::dns {
+namespace {
+
+using net::Ipv4Addr;
+
+DomainRecords google_records() {
+  DomainRecords rec;
+  rec.name = "www.google.com";
+  rec.address = Ipv4Addr(20, 0, 0, 10);
+  rec.neutralizers = {Ipv4Addr(200, 0, 0, 1), Ipv4Addr(201, 0, 0, 1)};
+  crypto::ChaChaRng rng(1);
+  rec.public_key = crypto::rsa_generate(rng, 512, 3).pub.serialize();
+  return rec;
+}
+
+TEST(DomainRecords, SerializeParseRoundTrip) {
+  const auto rec = google_records();
+  const auto parsed = DomainRecords::parse(rec.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, rec);
+}
+
+TEST(DomainRecords, ParseRejectsTruncatedAndTrailing) {
+  auto bytes = google_records().serialize();
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(DomainRecords::parse(truncated).has_value());
+  bytes.push_back(0);
+  EXPECT_FALSE(DomainRecords::parse(bytes).has_value());
+}
+
+TEST(DomainRecords, ToPeerInfoSelectsNeutralizer) {
+  const auto rec = google_records();
+  const auto info0 = to_peer_info(rec, 0);
+  EXPECT_EQ(info0.addr, rec.address);
+  EXPECT_EQ(info0.anycast, Ipv4Addr(200, 0, 0, 1));
+  const auto info1 = to_peer_info(rec, 1);
+  EXPECT_EQ(info1.anycast, Ipv4Addr(201, 0, 0, 1));
+  // Out of range: no anycast (treated as non-neutralized peer).
+  EXPECT_TRUE(to_peer_info(rec, 5).anycast.is_unspecified());
+}
+
+TEST(RecordStore, LookupSemantics) {
+  RecordStore store;
+  store.add(google_records());
+  EXPECT_TRUE(store.lookup("www.google.com").has_value());
+  EXPECT_FALSE(store.lookup("www.nosuch.com").has_value());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+/// Simulation fixture: client — attRouter — resolver.
+class DnsSimTest : public ::testing::Test {
+ protected:
+  DnsSimTest() : net(engine) {
+    client_node = &net.add<sim::Host>("client");
+    att = &net.add<sim::Router>("att");
+    resolver_node = &net.add<sim::Host>("resolver");
+    sim::LinkConfig cfg;
+    net.connect(*client_node, *att, cfg);
+    net.connect(*att, *resolver_node, cfg);
+    net.assign_address(*client_node, Ipv4Addr(10, 1, 0, 2));
+    net.assign_address(*resolver_node, Ipv4Addr(9, 9, 9, 9));
+    net.compute_routes();
+
+    RecordStore store;
+    store.add(google_records());
+    crypto::ChaChaRng rng(7);
+    resolver_identity = crypto::rsa_generate(rng, 1024, 3);
+    resolver = std::make_unique<ResolverApp>(*resolver_node, engine, store,
+                                             resolver_identity);
+    stub = std::make_unique<StubResolverApp>(*client_node, engine,
+                                             Ipv4Addr(9, 9, 9, 9),
+                                             resolver_identity.pub, 3);
+  }
+
+  sim::Engine engine;
+  sim::Network net;
+  sim::Host* client_node;
+  sim::Router* att;
+  sim::Host* resolver_node;
+  crypto::RsaPrivateKey resolver_identity{};
+  std::unique_ptr<ResolverApp> resolver;
+  std::unique_ptr<StubResolverApp> stub;
+};
+
+TEST_F(DnsSimTest, PlaintextQueryResolves) {
+  std::optional<DomainRecords> result;
+  stub->resolve("www.google.com", /*encrypted=*/false,
+                [&](std::optional<DomainRecords> r) { result = std::move(r); });
+  engine.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->address, Ipv4Addr(20, 0, 0, 10));
+  EXPECT_EQ(resolver->queries_served(), 1u);
+}
+
+TEST_F(DnsSimTest, NxDomainReturnsNull) {
+  bool called = false;
+  std::optional<DomainRecords> result;
+  stub->resolve("www.unknown.com", false,
+                [&](std::optional<DomainRecords> r) {
+                  called = true;
+                  result = std::move(r);
+                });
+  engine.run();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST_F(DnsSimTest, EncryptedQueryResolves) {
+  std::optional<DomainRecords> result;
+  stub->resolve("www.google.com", /*encrypted=*/true,
+                [&](std::optional<DomainRecords> r) { result = std::move(r); });
+  engine.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->name, "www.google.com");
+}
+
+TEST_F(DnsSimTest, PlaintextQueryIsClassifiableEncryptedIsNot) {
+  // The §3.1 attack: AT&T delays DNS lookups that name google.
+  const auto rule = discrim::MatchCriteria::against_signature("google");
+  struct Recorder : sim::TransitPolicy {
+    const discrim::MatchCriteria* rule;
+    int matches = 0;
+    sim::PolicyDecision process(const net::Packet& pkt,
+                                sim::SimTime) override {
+      if (rule->matches(pkt)) ++matches;
+      return sim::PolicyDecision::forward();
+    }
+  };
+  auto rec = std::make_shared<Recorder>();
+  rec->rule = &rule;
+  att->add_policy(rec);
+
+  std::optional<DomainRecords> r1, r2;
+  stub->resolve("www.google.com", false,
+                [&](std::optional<DomainRecords> r) { r1 = std::move(r); });
+  engine.run();
+  EXPECT_GT(rec->matches, 0);  // plaintext qname visible
+
+  rec->matches = 0;
+  stub->resolve("www.google.com", true,
+                [&](std::optional<DomainRecords> r) { r2 = std::move(r); });
+  engine.run();
+  EXPECT_EQ(rec->matches, 0);  // encrypted qname invisible
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, *r1);  // same answer either way
+}
+
+TEST_F(DnsSimTest, EncryptedQueryWithoutResolverKeyFailsFast) {
+  StubResolverApp no_key(*client_node, engine, Ipv4Addr(9, 9, 9, 9),
+                         std::nullopt, 4);
+  bool called = false;
+  no_key.resolve("www.google.com", true,
+                 [&](std::optional<DomainRecords> r) {
+                   called = true;
+                   EXPECT_FALSE(r.has_value());
+                 });
+  EXPECT_TRUE(called);
+}
+
+TEST_F(DnsSimTest, BootstrapFeedsHostStack) {
+  // End-to-end §3.1: resolve, then hand the records to a host stack.
+  std::optional<DomainRecords> result;
+  stub->resolve("www.google.com", true,
+                [&](std::optional<DomainRecords> r) { result = std::move(r); });
+  engine.run();
+  ASSERT_TRUE(result.has_value());
+  const auto info = to_peer_info(*result);
+  EXPECT_EQ(info.addr, Ipv4Addr(20, 0, 0, 10));
+  EXPECT_EQ(info.anycast, Ipv4Addr(200, 0, 0, 1));
+  EXPECT_GT(info.public_key.n.bit_length(), 0u);
+}
+
+}  // namespace
+}  // namespace nn::dns

@@ -1,0 +1,134 @@
+#include "host/e2e.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha.hpp"
+#include "discrim/dpi.hpp"
+
+namespace nn::host {
+namespace {
+
+crypto::AesKey test_key(std::uint8_t fill = 0x3C) {
+  crypto::AesKey k;
+  k.fill(fill);
+  return k;
+}
+
+TEST(E2eSession, SealOpenRoundTrip) {
+  E2eSession alice(test_key(), true);
+  E2eSession bob(test_key(), false);
+  const std::vector<std::uint8_t> msg = {'h', 'i', 0x00, 0xFF};
+  const auto sealed = alice.seal(msg);
+  EXPECT_EQ(sealed.size(), msg.size() + kE2eSealOverhead);
+  const auto opened = bob.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(E2eSession, BidirectionalTraffic) {
+  E2eSession alice(test_key(), true);
+  E2eSession bob(test_key(), false);
+  for (int i = 0; i < 10; ++i) {
+    const std::vector<std::uint8_t> a2b = {static_cast<std::uint8_t>(i)};
+    const std::vector<std::uint8_t> b2a = {static_cast<std::uint8_t>(100 + i)};
+    EXPECT_EQ(bob.open(alice.seal(a2b)), a2b);
+    EXPECT_EQ(alice.open(bob.seal(b2a)), b2a);
+  }
+}
+
+TEST(E2eSession, DirectionsUseDistinctKeystreams) {
+  // Same key, same seq, same plaintext: ciphertexts must differ, or the
+  // two directions would form a two-time pad.
+  E2eSession alice(test_key(), true);
+  E2eSession bob(test_key(), false);
+  const std::vector<std::uint8_t> msg(32, 0xAA);
+  const auto a = alice.seal(msg);
+  const auto b = bob.seal(msg);
+  EXPECT_NE(a, b);
+}
+
+TEST(E2eSession, TamperedCiphertextRejected) {
+  E2eSession alice(test_key(), true);
+  E2eSession bob(test_key(), false);
+  auto sealed = alice.seal(std::vector<std::uint8_t>{1, 2, 3});
+  sealed[9] ^= 0x01;  // flip a ciphertext bit
+  EXPECT_FALSE(bob.open(sealed).has_value());
+}
+
+TEST(E2eSession, TamperedTagRejected) {
+  E2eSession alice(test_key(), true);
+  E2eSession bob(test_key(), false);
+  auto sealed = alice.seal(std::vector<std::uint8_t>{1, 2, 3});
+  sealed.back() ^= 0x01;
+  EXPECT_FALSE(bob.open(sealed).has_value());
+}
+
+TEST(E2eSession, TruncatedRejected) {
+  E2eSession alice(test_key(), true);
+  E2eSession bob(test_key(), false);
+  auto sealed = alice.seal(std::vector<std::uint8_t>{1, 2, 3});
+  sealed.resize(kE2eSealOverhead - 1);
+  EXPECT_FALSE(bob.open(sealed).has_value());
+}
+
+TEST(E2eSession, ReplayRejected) {
+  E2eSession alice(test_key(), true);
+  E2eSession bob(test_key(), false);
+  const auto sealed = alice.seal(std::vector<std::uint8_t>{1});
+  EXPECT_TRUE(bob.open(sealed).has_value());
+  EXPECT_FALSE(bob.open(sealed).has_value());  // replayed
+}
+
+TEST(E2eSession, WrongKeyRejected) {
+  E2eSession alice(test_key(0x01), true);
+  E2eSession eve(test_key(0x02), false);
+  const auto sealed = alice.seal(std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_FALSE(eve.open(sealed).has_value());
+}
+
+TEST(E2eSession, CiphertextLooksEncrypted) {
+  // The whole point (§3): a DPI box must not find the plaintext.
+  E2eSession alice(test_key(), true);
+  std::vector<std::uint8_t> msg(512, 'A');  // worst case: low entropy
+  const auto sealed = alice.seal(msg);
+  const std::span<const std::uint8_t> body(sealed.data() + 8, msg.size());
+  EXPECT_GT(discrim::shannon_entropy(body), 6.5);
+  EXPECT_FALSE(discrim::contains_signature(
+      sealed, std::vector<std::uint8_t>(16, 'A')));
+}
+
+TEST(E2eSession, EmptyPayloadWorks) {
+  E2eSession alice(test_key(), true);
+  E2eSession bob(test_key(), false);
+  const auto sealed = alice.seal({});
+  const auto opened = bob.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(KeyTransport, WrapUnwrapRoundTrip) {
+  crypto::ChaChaRng rng(5);
+  const auto identity = crypto::rsa_generate(rng, 1024, 3);
+  const crypto::RsaDecryptor dec(identity);
+  std::vector<std::uint8_t> block(43, 0xB7);
+  const auto wrapped = wrap_key(rng, identity.pub, block);
+  const auto unwrapped = unwrap_key(dec, wrapped);
+  ASSERT_TRUE(unwrapped.has_value());
+  EXPECT_EQ(*unwrapped, block);
+}
+
+TEST(KeyTransport, WrongIdentityFails) {
+  crypto::ChaChaRng rng(6);
+  const auto alice = crypto::rsa_generate(rng, 1024, 3);
+  const auto bob = crypto::rsa_generate(rng, 1024, 3);
+  const crypto::RsaDecryptor bob_dec(bob);
+  std::vector<std::uint8_t> block(32, 1);
+  const auto wrapped = wrap_key(rng, alice.pub, block);
+  const auto unwrapped = unwrap_key(bob_dec, wrapped);
+  if (unwrapped.has_value()) {
+    EXPECT_NE(*unwrapped, block);
+  }
+}
+
+}  // namespace
+}  // namespace nn::host

@@ -1,0 +1,188 @@
+// Statelessness pays off operationally (paper §3.2): "As long as the
+// neutralizers of a domain share the master key KM, any neutralizer can
+// decrypt the destination address and forward the packet." These tests
+// move a live flow between replicas and feed the stack hostile input.
+#include <gtest/gtest.h>
+
+#include "net/shim.hpp"
+#include "testbed.hpp"
+#include "util/rng.hpp"
+
+namespace nn::testbed {
+namespace {
+
+/// Two neutralizer replicas, route shifts between them mid-flow.
+TEST(Failover, AnycastReplicaTakeoverWithoutRehandshake) {
+  sim::Engine engine;
+  sim::Network net(engine);
+
+  auto& ann_node = net.add<sim::Host>("ann");
+  auto& att = net.add<sim::Router>("att");
+  auto& mid = net.add<sim::Router>("mid");  // detour toward replica 2
+
+  core::NeutralizerConfig ncfg;
+  ncfg.anycast_addr = kAnycast;
+  ncfg.customer_space = net::Ipv4Prefix::from_string(kCustomerSpace);
+  crypto::AesKey root;
+  root.fill(0xD0);
+  // Same root key, different instance seeds: interchangeable replicas.
+  auto& box1 = net.add<core::NeutralizerBox>("box1", ncfg, root, 1);
+  auto& box2 = net.add<core::NeutralizerBox>("box2", ncfg, root, 2);
+  auto& google_node = net.add<sim::Host>("google");
+
+  sim::LinkConfig cfg;
+  cfg.propagation = sim::kMillisecond;
+  net.connect(ann_node, att, cfg);
+  net.connect(att, box1, cfg);          // box1: 2 hops from ann
+  net.connect(att, mid, cfg);
+  net.connect(mid, box2, cfg);          // box2: 3 hops from ann
+  net.connect(box1, google_node, cfg);
+  net.connect(box2, google_node, cfg);
+
+  net.assign_address(ann_node, kAnnAddr);
+  net.assign_address(google_node, kGoogleAddr);
+  net.assign_address(box1, net::Ipv4Addr(20, 0, 255, 1));
+  net.assign_address(box2, net::Ipv4Addr(20, 0, 255, 2));
+  box1.join_service_anycast(net);
+  box2.join_service_anycast(net);
+  net.compute_routes();
+
+  StackedHost ann;
+  ann.node = &ann_node;
+  host::HostConfig acfg;
+  acfg.self = kAnnAddr;
+  ann.stack = std::make_unique<host::NeutralizedHost>(
+      acfg, identity_key(0),
+      [&ann_node](net::Packet&& p) { ann_node.transmit(std::move(p)); },
+      &engine, 11);
+  StackedHost google;
+  google.node = &google_node;
+  host::HostConfig gcfg;
+  gcfg.self = kGoogleAddr;
+  gcfg.inside_neutral_domain = true;
+  gcfg.home_anycast = kAnycast;
+  google.stack = std::make_unique<host::NeutralizedHost>(
+      gcfg, identity_key(1),
+      [&google_node](net::Packet&& p) { google_node.transmit(std::move(p)); },
+      &engine, 12);
+  ann.wire(engine);
+  google.wire(engine);
+  ann.stack->add_peer({kGoogleAddr, kAnycast, identity_key(1).pub});
+  google.stack->add_peer({kAnnAddr, net::Ipv4Addr{}, identity_key(0).pub});
+
+  // Phase 1: flow established through the nearer replica (box1).
+  ann.send_text("via-box1", 0, kGoogleAddr);
+  engine.run();
+  ASSERT_EQ(google.received.size(), 1u);
+  EXPECT_EQ(box1.service().stats().data_forwarded, 1u);
+  EXPECT_EQ(box2.service().stats().data_forwarded, 0u);
+
+  // Phase 2: box2 becomes the nearest replica (new direct link). The
+  // existing key keeps working — no new handshake needed.
+  net.connect(ann_node, box2, cfg);
+  net.compute_routes();
+  ann.send_text("via-box2", engine.now(), kGoogleAddr);
+  engine.run();
+  ASSERT_EQ(google.received.size(), 2u);
+  EXPECT_EQ(google.received[1], "via-box2");
+  EXPECT_EQ(box2.service().stats().data_forwarded, 1u);
+  EXPECT_EQ(ann.stack->stats().key_setups_sent, 1u);  // still just one
+}
+
+/// The same takeover breaks with the stateful ablation — covered at the
+/// unit level in tests/baseline/test_stateful.cpp
+/// (StatefulTest.ReplicaFailoverBreaks); here we assert the stateless
+/// claim end to end with a *cold* replica that has never seen a setup.
+TEST(Failover, ColdReplicaServesForeignKey) {
+  crypto::AesKey root;
+  root.fill(0xD0);
+  core::NeutralizerConfig ncfg;
+  ncfg.anycast_addr = kAnycast;
+  ncfg.customer_space = net::Ipv4Prefix::from_string(kCustomerSpace);
+
+  core::Neutralizer warm(ncfg, root, 1);
+  core::Neutralizer cold(ncfg, root, 999);
+
+  crypto::ChaChaRng rng(5);
+  const auto onetime = crypto::rsa_generate(rng, 512, 3);
+  net::ShimHeader setup;
+  setup.type = net::ShimType::kKeySetup;
+  setup.nonce = 0x77;
+  auto response = warm.process(
+      net::make_shim_packet(kAnnAddr, kAnycast, setup,
+                            onetime.pub.serialize()),
+      0);
+  ASSERT_TRUE(response.has_value());
+  const auto parsed = net::parse_packet(response->view());
+  const auto plain = crypto::rsa_decrypt(onetime, parsed.payload);
+  ASSERT_TRUE(plain.has_value());
+  ByteReader r(*plain);
+  const std::uint64_t nonce = r.u64();
+  crypto::AesKey ks{};
+  const auto key = r.take(16);
+  std::copy(key.begin(), key.end(), ks.begin());
+
+  net::ShimHeader data;
+  data.type = net::ShimType::kDataForward;
+  data.nonce = nonce;
+  data.inner_addr =
+      crypto::crypt_address(ks, nonce, false, kGoogleAddr.value());
+  auto out = cold.process(
+      net::make_shim_packet(kAnnAddr, kAnycast, data,
+                            std::vector<std::uint8_t>{1}),
+      0);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(net::parse_packet(out->view()).ip.dst, kGoogleAddr);
+}
+
+/// Robustness: the host stack must survive arbitrary hostile bytes.
+TEST(Robustness, HostStackIgnoresGarbage) {
+  Fig2Testbed tb;
+  tb.ann.send_text("establish", 0, kGoogleAddr);
+  tb.engine.run();
+  ASSERT_EQ(tb.google.received.size(), 1u);
+
+  SplitMix64 rng(77);
+  // Fuzz Ann's stack with mutated copies of valid-looking shim packets.
+  for (int i = 0; i < 500; ++i) {
+    net::ShimHeader shim;
+    shim.type = static_cast<net::ShimType>(1 + rng.uniform(6));
+    shim.flags = static_cast<std::uint8_t>(rng.uniform(8));
+    shim.nonce = rng.next_u64();
+    shim.inner_addr = static_cast<std::uint32_t>(rng.next_u64());
+    std::vector<std::uint8_t> payload(rng.uniform(120));
+    rng.fill(payload);
+    auto pkt = net::make_shim_packet(kAnycast, kAnnAddr, shim, payload);
+    // Random byte corruption (may invalidate checksums/structure).
+    if (rng.chance(0.5) && !pkt.bytes.empty()) {
+      pkt.bytes[rng.uniform(pkt.bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.uniform(255));
+    }
+    EXPECT_NO_THROW(tb.ann.stack->on_packet(std::move(pkt), 0));
+  }
+  // The established session still works afterwards.
+  tb.ann.send_text("still alive", tb.engine.now(), kGoogleAddr);
+  tb.engine.run();
+  EXPECT_EQ(tb.google.received.size(), 2u);
+}
+
+/// Robustness: the neutralizer must survive arbitrary hostile bytes.
+TEST(Robustness, NeutralizerIgnoresGarbage) {
+  crypto::AesKey root;
+  root.fill(0xD0);
+  core::NeutralizerConfig ncfg;
+  ncfg.anycast_addr = kAnycast;
+  ncfg.customer_space = net::Ipv4Prefix::from_string(kCustomerSpace);
+  core::Neutralizer service(ncfg, root, 1);
+
+  SplitMix64 rng(78);
+  for (int i = 0; i < 2000; ++i) {
+    net::Packet pkt;
+    pkt.bytes.resize(20 + rng.uniform(200));
+    rng.fill(pkt.bytes);
+    EXPECT_NO_THROW((void)service.process(std::move(pkt), 0));
+  }
+}
+
+}  // namespace
+}  // namespace nn::testbed

@@ -1,0 +1,149 @@
+// Size-masking extension (paper §2 future work: "adaptive traffic
+// masking [19] to defeat [traffic-analysis] attacks").
+#include <gtest/gtest.h>
+
+#include "host/masking.hpp"
+#include "net/shim.hpp"
+#include "testbed.hpp"
+
+namespace nn::host {
+namespace {
+
+TEST(SizeMasker, RoundTripAcrossSizes) {
+  const SizeMasker masker;
+  SplitMix64 rng(3);
+  for (std::size_t len : {0u, 1u, 17u, 126u, 127u, 200u, 1000u, 1398u, 5000u}) {
+    std::vector<std::uint8_t> payload(len);
+    rng.fill(payload);
+    const auto masked = masker.mask(payload);
+    EXPECT_GE(masked.size(), len + 2);
+    const auto unmasked = SizeMasker::unmask(masked);
+    ASSERT_TRUE(unmasked.has_value()) << len;
+    EXPECT_EQ(*unmasked, payload) << len;
+  }
+}
+
+TEST(SizeMasker, QuantizesToBuckets) {
+  const SizeMasker masker({128, 256, 512});
+  EXPECT_EQ(masker.mask(std::vector<std::uint8_t>(10)).size(), 128u);
+  EXPECT_EQ(masker.mask(std::vector<std::uint8_t>(126)).size(), 128u);
+  EXPECT_EQ(masker.mask(std::vector<std::uint8_t>(127)).size(), 256u);
+  EXPECT_EQ(masker.mask(std::vector<std::uint8_t>(300)).size(), 512u);
+  // Oversized: multiple of the top bucket.
+  EXPECT_EQ(masker.mask(std::vector<std::uint8_t>(1000)).size(), 1024u);
+}
+
+TEST(SizeMasker, DistinctSizesCollapseToOneBucket) {
+  // The point of the defense: a 20-byte and a 100-byte payload are
+  // indistinguishable by length.
+  const SizeMasker masker;
+  EXPECT_EQ(masker.mask(std::vector<std::uint8_t>(20)).size(),
+            masker.mask(std::vector<std::uint8_t>(100)).size());
+}
+
+TEST(SizeMasker, RejectsMalformed) {
+  EXPECT_FALSE(SizeMasker::unmask(std::vector<std::uint8_t>{0x00}).has_value());
+  // Length prefix larger than the buffer.
+  EXPECT_FALSE(
+      SizeMasker::unmask(std::vector<std::uint8_t>{0xFF, 0xFF, 1}).has_value());
+  EXPECT_THROW(SizeMasker(std::vector<std::size_t>{}),
+               std::invalid_argument);
+  EXPECT_THROW(SizeMasker(std::vector<std::size_t>{512, 128}),
+               std::invalid_argument);
+}
+
+/// End-to-end: with masking on, a size-based classifier cannot tell
+/// small VoIP frames from larger chat messages.
+TEST(SizeMasking, DefeatsSizeClassifierEndToEnd) {
+  testbed::Fig2Testbed tb;
+  // Rebuild both stacks with masking enabled.
+  host::HostConfig ann_cfg;
+  ann_cfg.self = testbed::kAnnAddr;
+  ann_cfg.mask_payload_sizes = true;
+  sim::Host* ann_node = tb.ann.node;
+  tb.ann.stack = std::make_unique<NeutralizedHost>(
+      ann_cfg, testbed::identity_key(0),
+      [ann_node](net::Packet&& p) { ann_node->transmit(std::move(p)); },
+      &tb.engine, 61);
+  host::HostConfig google_cfg;
+  google_cfg.self = testbed::kGoogleAddr;
+  google_cfg.inside_neutral_domain = true;
+  google_cfg.home_anycast = testbed::kAnycast;
+  google_cfg.mask_payload_sizes = true;
+  sim::Host* google_node = tb.google.node;
+  tb.google.stack = std::make_unique<NeutralizedHost>(
+      google_cfg, testbed::identity_key(1),
+      [google_node](net::Packet&& p) { google_node->transmit(std::move(p)); },
+      &tb.engine, 62);
+  tb.ann.wire(tb.engine);
+  tb.google.wire(tb.engine);
+  tb.ann.stack->add_peer(
+      {testbed::kGoogleAddr, testbed::kAnycast, testbed::identity_key(1).pub});
+  tb.google.stack->add_peer(
+      {testbed::kAnnAddr, net::Ipv4Addr{}, testbed::identity_key(0).pub});
+
+  // Record data-packet sizes inside AT&T.
+  struct SizeRecorder : sim::TransitPolicy {
+    std::vector<std::size_t> data_sizes;
+    sim::PolicyDecision process(const net::Packet& pkt, sim::SimTime) override {
+      if (pkt.bytes[9] == static_cast<std::uint8_t>(net::IpProto::kShim) &&
+          pkt.bytes[net::kIpv4HeaderSize] ==
+              static_cast<std::uint8_t>(net::ShimType::kDataForward)) {
+        data_sizes.push_back(pkt.size());
+      }
+      return sim::PolicyDecision::forward();
+    }
+  };
+  auto recorder = std::make_shared<SizeRecorder>();
+  tb.att->add_policy(recorder);
+
+  // Establish, then two very different application payloads.
+  tb.ann.send_text("boot", 0, testbed::kGoogleAddr);
+  tb.engine.run();
+  tb.ann.send_text("hi", tb.engine.now(), testbed::kGoogleAddr);  // 2 bytes
+  tb.engine.run();
+  const std::string chat(100, 'x');
+  tb.ann.send_text(chat, tb.engine.now(), testbed::kGoogleAddr);
+  tb.engine.run();
+
+  ASSERT_EQ(tb.google.received.size(), 3u);
+  EXPECT_EQ(tb.google.received[1], "hi");
+  EXPECT_EQ(tb.google.received[2], chat);
+
+  // The steady-state packets (2nd and 3rd, past the key transport) are
+  // size-identical even though the application payloads differ 50x.
+  ASSERT_EQ(recorder->data_sizes.size(), 3u);
+  EXPECT_EQ(recorder->data_sizes[1], recorder->data_sizes[2]);
+}
+
+/// Without masking, the same two sends are trivially distinguishable.
+TEST(SizeMasking, ControlWithoutMaskingLeaksSizes) {
+  testbed::Fig2Testbed tb;
+  struct SizeRecorder : sim::TransitPolicy {
+    std::vector<std::size_t> data_sizes;
+    sim::PolicyDecision process(const net::Packet& pkt, sim::SimTime) override {
+      if (pkt.bytes[9] == static_cast<std::uint8_t>(net::IpProto::kShim) &&
+          pkt.bytes[net::kIpv4HeaderSize] ==
+              static_cast<std::uint8_t>(net::ShimType::kDataForward)) {
+        data_sizes.push_back(pkt.size());
+      }
+      return sim::PolicyDecision::forward();
+    }
+  };
+  auto recorder = std::make_shared<SizeRecorder>();
+  tb.att->add_policy(recorder);
+
+  tb.ann.send_text("boot", 0, testbed::kGoogleAddr);
+  tb.engine.run();
+  tb.ann.send_text("hi", tb.engine.now(), testbed::kGoogleAddr);
+  tb.engine.run();
+  tb.ann.send_text(std::string(100, 'x'), tb.engine.now(),
+                   testbed::kGoogleAddr);
+  tb.engine.run();
+  ASSERT_EQ(recorder->data_sizes.size(), 3u);
+  // The 98-byte application difference is visible on the wire.
+  EXPECT_EQ(recorder->data_sizes[2], recorder->data_sizes[1] + 98);
+}
+
+}  // namespace
+}  // namespace nn::host

@@ -1,0 +1,234 @@
+// End-to-end assertions of the paper's Fig. 2 packet sequences over the
+// simulated Fig. 1 topology.
+#include <gtest/gtest.h>
+
+#include "discrim/dpi.hpp"
+#include "net/shim.hpp"
+#include "testbed.hpp"
+
+namespace nn::testbed {
+namespace {
+
+TEST(Fig2Protocol, KeySetupThenDataDelivery) {
+  Fig2Testbed tb;
+  tb.ann.send_text("hello google", 0, kGoogleAddr);
+  tb.engine.run();
+
+  ASSERT_EQ(tb.google.received.size(), 1u);
+  EXPECT_EQ(tb.google.received[0], "hello google");
+  EXPECT_EQ(tb.google.last_peer, kAnnAddr);
+
+  EXPECT_EQ(tb.ann.stack->stats().key_setups_sent, 1u);
+  EXPECT_EQ(tb.ann.stack->stats().keys_established, 1u);
+  EXPECT_EQ(tb.box->service().stats().key_setups, 1u);
+  EXPECT_EQ(tb.box->service().stats().data_forwarded, 1u);
+}
+
+TEST(Fig2Protocol, RoundTripAdoptsStampedKey) {
+  Fig2Testbed tb;
+  // Auto-reply from Google.
+  tb.google.stack->set_app_handler(
+      [&](net::Ipv4Addr peer, std::span<const std::uint8_t> payload,
+          sim::SimTime now) {
+        tb.google.received.emplace_back(payload.begin(), payload.end());
+        tb.google.stack->send(peer, {'a', 'c', 'k'}, now);
+      });
+
+  tb.ann.send_text("ping", 0, kGoogleAddr);
+  tb.engine.run();
+
+  ASSERT_EQ(tb.ann.received.size(), 1u);
+  EXPECT_EQ(tb.ann.received[0], "ack");
+  // First data packet requested a rekey; the stamp came back in the ack.
+  EXPECT_EQ(tb.box->service().stats().rekeys_stamped, 1u);
+  EXPECT_EQ(tb.google.stack->stats().echoes_sent, 1u);
+  EXPECT_EQ(tb.ann.stack->stats().rekeys_adopted, 1u);
+  EXPECT_TRUE(tb.ann.stack->has_strong_key(kAnycast));
+}
+
+TEST(Fig2Protocol, SteadyStateNeedsNoMoreHandshakes) {
+  Fig2Testbed tb;
+  tb.google.stack->set_app_handler(
+      [&](net::Ipv4Addr peer, std::span<const std::uint8_t> payload,
+          sim::SimTime now) {
+        tb.google.received.emplace_back(payload.begin(), payload.end());
+        tb.google.stack->send(peer, {'o', 'k'}, now);
+      });
+  tb.ann.send_text("one", 0, kGoogleAddr);
+  tb.engine.run();
+  for (int i = 0; i < 5; ++i) {
+    tb.ann.send_text("more", tb.engine.now(), kGoogleAddr);
+    tb.engine.run();
+  }
+  EXPECT_EQ(tb.google.received.size(), 6u);
+  EXPECT_EQ(tb.ann.stack->stats().key_setups_sent, 1u);  // exactly one
+  // Only the very first data packet carried a rekey request.
+  EXPECT_EQ(tb.box->service().stats().rekeys_stamped, 1u);
+}
+
+TEST(Fig2Protocol, ObserverInsideAttNeverSeesCustomerAddress) {
+  // Recording policy: collects (src, dst, payload entropy) of every
+  // packet crossing the discriminatory ISP.
+  struct Recorder : sim::TransitPolicy {
+    std::vector<std::pair<net::Ipv4Addr, net::Ipv4Addr>> headers;
+    std::vector<net::Packet> copies;
+    sim::PolicyDecision process(const net::Packet& pkt,
+                                sim::SimTime) override {
+      const auto p = net::parse_packet(pkt.view());
+      headers.emplace_back(p.ip.src, p.ip.dst);
+      copies.push_back(pkt);
+      return sim::PolicyDecision::forward();
+    }
+  };
+  Fig2Testbed tb;
+  auto recorder = std::make_shared<Recorder>();
+  tb.att->add_policy(recorder);
+
+  tb.google.stack->set_app_handler(
+      [&](net::Ipv4Addr peer, std::span<const std::uint8_t> payload,
+          sim::SimTime now) {
+        tb.google.received.emplace_back(payload.begin(), payload.end());
+        tb.google.stack->send(peer, {'r', 'e', 'p', 'l', 'y'}, now);
+      });
+  tb.ann.send_text("secret-destination-test", 0, kGoogleAddr);
+  tb.engine.run();
+  ASSERT_FALSE(tb.ann.received.empty());
+
+  ASSERT_FALSE(recorder->headers.empty());
+  for (const auto& [src, dst] : recorder->headers) {
+    // The paper's core guarantee: inside AT&T no packet names the
+    // customer; only Ann and the anycast address appear.
+    EXPECT_NE(src, kGoogleAddr);
+    EXPECT_NE(dst, kGoogleAddr);
+    EXPECT_TRUE(src == kAnnAddr || src == kAnycast) << src.to_string();
+    EXPECT_TRUE(dst == kAnnAddr || dst == kAnycast) << dst.to_string();
+  }
+  // And no plaintext application bytes are visible to DPI.
+  const std::string needle = "secret-destination-test";
+  for (const auto& pkt : recorder->copies) {
+    EXPECT_FALSE(discrim::contains_signature(
+        pkt.view(), std::vector<std::uint8_t>(needle.begin(), needle.end())));
+  }
+}
+
+TEST(Fig2Protocol, ReverseDirectionCustomerInitiates) {
+  Fig2Testbed tb;
+  tb.ann.stack->set_app_handler(
+      [&](net::Ipv4Addr peer, std::span<const std::uint8_t> payload,
+          sim::SimTime now) {
+        tb.ann.received.emplace_back(payload.begin(), payload.end());
+        tb.ann.last_peer = peer;
+        tb.ann.stack->send(peer, {'h', 'i', '!'}, now);
+      });
+
+  tb.google.send_text("news push", 0, kAnnAddr);
+  tb.engine.run();
+
+  // §3.3: lease (no RSA) on Google's side.
+  EXPECT_EQ(tb.google.stack->stats().key_leases_sent, 1u);
+  EXPECT_EQ(tb.google.stack->stats().key_setups_sent, 0u);
+  EXPECT_EQ(tb.box->service().stats().key_leases, 1u);
+
+  ASSERT_EQ(tb.ann.received.size(), 1u);
+  EXPECT_EQ(tb.ann.received[0], "news push");
+  EXPECT_EQ(tb.ann.last_peer, kGoogleAddr);  // recovered via lease key
+
+  // Ann's reply flows back through the lease-keyed forward path.
+  ASSERT_EQ(tb.google.received.size(), 1u);
+  EXPECT_EQ(tb.google.received[0], "hi!");
+}
+
+TEST(Fig2Protocol, IntraDomainCustomerToCustomer) {
+  Fig2Testbed tb;
+  tb.youtube.stack->set_app_handler(
+      [&](net::Ipv4Addr peer, std::span<const std::uint8_t> payload,
+          sim::SimTime now) {
+        tb.youtube.received.emplace_back(payload.begin(), payload.end());
+        tb.youtube.stack->send(peer, {'y', 't'}, now);
+      });
+  tb.google.send_text("cdn sync", 0, kYouTubeAddr);
+  tb.engine.run();
+  ASSERT_EQ(tb.youtube.received.size(), 1u);
+  EXPECT_EQ(tb.youtube.received[0], "cdn sync");
+  ASSERT_EQ(tb.google.received.size(), 1u);
+  EXPECT_EQ(tb.google.received[0], "yt");
+}
+
+TEST(Fig2Protocol, HandshakeLossIsRetransmitted) {
+  struct DropFirstSetup : sim::TransitPolicy {
+    int dropped = 0;
+    sim::PolicyDecision process(const net::Packet& pkt,
+                                sim::SimTime) override {
+      const auto p = net::parse_packet(pkt.view());
+      if (p.shim.has_value() && p.shim->type == net::ShimType::kKeySetup &&
+          dropped == 0) {
+        ++dropped;
+        return sim::PolicyDecision::dropped();
+      }
+      return sim::PolicyDecision::forward();
+    }
+  };
+  Fig2Testbed tb;
+  auto dropper = std::make_shared<DropFirstSetup>();
+  tb.att->add_policy(dropper);
+
+  tb.ann.send_text("retry me", 0, kGoogleAddr);
+  tb.engine.run();
+
+  EXPECT_EQ(dropper->dropped, 1);
+  EXPECT_GE(tb.ann.stack->stats().handshake_retries, 1u);
+  ASSERT_EQ(tb.google.received.size(), 1u);
+  EXPECT_EQ(tb.google.received[0], "retry me");
+}
+
+TEST(Fig2Protocol, OffloadedKeySetupServedByCustomer) {
+  Fig2Testbed tb({}, /*offload=*/true);
+  tb.ann.send_text("offloaded hello", 0, kGoogleAddr);
+  tb.engine.run();
+
+  EXPECT_EQ(tb.box->service().stats().offloaded, 1u);
+  EXPECT_EQ(tb.google.stack->stats().offload_served, 1u);
+  ASSERT_EQ(tb.google.received.size(), 1u);
+  EXPECT_EQ(tb.google.received[0], "offloaded hello");
+}
+
+TEST(Fig2Protocol, MasterKeyRotationSoftRefreshViaRestamp) {
+  Fig2Testbed tb;
+  tb.google.stack->set_app_handler(
+      [&](net::Ipv4Addr peer, std::span<const std::uint8_t> payload,
+          sim::SimTime now) {
+        tb.google.received.emplace_back(payload.begin(), payload.end());
+        tb.google.stack->send(peer, {'k'}, now);
+      });
+  tb.ann.send_text("epoch0", 0, kGoogleAddr);
+  tb.engine.run();
+  ASSERT_EQ(tb.google.received.size(), 1u);
+
+  // Advance into epoch 1: key still in grace, but the host proactively
+  // requests a re-stamp; traffic continues without a new RSA handshake.
+  tb.engine.run_until(core::MasterKeySchedule::kDefaultRotation +
+                      sim::kSecond);
+  tb.ann.send_text("epoch1", tb.engine.now(), kGoogleAddr);
+  tb.engine.run();
+  EXPECT_EQ(tb.google.received.size(), 2u);
+  EXPECT_EQ(tb.ann.stack->stats().key_setups_sent, 1u);
+  EXPECT_GE(tb.box->service().stats().rekeys_stamped, 2u);
+}
+
+TEST(Fig2Protocol, MasterKeyExpiryForcesFullRehandshake) {
+  Fig2Testbed tb;
+  tb.ann.send_text("epoch0", 0, kGoogleAddr);
+  tb.engine.run();
+  ASSERT_EQ(tb.google.received.size(), 1u);
+
+  // Jump two epochs: old keys are dead, a full key setup must rerun.
+  tb.engine.run_until(2 * core::MasterKeySchedule::kDefaultRotation +
+                      sim::kSecond);
+  tb.ann.send_text("epoch2", tb.engine.now(), kGoogleAddr);
+  tb.engine.run();
+  EXPECT_EQ(tb.google.received.size(), 2u);
+  EXPECT_EQ(tb.ann.stack->stats().key_setups_sent, 2u);
+}
+
+}  // namespace
+}  // namespace nn::testbed

@@ -1,0 +1,113 @@
+#include "host/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn::host {
+namespace {
+
+TEST(KeyBlock, RoundTripPlain) {
+  KeyBlock kb;
+  kb.session_key.fill(0x42);
+  const auto bytes = kb.serialize();
+  EXPECT_EQ(bytes.size(), KeyBlock::kSize);
+  const auto parsed = KeyBlock::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->session_key, kb.session_key);
+  EXPECT_FALSE(parsed->has_lease);
+}
+
+TEST(KeyBlock, RoundTripWithLease) {
+  KeyBlock kb;
+  kb.session_key.fill(0x42);
+  kb.has_lease = true;
+  kb.lease_epoch = 3;
+  kb.lease_nonce = 0xDEADBEEFCAFEULL;
+  kb.lease_key.fill(0x99);
+  const auto parsed = KeyBlock::parse(kb.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->has_lease);
+  EXPECT_EQ(parsed->lease_epoch, 3);
+  EXPECT_EQ(parsed->lease_nonce, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(parsed->lease_key, kb.lease_key);
+}
+
+TEST(KeyBlock, RejectsWrongSize) {
+  std::vector<std::uint8_t> short_block(KeyBlock::kSize - 1, 0);
+  EXPECT_FALSE(KeyBlock::parse(short_block).has_value());
+  std::vector<std::uint8_t> long_block(KeyBlock::kSize + 1, 0);
+  EXPECT_FALSE(KeyBlock::parse(long_block).has_value());
+}
+
+TEST(AppFrame, RoundTripNoEcho) {
+  AppFrame f;
+  f.payload = {1, 2, 3};
+  const auto parsed = AppFrame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->echo.has_value());
+  EXPECT_EQ(parsed->payload, f.payload);
+}
+
+TEST(AppFrame, RoundTripWithEcho) {
+  AppFrame f;
+  RekeyEcho echo;
+  echo.epoch = 7;
+  echo.nonce = 1234567;
+  echo.key.fill(0xE0);
+  f.echo = echo;
+  f.payload = {9, 9};
+  const auto parsed = AppFrame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->echo.has_value());
+  EXPECT_EQ(*parsed->echo, echo);
+  EXPECT_EQ(parsed->payload, f.payload);
+}
+
+TEST(AppFrame, EmptyPayloadAllowed) {
+  AppFrame f;
+  const auto parsed = AppFrame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(AppFrame, RejectsTruncatedEcho) {
+  AppFrame f;
+  f.echo = RekeyEcho{};
+  auto bytes = f.serialize();
+  bytes.resize(10);  // echo promised but cut off
+  EXPECT_FALSE(AppFrame::parse(bytes).has_value());
+}
+
+TEST(AppFrame, RejectsEmpty) {
+  EXPECT_FALSE(AppFrame::parse({}).has_value());
+}
+
+TEST(Frame, KeyTransportRoundTrip) {
+  const std::vector<std::uint8_t> wrapped(128, 0xAB);
+  const std::vector<std::uint8_t> sealed = {1, 2, 3, 4};
+  const auto bytes = frame_key_transport(wrapped, sealed);
+  const auto parsed = parse_frame(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kKeyTransport);
+  EXPECT_EQ(parsed->wrapped_key.size(), 128u);
+  EXPECT_EQ(parsed->sealed.size(), 4u);
+  EXPECT_EQ(parsed->sealed[0], 1);
+}
+
+TEST(Frame, SealedRoundTrip) {
+  const std::vector<std::uint8_t> sealed = {7, 8, 9};
+  const auto parsed = parse_frame(frame_sealed(sealed));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kSealed);
+  EXPECT_EQ(parsed->sealed.size(), 3u);
+}
+
+TEST(Frame, RejectsUnknownTypeAndTruncation) {
+  EXPECT_FALSE(parse_frame(std::vector<std::uint8_t>{99, 1, 2}).has_value());
+  EXPECT_FALSE(parse_frame({}).has_value());
+  // Key transport whose length field overruns the buffer.
+  std::vector<std::uint8_t> bad = {1, 0xFF, 0xFF, 1, 2};
+  EXPECT_FALSE(parse_frame(bad).has_value());
+}
+
+}  // namespace
+}  // namespace nn::host

@@ -1,0 +1,154 @@
+// Shared integration testbed reproducing the paper's Fig. 1 topology:
+//
+//   Ann ── AT&T router ── [neutralizer box] ── Cogent router ── Google
+//                                                          └──── YouTube
+//
+// Ann is a customer of the discriminatory ISP (AT&T); Google/YouTube are
+// customers of the neutral ISP (Cogent) protected by the neutralizer.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/box.hpp"
+#include "crypto/chacha.hpp"
+#include "host/host.hpp"
+#include "sim/network.hpp"
+
+namespace nn::testbed {
+
+inline const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+inline const net::Ipv4Addr kAnnAddr(10, 1, 0, 2);
+inline const net::Ipv4Addr kGoogleAddr(20, 0, 0, 10);
+inline const net::Ipv4Addr kYouTubeAddr(20, 0, 0, 11);
+inline const char* kCustomerSpace = "20.0.0.0/16";
+
+/// Process-wide identity keys (RSA-1024 generation is the slow part of
+/// a fixture; share them across tests).
+inline const crypto::RsaPrivateKey& identity_key(int which) {
+  static const std::vector<crypto::RsaPrivateKey> keys = [] {
+    crypto::ChaChaRng rng(0xF16);
+    std::vector<crypto::RsaPrivateKey> out;
+    for (int i = 0; i < 3; ++i) out.push_back(crypto::rsa_generate(rng, 1024, 3));
+    return out;
+  }();
+  return keys[static_cast<std::size_t>(which)];
+}
+
+struct StackedHost {
+  sim::Host* node = nullptr;
+  std::unique_ptr<host::NeutralizedHost> stack;
+  std::vector<std::string> received;  // payloads as strings
+  net::Ipv4Addr last_peer;
+
+  void wire(sim::Engine& engine) {
+    node->set_handler([this, &engine](net::Packet&& pkt) {
+      stack->on_packet(std::move(pkt), engine.now());
+    });
+    stack->set_app_handler([this](net::Ipv4Addr peer,
+                                  std::span<const std::uint8_t> payload,
+                                  sim::SimTime) {
+      received.emplace_back(payload.begin(), payload.end());
+      last_peer = peer;
+    });
+  }
+
+  void send_text(const std::string& text, sim::SimTime now,
+                 net::Ipv4Addr peer) {
+    stack->send(peer, std::vector<std::uint8_t>(text.begin(), text.end()),
+                now);
+  }
+};
+
+struct Fig2Testbed {
+  sim::Engine engine;
+  sim::Network net{engine};
+  sim::Router* att = nullptr;
+  sim::Router* cogent = nullptr;
+  core::NeutralizerBox* box = nullptr;
+  StackedHost ann, google, youtube;
+
+  explicit Fig2Testbed(core::BoxCosts costs = {}, bool offload = false) {
+    auto& ann_node = net.add<sim::Host>("ann");
+    att = &net.add<sim::Router>("att-border");
+    core::NeutralizerConfig ncfg;
+    ncfg.anycast_addr = kAnycast;
+    ncfg.customer_space = net::Ipv4Prefix::from_string(kCustomerSpace);
+    if (offload) {
+      ncfg.offload_enabled = true;
+      ncfg.offload_helper = kGoogleAddr;
+    }
+    crypto::AesKey root;
+    root.fill(0xD0);
+    box = &net.add<core::NeutralizerBox>("cogent-neutralizer", ncfg, root, 1,
+                                         costs);
+    cogent = &net.add<sim::Router>("cogent-core");
+    auto& google_node = net.add<sim::Host>("google");
+    auto& youtube_node = net.add<sim::Host>("youtube");
+
+    sim::LinkConfig fast;
+    fast.bandwidth_bps = 1e9;
+    fast.propagation = 2 * sim::kMillisecond;
+    net.connect(ann_node, *att, fast);
+    net.connect(*att, *box, fast);
+    net.connect(*box, *cogent, fast);
+    net.connect(*cogent, google_node, fast);
+    net.connect(*cogent, youtube_node, fast);
+
+    net.assign_address(ann_node, kAnnAddr);
+    net.assign_address(google_node, kGoogleAddr);
+    net.assign_address(youtube_node, kYouTubeAddr);
+    net.assign_address(*box, net::Ipv4Addr(20, 0, 255, 1));
+    box->join_service_anycast(net);
+    net.compute_routes();
+
+    ann.node = &ann_node;
+    google.node = &google_node;
+    youtube.node = &youtube_node;
+
+    host::HostConfig ann_cfg;
+    ann_cfg.self = kAnnAddr;
+    ann.stack = std::make_unique<host::NeutralizedHost>(
+        ann_cfg, identity_key(0),
+        [&ann_node](net::Packet&& p) { ann_node.transmit(std::move(p)); },
+        &engine, 101);
+
+    host::HostConfig google_cfg;
+    google_cfg.self = kGoogleAddr;
+    google_cfg.inside_neutral_domain = true;
+    google_cfg.home_anycast = kAnycast;
+    google.stack = std::make_unique<host::NeutralizedHost>(
+        google_cfg, identity_key(1),
+        [&google_node](net::Packet&& p) { google_node.transmit(std::move(p)); },
+        &engine, 102);
+
+    host::HostConfig youtube_cfg;
+    youtube_cfg.self = kYouTubeAddr;
+    youtube_cfg.inside_neutral_domain = true;
+    youtube_cfg.home_anycast = kAnycast;
+    youtube.stack = std::make_unique<host::NeutralizedHost>(
+        youtube_cfg, identity_key(2),
+        [&youtube_node](net::Packet&& p) { youtube_node.transmit(std::move(p)); },
+        &engine, 103);
+
+    ann.wire(engine);
+    google.wire(engine);
+    youtube.wire(engine);
+
+    // DNS bootstrap stand-in (§3.1): every host knows the published
+    // (address, anycast, public key) of its peers.
+    ann.stack->add_peer(
+        {kGoogleAddr, kAnycast, identity_key(1).pub});
+    ann.stack->add_peer(
+        {kYouTubeAddr, kAnycast, identity_key(2).pub});
+    google.stack->add_peer({kAnnAddr, net::Ipv4Addr{}, identity_key(0).pub});
+    youtube.stack->add_peer({kAnnAddr, net::Ipv4Addr{}, identity_key(0).pub});
+    google.stack->add_peer(
+        {kYouTubeAddr, kAnycast, identity_key(2).pub});
+    youtube.stack->add_peer(
+        {kGoogleAddr, kAnycast, identity_key(1).pub});
+  }
+};
+
+}  // namespace nn::testbed

@@ -1,0 +1,96 @@
+#include "multihome/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace nn::multihome {
+namespace {
+
+using net::Ipv4Addr;
+
+const Ipv4Addr kNeutA(200, 0, 0, 1);
+const Ipv4Addr kNeutB(201, 0, 0, 1);
+
+std::vector<NeutralizerSelector::Option> two_options(double wa = 1,
+                                                     double wb = 1) {
+  return {{kNeutA, wa}, {kNeutB, wb}};
+}
+
+TEST(Selector, RejectsEmptyAndBadWeights) {
+  EXPECT_THROW(NeutralizerSelector(Strategy::kFixed, {}),
+               std::invalid_argument);
+  EXPECT_THROW(NeutralizerSelector(Strategy::kWeighted, {{kNeutA, 0.0}}),
+               std::invalid_argument);
+}
+
+TEST(Selector, FixedAlwaysFirst) {
+  NeutralizerSelector sel(Strategy::kFixed, two_options());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sel.pick(), kNeutA);
+}
+
+TEST(Selector, RandomSplitsRoughlyEvenly) {
+  NeutralizerSelector sel(Strategy::kRandom, two_options(), 3);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 2000; ++i) ++counts[sel.pick().value()];
+  EXPECT_NEAR(counts[kNeutA.value()], 1000, 120);
+  EXPECT_NEAR(counts[kNeutB.value()], 1000, 120);
+}
+
+TEST(Selector, WeightedFollowsWeights) {
+  NeutralizerSelector sel(Strategy::kWeighted, two_options(3, 1), 5);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 4000; ++i) ++counts[sel.pick().value()];
+  EXPECT_NEAR(counts[kNeutA.value()], 3000, 250);
+  EXPECT_NEAR(counts[kNeutB.value()], 1000, 250);
+}
+
+TEST(Selector, ProbeConvergesToHealthyPath) {
+  // §3.5 trial-and-error: provider A is congested (slow / lossy),
+  // provider B is healthy. The prober should end up mostly on B.
+  NeutralizerSelector sel(Strategy::kProbe, two_options(), 7);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 1000; ++i) {
+    const auto pick = sel.pick();
+    ++counts[pick.value()];
+    if (pick == kNeutA) {
+      sel.report(pick, /*success=*/i % 3 != 0, /*latency_ms=*/250.0);
+    } else {
+      sel.report(pick, true, 20.0);
+    }
+  }
+  EXPECT_GT(counts[kNeutB.value()], 700);
+  EXPECT_GT(sel.score(kNeutA), sel.score(kNeutB));
+}
+
+TEST(Selector, ProbeRecoversWhenPathHeals) {
+  NeutralizerSelector sel(Strategy::kProbe, two_options(), 9);
+  // Phase 1: A bad.
+  for (int i = 0; i < 300; ++i) {
+    const auto pick = sel.pick();
+    sel.report(pick, pick == kNeutB, pick == kNeutA ? 400.0 : 20.0);
+  }
+  EXPECT_GT(sel.score(kNeutA), sel.score(kNeutB));
+  // Phase 2: A heals and B degrades; exploration must discover it.
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 1500; ++i) {
+    const auto pick = sel.pick();
+    ++counts[pick.value()];
+    sel.report(pick, true, pick == kNeutA ? 10.0 : 300.0);
+  }
+  EXPECT_GT(counts[kNeutA.value()], counts[kNeutB.value()]);
+}
+
+TEST(Selector, ReportUnknownAddressThrows) {
+  NeutralizerSelector sel(Strategy::kProbe, two_options());
+  EXPECT_THROW(sel.report(Ipv4Addr(1, 2, 3, 4), true, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Selector, SingleOptionAlwaysPicked) {
+  NeutralizerSelector sel(Strategy::kProbe, {{kNeutA, 1.0}});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sel.pick(), kNeutA);
+}
+
+}  // namespace
+}  // namespace nn::multihome

@@ -1,0 +1,81 @@
+#include "net/addr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace nn::net {
+namespace {
+
+TEST(Ipv4Addr, FromOctetsAndValue) {
+  constexpr Ipv4Addr a(10, 1, 2, 3);
+  EXPECT_EQ(a.value(), 0x0A010203u);
+  EXPECT_EQ(a.to_string(), "10.1.2.3");
+}
+
+TEST(Ipv4Addr, FromStringRoundTrip) {
+  for (const char* s : {"0.0.0.0", "255.255.255.255", "192.168.1.1",
+                        "8.8.8.8", "1.2.3.4"}) {
+    EXPECT_EQ(Ipv4Addr::from_string(s).to_string(), s);
+  }
+}
+
+TEST(Ipv4Addr, FromStringRejectsMalformed) {
+  for (const char* s : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d",
+                        "1..2.3", "1.2.3.4 "}) {
+    EXPECT_THROW(Ipv4Addr::from_string(s), ParseError) << s;
+  }
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4), Ipv4Addr::from_string("1.2.3.4"));
+  EXPECT_TRUE(Ipv4Addr().is_unspecified());
+}
+
+TEST(Ipv4Prefix, MasksBaseAddress) {
+  const Ipv4Prefix p(Ipv4Addr(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.base(), Ipv4Addr(10, 1, 0, 0));
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(Ipv4Prefix, Contains) {
+  const auto p = Ipv4Prefix::from_string("10.1.0.0/16");
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 1, 255, 255)));
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 1, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 2, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(11, 1, 0, 0)));
+}
+
+TEST(Ipv4Prefix, ZeroLengthContainsEverything) {
+  const Ipv4Prefix p(Ipv4Addr(), 0);
+  EXPECT_TRUE(p.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_TRUE(p.contains(Ipv4Addr()));
+}
+
+TEST(Ipv4Prefix, HostRoute) {
+  const Ipv4Prefix p(Ipv4Addr(8, 8, 8, 8), 32);
+  EXPECT_TRUE(p.contains(Ipv4Addr(8, 8, 8, 8)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(8, 8, 8, 9)));
+}
+
+TEST(Ipv4Prefix, AtOffset) {
+  const auto p = Ipv4Prefix::from_string("10.1.0.0/16");
+  EXPECT_EQ(p.at(1), Ipv4Addr(10, 1, 0, 1));
+  EXPECT_EQ(p.at(0xFFFF), Ipv4Addr(10, 1, 255, 255));
+  EXPECT_THROW((void)p.at(0x10000), std::out_of_range);
+}
+
+TEST(Ipv4Prefix, RejectsBadLength) {
+  EXPECT_THROW(Ipv4Prefix(Ipv4Addr(), 33), std::invalid_argument);
+  EXPECT_THROW(Ipv4Prefix::from_string("1.2.3.4"), ParseError);
+  EXPECT_THROW(Ipv4Prefix::from_string("1.2.3.4/ab"), ParseError);
+}
+
+TEST(Ipv4Addr, HashUsableInContainers) {
+  std::hash<Ipv4Addr> h;
+  EXPECT_NE(h(Ipv4Addr(1, 2, 3, 4)), h(Ipv4Addr(4, 3, 2, 1)));
+}
+
+}  // namespace
+}  // namespace nn::net

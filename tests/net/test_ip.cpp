@@ -1,0 +1,109 @@
+#include "net/ip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn::net {
+namespace {
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 -> checksum 0x220d
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xf2, 0x03,
+                                          0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(InternetChecksum, OddLength) {
+  const std::vector<std::uint8_t> data = {0x01};
+  // 0x0100 padded -> sum = 0x0100, complement = 0xFEFF
+  EXPECT_EQ(internet_checksum(data), 0xFEFF);
+}
+
+TEST(InternetChecksum, VerifiesToZero) {
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd,
+                                    0x00, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                    0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00,
+                                    0x00, 0x02};
+  const std::uint16_t sum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(sum >> 8);
+  data[11] = static_cast<std::uint8_t>(sum);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Ipv4Header, SerializeParseRoundTrip) {
+  Ipv4Header h;
+  h.dscp = Dscp::kExpeditedForwarding;
+  h.total_length = 120;
+  h.identification = 0xBEEF;
+  h.ttl = 17;
+  h.protocol = static_cast<std::uint8_t>(IpProto::kUdp);
+  h.src = Ipv4Addr(10, 0, 0, 1);
+  h.dst = Ipv4Addr(192, 168, 7, 9);
+
+  ByteWriter w;
+  h.serialize(w);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), kIpv4HeaderSize);
+
+  ByteReader r(bytes);
+  EXPECT_EQ(Ipv4Header::parse(r), h);
+}
+
+TEST(Ipv4Header, ParseRejectsCorruptedChecksum) {
+  Ipv4Header h;
+  h.total_length = 20;
+  ByteWriter w;
+  h.serialize(w);
+  auto bytes = w.take();
+  bytes[12] ^= 0x01;  // flip a source-address bit
+  ByteReader r(bytes);
+  EXPECT_THROW(Ipv4Header::parse(r), ParseError);
+}
+
+TEST(Ipv4Header, ParseRejectsWrongVersion) {
+  Ipv4Header h;
+  h.total_length = 20;
+  ByteWriter w;
+  h.serialize(w);
+  auto bytes = w.take();
+  bytes[0] = 0x46;  // IHL 6: options unsupported
+  ByteReader r(bytes);
+  EXPECT_THROW(Ipv4Header::parse(r), ParseError);
+}
+
+TEST(Ipv4Header, DscpSurvivesRoundTrip) {
+  for (Dscp d : {Dscp::kBestEffort, Dscp::kAf11, Dscp::kAf41,
+                 Dscp::kExpeditedForwarding}) {
+    Ipv4Header h;
+    h.dscp = d;
+    h.total_length = 20;
+    ByteWriter w;
+    h.serialize(w);
+    const auto bytes = w.take();
+    ByteReader r(bytes);
+    EXPECT_EQ(Ipv4Header::parse(r).dscp, d);
+  }
+}
+
+TEST(UdpHeader, SerializeParseRoundTrip) {
+  UdpHeader u;
+  u.src_port = 5060;
+  u.dst_port = 53;
+  u.length = 100;
+  ByteWriter w;
+  u.serialize(w);
+  const auto bytes = w.take();
+  ASSERT_EQ(bytes.size(), kUdpHeaderSize);
+  ByteReader r(bytes);
+  EXPECT_EQ(UdpHeader::parse(r), u);
+}
+
+TEST(UdpHeader, RejectsLengthBelowHeader) {
+  ByteWriter w;
+  w.u16(1).u16(2).u16(7).u16(0);  // length 7 < 8
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(UdpHeader::parse(r), ParseError);
+}
+
+}  // namespace
+}  // namespace nn::net

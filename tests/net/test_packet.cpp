@@ -1,0 +1,74 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn::net {
+namespace {
+
+TEST(Packet, UdpBuildAndParse) {
+  const std::vector<std::uint8_t> payload = {'h', 'i'};
+  const auto pkt = make_udp_packet(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2),
+                                   1234, 5678, payload, Dscp::kAf41, 32);
+  EXPECT_EQ(pkt.size(), kIpv4HeaderSize + kUdpHeaderSize + 2);
+  const auto p = parse_packet(pkt.view());
+  EXPECT_EQ(p.ip.src, Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(p.ip.dst, Ipv4Addr(10, 0, 0, 2));
+  EXPECT_EQ(p.ip.dscp, Dscp::kAf41);
+  EXPECT_EQ(p.ip.ttl, 32);
+  ASSERT_TRUE(p.udp.has_value());
+  EXPECT_EQ(p.udp->src_port, 1234);
+  EXPECT_EQ(p.udp->dst_port, 5678);
+  EXPECT_FALSE(p.shim.has_value());
+  ASSERT_EQ(p.payload.size(), 2u);
+  EXPECT_EQ(p.payload[0], 'h');
+}
+
+TEST(Packet, ShimBuildAndParse) {
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetup;
+  shim.nonce = 31337;
+  const std::vector<std::uint8_t> payload = {0xAA, 0xBB, 0xCC};
+  const auto pkt = make_shim_packet(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2),
+                                    shim, payload);
+  const auto p = parse_packet(pkt.view());
+  ASSERT_TRUE(p.shim.has_value());
+  EXPECT_EQ(p.shim->type, ShimType::kKeySetup);
+  EXPECT_EQ(p.shim->nonce, 31337u);
+  EXPECT_FALSE(p.udp.has_value());
+  EXPECT_EQ(p.payload.size(), 3u);
+}
+
+TEST(Packet, ParseRejectsLengthMismatch) {
+  const std::vector<std::uint8_t> payload(10, 0);
+  auto pkt = make_udp_packet(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), 1, 2,
+                             payload);
+  pkt.bytes.push_back(0);  // trailing garbage
+  EXPECT_THROW((void)parse_packet(pkt.view()), ParseError);
+}
+
+TEST(Packet, PaperDataPacketIs112Bytes) {
+  // Paper §4: 64-byte payload, "total packet size is 112 bytes after
+  // adding headers, nonce, encrypted destination IP address, and
+  // alignment padding". Our layout: 20 (IP) + 12 (shim base) + 4 (inner
+  // addr) + 64 + 12 pad = 112. We reproduce it with 12 bytes of payload
+  // padding, yielding exactly the paper's wire size.
+  ShimHeader shim;
+  shim.type = ShimType::kDataForward;
+  std::vector<std::uint8_t> payload(64 + 12, 0);
+  const auto pkt = make_shim_packet(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2),
+                                    shim, payload);
+  EXPECT_EQ(pkt.size(), 112u);
+}
+
+TEST(Packet, EqualityIsByteWise) {
+  const std::vector<std::uint8_t> payload = {1};
+  const auto a = make_udp_packet(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), 1,
+                                 2, payload);
+  auto b = a;
+  EXPECT_EQ(a, b);
+  b.bytes[0] ^= 1;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace nn::net

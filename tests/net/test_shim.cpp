@@ -1,0 +1,190 @@
+#include "net/shim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace nn::net {
+namespace {
+
+ShimHeader sample_data_forward(std::uint8_t flags = 0) {
+  ShimHeader h;
+  h.type = ShimType::kDataForward;
+  h.flags = flags;
+  h.key_epoch = 7;
+  h.nonce = 0x1122334455667788ULL;
+  h.inner_addr = 0xC0A80101;
+  return h;
+}
+
+TEST(ShimHeader, SizeByType) {
+  ShimHeader setup;
+  setup.type = ShimType::kKeySetup;
+  EXPECT_EQ(setup.serialized_size(), kShimBaseSize);
+
+  EXPECT_EQ(sample_data_forward().serialized_size(),
+            kShimBaseSize + kShimInnerAddrSize);
+  EXPECT_EQ(sample_data_forward(ShimFlags::kKeyRequest).serialized_size(),
+            kShimBaseSize + kShimInnerAddrSize + kShimRekeyExtSize);
+}
+
+TEST(ShimHeader, RoundTripBasic) {
+  const auto h = sample_data_forward();
+  ByteWriter w;
+  h.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(ShimHeader::parse(r), h);
+}
+
+TEST(ShimHeader, RoundTripAllTypes) {
+  for (auto t : {ShimType::kKeySetup, ShimType::kKeySetupResponse,
+                 ShimType::kDataForward, ShimType::kDataReturn,
+                 ShimType::kKeyLease, ShimType::kKeyLeaseResponse}) {
+    ShimHeader h;
+    h.type = t;
+    h.nonce = 42;
+    h.key_epoch = 3;
+    if (shim_type_has_inner_addr(t)) h.inner_addr = 0xDEADBEEF;
+    ByteWriter w;
+    h.serialize(w);
+    const auto bytes = w.take();
+    ByteReader r(bytes);
+    EXPECT_EQ(ShimHeader::parse(r), h) << static_cast<int>(t);
+  }
+}
+
+TEST(ShimHeader, KeyRequestReservesZeroedSpace) {
+  const auto h = sample_data_forward(ShimFlags::kKeyRequest);
+  ByteWriter w;
+  h.serialize(w);
+  const auto bytes = w.take();
+  // Extension must be zero-filled.
+  for (std::size_t i = kShimBaseSize + kShimInnerAddrSize; i < bytes.size();
+       ++i) {
+    EXPECT_EQ(bytes[i], 0) << "byte " << i;
+  }
+  ByteReader r(bytes);
+  const auto parsed = ShimHeader::parse(r);
+  EXPECT_TRUE(parsed.has_rekey_space());
+  EXPECT_FALSE(parsed.rekey.has_value());  // not yet stamped
+}
+
+TEST(ShimHeader, RekeyFilledRoundTrips) {
+  auto h = sample_data_forward(
+      static_cast<std::uint8_t>(ShimFlags::kKeyRequest | ShimFlags::kRekeyFilled));
+  RekeyExt ext;
+  ext.nonce = 999;
+  ext.epoch = 12;
+  ext.key.fill(0xAB);
+  h.rekey = ext;
+  ByteWriter w;
+  h.serialize(w);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  const auto parsed = ShimHeader::parse(r);
+  ASSERT_TRUE(parsed.rekey.has_value());
+  EXPECT_EQ(parsed.rekey->nonce, 999u);
+  EXPECT_EQ(parsed.rekey->epoch, 12);
+  EXPECT_EQ(parsed.rekey->key, ext.key);
+}
+
+TEST(ShimHeader, ParseRejectsUnknownType) {
+  ByteWriter w;
+  w.u8(99).u8(0).u16(0).u64(0);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_THROW(ShimHeader::parse(r), ParseError);
+}
+
+TEST(ShimHeader, ParseRejectsTruncated) {
+  const auto h = sample_data_forward(ShimFlags::kKeyRequest);
+  ByteWriter w;
+  h.serialize(w);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 10);
+  ByteReader r(bytes);
+  EXPECT_THROW(ShimHeader::parse(r), ParseError);
+}
+
+// --- ShimPacketView -------------------------------------------------------
+
+Packet sample_packet(std::uint8_t flags = 0) {
+  const std::vector<std::uint8_t> payload = {9, 8, 7, 6};
+  return make_shim_packet(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8),
+                          sample_data_forward(flags), payload,
+                          Dscp::kExpeditedForwarding);
+}
+
+TEST(ShimPacketView, ReadsFields) {
+  auto pkt = sample_packet();
+  ShimPacketView v(pkt.mutable_view());
+  EXPECT_EQ(v.src(), Ipv4Addr(1, 2, 3, 4));
+  EXPECT_EQ(v.dst(), Ipv4Addr(5, 6, 7, 8));
+  EXPECT_EQ(v.dscp(), Dscp::kExpeditedForwarding);
+  EXPECT_EQ(v.type(), ShimType::kDataForward);
+  EXPECT_EQ(v.key_epoch(), 7);
+  EXPECT_EQ(v.nonce(), 0x1122334455667788ULL);
+  EXPECT_EQ(v.inner_addr(), 0xC0A80101u);
+  ASSERT_EQ(v.payload().size(), 4u);
+  EXPECT_EQ(v.payload()[0], 9);
+}
+
+TEST(ShimPacketView, RewritesAddressesWithValidChecksum) {
+  auto pkt = sample_packet();
+  ShimPacketView v(pkt.mutable_view());
+  v.set_src(Ipv4Addr(99, 99, 99, 99));
+  v.set_dst(Ipv4Addr(10, 0, 0, 1));
+  v.set_inner_addr(0x01020304);
+  v.refresh_ip_checksum();
+  // Full parse must succeed (checksum valid) and see the new values.
+  const auto parsed = parse_packet(pkt.view());
+  EXPECT_EQ(parsed.ip.src, Ipv4Addr(99, 99, 99, 99));
+  EXPECT_EQ(parsed.ip.dst, Ipv4Addr(10, 0, 0, 1));
+  ASSERT_TRUE(parsed.shim.has_value());
+  EXPECT_EQ(parsed.shim->inner_addr, 0x01020304u);
+  // DSCP must be untouched by address rewrites (paper §3.4).
+  EXPECT_EQ(parsed.ip.dscp, Dscp::kExpeditedForwarding);
+}
+
+TEST(ShimPacketView, StampRekeyInPlace) {
+  auto pkt = sample_packet(ShimFlags::kKeyRequest);
+  const std::size_t before = pkt.size();
+  ShimPacketView v(pkt.mutable_view());
+  crypto::AesKey key;
+  key.fill(0x5C);
+  v.stamp_rekey(0xABCDEF, 3, key);
+  EXPECT_EQ(pkt.size(), before);  // in-place: no growth
+  const auto ext = v.rekey();
+  EXPECT_EQ(ext.nonce, 0xABCDEFu);
+  EXPECT_EQ(ext.epoch, 3);
+  EXPECT_EQ(ext.key, key);
+  EXPECT_TRUE(v.flags() & ShimFlags::kRekeyFilled);
+  // Payload is still beyond the extension.
+  ASSERT_EQ(v.payload().size(), 4u);
+  EXPECT_EQ(v.payload()[0], 9);
+}
+
+TEST(ShimPacketView, StampWithoutSpaceThrows) {
+  auto pkt = sample_packet();
+  ShimPacketView v(pkt.mutable_view());
+  crypto::AesKey key{};
+  EXPECT_THROW(v.stamp_rekey(1, 0, key), ParseError);
+  EXPECT_THROW((void)v.rekey(), ParseError);
+}
+
+TEST(ShimPacketView, RejectsNonShimPacket) {
+  const std::vector<std::uint8_t> payload = {1};
+  auto pkt = make_udp_packet(Ipv4Addr(1, 1, 1, 1), Ipv4Addr(2, 2, 2, 2), 10,
+                             20, payload);
+  EXPECT_THROW(ShimPacketView{pkt.mutable_view()}, ParseError);
+}
+
+TEST(ShimPacketView, RejectsTruncated) {
+  auto pkt = sample_packet(ShimFlags::kKeyRequest);
+  pkt.bytes.resize(kIpv4HeaderSize + kShimBaseSize + 2);
+  EXPECT_THROW(ShimPacketView{pkt.mutable_view()}, ParseError);
+}
+
+}  // namespace
+}  // namespace nn::net

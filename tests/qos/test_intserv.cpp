@@ -1,0 +1,80 @@
+// §3.4 of the paper: per-flow guaranteed service vs the neutralizer.
+#include "qos/intserv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dynamic_addr.hpp"
+
+namespace nn::qos {
+namespace {
+
+const net::Ipv4Addr kAnn(10, 1, 0, 2);
+const net::Ipv4Addr kBob(10, 1, 0, 3);
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+const net::Ipv4Addr kGoogle(20, 0, 0, 10);
+const net::Ipv4Addr kYouTube(20, 0, 0, 11);
+
+TEST(ReservationTable, AdmitsUpToCapacity) {
+  ReservationTable table(10e6);
+  EXPECT_TRUE(table.reserve({kAnn, kGoogle}, 6e6));
+  EXPECT_FALSE(table.reserve({kBob, kGoogle}, 6e6));  // would exceed
+  EXPECT_TRUE(table.reserve({kBob, kGoogle}, 4e6));
+  EXPECT_DOUBLE_EQ(table.allocated_bps(), 10e6);
+}
+
+TEST(ReservationTable, ReleaseFreesCapacity) {
+  ReservationTable table(10e6);
+  ASSERT_TRUE(table.reserve({kAnn, kGoogle}, 8e6));
+  table.release({kAnn, kGoogle});
+  EXPECT_DOUBLE_EQ(table.allocated_bps(), 0.0);
+  EXPECT_TRUE(table.reserve({kBob, kGoogle}, 8e6));
+}
+
+TEST(ReservationTable, LookupAndUnknownRelease) {
+  ReservationTable table(10e6);
+  ASSERT_TRUE(table.reserve({kAnn, kGoogle}, 1e6));
+  EXPECT_EQ(table.reservation_for({kAnn, kGoogle}), 1e6);
+  EXPECT_FALSE(table.reservation_for({kBob, kGoogle}).has_value());
+  table.release({kBob, kGoogle});  // no-op
+  EXPECT_EQ(table.flow_count(), 1u);
+}
+
+TEST(ReservationTable, NeutralizedFlowsCollide) {
+  // The paper's §3.4 problem, verbatim: behind the neutralizer, Ann's
+  // flows to Google and to YouTube both appear as (Ann, anycast), so a
+  // second per-flow reservation is impossible.
+  ReservationTable table(10e6);
+  EXPECT_TRUE(table.reserve({kAnn, kAnycast}, 1e6));   // "to Google"
+  EXPECT_FALSE(table.reserve({kAnn, kAnycast}, 1e6));  // "to YouTube"
+}
+
+TEST(ReservationTable, DynamicAddressesRestorePerFlowState) {
+  // Remedy 1 from §3.4: the neutralizer assigns one dynamic address per
+  // QoS session; the ISP sees distinct flows but learns no customer.
+  core::DynamicAddressAllocator alloc(
+      net::Ipv4Prefix::from_string("172.16.0.0/24"));
+  const auto dyn_google = alloc.allocate(kGoogle);
+  const auto dyn_youtube = alloc.allocate(kYouTube);
+  ASSERT_TRUE(dyn_google && dyn_youtube);
+
+  ReservationTable table(10e6);
+  EXPECT_TRUE(table.reserve({kAnn, *dyn_google}, 1e6));
+  EXPECT_TRUE(table.reserve({kAnn, *dyn_youtube}, 1e6));
+  EXPECT_EQ(table.flow_count(), 2u);
+  // The ISP-visible addresses never name the customers...
+  EXPECT_NE(*dyn_google, kGoogle);
+  EXPECT_NE(*dyn_youtube, kYouTube);
+  // ...but the neutralizer can still route them.
+  EXPECT_EQ(alloc.resolve(*dyn_google), kGoogle);
+}
+
+TEST(ReservationTable, OptOutRestoresPerFlowState) {
+  // Remedy 2 from §3.4: a customer that bought guaranteed service may
+  // simply not be anonymized.
+  ReservationTable table(10e6);
+  EXPECT_TRUE(table.reserve({kAnn, kGoogle}, 1e6));
+  EXPECT_TRUE(table.reserve({kAnn, kYouTube}, 1e6));
+}
+
+}  // namespace
+}  // namespace nn::qos

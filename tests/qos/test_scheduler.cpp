@@ -1,0 +1,122 @@
+#include "qos/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn::qos {
+namespace {
+
+net::Packet packet_with_dscp(net::Dscp dscp, std::size_t payload = 10) {
+  return net::make_udp_packet(net::Ipv4Addr(1, 1, 1, 1),
+                              net::Ipv4Addr(2, 2, 2, 2), 1, 2,
+                              std::vector<std::uint8_t>(payload, 0), dscp);
+}
+
+TEST(DefaultBand, MapsDscpToBands) {
+  EXPECT_EQ(default_band(net::Dscp::kExpeditedForwarding), 0);
+  EXPECT_EQ(default_band(net::Dscp::kAf41), 1);
+  EXPECT_EQ(default_band(net::Dscp::kAf11), 1);
+  EXPECT_EQ(default_band(net::Dscp::kBestEffort), 2);
+}
+
+TEST(PacketDscp, ReadsFromRawBytes) {
+  const auto pkt = packet_with_dscp(net::Dscp::kAf31);
+  EXPECT_EQ(packet_dscp(pkt), net::Dscp::kAf31);
+}
+
+TEST(StrictPriority, HigherBandAlwaysFirst) {
+  StrictPriorityQueue q(100000);
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort)));
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kAf41)));
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kExpeditedForwarding)));
+  EXPECT_EQ(packet_dscp(*q.dequeue()), net::Dscp::kExpeditedForwarding);
+  EXPECT_EQ(packet_dscp(*q.dequeue()), net::Dscp::kAf41);
+  EXPECT_EQ(packet_dscp(*q.dequeue()), net::Dscp::kBestEffort);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(StrictPriority, PerBandCapacityIsolation) {
+  // Fill best-effort band; EF must still be accepted.
+  StrictPriorityQueue q(200);
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort, 100)));
+  EXPECT_FALSE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort, 100)));
+  EXPECT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kExpeditedForwarding, 100)));
+}
+
+TEST(StrictPriority, CountsPacketsAndBytes) {
+  StrictPriorityQueue q(100000);
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort, 10)));
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kExpeditedForwarding, 20)));
+  EXPECT_EQ(q.packet_count(), 2u);
+  EXPECT_EQ(q.byte_count(), (28u + 10u) + (28u + 20u));
+  EXPECT_EQ(q.band_packets(0), 1u);
+  EXPECT_EQ(q.band_packets(2), 1u);
+}
+
+TEST(StrictPriority, FifoWithinBand) {
+  StrictPriorityQueue q(100000);
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort, 1)));
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort, 2)));
+  EXPECT_EQ(q.dequeue()->size(), 28u + 1u);
+  EXPECT_EQ(q.dequeue()->size(), 28u + 2u);
+}
+
+TEST(Wfq, ApproximatesWeightShares) {
+  // Weights 3:1 between band 1 (AF) and band 2 (BE); band 0 unused.
+  WfqQueue q({1, 3, 1}, 1 << 20);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kAf41, 100)));
+    ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort, 100)));
+  }
+  int af = 0;
+  int be = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto pkt = q.dequeue();
+    ASSERT_TRUE(pkt.has_value());
+    if (packet_dscp(*pkt) == net::Dscp::kAf41) {
+      ++af;
+    } else {
+      ++be;
+    }
+  }
+  // AF should get roughly 3x the service of BE.
+  EXPECT_GT(af, 2 * be);
+}
+
+TEST(Wfq, DrainsCompletely) {
+  WfqQueue q({1, 1, 1}, 1 << 20);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort)));
+  }
+  int drained = 0;
+  while (q.dequeue().has_value()) ++drained;
+  EXPECT_EQ(drained, 10);
+  EXPECT_EQ(q.packet_count(), 0u);
+  EXPECT_EQ(q.byte_count(), 0u);
+}
+
+TEST(Wfq, EmptyDequeueIsNull) {
+  WfqQueue q({1}, 1000);
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(Wfq, CapacityBoundsEachBand) {
+  WfqQueue q({1, 1, 1}, 100);
+  ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort, 50)));
+  EXPECT_FALSE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort, 50)));
+  EXPECT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kExpeditedForwarding, 50)));
+}
+
+TEST(Wfq, NoStarvationUnderSkewedWeights) {
+  WfqQueue q({100, 1, 1}, 1 << 20);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kExpeditedForwarding)));
+    ASSERT_TRUE(q.enqueue(packet_with_dscp(net::Dscp::kBestEffort)));
+  }
+  // All 100 packets must eventually come out.
+  int drained = 0;
+  while (q.dequeue().has_value()) ++drained;
+  EXPECT_EQ(drained, 100);
+}
+
+}  // namespace
+}  // namespace nn::qos

@@ -1,0 +1,63 @@
+#include "qos/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn::qos {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(1000.0, 500.0);
+  EXPECT_TRUE(tb.try_consume(500, 0));
+  EXPECT_FALSE(tb.try_consume(1, 0));  // empty now
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(1000.0, 1000.0);  // 1000 B/s
+  EXPECT_TRUE(tb.try_consume(1000, 0));
+  EXPECT_FALSE(tb.try_consume(100, 0));
+  // 100 ms later: 100 bytes available.
+  EXPECT_TRUE(tb.try_consume(100, 100 * sim::kMillisecond));
+  EXPECT_FALSE(tb.try_consume(1, 100 * sim::kMillisecond));
+}
+
+TEST(TokenBucket, BurstCapsAccumulation) {
+  TokenBucket tb(1e6, 200.0);
+  // A long idle period must not bank more than the burst size.
+  EXPECT_NEAR(tb.tokens(10 * sim::kSecond), 200.0, 1e-9);
+  EXPECT_TRUE(tb.try_consume(200, 10 * sim::kSecond));
+  EXPECT_FALSE(tb.try_consume(1, 10 * sim::kSecond));
+}
+
+TEST(TokenBucket, FailedConsumeHasNoSideEffect) {
+  TokenBucket tb(1000.0, 100.0);
+  EXPECT_FALSE(tb.try_consume(200, 0));
+  EXPECT_TRUE(tb.try_consume(100, 0));  // still all there
+}
+
+TEST(TokenBucket, NonMonotonicTimeIsSafe) {
+  TokenBucket tb(1000.0, 100.0);
+  EXPECT_TRUE(tb.try_consume(100, sim::kSecond));
+  // Clock going backwards must not mint tokens.
+  EXPECT_FALSE(tb.try_consume(50, 0));
+}
+
+TEST(TokenBucket, SetRateTakesEffect) {
+  TokenBucket tb(100.0, 100.0);
+  EXPECT_TRUE(tb.try_consume(100, 0));
+  tb.set_rate(10000.0);
+  EXPECT_TRUE(tb.try_consume(100, 10 * sim::kMillisecond + 1));
+}
+
+TEST(TokenBucket, SustainedRateIsEnforced) {
+  TokenBucket tb(1000.0, 100.0);
+  std::size_t sent = 0;
+  for (sim::SimTime t = 0; t < 10 * sim::kSecond; t += 10 * sim::kMillisecond) {
+    if (tb.try_consume(100, t)) sent += 100;
+  }
+  // 10 seconds at 1000 B/s plus the initial 100-byte burst.
+  EXPECT_GE(sent, 10000u);
+  EXPECT_LE(sent, 10100u + 100u);
+}
+
+}  // namespace
+}  // namespace nn::qos

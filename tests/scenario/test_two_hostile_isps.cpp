@@ -1,0 +1,201 @@
+// Fig. 1 shows TWO discriminatory ISPs (AT&T and Verizon) around the
+// neutral transit ISP. Anonymity must hold across any number of
+// hostile networks on the path — each sees only (source, anycast).
+#include <gtest/gtest.h>
+
+#include "core/box.hpp"
+#include "discrim/policy.hpp"
+#include "host/host.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+namespace nn::scenario {
+namespace {
+
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+const net::Ipv4Addr kAnn(10, 1, 0, 2);       // AT&T customer
+const net::Ipv4Addr kBen(30, 1, 0, 2);       // Verizon customer
+const net::Ipv4Addr kGoogle(20, 0, 0, 10);   // Cogent customer
+
+crypto::RsaPrivateKey make_identity(std::uint64_t seed) {
+  crypto::ChaChaRng rng(seed);
+  return crypto::rsa_generate(rng, 1024, 3);
+}
+
+TEST(TwoHostileIsps, NeitherTransitSeesTheCustomer) {
+  sim::Engine engine;
+  sim::Network net(engine);
+
+  // ann - att - verizon - box - google  (two hostile ISPs in sequence,
+  // as when Ann's packets transit Verizon to reach Cogent).
+  auto& ann_node = net.add<sim::Host>("ann");
+  auto& att = net.add<sim::Router>("att");
+  auto& verizon = net.add<sim::Router>("verizon");
+  core::NeutralizerConfig ncfg;
+  ncfg.anycast_addr = kAnycast;
+  ncfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  crypto::AesKey root;
+  root.fill(0xD0);
+  auto& box = net.add<core::NeutralizerBox>("box", ncfg, root, 1);
+  auto& google_node = net.add<sim::Host>("google");
+
+  sim::LinkConfig cfg;
+  cfg.propagation = sim::kMillisecond;
+  net.connect(ann_node, att, cfg);
+  net.connect(att, verizon, cfg);
+  net.connect(verizon, box, cfg);
+  net.connect(box, google_node, cfg);
+  net.assign_address(ann_node, kAnn);
+  net.assign_address(google_node, kGoogle);
+  net.assign_address(box, net::Ipv4Addr(20, 0, 255, 1));
+  box.join_service_anycast(net);
+  net.compute_routes();
+
+  static const auto ann_id = make_identity(0x2A1);
+  static const auto google_id = make_identity(0x2A2);
+
+  host::HostConfig acfg;
+  acfg.self = kAnn;
+  host::NeutralizedHost ann(acfg, ann_id,
+                            [&](net::Packet&& p) {
+                              ann_node.transmit(std::move(p));
+                            },
+                            &engine, 71);
+  host::HostConfig gcfg;
+  gcfg.self = kGoogle;
+  gcfg.inside_neutral_domain = true;
+  gcfg.home_anycast = kAnycast;
+  host::NeutralizedHost google(gcfg, google_id,
+                               [&](net::Packet&& p) {
+                                 google_node.transmit(std::move(p));
+                               },
+                               &engine, 72);
+  ann_node.set_handler(
+      [&](net::Packet&& p) { ann.on_packet(std::move(p), engine.now()); });
+  google_node.set_handler(
+      [&](net::Packet&& p) { google.on_packet(std::move(p), engine.now()); });
+  ann.add_peer({kGoogle, kAnycast, google_id.pub});
+  google.add_peer({kAnn, net::Ipv4Addr{}, ann_id.pub});
+
+  std::vector<std::string> got;
+  google.set_app_handler([&](net::Ipv4Addr peer,
+                             std::span<const std::uint8_t> payload,
+                             sim::SimTime now) {
+    got.emplace_back(payload.begin(), payload.end());
+    google.send(peer, {'o', 'k'}, now);
+  });
+  std::vector<std::string> ann_got;
+  ann.set_app_handler([&](net::Ipv4Addr, std::span<const std::uint8_t> p,
+                          sim::SimTime) {
+    ann_got.emplace_back(p.begin(), p.end());
+  });
+
+  auto att_trace = std::make_shared<sim::TracePolicy>();
+  auto vz_trace = std::make_shared<sim::TracePolicy>();
+  att.add_policy(att_trace);
+  verizon.add_policy(vz_trace);
+
+  ann.send(kGoogle, {'x'}, 0);
+  engine.run();
+  ASSERT_EQ(got.size(), 1u);
+  ASSERT_EQ(ann_got.size(), 1u);
+
+  for (const auto* trace : {att_trace.get(), vz_trace.get()}) {
+    ASSERT_FALSE(trace->records().empty());
+    for (const auto& r : trace->records()) {
+      EXPECT_NE(r.src, kGoogle);
+      EXPECT_NE(r.dst, kGoogle);
+    }
+  }
+
+  // Both hostile ISPs trying to target Google have nothing to match —
+  // even combined.
+  discrim::MatchCriteria to_google;
+  to_google.dst_prefix = net::Ipv4Prefix(kGoogle, 32);
+  discrim::MatchCriteria from_google;
+  from_google.src_prefix = net::Ipv4Prefix(kGoogle, 32);
+  for (const auto* trace : {att_trace.get(), vz_trace.get()}) {
+    for (const auto& r : trace->records()) {
+      (void)r;
+    }
+  }
+  EXPECT_EQ(att_trace->total_seen(), vz_trace->total_seen());
+}
+
+TEST(TwoHostileIsps, VerizonCustomerReachableThroughBothPaths) {
+  // Ben (Verizon customer) also reaches Google: the same service key
+  // machinery works regardless of which hostile ISP a source sits in.
+  sim::Engine engine;
+  sim::Network net(engine);
+  auto& ann_node = net.add<sim::Host>("ann");
+  auto& ben_node = net.add<sim::Host>("ben");
+  auto& att = net.add<sim::Router>("att");
+  auto& verizon = net.add<sim::Router>("verizon");
+  core::NeutralizerConfig ncfg;
+  ncfg.anycast_addr = kAnycast;
+  ncfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  crypto::AesKey root;
+  root.fill(0xD0);
+  auto& box = net.add<core::NeutralizerBox>("box", ncfg, root, 1);
+  auto& google_node = net.add<sim::Host>("google");
+  sim::LinkConfig cfg;
+  net.connect(ann_node, att, cfg);
+  net.connect(ben_node, verizon, cfg);
+  net.connect(att, box, cfg);
+  net.connect(verizon, box, cfg);
+  net.connect(box, google_node, cfg);
+  net.assign_address(ann_node, kAnn);
+  net.assign_address(ben_node, kBen);
+  net.assign_address(google_node, kGoogle);
+  net.assign_address(box, net::Ipv4Addr(20, 0, 255, 1));
+  box.join_service_anycast(net);
+  net.compute_routes();
+
+  static const auto ann_id = make_identity(0x2B1);
+  static const auto ben_id = make_identity(0x2B2);
+  static const auto google_id = make_identity(0x2B3);
+
+  auto make_stack = [&](sim::Host& node, const crypto::RsaPrivateKey& id,
+                        std::uint64_t seed) {
+    host::HostConfig hc;
+    hc.self = node.address();
+    auto stack = std::make_unique<host::NeutralizedHost>(
+        hc, id, [&node](net::Packet&& p) { node.transmit(std::move(p)); },
+        &engine, seed);
+    return stack;
+  };
+  auto ann = make_stack(ann_node, ann_id, 81);
+  auto ben = make_stack(ben_node, ben_id, 82);
+  host::HostConfig gcfg;
+  gcfg.self = kGoogle;
+  gcfg.inside_neutral_domain = true;
+  gcfg.home_anycast = kAnycast;
+  host::NeutralizedHost google(gcfg, google_id,
+                               [&](net::Packet&& p) {
+                                 google_node.transmit(std::move(p));
+                               },
+                               &engine, 83);
+  ann_node.set_handler(
+      [&](net::Packet&& p) { ann->on_packet(std::move(p), engine.now()); });
+  ben_node.set_handler(
+      [&](net::Packet&& p) { ben->on_packet(std::move(p), engine.now()); });
+  google_node.set_handler(
+      [&](net::Packet&& p) { google.on_packet(std::move(p), engine.now()); });
+  ann->add_peer({kGoogle, kAnycast, google_id.pub});
+  ben->add_peer({kGoogle, kAnycast, google_id.pub});
+
+  std::vector<std::string> got;
+  google.set_app_handler([&](net::Ipv4Addr, std::span<const std::uint8_t> p,
+                             sim::SimTime) {
+    got.emplace_back(p.begin(), p.end());
+  });
+  ann->send(kGoogle, {'a'}, 0);
+  ben->send(kGoogle, {'b'}, 0);
+  engine.run();
+  ASSERT_EQ(got.size(), 2u);
+  // Two independent sources, two independent keys, one stateless box.
+  EXPECT_EQ(box.service().stats().key_setups, 2u);
+}
+
+}  // namespace
+}  // namespace nn::scenario

@@ -1,0 +1,103 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nn::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+  EXPECT_EQ(e.executed(), 3u);
+}
+
+TEST(Engine, TieBreaksByScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] { order.push_back(1); });
+  e.schedule_at(5, [&] { order.push_back(2); });
+  e.schedule_at(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine e;
+  SimTime fired_at = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_in(50, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Engine, PastSchedulesClampToNow) {
+  Engine e;
+  SimTime fired_at = -1;
+  e.schedule_at(100, [&] {
+    e.schedule_at(10, [&] { fired_at = e.now(); });  // in the past
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Engine, RunUntilStopsAndAdvancesClock) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(100, [&] { ++fired; });
+  e.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 50);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(100);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilOnIdleEngineAdvancesClock) {
+  Engine e;
+  e.run_until(1234);
+  EXPECT_EQ(e.now(), 1234);
+}
+
+TEST(Engine, EventsCanScheduleRecursively) {
+  Engine e;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) e.schedule_in(kMillisecond, tick);
+  };
+  e.schedule_at(0, tick);
+  e.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(e.now(), 9 * kMillisecond);
+}
+
+TEST(Engine, MaxEventsBoundsRun) {
+  Engine e;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    e.schedule_in(1, forever);
+  };
+  e.schedule_at(0, forever);
+  e.run(100);
+  EXPECT_EQ(count, 100);
+}
+
+}  // namespace
+}  // namespace nn::sim

@@ -1,0 +1,103 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+
+namespace nn::sim {
+namespace {
+
+net::Packet make_test_packet(std::size_t payload_size) {
+  std::vector<std::uint8_t> payload(payload_size, 0xAA);
+  return net::make_udp_packet(net::Ipv4Addr(1, 1, 1, 1),
+                              net::Ipv4Addr(2, 2, 2, 2), 1, 2, payload);
+}
+
+TEST(DropTailQueue, FifoOrderAndByteAccounting) {
+  DropTailQueue q(10000);
+  auto a = make_test_packet(10);
+  auto b = make_test_packet(20);
+  EXPECT_TRUE(q.enqueue(net::Packet{a}));
+  EXPECT_TRUE(q.enqueue(net::Packet{b}));
+  EXPECT_EQ(q.packet_count(), 2u);
+  EXPECT_EQ(q.byte_count(), a.size() + b.size());
+  EXPECT_EQ(q.dequeue()->size(), a.size());
+  EXPECT_EQ(q.dequeue()->size(), b.size());
+  EXPECT_FALSE(q.dequeue().has_value());
+  EXPECT_EQ(q.byte_count(), 0u);
+}
+
+TEST(DropTailQueue, DropsWhenFull) {
+  DropTailQueue q(100);
+  EXPECT_TRUE(q.enqueue(make_test_packet(50)));   // 78 bytes
+  EXPECT_FALSE(q.enqueue(make_test_packet(50)));  // would exceed 100
+}
+
+TEST(Link, DeliversAfterSerializationPlusPropagation) {
+  Engine e;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;  // 8 Mbps -> 1 byte per microsecond
+  cfg.propagation = 5 * kMillisecond;
+  SimTime delivered_at = -1;
+  Link link(e, cfg, [&](net::Packet&&) { delivered_at = e.now(); });
+
+  auto pkt = make_test_packet(72);  // 100 bytes total
+  link.send(std::move(pkt));
+  e.run();
+  // 100 bytes at 1 us/byte = 100 us serialization + 5 ms propagation.
+  EXPECT_EQ(delivered_at, 100 * kMicrosecond + 5 * kMillisecond);
+}
+
+TEST(Link, BackToBackPacketsSerializeSequentially) {
+  Engine e;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.propagation = 0;
+  std::vector<SimTime> deliveries;
+  Link link(e, cfg, [&](net::Packet&&) { deliveries.push_back(e.now()); });
+
+  link.send(make_test_packet(72));  // 100B -> 100us
+  link.send(make_test_packet(72));
+  link.send(make_test_packet(72));
+  e.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], 100 * kMicrosecond);
+  EXPECT_EQ(deliveries[1], 200 * kMicrosecond);
+  EXPECT_EQ(deliveries[2], 300 * kMicrosecond);
+  EXPECT_EQ(link.stats().tx_packets, 3u);
+  EXPECT_EQ(link.stats().tx_bytes, 300u);
+}
+
+TEST(Link, QueueOverflowDrops) {
+  Engine e;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e3;  // very slow: 1 ms/byte
+  cfg.propagation = 0;
+  cfg.queue_bytes = 150;  // fits one queued 100B packet
+  int delivered = 0;
+  Link link(e, cfg, [&](net::Packet&&) { ++delivered; });
+
+  link.send(make_test_packet(72));  // transmitting
+  link.send(make_test_packet(72));  // queued
+  link.send(make_test_packet(72));  // dropped (queue full)
+  e.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().dropped_packets, 1u);
+}
+
+TEST(Link, CustomQueueFactoryIsUsed) {
+  Engine e;
+  LinkConfig cfg;
+  cfg.queue_factory = [] { return std::make_unique<DropTailQueue>(0); };
+  cfg.bandwidth_bps = 8e3;
+  int delivered = 0;
+  Link link(e, cfg, [&](net::Packet&&) { ++delivered; });
+  link.send(make_test_packet(10));  // goes straight to transmission
+  link.send(make_test_packet(10));  // zero-capacity queue -> dropped
+  e.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(link.stats().dropped_packets, 1u);
+}
+
+}  // namespace
+}  // namespace nn::sim

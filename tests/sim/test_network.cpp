@@ -1,0 +1,266 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/isp.hpp"
+
+namespace nn::sim {
+namespace {
+
+net::Packet udp_to(net::Ipv4Addr src, net::Ipv4Addr dst,
+                   std::uint8_t ttl = 64) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3};
+  return net::make_udp_packet(src, dst, 1000, 2000, payload,
+                              net::Dscp::kBestEffort, ttl);
+}
+
+/// host -- r1 -- r2 -- server chain fixture.
+class ChainTopology : public ::testing::Test {
+ protected:
+  ChainTopology() : net(engine) {
+    host = &net.add<Host>("host");
+    r1 = &net.add<Router>("r1");
+    r2 = &net.add<Router>("r2");
+    server = &net.add<Host>("server");
+    LinkConfig fast;
+    fast.bandwidth_bps = 1e9;
+    fast.propagation = kMillisecond;
+    net.connect(*host, *r1, fast);
+    net.connect(*r1, *r2, fast);
+    net.connect(*r2, *server, fast);
+    net.assign_address(*host, net::Ipv4Addr(10, 0, 0, 1));
+    net.assign_address(*server, net::Ipv4Addr(10, 0, 0, 2));
+    net.compute_routes();
+  }
+
+  Engine engine;
+  Network net;
+  Host* host;
+  Router* r1;
+  Router* r2;
+  Host* server;
+};
+
+TEST_F(ChainTopology, DeliversAcrossRouters) {
+  int got = 0;
+  server->set_handler([&](net::Packet&& pkt) {
+    ++got;
+    const auto p = net::parse_packet(pkt.view());
+    EXPECT_EQ(p.ip.src, net::Ipv4Addr(10, 0, 0, 1));
+    EXPECT_EQ(p.ip.ttl, 62);  // two router hops decrement twice
+  });
+  host->transmit(udp_to(host->address(), server->address()));
+  engine.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(r1->stats().forwarded, 1u);
+  EXPECT_EQ(r2->stats().forwarded, 1u);
+}
+
+TEST_F(ChainTopology, LatencyIsSumOfLinkDelays) {
+  SimTime arrival = -1;
+  server->set_handler([&](net::Packet&&) { arrival = engine.now(); });
+  host->transmit(udp_to(host->address(), server->address()));
+  engine.run();
+  // 3 links x 1ms propagation + tiny serialization at 1 Gbps.
+  EXPECT_GE(arrival, 3 * kMillisecond);
+  EXPECT_LT(arrival, 3 * kMillisecond + 10 * kMicrosecond);
+}
+
+TEST_F(ChainTopology, TtlExpiryDropsPacket) {
+  int got = 0;
+  server->set_handler([&](net::Packet&&) { ++got; });
+  host->transmit(udp_to(host->address(), server->address(), 2));
+  engine.run();
+  // TTL 2: r1 decrements to 1, r2 sees 1 and drops.
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(r2->stats().ttl_dropped, 1u);
+}
+
+TEST_F(ChainTopology, UnroutableAddressCounted) {
+  host->transmit(udp_to(host->address(), net::Ipv4Addr(99, 9, 9, 9)));
+  engine.run();
+  EXPECT_EQ(net.stats().unroutable_dropped, 1u);
+}
+
+TEST_F(ChainTopology, SelfDeliveryWorks) {
+  int got = 0;
+  host->set_handler([&](net::Packet&&) { ++got; });
+  host->transmit(udp_to(host->address(), host->address()));
+  engine.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net.stats().delivered_local, 1u);
+}
+
+TEST_F(ChainTopology, PolicyDropsMatchingPackets) {
+  struct DropAll : TransitPolicy {
+    PolicyDecision process(const net::Packet&, SimTime) override {
+      return PolicyDecision::dropped();
+    }
+  };
+  r1->add_policy(std::make_shared<DropAll>());
+  int got = 0;
+  server->set_handler([&](net::Packet&&) { ++got; });
+  host->transmit(udp_to(host->address(), server->address()));
+  engine.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(r1->stats().policy_dropped, 1u);
+}
+
+TEST_F(ChainTopology, PolicyDelayAddsLatency) {
+  struct Delay10ms : TransitPolicy {
+    PolicyDecision process(const net::Packet&, SimTime) override {
+      return PolicyDecision::delayed(10 * kMillisecond);
+    }
+  };
+  r1->add_policy(std::make_shared<Delay10ms>());
+  SimTime arrival = -1;
+  server->set_handler([&](net::Packet&&) { arrival = engine.now(); });
+  host->transmit(udp_to(host->address(), server->address()));
+  engine.run();
+  EXPECT_GE(arrival, 13 * kMillisecond);
+}
+
+TEST(Network, PrefixRoutingLongestMatchWins) {
+  Engine engine;
+  Network net(engine);
+  auto& a = net.add<Host>("a");
+  auto& coarse = net.add<Host>("coarse");
+  auto& fine = net.add<Host>("fine");
+  LinkConfig cfg;
+  net.connect(a, coarse, cfg);
+  net.connect(a, fine, cfg);
+  net.assign_address(a, net::Ipv4Addr(1, 1, 1, 1));
+  net.assign_prefix(coarse, net::Ipv4Prefix::from_string("10.0.0.0/8"));
+  net.assign_prefix(fine, net::Ipv4Prefix::from_string("10.1.0.0/16"));
+  net.compute_routes();
+
+  int got_coarse = 0, got_fine = 0;
+  coarse.set_handler([&](net::Packet&&) { ++got_coarse; });
+  fine.set_handler([&](net::Packet&&) { ++got_fine; });
+
+  a.transmit(udp_to(a.address(), net::Ipv4Addr(10, 1, 2, 3)));  // fine
+  a.transmit(udp_to(a.address(), net::Ipv4Addr(10, 9, 9, 9)));  // coarse
+  engine.run();
+  EXPECT_EQ(got_fine, 1);
+  EXPECT_EQ(got_coarse, 1);
+}
+
+TEST(Network, AnycastPicksNearestMember) {
+  // a -- m1, a -- r -- m2: m1 is 1 hop, m2 is 2 hops.
+  Engine engine;
+  Network net(engine);
+  auto& a = net.add<Host>("a");
+  auto& m1 = net.add<Host>("m1");
+  auto& r = net.add<Router>("r");
+  auto& m2 = net.add<Host>("m2");
+  LinkConfig cfg;
+  net.connect(a, m1, cfg);
+  net.connect(a, r, cfg);
+  net.connect(r, m2, cfg);
+  net.assign_address(a, net::Ipv4Addr(1, 0, 0, 1));
+  const net::Ipv4Addr group(200, 0, 0, 1);
+  net.join_anycast(m1, group);
+  net.join_anycast(m2, group);
+  net.compute_routes();
+
+  int got1 = 0, got2 = 0;
+  m1.set_handler([&](net::Packet&&) { ++got1; });
+  m2.set_handler([&](net::Packet&&) { ++got2; });
+  a.transmit(udp_to(a.address(), group));
+  engine.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 0);
+  EXPECT_EQ(net.hop_distance(a.id(), m1.id()), 1u);
+  EXPECT_EQ(net.hop_distance(a.id(), m2.id()), 2u);
+}
+
+TEST(Network, AnycastFailoverByTopology) {
+  // When the near member is behind a longer path, the other wins.
+  Engine engine;
+  Network net(engine);
+  auto& a = net.add<Host>("a");
+  auto& r1 = net.add<Router>("r1");
+  auto& r2 = net.add<Router>("r2");
+  auto& m1 = net.add<Host>("m1");
+  auto& m2 = net.add<Host>("m2");
+  LinkConfig cfg;
+  net.connect(a, r1, cfg);
+  net.connect(r1, r2, cfg);
+  net.connect(r2, m1, cfg);  // m1: 3 hops
+  net.connect(r1, m2, cfg);  // m2: 2 hops
+  net.assign_address(a, net::Ipv4Addr(1, 0, 0, 1));
+  const net::Ipv4Addr group(200, 0, 0, 1);
+  net.join_anycast(m1, group);
+  net.join_anycast(m2, group);
+  net.compute_routes();
+
+  int got1 = 0, got2 = 0;
+  m1.set_handler([&](net::Packet&&) { ++got1; });
+  m2.set_handler([&](net::Packet&&) { ++got2; });
+  a.transmit(udp_to(a.address(), group));
+  engine.run();
+  EXPECT_EQ(got1, 0);
+  EXPECT_EQ(got2, 1);
+}
+
+TEST(Network, DuplicateAddressAssignmentThrows) {
+  Engine engine;
+  Network net(engine);
+  auto& a = net.add<Host>("a");
+  auto& b = net.add<Host>("b");
+  net.assign_address(a, net::Ipv4Addr(1, 1, 1, 1));
+  EXPECT_THROW(net.assign_address(b, net::Ipv4Addr(1, 1, 1, 1)),
+               std::invalid_argument);
+}
+
+TEST(Network, SendBeforeRoutesThrows) {
+  Engine engine;
+  Network net(engine);
+  auto& a = net.add<Host>("a");
+  net.assign_address(a, net::Ipv4Addr(1, 1, 1, 1));
+  EXPECT_THROW(a.transmit(udp_to(a.address(), net::Ipv4Addr(2, 2, 2, 2))),
+               std::logic_error);
+}
+
+TEST(Isp, PolicyAppliesToAllRouters) {
+  Engine engine;
+  Network net(engine);
+  auto& h = net.add<Host>("h");
+  auto& r1 = net.add<Router>("r1");
+  auto& r2 = net.add<Router>("r2");
+  auto& s = net.add<Host>("s");
+  LinkConfig cfg;
+  net.connect(h, r1, cfg);
+  net.connect(r1, r2, cfg);
+  net.connect(r2, s, cfg);
+  net.assign_address(h, net::Ipv4Addr(10, 0, 0, 1));
+  net.assign_address(s, net::Ipv4Addr(10, 0, 0, 2));
+  net.compute_routes();
+
+  Isp isp("TestISP", net::Ipv4Prefix::from_string("10.0.0.0/24"));
+  isp.add_router(r1);
+  isp.add_router(r2);
+  EXPECT_TRUE(isp.is_customer(net::Ipv4Addr(10, 0, 0, 7)));
+  EXPECT_FALSE(isp.is_customer(net::Ipv4Addr(10, 0, 1, 7)));
+
+  struct DropAll : TransitPolicy {
+    PolicyDecision process(const net::Packet&, SimTime) override {
+      return PolicyDecision::dropped();
+    }
+  };
+  isp.apply_policy(std::make_shared<DropAll>());
+  int got = 0;
+  s.set_handler([&](net::Packet&&) { ++got; });
+  h.transmit(udp_to(h.address(), s.address()));
+  engine.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(r1.stats().policy_dropped + r2.stats().policy_dropped, 1u);
+
+  isp.clear_policies();
+  h.transmit(udp_to(h.address(), s.address()));
+  engine.run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace nn::sim

@@ -1,0 +1,109 @@
+// System-level properties of the simulator: determinism (identical
+// seeds give bit-identical outcomes) and conservation (every packet is
+// accounted for as delivered or dropped somewhere).
+#include <gtest/gtest.h>
+
+#include "discrim/policy.hpp"
+#include "scenario/fig1.hpp"
+
+namespace nn::sim {
+namespace {
+
+scenario::Fig1::FlowResult run_once() {
+  scenario::Fig1 fig;
+  auto policy =
+      std::make_shared<discrim::DiscriminationPolicy>("det-test", 99);
+  policy->add_rule("degrade",
+                   discrim::MatchCriteria::against_destination(
+                       net::Ipv4Prefix(scenario::kVonageAddr, 32)),
+                   discrim::DiscriminationAction::degrade(0.3, kMillisecond));
+  fig.att->apply_policy(policy);
+  return fig.run_voip(scenario::VoipMode::kNeutralized, fig.ann, fig.vonage,
+                      1, 50, kSecond, 3 * kSecond);
+}
+
+TEST(SimProperties, IdenticalSeedsGiveIdenticalOutcomes) {
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_DOUBLE_EQ(a.p95_latency_ms, b.p95_latency_ms);
+  EXPECT_DOUBLE_EQ(a.loss, b.loss);
+}
+
+TEST(SimProperties, PacketConservationUnderOverload) {
+  // Feed more than a link can carry; every packet must be delivered,
+  // queued-then-delivered, or counted as a drop. Nothing vanishes.
+  Engine engine;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 1e6;
+  cfg.propagation = kMillisecond;
+  cfg.queue_bytes = 10 * 1024;
+  std::uint64_t delivered = 0;
+  Link link(engine, cfg, [&](net::Packet&&) { ++delivered; });
+
+  const int kSent = 2000;
+  for (int i = 0; i < kSent; ++i) {
+    engine.schedule_at(i * 100 * kMicrosecond, [&] {
+      link.send(net::make_udp_packet(net::Ipv4Addr(1, 1, 1, 1),
+                                     net::Ipv4Addr(2, 2, 2, 2), 1, 2,
+                                     std::vector<std::uint8_t>(472, 0)));
+    });
+  }
+  engine.run();
+  EXPECT_EQ(delivered + link.stats().dropped_packets,
+            static_cast<std::uint64_t>(kSent));
+  EXPECT_GT(link.stats().dropped_packets, 0u);  // it really was overloaded
+  EXPECT_EQ(link.stats().tx_packets, delivered);
+}
+
+TEST(SimProperties, RouterAccountingIsComplete) {
+  // host -> router -> sink with a probabilistically dropping policy:
+  // forwarded + policy_dropped must equal what the router received.
+  Engine engine;
+  Network net(engine);
+  auto& src = net.add<Host>("src");
+  auto& router = net.add<Router>("r");
+  auto& dst = net.add<Host>("dst");
+  LinkConfig cfg;
+  net.connect(src, router, cfg);
+  net.connect(router, dst, cfg);
+  net.assign_address(src, net::Ipv4Addr(1, 0, 0, 1));
+  net.assign_address(dst, net::Ipv4Addr(1, 0, 0, 2));
+  net.compute_routes();
+
+  auto policy = std::make_shared<discrim::DiscriminationPolicy>("half", 5);
+  policy->add_rule("coin", discrim::MatchCriteria{},
+                   discrim::DiscriminationAction::degrade(0.5, 0));
+  router.add_policy(policy);
+
+  const int kSent = 1000;
+  for (int i = 0; i < kSent; ++i) {
+    engine.schedule_at(i * kMillisecond, [&] {
+      src.transmit(net::make_udp_packet(src.address(), dst.address(), 1, 2,
+                                        std::vector<std::uint8_t>(32, 0)));
+    });
+  }
+  engine.run();
+  const auto& rs = router.stats();
+  EXPECT_EQ(rs.forwarded + rs.policy_dropped,
+            static_cast<std::uint64_t>(kSent));
+  EXPECT_EQ(dst.received_packets(), rs.forwarded);
+  EXPECT_NEAR(static_cast<double>(rs.policy_dropped), 500.0, 80.0);
+}
+
+TEST(SimProperties, NeutralizerConservation) {
+  // Everything entering the neutralizer is forwarded, returned,
+  // answered, or rejected — never silently lost.
+  scenario::Fig1 fig;
+  fig.run_voip(scenario::VoipMode::kNeutralized, fig.ann, fig.google, 1, 100,
+               kSecond, 3 * kSecond);
+  const auto& s = fig.box->service().stats();
+  const auto& consumed = fig.box->stats().consumed;
+  EXPECT_EQ(s.key_setups + s.key_leases + s.data_forwarded + s.data_returned +
+                s.rejected,
+            consumed);
+}
+
+}  // namespace
+}  // namespace nn::sim

@@ -1,0 +1,70 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/shim.hpp"
+
+namespace nn::sim {
+namespace {
+
+net::Packet udp_pkt() {
+  return net::make_udp_packet(net::Ipv4Addr(1, 2, 3, 4),
+                              net::Ipv4Addr(5, 6, 7, 8), 10, 20,
+                              std::vector<std::uint8_t>(16, 0));
+}
+
+net::Packet shim_pkt() {
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kDataForward;
+  shim.nonce = 0xABCD;
+  shim.inner_addr = 1;
+  return net::make_shim_packet(net::Ipv4Addr(1, 2, 3, 4),
+                               net::Ipv4Addr(200, 0, 0, 1), shim,
+                               std::vector<std::uint8_t>(8, 0));
+}
+
+TEST(TracePolicy, RecordsHeadersAndForwards) {
+  TracePolicy trace;
+  const auto d = trace.process(udp_pkt(), 5 * kMillisecond);
+  EXPECT_FALSE(d.drop);
+  EXPECT_EQ(d.extra_delay, 0);
+  ASSERT_EQ(trace.records().size(), 1u);
+  const auto& r = trace.records()[0];
+  EXPECT_EQ(r.src, net::Ipv4Addr(1, 2, 3, 4));
+  EXPECT_EQ(r.dst, net::Ipv4Addr(5, 6, 7, 8));
+  EXPECT_EQ(r.protocol, 17);
+  EXPECT_FALSE(r.is_shim);
+}
+
+TEST(TracePolicy, DecodesShimDetails) {
+  TracePolicy trace;
+  (void)trace.process(shim_pkt(), 0);
+  ASSERT_EQ(trace.records().size(), 1u);
+  const auto& r = trace.records()[0];
+  EXPECT_TRUE(r.is_shim);
+  EXPECT_EQ(r.shim_type, static_cast<std::uint8_t>(net::ShimType::kDataForward));
+  EXPECT_EQ(r.nonce, 0xABCDu);
+  EXPECT_NE(r.to_string().find("DATA_FWD"), std::string::npos);
+  EXPECT_NE(r.to_string().find("1.2.3.4"), std::string::npos);
+}
+
+TEST(TracePolicy, BoundsMemoryButKeepsCounting) {
+  TracePolicy trace(3);
+  for (int i = 0; i < 10; ++i) (void)trace.process(udp_pkt(), i);
+  EXPECT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.total_seen(), 10u);
+}
+
+TEST(TracePolicy, DumpAndClear) {
+  TracePolicy trace;
+  (void)trace.process(udp_pkt(), 0);
+  (void)trace.process(shim_pkt(), kMillisecond);
+  const auto dump = trace.dump();
+  EXPECT_NE(dump.find("proto=17"), std::string::npos);
+  EXPECT_NE(dump.find("DATA_FWD"), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+}
+
+}  // namespace
+}  // namespace nn::sim

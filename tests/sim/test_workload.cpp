@@ -1,0 +1,146 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn::sim {
+namespace {
+
+TEST(AppHeader, RoundTrip) {
+  AppHeader h;
+  h.flow_id = 7;
+  h.seq = 1234;
+  h.sent_at = 5 * kSecond;
+  const auto payload = h.build_payload(160);
+  EXPECT_EQ(payload.size(), 160u);
+  const auto parsed = AppHeader::parse(payload);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->flow_id, 7);
+  EXPECT_EQ(parsed->seq, 1234u);
+  EXPECT_EQ(parsed->sent_at, 5 * kSecond);
+}
+
+TEST(AppHeader, MinimumSizeEnforced) {
+  AppHeader h;
+  EXPECT_EQ(h.build_payload(4).size(), AppHeader::kSize);
+}
+
+TEST(AppHeader, ParseRejectsGarbage) {
+  EXPECT_FALSE(AppHeader::parse(std::vector<std::uint8_t>{1, 2, 3}).has_value());
+  std::vector<std::uint8_t> wrong_magic(16, 0);
+  EXPECT_FALSE(AppHeader::parse(wrong_magic).has_value());
+}
+
+TEST(TrafficSource, CbrSendsExpectedCount) {
+  Engine e;
+  TrafficSource::Config cfg;
+  cfg.flow_id = 1;
+  cfg.packets_per_second = 100;
+  cfg.start = 0;
+  cfg.stop = 1 * kSecond;
+  int sent = 0;
+  TrafficSource src(e, cfg, [&](std::vector<std::uint8_t>&&) { ++sent; });
+  src.start();
+  e.run();
+  EXPECT_EQ(sent, 100);
+}
+
+TEST(TrafficSource, CbrIsEvenlySpaced) {
+  Engine e;
+  TrafficSource::Config cfg;
+  cfg.packets_per_second = 50;  // 20 ms
+  cfg.stop = kSecond;
+  std::vector<SimTime> times;
+  TrafficSource src(e, cfg,
+                    [&](std::vector<std::uint8_t>&&) { times.push_back(e.now()); });
+  src.start();
+  e.run();
+  ASSERT_GE(times.size(), 2u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_EQ(times[i] - times[i - 1], 20 * kMillisecond);
+  }
+}
+
+TEST(TrafficSource, PoissonApproximatesRate) {
+  Engine e;
+  TrafficSource::Config cfg;
+  cfg.packets_per_second = 200;
+  cfg.stop = 10 * kSecond;
+  cfg.poisson = true;
+  cfg.seed = 42;
+  int sent = 0;
+  TrafficSource src(e, cfg, [&](std::vector<std::uint8_t>&&) { ++sent; });
+  src.start();
+  e.run();
+  EXPECT_NEAR(sent, 2000, 200);  // ~3 sigma
+}
+
+TEST(TrafficSource, SequenceNumbersIncrease) {
+  Engine e;
+  TrafficSource::Config cfg;
+  cfg.packets_per_second = 10;
+  cfg.stop = kSecond;
+  std::uint32_t expected = 0;
+  TrafficSource src(e, cfg, [&](std::vector<std::uint8_t>&& p) {
+    const auto h = AppHeader::parse(p);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->seq, expected++);
+  });
+  src.start();
+  e.run();
+}
+
+TEST(FlowSink, ComputesLatencyAndLoss) {
+  FlowSink sink;
+  // Deliver seqs 0,1,3 (2 lost) with 10 ms latency.
+  for (std::uint32_t seq : {0u, 1u, 3u}) {
+    AppHeader h;
+    h.flow_id = 5;
+    h.seq = seq;
+    h.sent_at = 0;
+    sink.on_payload(h.build_payload(64), 10 * kMillisecond);
+  }
+  const auto& stats = sink.flow(5);
+  EXPECT_EQ(stats.received, 3u);
+  EXPECT_EQ(stats.max_seq_seen, 3u);
+  EXPECT_NEAR(stats.loss_rate(), 0.25, 1e-9);
+  EXPECT_NEAR(stats.latency_ms.mean(), 10.0, 1e-9);
+}
+
+TEST(FlowSink, UnknownFlowIsEmpty) {
+  FlowSink sink;
+  EXPECT_EQ(sink.flow(99).received, 0u);
+  EXPECT_EQ(sink.flow(99).loss_rate(), 0.0);
+  EXPECT_FALSE(sink.has_flow(99));
+}
+
+TEST(FlowSink, IgnoresNonAppPayloads) {
+  FlowSink sink;
+  sink.on_payload(std::vector<std::uint8_t>{1, 2, 3, 4}, 0);
+  EXPECT_EQ(sink.total_received(), 0u);
+}
+
+TEST(EstimateMos, PerfectConditionsNearToll) {
+  const double mos = estimate_mos(10.0, 0.0);
+  EXPECT_GT(mos, 4.3);
+  EXPECT_LE(mos, 5.0);
+}
+
+TEST(EstimateMos, DegradesWithLatency) {
+  EXPECT_GT(estimate_mos(20, 0), estimate_mos(150, 0));
+  EXPECT_GT(estimate_mos(150, 0), estimate_mos(400, 0));
+}
+
+TEST(EstimateMos, DegradesWithLoss) {
+  EXPECT_GT(estimate_mos(20, 0.0), estimate_mos(20, 0.02));
+  EXPECT_GT(estimate_mos(20, 0.02), estimate_mos(20, 0.10));
+  // Heavy loss is unusable regardless of latency.
+  EXPECT_LT(estimate_mos(20, 0.30), 2.5);
+}
+
+TEST(EstimateMos, ClampedToValidRange) {
+  EXPECT_GE(estimate_mos(10000, 1.0), 1.0);
+  EXPECT_LE(estimate_mos(0, 0.0), 5.0);
+}
+
+}  // namespace
+}  // namespace nn::sim

@@ -1,0 +1,95 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn {
+namespace {
+
+TEST(ByteWriter, WritesBigEndianIntegers) {
+  ByteWriter w;
+  w.u8(0xAB).u16(0x1234).u32(0xDEADBEEF).u64(0x0102030405060708ULL);
+  const auto bytes = w.take();
+  const std::vector<std::uint8_t> expected = {
+      0xAB, 0x12, 0x34, 0xDE, 0xAD, 0xBE, 0xEF,
+      0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  ByteWriter w;
+  w.u8(7).u16(65535).u32(123456789).u64(0xFFFFFFFFFFFFFFFFULL);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 123456789u);
+  EXPECT_EQ(r.u64(), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ThrowsOnTruncatedInput) {
+  const std::vector<std::uint8_t> three = {1, 2, 3};
+  ByteReader r(three);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_THROW(r.u16(), ParseError);
+}
+
+TEST(ByteReader, TakeAndRest) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  ByteReader r(data);
+  auto head = r.take(2);
+  EXPECT_EQ(head[0], 1);
+  EXPECT_EQ(head[1], 2);
+  auto rest = r.rest();
+  ASSERT_EQ(rest.size(), 3u);
+  EXPECT_EQ(rest[0], 3);
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(ByteReader, SkipAdvances) {
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  ByteReader r(data);
+  r.skip(3);
+  EXPECT_EQ(r.u8(), 4);
+  EXPECT_THROW(r.skip(1), ParseError);
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.u16(0).u32(0xAABBCCDD);
+  w.patch_u16(0, 0xBEEF);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes[0], 0xBE);
+  EXPECT_EQ(bytes[1], 0xEF);
+}
+
+TEST(ByteWriter, PatchOutOfRangeThrows) {
+  ByteWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 5), std::out_of_range);
+}
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), data);
+  EXPECT_EQ(from_hex("0001ABFF7E"), data);
+}
+
+TEST(Hex, RejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), ParseError);
+  EXPECT_THROW(from_hex("zz"), ParseError);
+}
+
+TEST(CtEqual, ComparesCorrectly) {
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {1, 2, 3};
+  const std::vector<std::uint8_t> c = {1, 2, 4};
+  const std::vector<std::uint8_t> d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+}
+
+}  // namespace
+}  // namespace nn

@@ -1,0 +1,82 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nn {
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= a.next_u64() != b.next_u64();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SplitMix64, KnownFirstOutput) {
+  // Reference value for SplitMix64 seeded with 0 (Vigna's reference code).
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng.next_u64(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Rng, FillCoversBuffer) {
+  SplitMix64 rng(7);
+  std::vector<std::uint8_t> buf(37, 0);
+  rng.fill(buf);
+  // With 37 random bytes the chance they are all zero is negligible.
+  bool any_nonzero = false;
+  for (auto b : buf) any_nonzero |= b != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBound1AlwaysZero) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  SplitMix64 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values should appear in 200 draws
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRoughlyCorrectMean) {
+  SplitMix64 rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.25);
+}
+
+}  // namespace
+}  // namespace nn

@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nn {
+namespace {
+
+TEST(OnlineStats, Empty) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Histogram, PercentilesOnKnownData) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_NEAR(h.median(), 50.5, 1e-9);
+  EXPECT_NEAR(h.p95(), 95.05, 1e-9);
+  EXPECT_NEAR(h.mean(), 50.5, 1e-9);
+}
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(50), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSample) {
+  Histogram h;
+  h.add(42.0);
+  EXPECT_DOUBLE_EQ(h.median(), 42.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 42.0);
+}
+
+TEST(Histogram, AddAfterQueryStillSorts) {
+  Histogram h;
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.median(), 5.0);
+  h.add(1.0);
+  h.add(9.0);
+  EXPECT_DOUBLE_EQ(h.median(), 5.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+}
+
+TEST(Histogram, SummaryMentionsCount) {
+  Histogram h;
+  h.add(1.0);
+  h.add(2.0);
+  EXPECT_NE(h.summary().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nn
