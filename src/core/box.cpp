@@ -1,5 +1,7 @@
 #include "core/box.hpp"
 
+#include <algorithm>
+
 #include "net/shim.hpp"
 
 namespace nn::core {
@@ -18,22 +20,54 @@ void NeutralizerBox::consume(net::Packet&& pkt) {
       return;
     }
   }
-  // Charge the configured service time before the result leaves.
-  sim::SimTime cost = costs_.data_path;
-  if (pkt.size() > net::kIpv4HeaderSize &&
-      pkt.bytes[net::kIpv4HeaderSize] ==
-          static_cast<std::uint8_t>(net::ShimType::kKeySetup)) {
-    cost = costs_.key_setup;
+
+  if (batch_drain_) {
+    // Park the packet; every arrival in this simulated instant joins
+    // the same batch, drained once the instant's deliveries are done.
+    pending_.push_back(std::move(pkt));
+    if (pending_.size() == 1) {
+      network().engine().defer([this] { drain_pending(); });
+    }
+    return;
   }
 
   auto result = service_.process(std::move(pkt), network().now());
-  if (!result.has_value()) return;
+  if (result.has_value()) emit(std::move(*result));
+}
 
+void NeutralizerBox::drain_pending() {
+  if (pending_.empty()) return;
+  batch_stats_.batches += 1;
+  batch_stats_.batched_packets += pending_.size();
+  batch_stats_.max_batch =
+      std::max<std::uint64_t>(batch_stats_.max_batch, pending_.size());
+  const std::size_t survivors = service_.process_batch(
+      {pending_.data(), pending_.size()}, network().now(), &arena_);
+  for (std::size_t i = 0; i < survivors; ++i) {
+    emit(std::move(pending_[i]));
+  }
+  pending_.clear();
+}
+
+void NeutralizerBox::emit(net::Packet&& pkt) {
+  // Charge the configured service time before the result leaves. The
+  // cost class is read off the *emitted* packet: only a key setup
+  // produces a kKeySetupResponse (or an offloaded kKeySetup), so this
+  // matches charging by input type while surviving batch compaction.
+  sim::SimTime cost = costs_.data_path;
+  if (pkt.size() > net::kIpv4HeaderSize) {
+    const auto type =
+        static_cast<net::ShimType>(pkt.bytes[net::kIpv4HeaderSize]);
+    if (type == net::ShimType::kKeySetup ||
+        type == net::ShimType::kKeySetupResponse) {
+      cost = costs_.key_setup;
+    }
+  }
   if (cost > 0) {
     network().engine().schedule_in(
-        cost, [this, p = std::move(*result)]() mutable { send(std::move(p)); });
+        cost, [this, p = std::move(pkt)]() mutable { send(std::move(p)); });
   } else {
-    send(std::move(*result));
+    send(std::move(pkt));
   }
 }
 

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/neutralizer.hpp"
+#include "net/arena.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
 
@@ -22,6 +24,12 @@ struct BoxCosts {
   sim::SimTime data_path = 0;
 };
 
+struct BoxBatchStats {
+  std::uint64_t batches = 0;
+  std::uint64_t batched_packets = 0;
+  std::uint64_t max_batch = 0;
+};
+
 class NeutralizerBox final : public sim::Router {
  public:
   NeutralizerBox(std::string name, const NeutralizerConfig& config,
@@ -33,6 +41,19 @@ class NeutralizerBox final : public sim::Router {
 
   [[nodiscard]] const Neutralizer& service() const noexcept {
     return service_;
+  }
+  /// Opt-in batch drain: instead of running the service once per
+  /// delivery event, arrivals are parked and the whole burst is drained
+  /// through Neutralizer::process_batch at the end of the simulated
+  /// instant (Engine::defer), with dropped buffers recycled through the
+  /// box arena. Same packets out, amortized key derivation.
+  void set_batch_drain(bool enabled) noexcept { batch_drain_ = enabled; }
+  [[nodiscard]] bool batch_drain() const noexcept { return batch_drain_; }
+  [[nodiscard]] const BoxBatchStats& batch_stats() const noexcept {
+    return batch_stats_;
+  }
+  [[nodiscard]] const net::PacketArena& arena() const noexcept {
+    return arena_;
   }
   [[nodiscard]] net::Ipv4Addr anycast_addr() const noexcept {
     return service_.config().anycast_addr;
@@ -59,6 +80,13 @@ class NeutralizerBox final : public sim::Router {
  private:
   Neutralizer service_;
   BoxCosts costs_;
+  bool batch_drain_ = false;
+  std::vector<net::Packet> pending_;
+  net::PacketArena arena_;
+  BoxBatchStats batch_stats_;
+
+  void drain_pending();
+  void emit(net::Packet&& pkt);
 };
 
 }  // namespace nn::core

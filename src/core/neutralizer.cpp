@@ -32,24 +32,94 @@ const crypto::Cmac& Neutralizer::keyed_master(
   if (const auto it = cmac_cache_.find(epoch); it != cmac_cache_.end()) {
     return it->second;
   }
-  if (cmac_cache_.size() > 4) cmac_cache_.clear();  // stale epochs
+  // Evict only epochs outside the grace window around the one being
+  // admitted (admission is already window-checked, so anything further
+  // than one epoch away is stale). Never wholesale-clear: BatchKeyCache
+  // holds pointers to the in-window entries across a batch, and
+  // unordered_map guarantees reference stability for everything but
+  // the erased nodes.
+  for (auto it = cmac_cache_.begin(); it != cmac_cache_.end();) {
+    const int distance = static_cast<int>(it->first) - static_cast<int>(epoch);
+    if (distance < -1 || distance > 1) {
+      it = cmac_cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   return cmac_cache_.emplace(epoch, crypto::Cmac(km)).first->second;
 }
 
 std::optional<crypto::AesKey> Neutralizer::session_key(
     std::uint16_t epoch, std::uint8_t flags, std::uint64_t nonce,
-    net::Ipv4Addr outside_addr, sim::SimTime now) const {
-  const auto km = keys_.key_for_epoch(epoch, now);
-  if (!km.has_value()) return std::nullopt;
-  const crypto::Cmac& keyed = keyed_master(epoch, *km);
-  if (flags & ShimFlags::kLeaseKey) {
-    return crypto::derive_lease_key(keyed, nonce);
+    net::Ipv4Addr outside_addr, sim::SimTime now,
+    BatchKeyCache& cache) const {
+  const crypto::Cmac* keyed = nullptr;
+  BatchKeyCache::Slot* slot = nullptr;
+  for (auto& s : cache.slots) {
+    if (s.used && s.epoch == epoch) {
+      keyed = s.keyed;
+      break;
+    }
+    if (slot == nullptr && !s.used) slot = &s;
   }
-  return crypto::derive_source_key(keyed, nonce, outside_addr.value());
+  if (keyed == nullptr) {
+    for (const auto& r : cache.rejected) {
+      if (r == epoch) return std::nullopt;  // memoized rejection
+    }
+    const auto km = keys_.key_for_epoch(epoch, now);
+    if (!km.has_value()) {
+      // Remember the bad epoch (round-robin, separate from the
+      // positive slots) so a flood of stale packets costs one window
+      // check per distinct epoch instead of one per packet.
+      cache.rejected[cache.next_reject++ % cache.rejected.size()] = epoch;
+      return std::nullopt;
+    }
+    keyed = &keyed_master(epoch, *km);
+    if (slot != nullptr) *slot = {epoch, keyed, true};
+  }
+  if (flags & ShimFlags::kLeaseKey) {
+    return crypto::derive_lease_key(*keyed, nonce);
+  }
+  return crypto::derive_source_key(*keyed, nonce, outside_addr.value());
+}
+
+const std::pair<std::uint16_t, crypto::AesKey>& Neutralizer::minting_key(
+    sim::SimTime now, BatchKeyCache& cache) const {
+  if (!cache.current.has_value()) {
+    cache.current.emplace(keys_.epoch_at(now), keys_.current_key(now));
+  }
+  return *cache.current;
 }
 
 std::optional<net::Packet> Neutralizer::process(net::Packet&& pkt,
                                                 sim::SimTime now) {
+  // A fresh single-packet cache keeps the scalar and batched paths on
+  // the same code while batching amortizes it across the whole span.
+  BatchKeyCache cache;
+  return process_one(std::move(pkt), now, cache);
+}
+
+std::size_t Neutralizer::process_batch(std::span<net::Packet> batch,
+                                       sim::SimTime now,
+                                       net::PacketArena* arena) {
+  BatchKeyCache cache;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    auto out = process_one(std::move(batch[i]), now, cache);
+    // The data path hands the input buffer back through `out`; control
+    // packets and drops leave it (or its remains) in the slot. Recycle
+    // whatever is left before the slot is overwritten or abandoned.
+    if (arena != nullptr) arena->release(std::move(batch[i]));
+    if (out.has_value()) {
+      batch[count++] = *std::move(out);
+    }
+  }
+  return count;
+}
+
+std::optional<net::Packet> Neutralizer::process_one(net::Packet&& pkt,
+                                                    sim::SimTime now,
+                                                    BatchKeyCache& cache) {
   ShimType type;
   try {
     const ShimPacketView view(pkt.mutable_view());
@@ -61,9 +131,9 @@ std::optional<net::Packet> Neutralizer::process(net::Packet&& pkt,
 
   switch (type) {
     case ShimType::kDataForward:
-      return handle_data_forward(std::move(pkt), now);
+      return handle_data_forward(std::move(pkt), now, cache);
     case ShimType::kDataReturn:
-      return handle_data_return(std::move(pkt), now);
+      return handle_data_return(std::move(pkt), now, cache);
     case ShimType::kKeySetup:
     case ShimType::kKeyLease: {
       // Control packets are parsed fully (payload included).
@@ -74,8 +144,9 @@ std::optional<net::Packet> Neutralizer::process(net::Packet&& pkt,
         ++stats_.rejected;
         return std::nullopt;
       }
-      return type == ShimType::kKeySetup ? handle_key_setup(parsed, now)
-                                         : handle_key_lease(parsed, now);
+      return type == ShimType::kKeySetup
+                 ? handle_key_setup(parsed, now, cache)
+                 : handle_key_lease(parsed, now, cache);
     }
     case ShimType::kDynAddrRequest: {
       net::ParsedPacket parsed;
@@ -148,7 +219,7 @@ std::optional<net::Packet> Neutralizer::translate_dynamic(net::Packet&& pkt) {
 }
 
 std::optional<net::Packet> Neutralizer::handle_key_setup(
-    const net::ParsedPacket& p, sim::SimTime now) {
+    const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache) {
   if (setup_limiter_.has_value() && !setup_limiter_->try_consume(1, now)) {
     ++stats_.setup_rate_limited;  // shed before any RSA work
     return std::nullopt;
@@ -164,10 +235,9 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
   // Mint the symmetric key. It is never stored: any replica recomputes
   // it from (epoch, nonce, srcIP) when data packets arrive.
   const std::uint64_t nonce = rng_.next_u64();
-  const std::uint16_t epoch = keys_.epoch_at(now);
+  const auto& [epoch, km] = minting_key(now, cache);
   const crypto::AesKey ks =
-      crypto::derive_source_key(keys_.current_key(now), nonce,
-                                p.ip.src.value());
+      crypto::derive_source_key(km, nonce, p.ip.src.value());
 
   if (config_.offload_enabled && !config_.offload_helper.is_unspecified()) {
     // §3.2 offload: hand (nonce, Ks) and the source's public key to a
@@ -208,15 +278,14 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
 }
 
 std::optional<net::Packet> Neutralizer::handle_key_lease(
-    const net::ParsedPacket& p, sim::SimTime now) {
+    const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache) {
   if (!config_.customer_space.contains(p.ip.src)) {
     ++stats_.rejected;  // leases are a courtesy to our own customers
     return std::nullopt;
   }
   const std::uint64_t nonce = rng_.next_u64();
-  const std::uint16_t epoch = keys_.epoch_at(now);
-  const crypto::AesKey ks =
-      crypto::derive_lease_key(keys_.current_key(now), nonce);
+  const auto& [epoch, km] = minting_key(now, cache);
+  const crypto::AesKey ks = crypto::derive_lease_key(km, nonce);
 
   ByteWriter msg(24);
   msg.u64(nonce);
@@ -233,10 +302,10 @@ std::optional<net::Packet> Neutralizer::handle_key_lease(
 }
 
 std::optional<net::Packet> Neutralizer::handle_data_forward(
-    net::Packet&& pkt, sim::SimTime now) {
+    net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache) {
   ShimPacketView view(pkt.mutable_view());
   const auto ks = session_key(view.key_epoch(), view.flags(), view.nonce(),
-                              view.src(), now);
+                              view.src(), now, cache);
   if (!ks.has_value()) {
     ++stats_.rejected;  // expired or future epoch
     return std::nullopt;
@@ -254,9 +323,9 @@ std::optional<net::Packet> Neutralizer::handle_data_forward(
     // clear only inside our own domain; the customer echoes it to the
     // source under end-to-end encryption.
     const std::uint64_t fresh_nonce = rng_.next_u64();
-    const std::uint16_t epoch = keys_.epoch_at(now);
-    const crypto::AesKey fresh_ks = crypto::derive_source_key(
-        keys_.current_key(now), fresh_nonce, view.src().value());
+    const auto& [epoch, km] = minting_key(now, cache);
+    const crypto::AesKey fresh_ks =
+        crypto::derive_source_key(km, fresh_nonce, view.src().value());
     view.stamp_rekey(fresh_nonce, epoch, fresh_ks);
     ++stats_.rekeys_stamped;
   }
@@ -271,7 +340,7 @@ std::optional<net::Packet> Neutralizer::handle_data_forward(
 }
 
 std::optional<net::Packet> Neutralizer::handle_data_return(
-    net::Packet&& pkt, sim::SimTime now) {
+    net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache) {
   ShimPacketView view(pkt.mutable_view());
   if (!config_.customer_space.contains(view.src())) {
     ++stats_.rejected;  // only our customers may return through us
@@ -279,7 +348,7 @@ std::optional<net::Packet> Neutralizer::handle_data_return(
   }
   const net::Ipv4Addr initiator(view.inner_addr());
   const auto ks = session_key(view.key_epoch(), view.flags(), view.nonce(),
-                              initiator, now);
+                              initiator, now, cache);
   if (!ks.has_value()) {
     ++stats_.rejected;
     return std::nullopt;

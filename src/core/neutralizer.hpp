@@ -27,8 +27,11 @@
 // interchangeable mid-flow.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
+#include <utility>
 
 #include <unordered_map>
 
@@ -37,6 +40,7 @@
 #include "crypto/aes_modes.hpp"
 #include "crypto/chacha.hpp"
 #include "crypto/rsa.hpp"
+#include "net/arena.hpp"
 #include "net/packet.hpp"
 #include "qos/token_bucket.hpp"
 
@@ -78,6 +82,9 @@ struct NeutralizerStats {
   std::uint64_t dyn_translated = 0;
   std::uint64_t setup_rate_limited = 0;
   std::uint64_t rejected = 0;  // malformed, bad epoch, non-customer, …
+
+  friend bool operator==(const NeutralizerStats&,
+                         const NeutralizerStats&) = default;
 };
 
 class Neutralizer {
@@ -92,6 +99,19 @@ class Neutralizer {
   /// packet to emit, or nullopt when the input is dropped.
   [[nodiscard]] std::optional<net::Packet> process(net::Packet&& pkt,
                                                    sim::SimTime now);
+
+  /// Batched datapath. Processes every packet of `batch` in order with
+  /// exactly the per-packet semantics of process() — byte-identical
+  /// outputs, identical stats — but the per-epoch key material (master
+  /// key derivation + keyed CMAC lookup) is resolved once per batch
+  /// instead of once per packet. Surviving packets are compacted to the
+  /// front of `batch` (relative order preserved) and their count
+  /// returned. Data packets are rewritten in place, so the hot path
+  /// performs no allocation; when `arena` is supplied, the buffers of
+  /// dropped packets and of control-packet inputs are recycled through
+  /// it and the tail slots `[count, batch.size())` are left empty.
+  std::size_t process_batch(std::span<net::Packet> batch, sim::SimTime now,
+                            net::PacketArena* arena = nullptr);
 
   [[nodiscard]] const NeutralizerConfig& config() const noexcept {
     return config_;
@@ -116,6 +136,27 @@ class Neutralizer {
   }
 
  private:
+  // Per-batch memo of everything the datapath derives from the clock:
+  // epoch validity, the keyed per-epoch CMAC, and the current master
+  // key used for rekey stamping. One lives on the stack per
+  // process_batch() call (per packet for scalar process()), hoisting
+  // the master-key derivation out of the per-packet loop.
+  struct BatchKeyCache {
+    struct Slot {
+      std::uint16_t epoch = 0;
+      const crypto::Cmac* keyed = nullptr;
+      bool used = false;
+    };
+    // Positive entries only; at any fixed `now` at most two epochs
+    // (current + previous) can validate, so two slots always suffice.
+    std::array<Slot, 2> slots;
+    // Out-of-window epochs memoized separately (round-robin) so a mix
+    // of crafted bad epochs cannot starve the positive slots.
+    std::array<std::optional<std::uint16_t>, 2> rejected;
+    std::size_t next_reject = 0;
+    std::optional<std::pair<std::uint16_t, crypto::AesKey>> current;
+  };
+
   NeutralizerConfig config_;
   MasterKeySchedule keys_;
   crypto::ChaChaRng rng_;
@@ -131,20 +172,31 @@ class Neutralizer {
                                                  const crypto::AesKey& km)
       const;
 
+  /// Shared dispatcher behind process()/process_batch(). The cache
+  /// scopes key memoization: per packet (scalar) or per batch.
+  [[nodiscard]] std::optional<net::Packet> process_one(net::Packet&& pkt,
+                                                       sim::SimTime now,
+                                                       BatchKeyCache& cache);
+
   [[nodiscard]] std::optional<net::Packet> handle_key_setup(
-      const net::ParsedPacket& p, sim::SimTime now);
+      const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache);
   [[nodiscard]] std::optional<net::Packet> handle_key_lease(
-      const net::ParsedPacket& p, sim::SimTime now);
+      const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache);
   [[nodiscard]] std::optional<net::Packet> handle_data_forward(
-      net::Packet&& pkt, sim::SimTime now);
+      net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache);
   [[nodiscard]] std::optional<net::Packet> handle_data_return(
-      net::Packet&& pkt, sim::SimTime now);
+      net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache);
   [[nodiscard]] std::optional<net::Packet> handle_dyn_request(
       const net::ParsedPacket& p);
 
   [[nodiscard]] std::optional<crypto::AesKey> session_key(
       std::uint16_t epoch, std::uint8_t flags, std::uint64_t nonce,
-      net::Ipv4Addr outside_addr, sim::SimTime now) const;
+      net::Ipv4Addr outside_addr, sim::SimTime now,
+      BatchKeyCache& cache) const;
+  /// (epoch, master key) for minting fresh keys at `now`, memoized in
+  /// `cache` when one is supplied.
+  [[nodiscard]] const std::pair<std::uint16_t, crypto::AesKey>& minting_key(
+      sim::SimTime now, BatchKeyCache& cache) const;
 };
 
 }  // namespace nn::core

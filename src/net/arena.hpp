@@ -1,0 +1,90 @@
+// PacketArena: a freelist of packet buffers so the batched datapath can
+// run allocation-free in steady state. acquire() recycles a released
+// buffer when one is available (a vector resize within capacity does not
+// touch the heap); release() returns a buffer to the freelist instead of
+// freeing it. Single-threaded by design, like the simulator it serves —
+// one arena per box/benchmark, not a global pool.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace nn::net {
+
+struct PacketArenaStats {
+  /// Buffers that had to come from the heap (freelist empty, or the
+  /// recycled capacity was too small and the resize reallocated).
+  std::uint64_t heap_allocations = 0;
+  /// Buffers served entirely from the freelist.
+  std::uint64_t reuses = 0;
+  std::uint64_t released = 0;
+  /// Releases dropped on the floor because the freelist was full.
+  std::uint64_t freelist_overflow = 0;
+};
+
+class PacketArena {
+ public:
+  /// `max_free` bounds the freelist so a burst cannot pin memory
+  /// forever; excess released buffers are simply freed.
+  explicit PacketArena(std::size_t max_free = 4096) : max_free_(max_free) {
+    free_.reserve(max_free < 64 ? max_free : std::size_t{64});
+  }
+
+  /// Returns a packet of exactly `size` bytes. Contents are
+  /// unspecified (recycled buffers keep their old bytes) — callers
+  /// overwrite the full packet, as every serializer here does.
+  [[nodiscard]] Packet acquire(std::size_t size) {
+    if (free_.empty()) {
+      ++stats_.heap_allocations;
+      return Packet{std::vector<std::uint8_t>(size)};
+    }
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    if (buf.capacity() >= size) {
+      ++stats_.reuses;
+    } else {
+      ++stats_.heap_allocations;  // resize below reallocates
+    }
+    buf.resize(size);
+    return Packet{std::move(buf)};
+  }
+
+  /// Copies `src` into a recycled buffer — the allocation-free way to
+  /// refill a batch slot from a template packet.
+  [[nodiscard]] Packet clone(const Packet& src) {
+    Packet p = acquire(src.size());
+    std::copy(src.bytes.begin(), src.bytes.end(), p.bytes.begin());
+    return p;
+  }
+
+  /// Takes the packet's buffer for reuse. Empty buffers (moved-from
+  /// packets) carry no capacity worth keeping and are ignored.
+  void release(Packet&& pkt) {
+    if (pkt.bytes.capacity() == 0) return;
+    if (free_.size() >= max_free_) {
+      ++stats_.freelist_overflow;
+      pkt.bytes = {};
+      return;
+    }
+    ++stats_.released;
+    free_.push_back(std::move(pkt.bytes));
+    pkt.bytes = {};
+  }
+
+  [[nodiscard]] std::size_t free_count() const noexcept {
+    return free_.size();
+  }
+  [[nodiscard]] const PacketArenaStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t max_free_;
+  PacketArenaStats stats_;
+};
+
+}  // namespace nn::net

@@ -69,7 +69,11 @@ sim::PolicyDecision PushbackPolicy::process(const net::Packet& pkt,
   window_per_agg_[key] += static_cast<double>(pkt.size());
 
   if (const auto it = limiters_.find(key); it != limiters_.end()) {
-    if (!it->second.try_consume(pkt.size(), now)) {
+    // limit_bps == 0 squelches the flagged aggregate entirely. (The
+    // bucket itself treats rate <= 0 as *unlimited*, the convention of
+    // configs that simply skip building a limiter — here a limiter was
+    // deliberately installed, so zero means zero.)
+    if (config_.limit_bps <= 0 || !it->second.try_consume(pkt.size(), now)) {
       ++stats_.limited_drops;
       return sim::PolicyDecision::dropped();
     }

@@ -13,6 +13,10 @@ namespace nn::qos {
 class TokenBucket {
  public:
   /// rate is in bytes/second; burst is the bucket depth in bytes.
+  /// A rate <= 0 means *unlimited* (every consume succeeds), matching
+  /// the "0 = no limit" convention of the configs that embed one. A
+  /// zero burst with a positive rate is the opposite degenerate case:
+  /// the bucket can never hold a token and every consume fails.
   TokenBucket(double rate_bytes_per_sec, double burst_bytes) noexcept
       : rate_(rate_bytes_per_sec),
         burst_(burst_bytes),
@@ -21,6 +25,7 @@ class TokenBucket {
   /// Consumes `bytes` if available at `now`; returns false (no side
   /// effect) otherwise.
   bool try_consume(std::size_t bytes, sim::SimTime now) noexcept {
+    if (rate_ <= 0) return true;  // unlimited
     refill(now);
     const double need = static_cast<double>(bytes);
     if (tokens_ < need) return false;

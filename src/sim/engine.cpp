@@ -10,6 +10,16 @@ void Engine::schedule_at(SimTime at, std::function<void()> fn) {
 }
 
 bool Engine::step() {
+  if (deferred_due()) {
+    // One deferred callback per step, FIFO, so step()/run(max_events)
+    // keep their one-event granularity. A callback may defer again
+    // (appends behind the others, same instant) or schedule events.
+    auto fn = std::move(deferred_.front());
+    deferred_.pop_front();
+    ++executed_;
+    fn();
+    return true;
+  }
   if (queue_.empty()) return false;
   // priority_queue::top() is const; the function object must be moved
   // out before pop, so copy the handle first.
@@ -27,7 +37,7 @@ void Engine::run(std::size_t max_events) {
 }
 
 void Engine::run_until(SimTime until) {
-  while (!queue_.empty() && queue_.top().at <= until) {
+  while ((!queue_.empty() && queue_.top().at <= until) || deferred_due()) {
     step();
   }
   if (now_ < until) now_ = until;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
 #include <vector>
@@ -28,6 +29,14 @@ class Engine {
     schedule_at(now_ + delay, std::move(fn));
   }
 
+  /// Runs `fn` at the *end of the current instant*: after every already-
+  /// scheduled event with timestamp == now() has fired, before the
+  /// clock advances (or when the queue drains). Deferred callbacks run
+  /// in registration order and may defer again or schedule new events
+  /// at >= now(). This is the batching hook: a node can collect every
+  /// packet delivered at one timestamp and process them as one batch.
+  void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+
   /// Runs one event; returns false if none pending.
   bool step();
   /// Runs until the queue empties or `max_events` fire.
@@ -36,7 +45,9 @@ class Engine {
   /// `until` even if idle.
   void run_until(SimTime until);
 
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return queue_.size() + deferred_.size();
+  }
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
@@ -53,9 +64,15 @@ class Engine {
   };
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::deque<std::function<void()>> deferred_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+
+  [[nodiscard]] bool deferred_due() const noexcept {
+    return !deferred_.empty() &&
+           (queue_.empty() || queue_.top().at > now_);
+  }
 };
 
 }  // namespace nn::sim

@@ -1,0 +1,415 @@
+// Batch/scalar equivalence: Neutralizer::process_batch must be
+// observationally identical to per-packet process() — byte-identical
+// outputs in the same order, identical NeutralizerStats — over a
+// shuffled mix of KeySetup / DataForward / DataReturn packets,
+// including drops. Also covers the zero-allocation property of the
+// batched data path and the batch-draining NeutralizerBox.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/box.hpp"
+#include "core/neutralizer.hpp"
+#include "crypto/aes_modes.hpp"
+#include "crypto/chacha.hpp"
+#include "net/arena.hpp"
+#include "net/shim.hpp"
+#include "sim/network.hpp"
+
+namespace nn::core {
+namespace {
+
+using net::Ipv4Addr;
+using net::ShimFlags;
+using net::ShimHeader;
+using net::ShimType;
+
+const Ipv4Addr kAnycast(200, 0, 0, 1);
+const Ipv4Addr kAnn(10, 1, 0, 2);       // outside source
+const Ipv4Addr kGoogle(20, 0, 0, 10);   // customer
+const Ipv4Addr kOutsider(99, 0, 0, 1);  // not a customer
+
+NeutralizerConfig test_config() {
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey test_root() {
+  crypto::AesKey k;
+  k.fill(0x42);
+  return k;
+}
+
+crypto::AesKey source_key(std::uint64_t nonce, Ipv4Addr src) {
+  const MasterKeySchedule sched(test_root());
+  return crypto::derive_source_key(sched.current_key(0), nonce, src.value());
+}
+
+net::Packet make_forward(std::uint64_t nonce, const crypto::AesKey& ks,
+                         Ipv4Addr src, Ipv4Addr true_dst,
+                         std::uint8_t flags = 0, std::uint16_t epoch = 0) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataForward;
+  shim.flags = flags;
+  shim.key_epoch = epoch;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, true_dst.value());
+  const std::vector<std::uint8_t> payload = {'f', 'w', 'd'};
+  return net::make_shim_packet(src, kAnycast, shim, payload);
+}
+
+net::Packet make_return(std::uint64_t nonce, Ipv4Addr customer,
+                        Ipv4Addr initiator, std::uint16_t epoch = 0) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataReturn;
+  shim.key_epoch = epoch;
+  shim.nonce = nonce;
+  shim.inner_addr = initiator.value();
+  const std::vector<std::uint8_t> payload = {'r', 'e', 't'};
+  return net::make_shim_packet(customer, kAnycast, shim, payload);
+}
+
+net::Packet make_key_setup(const crypto::RsaPublicKey& pub, Ipv4Addr src) {
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetup;
+  shim.nonce = 0xBEEF;
+  return net::make_shim_packet(src, kAnycast, shim, pub.serialize());
+}
+
+/// Deterministically shuffled workload covering every packet class the
+/// datapath distinguishes, drops included.
+std::vector<net::Packet> make_mixed_workload(
+    const crypto::RsaPublicKey& pub) {
+  const std::uint64_t nonce = 0x1122334455667788ULL;
+  const auto ks = source_key(nonce, kAnn);
+
+  std::vector<net::Packet> mix;
+  for (int rep = 0; rep < 4; ++rep) {
+    mix.push_back(make_forward(nonce, ks, kAnn, kGoogle));
+    mix.push_back(make_key_setup(pub, kAnn));
+    mix.push_back(make_return(nonce, kGoogle, kAnn));
+    mix.push_back(
+        make_forward(nonce, ks, kAnn, kGoogle, ShimFlags::kKeyRequest));
+    mix.push_back(make_forward(nonce, ks, kAnn, kOutsider));  // non-customer
+    mix.push_back(make_forward(nonce, ks, kAnn, kGoogle, 0, 99));  // bad epoch
+    mix.push_back(make_return(nonce, kOutsider, kAnn));  // foreign return
+    mix.push_back(net::make_udp_packet(kAnn, kAnycast, 1, 2,
+                                       std::vector<std::uint8_t>{7}));
+  }
+  // Fisher-Yates with a fixed seed: "shuffled" but reproducible.
+  crypto::ChaChaRng rng(2026);
+  for (std::size_t i = mix.size() - 1; i > 0; --i) {
+    std::swap(mix[i], mix[rng.next_u64() % (i + 1)]);
+  }
+  return mix;
+}
+
+class BatchDatapathTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::ChaChaRng rng(7);
+    onetime_ = new crypto::RsaPrivateKey(crypto::rsa_generate(rng, 512, 3));
+  }
+  static void TearDownTestSuite() {
+    delete onetime_;
+    onetime_ = nullptr;
+  }
+
+  static crypto::RsaPrivateKey* onetime_;
+};
+
+crypto::RsaPrivateKey* BatchDatapathTest::onetime_ = nullptr;
+
+TEST_F(BatchDatapathTest, BatchMatchesScalarOnShuffledMix) {
+  // Same config, same root, same nonce seed: the only difference is
+  // scalar vs batched processing.
+  Neutralizer scalar(test_config(), test_root(), /*nonce_seed=*/5);
+  Neutralizer batched(test_config(), test_root(), /*nonce_seed=*/5);
+
+  auto scalar_in = make_mixed_workload(onetime_->pub);
+  auto batch_in = scalar_in;  // identical copy
+
+  std::vector<net::Packet> scalar_out;
+  for (auto& pkt : scalar_in) {
+    if (auto out = scalar.process(std::move(pkt), 0)) {
+      scalar_out.push_back(std::move(*out));
+    }
+  }
+
+  const std::size_t n =
+      batched.process_batch({batch_in.data(), batch_in.size()}, 0);
+
+  ASSERT_EQ(n, scalar_out.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(batch_in[i], scalar_out[i]) << "output " << i << " differs";
+  }
+  EXPECT_EQ(batched.stats(), scalar.stats());
+  EXPECT_GT(batched.stats().data_forwarded, 0u);
+  EXPECT_GT(batched.stats().data_returned, 0u);
+  EXPECT_GT(batched.stats().key_setups, 0u);
+  EXPECT_GT(batched.stats().rejected, 0u);
+}
+
+TEST_F(BatchDatapathTest, BatchOfOneMatchesScalar) {
+  Neutralizer scalar(test_config(), test_root(), 5);
+  Neutralizer batched(test_config(), test_root(), 5);
+  const std::uint64_t nonce = 0xA1;
+  const auto ks = source_key(nonce, kAnn);
+
+  auto single = make_forward(nonce, ks, kAnn, kGoogle);
+  auto copy = single;
+  auto out = scalar.process(std::move(copy), 0);
+  ASSERT_TRUE(out.has_value());
+
+  std::vector<net::Packet> batch;
+  batch.push_back(std::move(single));
+  ASSERT_EQ(batched.process_batch({batch.data(), 1}, 0), 1u);
+  EXPECT_EQ(batch[0], *out);
+  EXPECT_EQ(batched.stats(), scalar.stats());
+}
+
+TEST_F(BatchDatapathTest, EmptyBatchIsANoop) {
+  Neutralizer n(test_config(), test_root());
+  EXPECT_EQ(n.process_batch({}, 0), 0u);
+  EXPECT_EQ(n.stats(), NeutralizerStats{});
+}
+
+TEST_F(BatchDatapathTest, EpochRotationInsideOneBatch) {
+  // A batch carrying current- and previous-epoch packets must resolve
+  // both keys (the per-batch cache has a slot for each).
+  Neutralizer scalar(test_config(), test_root(), 5);
+  Neutralizer batched(test_config(), test_root(), 5);
+  const sim::SimTime later = MasterKeySchedule::kDefaultRotation + 5;
+  const MasterKeySchedule sched(test_root());
+
+  const std::uint64_t old_nonce = 0xB2;
+  const auto old_ks =
+      crypto::derive_source_key(sched.current_key(0), old_nonce,
+                                kAnn.value());
+  const std::uint64_t new_nonce = 0xC3;
+  const auto new_ks = crypto::derive_source_key(sched.current_key(later),
+                                                new_nonce, kAnn.value());
+
+  std::vector<net::Packet> batch;
+  batch.push_back(make_forward(old_nonce, old_ks, kAnn, kGoogle, 0, 0));
+  batch.push_back(make_forward(new_nonce, new_ks, kAnn, kGoogle, 0, 1));
+  batch.push_back(make_forward(old_nonce, old_ks, kAnn, kGoogle, 0, 0));
+  auto scalar_in = batch;
+
+  std::vector<net::Packet> expect;
+  for (auto& pkt : scalar_in) {
+    auto out = scalar.process(std::move(pkt), later);
+    ASSERT_TRUE(out.has_value());
+    expect.push_back(std::move(*out));
+  }
+
+  ASSERT_EQ(batched.process_batch({batch.data(), batch.size()}, later), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(batch[i], expect[i]);
+  EXPECT_EQ(batched.stats(), scalar.stats());
+}
+
+TEST_F(BatchDatapathTest, BatchSurvivesEpochCacheEvictionMidBatch) {
+  // Regression: grow the per-epoch CMAC cache over many rotations,
+  // then process a batch that (a) memoizes a grace-window epoch and
+  // (b) admits a brand-new epoch mid-batch, triggering eviction of
+  // stale entries. The memoized pointer must stay valid — outputs
+  // must still match the scalar path exactly.
+  Neutralizer scalar(test_config(), test_root(), 5);
+  Neutralizer batched(test_config(), test_root(), 5);
+  const MasterKeySchedule sched(test_root());
+  const sim::SimTime rotation = MasterKeySchedule::kDefaultRotation;
+
+  // Populate the cache with epochs 1..5 (each current at its time).
+  for (std::uint16_t e = 1; e <= 5; ++e) {
+    const std::uint64_t nonce = 0x100 + e;
+    const auto ks = crypto::derive_source_key(
+        sched.current_key(e * rotation + 1), nonce, kAnn.value());
+    auto a = make_forward(nonce, ks, kAnn, kGoogle, 0, e);
+    auto b = a;
+    ASSERT_TRUE(scalar.process(std::move(a), e * rotation + 1).has_value());
+    std::vector<net::Packet> one;
+    one.push_back(std::move(b));
+    ASSERT_EQ(batched.process_batch({one.data(), 1}, e * rotation + 1), 1u);
+  }
+
+  // Now at epoch 6: batch = [epoch-5 pkt, epoch-6 pkt, epoch-5 pkt].
+  const sim::SimTime now = 6 * rotation + 1;
+  const std::uint64_t n5 = 0x555, n6 = 0x666;
+  const auto ks5 = crypto::derive_source_key(sched.current_key(5 * rotation),
+                                             n5, kAnn.value());
+  const auto ks6 =
+      crypto::derive_source_key(sched.current_key(now), n6, kAnn.value());
+  std::vector<net::Packet> batch;
+  batch.push_back(make_forward(n5, ks5, kAnn, kGoogle, 0, 5));
+  batch.push_back(make_forward(n6, ks6, kAnn, kGoogle, 0, 6));
+  batch.push_back(make_forward(n5, ks5, kAnn, kGoogle, 0, 5));
+  auto scalar_in = batch;
+
+  std::vector<net::Packet> expect;
+  for (auto& pkt : scalar_in) {
+    auto out = scalar.process(std::move(pkt), now);
+    ASSERT_TRUE(out.has_value());
+    expect.push_back(std::move(*out));
+  }
+  ASSERT_EQ(batched.process_batch({batch.data(), batch.size()}, now), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(batch[i], expect[i]);
+  EXPECT_EQ(batched.stats(), scalar.stats());
+}
+
+TEST_F(BatchDatapathTest, MixedBadEpochsDoNotStarvePositiveCaching) {
+  // Two distinct out-of-window epochs plus valid traffic in one batch:
+  // rejections are memoized separately, valid packets still flow.
+  Neutralizer scalar(test_config(), test_root(), 5);
+  Neutralizer batched(test_config(), test_root(), 5);
+  const std::uint64_t nonce = 0x777;
+  const auto ks = source_key(nonce, kAnn);
+
+  std::vector<net::Packet> batch;
+  batch.push_back(make_forward(nonce, ks, kAnn, kGoogle, 0, 7));   // bad
+  batch.push_back(make_forward(nonce, ks, kAnn, kGoogle, 0, 9));   // bad
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(make_forward(nonce, ks, kAnn, kGoogle, 0, 0));  // good
+  }
+  batch.push_back(make_forward(nonce, ks, kAnn, kGoogle, 0, 7));   // bad
+  auto scalar_in = batch;
+
+  std::vector<net::Packet> expect;
+  for (auto& pkt : scalar_in) {
+    if (auto out = scalar.process(std::move(pkt), 0)) {
+      expect.push_back(std::move(*out));
+    }
+  }
+  const std::size_t n =
+      batched.process_batch({batch.data(), batch.size()}, 0);
+  ASSERT_EQ(n, expect.size());
+  ASSERT_EQ(n, 4u);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(batch[i], expect[i]);
+  EXPECT_EQ(batched.stats(), scalar.stats());
+}
+
+TEST_F(BatchDatapathTest, DataPathSteadyStateIsAllocationFree) {
+  Neutralizer service(test_config(), test_root());
+  net::PacketArena arena;
+  const std::uint64_t nonce = 0xD4;
+  const auto ks = source_key(nonce, kAnn);
+  const auto tmpl_fwd = make_forward(nonce, ks, kAnn, kGoogle);
+  const auto tmpl_bad = make_forward(nonce, ks, kAnn, kOutsider);
+
+  constexpr std::size_t kBatch = 16;
+  std::vector<net::Packet> batch;
+
+  // Warm-up: populates the arena freelist.
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    batch.push_back(arena.clone(i % 4 == 3 ? tmpl_bad : tmpl_fwd));
+  }
+  std::size_t n = service.process_batch({batch.data(), batch.size()}, 0,
+                                        &arena);
+  for (std::size_t i = 0; i < n; ++i) arena.release(std::move(batch[i]));
+  batch.clear();
+  const auto warm_allocs = arena.stats().heap_allocations;
+
+  for (int round = 0; round < 50; ++round) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(arena.clone(i % 4 == 3 ? tmpl_bad : tmpl_fwd));
+    }
+    n = service.process_batch({batch.data(), batch.size()}, 0, &arena);
+    EXPECT_EQ(n, kBatch - kBatch / 4);
+    for (std::size_t i = 0; i < n; ++i) arena.release(std::move(batch[i]));
+    batch.clear();
+  }
+  // The whole rewrite + drop + refill cycle ran on recycled buffers.
+  EXPECT_EQ(arena.stats().heap_allocations, warm_allocs);
+  EXPECT_GT(arena.stats().reuses, 0u);
+}
+
+TEST_F(BatchDatapathTest, DroppedBuffersAreRecycledThroughArena) {
+  Neutralizer service(test_config(), test_root());
+  net::PacketArena arena;
+  std::vector<net::Packet> batch;
+  const std::uint64_t nonce = 0xE5;
+  const auto ks = source_key(nonce, kAnn);
+  batch.push_back(make_forward(nonce, ks, kAnn, kOutsider));  // dropped
+  batch.push_back(make_forward(nonce, ks, kAnn, kGoogle));    // emitted
+
+  ASSERT_EQ(service.process_batch({batch.data(), batch.size()}, 0, &arena),
+            1u);
+  // The dropped packet's buffer landed on the freelist; the emitted
+  // packet kept its own buffer.
+  EXPECT_EQ(arena.free_count(), 1u);
+  EXPECT_GT(batch[0].size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Box-level batching: the deferred drain must forward exactly what the
+// per-event box forwards.
+
+struct BoxHarness {
+  sim::Engine engine;
+  sim::Network net{engine};
+  NeutralizerBox* box = nullptr;
+  sim::Host* ann = nullptr;
+  sim::Host* google = nullptr;
+  std::vector<net::Packet> at_google;
+  std::vector<net::Packet> at_ann;
+
+  explicit BoxHarness(bool batch_drain) {
+    box = &net.add<NeutralizerBox>("box", test_config(), test_root(),
+                                   /*nonce_seed=*/3);
+    box->set_batch_drain(batch_drain);
+    ann = &net.add<sim::Host>("ann");
+    google = &net.add<sim::Host>("google");
+    net.assign_address(*ann, kAnn);
+    net.assign_address(*google, kGoogle);
+    sim::LinkConfig fast;
+    // Effectively zero serialization time, so a burst transmitted at
+    // one instant is also *delivered* at one instant and can coalesce.
+    fast.bandwidth_bps = 1e15;
+    fast.propagation = sim::kMicrosecond;
+    net.connect(*ann, *box, fast);
+    net.connect(*google, *box, fast);
+    box->join_service_anycast(net);
+    net.compute_routes();
+    google->set_handler(
+        [this](net::Packet&& p) { at_google.push_back(std::move(p)); });
+    ann->set_handler(
+        [this](net::Packet&& p) { at_ann.push_back(std::move(p)); });
+  }
+};
+
+TEST_F(BatchDatapathTest, BatchDrainingBoxMatchesScalarBox) {
+  BoxHarness scalar(false);
+  BoxHarness batched(true);
+
+  const std::uint64_t nonce = 0xF6;
+  const auto ks = source_key(nonce, kAnn);
+  for (auto* h : {&scalar, &batched}) {
+    // A burst of packets transmitted at the same instant: forwards,
+    // returns, and a drop candidate.
+    for (int i = 0; i < 5; ++i) {
+      h->ann->transmit(make_forward(nonce, ks, kAnn, kGoogle));
+    }
+    h->google->transmit(make_return(nonce, kGoogle, kAnn));
+    h->ann->transmit(make_forward(nonce, ks, kAnn, kOutsider));
+    h->engine.run();
+  }
+
+  ASSERT_EQ(scalar.at_google.size(), 5u);
+  ASSERT_EQ(batched.at_google.size(), 5u);
+  ASSERT_EQ(scalar.at_ann.size(), 1u);
+  ASSERT_EQ(batched.at_ann.size(), 1u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(batched.at_google[i], scalar.at_google[i]);
+  }
+  EXPECT_EQ(batched.at_ann[0], scalar.at_ann[0]);
+  EXPECT_EQ(batched.box->service().stats(), scalar.box->service().stats());
+
+  // The burst actually coalesced: fewer drains than packets.
+  EXPECT_GT(batched.box->batch_stats().batches, 0u);
+  EXPECT_GT(batched.box->batch_stats().max_batch, 1u);
+  EXPECT_EQ(scalar.box->batch_stats().batches, 0u);
+}
+
+}  // namespace
+}  // namespace nn::core

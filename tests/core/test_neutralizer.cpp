@@ -329,6 +329,51 @@ TEST_F(NeutralizerTest, MalformedPacketsRejected) {
   EXPECT_GE(neut_.stats().rejected, 2u);
 }
 
+TEST_F(NeutralizerTest, RejectedStatCountsEachRejectionClassOnce) {
+  const auto [nonce, ks] = do_key_setup(neut_, *onetime_, kAnn, 0);
+  const auto base = neut_.stats().rejected;
+
+  // 1. Malformed: too short to even carry a shim header.
+  net::Packet runt;
+  runt.bytes.assign(6, 0x00);
+  EXPECT_FALSE(neut_.process(std::move(runt), 0).has_value());
+  EXPECT_EQ(neut_.stats().rejected, base + 1);
+
+  // 2. Malformed: non-shim protocol addressed to the service.
+  auto udp = net::make_udp_packet(kAnn, kAnycast, 5, 6,
+                                  std::vector<std::uint8_t>{1});
+  EXPECT_FALSE(neut_.process(std::move(udp), 0).has_value());
+  EXPECT_EQ(neut_.stats().rejected, base + 2);
+
+  // 3. Bad epoch: valid key but a claimed epoch outside the window.
+  EXPECT_FALSE(
+      neut_.process(make_forward(nonce, ks, kAnn, kGoogle, 0, 7), 0)
+          .has_value());
+  EXPECT_EQ(neut_.stats().rejected, base + 3);
+
+  // 4. Non-customer: decrypted destination outside the customer space.
+  EXPECT_FALSE(
+      neut_.process(make_forward(nonce, ks, kAnn, kOutsider, 0, 0), 0)
+          .has_value());
+  EXPECT_EQ(neut_.stats().rejected, base + 4);
+
+  // 5. Non-customer on the return leg: foreign source may not relay.
+  ShimHeader shim;
+  shim.type = ShimType::kDataReturn;
+  shim.nonce = nonce;
+  shim.inner_addr = kAnn.value();
+  EXPECT_FALSE(neut_.process(net::make_shim_packet(kOutsider, kAnycast, shim,
+                                                   std::vector<std::uint8_t>{
+                                                       1}),
+                             0)
+                   .has_value());
+  EXPECT_EQ(neut_.stats().rejected, base + 5);
+
+  // None of the above touched the success counters.
+  EXPECT_EQ(neut_.stats().data_forwarded, 0u);
+  EXPECT_EQ(neut_.stats().data_returned, 0u);
+}
+
 TEST_F(NeutralizerTest, ResponseTypesNotForService) {
   ShimHeader shim;
   shim.type = ShimType::kKeySetupResponse;

@@ -1,0 +1,194 @@
+// Property test for the invariant promised in neutralizer.hpp: the
+// datapath keeps no per-flow state, so two replicas sharing a root key
+// — alternating per packet mid-flow, including across an epoch
+// rotation — are indistinguishable from a single replica.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "crypto/aes_modes.hpp"
+#include "crypto/chacha.hpp"
+#include "net/shim.hpp"
+
+namespace nn::core {
+namespace {
+
+using net::Ipv4Addr;
+using net::ShimHeader;
+using net::ShimType;
+
+const Ipv4Addr kAnycast(200, 0, 0, 1);
+
+NeutralizerConfig test_config() {
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey test_root() {
+  crypto::AesKey k;
+  k.fill(0x1F);
+  return k;
+}
+
+struct FlowPacket {
+  net::Packet pkt;
+  sim::SimTime at;
+};
+
+/// Generates a randomized mid-flow packet stream: many flows (distinct
+/// sources and nonces), forward and return legs, timestamps straddling
+/// one master-key rotation, and a sprinkle of packets that must drop
+/// (non-customer destinations, expired epochs).
+std::vector<FlowPacket> random_flow_stream(std::uint64_t seed,
+                                           std::size_t count) {
+  const MasterKeySchedule sched(test_root());
+  const sim::SimTime rotation = MasterKeySchedule::kDefaultRotation;
+  crypto::ChaChaRng rng(seed);
+  std::vector<FlowPacket> stream;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    // Flow identity: outside source + nonce; key minted in some epoch.
+    const Ipv4Addr outside(10, 0, static_cast<std::uint8_t>(rng.next_u64()),
+                           static_cast<std::uint8_t>(rng.next_u64() | 1));
+    const Ipv4Addr customer(20, 0,
+                            static_cast<std::uint8_t>(rng.next_u64()),
+                            static_cast<std::uint8_t>(rng.next_u64() | 1));
+    const std::uint64_t nonce = rng.next_u64();
+    const std::uint16_t key_epoch =
+        static_cast<std::uint16_t>(rng.next_u64() % 2);  // 0 or 1
+    const crypto::AesKey ks = crypto::derive_source_key(
+        sched.current_key(key_epoch * rotation + 1), nonce, outside.value());
+
+    // Packet time: same epoch as the key or the grace window after it;
+    // every so often far in the future so the key has expired.
+    sim::SimTime at =
+        key_epoch * rotation + (rng.next_u64() % (2 * rotation - 2)) + 1;
+    const bool expired = rng.next_u64() % 8 == 0;
+    if (expired) at += 3 * rotation;
+
+    ShimHeader shim;
+    shim.key_epoch = key_epoch;
+    shim.nonce = nonce;
+    const std::vector<std::uint8_t> payload = {'p'};
+    const bool forward = rng.next_u64() % 2 == 0;
+    if (forward) {
+      // Occasionally aim outside the customer space: must be refused.
+      const Ipv4Addr dst =
+          rng.next_u64() % 8 == 0 ? Ipv4Addr(99, 9, 9, 9) : customer;
+      shim.type = ShimType::kDataForward;
+      shim.inner_addr =
+          crypto::crypt_address(ks, nonce, false, dst.value());
+      stream.push_back(
+          {net::make_shim_packet(outside, kAnycast, shim, payload), at});
+    } else {
+      shim.type = ShimType::kDataReturn;
+      shim.inner_addr = outside.value();
+      stream.push_back(
+          {net::make_shim_packet(customer, kAnycast, shim, payload), at});
+    }
+  }
+  return stream;
+}
+
+TEST(StatelessProperty, AlternatingReplicasMatchSingleReplica) {
+  // Replicas share the root key; nonce seeds differ on purpose — the
+  // data path must not depend on any replica-local state.
+  Neutralizer replica_a(test_config(), test_root(), /*nonce_seed=*/111);
+  Neutralizer replica_b(test_config(), test_root(), /*nonce_seed=*/222);
+  Neutralizer single(test_config(), test_root(), /*nonce_seed=*/333);
+
+  const auto stream = random_flow_stream(0xFEED, 200);
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;
+
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    auto for_pair = stream[i].pkt;
+    auto for_single = stream[i].pkt;
+    Neutralizer& pick = (i % 2 == 0) ? replica_a : replica_b;
+
+    auto out_pair = pick.process(std::move(for_pair), stream[i].at);
+    auto out_single = single.process(std::move(for_single), stream[i].at);
+
+    ASSERT_EQ(out_pair.has_value(), out_single.has_value())
+        << "packet " << i << " verdict differs across replicas";
+    if (out_pair.has_value()) {
+      EXPECT_EQ(*out_pair, *out_single) << "packet " << i << " differs";
+      ++delivered;
+    } else {
+      ++dropped;
+    }
+  }
+  // The stream exercised both outcomes.
+  EXPECT_GT(delivered, 0u);
+  EXPECT_GT(dropped, 0u);
+
+  // Aggregate stats line up: the pair together saw what the single
+  // replica saw.
+  const auto& a = replica_a.stats();
+  const auto& b = replica_b.stats();
+  const auto& s = single.stats();
+  EXPECT_EQ(a.data_forwarded + b.data_forwarded, s.data_forwarded);
+  EXPECT_EQ(a.data_returned + b.data_returned, s.data_returned);
+  EXPECT_EQ(a.rejected + b.rejected, s.rejected);
+}
+
+TEST(StatelessProperty, ReplicaSwitchAcrossRotationMidFlow) {
+  // One explicit flow: key minted before the rotation, data packets
+  // processed after it (grace window), alternating replicas per packet.
+  Neutralizer replica_a(test_config(), test_root(), 1);
+  Neutralizer replica_b(test_config(), test_root(), 2);
+  const MasterKeySchedule sched(test_root());
+  const sim::SimTime rotation = MasterKeySchedule::kDefaultRotation;
+
+  const Ipv4Addr outside(10, 1, 0, 2);
+  const Ipv4Addr customer(20, 0, 0, 10);
+  const std::uint64_t nonce = 0xABCDEF;
+  const crypto::AesKey ks =
+      crypto::derive_source_key(sched.current_key(0), nonce,
+                                outside.value());
+
+  ShimHeader shim;
+  shim.type = ShimType::kDataForward;
+  shim.key_epoch = 0;
+  shim.nonce = nonce;
+  shim.inner_addr =
+      crypto::crypt_address(ks, nonce, false, customer.value());
+  const std::vector<std::uint8_t> payload = {'x'};
+
+  // Times walking across the rotation boundary, still in the window.
+  const sim::SimTime times[] = {0, rotation - 1, rotation + 1,
+                                2 * rotation - 1};
+  net::Packet previous_out;
+  for (std::size_t i = 0; i < std::size(times); ++i) {
+    Neutralizer& pick = (i % 2 == 0) ? replica_a : replica_b;
+    auto out = pick.process(
+        net::make_shim_packet(outside, kAnycast, shim, payload), times[i]);
+    ASSERT_TRUE(out.has_value()) << "time " << times[i];
+    const auto parsed = net::parse_packet(out->view());
+    EXPECT_EQ(parsed.ip.dst, customer);
+    // Every replica at every in-window time produces the same bytes.
+    if (i > 0) {
+      EXPECT_EQ(*out, previous_out);
+    }
+    previous_out = std::move(*out);
+  }
+
+  // Past the grace window the key is dead on both replicas alike.
+  EXPECT_FALSE(replica_a
+                   .process(net::make_shim_packet(outside, kAnycast, shim,
+                                                  payload),
+                            2 * rotation + 1)
+                   .has_value());
+  EXPECT_FALSE(replica_b
+                   .process(net::make_shim_packet(outside, kAnycast, shim,
+                                                  payload),
+                            2 * rotation + 1)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace nn::core

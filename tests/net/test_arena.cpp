@@ -1,0 +1,83 @@
+#include "net/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace nn::net {
+namespace {
+
+TEST(PacketArena, FirstAcquireComesFromHeap) {
+  PacketArena arena;
+  auto p = arena.acquire(128);
+  EXPECT_EQ(p.size(), 128u);
+  EXPECT_EQ(arena.stats().heap_allocations, 1u);
+  EXPECT_EQ(arena.stats().reuses, 0u);
+}
+
+TEST(PacketArena, ReleaseThenAcquireReusesBuffer) {
+  PacketArena arena;
+  auto p = arena.acquire(256);
+  const std::uint8_t* data = p.bytes.data();
+  arena.release(std::move(p));
+  EXPECT_EQ(arena.free_count(), 1u);
+
+  auto q = arena.acquire(100);  // smaller fits in the recycled capacity
+  EXPECT_EQ(q.bytes.data(), data);
+  EXPECT_EQ(q.size(), 100u);
+  EXPECT_EQ(arena.stats().reuses, 1u);
+  EXPECT_EQ(arena.stats().heap_allocations, 1u);
+  EXPECT_EQ(arena.free_count(), 0u);
+}
+
+TEST(PacketArena, GrowingPastRecycledCapacityCountsAsHeap) {
+  PacketArena arena;
+  arena.release(arena.acquire(16));
+  auto p = arena.acquire(1 << 16);  // forces a realloc
+  EXPECT_EQ(p.size(), std::size_t{1} << 16);
+  EXPECT_EQ(arena.stats().heap_allocations, 2u);
+  EXPECT_EQ(arena.stats().reuses, 0u);
+}
+
+TEST(PacketArena, SteadyStateIsAllocationFree) {
+  PacketArena arena;
+  // Warm-up round allocates; every later round must be pure reuse.
+  for (int i = 0; i < 8; ++i) arena.release(arena.acquire(112));
+  const auto warm = arena.stats().heap_allocations;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 8; ++i) arena.release(arena.acquire(112));
+  }
+  EXPECT_EQ(arena.stats().heap_allocations, warm);
+  EXPECT_GE(arena.stats().reuses, 800u);
+}
+
+TEST(PacketArena, CloneCopiesBytesWithoutHeapInSteadyState) {
+  PacketArena arena;
+  Packet tmpl;
+  tmpl.bytes.resize(64);
+  std::iota(tmpl.bytes.begin(), tmpl.bytes.end(), std::uint8_t{0});
+
+  arena.release(arena.acquire(64));  // prime the freelist
+  const auto warm = arena.stats().heap_allocations;
+  auto copy = arena.clone(tmpl);
+  EXPECT_EQ(copy, tmpl);
+  EXPECT_EQ(arena.stats().heap_allocations, warm);
+}
+
+TEST(PacketArena, EmptyBuffersAreNotHoarded) {
+  PacketArena arena;
+  arena.release(Packet{});  // moved-from packets carry no capacity
+  EXPECT_EQ(arena.free_count(), 0u);
+}
+
+TEST(PacketArena, FreelistIsBounded) {
+  PacketArena arena(/*max_free=*/2);
+  for (int i = 0; i < 5; ++i) {
+    arena.release(Packet{std::vector<std::uint8_t>(32)});
+  }
+  EXPECT_EQ(arena.free_count(), 2u);
+  EXPECT_EQ(arena.stats().freelist_overflow, 3u);
+}
+
+}  // namespace
+}  // namespace nn::net

@@ -61,6 +61,29 @@ TEST(Pushback, FloodTriggersAggregateLimiting) {
   EXPECT_TRUE(policy.is_limited(key));
 }
 
+TEST(Pushback, ZeroLimitSquelchesFlaggedAggregateEntirely) {
+  // limit_bps = 0 means "drop the flagged aggregate outright" — it
+  // must not fall into TokenBucket's rate-0-is-unlimited convention.
+  auto cfg = small_config();
+  cfg.limit_bps = 0;
+  PushbackPolicy policy(cfg);
+  const Ipv4Addr anycast(200, 0, 0, 1);
+  int dropped_after_flag = 0;
+  int sent_after_flag = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = policy.process(setup_flood_packet(anycast),
+                                  i * 100 * sim::kMicrosecond);
+    if (policy.stats().aggregates_flagged > 0) {
+      ++sent_after_flag;
+      if (d.drop) ++dropped_after_flag;
+    }
+  }
+  ASSERT_GE(policy.stats().aggregates_flagged, 1u);
+  EXPECT_GT(sent_after_flag, 0);
+  // Not a single packet of the squelched aggregate gets through.
+  EXPECT_EQ(dropped_after_flag, sent_after_flag);
+}
+
 TEST(Pushback, OtherAggregatesSurviveTheFlood) {
   PushbackPolicy policy(small_config());
   const Ipv4Addr anycast(200, 0, 0, 1);

@@ -48,6 +48,54 @@ TEST(TokenBucket, SetRateTakesEffect) {
   EXPECT_TRUE(tb.try_consume(100, 10 * sim::kMillisecond + 1));
 }
 
+TEST(TokenBucket, ZeroRateMeansUnlimited) {
+  // Matches the "0 = no limit" convention of the configs embedding a
+  // bucket (e.g. NeutralizerConfig::setup_rate_limit).
+  TokenBucket tb(0.0, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(tb.try_consume(1'000'000, i * sim::kMillisecond));
+  }
+}
+
+TEST(TokenBucket, NegativeRateAlsoMeansUnlimited) {
+  TokenBucket tb(-5.0, 10.0);
+  EXPECT_TRUE(tb.try_consume(1 << 20, 0));
+}
+
+// Consumers that install a limiter *deliberately* (pushback) must not
+// read rate 0 as unlimited — see PushbackPolicy::process, which guards
+// this case itself and is regression-tested in test_pushback.cpp.
+
+TEST(TokenBucket, ZeroCapacityBlocksEverything) {
+  // The opposite degenerate case: a positive rate with no bucket depth
+  // can never accumulate a token.
+  TokenBucket tb(1000.0, 0.0);
+  EXPECT_FALSE(tb.try_consume(1, 0));
+  EXPECT_FALSE(tb.try_consume(1, 100 * sim::kSecond));  // idle forever
+  EXPECT_TRUE(tb.try_consume(0, 0));  // zero-byte consume is free
+}
+
+TEST(TokenBucket, BurstDrainsThenThrottlesToRate) {
+  TokenBucket tb(100.0, 1000.0);
+  // Whole burst available immediately...
+  EXPECT_TRUE(tb.try_consume(1000, 0));
+  // ...then strictly rate-limited: nothing for just under a second,
+  EXPECT_FALSE(tb.try_consume(100, sim::kSecond - 1));
+  // but exactly the rate's worth after one full second.
+  EXPECT_TRUE(tb.try_consume(100, sim::kSecond));
+  EXPECT_FALSE(tb.try_consume(1, sim::kSecond));
+}
+
+TEST(TokenBucket, RefillAfterLongIdleCapsAtBurst) {
+  TokenBucket tb(1000.0, 300.0);
+  EXPECT_TRUE(tb.try_consume(300, 0));
+  // A year of idling banks exactly one burst, not a year of tokens.
+  const sim::SimTime year = 365LL * 24 * 3600 * sim::kSecond;
+  EXPECT_NEAR(tb.tokens(year), 300.0, 1e-9);
+  EXPECT_TRUE(tb.try_consume(300, year));
+  EXPECT_FALSE(tb.try_consume(1, year));
+}
+
 TEST(TokenBucket, SustainedRateIsEnforced) {
   TokenBucket tb(1000.0, 100.0);
   std::size_t sent = 0;

@@ -99,5 +99,64 @@ TEST(Engine, MaxEventsBoundsRun) {
   EXPECT_EQ(count, 100);
 }
 
+TEST(Engine, DeferRunsAfterAllEventsOfTheInstant) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(10, [&] {
+    order.push_back(1);
+    e.defer([&] { order.push_back(99); });  // end-of-instant hook
+    e.schedule_at(10, [&] { order.push_back(2); });  // same instant
+  });
+  e.schedule_at(10, [&] { order.push_back(3); });
+  e.schedule_at(20, [&] { order.push_back(4); });
+  e.run();
+  // The deferred callback fires after every t=10 event (including the
+  // one scheduled *during* t=10) and before the clock moves to t=20.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 99, 4}));
+}
+
+TEST(Engine, DeferredCallbackSeesUnadvancedClock) {
+  Engine e;
+  SimTime seen = -1;
+  e.schedule_at(50, [&] { e.defer([&] { seen = e.now(); }); });
+  e.schedule_at(60, [] {});
+  e.run();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(Engine, DeferOnIdleEngineRunsOnStep) {
+  Engine e;
+  bool fired = false;
+  e.defer([&] { fired = true; });
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_TRUE(e.step());
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, DeferredCanDeferAgainWithinTheInstant) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(5, [&] {
+    e.defer([&] {
+      order.push_back(1);
+      e.defer([&] { order.push_back(2); });  // next round, same instant
+    });
+  });
+  e.schedule_at(7, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilFlushesDeferredBeforeAdvancing) {
+  Engine e;
+  bool fired = false;
+  e.schedule_at(10, [&] { e.defer([&] { fired = true; }); });
+  e.run_until(10);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.now(), 10);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
 }  // namespace
 }  // namespace nn::sim
