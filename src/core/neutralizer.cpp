@@ -49,34 +49,36 @@ const crypto::Cmac& Neutralizer::keyed_master(
   return cmac_cache_.emplace(epoch, crypto::Cmac(km)).first->second;
 }
 
+const crypto::Cmac* Neutralizer::resolve_keyed(std::uint16_t epoch,
+                                               sim::SimTime now,
+                                               BatchKeyCache& cache) const {
+  BatchKeyCache::Slot* slot = nullptr;
+  for (auto& s : cache.slots) {
+    if (s.used && s.epoch == epoch) return s.keyed;
+    if (slot == nullptr && !s.used) slot = &s;
+  }
+  for (const auto& r : cache.rejected) {
+    if (r == epoch) return nullptr;  // memoized rejection
+  }
+  const auto km = keys_.key_for_epoch(epoch, now);
+  if (!km.has_value()) {
+    // Remember the bad epoch (round-robin, separate from the
+    // positive slots) so a flood of stale packets costs one window
+    // check per distinct epoch instead of one per packet.
+    cache.rejected[cache.next_reject++ % cache.rejected.size()] = epoch;
+    return nullptr;
+  }
+  const crypto::Cmac* keyed = &keyed_master(epoch, *km);
+  if (slot != nullptr) *slot = {epoch, keyed, true};
+  return keyed;
+}
+
 std::optional<crypto::AesKey> Neutralizer::session_key(
     std::uint16_t epoch, std::uint8_t flags, std::uint64_t nonce,
     net::Ipv4Addr outside_addr, sim::SimTime now,
     BatchKeyCache& cache) const {
-  const crypto::Cmac* keyed = nullptr;
-  BatchKeyCache::Slot* slot = nullptr;
-  for (auto& s : cache.slots) {
-    if (s.used && s.epoch == epoch) {
-      keyed = s.keyed;
-      break;
-    }
-    if (slot == nullptr && !s.used) slot = &s;
-  }
-  if (keyed == nullptr) {
-    for (const auto& r : cache.rejected) {
-      if (r == epoch) return std::nullopt;  // memoized rejection
-    }
-    const auto km = keys_.key_for_epoch(epoch, now);
-    if (!km.has_value()) {
-      // Remember the bad epoch (round-robin, separate from the
-      // positive slots) so a flood of stale packets costs one window
-      // check per distinct epoch instead of one per packet.
-      cache.rejected[cache.next_reject++ % cache.rejected.size()] = epoch;
-      return std::nullopt;
-    }
-    keyed = &keyed_master(epoch, *km);
-    if (slot != nullptr) *slot = {epoch, keyed, true};
-  }
+  const crypto::Cmac* keyed = resolve_keyed(epoch, now, cache);
+  if (keyed == nullptr) return std::nullopt;
   if (flags & ShimFlags::kLeaseKey) {
     return crypto::derive_lease_key(*keyed, nonce);
   }
@@ -103,8 +105,11 @@ std::size_t Neutralizer::process_batch(std::span<net::Packet> batch,
                                        sim::SimTime now,
                                        net::PacketArena* arena) {
   BatchKeyCache cache;
+  prederive_batch_keys(batch, now, cache);
   std::size_t count = 0;
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto& pre = pre_scratch_[i];
+    cache.pre = pre.has_value() ? &*pre : nullptr;
     auto out = process_one(std::move(batch[i]), now, cache);
     // The data path hands the input buffer back through `out`; control
     // packets and drops leave it (or its remains) in the slot. Recycle
@@ -115,6 +120,76 @@ std::size_t Neutralizer::process_batch(std::span<net::Packet> batch,
     }
   }
   return count;
+}
+
+void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
+                                       sim::SimTime now,
+                                       BatchKeyCache& cache) {
+  pre_scratch_.assign(batch.size(), std::nullopt);
+  req_scratch_.clear();
+  req_idx_scratch_.clear();
+  req_keyed_scratch_.clear();
+
+  // Pass 1: collect one derivation request per data packet whose
+  // handler will reach session_key(). Packets the prepass skips (other
+  // types, parse failures, return packets from non-customers) simply
+  // take the scalar path inside their handler.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    net::Ipv4Addr outside_addr;
+    std::uint16_t epoch;
+    std::uint8_t flags;
+    std::uint64_t nonce;
+    try {
+      const ShimPacketView view(batch[i].mutable_view());
+      const ShimType type = view.type();
+      if (type == ShimType::kDataForward) {
+        outside_addr = view.src();
+      } else if (type == ShimType::kDataReturn) {
+        if (!config_.customer_space.contains(view.src())) continue;
+        outside_addr = net::Ipv4Addr(view.inner_addr());
+      } else {
+        continue;
+      }
+      epoch = view.key_epoch();
+      flags = view.flags();
+      nonce = view.nonce();
+    } catch (const ParseError&) {
+      continue;
+    }
+    const crypto::Cmac* keyed = resolve_keyed(epoch, now, cache);
+    if (keyed == nullptr) {
+      // Same verdict session_key() would reach; memoize the rejection
+      // so the handler counts the drop without re-checking the window.
+      pre_scratch_[i].emplace();
+      continue;
+    }
+    req_scratch_.push_back({nonce, outside_addr.value(),
+                            (flags & ShimFlags::kLeaseKey) != 0});
+    req_idx_scratch_.push_back(i);
+    req_keyed_scratch_.push_back(keyed);
+  }
+
+  // Pass 2: batch-derive per keyed master. At any fixed `now` at most
+  // two epochs validate, so this outer loop runs at most twice.
+  for (std::size_t start = 0; start < req_scratch_.size(); ++start) {
+    if (pre_scratch_[req_idx_scratch_[start]].has_value()) continue;
+    const crypto::Cmac* keyed = req_keyed_scratch_[start];
+    group_req_scratch_.clear();
+    group_idx_scratch_.clear();
+    for (std::size_t j = start; j < req_scratch_.size(); ++j) {
+      if (req_keyed_scratch_[j] == keyed) {
+        group_req_scratch_.push_back(req_scratch_[j]);
+        group_idx_scratch_.push_back(req_idx_scratch_[j]);
+      }
+    }
+    group_key_scratch_.resize(group_req_scratch_.size());
+    crypto::derive_keys_batch(*keyed, group_req_scratch_,
+                              group_key_scratch_.data());
+    for (std::size_t j = 0; j < group_idx_scratch_.size(); ++j) {
+      pre_scratch_[group_idx_scratch_[j]].emplace(
+          Prederived{group_key_scratch_[j]});
+    }
+  }
 }
 
 std::optional<net::Packet> Neutralizer::process_one(net::Packet&& pkt,
@@ -304,8 +379,10 @@ std::optional<net::Packet> Neutralizer::handle_key_lease(
 std::optional<net::Packet> Neutralizer::handle_data_forward(
     net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache) {
   ShimPacketView view(pkt.mutable_view());
-  const auto ks = session_key(view.key_epoch(), view.flags(), view.nonce(),
-                              view.src(), now, cache);
+  const auto ks = cache.pre != nullptr
+                      ? cache.pre->ks
+                      : session_key(view.key_epoch(), view.flags(),
+                                    view.nonce(), view.src(), now, cache);
   if (!ks.has_value()) {
     ++stats_.rejected;  // expired or future epoch
     return std::nullopt;
@@ -347,8 +424,10 @@ std::optional<net::Packet> Neutralizer::handle_data_return(
     return std::nullopt;
   }
   const net::Ipv4Addr initiator(view.inner_addr());
-  const auto ks = session_key(view.key_epoch(), view.flags(), view.nonce(),
-                              initiator, now, cache);
+  const auto ks = cache.pre != nullptr
+                      ? cache.pre->ks
+                      : session_key(view.key_epoch(), view.flags(),
+                                    view.nonce(), initiator, now, cache);
   if (!ks.has_value()) {
     ++stats_.rejected;
     return std::nullopt;

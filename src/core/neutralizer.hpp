@@ -32,6 +32,7 @@
 #include <optional>
 #include <span>
 #include <utility>
+#include <vector>
 
 #include <unordered_map>
 
@@ -104,12 +105,17 @@ class Neutralizer {
   /// exactly the per-packet semantics of process() — byte-identical
   /// outputs, identical stats — but the per-epoch key material (master
   /// key derivation + keyed CMAC lookup) is resolved once per batch
-  /// instead of once per packet. Surviving packets are compacted to the
-  /// front of `batch` (relative order preserved) and their count
+  /// instead of once per packet, and the per-packet session keys of all
+  /// data packets are derived up front through the batched CMAC entry
+  /// point (crypto::derive_keys_batch), which keeps several AES blocks
+  /// in flight on accelerated backends. Surviving packets are compacted
+  /// to the front of `batch` (relative order preserved) and their count
   /// returned. Data packets are rewritten in place, so the hot path
-  /// performs no allocation; when `arena` is supplied, the buffers of
-  /// dropped packets and of control-packet inputs are recycled through
-  /// it and the tail slots `[count, batch.size())` are left empty.
+  /// performs no allocation in steady state (the prepass scratch
+  /// buffers are members whose capacity persists across calls); when
+  /// `arena` is supplied, the buffers of dropped packets and of
+  /// control-packet inputs are recycled through it and the tail slots
+  /// `[count, batch.size())` are left empty.
   std::size_t process_batch(std::span<net::Packet> batch, sim::SimTime now,
                             net::PacketArena* arena = nullptr);
 
@@ -136,6 +142,12 @@ class Neutralizer {
   }
 
  private:
+  // A session key derived ahead of the per-packet loop by the batch
+  // prepass. `ks == nullopt` memoizes an epoch rejection.
+  struct Prederived {
+    std::optional<crypto::AesKey> ks;
+  };
+
   // Per-batch memo of everything the datapath derives from the clock:
   // epoch validity, the keyed per-epoch CMAC, and the current master
   // key used for rekey stamping. One lives on the stack per
@@ -155,6 +167,10 @@ class Neutralizer {
     std::array<std::optional<std::uint16_t>, 2> rejected;
     std::size_t next_reject = 0;
     std::optional<std::pair<std::uint16_t, crypto::AesKey>> current;
+    // Set by process_batch() for the packet currently in flight when
+    // its session key was derived by the prepass; the data handlers
+    // then skip session_key() entirely. Null on the scalar path.
+    const Prederived* pre = nullptr;
   };
 
   NeutralizerConfig config_;
@@ -167,10 +183,27 @@ class Neutralizer {
   mutable std::unordered_map<std::uint16_t, crypto::Cmac> cmac_cache_;
   std::optional<DynamicAddressAllocator> allocator_;
   std::optional<qos::TokenBucket> setup_limiter_;
+  // Prepass scratch, reused across process_batch() calls so the steady
+  // state allocates nothing (capacity grows once). `pre_scratch_` is
+  // indexed 1:1 with the batch; an outer nullopt means "not prederived"
+  // (non-data packet, parse failure, or a handler precondition the
+  // prepass saw failing) and the handler falls back to session_key().
+  std::vector<std::optional<Prederived>> pre_scratch_;
+  std::vector<crypto::KeyDeriveRequest> req_scratch_;
+  std::vector<std::size_t> req_idx_scratch_;
+  std::vector<const crypto::Cmac*> req_keyed_scratch_;
+  std::vector<crypto::KeyDeriveRequest> group_req_scratch_;
+  std::vector<std::size_t> group_idx_scratch_;
+  std::vector<crypto::AesKey> group_key_scratch_;
 
   [[nodiscard]] const crypto::Cmac& keyed_master(std::uint16_t epoch,
                                                  const crypto::AesKey& km)
       const;
+
+  /// Batch prepass: derives the session key of every data packet in
+  /// `batch` through crypto::derive_keys_batch into `pre_scratch_`.
+  void prederive_batch_keys(std::span<net::Packet> batch, sim::SimTime now,
+                            BatchKeyCache& cache);
 
   /// Shared dispatcher behind process()/process_batch(). The cache
   /// scopes key memoization: per packet (scalar) or per batch.
@@ -189,6 +222,12 @@ class Neutralizer {
   [[nodiscard]] std::optional<net::Packet> handle_dyn_request(
       const net::ParsedPacket& p);
 
+  /// Epoch window check + keyed-CMAC lookup shared by the scalar path
+  /// and the batch prepass; nullptr when the epoch does not validate at
+  /// `now` (memoized in `cache` either way).
+  [[nodiscard]] const crypto::Cmac* resolve_keyed(std::uint16_t epoch,
+                                                  sim::SimTime now,
+                                                  BatchKeyCache& cache) const;
   [[nodiscard]] std::optional<crypto::AesKey> session_key(
       std::uint16_t epoch, std::uint8_t flags, std::uint64_t nonce,
       net::Ipv4Addr outside_addr, sim::SimTime now,

@@ -1,5 +1,11 @@
+// Portable AES-128 backend (table code) and the Aes128 facade bits
+// that are not header-only. This backend is the correctness reference:
+// every accelerated backend must match it byte-for-byte
+// (tests/crypto/test_backend_equivalence.cpp).
 #include "crypto/aes.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <stdexcept>
 
 namespace nn::crypto {
@@ -82,43 +88,40 @@ constexpr std::array<std::uint32_t, 10> kRcon = [] {
   return rcon;
 }();
 
-}  // namespace
+constexpr int kRounds = 10;
 
-Aes128::Aes128(std::span<const std::uint8_t> key) {
-  if (key.size() != kAesKeySize) {
-    throw std::invalid_argument("Aes128: key must be 16 bytes");
-  }
-  AesKey k;
-  std::copy(key.begin(), key.end(), k.begin());
-  expand_key(k);
-}
-
-void Aes128::expand_key(const AesKey& key) noexcept {
+void portable_expand_key(const std::uint8_t* key, AesSchedule& sched) {
+  // FIPS-197 key expansion on 32-bit words, then serialized to the
+  // schedule's block byte order (word w big-endian at bytes [4w, 4w+4)).
+  std::array<std::uint32_t, 4 * (kRounds + 1)> rk{};
   for (int i = 0; i < 4; ++i) {
-    rk_[static_cast<std::size_t>(i)] =
+    rk[static_cast<std::size_t>(i)] =
         (static_cast<std::uint32_t>(key[4 * i]) << 24) |
         (static_cast<std::uint32_t>(key[4 * i + 1]) << 16) |
         (static_cast<std::uint32_t>(key[4 * i + 2]) << 8) |
         static_cast<std::uint32_t>(key[4 * i + 3]);
   }
-  for (std::size_t i = 4; i < rk_.size(); ++i) {
-    std::uint32_t temp = rk_[i - 1];
+  for (std::size_t i = 4; i < rk.size(); ++i) {
+    std::uint32_t temp = rk[i - 1];
     if (i % 4 == 0) {
       temp = sub_word(rot_word(temp)) ^ kRcon[i / 4 - 1];
     }
-    rk_[i] = rk_[i - 4] ^ temp;
+    rk[i] = rk[i - 4] ^ temp;
   }
+  for (std::size_t w = 0; w < rk.size(); ++w) {
+    sched.enc[4 * w] = static_cast<std::uint8_t>(rk[w] >> 24);
+    sched.enc[4 * w + 1] = static_cast<std::uint8_t>(rk[w] >> 16);
+    sched.enc[4 * w + 2] = static_cast<std::uint8_t>(rk[w] >> 8);
+    sched.enc[4 * w + 3] = static_cast<std::uint8_t>(rk[w]);
+  }
+  // The portable inverse cipher walks the encryption keys backwards
+  // (no AESIMC-style transform); sched.dec stays unused — the layout
+  // is backend-defined and a portable schedule is never fed to other
+  // backends' ops.
 }
 
-namespace {
-
-inline void add_round_key(std::uint8_t state[16], const std::uint32_t* rk) {
-  for (int c = 0; c < 4; ++c) {
-    state[4 * c] ^= static_cast<std::uint8_t>(rk[c] >> 24);
-    state[4 * c + 1] ^= static_cast<std::uint8_t>(rk[c] >> 16);
-    state[4 * c + 2] ^= static_cast<std::uint8_t>(rk[c] >> 8);
-    state[4 * c + 3] ^= static_cast<std::uint8_t>(rk[c]);
-  }
+inline void add_round_key(std::uint8_t state[16], const std::uint8_t* rk) {
+  for (int i = 0; i < 16; ++i) state[i] ^= rk[i];
 }
 
 inline void sub_bytes(std::uint8_t state[16]) {
@@ -214,38 +217,105 @@ inline void inv_mix_columns(std::uint8_t s[16]) {
   }
 }
 
-}  // namespace
-
-void Aes128::encrypt_block(const AesBlock& in, AesBlock& out) const noexcept {
+void encrypt_one(const AesSchedule& sched, const std::uint8_t* in,
+                 std::uint8_t* out) {
   std::uint8_t s[16];
-  std::copy(in.begin(), in.end(), s);
-  add_round_key(s, rk_.data());
+  std::memcpy(s, in, 16);
+  add_round_key(s, sched.enc.data());
   for (int round = 1; round < kRounds; ++round) {
     sub_bytes(s);
     shift_rows(s);
     mix_columns(s);
-    add_round_key(s, rk_.data() + 4 * round);
+    add_round_key(s, sched.enc.data() + 16 * round);
   }
   sub_bytes(s);
   shift_rows(s);
-  add_round_key(s, rk_.data() + 4 * kRounds);
-  std::copy(s, s + 16, out.begin());
+  add_round_key(s, sched.enc.data() + 16 * kRounds);
+  std::memcpy(out, s, 16);
 }
 
-void Aes128::decrypt_block(const AesBlock& in, AesBlock& out) const noexcept {
+void decrypt_one(const AesSchedule& sched, const std::uint8_t* in,
+                 std::uint8_t* out) {
   std::uint8_t s[16];
-  std::copy(in.begin(), in.end(), s);
-  add_round_key(s, rk_.data() + 4 * kRounds);
+  std::memcpy(s, in, 16);
+  add_round_key(s, sched.enc.data() + 16 * kRounds);
   for (int round = kRounds - 1; round >= 1; --round) {
     inv_shift_rows(s);
     inv_sub_bytes(s);
-    add_round_key(s, rk_.data() + 4 * round);
+    add_round_key(s, sched.enc.data() + 16 * round);
     inv_mix_columns(s);
   }
   inv_shift_rows(s);
   inv_sub_bytes(s);
-  add_round_key(s, rk_.data());
-  std::copy(s, s + 16, out.begin());
+  add_round_key(s, sched.enc.data());
+  std::memcpy(out, s, 16);
+}
+
+void portable_encrypt_blocks(const AesSchedule& sched, const std::uint8_t* in,
+                             std::uint8_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    encrypt_one(sched, in + 16 * i, out + 16 * i);
+  }
+}
+
+void portable_decrypt_blocks(const AesSchedule& sched, const std::uint8_t* in,
+                             std::uint8_t* out, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    decrypt_one(sched, in + 16 * i, out + 16 * i);
+  }
+}
+
+void portable_cbc_decrypt(const AesSchedule& sched, const std::uint8_t iv[16],
+                          const std::uint8_t* in, std::uint8_t* out,
+                          std::size_t n) {
+  // `prev` is a copy so in-place decryption (out == in) is safe.
+  std::uint8_t prev[16];
+  std::memcpy(prev, iv, 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t c[16];
+    std::memcpy(c, in + 16 * i, 16);
+    std::uint8_t p[16];
+    decrypt_one(sched, c, p);
+    for (int j = 0; j < 16; ++j) out[16 * i + j] = p[j] ^ prev[j];
+    std::memcpy(prev, c, 16);
+  }
+}
+
+void portable_ctr_xor(const AesSchedule& sched, const std::uint8_t iv[12],
+                      std::uint32_t counter0, std::uint8_t* data,
+                      std::size_t len) {
+  std::uint8_t counter[16];
+  std::memcpy(counter, iv, 12);
+  std::uint32_t ctr = counter0;
+  std::size_t pos = 0;
+  while (pos < len) {
+    counter[12] = static_cast<std::uint8_t>(ctr >> 24);
+    counter[13] = static_cast<std::uint8_t>(ctr >> 16);
+    counter[14] = static_cast<std::uint8_t>(ctr >> 8);
+    counter[15] = static_cast<std::uint8_t>(ctr);
+    std::uint8_t ks[16];
+    encrypt_one(sched, counter, ks);
+    const std::size_t chunk = std::min<std::size_t>(16, len - pos);
+    for (std::size_t j = 0; j < chunk; ++j) data[pos + j] ^= ks[j];
+    pos += chunk;
+    ++ctr;
+  }
+}
+
+constexpr AesBackendOps kPortableOps = {
+    "portable",           portable_expand_key,  portable_encrypt_blocks,
+    portable_decrypt_blocks, portable_cbc_decrypt, portable_ctr_xor,
+};
+
+}  // namespace
+
+const AesBackendOps& portable_backend() noexcept { return kPortableOps; }
+
+Aes128::Aes128(std::span<const std::uint8_t> key) : ops_(&active_backend()) {
+  if (key.size() != kAesKeySize) {
+    throw std::invalid_argument("Aes128: key must be 16 bytes");
+  }
+  ops_->expand_key(key.data(), sched_);
 }
 
 }  // namespace nn::crypto

@@ -3,13 +3,17 @@
 // The paper's neutralizer (§4) uses "128-bit AES for both hashing and
 // encryption/decryption": the per-source key Ks is derived with an
 // AES-based keyed hash (we use AES-CMAC, see aes_modes.hpp) and the inner
-// destination address is encrypted with AES. This file provides the raw
-// block transform both directions; modes live in aes_modes.hpp.
+// destination address is encrypted with AES. This class is a thin facade
+// over the runtime-dispatched backends in aes_backend.hpp: the portable
+// table code (aes.cpp) or hardware AES-NI (aes_backend_aesni.cpp),
+// selected once per process. Modes live in aes_modes.hpp.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <span>
+
+#include "crypto/aes_backend.hpp"
 
 namespace nn::crypto {
 
@@ -20,14 +24,23 @@ using AesBlock = std::array<std::uint8_t, kAesBlockSize>;
 using AesKey = std::array<std::uint8_t, kAesKeySize>;
 
 /// Expanded-key AES-128 context. Cheap to copy; no secret erasure is
-/// attempted (out of scope for this reproduction).
+/// attempted (out of scope for this reproduction). The backend is bound
+/// at construction (the process-wide `active_backend()` by default) and
+/// the expanded schedule is only ever fed back to that same backend.
 class Aes128 {
  public:
-  explicit Aes128(const AesKey& key) noexcept { expand_key(key); }
+  explicit Aes128(const AesKey& key) noexcept : Aes128(key, active_backend()) {}
+  Aes128(const AesKey& key, const AesBackendOps& ops) noexcept : ops_(&ops) {
+    ops_->expand_key(key.data(), sched_);
+  }
   explicit Aes128(std::span<const std::uint8_t> key);
 
-  void encrypt_block(const AesBlock& in, AesBlock& out) const noexcept;
-  void decrypt_block(const AesBlock& in, AesBlock& out) const noexcept;
+  void encrypt_block(const AesBlock& in, AesBlock& out) const noexcept {
+    ops_->encrypt_blocks(sched_, in.data(), out.data(), 1);
+  }
+  void decrypt_block(const AesBlock& in, AesBlock& out) const noexcept {
+    ops_->decrypt_blocks(sched_, in.data(), out.data(), 1);
+  }
 
   [[nodiscard]] AesBlock encrypt(const AesBlock& in) const noexcept {
     AesBlock out;
@@ -40,12 +53,39 @@ class Aes128 {
     return out;
   }
 
- private:
-  static constexpr int kRounds = 10;
-  // Round keys as 4 words per round, 11 rounds.
-  std::array<std::uint32_t, 4 * (kRounds + 1)> rk_{};
+  /// Whole-batch ECB over `n` independent 16-byte blocks. Accelerated
+  /// backends keep several blocks in flight; this is the entry point
+  /// the batched CMAC/CTR paths build on. In-place (`in == out`) is
+  /// allowed.
+  void encrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t n) const noexcept {
+    ops_->encrypt_blocks(sched_, in, out, n);
+  }
+  void decrypt_blocks(const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t n) const noexcept {
+    ops_->decrypt_blocks(sched_, in, out, n);
+  }
 
-  void expand_key(const AesKey& key) noexcept;
+  /// Pipelined CBC decrypt of `n` chained blocks (in-place allowed).
+  void cbc_decrypt(const AesBlock& iv, const std::uint8_t* in,
+                   std::uint8_t* out, std::size_t n) const noexcept {
+    ops_->cbc_decrypt(sched_, iv.data(), in, out, n);
+  }
+
+  /// CTR keystream XOR: counter block = iv ‖ be32(counter0 + i).
+  void ctr_xor(std::span<const std::uint8_t, 12> iv, std::uint32_t counter0,
+               std::span<std::uint8_t> data) const noexcept {
+    ops_->ctr_xor(sched_, iv.data(), counter0, data.data(), data.size());
+  }
+
+  [[nodiscard]] const AesBackendOps& backend() const noexcept { return *ops_; }
+  [[nodiscard]] std::string_view backend_name() const noexcept {
+    return ops_->name;
+  }
+
+ private:
+  AesSchedule sched_;
+  const AesBackendOps* ops_;
 };
 
 }  // namespace nn::crypto

@@ -1,0 +1,67 @@
+#include "crypto/aes_backend.hpp"
+
+#include <cstdlib>
+
+namespace nn::crypto {
+
+namespace detail {
+#if defined(__x86_64__) || defined(_M_X64)
+// Defined in aes_backend_aesni.cpp (the only TU built with -maes):
+// returns the ops table when cpuid reports AES+PCLMUL, else nullptr.
+const AesBackendOps* aesni_backend_probe() noexcept;
+#else
+// aes_backend_aesni.cpp is excluded from non-x86 builds.
+inline const AesBackendOps* aesni_backend_probe() noexcept { return nullptr; }
+#endif
+}  // namespace detail
+
+namespace {
+
+const AesBackendOps* g_override = nullptr;
+
+const AesBackendOps& choose_backend() noexcept {
+  const char* requested = std::getenv("NN_AES_BACKEND");
+  if (requested != nullptr && *requested != '\0' &&
+      std::string_view(requested) != "auto") {
+    if (const AesBackendOps* ops = backend_by_name(requested)) return *ops;
+    // Unknown or unavailable request: fall back rather than abort so a
+    // forced-aesni config still runs (slowly) on plain hardware.
+    return portable_backend();
+  }
+  if (const AesBackendOps* ni = aesni_backend()) return *ni;
+  return portable_backend();
+}
+
+}  // namespace
+
+const AesBackendOps* aesni_backend() noexcept {
+  static const AesBackendOps* ops = detail::aesni_backend_probe();
+  return ops;
+}
+
+std::span<const AesBackendOps* const> available_backends() noexcept {
+  static const std::array<const AesBackendOps*, 2> all = {
+      &portable_backend(), aesni_backend()};
+  return {all.data(), all[1] != nullptr ? std::size_t{2} : std::size_t{1}};
+}
+
+const AesBackendOps* backend_by_name(std::string_view name) noexcept {
+  for (const AesBackendOps* ops : available_backends()) {
+    if (ops->name == name) return ops;
+  }
+  return nullptr;
+}
+
+const AesBackendOps& active_backend() noexcept {
+  static const AesBackendOps& chosen = choose_backend();
+  return g_override != nullptr ? *g_override : chosen;
+}
+
+ScopedBackendOverride::ScopedBackendOverride(const AesBackendOps& ops) noexcept
+    : previous_(g_override) {
+  g_override = &ops;
+}
+
+ScopedBackendOverride::~ScopedBackendOverride() { g_override = previous_; }
+
+}  // namespace nn::crypto

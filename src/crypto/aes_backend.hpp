@@ -1,0 +1,107 @@
+// Runtime-dispatched AES-128 backends.
+//
+// The neutralizer spends nearly all of its per-packet budget in
+// symmetric crypto (CMAC tag/key derivation + address decryption), so
+// the raw block transform is pluggable: a portable table implementation
+// (aes.cpp) always exists, and on x86-64 an AES-NI implementation
+// (aes_backend_aesni.cpp, compiled with -maes -mpclmul) is selected at
+// startup when cpuid reports support. Selection happens exactly once,
+// on first use; the `NN_AES_BACKEND` environment variable overrides it
+// (`portable`, `aesni`, or `auto`). Requesting an unavailable backend
+// falls back to portable rather than crashing — CI runs the forced-
+// portable configuration on AES-NI-capable runners this way.
+//
+// Every backend implements the same whole-batch entry points (N blocks
+// per call) so the accelerated paths can keep 4-8 blocks in flight to
+// hide AESENC/AESDEC latency; the portable backend simply loops. A
+// schedule produced by one backend's `expand_key` must only be consumed
+// by that same backend's block functions: the decryption half is
+// backend-specific (AES-NI stores AESIMC-transformed equivalent-inverse
+// round keys, the portable code walks the encryption keys backwards).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace nn::crypto {
+
+inline constexpr std::size_t kAesScheduleBytes = 16 * 11;  // AES-128
+
+/// Expanded round keys, encryption and decryption halves, 16-byte
+/// aligned so SIMD backends can use aligned loads. Round key r of the
+/// encryption schedule lives at bytes [16r, 16r+16) in block byte
+/// order; the decryption half's layout is backend-defined.
+struct AesSchedule {
+  alignas(16) std::array<std::uint8_t, kAesScheduleBytes> enc{};
+  alignas(16) std::array<std::uint8_t, kAesScheduleBytes> dec{};
+};
+
+/// One AES implementation. All function pointers are non-null and
+/// operate on whole batches of 16-byte blocks; `in`/`out` may alias
+/// only when exactly equal (in-place). No alignment is required of the
+/// data pointers.
+struct AesBackendOps {
+  std::string_view name;
+
+  void (*expand_key)(const std::uint8_t* key, AesSchedule& sched);
+
+  /// ECB over `n` independent blocks (the batch CMAC/CTR workhorse).
+  void (*encrypt_blocks)(const AesSchedule& sched, const std::uint8_t* in,
+                         std::uint8_t* out, std::size_t n);
+  void (*decrypt_blocks)(const AesSchedule& sched, const std::uint8_t* in,
+                         std::uint8_t* out, std::size_t n);
+
+  /// CBC decrypt of `n` chained blocks. Unlike CBC encrypt this is
+  /// data-parallel (block i needs only ciphertext block i-1), so
+  /// accelerated backends pipeline it.
+  void (*cbc_decrypt)(const AesSchedule& sched, const std::uint8_t iv[16],
+                      const std::uint8_t* in, std::uint8_t* out,
+                      std::size_t n);
+
+  /// CTR keystream XOR over `data`: counter block = iv(12) ‖ be32
+  /// counter starting at `counter0`, incremented per 16-byte block.
+  void (*ctr_xor)(const AesSchedule& sched, const std::uint8_t iv[12],
+                  std::uint32_t counter0, std::uint8_t* data,
+                  std::size_t len);
+};
+
+/// The portable (always-available) backend.
+[[nodiscard]] const AesBackendOps& portable_backend() noexcept;
+
+/// The AES-NI backend, or nullptr when this build/CPU cannot run it.
+[[nodiscard]] const AesBackendOps* aesni_backend() noexcept;
+
+/// Backends usable on this machine, portable first.
+[[nodiscard]] std::span<const AesBackendOps* const>
+available_backends() noexcept;
+
+/// Lookup by name ("portable", "aesni"); nullptr when unknown or
+/// unavailable on this machine.
+[[nodiscard]] const AesBackendOps* backend_by_name(
+    std::string_view name) noexcept;
+
+/// The process-wide backend every default-constructed cipher uses.
+/// Chosen once: NN_AES_BACKEND override if set, else the fastest
+/// available. Stable for the life of the process apart from
+/// ScopedBackendOverride below.
+[[nodiscard]] const AesBackendOps& active_backend() noexcept;
+
+/// Test/bench hook: forces `active_backend()` to return `ops` for the
+/// lifetime of the object. Not thread-safe, and it only affects cipher
+/// objects constructed while the override is live (a schedule keeps the
+/// backend it was expanded with).
+class ScopedBackendOverride {
+ public:
+  explicit ScopedBackendOverride(const AesBackendOps& ops) noexcept;
+  ~ScopedBackendOverride();
+  ScopedBackendOverride(const ScopedBackendOverride&) = delete;
+  ScopedBackendOverride& operator=(const ScopedBackendOverride&) = delete;
+
+ private:
+  const AesBackendOps* previous_;
+};
+
+}  // namespace nn::crypto

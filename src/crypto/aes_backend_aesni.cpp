@@ -1,0 +1,231 @@
+// AES-NI backend. This is the only translation unit compiled with
+// -maes -mpclmul -msse4.1 (see CMakeLists.txt), so every function that
+// may execute AES instructions lives here, behind the cpuid probe —
+// nothing in this file runs unless `aesni_backend_probe()` returned
+// non-null on this machine.
+//
+// The batch entry points keep 8 blocks in flight: AESENC/AESDEC have a
+// ~4-cycle latency but single-cycle throughput, so independent blocks
+// interleave essentially for free while a lone block serializes on the
+// latency chain. CBC *decrypt* is data-parallel (block i needs only
+// ciphertext block i-1) and pipelines the same way; CBC encrypt is
+// inherently serial and is not offered batched.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <wmmintrin.h>  // AESENC/AESDEC/AESKEYGENASSIST
+#include <smmintrin.h>  // _mm_insert_epi32
+
+#include <cstring>
+
+#include "crypto/aes_backend.hpp"
+
+namespace nn::crypto {
+namespace {
+
+// --- key schedule ----------------------------------------------------
+
+template <int Rcon>
+inline __m128i expand_step(__m128i key) {
+  __m128i gen = _mm_aeskeygenassist_si128(key, Rcon);
+  gen = _mm_shuffle_epi32(gen, _MM_SHUFFLE(3, 3, 3, 3));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  return _mm_xor_si128(key, gen);
+}
+
+void aesni_expand_key(const std::uint8_t* key, AesSchedule& sched) {
+  __m128i rk[11];
+  rk[0] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(key));
+  rk[1] = expand_step<0x01>(rk[0]);
+  rk[2] = expand_step<0x02>(rk[1]);
+  rk[3] = expand_step<0x04>(rk[2]);
+  rk[4] = expand_step<0x08>(rk[3]);
+  rk[5] = expand_step<0x10>(rk[4]);
+  rk[6] = expand_step<0x20>(rk[5]);
+  rk[7] = expand_step<0x40>(rk[6]);
+  rk[8] = expand_step<0x80>(rk[7]);
+  rk[9] = expand_step<0x1B>(rk[8]);
+  rk[10] = expand_step<0x36>(rk[9]);
+  auto* enc = reinterpret_cast<__m128i*>(sched.enc.data());
+  for (int r = 0; r <= 10; ++r) _mm_store_si128(enc + r, rk[r]);
+  // Equivalent-inverse-cipher keys for AESDEC: reversed order, middle
+  // rounds through AESIMC (FIPS-197 §5.3.5).
+  auto* dec = reinterpret_cast<__m128i*>(sched.dec.data());
+  _mm_store_si128(dec + 0, rk[10]);
+  for (int r = 1; r <= 9; ++r) {
+    _mm_store_si128(dec + r, _mm_aesimc_si128(rk[10 - r]));
+  }
+  _mm_store_si128(dec + 10, rk[0]);
+}
+
+// --- block transforms ------------------------------------------------
+
+struct RoundKeys {
+  __m128i rk[11];
+  explicit RoundKeys(const std::uint8_t* sched) {
+    const auto* p = reinterpret_cast<const __m128i*>(sched);
+    for (int r = 0; r <= 10; ++r) rk[r] = _mm_load_si128(p + r);
+  }
+};
+
+inline __m128i encrypt_one(const RoundKeys& k, __m128i b) {
+  b = _mm_xor_si128(b, k.rk[0]);
+  for (int r = 1; r < 10; ++r) b = _mm_aesenc_si128(b, k.rk[r]);
+  return _mm_aesenclast_si128(b, k.rk[10]);
+}
+
+inline __m128i decrypt_one(const RoundKeys& k, __m128i b) {
+  b = _mm_xor_si128(b, k.rk[0]);
+  for (int r = 1; r < 10; ++r) b = _mm_aesdec_si128(b, k.rk[r]);
+  return _mm_aesdeclast_si128(b, k.rk[10]);
+}
+
+inline constexpr std::size_t kLanes = 8;
+
+// Runs 8 independent blocks through the cipher together. `Enc` selects
+// the instruction; the loop body is identical otherwise.
+template <bool Enc>
+inline void crypt_lanes(const RoundKeys& k, __m128i (&b)[kLanes]) {
+  for (auto& lane : b) lane = _mm_xor_si128(lane, k.rk[0]);
+  for (int r = 1; r < 10; ++r) {
+    for (auto& lane : b) {
+      lane = Enc ? _mm_aesenc_si128(lane, k.rk[r])
+                 : _mm_aesdec_si128(lane, k.rk[r]);
+    }
+  }
+  for (auto& lane : b) {
+    lane = Enc ? _mm_aesenclast_si128(lane, k.rk[10])
+               : _mm_aesdeclast_si128(lane, k.rk[10]);
+  }
+}
+
+template <bool Enc>
+void crypt_blocks(const std::uint8_t* sched, const std::uint8_t* in,
+                  std::uint8_t* out, std::size_t n) {
+  const RoundKeys k(sched);
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m128i b[kLanes];
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      b[j] = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in + 16 * (i + j)));
+    }
+    crypt_lanes<Enc>(k, b);
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + j)), b[j]);
+    }
+  }
+  for (; i < n; ++i) {
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i),
+                     Enc ? encrypt_one(k, b) : decrypt_one(k, b));
+  }
+}
+
+void aesni_encrypt_blocks(const AesSchedule& sched, const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t n) {
+  crypt_blocks<true>(sched.enc.data(), in, out, n);
+}
+
+void aesni_decrypt_blocks(const AesSchedule& sched, const std::uint8_t* in,
+                          std::uint8_t* out, std::size_t n) {
+  crypt_blocks<false>(sched.dec.data(), in, out, n);
+}
+
+void aesni_cbc_decrypt(const AesSchedule& sched, const std::uint8_t iv[16],
+                       const std::uint8_t* in, std::uint8_t* out,
+                       std::size_t n) {
+  const RoundKeys k(sched.dec.data());
+  // `prev` is carried in a register so in-place decryption (out == in)
+  // is safe: each ciphertext block is consumed before it is overwritten.
+  __m128i prev = _mm_loadu_si128(reinterpret_cast<const __m128i*>(iv));
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    __m128i c[kLanes];
+    __m128i b[kLanes];
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      c[j] = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in + 16 * (i + j)));
+      b[j] = c[j];
+    }
+    crypt_lanes<false>(k, b);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i),
+                     _mm_xor_si128(b[0], prev));
+    for (std::size_t j = 1; j < kLanes; ++j) {
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * (i + j)),
+                       _mm_xor_si128(b[j], c[j - 1]));
+    }
+    prev = c[kLanes - 1];
+  }
+  for (; i < n; ++i) {
+    const __m128i c =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16 * i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16 * i),
+                     _mm_xor_si128(decrypt_one(k, c), prev));
+    prev = c;
+  }
+}
+
+void aesni_ctr_xor(const AesSchedule& sched, const std::uint8_t iv[12],
+                   std::uint32_t counter0, std::uint8_t* data,
+                   std::size_t len) {
+  const RoundKeys k(sched.enc.data());
+  alignas(16) std::uint8_t base[16] = {};
+  std::memcpy(base, iv, 12);
+  const __m128i iv_block =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(base));
+  const auto counter_block = [&](std::uint32_t ctr) {
+    return _mm_insert_epi32(iv_block,
+                            static_cast<int>(__builtin_bswap32(ctr)), 3);
+  };
+
+  std::uint32_t ctr = counter0;
+  std::size_t pos = 0;
+  while (len - pos >= 16 * kLanes) {
+    __m128i b[kLanes];
+    for (std::size_t j = 0; j < kLanes; ++j) b[j] = counter_block(ctr++);
+    crypt_lanes<true>(k, b);
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      const auto* src =
+          reinterpret_cast<const __m128i*>(data + pos + 16 * j);
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(data + pos + 16 * j),
+                       _mm_xor_si128(_mm_loadu_si128(src), b[j]));
+    }
+    pos += 16 * kLanes;
+  }
+  while (pos < len) {
+    const __m128i ks = encrypt_one(k, counter_block(ctr++));
+    alignas(16) std::uint8_t ks_bytes[16];
+    _mm_store_si128(reinterpret_cast<__m128i*>(ks_bytes), ks);
+    const std::size_t chunk = len - pos < 16 ? len - pos : 16;
+    for (std::size_t j = 0; j < chunk; ++j) data[pos + j] ^= ks_bytes[j];
+    pos += chunk;
+  }
+}
+
+constexpr AesBackendOps kAesniOps = {
+    "aesni",           aesni_expand_key,  aesni_encrypt_blocks,
+    aesni_decrypt_blocks, aesni_cbc_decrypt, aesni_ctr_xor,
+};
+
+}  // namespace
+
+namespace detail {
+
+const AesBackendOps* aesni_backend_probe() noexcept {
+  // The whole TU is compiled with -maes -mpclmul -msse4.1, so require
+  // all three features before handing out code that may use them.
+  if (__builtin_cpu_supports("aes") && __builtin_cpu_supports("pclmul") &&
+      __builtin_cpu_supports("sse4.1")) {
+    return &kAesniOps;
+  }
+  return nullptr;
+}
+
+}  // namespace detail
+}  // namespace nn::crypto
+
+#endif  // x86-64

@@ -19,7 +19,8 @@ AesBlock gf_double(const AesBlock& in) noexcept {
 }
 }  // namespace
 
-Cmac::Cmac(const AesKey& key) noexcept : cipher_(key) {
+Cmac::Cmac(const AesKey& key, const AesBackendOps& ops) noexcept
+    : cipher_(key, ops) {
   const AesBlock zero{};
   const AesBlock l = cipher_.encrypt(zero);
   k1_ = gf_double(l);
@@ -57,6 +58,53 @@ AesBlock Cmac::mac(std::span<const std::uint8_t> msg) const noexcept {
   return cipher_.encrypt(x);
 }
 
+void Cmac::mac_single_blocks(const AesBlock* msgs, AesBlock* tags,
+                             std::size_t n) const noexcept {
+  // One complete block: X = 0, last = msg ⊕ K1, tag = E(X ⊕ last) —
+  // a single cipher call per message, all n pipelined together.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < kAesBlockSize; ++j) {
+      tags[i][j] = static_cast<std::uint8_t>(msgs[i][j] ^ k1_[j]);
+    }
+  }
+  cipher_.encrypt_blocks(tags->data(), tags->data(), n);
+}
+
+void Cmac::mac_batch(const std::uint8_t* msgs, std::size_t msg_len,
+                     std::size_t n, AesBlock* tags) const noexcept {
+  if (n == 0) return;
+  const std::size_t n_blocks =
+      msg_len == 0 ? 1 : (msg_len + kAesBlockSize - 1) / kAesBlockSize;
+  const bool last_complete = msg_len != 0 && msg_len % kAesBlockSize == 0;
+
+  // tags[] doubles as the running CMAC state of each lane.
+  for (std::size_t i = 0; i < n; ++i) tags[i] = AesBlock{};
+  for (std::size_t b = 0; b + 1 < n_blocks; ++b) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint8_t* block = msgs + i * msg_len + b * kAesBlockSize;
+      for (std::size_t j = 0; j < kAesBlockSize; ++j) tags[i][j] ^= block[j];
+    }
+    cipher_.encrypt_blocks(tags->data(), tags->data(), n);
+  }
+  const std::size_t off = (n_blocks - 1) * kAesBlockSize;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* msg = msgs + i * msg_len;
+    AesBlock last{};
+    if (last_complete) {
+      for (std::size_t j = 0; j < kAesBlockSize; ++j) {
+        last[j] = static_cast<std::uint8_t>(msg[off + j] ^ k1_[j]);
+      }
+    } else {
+      const std::size_t rem = msg_len - off;
+      for (std::size_t j = 0; j < rem; ++j) last[j] = msg[off + j];
+      last[rem] = 0x80;
+      for (std::size_t j = 0; j < kAesBlockSize; ++j) last[j] ^= k2_[j];
+    }
+    for (std::size_t j = 0; j < kAesBlockSize; ++j) tags[i][j] ^= last[j];
+  }
+  cipher_.encrypt_blocks(tags->data(), tags->data(), n);
+}
+
 std::vector<std::uint8_t> Cmac::mac_truncated(std::span<const std::uint8_t> msg,
                                               std::size_t len) const {
   if (len > kAesBlockSize) {
@@ -64,25 +112,6 @@ std::vector<std::uint8_t> Cmac::mac_truncated(std::span<const std::uint8_t> msg,
   }
   const AesBlock full = mac(msg);
   return {full.begin(), full.begin() + static_cast<std::ptrdiff_t>(len)};
-}
-
-void Ctr::crypt(std::span<const std::uint8_t, 12> iv,
-                std::span<std::uint8_t> data) const noexcept {
-  AesBlock counter{};
-  std::copy(iv.begin(), iv.end(), counter.begin());
-  std::uint32_t block_index = 0;
-  std::size_t pos = 0;
-  while (pos < data.size()) {
-    counter[12] = static_cast<std::uint8_t>(block_index >> 24);
-    counter[13] = static_cast<std::uint8_t>(block_index >> 16);
-    counter[14] = static_cast<std::uint8_t>(block_index >> 8);
-    counter[15] = static_cast<std::uint8_t>(block_index);
-    const AesBlock ks = cipher_.encrypt(counter);
-    const std::size_t n = std::min(kAesBlockSize, data.size() - pos);
-    for (std::size_t i = 0; i < n; ++i) data[pos + i] ^= ks[i];
-    pos += n;
-    ++block_index;
-  }
 }
 
 std::vector<std::uint8_t> Ctr::crypt_copy(
@@ -93,10 +122,32 @@ std::vector<std::uint8_t> Ctr::crypt_copy(
   return out;
 }
 
-AesKey derive_source_key(const Cmac& keyed_master, std::uint64_t nonce,
-                         std::uint32_t src_ip) noexcept {
-  // CMAC(KM, nonce ‖ srcIP ‖ "NNKS"): the paper's Ks = hash(KM, nonce, srcIP).
-  std::array<std::uint8_t, 16> msg{};
+void Cbc::encrypt(const AesBlock& iv, std::span<std::uint8_t> data) const {
+  if (data.size() % kAesBlockSize != 0) {
+    throw std::invalid_argument("Cbc: data not block-aligned");
+  }
+  AesBlock prev = iv;
+  for (std::size_t off = 0; off < data.size(); off += kAesBlockSize) {
+    for (std::size_t j = 0; j < kAesBlockSize; ++j) prev[j] ^= data[off + j];
+    prev = cipher_.encrypt(prev);
+    std::copy(prev.begin(), prev.end(), data.begin() +
+                                            static_cast<std::ptrdiff_t>(off));
+  }
+}
+
+void Cbc::decrypt(const AesBlock& iv, std::span<std::uint8_t> data) const {
+  if (data.size() % kAesBlockSize != 0) {
+    throw std::invalid_argument("Cbc: data not block-aligned");
+  }
+  cipher_.cbc_decrypt(iv, data.data(), data.data(),
+                      data.size() / kAesBlockSize);
+}
+
+namespace {
+
+AesBlock source_key_msg(std::uint64_t nonce, std::uint32_t src_ip) noexcept {
+  // nonce ‖ srcIP ‖ "NNKS": the paper's Ks = hash(KM, nonce, srcIP).
+  AesBlock msg{};
   for (int i = 0; i < 8; ++i) {
     msg[static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
@@ -109,20 +160,11 @@ AesKey derive_source_key(const Cmac& keyed_master, std::uint64_t nonce,
   msg[13] = 'N';
   msg[14] = 'K';
   msg[15] = 'S';
-  const AesBlock tag = keyed_master.mac(msg);
-  AesKey out;
-  std::copy(tag.begin(), tag.end(), out.begin());
-  return out;
+  return msg;
 }
 
-AesKey derive_source_key(const AesKey& master_key, std::uint64_t nonce,
-                         std::uint32_t src_ip) noexcept {
-  return derive_source_key(Cmac(master_key), nonce, src_ip);
-}
-
-AesKey derive_lease_key(const Cmac& keyed_master,
-                        std::uint64_t nonce) noexcept {
-  std::array<std::uint8_t, 16> msg{};
+AesBlock lease_key_msg(std::uint64_t nonce) noexcept {
+  AesBlock msg{};
   for (int i = 0; i < 8; ++i) {
     msg[static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(nonce >> (56 - 8 * i));
@@ -133,15 +175,49 @@ AesKey derive_lease_key(const Cmac& keyed_master,
   msg[13] = 'N';
   msg[14] = 'K';
   msg[15] = 'L';
-  const AesBlock tag = keyed_master.mac(msg);
-  AesKey out;
-  std::copy(tag.begin(), tag.end(), out.begin());
-  return out;
+  return msg;
+}
+
+}  // namespace
+
+AesKey derive_source_key(const Cmac& keyed_master, std::uint64_t nonce,
+                         std::uint32_t src_ip) noexcept {
+  return keyed_master.mac(source_key_msg(nonce, src_ip));
+}
+
+AesKey derive_source_key(const AesKey& master_key, std::uint64_t nonce,
+                         std::uint32_t src_ip) noexcept {
+  return derive_source_key(Cmac(master_key), nonce, src_ip);
+}
+
+AesKey derive_lease_key(const Cmac& keyed_master,
+                        std::uint64_t nonce) noexcept {
+  return keyed_master.mac(lease_key_msg(nonce));
 }
 
 AesKey derive_lease_key(const AesKey& master_key,
                         std::uint64_t nonce) noexcept {
   return derive_lease_key(Cmac(master_key), nonce);
+}
+
+void derive_keys_batch(const Cmac& keyed_master,
+                       std::span<const KeyDeriveRequest> reqs,
+                       AesKey* out) noexcept {
+  // Stage fixed-size chunks on the stack; AesKey and AesBlock are the
+  // same 16-byte array type, so tags land directly in `out`.
+  constexpr std::size_t kChunk = 32;
+  std::array<AesBlock, kChunk> msgs;
+  std::size_t done = 0;
+  while (done < reqs.size()) {
+    const std::size_t n = std::min(kChunk, reqs.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      const KeyDeriveRequest& r = reqs[done + i];
+      msgs[i] = r.lease ? lease_key_msg(r.nonce)
+                        : source_key_msg(r.nonce, r.src_ip);
+    }
+    keyed_master.mac_single_blocks(msgs.data(), out + done, n);
+    done += n;
+  }
 }
 
 std::uint32_t crypt_address(const AesKey& ks, std::uint64_t nonce,

@@ -6,6 +6,12 @@
 //    the e2e encryption layer.
 //  * AES-CTR — stream encryption of the inner (hidden) address and of
 //    e2e payloads.
+//  * AES-CBC — block encryption for whole-payload workloads; decrypt is
+//    data-parallel and rides the pipelined backend entry point.
+//
+// Every mode binds the runtime-dispatched backend at construction (see
+// aes_backend.hpp) and offers whole-batch entry points where the
+// algorithm allows independent blocks in flight.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +25,8 @@ namespace nn::crypto {
 /// AES-CMAC per RFC 4493. 128-bit tag.
 class Cmac {
  public:
-  explicit Cmac(const AesKey& key) noexcept;
+  explicit Cmac(const AesKey& key) noexcept : Cmac(key, active_backend()) {}
+  Cmac(const AesKey& key, const AesBackendOps& ops) noexcept;
 
   /// One-shot MAC over `msg`.
   [[nodiscard]] AesBlock mac(std::span<const std::uint8_t> msg) const noexcept;
@@ -27,6 +34,24 @@ class Cmac {
   /// Truncated tag (first `len` bytes of the full MAC), len <= 16.
   [[nodiscard]] std::vector<std::uint8_t> mac_truncated(
       std::span<const std::uint8_t> msg, std::size_t len) const;
+
+  /// Batch MAC over `n` independent messages of exactly one complete
+  /// block each (the shape of every key-derivation input): tag_i =
+  /// E(msg_i ⊕ K1). All n blocks go through the cipher in one batched
+  /// call, so an accelerated backend pipelines them. `msgs` and `tags`
+  /// may be the same array.
+  void mac_single_blocks(const AesBlock* msgs, AesBlock* tags,
+                         std::size_t n) const noexcept;
+
+  /// Batch MAC over `n` independent equal-length messages laid out
+  /// contiguously (`msgs + i * msg_len`). The CMAC chain of one message
+  /// is serial, so parallelism comes from running the n chains in
+  /// lockstep: one batched cipher call per message block index.
+  /// Bit-identical to calling mac() per message.
+  void mac_batch(const std::uint8_t* msgs, std::size_t msg_len, std::size_t n,
+                 AesBlock* tags) const noexcept;
+
+  [[nodiscard]] const Aes128& cipher() const noexcept { return cipher_; }
 
  private:
   Aes128 cipher_;
@@ -39,16 +64,37 @@ class Cmac {
 class Ctr {
  public:
   explicit Ctr(const AesKey& key) noexcept : cipher_(key) {}
+  Ctr(const AesKey& key, const AesBackendOps& ops) noexcept
+      : cipher_(key, ops) {}
 
   /// XORs `data` in place with the keystream for (iv, starting block 0).
   /// Encrypt and decrypt are the same operation.
   void crypt(std::span<const std::uint8_t, 12> iv,
-             std::span<std::uint8_t> data) const noexcept;
+             std::span<std::uint8_t> data) const noexcept {
+    cipher_.ctr_xor(iv, 0, data);
+  }
 
   /// Convenience: returns the transformed copy.
   [[nodiscard]] std::vector<std::uint8_t> crypt_copy(
       std::span<const std::uint8_t, 12> iv,
       std::span<const std::uint8_t> data) const;
+
+ private:
+  Aes128 cipher_;
+};
+
+/// AES-CBC over whole blocks (no padding: callers own framing, and the
+/// paper's payloads are block-aligned). Encrypt is inherently serial;
+/// decrypt is pipelined through the backend batch entry point.
+class Cbc {
+ public:
+  explicit Cbc(const AesKey& key) noexcept : cipher_(key) {}
+  Cbc(const AesKey& key, const AesBackendOps& ops) noexcept
+      : cipher_(key, ops) {}
+
+  /// In-place; data.size() must be a multiple of the block size.
+  void encrypt(const AesBlock& iv, std::span<std::uint8_t> data) const;
+  void decrypt(const AesBlock& iv, std::span<std::uint8_t> data) const;
 
  private:
   Aes128 cipher_;
@@ -76,6 +122,21 @@ class Ctr {
                                       std::uint64_t nonce) noexcept;
 [[nodiscard]] AesKey derive_lease_key(const Cmac& keyed_master,
                                       std::uint64_t nonce) noexcept;
+
+/// One pending key derivation of either flavor (lease keys ignore
+/// `src_ip`); the batched datapath collects these per keyed master.
+struct KeyDeriveRequest {
+  std::uint64_t nonce = 0;
+  std::uint32_t src_ip = 0;
+  bool lease = false;
+};
+
+/// Batched key derivation: out[i] = derive_{source,lease}_key(reqs[i]),
+/// bit-identical to the scalar helpers, with all requests pipelined
+/// through one batched CMAC per chunk.
+void derive_keys_batch(const Cmac& keyed_master,
+                       std::span<const KeyDeriveRequest> reqs,
+                       AesKey* out) noexcept;
 
 /// Encrypts/decrypts a 4-byte IPv4 address with AES-CTR keyed by Ks.
 /// The IV binds the nonce and direction so forward and return packets

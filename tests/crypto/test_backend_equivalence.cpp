@@ -1,0 +1,300 @@
+// Cross-backend equivalence: every backend available on this machine
+// must produce byte-identical output to the portable reference for
+// every entry point, key, block count, alignment, and — through the
+// neutralizer datapath — every packet. On AES-NI hardware this pits
+// the hardware pipeline against the table code; on other machines the
+// suite degenerates to portable-vs-portable and still checks the batch
+// entry points against their scalar definitions.
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/neutralizer.hpp"
+#include "crypto/aes_backend.hpp"
+#include "crypto/aes_modes.hpp"
+#include "net/shim.hpp"
+#include "util/rng.hpp"
+
+namespace nn::crypto {
+namespace {
+
+class BackendEquivalence
+    : public ::testing::TestWithParam<const AesBackendOps*> {
+ protected:
+  const AesBackendOps& reference_ = portable_backend();
+  const AesBackendOps& candidate_ = *GetParam();
+};
+
+std::string backend_param_name(
+    const ::testing::TestParamInfo<const AesBackendOps*>& info) {
+  return std::string(info.param->name);
+}
+
+TEST_P(BackendEquivalence, SingleBlockEncryptDecrypt) {
+  SplitMix64 rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    AesKey key{};
+    AesBlock pt{};
+    rng.fill(key);
+    rng.fill(pt);
+    const Aes128 ref(key, reference_);
+    const Aes128 cand(key, candidate_);
+    const AesBlock ct = ref.encrypt(pt);
+    EXPECT_EQ(cand.encrypt(pt), ct);
+    EXPECT_EQ(cand.decrypt(ct), pt);
+    EXPECT_EQ(ref.decrypt(ct), pt);
+  }
+}
+
+TEST_P(BackendEquivalence, EcbBatchAllBlockCounts) {
+  SplitMix64 rng(7);
+  AesKey key{};
+  rng.fill(key);
+  const Aes128 ref(key, reference_);
+  const Aes128 cand(key, candidate_);
+  // Counts straddling the 8-lane pipeline width: remainders, one full
+  // batch, full batches + remainder.
+  for (std::size_t n : {1u, 2u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 64u, 100u}) {
+    std::vector<std::uint8_t> pt(16 * n);
+    rng.fill(pt);
+    std::vector<std::uint8_t> a(16 * n);
+    std::vector<std::uint8_t> b(16 * n);
+    ref.encrypt_blocks(pt.data(), a.data(), n);
+    cand.encrypt_blocks(pt.data(), b.data(), n);
+    EXPECT_EQ(a, b) << "encrypt n=" << n;
+    std::vector<std::uint8_t> back(16 * n);
+    cand.decrypt_blocks(b.data(), back.data(), n);
+    EXPECT_EQ(back, pt) << "decrypt n=" << n;
+    // In-place operation must match out-of-place.
+    cand.encrypt_blocks(pt.data(), pt.data(), n);
+    EXPECT_EQ(pt, b) << "in-place n=" << n;
+  }
+}
+
+TEST_P(BackendEquivalence, CbcDecryptMatchesAndInverts) {
+  SplitMix64 rng(11);
+  AesKey key{};
+  rng.fill(key);
+  for (std::size_t n : {1u, 2u, 7u, 8u, 9u, 24u, 32u, 33u}) {
+    AesBlock iv{};
+    rng.fill(iv);
+    std::vector<std::uint8_t> plain(16 * n);
+    rng.fill(plain);
+    // Encrypt with the reference (CBC encrypt is serial everywhere),
+    // decrypt with both.
+    std::vector<std::uint8_t> ct = plain;
+    Cbc(key, reference_).encrypt(iv, ct);
+    std::vector<std::uint8_t> a = ct;
+    std::vector<std::uint8_t> b = ct;
+    Cbc(key, reference_).decrypt(iv, a);
+    Cbc(key, candidate_).decrypt(iv, b);
+    EXPECT_EQ(a, plain) << "n=" << n;
+    EXPECT_EQ(b, plain) << "n=" << n;
+  }
+}
+
+TEST_P(BackendEquivalence, UnalignedBuffers) {
+  // Batch entry points take raw pointers; nothing may assume 16-byte
+  // alignment. Offset the working buffers by every sub-word shift.
+  SplitMix64 rng(13);
+  AesKey key{};
+  rng.fill(key);
+  const Aes128 ref(key, reference_);
+  const Aes128 cand(key, candidate_);
+  constexpr std::size_t kBlocks = 11;
+  for (std::size_t offset = 1; offset <= 15; ++offset) {
+    std::vector<std::uint8_t> backing(16 * kBlocks + 32);
+    rng.fill(backing);
+    std::uint8_t* pt = backing.data() + offset;
+    std::vector<std::uint8_t> a(16 * kBlocks);
+    std::vector<std::uint8_t> out_backing(16 * kBlocks + 32);
+    std::uint8_t* b = out_backing.data() + offset;
+    ref.encrypt_blocks(pt, a.data(), kBlocks);
+    cand.encrypt_blocks(pt, b, kBlocks);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b)) << "offset=" << offset;
+
+    AesBlock iv{};
+    rng.fill(iv);
+    std::vector<std::uint8_t> cbc_a(a);
+    ref.cbc_decrypt(iv, cbc_a.data(), cbc_a.data(), kBlocks);
+    cand.cbc_decrypt(iv, b, b, kBlocks);
+    EXPECT_TRUE(std::equal(cbc_a.begin(), cbc_a.end(), b))
+        << "cbc offset=" << offset;
+  }
+}
+
+TEST_P(BackendEquivalence, CtrAllLengthsAndOffsets) {
+  SplitMix64 rng(17);
+  AesKey key{};
+  rng.fill(key);
+  std::array<std::uint8_t, 12> iv{};
+  rng.fill(iv);
+  const Ctr ref(key, reference_);
+  const Ctr cand(key, candidate_);
+  for (std::size_t len : {0u, 1u, 4u, 15u, 16u, 17u, 112u, 127u, 128u,
+                          129u, 1000u}) {
+    std::vector<std::uint8_t> data(len + 3);
+    rng.fill(data);
+    // Unaligned start as seen by real packet payloads.
+    std::vector<std::uint8_t> a(data);
+    std::vector<std::uint8_t> b(data);
+    ref.crypt(iv, std::span<std::uint8_t>(a.data() + 3, len));
+    cand.crypt(iv, std::span<std::uint8_t>(b.data() + 3, len));
+    EXPECT_EQ(a, b) << "len=" << len;
+    // Round trip through the candidate.
+    cand.crypt(iv, std::span<std::uint8_t>(b.data() + 3, len));
+    EXPECT_EQ(b, data) << "len=" << len;
+  }
+}
+
+TEST_P(BackendEquivalence, CmacAllLengths) {
+  SplitMix64 rng(19);
+  AesKey key{};
+  rng.fill(key);
+  const Cmac ref(key, reference_);
+  const Cmac cand(key, candidate_);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 32u, 33u, 64u, 112u,
+                          255u}) {
+    std::vector<std::uint8_t> msg(len);
+    rng.fill(msg);
+    EXPECT_EQ(ref.mac(msg), cand.mac(msg)) << "len=" << len;
+  }
+}
+
+TEST_P(BackendEquivalence, CmacBatchMatchesSerial) {
+  SplitMix64 rng(23);
+  AesKey key{};
+  rng.fill(key);
+  const Cmac cand(key, candidate_);
+  for (std::size_t msg_len : {16u, 112u, 113u, 48u}) {
+    for (std::size_t n : {1u, 2u, 8u, 9u, 33u}) {
+      std::vector<std::uint8_t> msgs(msg_len * n);
+      rng.fill(msgs);
+      std::vector<AesBlock> tags(n);
+      cand.mac_batch(msgs.data(), msg_len, n, tags.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(tags[i],
+                  cand.mac({msgs.data() + i * msg_len, msg_len}))
+            << "msg_len=" << msg_len << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(BackendEquivalence, KeyDerivationMatches) {
+  SplitMix64 rng(29);
+  AesKey km{};
+  rng.fill(km);
+  const Cmac ref(km, reference_);
+  const Cmac cand(km, candidate_);
+  std::vector<KeyDeriveRequest> reqs;
+  for (int i = 0; i < 37; ++i) {
+    reqs.push_back({rng.next_u64(),
+                    static_cast<std::uint32_t>(rng.next_u64()), i % 3 == 0});
+  }
+  std::vector<AesKey> batch(reqs.size());
+  derive_keys_batch(cand, reqs, batch.data());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    const AesKey scalar =
+        reqs[i].lease ? derive_lease_key(ref, reqs[i].nonce)
+                      : derive_source_key(ref, reqs[i].nonce, reqs[i].src_ip);
+    EXPECT_EQ(batch[i], scalar) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendEquivalence,
+                         ::testing::ValuesIn(available_backends().begin(),
+                                             available_backends().end()),
+                         backend_param_name);
+
+// --- dispatch behavior ----------------------------------------------
+
+TEST(BackendDispatch, PortableAlwaysAvailable) {
+  ASSERT_GE(available_backends().size(), 1u);
+  EXPECT_EQ(available_backends()[0]->name, "portable");
+  EXPECT_EQ(backend_by_name("portable"), &portable_backend());
+  EXPECT_EQ(backend_by_name("nonsense"), nullptr);
+}
+
+TEST(BackendDispatch, EnvOverrideHonored) {
+  // CI's forced-portable job sets NN_AES_BACKEND=portable on AES-NI
+  // runners; this assertion is what keeps that contract honest. With
+  // the variable unset the fastest available backend must win.
+  const char* forced = std::getenv("NN_AES_BACKEND");
+  if (forced != nullptr && *forced != '\0' &&
+      std::string_view(forced) != "auto") {
+    if (const AesBackendOps* want = backend_by_name(forced)) {
+      EXPECT_EQ(&active_backend(), want);
+    } else {
+      EXPECT_EQ(&active_backend(), &portable_backend());
+    }
+  } else if (aesni_backend() != nullptr) {
+    EXPECT_EQ(&active_backend(), aesni_backend());
+  } else {
+    EXPECT_EQ(&active_backend(), &portable_backend());
+  }
+}
+
+TEST(BackendDispatch, ScopedOverrideSwapsAndRestores) {
+  const AesBackendOps* before = &active_backend();
+  {
+    ScopedBackendOverride force(portable_backend());
+    EXPECT_EQ(&active_backend(), &portable_backend());
+  }
+  EXPECT_EQ(&active_backend(), before);
+}
+
+// --- full-datapath equivalence ---------------------------------------
+
+// The neutralizer must emit byte-identical packets no matter which
+// backend the process selected. Runs the paper's forward workload under
+// every available backend and diffs the wire bytes.
+TEST(BackendDispatch, NeutralizerOutputIdenticalAcrossBackends) {
+  const net::Ipv4Addr anycast(200, 0, 0, 1);
+  const net::Ipv4Addr source(10, 1, 0, 2);
+  const net::Ipv4Addr customer(20, 0, 0, 10);
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = anycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  crypto::AesKey root{};
+  root.fill(0xD0);
+
+  std::vector<std::vector<std::uint8_t>> outputs_per_backend;
+  std::vector<core::NeutralizerStats> stats_per_backend;
+  for (const AesBackendOps* ops : available_backends()) {
+    ScopedBackendOverride force(*ops);
+    core::Neutralizer service(cfg, root);
+    const core::MasterKeySchedule sched(root);
+
+    std::vector<net::Packet> batch;
+    for (std::uint64_t n = 1; n <= 32; ++n) {
+      const AesKey ks =
+          derive_source_key(sched.current_key(0), n, source.value());
+      net::ShimHeader shim;
+      shim.type = net::ShimType::kDataForward;
+      shim.flags = n % 4 == 0 ? net::ShimFlags::kKeyRequest : 0;
+      shim.key_epoch = 0;
+      shim.nonce = n;
+      shim.inner_addr = crypt_address(ks, n, false, customer.value());
+      std::vector<std::uint8_t> payload(64, 0xE5);
+      batch.push_back(net::make_shim_packet(source, anycast, shim, payload));
+    }
+    const std::size_t count =
+        service.process_batch({batch.data(), batch.size()}, 0);
+    std::vector<std::uint8_t> wire;
+    for (std::size_t i = 0; i < count; ++i) {
+      wire.insert(wire.end(), batch[i].bytes.begin(), batch[i].bytes.end());
+    }
+    outputs_per_backend.push_back(std::move(wire));
+    stats_per_backend.push_back(service.stats());
+  }
+  for (std::size_t i = 1; i < outputs_per_backend.size(); ++i) {
+    EXPECT_EQ(outputs_per_backend[i], outputs_per_backend[0])
+        << "backend " << available_backends()[i]->name;
+    EXPECT_EQ(stats_per_backend[i], stats_per_backend[0]);
+  }
+}
+
+}  // namespace
+}  // namespace nn::crypto

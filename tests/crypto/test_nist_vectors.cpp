@@ -1,0 +1,116 @@
+// Published known-answer vectors, run under every backend available on
+// this machine. Cross-backend agreement (test_backend_equivalence.cpp)
+// proves the backends match *each other*; these vectors pin them to
+// NIST's published outputs so a shared bug cannot hide:
+//
+//  * AES-128 ECB — NIST SP 800-38A Appendix F.1.1 / F.1.2
+//  * AES-128 CBC — NIST SP 800-38A Appendix F.2.1 / F.2.2
+//  * AES-128 CMAC — NIST SP 800-38B Appendix D.1 (= RFC 4493 §4)
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes_backend.hpp"
+#include "crypto/aes_modes.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::crypto {
+namespace {
+
+// SP 800-38A / 38B vectors all share this key and plaintext corpus.
+constexpr std::string_view kKeyHex = "2b7e151628aed2a6abf7158809cf4f3c";
+constexpr std::string_view kPlainHex =
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710";
+
+AesKey key_from_hex(std::string_view hex) {
+  const auto bytes = nn::from_hex(hex);
+  AesKey out{};
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  return out;
+}
+
+AesBlock block_from_hex(std::string_view hex) {
+  const auto bytes = nn::from_hex(hex);
+  AesBlock out{};
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  return out;
+}
+
+class NistVectors : public ::testing::TestWithParam<const AesBackendOps*> {
+ protected:
+  const AesBackendOps& ops_ = *GetParam();
+};
+
+std::string backend_param_name(
+    const ::testing::TestParamInfo<const AesBackendOps*>& info) {
+  return std::string(info.param->name);
+}
+
+// SP 800-38A F.1.1 (ECB-AES128.Encrypt) / F.1.2 (ECB-AES128.Decrypt),
+// all four blocks in one batched call.
+TEST_P(NistVectors, Sp800_38a_Ecb) {
+  const Aes128 aes(key_from_hex(kKeyHex), ops_);
+  const auto pt = nn::from_hex(kPlainHex);
+  const auto expected = nn::from_hex(
+      "3ad77bb40d7a3660a89ecaf32466ef97"
+      "f5d3d58503b9699de785895a96fdbaaf"
+      "43b1cd7f598ece23881b00e3ed030688"
+      "7b0c785e27e8ad3f8223207104725dd4");
+  std::vector<std::uint8_t> ct(pt.size());
+  aes.encrypt_blocks(pt.data(), ct.data(), pt.size() / kAesBlockSize);
+  EXPECT_EQ(nn::to_hex(ct), nn::to_hex(expected));
+  std::vector<std::uint8_t> back(ct.size());
+  aes.decrypt_blocks(ct.data(), back.data(), ct.size() / kAesBlockSize);
+  EXPECT_EQ(nn::to_hex(back), kPlainHex);
+}
+
+// SP 800-38A F.2.1 (CBC-AES128.Encrypt) / F.2.2 (CBC-AES128.Decrypt).
+TEST_P(NistVectors, Sp800_38a_Cbc) {
+  const Cbc cbc(key_from_hex(kKeyHex), ops_);
+  const AesBlock iv = block_from_hex("000102030405060708090a0b0c0d0e0f");
+  const auto expected = nn::from_hex(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2"
+      "73bed6b8e3c1743b7116e69e22229516"
+      "3ff1caa1681fac09120eca307586e1a7");
+  std::vector<std::uint8_t> data = nn::from_hex(kPlainHex);
+  cbc.encrypt(iv, data);
+  EXPECT_EQ(nn::to_hex(data), nn::to_hex(expected));
+  cbc.decrypt(iv, data);
+  EXPECT_EQ(nn::to_hex(data), kPlainHex);
+}
+
+// SP 800-38B Appendix D.1 (CMAC-AES128): Mlen = 0, 128, 320, 512 bits.
+TEST_P(NistVectors, Sp800_38b_Cmac) {
+  const Cmac cmac(key_from_hex(kKeyHex), ops_);
+  const auto corpus = nn::from_hex(kPlainHex);
+  const struct {
+    std::size_t len;
+    std::string_view tag;
+  } cases[] = {
+      {0, "bb1d6929e95937287fa37d129b756746"},
+      {16, "070a16b46b4d4144f79bdd9dd04a287c"},
+      {40, "dfa66747de9ae63030ca32611497c827"},
+      {64, "51f0bebf7e3b9d92fc49741779363cfe"},
+  };
+  for (const auto& c : cases) {
+    const std::span<const std::uint8_t> msg(corpus.data(), c.len);
+    EXPECT_EQ(nn::to_hex(cmac.mac(msg)), c.tag) << "Mlen=" << c.len * 8;
+    // The batched entry point must hit the same published tag.
+    AesBlock tag{};
+    cmac.mac_batch(corpus.data(), c.len, 1, &tag);
+    EXPECT_EQ(nn::to_hex(tag), c.tag) << "batched Mlen=" << c.len * 8;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, NistVectors,
+                         ::testing::ValuesIn(available_backends().begin(),
+                                             available_backends().end()),
+                         backend_param_name);
+
+}  // namespace
+}  // namespace nn::crypto
