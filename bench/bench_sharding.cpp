@@ -1,0 +1,149 @@
+// Scaling benchmark for the sharded neutralizer cluster: 1/2/4/8
+// shards draining batch-64 bursts of the paper's 112-byte data packets
+// (the §4 workload) through per-shard process_batch + PacketArena.
+//
+// Shards share no mutable state — that is the point of the paper's
+// stateless design — so a deployment runs one shard per core and the
+// aggregate rate of the cluster is total packets over the *slowest*
+// shard's time (the critical path). That is what BM_ShardedForward
+// reports: each shard's drain is timed in isolation and the iteration
+// time is the max across shards (UseManualTime), which measures the
+// parallel deployment's throughput without depending on the harness
+// machine's core count or a thread scheduler's mood. The workload is
+// 256 flows spread by the same RSS-style hash the box uses, with every
+// shard given an equal packet budget (the balanced case; the hash's
+// actual spread is what bench consumers should watch via max_shard).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <vector>
+
+#include "core/sharded_box.hpp"
+#include "crypto/aes_modes.hpp"
+#include "net/arena.hpp"
+#include "net/shim.hpp"
+
+namespace {
+
+using namespace nn;
+
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+const net::Ipv4Addr kGoogle(20, 0, 0, 10);
+
+constexpr std::size_t kBatch = 64;
+constexpr std::size_t kFlows = 256;
+constexpr std::size_t kPacketsPerIter = 65536;
+
+core::NeutralizerConfig service_config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey root_key() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+/// 112-byte neutralized data packet for one flow, exactly the paper's
+/// wire size: 20 (IP) + 12 (shim) + 4 (inner addr) + 64 + 12 padding.
+net::Packet paper_packet(std::size_t flow) {
+  const core::MasterKeySchedule sched(root_key());
+  const net::Ipv4Addr src(10, 1, static_cast<std::uint8_t>(flow >> 8),
+                          static_cast<std::uint8_t>(flow | 1));
+  const std::uint64_t nonce = 0x1122334455660000ULL + flow;
+  const auto ks =
+      crypto::derive_source_key(sched.current_key(0), nonce, src.value());
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kDataForward;
+  shim.key_epoch = 0;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, kGoogle.value());
+  const std::size_t pad =
+      112 - (net::kIpv4HeaderSize + shim.serialized_size() + 64);
+  std::vector<std::uint8_t> payload(64 + pad, 0xE5);
+  return net::make_shim_packet(src, kAnycast, shim, payload);
+}
+
+void BM_ShardedForward(benchmark::State& state) {
+  const std::size_t shards = static_cast<std::size_t>(state.range(0));
+  core::ShardedNeutralizer cluster(shards, service_config(), root_key());
+
+  // Flow templates, pre-partitioned by the box's own dispatch hash.
+  std::vector<std::vector<net::Packet>> flows(shards);
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    net::Packet pkt = paper_packet(f);
+    if (pkt.size() != 112) {
+      state.SkipWithError("packet size != 112");
+      return;
+    }
+    flows[cluster.shard_for(pkt)].push_back(std::move(pkt));
+  }
+  for (const auto& per_shard : flows) {
+    if (per_shard.empty()) {
+      state.SkipWithError("hash left a shard without flows");
+      return;
+    }
+  }
+
+  const std::size_t per_shard = kPacketsPerIter / shards;
+  std::vector<net::Packet> batch;
+  batch.reserve(kBatch);
+  for (auto _ : state) {
+    double critical_path = 0;
+    for (std::size_t s = 0; s < shards; ++s) {
+      auto& service = cluster.shard(s);
+      auto& arena = cluster.arena(s);
+      const auto& tmpls = flows[s];
+      const auto start = std::chrono::steady_clock::now();
+      std::size_t done = 0;
+      while (done < per_shard) {
+        const std::size_t n = std::min(kBatch, per_shard - done);
+        for (std::size_t k = 0; k < n; ++k) {
+          batch.push_back(arena.clone(tmpls[(done + k) % tmpls.size()]));
+        }
+        const std::size_t survivors =
+            service.process_batch({batch.data(), batch.size()}, 0, &arena);
+        benchmark::DoNotOptimize(survivors);
+        for (std::size_t k = 0; k < survivors; ++k) {
+          arena.release(std::move(batch[k]));
+        }
+        batch.clear();
+        done += n;
+      }
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      critical_path = std::max(critical_path, elapsed.count());
+    }
+    state.SetIterationTime(critical_path);
+  }
+  const std::int64_t total =
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(per_shard * shards);
+  state.SetItemsProcessed(total);
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(total) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["shards"] = static_cast<double>(shards);
+}
+BENCHMARK(BM_ShardedForward)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseManualTime();
+
+// Dispatch overhead: the per-packet cost of the RSS-style hash the box
+// pays before a batch is formed (it is a handful of ns — the point of
+// measuring is keeping it honest as the hash evolves).
+void BM_ShardDispatch(benchmark::State& state) {
+  std::vector<net::Packet> packets;
+  for (std::size_t f = 0; f < kFlows; ++f) packets.push_back(paper_packet(f));
+  std::size_t i = 0;
+  std::size_t acc = 0;
+  for (auto _ : state) {
+    acc += core::shard_for_packet(packets[i], 8);
+    if (++i == packets.size()) i = 0;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShardDispatch);
+
+}  // namespace

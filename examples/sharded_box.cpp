@@ -1,0 +1,87 @@
+// Sharded neutralizer walkthrough: the Fig. 1 topology with the Cogent
+// box running N shards (one per core), under an aggregate VoIP load
+// that a single shard cannot serve.
+//
+// Six concurrent neutralized flows (ann and bob, each talking to
+// vonage, google and youtube) push ~60 kpps through the box while the
+// per-shard data-path service time is set to 20 µs (50 kpps per shard).
+// One shard saturates — its backlog grows for the whole run and
+// latency balloons — while four shards split the load by the RSS-style
+// (outside address, nonce) hash and every flow stays at the clean
+// ~10 ms baseline. The per-shard forward counters show where the hash
+// put the traffic: the host stack negotiates one session key per
+// outside host, so ann's flows ride one (outside, nonce) class and
+// bob's another.
+//
+// Build & run:  ./build/examples/sharded_box
+#include <cstdio>
+
+#include "scenario/fig1.hpp"
+
+int main() {
+  using namespace nn;
+
+  struct FlowSpec {
+    const char* name;
+    std::uint16_t id;
+  };
+  const FlowSpec flows[] = {{"ann->vonage", 1},  {"ann->google", 2},
+                            {"ann->youtube", 3}, {"bob->vonage", 4},
+                            {"bob->google", 5},  {"bob->youtube", 6}};
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    scenario::Fig1Config cfg;
+    cfg.box_shards = shards;
+    cfg.box_costs.data_path = 20 * sim::kMicrosecond;  // 50 kpps per shard
+    scenario::Fig1 fig(cfg);
+
+    scenario::ScenarioHost* sources[] = {&fig.ann, &fig.bob};
+    scenario::ScenarioHost* sinks[] = {&fig.vonage, &fig.google, &fig.youtube};
+    const double pps = 10000;
+    const sim::SimTime start = 100 * sim::kMillisecond;
+    const sim::SimTime duration = sim::kSecond;
+    for (const auto& f : flows) {
+      // Staggered starts de-phase the CBR sources so queues see a
+      // smooth 60 kpps, not six-packet volleys.
+      fig.schedule_voip(scenario::VoipMode::kNeutralized,
+                        *sources[(f.id - 1) / 3], *sinks[(f.id - 1) % 3],
+                        f.id, pps, start + f.id * 13 * sim::kMicrosecond,
+                        duration);
+    }
+    fig.engine.run();
+
+    std::printf("=== %zu shard%s (aggregate offered load ~%.0f kpps, "
+                "capacity %.0f kpps) ===\n",
+                shards, shards == 1 ? "" : "s", 6 * pps / 1000.0,
+                static_cast<double>(shards) * 50.0);
+    for (const auto& f : flows) {
+      const auto r = fig.collect(*sinks[(f.id - 1) % 3], f.id);
+      std::printf("  %-12s received %6llu  latency mean %7.2f ms  "
+                  "p95 %7.2f ms  MOS %.2f\n",
+                  f.name, static_cast<unsigned long long>(r.received),
+                  r.mean_latency_ms, r.p95_latency_ms, r.mos);
+    }
+    const auto total = fig.service_stats();
+    std::printf("  box totals: %llu forwarded, %llu setups\n",
+                static_cast<unsigned long long>(total.data_forwarded),
+                static_cast<unsigned long long>(total.key_setups));
+    if (fig.sharded_box != nullptr) {
+      const auto& cluster = fig.sharded_box->cluster();
+      std::printf("  per-shard forwards:");
+      for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+        std::printf(" [%zu] %llu", s,
+                    static_cast<unsigned long long>(
+                        cluster.shard(s).stats().data_forwarded));
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Statelessness makes the shards interchangeable: the dispatch hash\n"
+      "only pins each session's packets to one core's epoch cache; any\n"
+      "other assignment would produce byte-identical traffic (see\n"
+      "tests/core/test_sharded_box.cpp).\n");
+  return 0;
+}

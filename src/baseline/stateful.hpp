@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "core/neutralizer.hpp"
+#include "crypto/chacha.hpp"
 
 namespace nn::baseline {
 

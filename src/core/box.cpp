@@ -6,15 +6,24 @@
 
 namespace nn::core {
 
+sim::SimTime service_cost(const BoxCosts& costs,
+                          const net::Packet& pkt) noexcept {
+  if (pkt.size() > net::kIpv4HeaderSize) {
+    const auto type =
+        static_cast<net::ShimType>(pkt.bytes[net::kIpv4HeaderSize]);
+    if (type == net::ShimType::kKeySetup ||
+        type == net::ShimType::kKeySetupResponse) {
+      return costs.key_setup;
+    }
+  }
+  return costs.data_path;
+}
+
 void NeutralizerBox::consume(net::Packet&& pkt) {
   // §3.4 inbound leg: packets to a dynamic address are translated to
   // the owning customer and re-sent (any protocol, not just shim).
   if (pkt.size() >= net::kIpv4HeaderSize) {
-    const net::Ipv4Addr dst(
-        (static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
-        (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
-        (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) | pkt.bytes[19]);
-    if (service_.owns_dynamic(dst)) {
+    if (service_.owns_dynamic(net::packet_dst(pkt))) {
       auto translated = service_.translate_dynamic(std::move(pkt));
       if (translated.has_value()) send(std::move(*translated));
       return;
@@ -50,19 +59,8 @@ void NeutralizerBox::drain_pending() {
 }
 
 void NeutralizerBox::emit(net::Packet&& pkt) {
-  // Charge the configured service time before the result leaves. The
-  // cost class is read off the *emitted* packet: only a key setup
-  // produces a kKeySetupResponse (or an offloaded kKeySetup), so this
-  // matches charging by input type while surviving batch compaction.
-  sim::SimTime cost = costs_.data_path;
-  if (pkt.size() > net::kIpv4HeaderSize) {
-    const auto type =
-        static_cast<net::ShimType>(pkt.bytes[net::kIpv4HeaderSize]);
-    if (type == net::ShimType::kKeySetup ||
-        type == net::ShimType::kKeySetupResponse) {
-      cost = costs_.key_setup;
-    }
-  }
+  // Charge the configured service time before the result leaves.
+  const sim::SimTime cost = service_cost(costs_, pkt);
   if (cost > 0) {
     network().engine().schedule_in(
         cost, [this, p = std::move(pkt)]() mutable { send(std::move(p)); });

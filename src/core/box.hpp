@@ -22,6 +22,11 @@ struct BoxCosts {
   sim::SimTime key_setup = 0;
   /// Service time per data packet (CMAC + AES address decrypt).
   sim::SimTime data_path = 0;
+  /// Service capacity advertised to anycast routing: equidistant
+  /// replicas of a group are tie-broken toward the highest weight, so a
+  /// bigger box attracts the traffic. 0 = auto (1 for a NeutralizerBox,
+  /// the shard count for a ShardedNeutralizerBox).
+  std::size_t capacity = 0;
 };
 
 struct BoxBatchStats {
@@ -29,6 +34,16 @@ struct BoxBatchStats {
   std::uint64_t batched_packets = 0;
   std::uint64_t max_batch = 0;
 };
+
+/// Service-time class of an emitted packet: key-setup traffic (request
+/// or response) bills `key_setup`, everything else the data rate. The
+/// class is read off the *emitted* packet — only a key setup produces a
+/// kKeySetupResponse (or an offloaded kKeySetup), so this matches
+/// charging by input type while surviving batch compaction. Shared by
+/// NeutralizerBox and ShardedNeutralizerBox so the cost models cannot
+/// drift.
+[[nodiscard]] sim::SimTime service_cost(const BoxCosts& costs,
+                                        const net::Packet& pkt) noexcept;
 
 class NeutralizerBox final : public sim::Router {
  public:
@@ -62,7 +77,8 @@ class NeutralizerBox final : public sim::Router {
   /// Registers the box in the service's anycast group. Call once per
   /// box after topology construction.
   void join_service_anycast(sim::Network& net) {
-    net.join_anycast(*this, anycast_addr());
+    net.join_anycast(*this, anycast_addr(),
+                     costs_.capacity == 0 ? 1 : costs_.capacity);
     if (service_.config().dynamic_pool.has_value()) {
       net.assign_prefix(*this, *service_.config().dynamic_pool);
     }

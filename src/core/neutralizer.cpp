@@ -1,6 +1,7 @@
 #include "core/neutralizer.hpp"
 
 #include "crypto/aes_modes.hpp"
+#include "crypto/chacha.hpp"
 #include "net/shim.hpp"
 #include "util/bytes.hpp"
 
@@ -11,12 +12,48 @@ using net::ShimHeader;
 using net::ShimPacketView;
 using net::ShimType;
 
+namespace {
+
+// Per-request randomness in the RFC 6979 spirit: everything the
+// service mints (nonces, RSA padding) is a PRF of the epoch master key
+// and the request, never a draw from replica-local RNG state. This
+// extends the paper's stateless invariant to the control path — any
+// replica, or any shard of a ShardedNeutralizerBox, answers a given
+// request byte-identically within an epoch, and replayed requests are
+// answered idempotently instead of minting throwaway keys.
+crypto::ChaChaRng mint_rng(const crypto::Cmac& keyed_master, char tag,
+                           std::uint32_t addr, std::uint64_t request_nonce) {
+  // Same one-block layout as the key-derivation messages in
+  // aes_modes.cpp — value ‖ addr ‖ 4-byte tag — with the tag in the
+  // trailing position, where the attacker-chosen request nonce can
+  // never reach: "NNM?" vs "NNKS"/"NNKL" keeps the minting PRF
+  // domain-separated from live session keys under the same keyed CMAC.
+  std::array<std::uint8_t, 16> block{};
+  for (int i = 0; i < 8; ++i) {
+    block[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(request_nonce >> (56 - 8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    block[8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(addr >> (24 - 8 * i));
+  }
+  block[12] = 'N';
+  block[13] = 'N';
+  block[14] = 'M';
+  block[15] = static_cast<std::uint8_t>(tag);
+  const crypto::AesBlock seed = keyed_master.mac(block);
+  std::array<std::uint8_t, 32> key{};
+  std::copy(seed.begin(), seed.end(), key.begin());
+  std::copy(seed.begin(), seed.end(), key.begin() + 16);
+  return crypto::ChaChaRng(key);
+}
+
+}  // namespace
+
 Neutralizer::Neutralizer(const NeutralizerConfig& config,
                          const crypto::AesKey& root_key,
-                         std::uint64_t nonce_seed)
-    : config_(config),
-      keys_(root_key, config.rotation_period),
-      rng_(nonce_seed) {
+                         std::uint64_t /*nonce_seed*/)
+    : config_(config), keys_(root_key, config.rotation_period) {
   if (config_.dynamic_pool.has_value()) {
     allocator_.emplace(*config_.dynamic_pool);
   }
@@ -269,11 +306,7 @@ std::optional<net::Packet> Neutralizer::translate_dynamic(net::Packet&& pkt) {
     ++stats_.rejected;
     return std::nullopt;
   }
-  const net::Ipv4Addr dyn(
-      (static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
-      (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
-      (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) | pkt.bytes[19]);
-  const auto customer = allocator_->resolve(dyn);
+  const auto customer = allocator_->resolve(net::packet_dst(pkt));
   if (!customer.has_value()) {
     ++stats_.rejected;
     return std::nullopt;
@@ -309,10 +342,13 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
 
   // Mint the symmetric key. It is never stored: any replica recomputes
   // it from (epoch, nonce, srcIP) when data packets arrive.
-  const std::uint64_t nonce = rng_.next_u64();
   const auto& [epoch, km] = minting_key(now, cache);
+  const crypto::Cmac& keyed = keyed_master(epoch, km);
+  crypto::ChaChaRng rng = mint_rng(keyed, 'S', p.ip.src.value(),
+                                   p.shim->nonce);
+  const std::uint64_t nonce = rng.next_u64();
   const crypto::AesKey ks =
-      crypto::derive_source_key(km, nonce, p.ip.src.value());
+      crypto::derive_source_key(keyed, nonce, p.ip.src.value());
 
   if (config_.offload_enabled && !config_.offload_helper.is_unspecified()) {
     // §3.2 offload: hand (nonce, Ks) and the source's public key to a
@@ -337,7 +373,7 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
   msg.raw(ks);
   std::vector<std::uint8_t> ciphertext;
   try {
-    ciphertext = crypto::rsa_encrypt(rng_, source_key, msg.view());
+    ciphertext = crypto::rsa_encrypt(rng, source_key, msg.view());
   } catch (const std::invalid_argument&) {
     ++stats_.rejected;  // degenerate public key
     return std::nullopt;
@@ -358,9 +394,11 @@ std::optional<net::Packet> Neutralizer::handle_key_lease(
     ++stats_.rejected;  // leases are a courtesy to our own customers
     return std::nullopt;
   }
-  const std::uint64_t nonce = rng_.next_u64();
   const auto& [epoch, km] = minting_key(now, cache);
-  const crypto::AesKey ks = crypto::derive_lease_key(km, nonce);
+  const crypto::Cmac& keyed = keyed_master(epoch, km);
+  const std::uint64_t nonce =
+      mint_rng(keyed, 'L', p.ip.src.value(), p.shim->nonce).next_u64();
+  const crypto::AesKey ks = crypto::derive_lease_key(keyed, nonce);
 
   ByteWriter msg(24);
   msg.u64(nonce);
@@ -399,10 +437,12 @@ std::optional<net::Packet> Neutralizer::handle_data_forward(
     // Stamp a strong replacement key (Fig. 2 packet 4). It travels in
     // clear only inside our own domain; the customer echoes it to the
     // source under end-to-end encryption.
-    const std::uint64_t fresh_nonce = rng_.next_u64();
     const auto& [epoch, km] = minting_key(now, cache);
+    const crypto::Cmac& keyed = keyed_master(epoch, km);
+    const std::uint64_t fresh_nonce =
+        mint_rng(keyed, 'R', view.src().value(), view.nonce()).next_u64();
     const crypto::AesKey fresh_ks =
-        crypto::derive_source_key(km, fresh_nonce, view.src().value());
+        crypto::derive_source_key(keyed, fresh_nonce, view.src().value());
     view.stamp_rekey(fresh_nonce, epoch, fresh_ks);
     ++stats_.rekeys_stamped;
   }

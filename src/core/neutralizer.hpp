@@ -39,7 +39,6 @@
 #include "core/dynamic_addr.hpp"
 #include "core/master_key.hpp"
 #include "crypto/aes_modes.hpp"
-#include "crypto/chacha.hpp"
 #include "crypto/rsa.hpp"
 #include "net/arena.hpp"
 #include "net/packet.hpp"
@@ -84,15 +83,33 @@ struct NeutralizerStats {
   std::uint64_t setup_rate_limited = 0;
   std::uint64_t rejected = 0;  // malformed, bad epoch, non-customer, …
 
+  NeutralizerStats& operator+=(const NeutralizerStats& o) noexcept {
+    key_setups += o.key_setups;
+    key_leases += o.key_leases;
+    data_forwarded += o.data_forwarded;
+    data_returned += o.data_returned;
+    rekeys_stamped += o.rekeys_stamped;
+    offloaded += o.offloaded;
+    dyn_allocated += o.dyn_allocated;
+    dyn_translated += o.dyn_translated;
+    setup_rate_limited += o.setup_rate_limited;
+    rejected += o.rejected;
+    return *this;
+  }
+
   friend bool operator==(const NeutralizerStats&,
                          const NeutralizerStats&) = default;
 };
 
 class Neutralizer {
  public:
-  /// All replicas of a domain are constructed with the same `root_key`;
-  /// `nonce_seed` may differ per replica (nonces are random, not
-  /// sequenced).
+  /// All replicas of a domain are constructed with the same `root_key`.
+  /// Every value the service mints (session nonces, rekey nonces, RSA
+  /// padding) is derived from the epoch master key and the request —
+  /// never from replica-local RNG state — so any two replicas (or any
+  /// two shards of a ShardedNeutralizerBox) answer the same request
+  /// byte-identically. `nonce_seed` is retained for API compatibility
+  /// and no longer observable.
   Neutralizer(const NeutralizerConfig& config, const crypto::AesKey& root_key,
               std::uint64_t nonce_seed = 1);
 
@@ -175,7 +192,6 @@ class Neutralizer {
 
   NeutralizerConfig config_;
   MasterKeySchedule keys_;
-  crypto::ChaChaRng rng_;
   NeutralizerStats stats_;
   // Keyed-CMAC cache per epoch (the datapath's per-packet "hash" then
   // skips the AES key schedule). Bounded: epochs are admitted only

@@ -1,0 +1,155 @@
+#include "core/sharded_box.hpp"
+
+#include <algorithm>
+
+#include "net/shim.hpp"
+
+namespace nn::core {
+
+namespace {
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& b,
+                       std::size_t off) noexcept {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) | b[off + 3];
+}
+
+std::uint64_t read_u64(const std::vector<std::uint8_t>& b,
+                       std::size_t off) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | b[off + i];
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t flow_hash(std::uint32_t outside_addr,
+                        std::uint64_t nonce) noexcept {
+  std::uint64_t x = (static_cast<std::uint64_t>(outside_addr) << 32) ^ nonce ^
+                    0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x ^ (x >> 32));
+}
+
+std::size_t shard_for_packet(const net::Packet& pkt,
+                             std::size_t shard_count) noexcept {
+  if (shard_count <= 1) return 0;
+  const auto& b = pkt.bytes;
+  std::uint32_t outside = 0;
+  std::uint64_t nonce = 0;
+  if (b.size() >= net::kIpv4HeaderSize) outside = read_u32(b, 12);
+  if (b.size() >= net::kIpv4HeaderSize + net::kShimBaseSize &&
+      (b[0] >> 4) == 4 &&
+      b[9] == static_cast<std::uint8_t>(net::IpProto::kShim)) {
+    const auto type = static_cast<net::ShimType>(b[net::kIpv4HeaderSize]);
+    if (type == net::ShimType::kDynAddrRequest) return 0;
+    nonce = read_u64(b, net::kIpv4HeaderSize + 4);
+    if (type == net::ShimType::kDataReturn &&
+        b.size() >= net::kIpv4HeaderSize + net::kShimBaseSize +
+                        net::kShimInnerAddrSize) {
+      outside = read_u32(b, net::kIpv4HeaderSize + net::kShimBaseSize);
+    }
+  }
+  return flow_hash(outside, nonce) % shard_count;
+}
+
+ShardedNeutralizer::ShardedNeutralizer(std::size_t shard_count,
+                                       const NeutralizerConfig& config,
+                                       const crypto::AesKey& root_key) {
+  shards_.reserve(shard_count == 0 ? 1 : shard_count);
+  for (std::size_t i = 0; i < (shard_count == 0 ? 1 : shard_count); ++i) {
+    shards_.emplace_back(config, root_key);
+  }
+}
+
+NeutralizerStats ShardedNeutralizer::aggregate_stats() const {
+  NeutralizerStats total;
+  for (const Shard& s : shards_) total += s.service.stats();
+  return total;
+}
+
+std::size_t ShardedNeutralizer::enqueue(net::Packet&& pkt) {
+  const std::size_t s = shard_for(pkt);
+  shards_[s].pending.push_back(std::move(pkt));
+  return s;
+}
+
+std::size_t ShardedNeutralizer::drain_shard(std::size_t i, sim::SimTime now,
+                                            std::vector<net::Packet>& out) {
+  Shard& s = shards_[i];
+  if (s.pending.empty()) return 0;
+  const std::size_t n = s.service.process_batch(
+      {s.pending.data(), s.pending.size()}, now, &s.arena);
+  for (std::size_t k = 0; k < n; ++k) out.push_back(std::move(s.pending[k]));
+  s.pending.clear();
+  return n;
+}
+
+void ShardedNeutralizerBox::join_service_anycast(sim::Network& net) {
+  net.join_anycast(*this, anycast_addr(),
+                   costs_.capacity == 0 ? cluster_.shard_count()
+                                        : costs_.capacity);
+  if (cluster_.config().dynamic_pool.has_value()) {
+    net.assign_prefix(*this, *cluster_.config().dynamic_pool);
+  }
+}
+
+void ShardedNeutralizerBox::consume(net::Packet&& pkt) {
+  // §3.4 inbound leg: dynamic-address translation, served by shard 0
+  // where the (deliberate, per-session) allocator state lives.
+  if (pkt.size() >= net::kIpv4HeaderSize) {
+    if (cluster_.owns_dynamic(net::packet_dst(pkt))) {
+      auto translated = cluster_.translate_dynamic(std::move(pkt));
+      if (translated.has_value()) send(std::move(*translated));
+      return;
+    }
+  }
+
+  cluster_.enqueue(std::move(pkt));
+  if (!drain_scheduled_) {
+    drain_scheduled_ = true;
+    network().engine().defer([this] { drain_all(); });
+  }
+}
+
+void ShardedNeutralizerBox::drain_all() {
+  drain_scheduled_ = false;
+  const sim::SimTime now = network().now();
+  for (std::size_t s = 0; s < cluster_.shard_count(); ++s) {
+    const std::size_t burst = cluster_.pending(s);
+    if (burst == 0) continue;
+    batch_stats_.batches += 1;
+    batch_stats_.batched_packets += burst;
+    batch_stats_.max_batch =
+        std::max<std::uint64_t>(batch_stats_.max_batch, burst);
+    drained_.clear();
+    cluster_.drain_shard(s, now, drained_);
+    for (auto& pkt : drained_) emit_from_shard(s, std::move(pkt));
+  }
+  drained_.clear();
+}
+
+void ShardedNeutralizerBox::emit_from_shard(std::size_t shard,
+                                            net::Packet&& pkt) {
+  const sim::SimTime cost = service_cost(costs_, pkt);
+  if (cost <= 0) {
+    send(std::move(pkt));
+    return;
+  }
+  // One serial server per shard: the next departure waits for the
+  // shard's core to free up, so a burst's completion time scales down
+  // with the shard count (NeutralizerBox instead charges a fixed
+  // latency per packet).
+  sim::SimTime& busy = shard_busy_until_[shard];
+  const sim::SimTime depart = std::max(busy, network().now()) + cost;
+  busy = depart;
+  network().engine().schedule_at(
+      depart, [this, p = std::move(pkt)]() mutable { send(std::move(p)); });
+}
+
+}  // namespace nn::core

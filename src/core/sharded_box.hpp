@@ -1,0 +1,166 @@
+// Sharded neutralizer cluster: N independent Neutralizer instances
+// sharing one root key behind a single anycast address, modeling one
+// box per core. Arrivals are dispatched by an RSS-style hash over
+// (outside address, flow nonce), so both legs of a session always land
+// on the same shard and arrive in order; and because the datapath is
+// stateless (tests/core/test_stateless_property.cpp) and control-path
+// minting is a PRF of the master key and the request, *any* dispatch is
+// semantically equivalent to a single box — shard-count equivalence is
+// byte-exact (tests/core/test_sharded_box.cpp).
+//
+// Shards share no mutable state at all, which is what the paper's
+// stateless design buys: a deployment runs one shard per core (or one
+// box per rack) with zero coordination, and capacity scales with the
+// shard count. bench_sharding measures that scaling on the paper's
+// 112-byte workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/box.hpp"
+#include "core/neutralizer.hpp"
+#include "net/arena.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+
+namespace nn::core {
+
+/// RSS-style flow hash (SplitMix64 finalizer rather than a NIC's
+/// Toeplitz, but the property is the same: deterministic, seedless,
+/// well spread over (outside address, nonce)).
+[[nodiscard]] std::uint32_t flow_hash(std::uint32_t outside_addr,
+                                      std::uint64_t nonce) noexcept;
+
+/// Shard index for a serialized packet, reading only the fields the
+/// dispatch needs (no full parse, never throws). Data packets hash
+/// (outside address, session nonce) — the outside address is the IP
+/// source for DataForward and the inner (initiator) address for
+/// DataReturn, so forward and return legs co-locate. Control packets
+/// hash (IP source, request id). Dynamic-address requests pin to shard
+/// 0, where the deliberate per-session state lives. Garbage — short,
+/// non-IPv4, or non-shim buffers — hashes whatever source bytes exist;
+/// every shard rejects it identically.
+[[nodiscard]] std::size_t shard_for_packet(const net::Packet& pkt,
+                                           std::size_t shard_count) noexcept;
+
+/// The cluster itself, simulator-agnostic: per-shard Neutralizer +
+/// PacketArena + pending burst. Distinct shards touch disjoint state,
+/// so different shards may be drained from different threads (the
+/// scaling benchmark does); dispatch (enqueue) is single-threaded by
+/// design, like the packet sources that feed it.
+class ShardedNeutralizer {
+ public:
+  ShardedNeutralizer(std::size_t shard_count, const NeutralizerConfig& config,
+                     const crypto::AesKey& root_key);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] Neutralizer& shard(std::size_t i) { return shards_[i].service; }
+  [[nodiscard]] const Neutralizer& shard(std::size_t i) const {
+    return shards_[i].service;
+  }
+  [[nodiscard]] net::PacketArena& arena(std::size_t i) {
+    return shards_[i].arena;
+  }
+  [[nodiscard]] std::size_t shard_for(const net::Packet& pkt) const noexcept {
+    return shard_for_packet(pkt, shards_.size());
+  }
+  [[nodiscard]] const NeutralizerConfig& config() const noexcept {
+    return shards_.front().service.config();
+  }
+  /// Sum of every shard's NeutralizerStats.
+  [[nodiscard]] NeutralizerStats aggregate_stats() const;
+
+  [[nodiscard]] bool owns_dynamic(net::Ipv4Addr addr) const noexcept {
+    return shards_.front().service.owns_dynamic(addr);
+  }
+  /// Dynamic-address translation; the allocator lives on shard 0.
+  [[nodiscard]] std::optional<net::Packet> translate_dynamic(
+      net::Packet&& pkt) {
+    return shards_.front().service.translate_dynamic(std::move(pkt));
+  }
+
+  /// Parks `pkt` on its shard's pending burst; returns the shard index.
+  std::size_t enqueue(net::Packet&& pkt);
+  [[nodiscard]] std::size_t pending(std::size_t i) const noexcept {
+    return shards_[i].pending.size();
+  }
+  /// Drains shard `i`'s pending burst through process_batch with the
+  /// shard's arena; survivors are appended to `out` in order. Returns
+  /// the survivor count.
+  std::size_t drain_shard(std::size_t i, sim::SimTime now,
+                          std::vector<net::Packet>& out);
+
+ private:
+  struct Shard {
+    Shard(const NeutralizerConfig& config, const crypto::AesKey& root_key)
+        : service(config, root_key) {}
+    Neutralizer service;
+    net::PacketArena arena;
+    std::vector<net::Packet> pending;
+  };
+  std::vector<Shard> shards_;
+};
+
+/// Simulator adapter, the sharded sibling of NeutralizerBox: a border
+/// router hosting the whole cluster behind one anycast address. Every
+/// same-instant burst is dispatched on arrival and drained per shard at
+/// the end of the instant (Engine::defer). Unlike NeutralizerBox, which
+/// charges BoxCosts as a fixed per-packet latency, each shard here is
+/// an independent serial server — one core — so a burst's completion
+/// time shrinks with the shard count; join_service_anycast advertises
+/// that capacity to anycast routing.
+class ShardedNeutralizerBox final : public sim::Router {
+ public:
+  ShardedNeutralizerBox(std::string name, std::size_t shard_count,
+                        const NeutralizerConfig& config,
+                        const crypto::AesKey& root_key, BoxCosts costs = {})
+      : Router(std::move(name)),
+        cluster_(shard_count, config, root_key),
+        costs_(costs),
+        shard_busy_until_(cluster_.shard_count(), 0) {}
+
+  [[nodiscard]] ShardedNeutralizer& cluster() noexcept { return cluster_; }
+  [[nodiscard]] const ShardedNeutralizer& cluster() const noexcept {
+    return cluster_;
+  }
+  [[nodiscard]] NeutralizerStats aggregate_stats() const {
+    return cluster_.aggregate_stats();
+  }
+  /// Aggregate over all shard drains: one "batch" per shard per instant.
+  [[nodiscard]] const BoxBatchStats& batch_stats() const noexcept {
+    return batch_stats_;
+  }
+  [[nodiscard]] net::Ipv4Addr anycast_addr() const noexcept {
+    return cluster_.config().anycast_addr;
+  }
+
+  /// Registers the box in the service's anycast group, advertising its
+  /// shard count (or the explicit BoxCosts::capacity) as the weight.
+  void join_service_anycast(sim::Network& net);
+
+ protected:
+  [[nodiscard]] bool is_local_destination(net::Ipv4Addr dst) const override {
+    return dst == anycast_addr() || cluster_.owns_dynamic(dst) ||
+           sim::Router::is_local_destination(dst);
+  }
+  void consume(net::Packet&& pkt) override;
+
+ private:
+  ShardedNeutralizer cluster_;
+  BoxCosts costs_;
+  BoxBatchStats batch_stats_;
+  // Per-shard serial-server horizon: the time the shard's core frees up.
+  std::vector<sim::SimTime> shard_busy_until_;
+  std::vector<net::Packet> drained_;  // scratch, reused across drains
+  bool drain_scheduled_ = false;
+
+  void drain_all();
+  void emit_from_shard(std::size_t shard, net::Packet&& pkt);
+};
+
+}  // namespace nn::core

@@ -27,6 +27,15 @@ struct Packet {
   friend bool operator==(const Packet&, const Packet&) = default;
 };
 
+/// Destination address of a serialized IPv4 packet. Precondition
+/// (unchecked): pkt.size() >= kIpv4HeaderSize.
+[[nodiscard]] inline Ipv4Addr packet_dst(const Packet& pkt) noexcept {
+  return Ipv4Addr((static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
+                  (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
+                  (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) |
+                  pkt.bytes[19]);
+}
+
 /// Structured read-only decomposition of a packet. Spans reference the
 /// original buffer and are valid only while it lives.
 struct ParsedPacket {

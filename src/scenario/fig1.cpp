@@ -69,8 +69,16 @@ Fig1::Fig1(Fig1Config config) {
   ncfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
   crypto::AesKey root;
   root.fill(0xD0);
-  box = &net.add<core::NeutralizerBox>("cogent-box", ncfg, root, 1,
-                                       config.box_costs);
+  sim::Router* box_router = nullptr;
+  if (config.box_shards > 0) {
+    sharded_box = &net.add<core::ShardedNeutralizerBox>(
+        "cogent-box", config.box_shards, ncfg, root, config.box_costs);
+    box_router = sharded_box;
+  } else {
+    box = &net.add<core::NeutralizerBox>("cogent-box", ncfg, root, 1,
+                                         config.box_costs);
+    box_router = box;
+  }
   cogent_core = &net.add<sim::Router>("cogent-core");
   auto& vonage_node = net.add<sim::Host>("vonage");
   auto& google_node = net.add<sim::Host>("google");
@@ -90,8 +98,8 @@ Fig1::Fig1(Fig1Config config) {
   if (config.att_uplink_bps > 0) uplink.bandwidth_bps = config.att_uplink_bps;
   if (config.att_uplink_queue) uplink.queue_factory = config.att_uplink_queue;
   net.connect(*att_access, *att_peering, uplink);
-  net.connect(*att_peering, *box, core);
-  net.connect(*box, *cogent_core, core);
+  net.connect(*att_peering, *box_router, core);
+  net.connect(*box_router, *cogent_core, core);
   net.connect(*cogent_core, vonage_node, access);
   net.connect(*cogent_core, google_node, access);
   net.connect(*cogent_core, youtube_node, access);
@@ -102,8 +110,12 @@ Fig1::Fig1(Fig1Config config) {
   net.assign_address(vonage_node, kVonageAddr);
   net.assign_address(google_node, kGoogleAddr);
   net.assign_address(youtube_node, kYouTubeAddr);
-  net.assign_address(*box, net::Ipv4Addr(20, 0, 255, 1));
-  box->join_service_anycast(net);
+  net.assign_address(*box_router, net::Ipv4Addr(20, 0, 255, 1));
+  if (box != nullptr) {
+    box->join_service_anycast(net);
+  } else {
+    sharded_box->join_service_anycast(net);
+  }
   net.compute_routes();
 
   att = std::make_unique<sim::Isp>("AT&T",
@@ -230,6 +242,11 @@ Fig1::FlowResult Fig1::collect(const ScenarioHost& to,
       result.mean_latency_ms == 0 ? 1000.0 : result.mean_latency_ms,
       stats.any ? result.loss : 1.0);
   return result;
+}
+
+core::NeutralizerStats Fig1::service_stats() const {
+  return box != nullptr ? box->service().stats()
+                        : sharded_box->aggregate_stats();
 }
 
 Fig1::FlowResult Fig1::run_voip(VoipMode mode, ScenarioHost& from,

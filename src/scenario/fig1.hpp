@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/box.hpp"
+#include "core/sharded_box.hpp"
 #include "host/e2e.hpp"
 #include "host/host.hpp"
 #include "sim/isp.hpp"
@@ -53,6 +54,11 @@ struct ScenarioHost {
 
 struct Fig1Config {
   core::BoxCosts box_costs{};
+  /// Shard count of the Cogent neutralizer box. 0 (default) builds the
+  /// classic NeutralizerBox (`box`, fixed per-packet latency); >= 1
+  /// builds a ShardedNeutralizerBox (`sharded_box`, one serial server
+  /// per shard) on the same topology slot.
+  std::size_t box_shards = 0;
   double access_bps = 100e6;
   double core_bps = 1e9;
   /// Bandwidth of the shared AT&T uplink (att-access <-> att-peering);
@@ -76,7 +82,10 @@ class Fig1 {
   sim::Router* att_access = nullptr;
   sim::Router* att_peering = nullptr;
   sim::Router* cogent_core = nullptr;
+  /// Exactly one of `box` / `sharded_box` is non-null (see
+  /// Fig1Config::box_shards).
   core::NeutralizerBox* box = nullptr;
+  core::ShardedNeutralizerBox* sharded_box = nullptr;
   std::unique_ptr<sim::Isp> att;
   std::unique_ptr<sim::Isp> cogent;
 
@@ -97,6 +106,10 @@ class Fig1 {
   /// Receiver-side quality metrics for a finished flow.
   [[nodiscard]] FlowResult collect(const ScenarioHost& to,
                                    std::uint16_t flow_id) const;
+
+  /// Neutralizer service stats regardless of box flavor (aggregated
+  /// across shards for a sharded box).
+  [[nodiscard]] core::NeutralizerStats service_stats() const;
 
   /// schedule_voip + run to completion + collect, for one-at-a-time
   /// experiments.

@@ -46,8 +46,9 @@ void Network::assign_prefix(Node& node, net::Ipv4Prefix prefix) {
   prefix_owner_.emplace_back(prefix, node.id());
 }
 
-void Network::join_anycast(Node& node, net::Ipv4Addr group) {
-  anycast_groups_[group].push_back(node.id());
+void Network::join_anycast(Node& node, net::Ipv4Addr group,
+                           std::size_t weight) {
+  anycast_groups_[group].push_back(AnycastMember{node.id(), weight});
 }
 
 void Network::compute_routes() {
@@ -98,17 +99,21 @@ std::optional<NodeId> Network::owner_of(net::Ipv4Addr addr) const {
 
 std::optional<NodeId> Network::resolve_destination(NodeId src,
                                                    net::Ipv4Addr dst) const {
-  // Anycast: nearest group member by hop distance (ties -> first added,
-  // deterministically).
+  // Anycast: nearest group member by hop distance; equidistant members
+  // are split by advertised capacity weight (highest wins), then by
+  // registration order — all deterministic.
   if (const auto it = anycast_groups_.find(dst); it != anycast_groups_.end()) {
     const auto& members = it->second;
     std::optional<NodeId> best;
     std::size_t best_dist = std::numeric_limits<std::size_t>::max();
-    for (const NodeId member : members) {
-      const std::size_t d = distance_[src.value][member.value];
-      if (d < best_dist) {
-        best = member;
+    std::size_t best_weight = 0;
+    for (const AnycastMember& member : members) {
+      const std::size_t d = distance_[src.value][member.node.value];
+      if (d == std::numeric_limits<std::size_t>::max()) continue;
+      if (d < best_dist || (d == best_dist && member.weight > best_weight)) {
+        best = member.node;
         best_dist = d;
+        best_weight = member.weight;
       }
     }
     return best;
@@ -124,13 +129,7 @@ void Network::send_from(NodeId src, net::Packet&& pkt) {
     ++stats_.unroutable_dropped;
     return;
   }
-  const auto dst =
-      net::Ipv4Addr((static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
-                    (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
-                    (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) |
-                    pkt.bytes[19]);
-
-  const auto target = resolve_destination(src, dst);
+  const auto target = resolve_destination(src, net::packet_dst(pkt));
   if (!target.has_value()) {
     ++stats_.unroutable_dropped;
     return;

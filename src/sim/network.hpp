@@ -50,8 +50,13 @@ class Network {
   void assign_address(Node& node, net::Ipv4Addr addr);
   /// Assigns a covering prefix (longest-prefix-match routing).
   void assign_prefix(Node& node, net::Ipv4Prefix prefix);
-  /// Adds the node to an anycast group address.
-  void join_anycast(Node& node, net::Ipv4Addr group);
+  /// Adds the node to an anycast group address. `weight` advertises the
+  /// member's service capacity (e.g. a sharded neutralizer box joins
+  /// with its shard count): among members equidistant from a sender,
+  /// the highest weight wins, with ties falling back to registration
+  /// order — so the default weight of 1 preserves the historical
+  /// first-added tie-break exactly.
+  void join_anycast(Node& node, net::Ipv4Addr group, std::size_t weight = 1);
 
   /// (Re)computes all-pairs next hops by BFS hop count. Must be called
   /// after topology changes and before traffic flows.
@@ -85,13 +90,18 @@ class Network {
     NodeId peer;
     std::unique_ptr<Link> link;
   };
+  struct AnycastMember {
+    NodeId node;
+    std::size_t weight;
+  };
 
   Engine& engine_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::vector<Edge>> adjacency_;
   std::unordered_map<net::Ipv4Addr, NodeId> unicast_owner_;
   std::vector<std::pair<net::Ipv4Prefix, NodeId>> prefix_owner_;
-  std::unordered_map<net::Ipv4Addr, std::vector<NodeId>> anycast_groups_;
+  std::unordered_map<net::Ipv4Addr, std::vector<AnycastMember>>
+      anycast_groups_;
   // next_hop_[src][dst] = neighbor on a shortest path (or invalid).
   std::vector<std::vector<NodeId>> next_hop_;
   std::vector<std::vector<std::size_t>> distance_;

@@ -38,6 +38,8 @@ TrafficSource::TrafficSource(Engine& engine, Config config, SendFn send)
       rng_(config.seed) {}
 
 void TrafficSource::start() {
+  if (started_) return;
+  started_ = true;
   engine_.schedule_at(config_.start, [this] { emit(); });
 }
 

@@ -56,7 +56,10 @@ class TrafficSource {
 
   TrafficSource(Engine& engine, Config config, SendFn send);
 
-  /// Schedules the first transmission. Call once.
+  /// Schedules the first transmission. Idempotent: repeated calls are
+  /// no-ops. (A second start used to double-schedule the emission
+  /// chain, doubling the flow's rate — and in Poisson mode interleaving
+  /// two emission chains over the one RNG, perturbing both streams.)
   void start();
 
   [[nodiscard]] std::uint32_t sent() const noexcept { return next_seq_; }
@@ -67,6 +70,7 @@ class TrafficSource {
   SendFn send_;
   SplitMix64 rng_;
   std::uint32_t next_seq_ = 0;
+  bool started_ = false;
 
   void emit();
   [[nodiscard]] SimTime interval();

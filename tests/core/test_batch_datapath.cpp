@@ -411,5 +411,44 @@ TEST_F(BatchDatapathTest, BatchDrainingBoxMatchesScalarBox) {
   EXPECT_EQ(scalar.box->batch_stats().batches, 0u);
 }
 
+TEST_F(BatchDatapathTest, BoxBatchStatsCountBurstsExactly) {
+  BoxHarness h(true);
+  const std::uint64_t nonce = 0xAB;
+  const auto ks = source_key(nonce, kAnn);
+
+  // First instant: a 6-packet burst (drops included — batched_packets
+  // counts inputs, not survivors) coalesces into exactly one batch.
+  for (int i = 0; i < 5; ++i) {
+    h.ann->transmit(make_forward(nonce, ks, kAnn, kGoogle));
+  }
+  h.ann->transmit(make_forward(nonce, ks, kAnn, kOutsider));  // dropped
+  h.engine.run();
+  EXPECT_EQ(h.box->batch_stats().batches, 1u);
+  EXPECT_EQ(h.box->batch_stats().batched_packets, 6u);
+  EXPECT_EQ(h.box->batch_stats().max_batch, 6u);
+
+  // Later instant: a smaller burst adds one batch; max_batch sticks.
+  h.ann->transmit(make_forward(nonce, ks, kAnn, kGoogle));
+  h.ann->transmit(make_forward(nonce, ks, kAnn, kGoogle));
+  h.engine.run();
+  EXPECT_EQ(h.box->batch_stats().batches, 2u);
+  EXPECT_EQ(h.box->batch_stats().batched_packets, 8u);
+  EXPECT_EQ(h.box->batch_stats().max_batch, 6u);
+}
+
+TEST_F(BatchDatapathTest, DisabledBatchDrainLeavesStatsUntouched) {
+  BoxHarness h(false);
+  const std::uint64_t nonce = 0xAC;
+  const auto ks = source_key(nonce, kAnn);
+  for (int i = 0; i < 4; ++i) {
+    h.ann->transmit(make_forward(nonce, ks, kAnn, kGoogle));
+  }
+  h.engine.run();
+  EXPECT_EQ(h.at_google.size(), 4u);  // traffic flowed…
+  EXPECT_EQ(h.box->batch_stats().batches, 0u);  // …but never batched
+  EXPECT_EQ(h.box->batch_stats().batched_packets, 0u);
+  EXPECT_EQ(h.box->batch_stats().max_batch, 0u);
+}
+
 }  // namespace
 }  // namespace nn::core

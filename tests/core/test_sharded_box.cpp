@@ -1,0 +1,454 @@
+// Shard-count equivalence: a ShardedNeutralizer must be observationally
+// identical to a single Neutralizer for every shard count — per shard,
+// byte-identical outputs in arrival order; in aggregate, identical
+// NeutralizerStats — over a shuffled mixed workload (key setups, data
+// in both directions, rekey requests, leases, garbage), including
+// across a master-key rotation. Also covers the dispatch hash, the
+// sharded sim box, its per-shard serial service model, and the anycast
+// capacity weight.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/box.hpp"
+#include "core/neutralizer.hpp"
+#include "core/sharded_box.hpp"
+#include "crypto/aes_modes.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+#include "net/shim.hpp"
+#include "sim/network.hpp"
+
+namespace nn::core {
+namespace {
+
+using net::Ipv4Addr;
+using net::ShimFlags;
+using net::ShimHeader;
+using net::ShimType;
+
+const Ipv4Addr kAnycast(200, 0, 0, 1);
+const Ipv4Addr kAnn(10, 1, 0, 2);
+const Ipv4Addr kGoogle(20, 0, 0, 10);
+const Ipv4Addr kOutsider(99, 0, 0, 1);
+
+NeutralizerConfig test_config() {
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey test_root() {
+  crypto::AesKey k;
+  k.fill(0x42);
+  return k;
+}
+
+net::Packet make_forward(std::uint64_t nonce, const crypto::AesKey& ks,
+                         Ipv4Addr src, Ipv4Addr true_dst,
+                         std::uint8_t flags = 0, std::uint16_t epoch = 0) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataForward;
+  shim.flags = flags;
+  shim.key_epoch = epoch;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, true_dst.value());
+  const std::vector<std::uint8_t> payload = {'f', 'w', 'd'};
+  return net::make_shim_packet(src, kAnycast, shim, payload);
+}
+
+net::Packet make_return(std::uint64_t nonce, Ipv4Addr customer,
+                        Ipv4Addr initiator, std::uint16_t epoch = 0) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataReturn;
+  shim.key_epoch = epoch;
+  shim.nonce = nonce;
+  shim.inner_addr = initiator.value();
+  const std::vector<std::uint8_t> payload = {'r', 'e', 't'};
+  return net::make_shim_packet(customer, kAnycast, shim, payload);
+}
+
+net::Packet make_key_setup(const crypto::RsaPublicKey& pub, Ipv4Addr src,
+                           std::uint64_t request_id) {
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetup;
+  shim.nonce = request_id;
+  return net::make_shim_packet(src, kAnycast, shim, pub.serialize());
+}
+
+net::Packet make_lease(Ipv4Addr customer, std::uint64_t request_id) {
+  ShimHeader shim;
+  shim.type = ShimType::kKeyLease;
+  shim.nonce = request_id;
+  return net::make_shim_packet(customer, kAnycast, shim,
+                               std::vector<std::uint8_t>{});
+}
+
+class ShardedBoxTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::ChaChaRng rng(11);
+    onetime_ = new crypto::RsaPrivateKey(crypto::rsa_generate(rng, 512, 3));
+  }
+  static void TearDownTestSuite() {
+    delete onetime_;
+    onetime_ = nullptr;
+  }
+
+  static crypto::RsaPrivateKey* onetime_;
+};
+
+crypto::RsaPrivateKey* ShardedBoxTest::onetime_ = nullptr;
+
+/// Per flow: one of each packet class the datapath distinguishes, keys
+/// minted against `minted_at`'s master key and tagged `key_epoch`.
+std::vector<net::Packet> mixed_wave(crypto::ChaChaRng& rng,
+                                    const crypto::RsaPublicKey& pub,
+                                    std::size_t flows, sim::SimTime minted_at,
+                                    std::uint16_t key_epoch) {
+  const MasterKeySchedule sched(test_root());
+  const auto u8 = [&rng] {
+    return static_cast<std::uint8_t>(rng.next_u64());
+  };
+  std::vector<net::Packet> out;
+  for (std::size_t f = 0; f < flows; ++f) {
+    const Ipv4Addr outside(10, 1, u8(), u8() | 1);
+    const Ipv4Addr customer(20, 0, u8(), u8() | 1);
+    const std::uint64_t nonce = rng.next_u64();
+    const auto ks = crypto::derive_source_key(sched.current_key(minted_at),
+                                              nonce, outside.value());
+    out.push_back(make_key_setup(pub, outside, rng.next_u64()));
+    out.push_back(make_forward(nonce, ks, outside, customer, 0, key_epoch));
+    out.push_back(make_forward(nonce, ks, outside, customer,
+                               ShimFlags::kKeyRequest, key_epoch));
+    out.push_back(make_return(nonce, customer, outside, key_epoch));
+    out.push_back(make_lease(customer, rng.next_u64()));
+    out.push_back(
+        make_forward(nonce, ks, outside, kOutsider, 0, key_epoch));
+    out.push_back(make_forward(nonce, ks, outside, customer, 0, 99));
+    out.push_back(net::make_udp_packet(outside, kAnycast, 1, 2,
+                                       std::vector<std::uint8_t>{7}));
+    auto truncated = make_forward(nonce, ks, outside, customer, 0, key_epoch);
+    truncated.bytes.resize(net::kIpv4HeaderSize + 5);
+    out.push_back(std::move(truncated));
+  }
+  for (std::size_t i = out.size() - 1; i > 0; --i) {
+    std::swap(out[i], out[rng.next_u64() % (i + 1)]);
+  }
+  return out;
+}
+
+void expect_shard_equivalence(std::size_t shard_count,
+                              const crypto::RsaPublicKey& pub) {
+  SCOPED_TRACE(testing::Message() << "shard_count=" << shard_count);
+  Neutralizer single(test_config(), test_root());
+  ShardedNeutralizer cluster(shard_count, test_config(), test_root());
+  ASSERT_EQ(cluster.shard_count(), shard_count);
+
+  crypto::ChaChaRng rng(0x5EED);
+  const sim::SimTime rotation = MasterKeySchedule::kDefaultRotation;
+
+  struct Wave {
+    sim::SimTime at;
+    std::vector<net::Packet> packets;
+  };
+  std::vector<Wave> waves;
+  waves.push_back({1, mixed_wave(rng, pub, 12, 1, 0)});
+  // Second wave straddles the rotation: epoch-0 keys still in the grace
+  // window mixed with freshly minted epoch-1 keys.
+  auto second = mixed_wave(rng, pub, 6, 1, 0);
+  auto fresh = mixed_wave(rng, pub, 6, rotation + 5, 1);
+  for (auto& p : fresh) second.push_back(std::move(p));
+  for (std::size_t i = second.size() - 1; i > 0; --i) {
+    std::swap(second[i], second[rng.next_u64() % (i + 1)]);
+  }
+  waves.push_back({rotation + 5, std::move(second)});
+
+  std::size_t shards_touched = 0;
+  for (auto& wave : waves) {
+    std::vector<std::vector<net::Packet>> expected(cluster.shard_count());
+    for (auto& pkt : wave.packets) {
+      const std::size_t s = cluster.shard_for(pkt);
+      ASSERT_LT(s, cluster.shard_count());
+      auto copy = pkt;
+      auto out = single.process(std::move(copy), wave.at);
+      if (out.has_value()) expected[s].push_back(std::move(*out));
+      cluster.enqueue(std::move(pkt));
+    }
+    for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+      std::vector<net::Packet> got;
+      cluster.drain_shard(s, wave.at, got);
+      ASSERT_EQ(got.size(), expected[s].size()) << "shard " << s;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i], expected[s][i])
+            << "shard " << s << " output " << i << " differs";
+      }
+    }
+  }
+  for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+    if (cluster.shard(s).stats() != NeutralizerStats{}) ++shards_touched;
+  }
+  EXPECT_EQ(cluster.aggregate_stats(), single.stats());
+
+  // The workload really exercised every datapath class and, for real
+  // clusters, spread across shards.
+  const auto& st = single.stats();
+  EXPECT_GT(st.key_setups, 0u);
+  EXPECT_GT(st.key_leases, 0u);
+  EXPECT_GT(st.data_forwarded, 0u);
+  EXPECT_GT(st.data_returned, 0u);
+  EXPECT_GT(st.rekeys_stamped, 0u);
+  EXPECT_GT(st.rejected, 0u);
+  if (shard_count > 1) EXPECT_GT(shards_touched, 1u);
+}
+
+TEST_F(ShardedBoxTest, ShardCountEquivalenceBytesAndStats) {
+  for (const std::size_t n : {1, 2, 4, 8}) {
+    expect_shard_equivalence(n, onetime_->pub);
+  }
+}
+
+TEST_F(ShardedBoxTest, SessionLegsCoLocateOnOneShard) {
+  const MasterKeySchedule sched(test_root());
+  crypto::ChaChaRng rng(77);
+  for (int i = 0; i < 32; ++i) {
+    const Ipv4Addr outside(10, 2, static_cast<std::uint8_t>(rng.next_u64()),
+                           static_cast<std::uint8_t>(rng.next_u64()) | 1);
+    const std::uint64_t nonce = rng.next_u64();
+    const auto ks = crypto::derive_source_key(sched.current_key(0), nonce,
+                                              outside.value());
+    const auto fwd = make_forward(nonce, ks, outside, kGoogle);
+    const auto ret = make_return(nonce, kGoogle, outside);
+    for (const std::size_t shards : {2, 4, 8}) {
+      EXPECT_EQ(shard_for_packet(fwd, shards), shard_for_packet(ret, shards))
+          << "forward and return legs of one session split across shards";
+    }
+  }
+}
+
+TEST_F(ShardedBoxTest, DispatchIsDeterministicInRangeAndCrashFree) {
+  crypto::ChaChaRng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    net::Packet pkt;
+    pkt.bytes.resize(rng.next_u64() % 64);
+    for (auto& b : pkt.bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    for (const std::size_t shards : {1, 2, 4, 8}) {
+      const std::size_t s = shard_for_packet(pkt, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, shard_for_packet(pkt, shards));
+    }
+  }
+}
+
+TEST_F(ShardedBoxTest, DynAddrRequestsPinToShardZero) {
+  NeutralizerConfig cfg = test_config();
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("30.0.0.0/24");
+  Neutralizer single(cfg, test_root());
+  ShardedNeutralizer cluster(4, cfg, test_root());
+
+  crypto::ChaChaRng rng(123);
+  std::vector<net::Packet> expected;
+  for (int i = 0; i < 8; ++i) {
+    ShimHeader shim;
+    shim.type = ShimType::kDynAddrRequest;
+    shim.nonce = rng.next_u64();
+    auto req = net::make_shim_packet(kGoogle, kAnycast, shim,
+                                     std::vector<std::uint8_t>{});
+    EXPECT_EQ(cluster.shard_for(req), 0u);
+    auto copy = req;
+    auto out = single.process(std::move(copy), 0);
+    ASSERT_TRUE(out.has_value());
+    expected.push_back(std::move(*out));
+    cluster.enqueue(std::move(req));
+  }
+  // The allocator is per-session state on shard 0; pinning every
+  // request there makes the cluster allocate exactly like a single box.
+  std::vector<net::Packet> got;
+  cluster.drain_shard(0, 0, got);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], expected[i]);
+  EXPECT_EQ(cluster.aggregate_stats(), single.stats());
+}
+
+// ---------------------------------------------------------------------
+// Simulator-level: the sharded box on a topology.
+
+struct ShardedHarness {
+  sim::Engine engine;
+  sim::Network net{engine};
+  sim::Router* service = nullptr;  // whichever box flavor
+  NeutralizerBox* plain = nullptr;
+  ShardedNeutralizerBox* sharded = nullptr;
+  sim::Host* ann = nullptr;
+  sim::Host* google = nullptr;
+  std::vector<net::Packet> at_google;
+  std::vector<net::Packet> at_ann;
+  std::vector<sim::SimTime> google_arrivals;
+
+  ShardedHarness(std::size_t shards, BoxCosts costs = {}) {
+    if (shards == 0) {
+      plain = &net.add<NeutralizerBox>("box", test_config(), test_root(), 1,
+                                       costs);
+      plain->set_batch_drain(true);
+      service = plain;
+    } else {
+      sharded = &net.add<ShardedNeutralizerBox>("box", shards, test_config(),
+                                                test_root(), costs);
+      service = sharded;
+    }
+    ann = &net.add<sim::Host>("ann");
+    google = &net.add<sim::Host>("google");
+    net.assign_address(*ann, kAnn);
+    net.assign_address(*google, kGoogle);
+    sim::LinkConfig fast;
+    fast.bandwidth_bps = 1e15;
+    fast.propagation = sim::kMicrosecond;
+    net.connect(*ann, *service, fast);
+    net.connect(*google, *service, fast);
+    if (plain != nullptr) {
+      plain->join_service_anycast(net);
+    } else {
+      sharded->join_service_anycast(net);
+    }
+    net.compute_routes();
+    google->set_handler([this](net::Packet&& p) {
+      google_arrivals.push_back(engine.now());
+      at_google.push_back(std::move(p));
+    });
+    ann->set_handler(
+        [this](net::Packet&& p) { at_ann.push_back(std::move(p)); });
+  }
+};
+
+void sort_packets(std::vector<net::Packet>& v) {
+  std::sort(v.begin(), v.end(), [](const net::Packet& a, const net::Packet& b) {
+    return a.bytes < b.bytes;
+  });
+}
+
+TEST_F(ShardedBoxTest, ShardedBoxMatchesBatchDrainingBoxOnABurst) {
+  ShardedHarness plain(0);
+  ShardedHarness sharded(4);
+  const MasterKeySchedule sched(test_root());
+
+  for (auto* h : {&plain, &sharded}) {
+    crypto::ChaChaRng flow_rng(42);
+    for (int i = 0; i < 12; ++i) {
+      const std::uint64_t nonce = flow_rng.next_u64();
+      const auto ks = crypto::derive_source_key(sched.current_key(0), nonce,
+                                                kAnn.value());
+      h->ann->transmit(make_forward(nonce, ks, kAnn, kGoogle));
+      if (i % 3 == 0) {
+        h->google->transmit(make_return(nonce, kGoogle, kAnn));
+      }
+      if (i % 4 == 0) {
+        h->ann->transmit(make_forward(nonce, ks, kAnn, kOutsider));  // drop
+      }
+    }
+    h->ann->transmit(net::make_udp_packet(kAnn, kAnycast, 1, 2,
+                                          std::vector<std::uint8_t>{9}));
+    h->engine.run();
+  }
+
+  ASSERT_EQ(plain.at_google.size(), 12u);
+  ASSERT_EQ(sharded.at_google.size(), 12u);
+  ASSERT_EQ(plain.at_ann.size(), 4u);
+  ASSERT_EQ(sharded.at_ann.size(), 4u);
+  // Shards drain in shard order, so cross-flow arrival order may
+  // differ; the delivered *sets* must match byte-for-byte.
+  sort_packets(plain.at_google);
+  sort_packets(sharded.at_google);
+  sort_packets(plain.at_ann);
+  sort_packets(sharded.at_ann);
+  EXPECT_EQ(plain.at_google, sharded.at_google);
+  EXPECT_EQ(plain.at_ann, sharded.at_ann);
+  EXPECT_EQ(sharded.sharded->aggregate_stats(),
+            plain.plain->service().stats());
+
+  // The burst actually split across shards: more per-shard batches than
+  // the single box's, none covering the whole burst.
+  EXPECT_GT(sharded.sharded->batch_stats().batches,
+            plain.plain->batch_stats().batches);
+  EXPECT_LT(sharded.sharded->batch_stats().max_batch,
+            plain.plain->batch_stats().max_batch);
+  EXPECT_EQ(sharded.sharded->batch_stats().batched_packets,
+            plain.plain->batch_stats().batched_packets);
+}
+
+TEST_F(ShardedBoxTest, ShardsServeABurstInParallel) {
+  // Each shard is a serial server: a same-instant burst of K packets
+  // finishes after K×cost on one shard, but after max-shard-load×cost
+  // on four — the service-capacity half of the scaling story.
+  constexpr int kBurst = 16;
+  BoxCosts costs;
+  costs.data_path = sim::kMillisecond;
+  const MasterKeySchedule sched(test_root());
+
+  std::vector<net::Packet> burst;
+  crypto::ChaChaRng rng(0xCAFE);
+  for (int i = 0; i < kBurst; ++i) {
+    const std::uint64_t nonce = rng.next_u64();
+    const auto ks = crypto::derive_source_key(sched.current_key(0), nonce,
+                                              kAnn.value());
+    burst.push_back(make_forward(nonce, ks, kAnn, kGoogle));
+  }
+  std::size_t shard_load[4] = {0, 0, 0, 0};
+  for (const auto& pkt : burst) ++shard_load[shard_for_packet(pkt, 4)];
+  const std::size_t max_load =
+      *std::max_element(std::begin(shard_load), std::end(shard_load));
+  ASSERT_LT(max_load, static_cast<std::size_t>(kBurst));
+
+  sim::SimTime last[2] = {0, 0};
+  std::size_t run = 0;
+  for (const std::size_t shards : {1, 4}) {
+    ShardedHarness h(shards, costs);
+    for (const auto& pkt : burst) h.ann->transmit(net::Packet(pkt));
+    h.engine.run();
+    ASSERT_EQ(h.at_google.size(), static_cast<std::size_t>(kBurst));
+    last[run++] = *std::max_element(h.google_arrivals.begin(),
+                                    h.google_arrivals.end());
+  }
+  EXPECT_LT(last[1], last[0]);
+  const sim::SimTime expected_gain =
+      static_cast<sim::SimTime>(kBurst - max_load) * costs.data_path;
+  EXPECT_NEAR(static_cast<double>(last[0] - last[1]),
+              static_cast<double>(expected_gain),
+              static_cast<double>(sim::kMicrosecond));
+}
+
+TEST_F(ShardedBoxTest, AnycastPrefersTheBiggerBoxAtEqualDistance) {
+  // A 1-shard box registered first and a 4-shard box registered second,
+  // both one hop from the client: capacity weight must steer the flow
+  // to the sharded box (without weights, registration order would win).
+  sim::Engine engine;
+  sim::Network net(engine);
+  auto& client = net.add<sim::Host>("client");
+  auto& small = net.add<NeutralizerBox>("small", test_config(), test_root());
+  auto& big = net.add<ShardedNeutralizerBox>("big", 4, test_config(),
+                                             test_root());
+  net.assign_address(client, kAnn);
+  sim::LinkConfig fast;
+  fast.bandwidth_bps = 1e12;
+  fast.propagation = sim::kMicrosecond;
+  net.connect(client, small, fast);
+  net.connect(client, big, fast);
+  small.join_service_anycast(net);
+  big.join_service_anycast(net);
+  net.compute_routes();
+
+  const MasterKeySchedule sched(test_root());
+  const std::uint64_t nonce = 0xFEED;
+  const auto ks =
+      crypto::derive_source_key(sched.current_key(0), nonce, kAnn.value());
+  client.transmit(make_forward(nonce, ks, kAnn, kGoogle));
+  engine.run();
+
+  EXPECT_EQ(small.service().stats().data_forwarded, 0u);
+  EXPECT_EQ(big.aggregate_stats().data_forwarded, 1u);
+}
+
+}  // namespace
+}  // namespace nn::core

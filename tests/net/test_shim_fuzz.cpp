@@ -1,0 +1,181 @@
+// Negative/fuzz tests for the shim wire parsers: truncated,
+// magic-corrupted, and length-lying buffers must be rejected with
+// ParseError — never a crash or out-of-bounds access. The CI sanitizer
+// job (ASan+UBSan) runs these with memory checking on, which is where
+// the "without UB" half of the contract is enforced.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/chacha.hpp"
+#include "net/packet.hpp"
+#include "net/shim.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::net {
+namespace {
+
+const Ipv4Addr kSrc(10, 1, 0, 2);
+const Ipv4Addr kDst(200, 0, 0, 1);
+
+net::Packet sample_forward(std::uint8_t flags) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataForward;
+  shim.flags = flags;
+  shim.key_epoch = 1;
+  shim.nonce = 0x1122334455667788ULL;
+  shim.inner_addr = 0xDEADBEEF;
+  return make_shim_packet(kSrc, kDst, shim,
+                          std::vector<std::uint8_t>(64, 0xE5));
+}
+
+net::Packet sample_key_setup() {
+  ShimHeader shim;
+  shim.type = ShimType::kKeySetup;
+  shim.nonce = 0xAABB;
+  return make_shim_packet(kSrc, kDst, shim,
+                          std::vector<std::uint8_t>(40, 0x31));
+}
+
+/// Exercises both parsers on an arbitrary buffer; returns whether each
+/// accepted. A parser may accept or throw ParseError — anything else
+/// (any other exception, or memory errors under the sanitizers) fails.
+std::pair<bool, bool> feed_parsers(const std::vector<std::uint8_t>& bytes) {
+  bool view_ok = false;
+  bool parse_ok = false;
+  std::vector<std::uint8_t> mut = bytes;
+  try {
+    const ShimPacketView view(mut);
+    // Touch every unchecked accessor the datapath uses.
+    (void)view.type();
+    (void)view.flags();
+    (void)view.key_epoch();
+    (void)view.nonce();
+    (void)view.src();
+    (void)view.dst();
+    if (shim_type_has_inner_addr(view.type())) (void)view.inner_addr();
+    if (view.has_rekey_space()) (void)view.rekey();
+    (void)view.payload();
+    view_ok = true;
+  } catch (const ParseError&) {
+  }
+  try {
+    const ParsedPacket p = parse_packet(bytes);
+    (void)p;
+    parse_ok = true;
+  } catch (const ParseError&) {
+  }
+  return {view_ok, parse_ok};
+}
+
+TEST(ShimFuzz, TruncationSweepRejectsOrParses) {
+  for (const auto& whole :
+       {sample_forward(0), sample_forward(ShimFlags::kKeyRequest),
+        sample_key_setup()}) {
+    std::size_t view_rejects = 0;
+    for (std::size_t len = 0; len < whole.size(); ++len) {
+      const std::vector<std::uint8_t> prefix(whole.bytes.begin(),
+                                             whole.bytes.begin() +
+                                                 static_cast<long>(len));
+      const auto [view_ok, parse_ok] = feed_parsers(prefix);
+      // parse_packet cross-checks total_length, so every truncation is
+      // detected; the view only needs the shim fields, so payload-only
+      // truncation may legitimately pass.
+      EXPECT_FALSE(parse_ok) << "truncated to " << len;
+      if (!view_ok) ++view_rejects;
+    }
+    EXPECT_GT(view_rejects, 0u);
+    const auto [view_ok, parse_ok] = feed_parsers(whole.bytes);
+    EXPECT_TRUE(view_ok);
+    EXPECT_TRUE(parse_ok);
+  }
+}
+
+TEST(ShimFuzz, TypeByteSweepOnlyKnownTypesParse) {
+  const auto whole = sample_forward(0);
+  for (int t = 0; t < 256; ++t) {
+    auto mutated = whole.bytes;
+    mutated[kIpv4HeaderSize] = static_cast<std::uint8_t>(t);
+    const auto [view_ok, parse_ok] = feed_parsers(mutated);
+    if (t < 1 || t > 8) {
+      EXPECT_FALSE(view_ok) << "type " << t;
+      EXPECT_FALSE(parse_ok) << "type " << t;
+    }
+  }
+}
+
+TEST(ShimFuzz, CorruptedIpMagicRejected) {
+  const auto whole = sample_forward(0);
+  {
+    auto mutated = whole.bytes;
+    mutated[0] = 0x65;  // version 6
+    const auto [view_ok, parse_ok] = feed_parsers(mutated);
+    EXPECT_FALSE(view_ok);
+    EXPECT_FALSE(parse_ok);
+  }
+  {
+    auto mutated = whole.bytes;
+    mutated[9] = 17;  // protocol: UDP, not shim
+    const auto [view_ok, parse_ok] = feed_parsers(mutated);
+    EXPECT_FALSE(view_ok);
+    EXPECT_FALSE(parse_ok);
+  }
+}
+
+TEST(ShimFuzz, LyingTotalLengthRejected) {
+  const auto whole = sample_forward(0);
+  for (const int delta : {-20, -1, 1, 37}) {
+    auto mutated = whole.bytes;
+    const std::uint16_t lying = static_cast<std::uint16_t>(
+        static_cast<int>(whole.size()) + delta);
+    mutated[2] = static_cast<std::uint8_t>(lying >> 8);
+    mutated[3] = static_cast<std::uint8_t>(lying);
+    // Recompute the header checksum so the length check itself (not the
+    // checksum) is what rejects the packet.
+    mutated[10] = 0;
+    mutated[11] = 0;
+    const std::uint16_t sum = internet_checksum(
+        std::span<const std::uint8_t>(mutated).subspan(0, kIpv4HeaderSize));
+    mutated[10] = static_cast<std::uint8_t>(sum >> 8);
+    mutated[11] = static_cast<std::uint8_t>(sum);
+    EXPECT_THROW((void)parse_packet(mutated), ParseError) << delta;
+  }
+}
+
+TEST(ShimFuzz, LyingRekeyFlagOnShortBufferRejected) {
+  // The flags byte promises a 26-byte rekey extension the buffer does
+  // not carry: the view's structural validation must refuse it.
+  auto lying = sample_forward(0);
+  lying.bytes[kIpv4HeaderSize + 1] = ShimFlags::kKeyRequest;
+  std::vector<std::uint8_t> short_buf(
+      lying.bytes.begin(),
+      lying.bytes.begin() + kIpv4HeaderSize + kShimBaseSize +
+          kShimInnerAddrSize + 4);
+  EXPECT_THROW((void)ShimPacketView(short_buf), ParseError);
+}
+
+TEST(ShimFuzz, SingleByteMutationSweep) {
+  for (const auto& whole :
+       {sample_forward(ShimFlags::kKeyRequest), sample_key_setup()}) {
+    for (std::size_t pos = 0; pos < whole.size(); ++pos) {
+      for (const std::uint8_t mask : {0x01, 0x80, 0xFF}) {
+        auto mutated = whole.bytes;
+        mutated[pos] ^= mask;
+        (void)feed_parsers(mutated);  // must not crash; verdict is free
+      }
+    }
+  }
+}
+
+TEST(ShimFuzz, RandomBufferSoup) {
+  crypto::ChaChaRng rng(0xF0220);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::uint8_t> soup(rng.next_u64() % 96);
+    for (auto& b : soup) b = static_cast<std::uint8_t>(rng.next_u64());
+    (void)feed_parsers(soup);
+  }
+}
+
+}  // namespace
+}  // namespace nn::net

@@ -38,6 +38,38 @@ Fig1::FlowResult run(VoipMode mode) {
                       5 * sim::kSecond);
 }
 
+TEST(Fig1Experiment, ShardedBoxDeliversLikeSingleBox) {
+  // The same neutralized flow through a 4-shard box must look exactly
+  // like the single-box run from the receiver's point of view — the
+  // stateless dispatch may not perturb per-flow treatment.
+  Fig1::FlowResult results[2];
+  core::NeutralizerStats stats[2];
+  std::size_t run_idx = 0;
+  for (const std::size_t shards : {0, 4}) {  // 0 = classic single box
+    Fig1Config cfg;
+    cfg.box_shards = shards;
+    Fig1 fig(cfg);
+    fig.att->apply_policy(anti_vonage());
+    results[run_idx] = fig.run_voip(VoipMode::kNeutralized, fig.ann,
+                                    fig.vonage, 1, 50, sim::kSecond,
+                                    2 * sim::kSecond);
+    stats[run_idx] = fig.service_stats();
+    if (shards > 0) {
+      ASSERT_NE(fig.sharded_box, nullptr);
+      EXPECT_EQ(fig.box, nullptr);
+      EXPECT_GT(fig.sharded_box->batch_stats().batches, 0u);
+    } else {
+      ASSERT_NE(fig.box, nullptr);
+    }
+    ++run_idx;
+  }
+  EXPECT_EQ(results[0].received, results[1].received);
+  EXPECT_DOUBLE_EQ(results[0].loss, results[1].loss);
+  EXPECT_NEAR(results[0].mean_latency_ms, results[1].mean_latency_ms, 1e-6);
+  EXPECT_EQ(stats[0], stats[1]);
+  EXPECT_GT(stats[0].data_forwarded, 0u);
+}
+
 TEST(Fig1Experiment, PlainVoipIsDegraded) {
   const auto r = run(VoipMode::kPlain);
   EXPECT_GT(r.loss, 0.15);

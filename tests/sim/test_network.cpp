@@ -203,6 +203,67 @@ TEST(Network, AnycastFailoverByTopology) {
   EXPECT_EQ(got2, 1);
 }
 
+TEST(Network, AnycastEquidistantTieBreaksByCapacityWeight) {
+  // a -- m1 and a -- m2, both 1 hop. With default weights the
+  // first-registered member wins (historical behavior); a higher
+  // advertised capacity on the other member overrides that.
+  for (const bool weighted : {false, true}) {
+    Engine engine;
+    Network net(engine);
+    auto& a = net.add<Host>("a");
+    auto& m1 = net.add<Host>("m1");
+    auto& m2 = net.add<Host>("m2");
+    LinkConfig cfg;
+    net.connect(a, m1, cfg);
+    net.connect(a, m2, cfg);
+    net.assign_address(a, net::Ipv4Addr(1, 0, 0, 1));
+    const net::Ipv4Addr group(200, 0, 0, 1);
+    net.join_anycast(m1, group);
+    if (weighted) {
+      net.join_anycast(m2, group, /*weight=*/4);
+    } else {
+      net.join_anycast(m2, group);
+    }
+    net.compute_routes();
+
+    int got1 = 0, got2 = 0;
+    m1.set_handler([&](net::Packet&&) { ++got1; });
+    m2.set_handler([&](net::Packet&&) { ++got2; });
+    a.transmit(udp_to(a.address(), group));
+    engine.run();
+    EXPECT_EQ(got1, weighted ? 0 : 1) << "weighted=" << weighted;
+    EXPECT_EQ(got2, weighted ? 1 : 0) << "weighted=" << weighted;
+  }
+}
+
+TEST(Network, AnycastWeightDoesNotOverrideDistance) {
+  // a -- m1 (1 hop), a -- r -- m2 (2 hops, weight 100): distance still
+  // dominates; weight only splits equidistant members.
+  Engine engine;
+  Network net(engine);
+  auto& a = net.add<Host>("a");
+  auto& m1 = net.add<Host>("m1");
+  auto& r = net.add<Router>("r");
+  auto& m2 = net.add<Host>("m2");
+  LinkConfig cfg;
+  net.connect(a, m1, cfg);
+  net.connect(a, r, cfg);
+  net.connect(r, m2, cfg);
+  net.assign_address(a, net::Ipv4Addr(1, 0, 0, 1));
+  const net::Ipv4Addr group(200, 0, 0, 1);
+  net.join_anycast(m1, group);
+  net.join_anycast(m2, group, /*weight=*/100);
+  net.compute_routes();
+
+  int got1 = 0, got2 = 0;
+  m1.set_handler([&](net::Packet&&) { ++got1; });
+  m2.set_handler([&](net::Packet&&) { ++got2; });
+  a.transmit(udp_to(a.address(), group));
+  engine.run();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 0);
+}
+
 TEST(Network, DuplicateAddressAssignmentThrows) {
   Engine engine;
   Network net(engine);

@@ -74,6 +74,45 @@ TEST(TrafficSource, PoissonApproximatesRate) {
   EXPECT_NEAR(sent, 2000, 200);  // ~3 sigma
 }
 
+TEST(TrafficSource, StartIsIdempotent) {
+  // Regression: a second start() used to schedule a second emission
+  // chain, doubling the flow's rate.
+  Engine e;
+  TrafficSource::Config cfg;
+  cfg.packets_per_second = 100;
+  cfg.stop = 1 * kSecond;
+  int sent = 0;
+  TrafficSource src(e, cfg, [&](std::vector<std::uint8_t>&&) { ++sent; });
+  src.start();
+  src.start();
+  e.run();
+  EXPECT_EQ(sent, 100);
+  src.start();  // even after the flow finished
+  e.run();
+  EXPECT_EQ(sent, 100);
+}
+
+TEST(TrafficSource, PoissonStreamUnperturbedByRepeatedStart) {
+  // Two identically seeded Poisson sources must emit at identical
+  // times whether start() was called once or three times (a duplicate
+  // chain would interleave draws from the shared RNG).
+  std::vector<SimTime> once, thrice;
+  for (int calls : {1, 3}) {
+    Engine e;
+    TrafficSource::Config cfg;
+    cfg.packets_per_second = 200;
+    cfg.stop = kSecond;
+    cfg.poisson = true;
+    cfg.seed = 7;
+    auto& out = calls == 1 ? once : thrice;
+    TrafficSource src(e, cfg,
+                      [&](std::vector<std::uint8_t>&&) { out.push_back(e.now()); });
+    for (int c = 0; c < calls; ++c) src.start();
+    e.run();
+  }
+  EXPECT_EQ(once, thrice);
+}
+
 TEST(TrafficSource, SequenceNumbersIncrease) {
   Engine e;
   TrafficSource::Config cfg;
