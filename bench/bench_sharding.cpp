@@ -18,10 +18,10 @@
 #include <chrono>
 #include <vector>
 
+#include "core/replay.hpp"
 #include "core/sharded_box.hpp"
-#include "crypto/aes_modes.hpp"
 #include "net/arena.hpp"
-#include "net/shim.hpp"
+#include "sim/trace_workload.hpp"
 
 namespace {
 
@@ -47,35 +47,41 @@ crypto::AesKey root_key() {
   return k;
 }
 
-/// 112-byte neutralized data packet for one flow, exactly the paper's
-/// wire size: 20 (IP) + 12 (shim) + 4 (inner addr) + 64 + 12 padding.
-net::Packet paper_packet(std::size_t flow) {
+/// Neutralized data packet for one flow at the given total wire size
+/// (0 = the paper's 112 bytes: 20 IP + 12 shim + 4 inner addr + 76
+/// payload). Shared mapping: core/replay.hpp.
+net::Packet flow_packet(std::size_t flow, std::size_t wire_size = 0) {
   const core::MasterKeySchedule sched(root_key());
-  const net::Ipv4Addr src(10, 1, static_cast<std::uint8_t>(flow >> 8),
-                          static_cast<std::uint8_t>(flow | 1));
-  const std::uint64_t nonce = 0x1122334455660000ULL + flow;
-  const auto ks =
-      crypto::derive_source_key(sched.current_key(0), nonce, src.value());
-  net::ShimHeader shim;
-  shim.type = net::ShimType::kDataForward;
-  shim.key_epoch = 0;
-  shim.nonce = nonce;
-  shim.inner_addr = crypto::crypt_address(ks, nonce, false, kGoogle.value());
-  const std::size_t pad =
-      112 - (net::kIpv4HeaderSize + shim.serialized_size() + 64);
-  std::vector<std::uint8_t> payload(64 + pad, 0xE5);
-  return net::make_shim_packet(src, kAnycast, shim, payload);
+  return core::synth_forward_packet(sched, kAnycast, kGoogle,
+                                    static_cast<std::uint16_t>(flow),
+                                    wire_size == 0 ? 112 : wire_size,
+                                    0x1122334455660000ULL);
 }
 
-void BM_ShardedForward(benchmark::State& state) {
+net::Packet paper_packet(std::size_t flow) { return flow_packet(flow); }
+
+/// Shared body for the fixed-size and IMIX scaling benchmarks; `imix`
+/// swaps the uniform 112-byte templates for classic-IMIX-sized ones
+/// (sizes drawn per flow, deterministic).
+void sharded_forward_body(benchmark::State& state, bool imix) {
   const std::size_t shards = static_cast<std::size_t>(state.range(0));
   core::ShardedNeutralizer cluster(shards, service_config(), root_key());
+
+  // IMIX sizes per flow: one deterministic draw over the classic mix.
+  sim::ImixConfig icfg;
+  icfg.flows = kFlows;
+  icfg.packets_per_second = static_cast<double>(kFlows);
+  icfg.duration = sim::kSecond;
+  icfg.seed = 0x517;
+  const auto draws = sim::imix_trace(icfg);
 
   // Flow templates, pre-partitioned by the box's own dispatch hash.
   std::vector<std::vector<net::Packet>> flows(shards);
   for (std::size_t f = 0; f < kFlows; ++f) {
-    net::Packet pkt = paper_packet(f);
-    if (pkt.size() != 112) {
+    net::Packet pkt =
+        imix ? flow_packet(f, draws[f % draws.size()].wire_size)
+             : flow_packet(f);
+    if (!imix && pkt.size() != 112) {
       state.SkipWithError("packet size != 112");
       return;
     }
@@ -89,6 +95,16 @@ void BM_ShardedForward(benchmark::State& state) {
   }
 
   const std::size_t per_shard = kPacketsPerIter / shards;
+  // Exact wire bytes one iteration pushes: each shard cycles its own
+  // template list for per_shard packets (the hash spread is uneven, so
+  // a global mean would misreport bytes/s).
+  std::uint64_t iter_bytes = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t k = 0; k < per_shard; ++k) {
+      iter_bytes += flows[s][k % flows[s].size()].size();
+    }
+  }
+
   std::vector<net::Packet> batch;
   batch.reserve(kBatch);
   for (auto _ : state) {
@@ -123,11 +139,29 @@ void BM_ShardedForward(benchmark::State& state) {
       static_cast<std::int64_t>(state.iterations()) *
       static_cast<std::int64_t>(per_shard * shards);
   state.SetItemsProcessed(total);
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      static_cast<std::uint64_t>(state.iterations()) * iter_bytes));
   state.counters["Mpps"] = benchmark::Counter(
       static_cast<double>(total) / 1e6, benchmark::Counter::kIsRate);
   state.counters["shards"] = static_cast<double>(shards);
 }
+
+void BM_ShardedForward(benchmark::State& state) {
+  sharded_forward_body(state, false);
+}
 BENCHMARK(BM_ShardedForward)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseManualTime();
+
+// Same critical-path measurement over the classic 7:4:1 IMIX: the
+// realistic-mix headline now that the box sees variable-size traffic.
+void BM_ShardedForwardImix(benchmark::State& state) {
+  sharded_forward_body(state, true);
+}
+BENCHMARK(BM_ShardedForwardImix)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime();
 
 // Dispatch overhead: the per-packet cost of the RSS-style hash the box
 // pays before a batch is formed (it is a handful of ns — the point of

@@ -1,0 +1,46 @@
+// Deterministic synthesis of valid neutralized data packets for
+// replay-style harnesses — benches, examples, and tests that push
+// traffic straight into a Neutralizer/ShardedNeutralizer without a
+// host stack. One definition so the (source, nonce, session-key)
+// mapping cannot drift between the byte-identity checks that rely on
+// it being "the same packets".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/master_key.hpp"
+#include "crypto/aes_modes.hpp"
+#include "net/packet.hpp"
+#include "net/shim.hpp"
+
+namespace nn::core {
+
+/// A kDataForward shim packet for synthetic flow `flow`, padded to
+/// `wire_size` total bytes (clamped so the payload keeps >= 1 byte).
+/// The session is a pure function of the flow id: source address
+/// 10.1.hi.(lo|1), nonce = `nonce_base` + flow, session key derived
+/// from `sched`'s epoch-0 master key; the inner address is `customer`
+/// encrypted under that session. Epoch field 0, payload fill 0xE5.
+[[nodiscard]] inline net::Packet synth_forward_packet(
+    const MasterKeySchedule& sched, net::Ipv4Addr anycast,
+    net::Ipv4Addr customer, std::uint16_t flow, std::size_t wire_size,
+    std::uint64_t nonce_base = 0xF1E00000ULL) {
+  const net::Ipv4Addr src(10, 1, static_cast<std::uint8_t>(flow >> 8),
+                          static_cast<std::uint8_t>(flow) | 1);
+  const std::uint64_t nonce = nonce_base + flow;
+  const auto ks =
+      crypto::derive_source_key(sched.current_key(0), nonce, src.value());
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kDataForward;
+  shim.key_epoch = 0;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, customer.value());
+  const std::size_t header = net::kIpv4HeaderSize + shim.serialized_size();
+  return net::make_shim_packet(
+      src, anycast, shim,
+      std::vector<std::uint8_t>(
+          wire_size > header ? wire_size - header : 1, 0xE5));
+}
+
+}  // namespace nn::core

@@ -56,25 +56,33 @@ class ShardedNeutralizer {
   ShardedNeutralizer(std::size_t shard_count, const NeutralizerConfig& config,
                      const crypto::AesKey& root_key);
 
+  /// Number of shards, fixed at construction (>= 1).
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
+  /// Shard i's Neutralizer. Precondition: i < shard_count().
   [[nodiscard]] Neutralizer& shard(std::size_t i) { return shards_[i].service; }
   [[nodiscard]] const Neutralizer& shard(std::size_t i) const {
     return shards_[i].service;
   }
+  /// Shard i's private buffer arena (drains recycle through it).
   [[nodiscard]] net::PacketArena& arena(std::size_t i) {
     return shards_[i].arena;
   }
+  /// Where the dispatch hash sends `pkt` (< shard_count(), no parse,
+  /// never throws).
   [[nodiscard]] std::size_t shard_for(const net::Packet& pkt) const noexcept {
     return shard_for_packet(pkt, shards_.size());
   }
+  /// The NeutralizerConfig every shard shares.
   [[nodiscard]] const NeutralizerConfig& config() const noexcept {
     return shards_.front().service.config();
   }
   /// Sum of every shard's NeutralizerStats.
   [[nodiscard]] NeutralizerStats aggregate_stats() const;
 
+  /// True when `addr` is a §3.4 dynamic address allocated by this
+  /// cluster (the allocator lives on shard 0).
   [[nodiscard]] bool owns_dynamic(net::Ipv4Addr addr) const noexcept {
     return shards_.front().service.owns_dynamic(addr);
   }
@@ -86,6 +94,7 @@ class ShardedNeutralizer {
 
   /// Parks `pkt` on its shard's pending burst; returns the shard index.
   std::size_t enqueue(net::Packet&& pkt);
+  /// Packets parked on shard i since its last drain.
   [[nodiscard]] std::size_t pending(std::size_t i) const noexcept {
     return shards_[i].pending.size();
   }
@@ -124,10 +133,12 @@ class ShardedNeutralizerBox final : public sim::Router {
         costs_(costs),
         shard_busy_until_(cluster_.shard_count(), 0) {}
 
+  /// The hosted cluster (for per-shard inspection in tests/examples).
   [[nodiscard]] ShardedNeutralizer& cluster() noexcept { return cluster_; }
   [[nodiscard]] const ShardedNeutralizer& cluster() const noexcept {
     return cluster_;
   }
+  /// Sum of every shard's NeutralizerStats.
   [[nodiscard]] NeutralizerStats aggregate_stats() const {
     return cluster_.aggregate_stats();
   }
@@ -135,6 +146,7 @@ class ShardedNeutralizerBox final : public sim::Router {
   [[nodiscard]] const BoxBatchStats& batch_stats() const noexcept {
     return batch_stats_;
   }
+  /// The service anycast address the cluster answers on.
   [[nodiscard]] net::Ipv4Addr anycast_addr() const noexcept {
     return cluster_.config().anycast_addr;
   }

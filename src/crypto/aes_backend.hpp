@@ -44,8 +44,12 @@ struct AesSchedule {
 /// only when exactly equal (in-place). No alignment is required of the
 /// data pointers.
 struct AesBackendOps {
+  /// Stable identifier ("portable", "aesni") used by NN_AES_BACKEND,
+  /// backend_by_name(), and bench suffixes.
   std::string_view name;
 
+  /// Expands a 16-byte key into both schedule halves. The result must
+  /// only be consumed by this backend's block functions.
   void (*expand_key)(const std::uint8_t* key, AesSchedule& sched);
 
   /// ECB over `n` independent blocks (the batch CMAC/CTR workhorse).

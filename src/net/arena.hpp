@@ -74,9 +74,11 @@ class PacketArena {
     pkt.bytes = {};
   }
 
+  /// Buffers currently parked on the freelist.
   [[nodiscard]] std::size_t free_count() const noexcept {
     return free_.size();
   }
+  /// Reuse/allocation counters since construction (never reset).
   [[nodiscard]] const PacketArenaStats& stats() const noexcept {
     return stats_;
   }

@@ -13,13 +13,20 @@
 
 namespace nn::net {
 
+/// An owned, fully serialized IPv4 datagram. Moving a Packet moves the
+/// buffer (a moved-from Packet is empty); PacketArena (net/arena.hpp)
+/// recycles the buffers on the batched datapath.
 struct Packet {
   std::vector<std::uint8_t> bytes;
 
+  /// Total on-the-wire size in bytes (IP header included).
   [[nodiscard]] std::size_t size() const noexcept { return bytes.size(); }
+  /// Read-only view of the serialized bytes; valid while the Packet
+  /// lives and is not reallocated.
   [[nodiscard]] std::span<const std::uint8_t> view() const noexcept {
     return bytes;
   }
+  /// Mutable view for in-place rewrites (the neutralizer datapath).
   [[nodiscard]] std::span<std::uint8_t> mutable_view() noexcept {
     return bytes;
   }

@@ -1,0 +1,215 @@
+#include "net/pcap.hpp"
+
+#include <cstdio>
+
+namespace nn::net {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicro = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicNano = 0xA1B23C4D;
+
+/// Sequential reader with a fixed byte order decided by the magic.
+/// ByteReader is big-endian only; captures are usually little-endian,
+/// so integers are assembled here.
+class EndianReader {
+ public:
+  EndianReader(std::span<const std::uint8_t> data, bool little) noexcept
+      : data_(data), little_(little) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  std::uint16_t u16() {
+    const auto b = take(2);
+    return little_ ? static_cast<std::uint16_t>(b[0] | (b[1] << 8))
+                   : static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+  }
+  std::uint32_t u32() {
+    const auto b = take(4);
+    if (little_) {
+      return static_cast<std::uint32_t>(b[0]) |
+             (static_cast<std::uint32_t>(b[1]) << 8) |
+             (static_cast<std::uint32_t>(b[2]) << 16) |
+             (static_cast<std::uint32_t>(b[3]) << 24);
+    }
+    return (static_cast<std::uint32_t>(b[0]) << 24) |
+           (static_cast<std::uint32_t>(b[1]) << 16) |
+           (static_cast<std::uint32_t>(b[2]) << 8) |
+           static_cast<std::uint32_t>(b[3]);
+  }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (n > remaining()) throw ParseError("pcap: truncated");
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool little_;
+};
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+}  // namespace
+
+PcapFile parse_pcap(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kPcapGlobalHeaderSize) {
+    throw ParseError("pcap: truncated global header");
+  }
+  // The magic decides both byte order and timestamp resolution; read it
+  // in both orders and see which one matches.
+  const std::uint32_t magic_le = static_cast<std::uint32_t>(bytes[0]) |
+                                 (static_cast<std::uint32_t>(bytes[1]) << 8) |
+                                 (static_cast<std::uint32_t>(bytes[2]) << 16) |
+                                 (static_cast<std::uint32_t>(bytes[3]) << 24);
+  const std::uint32_t magic_be = (static_cast<std::uint32_t>(bytes[0]) << 24) |
+                                 (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                                 (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                                 static_cast<std::uint32_t>(bytes[3]);
+  bool little = true;
+  bool nanosecond = false;
+  if (magic_le == kMagicMicro || magic_le == kMagicNano) {
+    nanosecond = magic_le == kMagicNano;
+  } else if (magic_be == kMagicMicro || magic_be == kMagicNano) {
+    little = false;
+    nanosecond = magic_be == kMagicNano;
+  } else {
+    throw ParseError("pcap: bad magic");
+  }
+
+  EndianReader r(bytes, little);
+  (void)r.u32();  // magic, already decoded
+  const std::uint16_t version_major = r.u16();
+  (void)r.u16();  // version_minor
+  if (version_major != 2) throw ParseError("pcap: unsupported version");
+  (void)r.u32();  // thiszone
+  (void)r.u32();  // sigfigs
+  PcapFile file;
+  file.snaplen = r.u32();
+  file.link_type = r.u32();
+
+  while (r.remaining() > 0) {
+    if (r.remaining() < kPcapRecordHeaderSize) {
+      throw ParseError("pcap: truncated record header");
+    }
+    PcapRecord rec;
+    const std::uint32_t ts_sec = r.u32();
+    const std::uint32_t ts_sub = r.u32();
+    const std::uint32_t caplen = r.u32();
+    rec.orig_len = r.u32();
+    rec.ts_ns = static_cast<std::int64_t>(ts_sec) * 1'000'000'000 +
+                static_cast<std::int64_t>(ts_sub) * (nanosecond ? 1 : 1'000);
+    if (caplen > kPcapMaxCaplen) {
+      throw ParseError("pcap: record caplen exceeds sanity bound");
+    }
+    if (caplen > file.snaplen) {
+      throw ParseError("pcap: record caplen exceeds snaplen");
+    }
+    if (rec.orig_len < caplen) {
+      throw ParseError("pcap: record orig_len smaller than caplen");
+    }
+    if (caplen > r.remaining()) {
+      throw ParseError("pcap: truncated record body");
+    }
+    const auto body = r.take(caplen);
+    rec.bytes.assign(body.begin(), body.end());
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+std::vector<std::uint8_t> serialize_pcap(const PcapFile& file) {
+  std::vector<std::uint8_t> out;
+  std::size_t total = kPcapGlobalHeaderSize;
+  for (const auto& rec : file.records) {
+    total += kPcapRecordHeaderSize + rec.bytes.size();
+  }
+  out.reserve(total);
+
+  put_u32le(out, kMagicNano);
+  put_u16le(out, 2);  // version 2.4
+  put_u16le(out, 4);
+  put_u32le(out, 0);  // thiszone
+  put_u32le(out, 0);  // sigfigs
+  put_u32le(out, file.snaplen);
+  put_u32le(out, file.link_type);
+
+  // Clamp to both the file's snaplen and the parser's sanity bound, so
+  // serialize -> parse always round-trips.
+  const std::size_t max_caplen =
+      file.snaplen < kPcapMaxCaplen ? file.snaplen : kPcapMaxCaplen;
+  for (const auto& rec : file.records) {
+    const std::size_t caplen =
+        rec.bytes.size() > max_caplen ? max_caplen : rec.bytes.size();
+    put_u32le(out, static_cast<std::uint32_t>(rec.ts_ns / 1'000'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(rec.ts_ns % 1'000'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(caplen));
+    // orig_len can never be smaller than what was captured.
+    const std::uint32_t orig =
+        rec.orig_len > caplen ? rec.orig_len
+                              : static_cast<std::uint32_t>(caplen);
+    put_u32le(out, orig);
+    out.insert(out.end(), rec.bytes.begin(), rec.bytes.begin() +
+                              static_cast<std::ptrdiff_t>(caplen));
+  }
+  return out;
+}
+
+PcapFile read_pcap_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw ParseError("pcap: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) throw ParseError("pcap: read error on " + path);
+  return parse_pcap(bytes);
+}
+
+void write_pcap_file(const std::string& path, const PcapFile& file) {
+  const auto bytes = serialize_pcap(file);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw ParseError("pcap: cannot create " + path);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const int close_rc = std::fclose(f);  // always close, even on short write
+  if (written != bytes.size() || close_rc != 0) {
+    throw ParseError("pcap: write error on " + path);
+  }
+}
+
+std::optional<std::span<const std::uint8_t>> ipv4_of_record(
+    const PcapFile& file, const PcapRecord& record) noexcept {
+  std::span<const std::uint8_t> bytes = record.bytes;
+  if (file.link_type == kLinkTypeEthernet) {
+    constexpr std::size_t kEthHeader = 14;
+    if (bytes.size() < kEthHeader) return std::nullopt;
+    const std::uint16_t ethertype =
+        static_cast<std::uint16_t>((bytes[12] << 8) | bytes[13]);
+    if (ethertype != 0x0800) return std::nullopt;
+    bytes = bytes.subspan(kEthHeader);
+  } else if (file.link_type != kLinkTypeRawIp) {
+    return std::nullopt;
+  }
+  if (bytes.empty() || (bytes[0] >> 4) != 4) return std::nullopt;
+  return bytes;
+}
+
+}  // namespace nn::net

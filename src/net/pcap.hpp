@@ -1,0 +1,96 @@
+// Minimal libpcap (tcpdump) capture-file support, from scratch and
+// dependency-free: just enough to replay captured traces through the
+// box (sim::TraceWorkload, examples/trace_replay) and to write tiny
+// fixtures for tests. Parsing is header-only in the pcap sense — the
+// record *payloads* are opaque bytes; only the global header and the
+// 16-byte per-record headers are interpreted.
+//
+// Wire layout (classic pcap, not pcapng):
+//
+//   global header (24 B): magic, version, thiszone, sigfigs, snaplen,
+//                         linktype
+//   per record   (16 B):  ts_sec, ts_subsec, caplen, orig_len
+//                         followed by caplen captured bytes
+//
+// All four magic variants are accepted: 0xa1b2c3d4 (microsecond) and
+// 0xa1b23c4d (nanosecond), each in either byte order. Malformed input
+// is rejected with ParseError, mirroring the shim fuzz layer's
+// contract: truncated global/record headers, records whose caplen
+// exceeds the declared snaplen or the remaining bytes, records whose
+// orig_len is smaller than caplen, and absurd caplens that would ask
+// the parser to allocate unbounded memory. Zero-length records
+// (caplen == 0) are well-formed and kept — replay layers skip them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace nn::net {
+
+/// LINKTYPE_ values (from the tcpdump registry) this reader knows how
+/// to map to an IPv4 datagram.
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+inline constexpr std::uint32_t kLinkTypeRawIp = 101;
+
+inline constexpr std::size_t kPcapGlobalHeaderSize = 24;
+inline constexpr std::size_t kPcapRecordHeaderSize = 16;
+
+/// Upper bound on a single record's caplen; anything larger is treated
+/// as a corrupt length field rather than a packet (jumbo frames top out
+/// far below this).
+inline constexpr std::uint32_t kPcapMaxCaplen = 256 * 1024;
+
+/// One captured packet: capture timestamp (nanoseconds since the unix
+/// epoch), the original on-the-wire length, and the captured bytes.
+/// bytes.size() <= orig_len; a shortfall means the capture's snaplen
+/// truncated the packet.
+struct PcapRecord {
+  std::int64_t ts_ns = 0;
+  std::uint32_t orig_len = 0;
+  std::vector<std::uint8_t> bytes;
+
+  friend bool operator==(const PcapRecord&, const PcapRecord&) = default;
+};
+
+/// A parsed capture file: the global-header fields replay cares about
+/// plus every record in file order.
+struct PcapFile {
+  std::uint32_t link_type = kLinkTypeRawIp;
+  std::uint32_t snaplen = 65535;
+  std::vector<PcapRecord> records;
+
+  friend bool operator==(const PcapFile&, const PcapFile&) = default;
+};
+
+/// Parses a complete capture from memory. Throws ParseError on any
+/// malformed structure (see file comment for the exact rejection set).
+[[nodiscard]] PcapFile parse_pcap(std::span<const std::uint8_t> bytes);
+
+/// Serializes to the canonical variant this writer emits: little-endian
+/// nanosecond magic (0xa1b23c4d). Records whose bytes exceed
+/// min(file.snaplen, kPcapMaxCaplen) are truncated to it on the way
+/// out, so the result always re-parses.
+[[nodiscard]] std::vector<std::uint8_t> serialize_pcap(const PcapFile& file);
+
+/// Reads and parses a capture file from disk. Throws ParseError when
+/// the file cannot be opened or is malformed.
+[[nodiscard]] PcapFile read_pcap_file(const std::string& path);
+
+/// Serializes and writes `file` to disk. Throws ParseError on I/O
+/// failure.
+void write_pcap_file(const std::string& path, const PcapFile& file);
+
+/// The IPv4 datagram inside `record` given the file's link type: the
+/// raw bytes for kLinkTypeRawIp, the bytes after the 14-byte Ethernet
+/// header (EtherType 0x0800 only) for kLinkTypeEthernet. nullopt when
+/// the record is empty, too short, not IPv4, or the link type is
+/// unknown. The span aliases `record.bytes`.
+[[nodiscard]] std::optional<std::span<const std::uint8_t>> ipv4_of_record(
+    const PcapFile& file, const PcapRecord& record) noexcept;
+
+}  // namespace nn::net

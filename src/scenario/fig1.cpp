@@ -1,5 +1,7 @@
 #include "scenario/fig1.hpp"
 
+#include <algorithm>
+
 #include "crypto/chacha.hpp"
 
 namespace nn::scenario {
@@ -57,7 +59,7 @@ void Fig1::wire(ScenarioHost& sh, bool inside, std::uint64_t seed,
   });
 }
 
-Fig1::Fig1(Fig1Config config) {
+Fig1::Fig1(Fig1Config config) : config_(std::move(config)) {
   auto& ann_node = net.add<sim::Host>("ann");
   auto& bob_node = net.add<sim::Host>("bob");
   auto& att_voip_node = net.add<sim::Host>("att-voip");
@@ -70,13 +72,13 @@ Fig1::Fig1(Fig1Config config) {
   crypto::AesKey root;
   root.fill(0xD0);
   sim::Router* box_router = nullptr;
-  if (config.box_shards > 0) {
+  if (config_.box_shards > 0) {
     sharded_box = &net.add<core::ShardedNeutralizerBox>(
-        "cogent-box", config.box_shards, ncfg, root, config.box_costs);
+        "cogent-box", config_.box_shards, ncfg, root, config_.box_costs);
     box_router = sharded_box;
   } else {
     box = &net.add<core::NeutralizerBox>("cogent-box", ncfg, root, 1,
-                                         config.box_costs);
+                                         config_.box_costs);
     box_router = box;
   }
   cogent_core = &net.add<sim::Router>("cogent-core");
@@ -85,18 +87,18 @@ Fig1::Fig1(Fig1Config config) {
   auto& youtube_node = net.add<sim::Host>("youtube");
 
   sim::LinkConfig access;
-  access.bandwidth_bps = config.access_bps;
-  access.propagation = config.propagation;
+  access.bandwidth_bps = config_.access_bps;
+  access.propagation = config_.propagation;
   sim::LinkConfig core;
-  core.bandwidth_bps = config.core_bps;
-  core.propagation = config.propagation;
+  core.bandwidth_bps = config_.core_bps;
+  core.propagation = config_.propagation;
 
   net.connect(ann_node, *att_access, access);
   net.connect(bob_node, *att_access, access);
   net.connect(att_voip_node, *att_access, access);
   sim::LinkConfig uplink = core;
-  if (config.att_uplink_bps > 0) uplink.bandwidth_bps = config.att_uplink_bps;
-  if (config.att_uplink_queue) uplink.queue_factory = config.att_uplink_queue;
+  if (config_.att_uplink_bps > 0) uplink.bandwidth_bps = config_.att_uplink_bps;
+  if (config_.att_uplink_queue) uplink.queue_factory = config_.att_uplink_queue;
   net.connect(*att_access, *att_peering, uplink);
   net.connect(*att_peering, *box_router, core);
   net.connect(*box_router, *cogent_core, core);
@@ -169,14 +171,6 @@ Fig1::Fig1(Fig1Config config) {
 void Fig1::schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
                          std::uint16_t flow_id, double pps, sim::SimTime start,
                          sim::SimTime duration, std::size_t payload_size) {
-  sim::TrafficSource::Config cfg;
-  cfg.flow_id = flow_id;
-  cfg.payload_size = payload_size;
-  cfg.packets_per_second = pps;
-  cfg.start = start;
-  cfg.stop = start + duration;
-  cfg.seed = 1000 + flow_id;
-
   sim::TrafficSource::SendFn send;
   switch (mode) {
     case VoipMode::kPlain: {
@@ -225,9 +219,84 @@ void Fig1::schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
     }
   }
 
-  sources_.push_back(
-      std::make_unique<sim::TrafficSource>(engine, cfg, std::move(send)));
-  sources_.back()->start();
+  if (config_.workload == WorkloadKind::kFixedSize) {
+    sim::TrafficSource::Config cfg;
+    cfg.flow_id = flow_id;
+    cfg.payload_size = payload_size;
+    cfg.packets_per_second = pps;
+    cfg.start = start;
+    cfg.stop = start + duration;
+    cfg.seed = 1000 + flow_id;
+    sources_.push_back(
+        std::make_unique<sim::TrafficSource>(engine, cfg, std::move(send)));
+    sources_.back()->start();
+    return;
+  }
+  // Trace-driven kinds size packets from the trace; the call's
+  // payload_size applies only to kFixedSize.
+  (void)payload_size;
+
+  // Trace-driven shapes: the same SendFn, but sizes (and for kPcap,
+  // timing) come from a replayable trace instead of a fixed payload.
+  sim::TraceWorkload::Config tcfg;
+  tcfg.start = start;
+  // Steady-state wire framing around the app payload, per transport, so
+  // every mode offers the same byte load for the same trace:
+  //   kPlain        IP(20) + UDP(8)
+  //   kE2eOnly      IP + UDP + seal(seq 8 + tag 8)
+  //   kNeutralized  IP + shim(12+4) + frame type(1) + seal(16) + flags(1)
+  switch (mode) {
+    case VoipMode::kPlain:
+      tcfg.wire_overhead = net::kIpv4HeaderSize + net::kUdpHeaderSize;
+      break;
+    case VoipMode::kE2eOnly:
+      tcfg.wire_overhead = net::kIpv4HeaderSize + net::kUdpHeaderSize +
+                           host::kE2eSealOverhead;
+      break;
+    case VoipMode::kNeutralized:
+      tcfg.wire_overhead = net::kIpv4HeaderSize + net::kShimBaseSize +
+                           net::kShimInnerAddrSize + 1 +
+                           host::kE2eSealOverhead + 1;
+      break;
+  }
+  std::vector<sim::TracePacket> trace = flow_trace(flow_id, pps, duration);
+  if (config_.workload == WorkloadKind::kPcap && !trace.empty()) {
+    // Rescale the capture's span to the call's duration.
+    sim::SimTime span = 0;
+    for (const auto& p : trace) span = std::max(span, p.at);
+    if (span > 0) {
+      tcfg.time_scale =
+          static_cast<double>(duration) / static_cast<double>(span);
+    }
+  }
+  auto fn = std::move(send);
+  trace_sources_.push_back(std::make_unique<sim::TraceWorkload>(
+      engine, std::move(trace), tcfg,
+      [fn = std::move(fn)](std::uint16_t, std::vector<std::uint8_t>&& payload) {
+        fn(std::move(payload));
+      }));
+  trace_sources_.back()->start();
+}
+
+std::vector<sim::TracePacket> Fig1::flow_trace(std::uint16_t flow_id,
+                                               double pps,
+                                               sim::SimTime duration) {
+  if (config_.workload == WorkloadKind::kImix) {
+    sim::ImixConfig icfg = config_.imix;
+    icfg.flows = 1;  // one schedule_voip call = one flow
+    icfg.packets_per_second = pps;
+    icfg.duration = duration;
+    icfg.seed = config_.imix.seed * 0x9E37 + flow_id;
+    auto trace = sim::imix_trace(icfg);
+    for (auto& p : trace) p.flow_id = flow_id;
+    return trace;
+  }
+  if (!pcap_.has_value()) {
+    pcap_ = net::read_pcap_file(config_.pcap_path);
+  }
+  auto trace = sim::trace_from_pcap(*pcap_);
+  for (auto& p : trace) p.flow_id = flow_id;
+  return trace;
 }
 
 Fig1::FlowResult Fig1::collect(const ScenarioHost& to,

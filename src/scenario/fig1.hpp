@@ -21,6 +21,7 @@
 #include "host/host.hpp"
 #include "sim/isp.hpp"
 #include "sim/network.hpp"
+#include "sim/trace_workload.hpp"
 #include "sim/workload.hpp"
 
 namespace nn::scenario {
@@ -32,6 +33,21 @@ inline const net::Ipv4Addr kAttVoipAddr(10, 1, 0, 9);
 inline const net::Ipv4Addr kVonageAddr(20, 0, 0, 20);
 inline const net::Ipv4Addr kGoogleAddr(20, 0, 0, 10);
 inline const net::Ipv4Addr kYouTubeAddr(20, 0, 0, 11);
+
+/// How scheduled flows shape their packets (Fig1Config::workload).
+enum class WorkloadKind {
+  /// Fixed-size CBR/Poisson at the call's payload_size — the classic
+  /// synthetic stream the early experiments used.
+  kFixedSize,
+  /// Per-packet sizes drawn from Fig1Config::imix's size classes
+  /// (default: the classic 7:4:1 40/576/1500 mix). The call's pps and
+  /// duration still set the rate and span.
+  kImix,
+  /// Timing and sizes replayed from the capture at
+  /// Fig1Config::pcap_path, rescaled to the call's duration; the
+  /// call's pps is ignored.
+  kPcap,
+};
 
 /// How application traffic is protected in a flow run.
 enum class VoipMode {
@@ -69,6 +85,13 @@ struct Fig1Config {
   /// qos::StrictPriorityQueue factory); default drop-tail FIFO.
   sim::QueueFactory att_uplink_queue;
   sim::SimTime propagation = 2 * sim::kMillisecond;
+  /// Packet-size/timing shape of every flow schedule_voip creates.
+  WorkloadKind workload = WorkloadKind::kFixedSize;
+  /// Size classes / arrival process / seed for kImix (flows, pps and
+  /// duration come from the schedule_voip call, not from here).
+  sim::ImixConfig imix;
+  /// Capture replayed under kPcap (parsed once, on first use).
+  std::string pcap_path;
 };
 
 class Fig1 {
@@ -97,8 +120,10 @@ class Fig1 {
     double mos = 1.0;
   };
 
-  /// Schedules a one-way CBR "VoIP" flow without advancing time (for
-  /// experiments with concurrent flows).
+  /// Schedules a one-way "VoIP" flow without advancing time (for
+  /// experiments with concurrent flows), shaped by Fig1Config::workload.
+  /// `payload_size` applies only to the kFixedSize shape; kImix/kPcap
+  /// take sizes (and for kPcap, timing) from the trace.
   void schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
                      std::uint16_t flow_id, double pps, sim::SimTime start,
                      sim::SimTime duration, std::size_t payload_size = 160);
@@ -118,11 +143,18 @@ class Fig1 {
                       sim::SimTime duration, std::size_t payload_size = 160);
 
  private:
+  Fig1Config config_;
   std::vector<std::unique_ptr<sim::TrafficSource>> sources_;
+  std::vector<std::unique_ptr<sim::TraceWorkload>> trace_sources_;
+  std::optional<net::PcapFile> pcap_;  // kPcap capture, parsed once
   std::uint64_t e2e_seed_ = 900;
 
   void wire(ScenarioHost& sh, bool inside, std::uint64_t seed,
             const crypto::RsaPrivateKey& identity);
+  /// The trace one schedule_voip call replays under kImix/kPcap, with
+  /// every record carrying the call's flow id.
+  [[nodiscard]] std::vector<sim::TracePacket> flow_trace(
+      std::uint16_t flow_id, double pps, sim::SimTime duration);
 };
 
 /// Shared (cached) RSA identities so scenario construction stays fast.

@@ -1,0 +1,169 @@
+#include "sim/trace_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace nn::sim {
+
+std::vector<SizeClass> classic_imix() {
+  return {{40, 7.0}, {576, 4.0}, {1500, 1.0}};
+}
+
+std::vector<TracePacket> imix_trace(const ImixConfig& config) {
+  std::vector<SizeClass> classes =
+      config.classes.empty() ? classic_imix() : config.classes;
+  double total_weight = 0;
+  for (const auto& c : classes) total_weight += c.weight;
+
+  std::vector<TracePacket> trace;
+  if (config.packets_per_second <= 0 || config.duration <= 0 ||
+      config.flows == 0 || total_weight <= 0) {
+    return trace;
+  }
+  trace.reserve(static_cast<std::size_t>(
+      config.packets_per_second *
+      (static_cast<double>(config.duration) / kSecond) * 1.1));
+
+  SplitMix64 rng(config.seed);
+  const double mean_ns = 1e9 / config.packets_per_second;
+  // flow_id is 16 bits; clamp so flows can never alias by wrapping.
+  const std::uint64_t flows =
+      config.flows < 65536 ? config.flows : std::size_t{65536};
+  // First packet at t=0 (like TrafficSource), so pps * duration packets
+  // come out and workload kinds are comparable at identical rates.
+  double at = 0;
+  while (true) {
+    const SimTime when = static_cast<SimTime>(std::llround(at));
+    if (when >= config.duration) break;
+    at += config.poisson ? rng.exponential(mean_ns) : mean_ns;
+    TracePacket pkt;
+    pkt.at = when;
+    pkt.flow_id = static_cast<std::uint16_t>(rng.uniform(flows));
+    double draw = rng.uniform_double() * total_weight;
+    pkt.wire_size = classes.back().wire_size;
+    for (const auto& c : classes) {
+      if (draw < c.weight) {
+        pkt.wire_size = c.wire_size;
+        break;
+      }
+      draw -= c.weight;
+    }
+    trace.push_back(pkt);
+  }
+  return trace;
+}
+
+std::vector<TracePacket> trace_from_pcap(const net::PcapFile& file) {
+  // Flow key: (src, dst, proto, src port, dst port), ports zero when the
+  // captured bytes do not reach them. Values are flow ids in order of
+  // first appearance.
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+  std::map<Key, std::size_t> flows;
+  std::vector<TracePacket> trace;
+  std::int64_t t0 = 0;
+  bool first = true;
+
+  for (const auto& rec : file.records) {
+    const auto ip = net::ipv4_of_record(file, rec);
+    if (!ip.has_value() || ip->size() < 20) continue;
+    const auto& b = *ip;
+    const std::uint32_t src = (static_cast<std::uint32_t>(b[12]) << 24) |
+                              (static_cast<std::uint32_t>(b[13]) << 16) |
+                              (static_cast<std::uint32_t>(b[14]) << 8) | b[15];
+    const std::uint32_t dst = (static_cast<std::uint32_t>(b[16]) << 24) |
+                              (static_cast<std::uint32_t>(b[17]) << 16) |
+                              (static_cast<std::uint32_t>(b[18]) << 8) | b[19];
+    const std::uint8_t proto = b[9];
+    const std::size_t ihl = static_cast<std::size_t>(b[0] & 0x0F) * 4;
+    std::uint32_t ports = 0;
+    // ihl < 20 is a corrupt header (pcap leaves payloads unvalidated);
+    // fall back to ports = 0 rather than reading ports from inside IP.
+    if ((proto == 6 || proto == 17) && ihl >= 20 && b.size() >= ihl + 4) {
+      ports = (static_cast<std::uint32_t>(b[ihl]) << 24) |
+              (static_cast<std::uint32_t>(b[ihl + 1]) << 16) |
+              (static_cast<std::uint32_t>(b[ihl + 2]) << 8) | b[ihl + 3];
+    }
+    const Key key{(static_cast<std::uint64_t>(src) << 32) | dst,
+                  (static_cast<std::uint64_t>(proto) << 32) | ports};
+    const std::size_t flow = flows.emplace(key, flows.size()).first->second;
+
+    if (first) {
+      t0 = rec.ts_ns;
+      first = false;
+    }
+    TracePacket pkt;
+    pkt.at = rec.ts_ns >= t0 ? rec.ts_ns - t0 : 0;
+    pkt.flow_id = static_cast<std::uint16_t>(flow);
+    // Wire size is the IP datagram's length: strip the L2 framing
+    // (Ethernet header) from orig_len so raw-IP and Ethernet captures
+    // of the same traffic replay identically.
+    const std::uint32_t l2 =
+        static_cast<std::uint32_t>(rec.bytes.size() - b.size());
+    pkt.wire_size = rec.orig_len > l2 ? rec.orig_len - l2
+                                      : static_cast<std::uint32_t>(b.size());
+    trace.push_back(pkt);
+  }
+  return trace;
+}
+
+std::uint64_t trace_wire_bytes(const std::vector<TracePacket>& trace) {
+  std::uint64_t total = 0;
+  for (const auto& pkt : trace) total += pkt.wire_size;
+  return total;
+}
+
+TraceWorkload::TraceWorkload(Engine& engine, std::vector<TracePacket> trace,
+                             Config config, SendFn send)
+    : engine_(engine),
+      trace_(std::move(trace)),
+      config_(config),
+      send_(std::move(send)) {
+  std::stable_sort(trace_.begin(), trace_.end(),
+                   [](const TracePacket& a, const TracePacket& b) {
+                     return a.at < b.at;
+                   });
+  std::size_t max_flow = 0;
+  for (const auto& pkt : trace_) {
+    max_flow = std::max(max_flow, static_cast<std::size_t>(pkt.flow_id));
+  }
+  flow_seq_.assign(trace_.empty() ? 0 : max_flow + 1, 0);
+}
+
+SimTime TraceWorkload::replay_time(std::size_t index) const noexcept {
+  return config_.start +
+         static_cast<SimTime>(std::llround(
+             static_cast<double>(trace_[index].at) * config_.time_scale));
+}
+
+void TraceWorkload::start() {
+  if (started_) return;
+  started_ = true;
+  if (trace_.empty()) return;
+  engine_.schedule_at(replay_time(0), [this] { emit_due(); });
+}
+
+void TraceWorkload::emit_due() {
+  while (next_ < trace_.size() && replay_time(next_) <= engine_.now()) {
+    const TracePacket& rec = trace_[next_++];
+    AppHeader h;
+    h.flow_id = rec.flow_id;
+    h.seq = flow_seq_[rec.flow_id]++;
+    h.sent_at = engine_.now();
+    const std::size_t payload =
+        rec.wire_size > config_.wire_overhead
+            ? rec.wire_size - config_.wire_overhead
+            : 0;
+    send_(rec.flow_id,
+          h.build_payload(std::max(payload, AppHeader::kSize)));
+    ++sent_;
+  }
+  if (next_ < trace_.size()) {
+    engine_.schedule_at(replay_time(next_), [this] { emit_due(); });
+  }
+}
+
+}  // namespace nn::sim

@@ -68,6 +68,7 @@ void FlowSink::on_payload(std::span<const std::uint8_t> payload, SimTime now) {
   if (!header.has_value()) return;
   auto& stats = flows_[header->flow_id];
   ++stats.received;
+  stats.bytes += payload.size();
   ++total_;
   stats.max_seq_seen = std::max(stats.max_seq_seen, header->seq);
   stats.any = true;

@@ -82,6 +82,9 @@ class FlowSink {
  public:
   struct FlowStats {
     std::uint64_t received = 0;
+    /// Payload bytes received (AppHeader included) — with variable-size
+    /// workloads this is what distinguishes an IMIX flow from a CBR one.
+    std::uint64_t bytes = 0;
     std::uint32_t max_seq_seen = 0;
     bool any = false;
     nn::Histogram latency_ms;

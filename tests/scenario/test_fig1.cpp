@@ -70,6 +70,29 @@ TEST(Fig1Experiment, ShardedBoxDeliversLikeSingleBox) {
   EXPECT_GT(stats[0].data_forwarded, 0u);
 }
 
+TEST(Fig1Experiment, ImixWorkloadDeliversMixedSizesNeutralized) {
+  // The workload selector: the same neutralized flow, but shaped as the
+  // classic 7:4:1 IMIX instead of fixed 160-byte frames. The sink's
+  // byte counter proves variable sizes actually crossed the box.
+  Fig1Config cfg;
+  cfg.workload = WorkloadKind::kImix;
+  cfg.box_shards = 2;
+  Fig1 fig(cfg);
+  const auto r = fig.run_voip(VoipMode::kNeutralized, fig.ann, fig.google, 1,
+                              200, sim::kSecond, sim::kSecond);
+  EXPECT_GT(r.received, 150u);
+  EXPECT_EQ(r.loss, 0.0);
+  const auto& stats = fig.google.sink.flow(1);
+  const double mean_payload = static_cast<double>(stats.bytes) /
+                              static_cast<double>(stats.received);
+  // Classic IMIX payloads after the 54-byte neutralized steady-state
+  // framing: 16 (clamped minimum), 522, 1446 at 7:4:1 — mean ≈ 304. A
+  // fixed-size workload could not land there.
+  EXPECT_GT(mean_payload, 150);
+  EXPECT_LT(mean_payload, 600);
+  EXPECT_GT(fig.service_stats().data_forwarded, 150u);
+}
+
 TEST(Fig1Experiment, PlainVoipIsDegraded) {
   const auto r = run(VoipMode::kPlain);
   EXPECT_GT(r.loss, 0.15);

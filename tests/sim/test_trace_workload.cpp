@@ -1,0 +1,299 @@
+// Trace-driven workload tests: IMIX generator statistics and
+// determinism, pcap-to-trace conversion, engine replay through
+// TraceWorkload, shard-dispatch spread under a realistic mix, and the
+// 1-vs-4-shard byte-identity of replaying the committed fixture (the
+// unit-level twin of examples/trace_replay).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/replay.hpp"
+#include "core/sharded_box.hpp"
+#include "net/pcap.hpp"
+#include "sim/trace_workload.hpp"
+#include "sim/workload.hpp"
+
+namespace nn::sim {
+namespace {
+
+TEST(ImixTrace, ClassicRatiosAndDeterminism) {
+  ImixConfig cfg;
+  cfg.flows = 16;
+  cfg.packets_per_second = 20000;
+  cfg.duration = kSecond;
+  cfg.seed = 7;
+  const auto trace = imix_trace(cfg);
+  ASSERT_NEAR(static_cast<double>(trace.size()), 20000, 2);
+
+  std::map<std::uint32_t, std::size_t> by_size;
+  std::set<std::uint16_t> flows_seen;
+  for (const auto& p : trace) {
+    ++by_size[p.wire_size];
+    flows_seen.insert(p.flow_id);
+  }
+  ASSERT_EQ(by_size.size(), 3u);
+  const double n = static_cast<double>(trace.size());
+  EXPECT_NEAR(static_cast<double>(by_size[40]) / n, 7.0 / 12.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(by_size[576]) / n, 4.0 / 12.0, 0.02);
+  EXPECT_NEAR(static_cast<double>(by_size[1500]) / n, 1.0 / 12.0, 0.02);
+  EXPECT_EQ(flows_seen.size(), 16u);  // every session participates
+
+  // Same seed, same trace; different seed, different trace.
+  EXPECT_EQ(imix_trace(cfg), trace);
+  cfg.seed = 8;
+  EXPECT_NE(imix_trace(cfg), trace);
+}
+
+TEST(ImixTrace, TimestampsCoverTheDurationInOrder) {
+  ImixConfig cfg;
+  cfg.packets_per_second = 1000;
+  cfg.duration = 100 * kMillisecond;
+  cfg.poisson = true;
+  cfg.seed = 3;
+  const auto trace = imix_trace(cfg);
+  ASSERT_FALSE(trace.empty());
+  SimTime prev = 0;
+  for (const auto& p : trace) {
+    EXPECT_GE(p.at, prev);
+    EXPECT_LT(p.at, cfg.duration);
+    prev = p.at;
+  }
+  EXPECT_GT(trace.back().at, cfg.duration / 2);
+}
+
+TEST(ImixTrace, DegenerateConfigsProduceEmptyTraces) {
+  ImixConfig cfg;
+  cfg.packets_per_second = 0;
+  EXPECT_TRUE(imix_trace(cfg).empty());
+  cfg.packets_per_second = 100;
+  cfg.flows = 0;
+  EXPECT_TRUE(imix_trace(cfg).empty());
+  cfg.flows = 1;
+  cfg.duration = 0;
+  EXPECT_TRUE(imix_trace(cfg).empty());
+}
+
+TEST(ImixTrace, CustomDistribution) {
+  ImixConfig cfg;
+  cfg.classes = {{100, 1.0}, {200, 1.0}};
+  cfg.packets_per_second = 10000;
+  cfg.seed = 9;
+  const auto trace = imix_trace(cfg);
+  std::size_t small = 0;
+  for (const auto& p : trace) {
+    ASSERT_TRUE(p.wire_size == 100 || p.wire_size == 200);
+    if (p.wire_size == 100) ++small;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / static_cast<double>(trace.size()),
+              0.5, 0.03);
+}
+
+net::PcapFile capture_of_two_flows() {
+  net::PcapFile file;
+  file.link_type = net::kLinkTypeRawIp;
+  const net::Ipv4Addr a(10, 1, 0, 2), b(10, 1, 0, 3), d(20, 0, 0, 10);
+  std::int64_t ts = 999'000'000'000LL;
+  for (int i = 0; i < 6; ++i) {
+    net::PcapRecord rec;
+    rec.ts_ns = ts;
+    ts += 1'000'000;
+    auto pkt = net::make_udp_packet(i % 2 == 0 ? a : b, d, 5060, 5060,
+                                    std::vector<std::uint8_t>(100, 1));
+    rec.orig_len = static_cast<std::uint32_t>(pkt.size());
+    rec.bytes = std::move(pkt.bytes);
+    file.records.push_back(std::move(rec));
+  }
+  return file;
+}
+
+TEST(TraceFromPcap, FlowsAreFiveTuplesTimesAreRelative) {
+  const auto trace = trace_from_pcap(capture_of_two_flows());
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[0].at, 0);
+  EXPECT_EQ(trace[1].at, kMillisecond);
+  EXPECT_EQ(trace[5].at, 5 * kMillisecond);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].flow_id, i % 2);  // alternating sources
+    EXPECT_EQ(trace[i].wire_size, 128u);
+  }
+  EXPECT_EQ(trace_wire_bytes(trace), 6u * 128u);
+}
+
+TEST(TraceFromPcap, EthernetFramingIsStrippedFromWireSize) {
+  // The same traffic captured at L2 must replay with the same IP-level
+  // wire sizes as a raw-IP capture.
+  net::PcapFile eth = capture_of_two_flows();
+  eth.link_type = net::kLinkTypeEthernet;
+  for (auto& rec : eth.records) {
+    std::vector<std::uint8_t> framed(14, 0x00);
+    framed[12] = 0x08;
+    framed[13] = 0x00;
+    framed.insert(framed.end(), rec.bytes.begin(), rec.bytes.end());
+    rec.bytes = std::move(framed);
+    rec.orig_len += 14;
+  }
+  const auto trace = trace_from_pcap(eth);
+  ASSERT_EQ(trace.size(), 6u);
+  for (const auto& p : trace) EXPECT_EQ(p.wire_size, 128u);
+}
+
+TEST(TraceFromPcap, NonIpAndEmptyRecordsAreSkipped) {
+  net::PcapFile file = capture_of_two_flows();
+  net::PcapRecord junk;
+  junk.ts_ns = 0;
+  junk.orig_len = 60;
+  junk.bytes.assign(60, 0x66);  // version nibble 6: not IPv4
+  file.records.insert(file.records.begin(), junk);
+  net::PcapRecord empty;
+  empty.orig_len = 1500;
+  file.records.push_back(empty);
+  EXPECT_EQ(trace_from_pcap(file).size(), 6u);
+}
+
+TEST(TraceWorkload, ReplaysSizesFlowsAndTimingThroughTheEngine) {
+  Engine engine;
+  std::vector<TracePacket> trace = {
+      {0, 0, 576},
+      {2 * kMillisecond, 1, 1500},
+      {2 * kMillisecond, 0, 40},  // same-instant with the previous one
+      {5 * kMillisecond, 1, 576},
+  };
+  TraceWorkload::Config cfg;
+  cfg.start = kSecond;
+  cfg.wire_overhead = 36;
+
+  FlowSink sink;
+  std::vector<std::pair<SimTime, std::size_t>> seen;
+  TraceWorkload wl(engine, trace, cfg,
+                   [&](std::uint16_t, std::vector<std::uint8_t>&& payload) {
+                     seen.emplace_back(engine.now(), payload.size());
+                     sink.on_payload(payload, engine.now());
+                   });
+  wl.start();
+  wl.start();  // idempotent
+  engine.run();
+
+  ASSERT_EQ(wl.sent(), 4u);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (std::pair<SimTime, std::size_t>{kSecond, 540}));
+  EXPECT_EQ(seen[1].first, kSecond + 2 * kMillisecond);
+  EXPECT_EQ(seen[1].second, 1464u);
+  // 40-wire record clamps to the AppHeader minimum.
+  EXPECT_EQ(seen[2], (std::pair<SimTime, std::size_t>{
+                         kSecond + 2 * kMillisecond, AppHeader::kSize}));
+  EXPECT_EQ(seen[3].first, kSecond + 5 * kMillisecond);
+
+  // AppHeader stamping: per-flow sequence numbers, zero loss at the sink.
+  EXPECT_EQ(sink.flow(0).received, 2u);
+  EXPECT_EQ(sink.flow(1).received, 2u);
+  EXPECT_EQ(sink.flow(0).loss_rate(), 0.0);
+  EXPECT_EQ(sink.flow(1).loss_rate(), 0.0);
+  EXPECT_EQ(sink.flow(0).bytes, 540u + AppHeader::kSize);
+}
+
+TEST(TraceWorkload, TimeScaleStretchesTheSchedule) {
+  Engine engine;
+  std::vector<TracePacket> trace = {{10 * kMillisecond, 0, 576}};
+  TraceWorkload::Config cfg;
+  cfg.time_scale = 3.0;
+  std::vector<SimTime> at;
+  TraceWorkload wl(engine, trace, cfg,
+                   [&](std::uint16_t, std::vector<std::uint8_t>&&) {
+                     at.push_back(engine.now());
+                   });
+  wl.start();
+  engine.run();
+  ASSERT_EQ(at.size(), 1u);
+  EXPECT_EQ(at[0], 30 * kMillisecond);
+}
+
+// --- realistic mixes against the sharded box -------------------------
+
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+
+core::NeutralizerConfig service_config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey root_key() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+/// Neutralized DataForward packets for a trace, one session per flow —
+/// the same shared mapping examples/trace_replay uses
+/// (core::synth_forward_packet), so drift is impossible by
+/// construction.
+std::vector<net::Packet> neutralized_replay(
+    const std::vector<TracePacket>& trace) {
+  const core::MasterKeySchedule sched(root_key());
+  std::vector<net::Packet> out;
+  for (const auto& rec : trace) {
+    out.push_back(core::synth_forward_packet(sched, kAnycast,
+                                             net::Ipv4Addr(20, 0, 0, 10),
+                                             rec.flow_id, rec.wire_size));
+  }
+  return out;
+}
+
+TEST(TraceWorkload, ImixSessionsSpreadAcrossShards) {
+  // The point of per-flow interleaving: a realistic many-session mix
+  // must load every shard, or the cluster scaling claim is hollow.
+  ImixConfig cfg;
+  cfg.flows = 64;
+  cfg.packets_per_second = 2000;
+  cfg.duration = kSecond;
+  cfg.seed = 0x5EED;
+  const auto packets = neutralized_replay(imix_trace(cfg));
+  std::size_t loaded[4] = {0, 0, 0, 0};
+  for (const auto& pkt : packets) {
+    ++loaded[core::shard_for_packet(pkt, 4)];
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_GT(loaded[s], packets.size() / 16) << "shard " << s << " starved";
+  }
+}
+
+TEST(TraceWorkload, FixtureReplayIsShardCountInvariant) {
+#ifndef NN_PCAP_FIXTURE
+  GTEST_SKIP() << "fixture path not configured";
+#else
+  // The acceptance property behind examples/trace_replay: replaying the
+  // committed capture through 1 and 4 shards yields byte-identical
+  // aggregate output and stats.
+  const auto capture = net::read_pcap_file(NN_PCAP_FIXTURE);
+  const auto trace = trace_from_pcap(capture);
+  ASSERT_FALSE(trace.empty());
+  const auto replay = neutralized_replay(trace);
+
+  std::vector<net::Packet> outs[2];
+  core::ShardedNeutralizer one(1, service_config(), root_key());
+  core::ShardedNeutralizer four(4, service_config(), root_key());
+  std::size_t i = 0;
+  for (auto* cluster : {&one, &four}) {
+    for (const auto& pkt : replay) cluster->enqueue(net::Packet(pkt));
+    for (std::size_t s = 0; s < cluster->shard_count(); ++s) {
+      cluster->drain_shard(s, 0, outs[i]);
+    }
+    ++i;
+  }
+  ASSERT_EQ(outs[0].size(), replay.size());  // all fixture flows forward
+  const auto by_bytes = [](const net::Packet& a, const net::Packet& b) {
+    return a.bytes < b.bytes;
+  };
+  std::sort(outs[0].begin(), outs[0].end(), by_bytes);
+  std::sort(outs[1].begin(), outs[1].end(), by_bytes);
+  EXPECT_EQ(outs[0], outs[1]);
+  EXPECT_EQ(one.aggregate_stats(), four.aggregate_stats());
+#endif
+}
+
+}  // namespace
+}  // namespace nn::sim

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs (stdlib only, used in CI).
+
+Checks, for every markdown file given on the command line:
+  * relative links point at files/directories that exist
+    (``[text](docs/WORKLOADS.md)``, ``[text](../src/net/pcap.hpp)``)
+  * intra-file anchors (``[text](#building-and-testing)``) match a
+    heading in the same file, using GitHub's slug rules (lowercased,
+    punctuation stripped, spaces to dashes)
+  * cross-file anchors (``[text](docs/X.md#section)``) match a heading
+    in the target file
+
+External links (http/https/mailto) are not fetched — CI stays
+network-independent; they are only checked for obvious emptiness.
+
+Exit status: 0 when every link resolves, 1 otherwise (broken links are
+listed on stderr).
+"""
+
+import functools
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets must exist too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: strip markdown emphasis/code, lowercase,
+    drop punctuation, spaces/dashes collapse to single dashes."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+@functools.lru_cache(maxsize=None)
+def headings_of(path: Path) -> set[str]:
+    body = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(h) for h in HEADING_RE.findall(body)}
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    body = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(body):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in headings_of(path):
+                errors.append(f"{path}: broken anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in headings_of(resolved):
+                errors.append(f"{path}: broken anchor {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{name}: file not found")
+            continue
+        errors.extend(check_file(path))
+    for err in errors:
+        print(err, file=sys.stderr)
+    if not errors:
+        print(f"{len(argv) - 1} files, all links resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
