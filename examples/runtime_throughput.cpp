@@ -1,0 +1,128 @@
+// Threaded shard runtime demo: pushes the paper's 112-byte workload
+// through ShardRuntime at 1/2/4/8 worker threads and prints the
+// per-thread scaling table — real threads, real SPSC rings, wall-clock
+// time. On a multi-core host the table shows aggregate Mpps climbing
+// with the thread count; on a single core it shows the runtime's
+// overhead staying honest (rows ~1x). Exits nonzero if any packet is
+// lost or any configuration's output stats diverge — the scaling must
+// never cost a byte of correctness.
+//
+// Build & run:  ./build/examples/runtime_throughput [packets]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/replay.hpp"
+#include "runtime/shard_runtime.hpp"
+
+namespace {
+
+using namespace nn;
+
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+const net::Ipv4Addr kGoogle(20, 0, 0, 10);
+constexpr std::size_t kFlows = 256;
+
+core::NeutralizerConfig service_config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey root_key() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t blocked_waits = 0;
+  std::vector<std::uint64_t> per_worker;
+};
+
+RunResult run_config(std::size_t threads,
+                     const std::vector<net::Packet>& tmpls,
+                     std::size_t packets) {
+  runtime::RuntimeOptions options;
+  options.ring_capacity = 2048;
+  options.max_batch = 64;
+  options.collect_egress = false;  // closed loop
+  runtime::ShardRuntime runtime(threads, service_config(), root_key(),
+                                options);
+
+  std::vector<net::Packet> wave;
+  wave.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    wave.push_back(net::Packet(tmpls[i % tmpls.size()]));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& pkt : wave) runtime.submit(std::move(pkt), 0);
+  runtime.flush();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+
+  RunResult r;
+  r.seconds = elapsed.count();
+  r.forwarded = runtime.aggregate_stats().data_forwarded;
+  const auto stats = runtime.stats();
+  r.blocked_waits = stats.total().blocked_waits;
+  for (const auto& w : stats.workers) r.per_worker.push_back(w.processed);
+  runtime.stop();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t packets =
+      argc > 1 ? static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10))
+               : 262144;
+  const core::MasterKeySchedule sched(root_key());
+  std::vector<net::Packet> tmpls;
+  for (std::size_t f = 0; f < kFlows; ++f) {
+    tmpls.push_back(core::synth_forward_packet(
+        sched, kAnycast, kGoogle, static_cast<std::uint16_t>(f), 112,
+        0x1122334455660000ULL));
+  }
+
+  std::printf("threaded shard runtime: %zu x 112B packets, %u hardware "
+              "core(s)\n\n",
+              packets, std::thread::hardware_concurrency());
+  std::printf("  threads      wall ms      Mpps   speedup   ring-full waits\n");
+
+  double base_mpps = 0;
+  bool ok = true;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    const RunResult r = run_config(threads, tmpls, packets);
+    const double mpps =
+        static_cast<double>(packets) / r.seconds / 1e6;
+    if (threads == 1) base_mpps = mpps;
+    std::printf("  %7zu   %10.2f   %7.2f   %6.2fx   %15llu\n", threads,
+                r.seconds * 1e3, mpps, mpps / base_mpps,
+                static_cast<unsigned long long>(r.blocked_waits));
+    if (r.forwarded != packets) {
+      std::fprintf(stderr,
+                   "FAIL: %zu threads forwarded %llu of %zu packets\n",
+                   threads, static_cast<unsigned long long>(r.forwarded),
+                   packets);
+      ok = false;
+    }
+    std::uint64_t sum = 0;
+    for (const auto p : r.per_worker) sum += p;
+    if (sum != packets) {
+      std::fprintf(stderr, "FAIL: per-worker processed counts sum to %llu\n",
+                   static_cast<unsigned long long>(sum));
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
+  std::printf(
+      "\nEvery configuration processed every packet; the thread count only\n"
+      "chooses how many cores share the (stateless) work.\n");
+  return 0;
+}

@@ -135,7 +135,7 @@ std::optional<net::Packet> Neutralizer::process(net::Packet&& pkt,
   // A fresh single-packet cache keeps the scalar and batched paths on
   // the same code while batching amortizes it across the whole span.
   BatchKeyCache cache;
-  return process_one(std::move(pkt), now, cache);
+  return process_one(std::move(pkt), now, cache, nullptr);
 }
 
 std::size_t Neutralizer::process_batch(std::span<net::Packet> batch,
@@ -147,7 +147,7 @@ std::size_t Neutralizer::process_batch(std::span<net::Packet> batch,
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const auto& pre = pre_scratch_[i];
     cache.pre = pre.has_value() ? &*pre : nullptr;
-    auto out = process_one(std::move(batch[i]), now, cache);
+    auto out = process_one(std::move(batch[i]), now, cache, arena);
     // The data path hands the input buffer back through `out`; control
     // packets and drops leave it (or its remains) in the slot. Recycle
     // whatever is left before the slot is overwritten or abandoned.
@@ -159,6 +159,17 @@ std::size_t Neutralizer::process_batch(std::span<net::Packet> batch,
   return count;
 }
 
+std::size_t Neutralizer::drain_into(std::vector<net::Packet>& pending,
+                                    sim::SimTime now, net::PacketArena* arena,
+                                    std::vector<net::Packet>& out) {
+  if (pending.empty()) return 0;
+  const std::size_t n =
+      process_batch({pending.data(), pending.size()}, now, arena);
+  for (std::size_t k = 0; k < n; ++k) out.push_back(std::move(pending[k]));
+  pending.clear();
+  return n;
+}
+
 void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
                                        sim::SimTime now,
                                        BatchKeyCache& cache) {
@@ -166,6 +177,7 @@ void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
   req_scratch_.clear();
   req_idx_scratch_.clear();
   req_keyed_scratch_.clear();
+  addr_req_scratch_.clear();
 
   // Pass 1: collect one derivation request per data packet whose
   // handler will reach session_key(). Packets the prepass skips (other
@@ -176,14 +188,20 @@ void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
     std::uint16_t epoch;
     std::uint8_t flags;
     std::uint64_t nonce;
+    std::uint32_t crypt_addr;
+    bool return_direction;
     try {
       const ShimPacketView view(batch[i].mutable_view());
       const ShimType type = view.type();
       if (type == ShimType::kDataForward) {
         outside_addr = view.src();
+        crypt_addr = view.inner_addr();  // encrypted true destination
+        return_direction = false;
       } else if (type == ShimType::kDataReturn) {
         if (!config_.customer_space.contains(view.src())) continue;
         outside_addr = net::Ipv4Addr(view.inner_addr());
+        crypt_addr = view.src().value();  // customer address to hide
+        return_direction = true;
       } else {
         continue;
       }
@@ -204,6 +222,8 @@ void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
                             (flags & ShimFlags::kLeaseKey) != 0});
     req_idx_scratch_.push_back(i);
     req_keyed_scratch_.push_back(keyed);
+    addr_req_scratch_.push_back(
+        {crypto::AesKey{}, nonce, return_direction, crypt_addr});
   }
 
   // Pass 2: batch-derive per keyed master. At any fixed `now` at most
@@ -224,14 +244,29 @@ void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
                               group_key_scratch_.data());
     for (std::size_t j = 0; j < group_idx_scratch_.size(); ++j) {
       pre_scratch_[group_idx_scratch_[j]].emplace(
-          Prederived{group_key_scratch_[j]});
+          Prederived{group_key_scratch_[j], std::nullopt});
     }
+  }
+
+  // Pass 3: with every session key in hand, run the per-packet address
+  // transforms (decrypt of the inner destination for forwards, encrypt
+  // of the customer address for returns) through the multi-key ECB
+  // pipeline. Each packet is keyed by its own session key, so this is
+  // the one stage the single-key batch entry points cannot cover.
+  for (std::size_t j = 0; j < addr_req_scratch_.size(); ++j) {
+    addr_req_scratch_[j].ks = *pre_scratch_[req_idx_scratch_[j]]->ks;
+  }
+  addr_out_scratch_.resize(addr_req_scratch_.size());
+  crypto::crypt_address_batch(addr_req_scratch_, addr_out_scratch_.data());
+  for (std::size_t j = 0; j < addr_req_scratch_.size(); ++j) {
+    pre_scratch_[req_idx_scratch_[j]]->crypted = addr_out_scratch_[j];
   }
 }
 
 std::optional<net::Packet> Neutralizer::process_one(net::Packet&& pkt,
                                                     sim::SimTime now,
-                                                    BatchKeyCache& cache) {
+                                                    BatchKeyCache& cache,
+                                                    net::PacketArena* arena) {
   ShimType type;
   try {
     const ShimPacketView view(pkt.mutable_view());
@@ -257,8 +292,8 @@ std::optional<net::Packet> Neutralizer::process_one(net::Packet&& pkt,
         return std::nullopt;
       }
       return type == ShimType::kKeySetup
-                 ? handle_key_setup(parsed, now, cache)
-                 : handle_key_lease(parsed, now, cache);
+                 ? handle_key_setup(parsed, now, cache, arena)
+                 : handle_key_lease(parsed, now, cache, arena);
     }
     case ShimType::kDynAddrRequest: {
       net::ParsedPacket parsed;
@@ -268,7 +303,7 @@ std::optional<net::Packet> Neutralizer::process_one(net::Packet&& pkt,
         ++stats_.rejected;
         return std::nullopt;
       }
-      return handle_dyn_request(parsed);
+      return handle_dyn_request(parsed, arena);
     }
     case ShimType::kKeySetupResponse:
     case ShimType::kKeyLeaseResponse:
@@ -280,7 +315,7 @@ std::optional<net::Packet> Neutralizer::process_one(net::Packet&& pkt,
 }
 
 std::optional<net::Packet> Neutralizer::handle_dyn_request(
-    const net::ParsedPacket& p) {
+    const net::ParsedPacket& p, net::PacketArena* arena) {
   if (!allocator_.has_value() ||
       !config_.customer_space.contains(p.ip.src)) {
     ++stats_.rejected;
@@ -298,7 +333,7 @@ std::optional<net::Packet> Neutralizer::handle_dyn_request(
   shim.nonce = p.shim->nonce;  // request id
   ++stats_.dyn_allocated;
   return net::make_shim_packet(config_.anycast_addr, p.ip.src, shim,
-                               msg.view(), p.ip.dscp);
+                               msg.view(), p.ip.dscp, 64, arena);
 }
 
 std::optional<net::Packet> Neutralizer::translate_dynamic(net::Packet&& pkt) {
@@ -327,7 +362,8 @@ std::optional<net::Packet> Neutralizer::translate_dynamic(net::Packet&& pkt) {
 }
 
 std::optional<net::Packet> Neutralizer::handle_key_setup(
-    const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache) {
+    const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache,
+    net::PacketArena* arena) {
   if (setup_limiter_.has_value() && !setup_limiter_->try_consume(1, now)) {
     ++stats_.setup_rate_limited;  // shed before any RSA work
     return std::nullopt;
@@ -363,7 +399,7 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
     ++stats_.key_setups;
     ++stats_.offloaded;
     return net::make_shim_packet(p.ip.src, config_.offload_helper, shim,
-                                 p.payload, p.ip.dscp);
+                                 p.payload, p.ip.dscp, 64, arena);
   }
 
   // Normal path: RSA-encrypt (nonce ‖ Ks) under the one-time key. For
@@ -385,11 +421,12 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
   shim.nonce = p.shim->nonce;
   ++stats_.key_setups;
   return net::make_shim_packet(config_.anycast_addr, p.ip.src, shim,
-                               ciphertext, p.ip.dscp);
+                               ciphertext, p.ip.dscp, 64, arena);
 }
 
 std::optional<net::Packet> Neutralizer::handle_key_lease(
-    const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache) {
+    const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache,
+    net::PacketArena* arena) {
   if (!config_.customer_space.contains(p.ip.src)) {
     ++stats_.rejected;  // leases are a courtesy to our own customers
     return std::nullopt;
@@ -411,7 +448,7 @@ std::optional<net::Packet> Neutralizer::handle_key_lease(
   shim.nonce = p.shim->nonce;
   ++stats_.key_leases;
   return net::make_shim_packet(config_.anycast_addr, p.ip.src, shim,
-                               msg.view(), p.ip.dscp);
+                               msg.view(), p.ip.dscp, 64, arena);
 }
 
 std::optional<net::Packet> Neutralizer::handle_data_forward(
@@ -425,8 +462,12 @@ std::optional<net::Packet> Neutralizer::handle_data_forward(
     ++stats_.rejected;  // expired or future epoch
     return std::nullopt;
   }
-  const net::Ipv4Addr true_dst(crypto::crypt_address(
-      *ks, view.nonce(), /*return_direction=*/false, view.inner_addr()));
+  const net::Ipv4Addr true_dst(
+      cache.pre != nullptr && cache.pre->crypted.has_value()
+          ? *cache.pre->crypted
+          : crypto::crypt_address(*ks, view.nonce(),
+                                  /*return_direction=*/false,
+                                  view.inner_addr()));
   if (!config_.customer_space.contains(true_dst)) {
     ++stats_.rejected;  // not our customer: refuse to relay
     return std::nullopt;
@@ -474,8 +515,12 @@ std::optional<net::Packet> Neutralizer::handle_data_return(
   }
   // Hide the customer: their address leaves encrypted in the inner
   // field; the outside header pair becomes (anycast -> initiator).
-  const std::uint32_t hidden_customer = crypto::crypt_address(
-      *ks, view.nonce(), /*return_direction=*/true, view.src().value());
+  const std::uint32_t hidden_customer =
+      cache.pre != nullptr && cache.pre->crypted.has_value()
+          ? *cache.pre->crypted
+          : crypto::crypt_address(*ks, view.nonce(),
+                                  /*return_direction=*/true,
+                                  view.src().value());
   view.set_inner_addr(hidden_customer);
   view.set_src(config_.anycast_addr);
   view.set_dst(initiator);

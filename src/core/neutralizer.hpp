@@ -136,6 +136,17 @@ class Neutralizer {
   std::size_t process_batch(std::span<net::Packet> batch, sim::SimTime now,
                             net::PacketArena* arena = nullptr);
 
+  /// Drain seam shared by the simulated boxes and the threaded
+  /// ShardRuntime: processes `pending` as one burst through
+  /// process_batch (so the whole prepass machinery applies), appends
+  /// the survivors to `out` in order, clears `pending`, and returns the
+  /// survivor count. Keeping this the single code path is what makes
+  /// "runtime output == simulated-box output" a structural property
+  /// rather than a test-enforced one.
+  std::size_t drain_into(std::vector<net::Packet>& pending, sim::SimTime now,
+                         net::PacketArena* arena,
+                         std::vector<net::Packet>& out);
+
   [[nodiscard]] const NeutralizerConfig& config() const noexcept {
     return config_;
   }
@@ -159,10 +170,14 @@ class Neutralizer {
   }
 
  private:
-  // A session key derived ahead of the per-packet loop by the batch
-  // prepass. `ks == nullopt` memoizes an epoch rejection.
+  // Everything the batch prepass derived ahead of the per-packet loop.
+  // `ks == nullopt` memoizes an epoch rejection; `crypted` is the
+  // packet's address transform (decrypted true destination for
+  // DataForward, encrypted customer address for DataReturn), computed
+  // through the multi-key ECB pipeline when the key was prederived.
   struct Prederived {
     std::optional<crypto::AesKey> ks;
+    std::optional<std::uint32_t> crypted;
   };
 
   // Per-batch memo of everything the datapath derives from the clock:
@@ -211,6 +226,10 @@ class Neutralizer {
   std::vector<crypto::KeyDeriveRequest> group_req_scratch_;
   std::vector<std::size_t> group_idx_scratch_;
   std::vector<crypto::AesKey> group_key_scratch_;
+  // Address-crypt requests, 1:1 with req_scratch_ (ks filled in after
+  // key derivation), and their batched results.
+  std::vector<crypto::AddressCryptRequest> addr_req_scratch_;
+  std::vector<std::uint32_t> addr_out_scratch_;
 
   [[nodiscard]] const crypto::Cmac& keyed_master(std::uint16_t epoch,
                                                  const crypto::AesKey& km)
@@ -222,21 +241,26 @@ class Neutralizer {
                             BatchKeyCache& cache);
 
   /// Shared dispatcher behind process()/process_batch(). The cache
-  /// scopes key memoization: per packet (scalar) or per batch.
-  [[nodiscard]] std::optional<net::Packet> process_one(net::Packet&& pkt,
-                                                       sim::SimTime now,
-                                                       BatchKeyCache& cache);
+  /// scopes key memoization: per packet (scalar) or per batch. `arena`
+  /// (nullable) is where control-path responses are serialized from —
+  /// on the batched path that recycles the same batch's spent buffers,
+  /// closing the last allocation on the wire path.
+  [[nodiscard]] std::optional<net::Packet> process_one(
+      net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache,
+      net::PacketArena* arena);
 
   [[nodiscard]] std::optional<net::Packet> handle_key_setup(
-      const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache);
+      const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache,
+      net::PacketArena* arena);
   [[nodiscard]] std::optional<net::Packet> handle_key_lease(
-      const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache);
+      const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache,
+      net::PacketArena* arena);
   [[nodiscard]] std::optional<net::Packet> handle_data_forward(
       net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache);
   [[nodiscard]] std::optional<net::Packet> handle_data_return(
       net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache);
   [[nodiscard]] std::optional<net::Packet> handle_dyn_request(
-      const net::ParsedPacket& p);
+      const net::ParsedPacket& p, net::PacketArena* arena);
 
   /// Epoch window check + keyed-CMAC lookup shared by the scalar path
   /// and the batch prepass; nullptr when the epoch does not validate at

@@ -82,12 +82,7 @@ std::size_t ShardedNeutralizer::enqueue(net::Packet&& pkt) {
 std::size_t ShardedNeutralizer::drain_shard(std::size_t i, sim::SimTime now,
                                             std::vector<net::Packet>& out) {
   Shard& s = shards_[i];
-  if (s.pending.empty()) return 0;
-  const std::size_t n = s.service.process_batch(
-      {s.pending.data(), s.pending.size()}, now, &s.arena);
-  for (std::size_t k = 0; k < n; ++k) out.push_back(std::move(s.pending[k]));
-  s.pending.clear();
-  return n;
+  return s.service.drain_into(s.pending, now, &s.arena, out);
 }
 
 void ShardedNeutralizerBox::join_service_anycast(sim::Network& net) {

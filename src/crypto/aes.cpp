@@ -302,9 +302,22 @@ void portable_ctr_xor(const AesSchedule& sched, const std::uint8_t iv[12],
   }
 }
 
+void portable_encrypt_blocks_multi(const AesSchedule* scheds,
+                                   const std::uint8_t* in, std::uint8_t* out,
+                                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    encrypt_one(scheds[i], in + 16 * i, out + 16 * i);
+  }
+}
+
 constexpr AesBackendOps kPortableOps = {
-    "portable",           portable_expand_key,  portable_encrypt_blocks,
-    portable_decrypt_blocks, portable_cbc_decrypt, portable_ctr_xor,
+    "portable",
+    portable_expand_key,
+    portable_encrypt_blocks,
+    portable_decrypt_blocks,
+    portable_encrypt_blocks_multi,
+    portable_cbc_decrypt,
+    portable_ctr_xor,
 };
 
 }  // namespace

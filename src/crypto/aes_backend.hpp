@@ -18,6 +18,23 @@
 // by that same backend's block functions: the decryption half is
 // backend-specific (AES-NI stores AESIMC-transformed equivalent-inverse
 // round keys, the portable code walks the encryption keys backwards).
+//
+// Thread-safety audit (the runtime's workers depend on this):
+//   * The ops tables are immutable statics and every entry point is a
+//     pure function of its arguments — concurrent calls from any number
+//     of threads are safe.
+//   * `active_backend()` resolves through a magic static (thread-safe
+//     initialization); after first use it is a read-only lookup.
+//   * The ONE mutable global is ScopedBackendOverride's slot, which is
+//     deliberately unsynchronized: overrides are a single-threaded
+//     test/bench hook and must not be created or destroyed while other
+//     threads construct cipher objects. runtime::ShardRuntime
+//     constructs every worker's Neutralizer (and thus binds backends)
+//     on the control thread before any worker thread starts, so worker
+//     threads never race this slot.
+//   * Cipher objects (Aes128/Cmac/Ctr/Cbc) carry their own expanded
+//     schedule and are safe to *use* concurrently from the one thread
+//     that owns them; nothing here shares per-key state across threads.
 #pragma once
 
 #include <array>
@@ -57,6 +74,17 @@ struct AesBackendOps {
                          std::uint8_t* out, std::size_t n);
   void (*decrypt_blocks)(const AesSchedule& sched, const std::uint8_t* in,
                          std::uint8_t* out, std::size_t n);
+
+  /// ECB over `n` independent blocks, each under its *own* schedule:
+  /// out[i] = E(scheds[i], in[i]). This is the multi-session shape of
+  /// the datapath's per-packet address decrypt — every packet is keyed
+  /// by its own session key, so a single-schedule batch cannot pipeline
+  /// it, while this entry point keeps blocks from different keys in
+  /// flight together. Every schedule must come from this backend's
+  /// `expand_key`.
+  void (*encrypt_blocks_multi)(const AesSchedule* scheds,
+                               const std::uint8_t* in, std::uint8_t* out,
+                               std::size_t n);
 
   /// CBC decrypt of `n` chained blocks. Unlike CBC encrypt this is
   /// data-parallel (block i needs only ciphertext block i-1), so

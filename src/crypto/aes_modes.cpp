@@ -220,6 +220,47 @@ void derive_keys_batch(const Cmac& keyed_master,
   }
 }
 
+void crypt_address_batch(std::span<const AddressCryptRequest> reqs,
+                         std::uint32_t* out) noexcept {
+  // Fixed-size chunks keep the schedule scratch on the stack (32 × 352 B
+  // ≈ 11 KiB). Only the first keystream block of each request is needed
+  // (an address is 4 bytes), so one multi-key ECB call per chunk covers
+  // the whole CTR computation.
+  constexpr std::size_t kChunk = 32;
+  alignas(16) std::array<AesSchedule, kChunk> scheds;
+  std::array<AesBlock, kChunk> counters;
+  const AesBackendOps& ops = active_backend();
+  std::size_t done = 0;
+  while (done < reqs.size()) {
+    const std::size_t n = std::min(kChunk, reqs.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      const AddressCryptRequest& r = reqs[done + i];
+      ops.expand_key(r.ks.data(), scheds[i]);
+      // Counter block 0 of the scalar path: nonce ‖ direction ‖ 0^3 ‖
+      // be32(0) — must stay bit-identical to crypt_address below.
+      AesBlock& c = counters[i];
+      c.fill(0);
+      for (int b = 0; b < 8; ++b) {
+        c[static_cast<std::size_t>(b)] =
+            static_cast<std::uint8_t>(r.nonce >> (56 - 8 * b));
+      }
+      c[8] = r.return_direction ? 0x52 : 0x46;  // 'R' / 'F'
+    }
+    ops.encrypt_blocks_multi(scheds.data(), counters[0].data(),
+                             counters[0].data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const AddressCryptRequest& r = reqs[done + i];
+      const AesBlock& ks = counters[i];
+      out[done + i] =
+          r.addr ^ ((static_cast<std::uint32_t>(ks[0]) << 24) |
+                    (static_cast<std::uint32_t>(ks[1]) << 16) |
+                    (static_cast<std::uint32_t>(ks[2]) << 8) |
+                    static_cast<std::uint32_t>(ks[3]));
+    }
+    done += n;
+  }
+}
+
 std::uint32_t crypt_address(const AesKey& ks, std::uint64_t nonce,
                             bool return_direction,
                             std::uint32_t addr) noexcept {

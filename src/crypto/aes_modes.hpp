@@ -146,4 +146,23 @@ void derive_keys_batch(const Cmac& keyed_master,
                                           bool return_direction,
                                           std::uint32_t addr) noexcept;
 
+/// One pending address encryption/decryption; the batched datapath
+/// collects one per data packet. Unlike KeyDeriveRequest these do not
+/// share a key — every packet's address is crypted under its own
+/// session key, which is why the batch rides the multi-key ECB backend
+/// entry point (AesBackendOps::encrypt_blocks_multi).
+struct AddressCryptRequest {
+  AesKey ks{};
+  std::uint64_t nonce = 0;
+  bool return_direction = false;
+  std::uint32_t addr = 0;
+};
+
+/// Batched address crypt: out[i] = crypt_address(reqs[i]), bit-identical
+/// to the scalar helper, with the per-request key schedules expanded up
+/// front and all first counter blocks pipelined through one multi-key
+/// ECB call per chunk.
+void crypt_address_batch(std::span<const AddressCryptRequest> reqs,
+                         std::uint32_t* out) noexcept;
+
 }  // namespace nn::crypto

@@ -4,6 +4,18 @@
 // touch the heap); release() returns a buffer to the freelist instead of
 // freeing it. Single-threaded by design, like the simulator it serves —
 // one arena per box/benchmark, not a global pool.
+//
+// Ownership handoff rules (the threaded runtime relies on these):
+//   * An arena itself is never shared: every call on a given arena must
+//     come from one thread at a time, with a happens-before edge between
+//     threads if the arena ever changes hands (runtime workers bind
+//     their arena before the thread starts and the control thread only
+//     touches it again after quiescence — see runtime/shard_runtime.hpp,
+//     which asserts that).
+//   * Buffers, by contrast, migrate freely: a Packet acquired from
+//     arena A may be released into arena B (the dispatcher→worker path
+//     does exactly this). A buffer belongs to whichever thread holds the
+//     Packet; the SPSC ring's release/acquire pair is the handoff edge.
 #pragma once
 
 #include <cstddef>
@@ -50,6 +62,30 @@ class PacketArena {
     }
     buf.resize(size);
     return Packet{std::move(buf)};
+  }
+
+  /// Takes a recycled raw buffer (size 0, capacity >= `reserve` when a
+  /// parked buffer is big enough) for serializers that build a packet
+  /// incrementally — the arena-aware make_*_packet overloads feed this
+  /// to a ByteWriter so control-path responses reuse spent data-packet
+  /// buffers instead of allocating.
+  [[nodiscard]] std::vector<std::uint8_t> acquire_buffer(std::size_t reserve) {
+    if (free_.empty()) {
+      ++stats_.heap_allocations;
+      std::vector<std::uint8_t> buf;
+      buf.reserve(reserve);
+      return buf;
+    }
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    if (buf.capacity() >= reserve) {
+      ++stats_.reuses;
+    } else {
+      ++stats_.heap_allocations;  // reserve below reallocates
+    }
+    buf.clear();
+    buf.reserve(reserve);
+    return buf;
   }
 
   /// Copies `src` into a recycled buffer — the allocation-free way to

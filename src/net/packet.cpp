@@ -1,6 +1,17 @@
 #include "net/packet.hpp"
 
+#include "net/arena.hpp"
+
 namespace nn::net {
+
+namespace {
+
+ByteWriter writer_for(std::size_t size, PacketArena* arena) {
+  return arena != nullptr ? ByteWriter(arena->acquire_buffer(size))
+                          : ByteWriter(size);
+}
+
+}  // namespace
 
 ParsedPacket parse_packet(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
@@ -21,7 +32,7 @@ ParsedPacket parse_packet(std::span<const std::uint8_t> bytes) {
 Packet make_udp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
                        std::uint16_t dst_port,
                        std::span<const std::uint8_t> payload, Dscp dscp,
-                       std::uint8_t ttl) {
+                       std::uint8_t ttl, PacketArena* arena) {
   Ipv4Header ip;
   ip.src = src;
   ip.dst = dst;
@@ -35,7 +46,7 @@ Packet make_udp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
   udp.dst_port = dst_port;
   udp.length = static_cast<std::uint16_t>(kUdpHeaderSize + payload.size());
 
-  ByteWriter w(ip.total_length);
+  ByteWriter w = writer_for(ip.total_length, arena);
   ip.serialize(w);
   udp.serialize(w);
   w.raw(payload);
@@ -44,7 +55,7 @@ Packet make_udp_packet(Ipv4Addr src, Ipv4Addr dst, std::uint16_t src_port,
 
 Packet make_shim_packet(Ipv4Addr src, Ipv4Addr dst, const ShimHeader& shim,
                         std::span<const std::uint8_t> payload, Dscp dscp,
-                        std::uint8_t ttl) {
+                        std::uint8_t ttl, PacketArena* arena) {
   Ipv4Header ip;
   ip.src = src;
   ip.dst = dst;
@@ -54,7 +65,7 @@ Packet make_shim_packet(Ipv4Addr src, Ipv4Addr dst, const ShimHeader& shim,
   ip.total_length = static_cast<std::uint16_t>(
       kIpv4HeaderSize + shim.serialized_size() + payload.size());
 
-  ByteWriter w(ip.total_length);
+  ByteWriter w = writer_for(ip.total_length, arena);
   ip.serialize(w);
   shim.serialize(w);
   w.raw(payload);

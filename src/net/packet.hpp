@@ -56,19 +56,27 @@ struct ParsedPacket {
 /// Throws ParseError on malformed packets (simulated routers drop those).
 [[nodiscard]] ParsedPacket parse_packet(std::span<const std::uint8_t> bytes);
 
-/// Builds IP+UDP+payload.
+class PacketArena;
+
+/// Builds IP+UDP+payload. When `arena` is non-null the buffer comes
+/// from its freelist (heap otherwise); bytes are identical either way.
 [[nodiscard]] Packet make_udp_packet(Ipv4Addr src, Ipv4Addr dst,
                                      std::uint16_t src_port,
                                      std::uint16_t dst_port,
                                      std::span<const std::uint8_t> payload,
                                      Dscp dscp = Dscp::kBestEffort,
-                                     std::uint8_t ttl = 64);
+                                     std::uint8_t ttl = 64,
+                                     PacketArena* arena = nullptr);
 
-/// Builds IP+shim+payload (protocol 253).
+/// Builds IP+shim+payload (protocol 253). When `arena` is non-null the
+/// buffer comes from its freelist — this closes the last allocation on
+/// the neutralizer's wire path: key-setup/lease/dyn-addr responses are
+/// serialized into buffers recycled from the same batch's spent inputs.
 [[nodiscard]] Packet make_shim_packet(Ipv4Addr src, Ipv4Addr dst,
                                       const ShimHeader& shim,
                                       std::span<const std::uint8_t> payload,
                                       Dscp dscp = Dscp::kBestEffort,
-                                      std::uint8_t ttl = 64);
+                                      std::uint8_t ttl = 64,
+                                      PacketArena* arena = nullptr);
 
 }  // namespace nn::net

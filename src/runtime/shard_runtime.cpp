@@ -1,0 +1,251 @@
+#include "runtime/shard_runtime.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "core/sharded_box.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace nn::runtime {
+
+namespace {
+
+/// Best-effort pinning of the calling thread to `cpu`; failures are
+/// ignored (a container may expose fewer CPUs than advertised, and a
+/// mis-pinned worker is merely slower, never wrong).
+void pin_current_thread(std::size_t cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+/// Idle backoff shared by the dispatcher's waits and the worker's empty
+/// polls: stay on cheap yields while the counterpart is likely mid-
+/// burst, drop to a short sleep once the queue has clearly gone quiet —
+/// essential on single-core hosts, where a spinning thread would stall
+/// the very thread it is waiting on for a whole scheduling quantum.
+struct Backoff {
+  unsigned spins = 0;
+  void pause() {
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  void reset() { spins = 0; }
+};
+
+}  // namespace
+
+ShardRuntime::ShardRuntime(std::size_t worker_count,
+                           const core::NeutralizerConfig& config,
+                           const crypto::AesKey& root_key,
+                           RuntimeOptions options)
+    : options_(options) {
+  if (options_.max_batch == 0) options_.max_batch = 1;  // 0 would livelock
+  const std::size_t n = worker_count == 0 ? 1 : worker_count;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Worker state (Neutralizer, arena, backend binding inside the AES
+    // contexts) is fully constructed here, on the control thread,
+    // before any worker thread exists — the std::thread constructor in
+    // start() is the happens-before edge that publishes it.
+    workers_.push_back(std::make_unique<Worker>(config, root_key, options_));
+  }
+  if (options_.start_workers) start();
+}
+
+ShardRuntime::~ShardRuntime() { stop(); }
+
+void ShardRuntime::start() {
+  if (started_ || stopped_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    Worker& w = *workers_[i];
+    w.thread = std::thread([this, &w, i] { worker_loop(w, i); });
+  }
+}
+
+std::size_t ShardRuntime::shard_for(const net::Packet& pkt) const noexcept {
+  return core::shard_for_packet(pkt, workers_.size());
+}
+
+bool ShardRuntime::submit(net::Packet&& pkt, sim::SimTime now) {
+  assert(!stopped_ && "submit() after stop()");
+  if (stopped_) return false;
+  Worker& w = *workers_[shard_for(pkt)];
+  Ingress slot{std::move(pkt), now};
+  if (!w.ring.try_push(std::move(slot))) {
+    if (options_.backpressure == BackpressurePolicy::kDrop) {
+      ++w.dropped;
+      return false;  // slot (and the packet in it) destroyed here
+    }
+    ++w.blocked_waits;
+    // Blocking on a full ring only ends when a worker drains it — make
+    // sure the workers exist even under start_workers=false (start()
+    // is idempotent), or this loop would spin forever.
+    start();
+    Backoff backoff;
+    do {
+      backoff.pause();
+    } while (!w.ring.try_push(std::move(slot)));
+  }
+  ++w.submitted;
+  return true;
+}
+
+bool ShardRuntime::quiescent() const noexcept {
+  for (const auto& w : workers_) {
+    if (w->processed.load(std::memory_order_acquire) != w->submitted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ShardRuntime::flush() {
+  start();
+  Backoff backoff;
+  while (!quiescent()) backoff.pause();
+}
+
+void ShardRuntime::stop() {
+  if (stopped_) return;
+  // Workers only exit once their ring is empty, so packets in flight at
+  // the moment stop() is called are still processed — shutdown loses
+  // nothing submit() accepted. Never-started workers are launched first
+  // for the same reason.
+  start();
+  stop_flag_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  stopped_ = true;
+  assert(quiescent());
+}
+
+void ShardRuntime::worker_loop(Worker& w, std::size_t index) {
+  if (options_.pin_threads) {
+    const unsigned cpus = std::thread::hardware_concurrency();
+    pin_current_thread(cpus == 0 ? index : index % cpus);
+  }
+  w.staging.resize(options_.max_batch);
+  Backoff backoff;
+  for (;;) {
+    const std::size_t n = w.ring.pop_batch(w.staging.data(), w.staging.size());
+    if (n == 0) {
+      // The stop flag is checked only when the ring reads empty, and
+      // the flag is raised before join: once we observe it here there
+      // will be no further pushes, so draining-then-exit is race-free.
+      if (stop_flag_.load(std::memory_order_acquire) && w.ring.empty()) break;
+      backoff.pause();
+      continue;
+    }
+    backoff.reset();
+    // Split the burst wherever the arrival timestamp changes: a single
+    // process_batch call sees one `now`, and epoch validation must match
+    // what the serial path would have decided per packet.
+    std::size_t i = 0;
+    while (i < n) {
+      const sim::SimTime now = w.staging[i].now;
+      w.pending.clear();
+      while (i < n && w.staging[i].now == now) {
+        w.pending.push_back(std::move(w.staging[i++].pkt));
+      }
+      const std::uint64_t burst = w.pending.size();
+      std::size_t out = 0;
+      if (options_.collect_egress) {
+        out = w.service.drain_into(w.pending, now, &w.arena, w.egress);
+      } else {
+        // Closed-loop mode: survivors go straight back to the arena so
+        // benchmarks can run indefinitely without accumulating output.
+        const std::size_t kept = w.service.process_batch(
+            {w.pending.data(), w.pending.size()}, now, &w.arena);
+        for (std::size_t k = 0; k < kept; ++k) {
+          w.arena.release(std::move(w.pending[k]));
+        }
+        w.pending.clear();
+        out = kept;
+      }
+      w.survivors.fetch_add(out, std::memory_order_relaxed);
+      w.batches.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t seen = w.max_batch.load(std::memory_order_relaxed);
+      while (burst > seen && !w.max_batch.compare_exchange_weak(
+                                 seen, burst, std::memory_order_relaxed)) {
+      }
+      // Published last: pairs with the acquire in quiescent(), making
+      // everything above — egress contents included — visible to the
+      // control thread once the counts meet.
+      w.processed.fetch_add(burst, std::memory_order_release);
+    }
+  }
+}
+
+void ShardRuntime::assert_quiescent() const {
+  assert(quiescent() &&
+         "worker state may only be read at quiescence (flush()/stop())");
+}
+
+std::vector<net::Packet>& ShardRuntime::shard_egress(std::size_t i) {
+  assert_quiescent();
+  return workers_[i]->egress;
+}
+
+std::vector<net::Packet> ShardRuntime::merged_egress() {
+  assert_quiescent();
+  std::vector<net::Packet> out;
+  std::size_t total = 0;
+  for (const auto& w : workers_) total += w->egress.size();
+  out.reserve(total);
+  for (auto& w : workers_) {
+    for (auto& pkt : w->egress) out.push_back(std::move(pkt));
+    w->egress.clear();
+  }
+  return out;
+}
+
+core::NeutralizerStats ShardRuntime::aggregate_stats() const {
+  assert_quiescent();
+  core::NeutralizerStats total;
+  for (const auto& w : workers_) total += w->service.stats();
+  return total;
+}
+
+const core::Neutralizer& ShardRuntime::shard(std::size_t i) const {
+  assert_quiescent();
+  return workers_[i]->service;
+}
+
+net::PacketArena& ShardRuntime::arena(std::size_t i) {
+  assert_quiescent();
+  return workers_[i]->arena;
+}
+
+RuntimeStats ShardRuntime::stats() const {
+  RuntimeStats s;
+  s.workers.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    WorkerCounters c;
+    c.submitted = w->submitted;
+    c.dropped = w->dropped;
+    c.blocked_waits = w->blocked_waits;
+    c.processed = w->processed.load(std::memory_order_acquire);
+    c.survivors = w->survivors.load(std::memory_order_relaxed);
+    c.batches = w->batches.load(std::memory_order_relaxed);
+    c.max_batch = w->max_batch.load(std::memory_order_relaxed);
+    s.workers.push_back(c);
+  }
+  return s;
+}
+
+}  // namespace nn::runtime

@@ -1,0 +1,232 @@
+// ShardRuntime: the neutralizer cluster on real cores.
+//
+// PR 3's ShardedNeutralizer proved the semantics — N shards sharing one
+// root key are byte-exactly equivalent to a single box — but executed
+// every shard serially on one core. This subsystem supplies the missing
+// half: a dispatcher thread hashes each packet with the same
+// shard_for_packet flow hash the simulated cluster uses and hands it to
+// one of N worker threads over a bounded SPSC ring; each worker owns a
+// private Neutralizer + PacketArena and drains its ring in bursts
+// through the same Neutralizer::drain_into seam the simulator drives.
+//
+//          submit()                try_push              drain_into
+//   caller ───────► dispatcher ──┬─[SpscRing 0]─► worker 0 ─► egress 0
+//        (shard_for_packet hash) ├─[SpscRing 1]─► worker 1 ─► egress 1
+//                                └─[SpscRing N]─► worker N ─► egress N
+//
+// Ownership handoff (asserted where stated, documented in net/arena.hpp):
+//   * A Packet's buffer belongs to whichever thread holds the Packet;
+//     the ring push (release) / pop (acquire) pair is the handoff edge.
+//   * Worker-owned state — Neutralizer, arena, egress — is constructed
+//     on the control thread before the worker thread starts (the
+//     std::thread constructor is the happens-before edge) and may be
+//     touched by the control thread again only at quiescence: after
+//     flush()/stop() returned, when the worker's processed count
+//     (release) has been observed to equal the submitted count
+//     (acquire). Accessors assert that.
+//
+// Quiescence protocol: the dispatcher counts submissions per worker
+// (plain, single-threaded); each worker publishes its processed count
+// with a release store after appending the burst's survivors to its
+// egress. flush() spins (yield + short sleep) until the counts meet.
+// stop() additionally raises the stop flag; workers drain whatever is
+// already queued, then exit — no packet that submit() accepted is ever
+// dropped by shutdown. The destructor calls stop().
+//
+// Backpressure: when a worker's ring is full the dispatcher either
+// spin-waits for space (kBlock, the default — lossless, paces the
+// caller to the slowest shard) or drops the packet and reports it
+// (kDrop, what a line-rate NIC queue would do), counted per worker.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "net/arena.hpp"
+#include "net/packet.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "sim/engine.hpp"
+
+namespace nn::runtime {
+
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,  // submit() waits for ring space (lossless)
+  kDrop,   // submit() drops and returns false when the ring is full
+};
+
+struct RuntimeOptions {
+  /// Per-worker ring slots (rounded up to a power of two). Bounds the
+  /// dispatcher→worker in-flight window per shard.
+  std::size_t ring_capacity = 1024;
+  /// Largest burst a worker feeds one process_batch call.
+  std::size_t max_batch = 64;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Pin worker i to CPU (i mod hardware_concurrency). Best-effort
+  /// (Linux only, failures ignored) — keeps per-worker arenas and key
+  /// caches hot in one core's private cache.
+  bool pin_threads = true;
+  /// Keep every survivor in the worker's egress vector (the collect /
+  /// verify mode). When false survivors are recycled straight into the
+  /// worker's arena — the closed-loop mode benchmarks run, where wire
+  /// output would otherwise accumulate without bound.
+  bool collect_egress = true;
+  /// Freelist bound for each worker's PacketArena.
+  std::size_t arena_max_free = 4096;
+  /// When false the ctor does not launch threads; start() (or flush(),
+  /// which implies it) launches them later. Lets tests fill rings
+  /// deterministically before any worker runs.
+  bool start_workers = true;
+};
+
+/// Per-worker counters. Dispatcher-side fields are exact; worker-side
+/// fields are published with relaxed atomics and are exact once the
+/// runtime is quiescent (flush()/stop() returned).
+struct WorkerCounters {
+  std::uint64_t submitted = 0;      // packets the dispatcher enqueued
+  std::uint64_t dropped = 0;        // kDrop ring-full rejections
+  std::uint64_t blocked_waits = 0;  // kBlock ring-full wait episodes
+  std::uint64_t processed = 0;      // packets fully handled by the worker
+  std::uint64_t survivors = 0;      // packets that produced wire output
+  std::uint64_t batches = 0;        // process_batch calls
+  std::uint64_t max_batch = 0;      // largest single burst
+};
+
+struct RuntimeStats {
+  std::vector<WorkerCounters> workers;
+  [[nodiscard]] WorkerCounters total() const noexcept {
+    WorkerCounters t;
+    for (const WorkerCounters& w : workers) {
+      t.submitted += w.submitted;
+      t.dropped += w.dropped;
+      t.blocked_waits += w.blocked_waits;
+      t.processed += w.processed;
+      t.survivors += w.survivors;
+      t.batches += w.batches;
+      t.max_batch = t.max_batch > w.max_batch ? t.max_batch : w.max_batch;
+    }
+    return t;
+  }
+};
+
+class ShardRuntime {
+ public:
+  /// `worker_count` workers (>= 1), all sharing `root_key` exactly like
+  /// the shards of a ShardedNeutralizer.
+  ShardRuntime(std::size_t worker_count, const core::NeutralizerConfig& config,
+               const crypto::AesKey& root_key, RuntimeOptions options = {});
+  ~ShardRuntime();  // stop(): drains queued packets, joins workers
+
+  ShardRuntime(const ShardRuntime&) = delete;
+  ShardRuntime& operator=(const ShardRuntime&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] const RuntimeOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Launches the worker threads; idempotent, no-op after stop().
+  void start();
+
+  /// Where the dispatch hash sends `pkt` — same function, same answer
+  /// as ShardedNeutralizer::shard_for.
+  [[nodiscard]] std::size_t shard_for(const net::Packet& pkt) const noexcept;
+
+  /// Dispatches one packet (single caller thread — the dispatcher role).
+  /// `now` is the packet's arrival timestamp, forwarded to the worker's
+  /// drain so epoch checks behave exactly as on the serial path;
+  /// timestamps must be non-decreasing in submission order. Returns
+  /// false iff the packet was dropped (kDrop policy, ring full, or the
+  /// runtime is already stopped).
+  bool submit(net::Packet&& pkt, sim::SimTime now = 0);
+
+  /// Blocks until every accepted packet has been processed (workers are
+  /// started if they were not yet). On return the runtime is quiescent
+  /// and every accessor below is exact.
+  void flush();
+
+  /// Drains everything already queued, then joins the workers.
+  /// Idempotent; submit() after stop() rejects. The destructor calls it.
+  void stop();
+
+  /// True when every accepted packet has been processed and published.
+  [[nodiscard]] bool quiescent() const noexcept;
+
+  // --- quiescence-gated accessors (assert quiescent()) ---------------
+
+  /// Worker i's wire output in processing order — byte-identical to the
+  /// same shard's drain output on the serial ShardedNeutralizer.
+  [[nodiscard]] std::vector<net::Packet>& shard_egress(std::size_t i);
+  /// All shards' egress merged in shard-major order (shard 0's stream,
+  /// then shard 1's, ...) — the same aggregate order the serial
+  /// harnesses produce when draining shard 0..N-1; moves the packets
+  /// out of the per-shard buffers.
+  [[nodiscard]] std::vector<net::Packet> merged_egress();
+  /// Sum of every worker's NeutralizerStats.
+  [[nodiscard]] core::NeutralizerStats aggregate_stats() const;
+  [[nodiscard]] const core::Neutralizer& shard(std::size_t i) const;
+  [[nodiscard]] net::PacketArena& arena(std::size_t i);
+
+  /// Counter snapshot: dispatcher-side fields exact, worker-side fields
+  /// exact at quiescence (relaxed reads otherwise).
+  [[nodiscard]] RuntimeStats stats() const;
+
+ private:
+  // One slot of the dispatcher→worker ring: the packet plus its arrival
+  // timestamp (workers split bursts on timestamp changes so a burst
+  // never spans an epoch-visible instant).
+  struct Ingress {
+    net::Packet pkt;
+    sim::SimTime now = 0;
+  };
+
+  struct Worker {
+    Worker(const core::NeutralizerConfig& config,
+           const crypto::AesKey& root_key, const RuntimeOptions& opt)
+        : service(config, root_key),
+          arena(opt.arena_max_free),
+          ring(opt.ring_capacity) {}
+
+    core::Neutralizer service;
+    net::PacketArena arena;
+    SpscRing<Ingress> ring;
+    std::vector<net::Packet> pending;  // worker-local burst staging
+    std::vector<net::Packet> egress;   // survivors, processing order
+    std::vector<Ingress> staging;      // ring pop buffer
+
+    // Dispatcher-owned (single producer thread, never touched by the
+    // worker): exact without synchronization.
+    std::uint64_t submitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t blocked_waits = 0;
+
+    // Worker-published. `processed` is the quiescence signal: released
+    // after the burst's survivors are in `egress`, acquired by
+    // flush()/quiescent() — that pair is what makes reading `egress`
+    // and `service` from the control thread safe afterwards.
+    std::atomic<std::uint64_t> processed{0};
+    std::atomic<std::uint64_t> survivors{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> max_batch{0};
+
+    std::thread thread;
+  };
+
+  RuntimeOptions options_;
+  // unique_ptr keeps worker addresses stable across the vector (threads
+  // hold references) and lets Worker carry atomics (non-movable).
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_flag_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  void worker_loop(Worker& w, std::size_t index);
+  void assert_quiescent() const;
+};
+
+}  // namespace nn::runtime

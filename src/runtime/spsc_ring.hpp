@@ -1,0 +1,105 @@
+// Bounded single-producer / single-consumer ring queue — the channel
+// between the ShardRuntime dispatcher and each worker core. Lock-free
+// on the hot path: the producer writes only `tail_`, the consumer only
+// `head_`, and each side keeps a cached copy of the other's cursor so
+// the common case (space available / items available) touches no shared
+// cache line at all. Head and tail live on separate cache lines to
+// avoid false sharing; release stores pair with acquire loads so a
+// popped element's bytes (and everything the producer wrote before
+// pushing — the buffer-ownership handoff net/arena.hpp documents) are
+// visible to the consumer.
+//
+// Exactly one producer thread and one consumer thread, fixed for the
+// queue's lifetime. Capacity is rounded up to a power of two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace nn::runtime {
+
+/// std::hardware_destructive_interference_size is still patchy across
+/// standard libraries; 64 bytes is right for every x86-64 and most
+/// arm64 parts this project targets.
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is a lower bound; the ring holds the next power of two.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer only. False (and `v` untouched) when the ring is full.
+  bool try_push(T&& v) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only. False when the ring is empty.
+  bool try_pop(T& out) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer only: pops up to `max` elements into `out`, returning the
+  /// count — one acquire fence amortized over the whole burst, which is
+  /// how the worker forms its process_batch bursts.
+  std::size_t pop_batch(T* out, std::size_t max) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return 0;
+    }
+    const std::size_t avail = cached_tail_ - head;
+    const std::size_t n = avail < max ? avail : max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Callable from either side (approximate from the other's view).
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size_approx() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Consumer cursor + the producer's cached copy of it sit on their own
+  // cache lines (and likewise for the producer cursor), so steady-state
+  // push/pop ping-pongs no lines between cores.
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLine) std::size_t cached_head_ = 0;  // producer-owned
+  alignas(kCacheLine) std::size_t cached_tail_ = 0;  // consumer-owned
+};
+
+}  // namespace nn::runtime

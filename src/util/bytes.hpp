@@ -62,6 +62,13 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts `recycle` as the backing store (cleared, capacity kept), so
+  /// a serializer can build into a buffer recycled from a PacketArena
+  /// instead of allocating — the control-path responses use this.
+  explicit ByteWriter(std::vector<std::uint8_t>&& recycle) noexcept
+      : buf_(std::move(recycle)) {
+    buf_.clear();
+  }
 
   ByteWriter& u8(std::uint8_t v) {
     buf_.push_back(v);

@@ -324,6 +324,58 @@ TEST_F(BatchDatapathTest, DataPathSteadyStateIsAllocationFree) {
   EXPECT_GT(arena.stats().reuses, 0u);
 }
 
+TEST_F(BatchDatapathTest, ControlResponsesAllocateFromArena) {
+  // Key-lease responses are serialized into buffers recycled from the
+  // same batch's spent inputs: once the freelist is warm, whole batches
+  // of control traffic add no heap allocations — the last wire-path
+  // allocation the ROADMAP tracked. Bytes must be unaffected by where
+  // the buffer came from.
+  Neutralizer with_arena(test_config(), test_root());
+  Neutralizer without_arena(test_config(), test_root());
+  net::PacketArena arena;
+
+  // The padding keeps each recycled request buffer at least as big as
+  // the 56-byte response, so the (LIFO) freelist never hands the
+  // serializer a too-small buffer that would force a reallocation.
+  const auto make_lease = [](std::uint64_t request_id) {
+    ShimHeader shim;
+    shim.type = ShimType::kKeyLease;
+    shim.nonce = request_id;
+    return net::make_shim_packet(kGoogle, kAnycast, shim,
+                                 std::vector<std::uint8_t>(48, 0));
+  };
+
+  constexpr std::size_t kBatch = 8;
+  std::vector<net::Packet> batch;
+  std::vector<net::Packet> reference;
+  std::size_t warm_allocs = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      const std::uint64_t req =
+          0xAB00 + static_cast<std::uint64_t>(round) * kBatch + i;
+      batch.push_back(make_lease(req));
+      auto expected = without_arena.process(make_lease(req), 0);
+      ASSERT_TRUE(expected.has_value());
+      reference.push_back(std::move(*expected));
+    }
+    const std::size_t n =
+        with_arena.process_batch({batch.data(), batch.size()}, 0, &arena);
+    ASSERT_EQ(n, kBatch);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batch[i],
+                reference[static_cast<std::size_t>(round) * kBatch + i]);
+      arena.release(std::move(batch[i]));
+    }
+    batch.clear();
+    if (round == 0) warm_allocs = arena.stats().heap_allocations;
+  }
+  // After the first round primed the freelist (the lease inputs were
+  // recycled into it), every response buffer came from the arena.
+  EXPECT_EQ(arena.stats().heap_allocations, warm_allocs);
+  EXPECT_GT(arena.stats().reuses, 0u);
+  EXPECT_EQ(with_arena.stats(), without_arena.stats());
+}
+
 TEST_F(BatchDatapathTest, DroppedBuffersAreRecycledThroughArena) {
   Neutralizer service(test_config(), test_root());
   net::PacketArena arena;

@@ -186,5 +186,28 @@ TEST(CryptAddress, NonceBindsKeystream) {
             crypt_address(ks, 2, false, addr));
 }
 
+TEST(CryptAddress, BatchMatchesScalarAcrossChunkBoundaries) {
+  // Every request carries its own key and direction; sizes straddle the
+  // 32-request chunk the batch implementation stages internally.
+  SplitMix64 rng(0xADD2);
+  for (const std::size_t n : {0u, 1u, 5u, 31u, 32u, 33u, 70u}) {
+    std::vector<AddressCryptRequest> reqs(n);
+    for (auto& r : reqs) {
+      rng.fill(r.ks);
+      r.nonce = rng.next_u64();
+      r.return_direction = (rng.next_u64() & 1) != 0;
+      r.addr = static_cast<std::uint32_t>(rng.next_u64());
+    }
+    std::vector<std::uint32_t> got(n);
+    crypt_address_batch(reqs, got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(got[i],
+                crypt_address(reqs[i].ks, reqs[i].nonce,
+                              reqs[i].return_direction, reqs[i].addr))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nn::crypto

@@ -72,6 +72,43 @@ TEST_P(BackendEquivalence, EcbBatchAllBlockCounts) {
   }
 }
 
+TEST_P(BackendEquivalence, MultiKeyEcbMatchesPerKeySingleBlock) {
+  // encrypt_blocks_multi must equal n independent single-schedule
+  // encryptions — every block under its own key, counts straddling the
+  // 8-lane pipeline, in-place included. Schedules are expanded by the
+  // backend that consumes them (they are not interchangeable).
+  SplitMix64 rng(17);
+  for (std::size_t n : {1u, 2u, 7u, 8u, 9u, 16u, 17u, 33u}) {
+    std::vector<AesKey> keys(n);
+    std::vector<std::uint8_t> pt(16 * n);
+    for (auto& k : keys) rng.fill(k);
+    rng.fill(pt);
+
+    std::vector<AesSchedule> cand_scheds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      candidate_.expand_key(keys[i].data(), cand_scheds[i]);
+    }
+    std::vector<std::uint8_t> got(16 * n);
+    candidate_.encrypt_blocks_multi(cand_scheds.data(), pt.data(), got.data(),
+                                    n);
+
+    std::vector<std::uint8_t> want(16 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      AesSchedule ref_sched;
+      reference_.expand_key(keys[i].data(), ref_sched);
+      reference_.encrypt_blocks(ref_sched, pt.data() + 16 * i,
+                                want.data() + 16 * i, 1);
+    }
+    EXPECT_EQ(got, want) << "n=" << n;
+
+    // In-place must match out-of-place.
+    std::vector<std::uint8_t> in_place = pt;
+    candidate_.encrypt_blocks_multi(cand_scheds.data(), in_place.data(),
+                                    in_place.data(), n);
+    EXPECT_EQ(in_place, want) << "in-place n=" << n;
+  }
+}
+
 TEST_P(BackendEquivalence, CbcDecryptMatchesAndInverts) {
   SplitMix64 rng(11);
   AesKey key{};

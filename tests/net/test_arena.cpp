@@ -4,6 +4,8 @@
 
 #include <numeric>
 
+#include "net/shim.hpp"
+
 namespace nn::net {
 namespace {
 
@@ -77,6 +79,52 @@ TEST(PacketArena, FreelistIsBounded) {
   }
   EXPECT_EQ(arena.free_count(), 2u);
   EXPECT_EQ(arena.stats().freelist_overflow, 3u);
+}
+
+TEST(PacketArena, AcquireBufferRecyclesEmptySizedCapacity) {
+  PacketArena arena;
+  // Cold: heap-backed, empty, capacity at least the reservation.
+  auto buf = arena.acquire_buffer(64);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_GE(buf.capacity(), 64u);
+  EXPECT_EQ(arena.stats().heap_allocations, 1u);
+
+  // Warm: a released 64-byte packet buffer serves a 32-byte reservation
+  // with no allocation; bytes from the previous life are cleared away
+  // (size 0), only the capacity survives.
+  arena.release(Packet{std::vector<std::uint8_t>(64, 0xEE)});
+  auto warm = arena.acquire_buffer(32);
+  EXPECT_TRUE(warm.empty());
+  EXPECT_GE(warm.capacity(), 64u);
+  EXPECT_EQ(arena.stats().reuses, 1u);
+  EXPECT_EQ(arena.stats().heap_allocations, 1u);
+
+  // Too-small recycled buffer: still returned, counted as a heap hit
+  // because the reserve reallocates.
+  arena.release(Packet{std::vector<std::uint8_t>(8)});
+  auto grown = arena.acquire_buffer(128);
+  EXPECT_GE(grown.capacity(), 128u);
+  EXPECT_EQ(arena.stats().heap_allocations, 2u);
+}
+
+TEST(PacketArena, ArenaAwareShimPacketMatchesHeapSerialization) {
+  // Same inputs, same bytes — the arena only changes where the buffer
+  // came from. (This is the make_shim_packet overload the neutralizer's
+  // control path uses.)
+  PacketArena arena;
+  arena.release(Packet{std::vector<std::uint8_t>(128)});
+  ShimHeader shim;
+  shim.type = ShimType::kKeyLeaseResponse;
+  shim.nonce = 0x1234;
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  const Packet heap_built = make_shim_packet(Ipv4Addr(1, 2, 3, 4),
+                                             Ipv4Addr(5, 6, 7, 8), shim,
+                                             payload);
+  const Packet arena_built =
+      make_shim_packet(Ipv4Addr(1, 2, 3, 4), Ipv4Addr(5, 6, 7, 8), shim,
+                       payload, Dscp::kBestEffort, 64, &arena);
+  EXPECT_EQ(arena_built, heap_built);
+  EXPECT_EQ(arena.stats().reuses, 1u);
 }
 
 }  // namespace

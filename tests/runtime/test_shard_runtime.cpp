@@ -1,0 +1,456 @@
+// ShardRuntime correctness: the threaded cluster must be byte-identical
+// to the serial ShardedNeutralizer per shard (and therefore, by PR 3's
+// shard-count equivalence, to a single box) over mixed workloads, IMIX
+// traces, and the committed pcap fixture, including across a master-key
+// rotation; backpressure must drop (or block) exactly as configured;
+// and shutdown must never lose a packet submit() accepted. This suite
+// is what the ThreadSanitizer CI job runs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/replay.hpp"
+#include "core/sharded_box.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+#include "net/pcap.hpp"
+#include "net/shim.hpp"
+#include "runtime/shard_runtime.hpp"
+#include "sim/trace_workload.hpp"
+
+namespace nn::runtime {
+namespace {
+
+using net::Ipv4Addr;
+using net::ShimFlags;
+using net::ShimHeader;
+using net::ShimType;
+
+const Ipv4Addr kAnycast(200, 0, 0, 1);
+const Ipv4Addr kOutsider(99, 0, 0, 1);
+
+core::NeutralizerConfig test_config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey test_root() {
+  crypto::AesKey k;
+  k.fill(0x42);
+  return k;
+}
+
+net::Packet make_forward(std::uint64_t nonce, const crypto::AesKey& ks,
+                         Ipv4Addr src, Ipv4Addr true_dst,
+                         std::uint8_t flags = 0, std::uint16_t epoch = 0) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataForward;
+  shim.flags = flags;
+  shim.key_epoch = epoch;
+  shim.nonce = nonce;
+  shim.inner_addr = crypto::crypt_address(ks, nonce, false, true_dst.value());
+  const std::vector<std::uint8_t> payload = {'f', 'w', 'd'};
+  return net::make_shim_packet(src, kAnycast, shim, payload);
+}
+
+net::Packet make_return(std::uint64_t nonce, Ipv4Addr customer,
+                        Ipv4Addr initiator, std::uint16_t epoch = 0) {
+  ShimHeader shim;
+  shim.type = ShimType::kDataReturn;
+  shim.key_epoch = epoch;
+  shim.nonce = nonce;
+  shim.inner_addr = initiator.value();
+  const std::vector<std::uint8_t> payload = {'r', 'e', 't'};
+  return net::make_shim_packet(customer, kAnycast, shim, payload);
+}
+
+class ShardRuntimeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    crypto::ChaChaRng rng(23);
+    onetime_ = new crypto::RsaPrivateKey(crypto::rsa_generate(rng, 512, 3));
+  }
+  static void TearDownTestSuite() {
+    delete onetime_;
+    onetime_ = nullptr;
+  }
+  static crypto::RsaPrivateKey* onetime_;
+};
+
+crypto::RsaPrivateKey* ShardRuntimeTest::onetime_ = nullptr;
+
+/// Same packet-class mix the sharded-box equivalence harness uses: per
+/// flow one key setup, forwards (plain / rekey-requesting / to a
+/// non-customer / bad-epoch), a return, a lease, a dyn-addr request
+/// when the config has a pool, plus garbage — shuffled.
+std::vector<net::Packet> mixed_wave(crypto::ChaChaRng& rng,
+                                    const crypto::RsaPublicKey& pub,
+                                    std::size_t flows, sim::SimTime minted_at,
+                                    std::uint16_t key_epoch,
+                                    bool dyn_requests) {
+  const core::MasterKeySchedule sched(test_root());
+  const auto u8 = [&rng] { return static_cast<std::uint8_t>(rng.next_u64()); };
+  std::vector<net::Packet> out;
+  for (std::size_t f = 0; f < flows; ++f) {
+    const Ipv4Addr outside(10, 1, u8(), u8() | 1);
+    const Ipv4Addr customer(20, 0, u8(), u8() | 1);
+    const std::uint64_t nonce = rng.next_u64();
+    const auto ks = crypto::derive_source_key(sched.current_key(minted_at),
+                                              nonce, outside.value());
+    {
+      ShimHeader shim;
+      shim.type = ShimType::kKeySetup;
+      shim.nonce = rng.next_u64();
+      out.push_back(
+          net::make_shim_packet(outside, kAnycast, shim, pub.serialize()));
+    }
+    out.push_back(make_forward(nonce, ks, outside, customer, 0, key_epoch));
+    out.push_back(make_forward(nonce, ks, outside, customer,
+                               ShimFlags::kKeyRequest, key_epoch));
+    out.push_back(make_return(nonce, customer, outside, key_epoch));
+    {
+      ShimHeader shim;
+      shim.type = ShimType::kKeyLease;
+      shim.nonce = rng.next_u64();
+      out.push_back(net::make_shim_packet(customer, kAnycast, shim,
+                                          std::vector<std::uint8_t>{}));
+    }
+    if (dyn_requests) {
+      ShimHeader shim;
+      shim.type = ShimType::kDynAddrRequest;
+      shim.nonce = rng.next_u64();
+      out.push_back(net::make_shim_packet(customer, kAnycast, shim,
+                                          std::vector<std::uint8_t>{}));
+    }
+    out.push_back(make_forward(nonce, ks, outside, kOutsider, 0, key_epoch));
+    out.push_back(make_forward(nonce, ks, outside, customer, 0, 99));
+    out.push_back(net::make_udp_packet(outside, kAnycast, 1, 2,
+                                       std::vector<std::uint8_t>{7}));
+  }
+  for (std::size_t i = out.size() - 1; i > 0; --i) {
+    std::swap(out[i], out[rng.next_u64() % (i + 1)]);
+  }
+  return out;
+}
+
+struct TimedWave {
+  sim::SimTime at;
+  std::vector<net::Packet> packets;
+};
+
+/// Serial reference: the same waves through a ShardedNeutralizer,
+/// enqueue-all-then-drain-each-shard per wave, per-shard streams
+/// accumulated across waves.
+std::vector<std::vector<net::Packet>> serial_reference(
+    core::ShardedNeutralizer& cluster, const std::vector<TimedWave>& waves) {
+  std::vector<std::vector<net::Packet>> egress(cluster.shard_count());
+  for (const TimedWave& wave : waves) {
+    for (const net::Packet& pkt : wave.packets) {
+      cluster.enqueue(net::Packet(pkt));
+    }
+    for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+      cluster.drain_shard(s, wave.at, egress[s]);
+    }
+  }
+  return egress;
+}
+
+void expect_runtime_matches_serial(std::size_t shards,
+                                   const std::vector<TimedWave>& waves,
+                                   const core::NeutralizerConfig& cfg,
+                                   RuntimeOptions options) {
+  SCOPED_TRACE(testing::Message() << "shards=" << shards);
+  core::ShardedNeutralizer serial(shards, cfg, test_root());
+  const auto expected = serial_reference(serial, waves);
+
+  ShardRuntime runtime(shards, cfg, test_root(), options);
+  for (const TimedWave& wave : waves) {
+    for (const net::Packet& pkt : wave.packets) {
+      ASSERT_TRUE(runtime.submit(net::Packet(pkt), wave.at));
+    }
+  }
+  runtime.flush();
+
+  std::size_t expected_total = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const auto& got = runtime.shard_egress(s);
+    ASSERT_EQ(got.size(), expected[s].size()) << "shard " << s;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], expected[s][i])
+          << "shard " << s << " output " << i << " differs";
+    }
+    expected_total += expected[s].size();
+  }
+  EXPECT_EQ(runtime.aggregate_stats(), serial.aggregate_stats());
+
+  // Shard-major merge must reproduce the serial harnesses' aggregate.
+  std::vector<net::Packet> merged_expected;
+  for (const auto& per_shard : expected) {
+    for (const auto& pkt : per_shard) merged_expected.push_back(pkt);
+  }
+  const auto merged = runtime.merged_egress();
+  ASSERT_EQ(merged.size(), expected_total);
+  EXPECT_EQ(merged, merged_expected);
+
+  const auto stats = runtime.stats().total();
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.survivors, expected_total);
+  EXPECT_GT(stats.batches, 0u);
+  EXPECT_LE(stats.max_batch, options.max_batch);
+}
+
+TEST_F(ShardRuntimeTest, ByteIdentityMixedWorkloadAcrossRotation) {
+  crypto::ChaChaRng rng(0x5EED);
+  const sim::SimTime rotation = core::MasterKeySchedule::kDefaultRotation;
+  std::vector<TimedWave> waves;
+  waves.push_back({1, mixed_wave(rng, onetime_->pub, 10, 1, 0, false)});
+  // Second wave straddles the rotation: epoch-0 keys inside the grace
+  // window mixed with freshly minted epoch-1 keys.
+  auto second = mixed_wave(rng, onetime_->pub, 5, 1, 0, false);
+  auto fresh = mixed_wave(rng, onetime_->pub, 5, rotation + 5, 1, false);
+  for (auto& p : fresh) second.push_back(std::move(p));
+  for (std::size_t i = second.size() - 1; i > 0; --i) {
+    std::swap(second[i], second[rng.next_u64() % (i + 1)]);
+  }
+  waves.push_back({rotation + 5, std::move(second)});
+
+  RuntimeOptions options;
+  options.max_batch = 16;  // force several bursts per worker
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    expect_runtime_matches_serial(shards, waves, test_config(), options);
+  }
+}
+
+TEST_F(ShardRuntimeTest, ByteIdentityDynAddrPinnedToWorkerZero) {
+  core::NeutralizerConfig cfg = test_config();
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("30.0.0.0/24");
+  crypto::ChaChaRng rng(0xD7);
+  std::vector<TimedWave> waves;
+  waves.push_back({1, mixed_wave(rng, onetime_->pub, 8, 1, 0, true)});
+  RuntimeOptions options;
+  options.max_batch = 8;
+  // The dyn-addr allocator is deliberate per-session state on shard 0;
+  // dispatch pins every request there, so allocation order — and thus
+  // every minted address — matches the serial cluster exactly.
+  expect_runtime_matches_serial(4, waves, cfg, options);
+}
+
+TEST_F(ShardRuntimeTest, ByteIdentityImixTrace) {
+  // Classic 7:4:1 IMIX over 64 interleaved flows, data-only — the
+  // realistic-mix shape bench_runtime measures.
+  sim::ImixConfig icfg;
+  icfg.flows = 64;
+  icfg.packets_per_second = 4000;
+  icfg.duration = sim::kSecond / 8;
+  icfg.seed = 0x1A1;
+  const auto trace = sim::imix_trace(icfg);
+  ASSERT_GT(trace.size(), 200u);
+
+  const core::MasterKeySchedule sched(test_root());
+  std::vector<TimedWave> waves;
+  waves.push_back({0, {}});
+  for (const auto& rec : trace) {
+    const Ipv4Addr customer(20, 0, 0,
+                            static_cast<std::uint8_t>(10 + rec.flow_id % 3));
+    waves[0].packets.push_back(core::synth_forward_packet(
+        sched, kAnycast, customer, rec.flow_id, rec.wire_size));
+  }
+  RuntimeOptions options;
+  options.max_batch = 32;
+  for (const std::size_t shards : {1, 4}) {
+    expect_runtime_matches_serial(shards, waves, test_config(), options);
+  }
+}
+
+TEST_F(ShardRuntimeTest, ByteIdentityPcapFixtureReplay) {
+  // The committed capture (testdata/imix_tiny.pcap) through the same
+  // flow->session mapping examples/trace_replay uses.
+  net::PcapFile capture;
+  ASSERT_NO_THROW(capture = net::read_pcap_file(NN_PCAP_FIXTURE));
+  const auto trace = sim::trace_from_pcap(capture);
+  ASSERT_FALSE(trace.empty());
+
+  const core::MasterKeySchedule sched(test_root());
+  std::vector<TimedWave> waves;
+  waves.push_back({0, {}});
+  for (const auto& rec : trace) {
+    const Ipv4Addr customer(20, 0, 0,
+                            static_cast<std::uint8_t>(10 + rec.flow_id % 3));
+    waves[0].packets.push_back(core::synth_forward_packet(
+        sched, kAnycast, customer, rec.flow_id, rec.wire_size));
+  }
+  RuntimeOptions options;
+  options.max_batch = 8;
+  for (const std::size_t shards : {1, 2, 4, 8}) {
+    expect_runtime_matches_serial(shards, waves, test_config(), options);
+  }
+}
+
+TEST_F(ShardRuntimeTest, QueueFullDropsExactlyAndKeepsPrefixSemantics) {
+  // Workers held back (start_workers=false) so the ring fills
+  // deterministically: with one worker and an 8-slot ring, exactly 8 of
+  // 20 submissions fit and the other 12 are dropped — and the survivors
+  // are byte-identical to serially processing just those first 8.
+  const core::MasterKeySchedule sched(test_root());
+  std::vector<net::Packet> packets;
+  for (std::uint16_t f = 0; f < 20; ++f) {
+    packets.push_back(core::synth_forward_packet(
+        sched, kAnycast, Ipv4Addr(20, 0, 0, 10), f, 112));
+  }
+
+  RuntimeOptions options;
+  options.ring_capacity = 8;
+  options.backpressure = BackpressurePolicy::kDrop;
+  options.start_workers = false;
+  ShardRuntime runtime(1, test_config(), test_root(), options);
+  std::size_t accepted = 0;
+  for (auto& pkt : packets) {
+    if (runtime.submit(net::Packet(pkt), 0)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 8u);
+  EXPECT_EQ(runtime.stats().workers[0].dropped, 12u);
+  EXPECT_EQ(runtime.stats().workers[0].submitted, 8u);
+
+  runtime.flush();  // starts the worker, then waits for quiescence
+  EXPECT_EQ(runtime.stats().workers[0].processed, 8u);
+
+  core::Neutralizer serial(test_config(), test_root());
+  std::vector<net::Packet> expected;
+  for (std::size_t i = 0; i < 8; ++i) {
+    auto out = serial.process(net::Packet(packets[i]), 0);
+    ASSERT_TRUE(out.has_value());
+    expected.push_back(std::move(*out));
+  }
+  EXPECT_EQ(runtime.shard_egress(0), expected);
+}
+
+TEST_F(ShardRuntimeTest, BlockingBackpressureLosesNothing) {
+  // A ring far smaller than the workload: the dispatcher must wait for
+  // space rather than drop, and every packet still comes out processed.
+  const core::MasterKeySchedule sched(test_root());
+  RuntimeOptions options;
+  options.ring_capacity = 16;
+  options.backpressure = BackpressurePolicy::kBlock;
+  options.collect_egress = false;  // closed loop; counts are the check
+  ShardRuntime runtime(2, test_config(), test_root(), options);
+
+  constexpr std::size_t kCount = 4000;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(runtime.submit(
+        core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
+                                   static_cast<std::uint16_t>(i % 64), 112),
+        0));
+  }
+  runtime.flush();
+  const auto total = runtime.stats().total();
+  EXPECT_EQ(total.submitted, kCount);
+  EXPECT_EQ(total.processed, kCount);
+  EXPECT_EQ(total.dropped, 0u);
+  EXPECT_EQ(total.survivors, kCount);  // all valid forwards survive
+  EXPECT_EQ(runtime.aggregate_stats().data_forwarded, kCount);
+}
+
+TEST_F(ShardRuntimeTest, StopWithPacketsInFlightDrainsEverything) {
+  // stop() without a flush: whatever submit() accepted must still be
+  // processed before the workers exit — shutdown loses nothing.
+  const core::MasterKeySchedule sched(test_root());
+  RuntimeOptions options;
+  options.ring_capacity = 4096;
+  ShardRuntime runtime(4, test_config(), test_root(), options);
+  constexpr std::size_t kCount = 2000;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(runtime.submit(
+        core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
+                                   static_cast<std::uint16_t>(i % 128), 112),
+        0));
+  }
+  runtime.stop();  // no flush first — packets are mid-queue right now
+  EXPECT_TRUE(runtime.quiescent());
+  const auto total = runtime.stats().total();
+  EXPECT_EQ(total.processed, kCount);
+  EXPECT_EQ(runtime.aggregate_stats().data_forwarded, kCount);
+
+  // After stop the runtime rejects instead of losing packets silently.
+  EXPECT_FALSE(runtime.submit(
+      core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10), 1,
+                                 112),
+      0));
+
+  // Second stop and destruction are clean no-ops.
+  runtime.stop();
+}
+
+TEST_F(ShardRuntimeTest, DestructorAloneShutsDownCleanly) {
+  const core::MasterKeySchedule sched(test_root());
+  {
+    ShardRuntime runtime(3, test_config(), test_root());
+    for (std::uint16_t f = 0; f < 300; ++f) {
+      ASSERT_TRUE(runtime.submit(
+          core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
+                                     f, 112),
+          0));
+    }
+    // No flush, no stop: the destructor must drain and join on its own.
+  }
+  SUCCEED();
+}
+
+TEST_F(ShardRuntimeTest, ZeroMaxBatchIsClampedNotLivelocked) {
+  const core::MasterKeySchedule sched(test_root());
+  RuntimeOptions options;
+  options.max_batch = 0;  // would make pop_batch a no-op without the clamp
+  ShardRuntime runtime(2, test_config(), test_root(), options);
+  EXPECT_EQ(runtime.options().max_batch, 1u);
+  for (std::uint16_t f = 0; f < 50; ++f) {
+    ASSERT_TRUE(runtime.submit(
+        core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
+                                   f, 112),
+        0));
+  }
+  runtime.flush();
+  EXPECT_EQ(runtime.stats().total().processed, 50u);
+}
+
+TEST_F(ShardRuntimeTest, BlockingSubmitStartsWorkersWhenRingFills) {
+  // start_workers=false + kBlock: once the ring fills, submit() must
+  // launch the workers itself rather than wait forever for a consumer
+  // that does not exist.
+  const core::MasterKeySchedule sched(test_root());
+  RuntimeOptions options;
+  options.ring_capacity = 8;
+  options.backpressure = BackpressurePolicy::kBlock;
+  options.start_workers = false;
+  ShardRuntime runtime(1, test_config(), test_root(), options);
+  for (std::uint16_t f = 0; f < 64; ++f) {
+    ASSERT_TRUE(runtime.submit(
+        core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
+                                   f, 112),
+        0));
+  }
+  runtime.flush();
+  const auto total = runtime.stats().total();
+  EXPECT_EQ(total.processed, 64u);
+  EXPECT_EQ(total.dropped, 0u);
+  EXPECT_GT(total.blocked_waits, 0u);
+}
+
+TEST_F(ShardRuntimeTest, DispatchMatchesSerialClusterHash) {
+  const core::MasterKeySchedule sched(test_root());
+  core::ShardedNeutralizer serial(4, test_config(), test_root());
+  RuntimeOptions options;
+  options.start_workers = false;
+  ShardRuntime runtime(4, test_config(), test_root(), options);
+  for (std::uint16_t f = 0; f < 64; ++f) {
+    const auto pkt = core::synth_forward_packet(sched, kAnycast,
+                                                Ipv4Addr(20, 0, 0, 10), f,
+                                                112);
+    EXPECT_EQ(runtime.shard_for(pkt), serial.shard_for(pkt));
+  }
+}
+
+}  // namespace
+}  // namespace nn::runtime

@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Diff Google-Benchmark JSON artifacts against BENCH_baseline.json.
+
+Fails (exit 1) when a headline counter regresses by more than the
+threshold (default 15%) against the committed baseline snapshot.
+Stdlib-only, like tools/check_links.py.
+
+    python3 tools/bench_compare.py --baseline BENCH_baseline.json \
+        bench_datapath.json bench_crypto.json bench_sharding.json \
+        bench_runtime.json
+
+Each artifact is a plain `--benchmark_out_format=json` file; the suite
+key is the file stem (bench_datapath.json -> "bench_datapath"), which is
+also how the baseline file nests its snapshots.
+
+What is compared
+----------------
+Headline benchmarks only (the table below): `items_per_second` of each,
+current >= baseline * (1 - threshold). Absolute numbers are hardware-
+dependent, so regenerate the baseline when the reference machine
+changes; the committed snapshot intentionally comes from a slow box so
+faster CI runners compare against a lenient floor and the check catches
+*structural* regressions (an accidentally serialized batch path, a
+disabled backend, a runtime that stopped scaling), not machine noise.
+
+A headline entry that is missing, errored (Google Benchmark's
+SkipWithError leaves error_occurred=true and exits 0), or reports a
+zero rate is a FAILURE, not a skip — those are exactly the silent
+breakages the gate exists to catch. The one legitimate skip: thread-
+scaling entries (BM_Runtime*/N) where the *current* run's
+context.num_cpus < N — a 4-thread row measured on one core is a
+statement about the host, not the code. (A baseline taken on fewer
+cores still gates; its floor is just lenient.) Checking nothing at all
+is likewise a failure.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+# Headline counters per suite: the numbers the ROADMAP quotes and the
+# scaling stories PRs are judged by. Everything else in the artifacts is
+# trajectory data, not a gate.
+HEADLINES = {
+    "bench_datapath": [
+        "BM_NeutralizedForward",
+        "BM_BatchForward/64",
+        "BM_ForwardImix/Batch/64",
+    ],
+    "bench_crypto": [
+        "BM_BackendCbcDecryptCmac112/portable",
+        "BM_BackendCbcDecryptCmac112/aesni",
+        "BM_BackendDeriveKeysBatch/aesni",
+    ],
+    "bench_sharding": [
+        "BM_ShardedForward/1/manual_time",
+        "BM_ShardedForward/4/manual_time",
+        "BM_ShardedForwardImix/4/manual_time",
+    ],
+    "bench_runtime": [
+        "BM_RuntimeForward/1/manual_time",
+        "BM_RuntimeForward/4/manual_time",
+        "BM_RuntimeForwardImix/4/manual_time",
+    ],
+}
+
+# BM_RuntimeForward*/N rows need >= N cores to mean anything.
+THREADED = re.compile(r"^BM_Runtime\w*/(\d+)(/|$)")
+
+
+def load_suite(doc):
+    """name -> benchmark entry, plus the context block."""
+    entries = {b["name"]: b for b in doc.get("benchmarks", [])}
+    return entries, doc.get("context", {})
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="+", type=Path,
+                        help="bench_<suite>.json files from this run")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path("BENCH_baseline.json"))
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    args = parser.parse_args()
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = []
+    checked = 0
+
+    for artifact in args.artifacts:
+        suite = artifact.stem
+        current_doc = json.loads(artifact.read_text())
+        current, cur_ctx = load_suite(current_doc)
+        if suite not in baseline:
+            print(f"[      FAIL] {suite}: no baseline snapshot — "
+                  f"regenerate BENCH_baseline.json")
+            failures.append(f"{suite}:<no baseline>")
+            continue
+        base, base_ctx = load_suite(baseline[suite])
+
+        for name in HEADLINES.get(suite, []):
+            if name not in current:
+                print(f"[      FAIL] {suite}:{name}: not in this run "
+                      f"(renamed? filtered out?)")
+                failures.append(f"{suite}:{name}")
+                continue
+            if name not in base:
+                print(f"[      FAIL] {suite}:{name}: not in baseline — "
+                      f"regenerate BENCH_baseline.json")
+                failures.append(f"{suite}:{name}")
+                continue
+            if current[name].get("error_occurred"):
+                print(f"[      FAIL] {suite}:{name}: benchmark errored: "
+                      f"{current[name].get('error_message', '?')}")
+                failures.append(f"{suite}:{name}")
+                continue
+            threaded = THREADED.match(name)
+            if threaded:
+                need = int(threaded.group(1))
+                cur_cpus = cur_ctx.get("num_cpus", 0)
+                if cur_cpus < need:
+                    print(f"[skip] {suite}:{name}: needs {need} cores, "
+                          f"this machine has {cur_cpus} "
+                          f"(baseline: {base_ctx.get('num_cpus', 0)})")
+                    continue
+            cur_v = current[name].get("items_per_second")
+            base_v = base[name].get("items_per_second")
+            if not base_v:
+                print(f"[      FAIL] {suite}:{name}: baseline has no "
+                      f"items_per_second — regenerate the snapshot")
+                failures.append(f"{suite}:{name}")
+                continue
+            if not cur_v:  # missing or 0.0: a dead benchmark, not noise
+                print(f"[      FAIL] {suite}:{name}: no items_per_second "
+                      f"in this run")
+                failures.append(f"{suite}:{name}")
+                continue
+            floor = base_v * (1.0 - args.threshold)
+            checked += 1
+            verdict = "ok" if cur_v >= floor else "REGRESSION"
+            print(f"[{verdict:>10}] {suite}:{name}: "
+                  f"{cur_v / 1e6:.2f} M/s vs baseline {base_v / 1e6:.2f} M/s "
+                  f"(floor {floor / 1e6:.2f})")
+            if cur_v < floor:
+                failures.append(f"{suite}:{name}")
+
+    print(f"\n{checked} headline counter(s) checked, "
+          f"{len(failures)} failure(s)")
+    if failures:
+        for f in failures:
+            print(f"  FAIL {f}", file=sys.stderr)
+        return 1
+    if checked == 0:
+        print("FAIL: nothing was comparable "
+              "(wrong artifact names or stale baseline?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
