@@ -1,0 +1,147 @@
+// Engine-event economics of batch-aware link delivery (the PR-6
+// tentpole). Two headlines:
+//
+//   BM_LinkDeliveryEvents/{perpacket,burst}: a saturated link serving a
+//   same-instant blast; the events_per_packet counter is the number of
+//   engine events the link spends per packet moved. Classic per-packet
+//   delivery costs exactly 2 (delivery + free); burst mode amortizes
+//   both over trains, and the gate in tools/bench_compare.py holds it
+//   at <= 2.
+//
+//   BM_Fig1ImixSim/{perpacket,burst}: wall-clock simulation throughput
+//   (Mpps of delivered traffic) of the Fig. 1 topology replaying the
+//   classic 7:4:1 IMIX over a congested AT&T uplink. Plain (cleartext)
+//   flows so event dispatch, not per-packet crypto, is what is being
+//   measured; the burst/perpacket ratio is the speedup the mode buys.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "scenario/fig1.hpp"
+#include "sim/engine.hpp"
+#include "sim/link.hpp"
+
+namespace {
+
+using namespace nn;
+
+net::Packet data_packet(std::uint32_t tag) {
+  std::vector<std::uint8_t> body(84, 0);  // 112 bytes on the wire
+  body[0] = static_cast<std::uint8_t>(tag);
+  body[1] = static_cast<std::uint8_t>(tag >> 8);
+  return net::make_udp_packet(net::Ipv4Addr(10, 1, 0, 2),
+                              net::Ipv4Addr(20, 0, 0, 10), 5060, 5060, body);
+}
+
+/// One iteration = one congested link draining a kPackets blast.
+void link_delivery_body(benchmark::State& state, std::size_t window) {
+  constexpr std::size_t kPackets = 4096;
+  std::vector<net::Packet> blast;
+  blast.reserve(kPackets);
+  for (std::uint32_t i = 0; i < kPackets; ++i) blast.push_back(data_packet(i));
+
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::LinkConfig cfg;
+    cfg.bandwidth_bps = 1e9;
+    cfg.propagation = sim::kMillisecond;
+    cfg.queue_bytes = SIZE_MAX;
+    cfg.burst_packets = window;
+    std::size_t got = 0;
+    sim::Link link(engine, cfg, [&](net::Packet&&) { ++got; });
+    link.set_burst_deliver(
+        [&](std::span<sim::Delivery> train) { got += train.size(); });
+    // Direct sends at t=0 keep the event count pure link machinery.
+    for (const net::Packet& pkt : blast) link.send(net::Packet{pkt});
+    const auto start = std::chrono::steady_clock::now();
+    engine.run();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    state.SetIterationTime(elapsed.count());
+    if (got != kPackets) {
+      state.SkipWithError("blast not fully delivered");
+      return;
+    }
+    events += engine.executed();
+    delivered += got;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.counters["events_per_packet"] =
+      delivered > 0 ? static_cast<double>(events) / static_cast<double>(delivered)
+                    : 0.0;
+}
+
+void BM_LinkDeliveryEvents_perpacket(benchmark::State& state) {
+  link_delivery_body(state, 1);
+}
+void BM_LinkDeliveryEvents_burst(benchmark::State& state) {
+  link_delivery_body(state, 64);
+}
+BENCHMARK(BM_LinkDeliveryEvents_perpacket)
+    ->Name("BM_LinkDeliveryEvents/perpacket")
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LinkDeliveryEvents_burst)
+    ->Name("BM_LinkDeliveryEvents/burst")
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// One iteration = a fresh Fig. 1 run: two IMIX flows from one access
+/// customer crossing the congested uplink for a quarter second.
+void fig1_imix_body(benchmark::State& state, std::size_t window) {
+  using namespace nn::scenario;
+  constexpr sim::SimTime kSpan = sim::kSecond / 4;
+  std::uint64_t delivered = 0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    Fig1Config cfg;
+    cfg.workload = WorkloadKind::kImix;
+    cfg.att_uplink_bps = 12e6;
+    cfg.link_burst_packets = window;
+    // The fast path pairs burst links with windowed trace replay; the
+    // stamps keep the virtual timeline exact for plain transports
+    // (Differential.BatchedPlainReplayStaysExact).
+    if (window > 1) cfg.source_batch_window = 5 * sim::kMillisecond;
+    Fig1 fig(cfg);
+    fig.schedule_voip(VoipMode::kPlain, fig.ann, fig.google, 1, 2000,
+                      10 * sim::kMillisecond, kSpan);
+    fig.schedule_voip(VoipMode::kPlain, fig.ann, fig.youtube, 2, 2800,
+                      10 * sim::kMillisecond, kSpan);
+    const auto start = std::chrono::steady_clock::now();
+    fig.engine.run_until(kSpan + sim::kSecond);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    state.SetIterationTime(elapsed.count());
+    delivered += fig.collect(fig.google, 1).received;
+    delivered += fig.collect(fig.youtube, 2).received;
+    events += fig.engine.executed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(delivered));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(delivered) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["events_per_packet"] =
+      delivered > 0 ? static_cast<double>(events) / static_cast<double>(delivered)
+                    : 0.0;
+}
+
+void BM_Fig1ImixSim_perpacket(benchmark::State& state) {
+  fig1_imix_body(state, 1);
+}
+void BM_Fig1ImixSim_burst(benchmark::State& state) {
+  fig1_imix_body(state, 32);
+}
+BENCHMARK(BM_Fig1ImixSim_perpacket)
+    ->Name("BM_Fig1ImixSim/perpacket")
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Fig1ImixSim_burst)
+    ->Name("BM_Fig1ImixSim/burst")
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -13,7 +13,16 @@
 // outside host, so ann's flows ride one (outside, nonce) class and
 // bob's another.
 //
+// The final section reruns the 4-shard experiment with burst-mode
+// links (docs/ARCHITECTURE.md, "Batch-aware link delivery") and
+// self-checks that coalesced delivery moves exactly the same packets:
+// per-flow delivery counts and box service stats must match the
+// per-packet run. (Flows from two hosts merge trains, so this is the
+// counts-identity regime — tests/sim/test_differential.cpp covers the
+// stamp-exact one.)
+//
 // Build & run:  ./build/examples/sharded_box
+#include <array>
 #include <cstdio>
 
 #include "scenario/fig1.hpp"
@@ -29,10 +38,16 @@ int main() {
                             {"ann->youtube", 3}, {"bob->vonage", 4},
                             {"bob->google", 5},  {"bob->youtube", 6}};
 
-  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+  struct RunResult {
+    std::array<std::uint64_t, 6> received{};
+    core::NeutralizerStats service;
+  };
+
+  auto run_once = [&](std::size_t shards, std::size_t burst, bool print) {
     scenario::Fig1Config cfg;
     cfg.box_shards = shards;
     cfg.box_costs.data_path = 20 * sim::kMicrosecond;  // 50 kpps per shard
+    cfg.link_burst_packets = burst;
     scenario::Fig1 fig(cfg);
 
     scenario::ScenarioHost* sources[] = {&fig.ann, &fig.bob};
@@ -50,33 +65,61 @@ int main() {
     }
     fig.engine.run();
 
-    std::printf("=== %zu shard%s (aggregate offered load ~%.0f kpps, "
-                "capacity %.0f kpps) ===\n",
-                shards, shards == 1 ? "" : "s", 6 * pps / 1000.0,
-                static_cast<double>(shards) * 50.0);
+    RunResult result;
+    result.service = fig.service_stats();
     for (const auto& f : flows) {
       const auto r = fig.collect(*sinks[(f.id - 1) % 3], f.id);
-      std::printf("  %-12s received %6llu  latency mean %7.2f ms  "
-                  "p95 %7.2f ms  MOS %.2f\n",
-                  f.name, static_cast<unsigned long long>(r.received),
-                  r.mean_latency_ms, r.p95_latency_ms, r.mos);
+      result.received[f.id - 1] = r.received;
+      if (print) {
+        std::printf("  %-12s received %6llu  latency mean %7.2f ms  "
+                    "p95 %7.2f ms  MOS %.2f\n",
+                    f.name, static_cast<unsigned long long>(r.received),
+                    r.mean_latency_ms, r.p95_latency_ms, r.mos);
+      }
     }
-    const auto total = fig.service_stats();
-    std::printf("  box totals: %llu forwarded, %llu setups\n",
-                static_cast<unsigned long long>(total.data_forwarded),
-                static_cast<unsigned long long>(total.key_setups));
-    if (fig.sharded_box != nullptr) {
-      const auto& cluster = fig.sharded_box->cluster();
-      std::printf("  per-shard forwards:");
-      for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
-        std::printf(" [%zu] %llu", s,
-                    static_cast<unsigned long long>(
-                        cluster.shard(s).stats().data_forwarded));
+    if (print) {
+      std::printf("  box totals: %llu forwarded, %llu setups\n",
+                  static_cast<unsigned long long>(result.service.data_forwarded),
+                  static_cast<unsigned long long>(result.service.key_setups));
+      if (fig.sharded_box != nullptr) {
+        const auto& cluster = fig.sharded_box->cluster();
+        std::printf("  per-shard forwards:");
+        for (std::size_t s = 0; s < cluster.shard_count(); ++s) {
+          std::printf(" [%zu] %llu", s,
+                      static_cast<unsigned long long>(
+                          cluster.shard(s).stats().data_forwarded));
+        }
+        std::printf("\n");
       }
       std::printf("\n");
     }
-    std::printf("\n");
+    return result;
+  };
+
+  RunResult four_shards;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    std::printf("=== %zu shard%s (aggregate offered load ~60 kpps, "
+                "capacity %.0f kpps) ===\n",
+                shards, shards == 1 ? "" : "s",
+                static_cast<double>(shards) * 50.0);
+    four_shards = run_once(shards, /*burst=*/1, /*print=*/true);
   }
+
+  // Burst-mode rerun: same 4-shard experiment, links coalescing up to
+  // 32-packet trains per engine event. Identical traffic must come out.
+  const RunResult burst = run_once(4, /*burst=*/32, /*print=*/false);
+  bool ok = burst.received == four_shards.received &&
+            burst.service.data_forwarded == four_shards.service.data_forwarded &&
+            burst.service.key_setups == four_shards.service.key_setups &&
+            burst.service.rejected == four_shards.service.rejected;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FAIL: burst-mode rerun diverged from per-packet links\n");
+    return 1;
+  }
+  std::printf(
+      "Burst-mode rerun (32-packet trains, 4 shards): per-flow delivery\n"
+      "counts and box service stats identical to per-packet links. OK.\n\n");
 
   std::printf(
       "Statelessness makes the shards interchangeable: the dispatch hash\n"

@@ -19,54 +19,71 @@ sim::SimTime service_cost(const BoxCosts& costs,
   return costs.data_path;
 }
 
-void NeutralizerBox::consume(net::Packet&& pkt) {
+void NeutralizerBox::consume_at(net::Packet&& pkt, sim::SimTime at) {
   // §3.4 inbound leg: packets to a dynamic address are translated to
   // the owning customer and re-sent (any protocol, not just shim).
   if (pkt.size() >= net::kIpv4HeaderSize) {
     if (service_.owns_dynamic(net::packet_dst(pkt))) {
       auto translated = service_.translate_dynamic(std::move(pkt));
-      if (translated.has_value()) send(std::move(*translated));
+      if (translated.has_value()) send(std::move(*translated), at);
       return;
     }
   }
 
   if (batch_drain_) {
-    // Park the packet; every arrival in this simulated instant joins
-    // the same batch, drained once the instant's deliveries are done.
-    pending_.push_back(std::move(pkt));
-    if (pending_.size() == 1) {
-      network().engine().defer([this] { drain_pending(); });
-    }
+    // Park the stamped packet; every arrival in this simulated instant
+    // (a burst-mode link hands a whole train over in one event) joins
+    // the drain at the end of the instant.
+    pending_.push_back(sim::Delivery{std::move(pkt), at});
+    network().engine().defer_once(this, [this] { drain_pending(); });
     return;
   }
 
-  auto result = service_.process(std::move(pkt), network().now());
-  if (result.has_value()) emit(std::move(*result));
+  auto result = service_.process(std::move(pkt), at);
+  if (result.has_value()) emit(std::move(*result), at);
 }
 
 void NeutralizerBox::drain_pending() {
   if (pending_.empty()) return;
-  batch_stats_.batches += 1;
-  batch_stats_.batched_packets += pending_.size();
-  batch_stats_.max_batch =
-      std::max<std::uint64_t>(batch_stats_.max_batch, pending_.size());
-  const std::size_t survivors = service_.process_batch(
-      {pending_.data(), pending_.size()}, network().now(), &arena_);
-  for (std::size_t i = 0; i < survivors; ++i) {
-    emit(std::move(pending_[i]));
+  // A coalesced train spans virtual time, so the parked deliveries can
+  // carry distinct stamps. Process stamp groups in order: each batch
+  // sees exactly the clock per-packet mode would have given it, and
+  // batch_stats_ counts one batch per instant either way.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const sim::Delivery& a, const sim::Delivery& b) {
+                     return a.at < b.at;
+                   });
+  std::size_t i = 0;
+  while (i < pending_.size()) {
+    const sim::SimTime at = pending_[i].at;
+    std::size_t j = i;
+    while (j < pending_.size() && pending_[j].at == at) ++j;
+    batch_.clear();
+    batch_.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) {
+      batch_.push_back(std::move(pending_[k].pkt));
+    }
+    batch_stats_.batches += 1;
+    batch_stats_.batched_packets += batch_.size();
+    batch_stats_.max_batch =
+        std::max<std::uint64_t>(batch_stats_.max_batch, batch_.size());
+    const std::size_t survivors =
+        service_.process_batch({batch_.data(), batch_.size()}, at, &arena_);
+    for (std::size_t k = 0; k < survivors; ++k) {
+      emit(std::move(batch_[k]), at);
+    }
+    i = j;
   }
   pending_.clear();
+  batch_.clear();
 }
 
-void NeutralizerBox::emit(net::Packet&& pkt) {
-  // Charge the configured service time before the result leaves.
+void NeutralizerBox::emit(net::Packet&& pkt, sim::SimTime at) {
+  // Charge the configured service time before the result leaves; the
+  // departure rides the packet's own timeline (Link::send defers a
+  // future-stamped emission to its own instant).
   const sim::SimTime cost = service_cost(costs_, pkt);
-  if (cost > 0) {
-    network().engine().schedule_in(
-        cost, [this, p = std::move(pkt)]() mutable { send(std::move(p)); });
-  } else {
-    send(std::move(pkt));
-  }
+  send(std::move(pkt), cost > 0 ? at + cost : at);
 }
 
 }  // namespace nn::core

@@ -91,18 +91,21 @@ class NeutralizerBox final : public sim::Router {
            sim::Router::is_local_destination(dst);
   }
 
-  void consume(net::Packet&& pkt) override;
+  void consume_at(net::Packet&& pkt, sim::SimTime at) override;
 
  private:
   Neutralizer service_;
   BoxCosts costs_;
   bool batch_drain_ = false;
-  std::vector<net::Packet> pending_;
+  // Parked stamped arrivals awaiting the end-of-instant drain, and the
+  // scratch batch handed to Neutralizer::process_batch per stamp group.
+  std::vector<sim::Delivery> pending_;
+  std::vector<net::Packet> batch_;
   net::PacketArena arena_;
   BoxBatchStats batch_stats_;
 
   void drain_pending();
-  void emit(net::Packet&& pkt);
+  void emit(net::Packet&& pkt, sim::SimTime at);
 };
 
 }  // namespace nn::core

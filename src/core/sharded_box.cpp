@@ -94,57 +94,73 @@ void ShardedNeutralizerBox::join_service_anycast(sim::Network& net) {
   }
 }
 
-void ShardedNeutralizerBox::consume(net::Packet&& pkt) {
+void ShardedNeutralizerBox::consume_at(net::Packet&& pkt, sim::SimTime at) {
   // §3.4 inbound leg: dynamic-address translation, served by shard 0
   // where the (deliberate, per-session) allocator state lives.
   if (pkt.size() >= net::kIpv4HeaderSize) {
     if (cluster_.owns_dynamic(net::packet_dst(pkt))) {
       auto translated = cluster_.translate_dynamic(std::move(pkt));
-      if (translated.has_value()) send(std::move(*translated));
+      if (translated.has_value()) send(std::move(*translated), at);
       return;
     }
   }
 
-  cluster_.enqueue(std::move(pkt));
-  if (!drain_scheduled_) {
-    drain_scheduled_ = true;
-    network().engine().defer([this] { drain_all(); });
-  }
+  pending_.push_back(sim::Delivery{std::move(pkt), at});
+  network().engine().defer_once(this, [this] { drain_all(); });
 }
 
 void ShardedNeutralizerBox::drain_all() {
-  drain_scheduled_ = false;
-  const sim::SimTime now = network().now();
-  for (std::size_t s = 0; s < cluster_.shard_count(); ++s) {
-    const std::size_t burst = cluster_.pending(s);
-    if (burst == 0) continue;
-    batch_stats_.batches += 1;
-    batch_stats_.batched_packets += burst;
-    batch_stats_.max_batch =
-        std::max<std::uint64_t>(batch_stats_.max_batch, burst);
-    drained_.clear();
-    cluster_.drain_shard(s, now, drained_);
-    for (auto& pkt : drained_) emit_from_shard(s, std::move(pkt));
+  if (pending_.empty()) return;
+  // A coalesced train spans virtual time, so the parked deliveries can
+  // carry distinct stamps. Dispatch and drain one stamp group at a
+  // time, in order: every shard batch then sees exactly the clock
+  // per-packet mode would have given it.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const sim::Delivery& a, const sim::Delivery& b) {
+                     return a.at < b.at;
+                   });
+  std::size_t i = 0;
+  while (i < pending_.size()) {
+    const sim::SimTime at = pending_[i].at;
+    std::size_t j = i;
+    while (j < pending_.size() && pending_[j].at == at) ++j;
+    for (std::size_t k = i; k < j; ++k) {
+      cluster_.enqueue(std::move(pending_[k].pkt));
+    }
+    for (std::size_t s = 0; s < cluster_.shard_count(); ++s) {
+      const std::size_t burst = cluster_.pending(s);
+      if (burst == 0) continue;
+      batch_stats_.batches += 1;
+      batch_stats_.batched_packets += burst;
+      batch_stats_.max_batch =
+          std::max<std::uint64_t>(batch_stats_.max_batch, burst);
+      drained_.clear();
+      cluster_.drain_shard(s, at, drained_);
+      for (auto& pkt : drained_) emit_from_shard(s, std::move(pkt), at);
+    }
+    i = j;
   }
+  pending_.clear();
   drained_.clear();
 }
 
 void ShardedNeutralizerBox::emit_from_shard(std::size_t shard,
-                                            net::Packet&& pkt) {
+                                            net::Packet&& pkt,
+                                            sim::SimTime at) {
   const sim::SimTime cost = service_cost(costs_, pkt);
   if (cost <= 0) {
-    send(std::move(pkt));
+    send(std::move(pkt), at);
     return;
   }
   // One serial server per shard: the next departure waits for the
   // shard's core to free up, so a burst's completion time scales down
   // with the shard count (NeutralizerBox instead charges a fixed
-  // latency per packet).
+  // latency per packet). The departure rides the packet's own timeline;
+  // Link::send defers a future-stamped emission to its own instant.
   sim::SimTime& busy = shard_busy_until_[shard];
-  const sim::SimTime depart = std::max(busy, network().now()) + cost;
+  const sim::SimTime depart = std::max(busy, at) + cost;
   busy = depart;
-  network().engine().schedule_at(
-      depart, [this, p = std::move(pkt)]() mutable { send(std::move(p)); });
+  send(std::move(pkt), depart);
 }
 
 }  // namespace nn::core

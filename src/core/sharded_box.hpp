@@ -160,7 +160,7 @@ class ShardedNeutralizerBox final : public sim::Router {
     return dst == anycast_addr() || cluster_.owns_dynamic(dst) ||
            sim::Router::is_local_destination(dst);
   }
-  void consume(net::Packet&& pkt) override;
+  void consume_at(net::Packet&& pkt, sim::SimTime at) override;
 
  private:
   ShardedNeutralizer cluster_;
@@ -168,11 +168,14 @@ class ShardedNeutralizerBox final : public sim::Router {
   BoxBatchStats batch_stats_;
   // Per-shard serial-server horizon: the time the shard's core frees up.
   std::vector<sim::SimTime> shard_busy_until_;
+  // Stamped arrivals parked until the end-of-instant drain (a burst-mode
+  // link delivers a whole train in one event; stamp groups are
+  // dispatched to the cluster one at a time, in order).
+  std::vector<sim::Delivery> pending_;
   std::vector<net::Packet> drained_;  // scratch, reused across drains
-  bool drain_scheduled_ = false;
 
   void drain_all();
-  void emit_from_shard(std::size_t shard, net::Packet&& pkt);
+  void emit_from_shard(std::size_t shard, net::Packet&& pkt, sim::SimTime at);
 };
 
 }  // namespace nn::core

@@ -1,5 +1,7 @@
 #include "qos/scheduler.hpp"
 
+#include <cassert>
+
 namespace nn::qos {
 
 int default_band(net::Dscp dscp) noexcept {
@@ -25,7 +27,10 @@ net::Dscp packet_dscp(const net::Packet& pkt) noexcept {
 bool StrictPriorityQueue::enqueue(net::Packet&& pkt) {
   auto& band =
       bands_[static_cast<std::size_t>(default_band(packet_dscp(pkt)))];
-  if (band.bytes + pkt.size() > capacity_) return false;
+  if (pkt.size() > capacity_ - band.bytes) {
+    note_drop(pkt);
+    return false;
+  }
   band.bytes += pkt.size();
   band.queue.push_back(std::move(pkt));
   return true;
@@ -41,6 +46,36 @@ std::optional<net::Packet> StrictPriorityQueue::dequeue() {
     }
   }
   return std::nullopt;
+}
+
+std::size_t StrictPriorityQueue::dequeue_burst(std::size_t max_packets,
+                                               std::size_t max_bytes,
+                                               std::vector<net::Packet>& out) {
+  std::size_t popped = 0;
+  std::size_t taken = 0;
+  // Serving a band never un-empties a higher-priority one, so one pass
+  // over the bands pops the same sequence repeated dequeue() would.
+  for (auto& band : bands_) {
+    while (!band.queue.empty() && popped < max_packets && taken < max_bytes) {
+      net::Packet pkt = std::move(band.queue.front());
+      band.queue.pop_front();
+      band.bytes -= pkt.size();
+      taken += pkt.size();
+      out.push_back(std::move(pkt));
+      ++popped;
+    }
+  }
+  return popped;
+}
+
+void StrictPriorityQueue::requeue_front(std::vector<net::Packet>&& pkts) {
+  for (auto it = pkts.rbegin(); it != pkts.rend(); ++it) {
+    auto& band =
+        bands_[static_cast<std::size_t>(default_band(packet_dscp(*it)))];
+    band.bytes += it->size();
+    band.queue.push_front(std::move(*it));
+  }
+  pkts.clear();
 }
 
 std::size_t StrictPriorityQueue::packet_count() const noexcept {
@@ -68,7 +103,10 @@ WfqQueue::WfqQueue(std::vector<std::uint32_t> weights,
 bool WfqQueue::enqueue(net::Packet&& pkt) {
   const auto idx = static_cast<std::size_t>(default_band(packet_dscp(pkt)));
   auto& band = bands_[idx < bands_.size() ? idx : bands_.size() - 1];
-  if (band.bytes + pkt.size() > capacity_) return false;
+  if (pkt.size() > capacity_ - band.bytes) {
+    note_drop(pkt);
+    return false;
+  }
   band.bytes += pkt.size();
   band.queue.push_back(std::move(pkt));
   return true;
@@ -107,6 +145,50 @@ std::optional<net::Packet> WfqQueue::dequeue() {
     }
   }
   return std::nullopt;
+}
+
+std::size_t WfqQueue::dequeue_burst(std::size_t max_packets,
+                                    std::size_t max_bytes,
+                                    std::vector<net::Packet>& out) {
+  // Pops exactly what repeated dequeue() would, but snapshots the DRR
+  // state before each pop so requeue_front() can roll an aborted
+  // suffix back without perturbing fairness.
+  burst_undo_.clear();
+  std::size_t popped = 0;
+  std::size_t taken = 0;
+  while (popped < max_packets && taken < max_bytes) {
+    DrrSnapshot snap;
+    snap.deficits.reserve(bands_.size());
+    for (const Band& band : bands_) snap.deficits.push_back(band.deficit);
+    snap.next_band = next_band_;
+    auto pkt = dequeue();
+    if (!pkt.has_value()) break;
+    burst_undo_.push_back(std::move(snap));
+    taken += pkt->size();
+    out.push_back(std::move(*pkt));
+    ++popped;
+  }
+  return popped;
+}
+
+void WfqQueue::requeue_front(std::vector<net::Packet>&& pkts) {
+  if (pkts.empty()) return;
+  assert(pkts.size() <= burst_undo_.size() &&
+         "requeue_front: not a suffix of the last dequeue_burst");
+  const std::size_t keep = burst_undo_.size() - pkts.size();
+  const DrrSnapshot& snap = burst_undo_[keep];
+  for (std::size_t i = 0; i < bands_.size(); ++i) {
+    bands_[i].deficit = snap.deficits[i];
+  }
+  next_band_ = snap.next_band;
+  for (auto it = pkts.rbegin(); it != pkts.rend(); ++it) {
+    const auto idx = static_cast<std::size_t>(default_band(packet_dscp(*it)));
+    auto& band = bands_[idx < bands_.size() ? idx : bands_.size() - 1];
+    band.bytes += it->size();
+    band.queue.push_front(std::move(*it));
+  }
+  burst_undo_.resize(keep);
+  pkts.clear();
 }
 
 std::size_t WfqQueue::packet_count() const noexcept {

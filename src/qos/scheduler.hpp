@@ -32,6 +32,9 @@ class StrictPriorityQueue final : public sim::QueueDisc {
 
   bool enqueue(net::Packet&& pkt) override;
   std::optional<net::Packet> dequeue() override;
+  std::size_t dequeue_burst(std::size_t max_packets, std::size_t max_bytes,
+                            std::vector<net::Packet>& out) override;
+  void requeue_front(std::vector<net::Packet>&& pkts) override;
   [[nodiscard]] std::size_t packet_count() const noexcept override;
   [[nodiscard]] std::size_t byte_count() const noexcept override;
 
@@ -57,6 +60,12 @@ class WfqQueue final : public sim::QueueDisc {
 
   bool enqueue(net::Packet&& pkt) override;
   std::optional<net::Packet> dequeue() override;
+  std::size_t dequeue_burst(std::size_t max_packets, std::size_t max_bytes,
+                            std::vector<net::Packet>& out) override;
+  /// Restores the pre-pop DRR state (per-band deficits and the round-
+  /// robin cursor) from the snapshot taken when the suffix's first
+  /// packet was popped, so a burst-abort is invisible to fairness.
+  void requeue_front(std::vector<net::Packet>&& pkts) override;
   [[nodiscard]] std::size_t packet_count() const noexcept override;
   [[nodiscard]] std::size_t byte_count() const noexcept override;
 
@@ -67,9 +76,17 @@ class WfqQueue final : public sim::QueueDisc {
     std::size_t deficit = 0;
     std::uint32_t weight = 1;
   };
+  /// Scheduler state captured before each dequeue_burst pop, keyed by
+  /// position in the burst (requeue_front restores the one at the
+  /// suffix boundary).
+  struct DrrSnapshot {
+    std::vector<std::size_t> deficits;
+    std::size_t next_band = 0;
+  };
   std::vector<Band> bands_;
   std::size_t capacity_;
   std::size_t next_band_ = 0;
+  std::vector<DrrSnapshot> burst_undo_;
   static constexpr std::size_t kQuantumPerWeight = 512;
 };
 

@@ -31,8 +31,10 @@ void Fig1::wire(ScenarioHost& sh, bool inside, std::uint64_t seed,
       seed);
 
   ScenarioHost* shp = &sh;
-  sim::Engine* eng = &engine;
-  sh.node->set_handler([shp, eng](net::Packet&& pkt) {
+  // Stamped handler: `at` is the packet's exact arrival even when a
+  // burst-mode link delivered its whole train in one engine event, so
+  // latency metrics are identical across delivery modes.
+  sh.node->set_stamped_handler([shp](net::Packet&& pkt, sim::SimTime at) {
     net::ParsedPacket p;
     try {
       p = net::parse_packet(pkt.view());
@@ -40,16 +42,16 @@ void Fig1::wire(ScenarioHost& sh, bool inside, std::uint64_t seed,
       return;
     }
     if (p.ip.protocol == static_cast<std::uint8_t>(net::IpProto::kShim)) {
-      shp->stack->on_packet(std::move(pkt), eng->now());
+      shp->stack->on_packet(std::move(pkt), at);
       return;
     }
     if (p.udp.has_value()) {
       if (shp->plain_rx.has_value()) {
         const auto opened = shp->plain_rx->open(p.payload);
-        if (opened.has_value()) shp->sink.on_payload(*opened, eng->now());
+        if (opened.has_value()) shp->sink.on_payload(*opened, at);
         return;
       }
-      shp->sink.on_payload(p.payload, eng->now());
+      shp->sink.on_payload(p.payload, at);
     }
   });
   sh.stack->set_app_handler([shp](net::Ipv4Addr,
@@ -89,9 +91,13 @@ Fig1::Fig1(Fig1Config config) : config_(std::move(config)) {
   sim::LinkConfig access;
   access.bandwidth_bps = config_.access_bps;
   access.propagation = config_.propagation;
+  access.burst_packets = config_.link_burst_packets;
+  access.burst_bytes = config_.link_burst_bytes;
   sim::LinkConfig core;
   core.bandwidth_bps = config_.core_bps;
   core.propagation = config_.propagation;
+  core.burst_packets = config_.link_burst_packets;
+  core.burst_bytes = config_.link_burst_bytes;
 
   net.connect(ann_node, *att_access, access);
   net.connect(bob_node, *att_access, access);
@@ -171,14 +177,18 @@ Fig1::Fig1(Fig1Config config) : config_(std::move(config)) {
 void Fig1::schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
                          std::uint16_t flow_id, double pps, sim::SimTime start,
                          sim::SimTime duration, std::size_t payload_size) {
-  sim::TrafficSource::SendFn send;
+  // Stamped transport: `at` is the packet's virtual departure time,
+  // equal to "now" for per-record replay and the record's own (past)
+  // instant under Fig1Config::source_batch_window.
+  std::function<void(std::vector<std::uint8_t>&&, sim::SimTime)> send;
   switch (mode) {
     case VoipMode::kPlain: {
       // Cleartext UDP with an application signature a DPI box can see.
       static constexpr char kSig[] = "SIP/2.0 RTP-STREAM";
       sim::Host* src = from.node;
       const net::Ipv4Addr dst = to.addr();
-      send = [src, dst](std::vector<std::uint8_t>&& payload) {
+      send = [src, dst](std::vector<std::uint8_t>&& payload,
+                        sim::SimTime at) {
         const char* sig = kSig;
         for (std::size_t i = 0; sig[i] != '\0' &&
                                 sim::AppHeader::kSize + i < payload.size();
@@ -187,7 +197,8 @@ void Fig1::schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
               static_cast<std::uint8_t>(sig[i]);
         }
         src->transmit(net::make_udp_packet(src->address(), dst, 5060, 5060,
-                                           payload));
+                                           payload),
+                      at);
       };
       to.plain_rx.reset();
       break;
@@ -201,17 +212,24 @@ void Fig1::schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
       auto tx = std::make_shared<host::E2eSession>(key, /*initiator=*/true);
       sim::Host* src = from.node;
       const net::Ipv4Addr dst = to.addr();
-      send = [src, dst, tx](std::vector<std::uint8_t>&& payload) {
+      send = [src, dst, tx](std::vector<std::uint8_t>&& payload,
+                            sim::SimTime at) {
         src->transmit(net::make_udp_packet(src->address(), dst, 5060, 5060,
-                                           tx->seal(payload)));
+                                           tx->seal(payload)),
+                      at);
       };
       break;
     }
     case VoipMode::kNeutralized: {
+      // The stack transmits at the engine instant it runs, so batched
+      // (past-stamped) emission shifts its departures to the window
+      // boundary; keep source_batch_window = 0 for exact-equivalence
+      // runs of neutralized flows.
       host::NeutralizedHost* stack = from.stack.get();
       const net::Ipv4Addr dst = to.addr();
       sim::Engine* eng = &engine;
-      send = [stack, dst, eng](std::vector<std::uint8_t>&& payload) {
+      send = [stack, dst, eng](std::vector<std::uint8_t>&& payload,
+                               sim::SimTime) {
         stack->send(dst, std::move(payload), eng->now());
       };
       to.plain_rx.reset();
@@ -227,8 +245,12 @@ void Fig1::schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
     cfg.start = start;
     cfg.stop = start + duration;
     cfg.seed = 1000 + flow_id;
-    sources_.push_back(
-        std::make_unique<sim::TrafficSource>(engine, cfg, std::move(send)));
+    sim::Engine* eng = &engine;
+    sources_.push_back(std::make_unique<sim::TrafficSource>(
+        engine, cfg,
+        [send = std::move(send), eng](std::vector<std::uint8_t>&& payload) {
+          send(std::move(payload), eng->now());
+        }));
     sources_.back()->start();
     return;
   }
@@ -269,12 +291,12 @@ void Fig1::schedule_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
           static_cast<double>(duration) / static_cast<double>(span);
     }
   }
+  tcfg.batch_window = config_.source_batch_window;
   auto fn = std::move(send);
   trace_sources_.push_back(std::make_unique<sim::TraceWorkload>(
       engine, std::move(trace), tcfg,
-      [fn = std::move(fn)](std::uint16_t, std::vector<std::uint8_t>&& payload) {
-        fn(std::move(payload));
-      }));
+      [fn = std::move(fn)](std::uint16_t, std::vector<std::uint8_t>&& payload,
+                           sim::SimTime at) { fn(std::move(payload), at); }));
   trace_sources_.back()->start();
 }
 

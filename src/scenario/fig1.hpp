@@ -92,6 +92,17 @@ struct Fig1Config {
   sim::ImixConfig imix;
   /// Capture replayed under kPcap (parsed once, on first use).
   std::string pcap_path;
+  /// Burst coalescing window applied to every link in the topology
+  /// (LinkConfig::burst_packets / burst_bytes). 1 keeps the classic
+  /// per-packet delivery — the differential-testing baseline.
+  std::size_t link_burst_packets = 1;
+  std::size_t link_burst_bytes = SIZE_MAX;
+  /// Batch window for trace-driven sources (TraceWorkload::Config::
+  /// batch_window): 0 emits one engine event per record; a positive
+  /// window emits each window's records in one event, past-stamped.
+  /// Exact for kPlain/kE2eOnly transports (they thread the stamp);
+  /// kNeutralized departures shift to the window boundary.
+  sim::SimTime source_batch_window = 0;
 };
 
 class Fig1 {

@@ -9,6 +9,14 @@ void Engine::schedule_at(SimTime at, std::function<void()> fn) {
   queue_.push(Event{at, next_seq_++, std::move(fn)});
 }
 
+void Engine::defer_once(const void* key, std::function<void()> fn) {
+  if (!deferred_keys_.insert(key).second) return;
+  deferred_.push_back([this, key, f = std::move(fn)] {
+    deferred_keys_.erase(key);
+    f();
+  });
+}
+
 bool Engine::step() {
   if (deferred_due()) {
     // One deferred callback per step, FIFO, so step()/run(max_events)

@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace nn::sim {
@@ -17,6 +18,11 @@ inline constexpr SimTime kNanosecond = 1;
 inline constexpr SimTime kMicrosecond = 1'000;
 inline constexpr SimTime kMillisecond = 1'000'000;
 inline constexpr SimTime kSecond = 1'000'000'000;
+
+/// Sentinel "no timestamp" for stamped-send APIs (Link::send,
+/// Network::send_from): the packet's virtual arrival time is simply
+/// the moment the call runs.
+inline constexpr SimTime kUnstamped = -1;
 
 class Engine {
  public:
@@ -36,6 +42,14 @@ class Engine {
   /// at >= now(). This is the batching hook: a node can collect every
   /// packet delivered at one timestamp and process them as one batch.
   void defer(std::function<void()> fn) { deferred_.push_back(std::move(fn)); }
+
+  /// Keyed one-shot defer: like defer(), but at most one callback per
+  /// `key` is registered at a time — re-registering before it fires is
+  /// a no-op. This is how a box arranges exactly one batch drain per
+  /// instant without tracking its own "drain scheduled" flag: every
+  /// delivery calls defer_once(this, drain). The key clears right
+  /// before the callback runs, so the callback may re-arm itself.
+  void defer_once(const void* key, std::function<void()> fn);
 
   /// Runs one event; returns false if none pending.
   bool step();
@@ -65,6 +79,7 @@ class Engine {
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::deque<std::function<void()>> deferred_;
+  std::unordered_set<const void*> deferred_keys_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

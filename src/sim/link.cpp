@@ -1,12 +1,16 @@
 #include "sim/link.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
 namespace nn::sim {
 
 Link::Link(Engine& engine, const LinkConfig& config, DeliverFn deliver)
-    : engine_(engine), config_(config), deliver_(std::move(deliver)) {
+    : engine_(engine),
+      config_(config),
+      deliver_(std::move(deliver)),
+      burst_mode_(config.burst_packets > 1) {
   if (config_.queue_factory) {
     queue_ = config_.queue_factory();
   } else {
@@ -20,15 +24,46 @@ SimTime Link::tx_time(std::size_t bytes) const noexcept {
   return static_cast<SimTime>(std::llround(seconds * 1e9));
 }
 
-void Link::send(net::Packet&& pkt) {
+void Link::send(net::Packet&& pkt, SimTime when) {
+  if (when > engine_.now()) {
+    // In-flight arrival (a stamped emission dated ahead of the event
+    // that produced it): defer the send to the packet's own instant so
+    // queueing and drop decisions run against that instant's state,
+    // exactly as per-packet mode would see them.
+    engine_.schedule_at(when, [this, p = std::move(pkt), when]() mutable {
+      send(std::move(p), when);
+    });
+    return;
+  }
+  if (burst_mode_) {
+    const SimTime now = engine_.now();
+    if (when != kUnstamped && (when < now || !pending_.empty())) {
+      // A past stamp means this instant is replaying earlier virtual
+      // time (a batched source window, a delivered train's chain), and
+      // same-instant senders need not call in stamp order: buffer and
+      // replay everything in stamp order at the end of the instant. A
+      // now-stamped arrival joins only when earlier-stamped ones are
+      // already waiting, so the common live send stays synchronous.
+      pending_.emplace_back(when, std::move(pkt));
+      request_schedule();
+      return;
+    }
+    arrive(std::move(pkt), when == kUnstamped ? now : when);
+    return;
+  }
   if (transmitting_) {
+    const std::size_t size = pkt.size();
     if (!queue_->enqueue(std::move(pkt))) {
       ++stats_.dropped_packets;
+      stats_.dropped_bytes += size;
     }
     return;
   }
   start_transmission(std::move(pkt));
 }
+
+// ---------------------------------------------------------------------------
+// Classic per-packet path: two events per packet.
 
 void Link::start_transmission(net::Packet&& pkt) {
   transmitting_ = true;
@@ -37,9 +72,11 @@ void Link::start_transmission(net::Packet&& pkt) {
   stats_.tx_bytes += pkt.size();
   // Delivery happens after serialization + propagation; the link frees
   // up after serialization alone.
-  engine_.schedule_in(
-      serialize + config_.propagation,
-      [this, p = std::move(pkt)]() mutable { deliver_(std::move(p)); });
+  engine_.schedule_in(serialize + config_.propagation,
+                      [this, p = std::move(pkt)]() mutable {
+                        ++stats_.delivery_events;
+                        deliver_(std::move(p));
+                      });
   engine_.schedule_in(serialize, [this] { transmission_done(); });
 }
 
@@ -48,6 +85,245 @@ void Link::transmission_done() {
   if (auto next = queue_->dequeue()) {
     start_transmission(std::move(*next));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Burst path. The link runs on a virtual serialization timeline
+// (vfree_ = the instant the wire goes quiet) and spends engine events
+// only at train boundaries. Invariant threaded through everything
+// below: a packet sitting in the egress queue arrived at or before
+// vfree_, so the next train always starts exactly at vfree_.
+
+void Link::arrive(net::Packet&& pkt, SimTime v) {
+  const SimTime now = engine_.now();
+  if (transmitting_ && now >= vfree_ && !train_event_scheduled_ &&
+      queue_->empty() && train_.size() < config_.burst_packets &&
+      train_bytes_ < config_.burst_bytes) {
+    // The active train formed earlier in this same instant (its
+    // delivery event is still deferred) and has fully serialized in
+    // virtual time: a stamped chain arriving back-to-back extends it
+    // in place, so a whole forwarded train costs one delivery event
+    // downstream too instead of one per packet.
+    extend_train(std::move(pkt), std::max(v, vfree_));
+    return;
+  }
+  while (transmitting_ && now >= vfree_) {
+    // The active train has fully serialized; only its delivery event
+    // is still in flight. Seal it so this packet sees the wire as it
+    // really is — and keep going: the backlog train formed from the
+    // queue may itself end before `now`, in which case this packet
+    // must not queue behind it (it would be past-dated into a train
+    // that finished before it arrived).
+    seal_train();
+    transmitting_ = false;
+    if (!queue_->empty()) begin_train_from_queue();
+  }
+  if (!transmitting_) {
+    begin_train_with(std::move(pkt), std::max(v, vfree_));
+    return;
+  }
+  // Mid-train arrival: un-commit the not-yet-started tail so this
+  // packet competes with it in the queue — drop and priority decisions
+  // then match per-packet mode exactly. The backlog re-forms into the
+  // next train at the next arrival that crosses vfree_ (the seal loop
+  // above) or at this train's own delivery event, both of which chain
+  // from vfree_ in virtual time, so no dedicated free event is needed.
+  abort_tail(now);
+  const std::size_t size = pkt.size();
+  if (!queue_->enqueue(std::move(pkt))) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += size;
+  }
+}
+
+void Link::begin_train_with(net::Packet&& pkt, SimTime start) {
+  // An arrival on a free wire transmits alone, exactly like classic
+  // start_transmission; coalescing only ever feeds on queued backlog.
+  transmitting_ = true;
+  ++train_gen_;
+  train_.clear();
+  train_starts_.clear();
+  train_bytes_ = pkt.size();
+  const SimTime end = start + tx_time(pkt.size());
+  train_starts_.push_back(start);
+  train_.push_back(Delivery{std::move(pkt), end + config_.propagation});
+  vfree_ = end;
+  commit_train();
+}
+
+void Link::begin_train_from_queue() {
+  transmitting_ = true;
+  ++train_gen_;
+  train_.clear();
+  train_starts_.clear();
+  train_bytes_ = 0;
+  scratch_.clear();
+  // Form only as much train as has *actually* serialized by now: the
+  // byte cap is the wire capacity of [vfree_, now], and dequeue_burst
+  // includes the packet that crosses it. Committing further would be
+  // speculation about packets that start serializing in the future —
+  // exactly the trains a later arrival would have to abort — so this
+  // stop rule makes mid-train aborts structurally impossible for
+  // queue-formed trains while keeping the timeline byte-exact (any
+  // committed prefix is; the cap only bounds speculation).
+  const SimTime window = engine_.now() - vfree_;
+  const double cap_bytes =
+      window > 0
+          ? static_cast<double>(window) * config_.bandwidth_bps / 8.0e9
+          : 0.0;
+  const std::size_t time_cap =
+      cap_bytes >= static_cast<double>(SIZE_MAX)
+          ? SIZE_MAX
+          : static_cast<std::size_t>(cap_bytes);
+  queue_->dequeue_burst(config_.burst_packets,
+                        std::min(config_.burst_bytes, time_cap), scratch_);
+  if (scratch_.empty()) {
+    // Zero cap (formation at the exact free instant, or a degenerate
+    // burst_bytes): take one anyway so the wire never idles over work.
+    if (auto p = queue_->dequeue()) scratch_.push_back(std::move(*p));
+  }
+  SimTime t = vfree_;
+  train_.reserve(scratch_.size());
+  train_starts_.reserve(scratch_.size());
+  for (net::Packet& p : scratch_) {
+    train_starts_.push_back(t);
+    t += tx_time(p.size());
+    train_bytes_ += p.size();
+    train_.push_back(Delivery{std::move(p), t + config_.propagation});
+  }
+  scratch_.clear();
+  vfree_ = t;
+  commit_train();
+}
+
+void Link::commit_train() {
+  // A train still serializing past `now` cannot be extended (extension
+  // needs now >= vfree_), so its delivery event is scheduled on the
+  // spot — an uncongested link keeps costing exactly one event per
+  // packet. Only a past-dated train (a stamped chain replaying earlier
+  // virtual time) defers scheduling to the end of the instant, where
+  // one event covers however far the chain extended it.
+  if (vfree_ > engine_.now()) {
+    train_event_scheduled_ = true;
+    schedule_delivery();
+    return;
+  }
+  train_event_scheduled_ = false;
+  request_schedule();
+}
+
+void Link::extend_train(net::Packet&& pkt, SimTime start) {
+  const SimTime end = start + tx_time(pkt.size());
+  train_bytes_ += pkt.size();
+  train_starts_.push_back(start);
+  train_.push_back(Delivery{std::move(pkt), end + config_.propagation});
+  vfree_ = end;
+}
+
+void Link::request_schedule() {
+  // The running flush finishes with a scheduling pass of its own, so
+  // re-arming from inside it would only buy a no-op callback.
+  if (in_flush_) return;
+  engine_.defer_once(this, [this] { flush_deferred(); });
+}
+
+void Link::flush_deferred() {
+  in_flush_ = true;
+  std::stable_sort(
+      pending_.begin(), pending_.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [v, p] : pending_) arrive(std::move(p), v);
+  pending_.clear();
+  in_flush_ = false;
+  flush_schedules();
+}
+
+void Link::flush_schedules() {
+  for (const auto& [gen, at] : sched_backlog_) {
+    engine_.schedule_at(at, [this, gen] { on_delivery(gen); });
+  }
+  sched_backlog_.clear();
+  if (transmitting_ && !train_event_scheduled_) {
+    train_event_scheduled_ = true;
+    schedule_delivery();
+  }
+}
+
+void Link::schedule_delivery() {
+  const std::uint64_t gen = train_gen_;
+  engine_.schedule_at(vfree_ + config_.propagation,
+                      [this, gen] { on_delivery(gen); });
+}
+
+void Link::seal_train() {
+  for (const Delivery& d : train_) {
+    ++stats_.tx_packets;
+    stats_.tx_bytes += d.pkt.size();
+  }
+  ++stats_.trains;
+  stats_.max_train = std::max<std::uint64_t>(stats_.max_train, train_.size());
+  if (!train_event_scheduled_ && !train_.empty()) {
+    // Sealed before its deferred event was created (a later arrival in
+    // the same instant ended it): park the event for flush_schedules.
+    sched_backlog_.emplace_back(train_gen_, train_.back().at);
+    request_schedule();
+  }
+  sealed_.emplace_back(train_gen_, std::move(train_));
+  train_.clear();
+  train_starts_.clear();
+}
+
+void Link::abort_tail(SimTime now) {
+  // Packets whose virtual serialization start is still ahead of `now`
+  // have not begun transmitting; hand them back to the queue. The head
+  // always stays: forming the train started it (per-packet mode's
+  // dequeue-on-done did the same before any same-instant send ran).
+  std::size_t split = train_.size();
+  for (std::size_t i = 1; i < train_.size(); ++i) {
+    if (train_starts_[i] >= now) {
+      split = i;
+      break;
+    }
+  }
+  if (split == train_.size()) return;
+  scratch_.clear();
+  for (std::size_t i = split; i < train_.size(); ++i) {
+    train_bytes_ -= train_[i].pkt.size();
+    scratch_.push_back(std::move(train_[i].pkt));
+  }
+  train_.resize(split);
+  vfree_ = train_starts_[split];
+  train_starts_.resize(split);
+  queue_->requeue_front(std::move(scratch_));
+  scratch_.clear();
+  ++train_gen_;
+  ++stats_.train_aborts;
+  // Any already-scheduled event is now stale (old generation); commit
+  // the truncated train again for a replacement.
+  commit_train();
+}
+
+void Link::on_delivery(std::uint64_t gen) {
+  if (transmitting_ && gen == train_gen_) {
+    // Nothing arrived during this train, so no free event sealed it;
+    // seal and free here (its serialization ended at or before this
+    // event's time).
+    seal_train();
+    transmitting_ = false;
+  }
+  if (sealed_.empty() || sealed_.front().first != gen) return;  // stale
+  std::vector<Delivery> train = std::move(sealed_.front().second);
+  sealed_.pop_front();
+  ++stats_.delivery_events;
+  if (burst_deliver_) {
+    burst_deliver_(std::span<Delivery>(train));
+  } else {
+    for (Delivery& d : train) deliver_(std::move(d.pkt));
+  }
+  // With zero propagation this event and a free event can share an
+  // instant with this event sequenced first; pick up any backlog so
+  // the wire never idles with work queued.
+  if (!transmitting_ && !queue_->empty()) begin_train_from_queue();
 }
 
 }  // namespace nn::sim

@@ -1,14 +1,34 @@
 // Unidirectional point-to-point link: serialization delay (bandwidth),
 // propagation delay, and an egress queue discipline. Network::connect
 // creates one in each direction.
+//
+// Two delivery modes share the same timing model:
+//
+//  - Per-packet (burst_packets == 1, the default and the differential-
+//    testing baseline): every packet costs two engine events, one when
+//    its serialization finishes (the link frees up) and one when it
+//    arrives after propagation.
+//  - Burst (burst_packets > 1): a whole back-to-back transmission
+//    train is formed at once via QueueDisc::dequeue_burst and delivered
+//    by a single engine event at the train's end; each packet keeps
+//    its exact per-packet arrival stamp (Delivery::at). A mid-train
+//    arrival un-commits the not-yet-serialized tail back into the
+//    queue (QueueDisc::requeue_front) so drop and priority decisions
+//    match per-packet mode exactly. See docs/ARCHITECTURE.md,
+//    "Batch-aware link delivery".
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/engine.hpp"
+#include "sim/node.hpp"
 #include "sim/queue.hpp"
 
 namespace nn::sim {
@@ -20,38 +40,112 @@ struct LinkConfig {
   // Optional custom queue discipline (e.g. qos::PriorityQueueDisc);
   // nullptr selects DropTailQueue(queue_bytes).
   QueueFactory queue_factory;
+  /// Burst coalescing window: how many packets (and bytes) one engine
+  /// event may deliver as a single transmission train. 1 keeps the
+  /// classic two-events-per-packet delivery; larger values amortize
+  /// engine events across a train while preserving per-packet arrival
+  /// stamps and drop accounting exactly.
+  std::size_t burst_packets = 1;
+  std::size_t burst_bytes = SIZE_MAX;
 };
 
 struct LinkStats {
   std::uint64_t tx_packets = 0;
   std::uint64_t tx_bytes = 0;
   std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  /// Engine events that delivered packets: one per packet in
+  /// per-packet mode, one per train in burst mode.
+  std::uint64_t delivery_events = 0;
+  /// Coalesced trains delivered (burst mode only).
+  std::uint64_t trains = 0;
+  std::uint64_t max_train = 0;
+  /// Trains truncated because an arrival had to compete with their
+  /// not-yet-serialized tail.
+  std::uint64_t train_aborts = 0;
 };
 
 class Link {
  public:
   using DeliverFn = std::function<void(net::Packet&&)>;
+  using BurstDeliverFn = std::function<void(std::span<Delivery>)>;
 
   Link(Engine& engine, const LinkConfig& config, DeliverFn deliver);
 
+  /// Installs the stamped whole-train sink used in burst mode
+  /// (Network::connect wires it to Node::receive_burst). Without one,
+  /// burst mode falls back to per-packet DeliverFn calls at the train
+  /// event, dropping the stamps.
+  void set_burst_deliver(BurstDeliverFn fn) { burst_deliver_ = std::move(fn); }
+
   /// Queues or begins transmitting the packet; drops (and counts) when
-  /// the egress queue is full.
-  void send(net::Packet&& pkt);
+  /// the egress queue is full. `when` is the packet's virtual arrival
+  /// time at this link: kUnstamped means "now"; a future time defers
+  /// the arrival to its own instant (stamped box emissions); a past
+  /// time threads upstream burst timing through serialization math.
+  void send(net::Packet&& pkt, SimTime when = kUnstamped);
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
   [[nodiscard]] bool busy() const noexcept { return transmitting_; }
+  /// The egress queue discipline (drop stats, occupancy) for tests.
+  [[nodiscard]] const QueueDisc& queue() const noexcept { return *queue_; }
 
  private:
   Engine& engine_;
   LinkConfig config_;
   DeliverFn deliver_;
+  BurstDeliverFn burst_deliver_;
   std::unique_ptr<QueueDisc> queue_;
   bool transmitting_ = false;
+  bool burst_mode_ = false;
   LinkStats stats_;
 
+  // Burst mode: the active train (committed packets with their arrival
+  // stamps, plus each packet's virtual serialization start), the
+  // train's virtual end (vfree_), and sealed trains awaiting their
+  // delivery event. Generation counters invalidate events scheduled
+  // for trains that were later truncated by an abort.
+  std::vector<Delivery> train_;
+  std::vector<SimTime> train_starts_;
+  std::vector<net::Packet> scratch_;
+  std::deque<std::pair<std::uint64_t, std::vector<Delivery>>> sealed_;
+  SimTime vfree_ = 0;
+  std::uint64_t train_gen_ = 0;
+  std::size_t train_bytes_ = 0;
+  // Delivery events are scheduled lazily at the end of the instant a
+  // train forms (Engine::defer_once), so a stamped back-to-back chain
+  // arriving within one instant extends the active train instead of
+  // paying one event per packet. Trains sealed before their event
+  // exists park (generation, delivery time) in sched_backlog_.
+  bool train_event_scheduled_ = false;
+  std::vector<std::pair<std::uint64_t, SimTime>> sched_backlog_;
+  // Past-stamped arrivals landing within one instant can reach the link
+  // out of stamp order (separately batched sources, merging upstream
+  // trains): they buffer here and replay in stamp order at the end of
+  // the instant, which is the order per-packet mode's events would have
+  // interleaved them.
+  std::vector<std::pair<SimTime, net::Packet>> pending_;
+  bool in_flush_ = false;
+
+  // Classic (per-packet) path.
   void start_transmission(net::Packet&& pkt);
   void transmission_done();
+
+  // Burst path.
+  void arrive(net::Packet&& pkt, SimTime v);
+  void begin_train_with(net::Packet&& pkt, SimTime start);
+  void begin_train_from_queue();
+  void commit_train();
+  void extend_train(net::Packet&& pkt, SimTime start);
+  void request_schedule();
+  void flush_deferred();
+  void flush_schedules();
+  void schedule_delivery();
+  void seal_train();
+  void abort_tail(SimTime now);
+  void on_delivery(std::uint64_t gen);
+
   [[nodiscard]] SimTime tx_time(std::size_t bytes) const noexcept;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -22,14 +23,20 @@ void Network::connect(Node& a, Node& b, const LinkConfig& ab,
                       const LinkConfig& ba) {
   Node* bp = &b;
   Node* ap = &a;
-  adjacency_[a.id().value].push_back(Edge{
-      b.id(), std::make_unique<Link>(engine_, ab, [bp](net::Packet&& pkt) {
+  auto ab_link =
+      std::make_unique<Link>(engine_, ab, [bp](net::Packet&& pkt) {
         bp->receive(std::move(pkt));
-      })});
-  adjacency_[b.id().value].push_back(Edge{
-      a.id(), std::make_unique<Link>(engine_, ba, [ap](net::Packet&& pkt) {
+      });
+  ab_link->set_burst_deliver(
+      [bp](std::span<Delivery> train) { bp->receive_burst(train); });
+  auto ba_link =
+      std::make_unique<Link>(engine_, ba, [ap](net::Packet&& pkt) {
         ap->receive(std::move(pkt));
-      })});
+      });
+  ba_link->set_burst_deliver(
+      [ap](std::span<Delivery> train) { ap->receive_burst(train); });
+  adjacency_[a.id().value].push_back(Edge{b.id(), std::move(ab_link)});
+  adjacency_[b.id().value].push_back(Edge{a.id(), std::move(ba_link)});
   routes_valid_ = false;
 }
 
@@ -121,7 +128,7 @@ std::optional<NodeId> Network::resolve_destination(NodeId src,
   return owner_of(dst);
 }
 
-void Network::send_from(NodeId src, net::Packet&& pkt) {
+void Network::send_from(NodeId src, net::Packet&& pkt, SimTime when) {
   if (!routes_valid_) {
     throw std::logic_error("Network::send_from before compute_routes()");
   }
@@ -135,7 +142,7 @@ void Network::send_from(NodeId src, net::Packet&& pkt) {
     return;
   }
   if (*target == src) {
-    deliver_local(*target, std::move(pkt));
+    deliver_local(*target, std::move(pkt), when);
     return;
   }
   const NodeId hop = next_hop_[src.value][target->value];
@@ -145,20 +152,25 @@ void Network::send_from(NodeId src, net::Packet&& pkt) {
   }
   for (auto& edge : adjacency_[src.value]) {
     if (edge.peer == hop) {
-      edge.link->send(std::move(pkt));
+      edge.link->send(std::move(pkt), when);
       return;
     }
   }
   ++stats_.unroutable_dropped;  // should not happen with valid routes
 }
 
-void Network::deliver_local(NodeId target, net::Packet&& pkt) {
+void Network::deliver_local(NodeId target, net::Packet&& pkt, SimTime when) {
   ++stats_.delivered_local;
   // Schedule (rather than call) so local delivery is still asynchronous
-  // and cannot reenter the sender's stack.
+  // and cannot reenter the sender's stack. The receive keeps the
+  // packet's own stamp even when the event fires later (coalesced
+  // upstream timing).
   Node* node = nodes_[target.value].get();
-  engine_.schedule_in(
-      0, [node, p = std::move(pkt)]() mutable { node->receive(std::move(p)); });
+  const SimTime at = when == kUnstamped ? engine_.now() : when;
+  engine_.schedule_at(std::max(at, engine_.now()),
+                      [node, p = std::move(pkt), at]() mutable {
+                        node->receive_at(std::move(p), at);
+                      });
 }
 
 Link* Network::link_between(NodeId a, NodeId b) {

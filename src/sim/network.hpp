@@ -64,7 +64,10 @@ class Network {
 
   /// Routes a packet from `src` toward its IP destination: local
   /// delivery, anycast resolution, /32, then longest prefix match.
-  void send_from(NodeId src, net::Packet&& pkt);
+  /// `when` is the packet's virtual departure time (kUnstamped = now);
+  /// it threads through Link::send so stamped box emissions keep their
+  /// per-packet timing under burst delivery.
+  void send_from(NodeId src, net::Packet&& pkt, SimTime when = kUnstamped);
 
   [[nodiscard]] Engine& engine() noexcept { return engine_; }
   [[nodiscard]] SimTime now() const noexcept { return engine_.now(); }
@@ -109,7 +112,7 @@ class Network {
   NetworkStats stats_;
 
   void register_node(std::unique_ptr<Node> node);
-  void deliver_local(NodeId target, net::Packet&& pkt);
+  void deliver_local(NodeId target, net::Packet&& pkt, SimTime when);
   [[nodiscard]] std::optional<NodeId> resolve_destination(
       NodeId src, net::Ipv4Addr dst) const;
 };

@@ -11,31 +11,43 @@ Network& Node::network() const {
   return *network_;
 }
 
-void Node::send(net::Packet&& pkt) {
-  network().send_from(id_, std::move(pkt));
+void Node::send(net::Packet&& pkt, SimTime when) {
+  network().send_from(id_, std::move(pkt), when);
 }
 
 void Host::receive(net::Packet&& pkt) {
+  receive_at(std::move(pkt), network().now());
+}
+
+void Host::receive_at(net::Packet&& pkt, SimTime at) {
   ++received_;
+  if (stamped_handler_) {
+    stamped_handler_(std::move(pkt), at);
+    return;
+  }
   if (handler_) handler_(std::move(pkt));
 }
 
 void Router::receive(net::Packet&& pkt) {
+  receive_at(std::move(pkt), network().now());
+}
+
+void Router::receive_at(net::Packet&& pkt, SimTime at) {
   // Packets addressed to this router itself are consumed (the
-  // neutralizer box overrides consume()).
+  // neutralizer box overrides consume()/consume_at()).
   const auto dst = net::Ipv4Addr((static_cast<std::uint32_t>(pkt.bytes[16]) << 24) |
                                  (static_cast<std::uint32_t>(pkt.bytes[17]) << 16) |
                                  (static_cast<std::uint32_t>(pkt.bytes[18]) << 8) |
                                  pkt.bytes[19]);
   if (is_local_destination(dst)) {
     ++stats_.consumed;
-    consume(std::move(pkt));
+    consume_at(std::move(pkt), at);
     return;
   }
 
   SimTime delay = 0;
   for (auto& policy : policies_) {
-    const PolicyDecision d = policy->process(pkt, network().now());
+    const PolicyDecision d = policy->process(pkt, at);
     if (d.drop) {
       ++stats_.policy_dropped;
       return;
@@ -43,10 +55,12 @@ void Router::receive(net::Packet&& pkt) {
     delay += d.extra_delay;
   }
   if (delay > 0) {
-    network().engine().schedule_in(
-        delay, [this, p = std::move(pkt)]() mutable { forward(std::move(p)); });
+    network().engine().schedule_at(
+        at + delay, [this, p = std::move(pkt), when = at + delay]() mutable {
+          forward(std::move(p), when);
+        });
   } else {
-    forward(std::move(pkt));
+    forward(std::move(pkt), at);
   }
 }
 
@@ -55,6 +69,10 @@ void Router::consume(net::Packet&& pkt) {
 }
 
 void Router::forward(net::Packet&& pkt) {
+  forward(std::move(pkt), network().now());
+}
+
+void Router::forward(net::Packet&& pkt, SimTime at) {
   // Decrement TTL in place and refresh the header checksum.
   std::uint8_t& ttl = pkt.bytes[8];
   if (ttl <= 1) {
@@ -70,7 +88,7 @@ void Router::forward(net::Packet&& pkt) {
   pkt.bytes[11] = static_cast<std::uint8_t>(sum);
 
   ++stats_.forwarded;
-  send(std::move(pkt));
+  send(std::move(pkt), at);
 }
 
 }  // namespace nn::sim

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,16 @@ struct NodeId {
   friend bool operator==(NodeId, NodeId) noexcept = default;
 };
 
+/// One stamped delivery from a batch-aware link: the packet plus its
+/// exact arrival time. A burst-mode link delivers a whole transmission
+/// train at one engine event; `at` preserves each packet's per-packet
+/// timing (`at <= now()` for link deliveries — the event fires once
+/// the last packet of the train has arrived).
+struct Delivery {
+  net::Packet pkt;
+  SimTime at = 0;
+};
+
 class Node {
  public:
   explicit Node(std::string name) : name_(std::move(name)) {}
@@ -40,6 +51,21 @@ class Node {
   /// local delivery).
   virtual void receive(net::Packet&& pkt) = 0;
 
+  /// Stamped delivery: `at` is the packet's exact arrival time, which
+  /// can sit earlier than now() when a burst-mode link coalesced the
+  /// train it rode in. Stamp-aware nodes (Host, Router, the boxes)
+  /// override this; the default drops the stamp.
+  virtual void receive_at(net::Packet&& pkt, SimTime at) {
+    (void)at;
+    receive(std::move(pkt));
+  }
+
+  /// Whole-train delivery from a burst-mode link. Default: unroll into
+  /// per-packet receive_at() calls, preserving stamps and order.
+  virtual void receive_burst(std::span<Delivery> train) {
+    for (Delivery& d : train) receive_at(std::move(d.pkt), d.at);
+  }
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] NodeId id() const noexcept { return id_; }
   /// Primary unicast address (set by Network::assign_address).
@@ -47,8 +73,11 @@ class Node {
 
  protected:
   [[nodiscard]] Network& network() const;
-  /// Routes a packet into the network from this node.
-  void send(net::Packet&& pkt);
+  /// Routes a packet into the network from this node. `when` is the
+  /// packet's virtual departure time: kUnstamped means "now"; a future
+  /// time defers the wire arrival (the egress link schedules it); a
+  /// past time preserves upstream timing through a coalesced delivery.
+  void send(net::Packet&& pkt, SimTime when = kUnstamped);
 
  private:
   friend class Network;
@@ -83,18 +112,35 @@ class TransitPolicy {
 class Host : public Node {
  public:
   using Handler = std::function<void(net::Packet&&)>;
+  using StampedHandler = std::function<void(net::Packet&&, SimTime)>;
 
   explicit Host(std::string name) : Node(std::move(name)) {}
 
-  void set_handler(Handler handler) { handler_ = std::move(handler); }
+  void set_handler(Handler handler) {
+    handler_ = std::move(handler);
+    stamped_handler_ = nullptr;
+  }
+  /// Arrival-time-aware handler for burst-mode topologies: the second
+  /// argument is the packet's exact arrival even when a coalescing
+  /// link delivered its whole train in one event. The latest
+  /// set_handler / set_stamped_handler call wins.
+  void set_stamped_handler(StampedHandler handler) {
+    stamped_handler_ = std::move(handler);
+    handler_ = nullptr;
+  }
   /// Current handler (copyable), so applications can chain: install a
   /// filter that passes non-matching packets to the previous handler.
   [[nodiscard]] Handler handler() const { return handler_; }
   void receive(net::Packet&& pkt) override;
+  void receive_at(net::Packet&& pkt, SimTime at) override;
 
   /// Sends a packet into the network (public so protocol stacks and
-  /// traffic generators can transmit on the host's behalf).
-  void transmit(net::Packet&& pkt) { send(std::move(pkt)); }
+  /// traffic generators can transmit on the host's behalf). `when`
+  /// stamps the packet's virtual departure (batched trace replay hands
+  /// past-dated sends); kUnstamped means "now".
+  void transmit(net::Packet&& pkt, SimTime when = kUnstamped) {
+    send(std::move(pkt), when);
+  }
 
   [[nodiscard]] std::uint64_t received_packets() const noexcept {
     return received_;
@@ -102,6 +148,7 @@ class Host : public Node {
 
  private:
   Handler handler_;
+  StampedHandler stamped_handler_;
   std::uint64_t received_ = 0;
 };
 
@@ -125,6 +172,7 @@ class Router : public Node {
   void clear_policies() { policies_.clear(); }
 
   void receive(net::Packet&& pkt) override;
+  void receive_at(net::Packet&& pkt, SimTime at) override;
 
   [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
 
@@ -138,8 +186,16 @@ class Router : public Node {
   /// Hook for subclasses (e.g. the neutralizer box) to process packets
   /// addressed to this node. Default: count and drop.
   virtual void consume(net::Packet&& pkt);
+  /// Stamped flavor of consume(); stamp-aware subclasses (the boxes)
+  /// override this one. Default: drop the stamp.
+  virtual void consume_at(net::Packet&& pkt, SimTime at) {
+    (void)at;
+    consume(std::move(pkt));
+  }
   /// Forwards after policy/TTL handling.
   void forward(net::Packet&& pkt);
+  /// Stamped forward: the departure rides the packet's own timeline.
+  void forward(net::Packet&& pkt, SimTime at);
 
   RouterStats stats_;
 

@@ -2,8 +2,29 @@
 
 namespace nn::sim {
 
+std::size_t QueueDisc::dequeue_burst(std::size_t max_packets,
+                                     std::size_t max_bytes,
+                                     std::vector<net::Packet>& out) {
+  std::size_t popped = 0;
+  std::size_t bytes = 0;
+  while (popped < max_packets && bytes < max_bytes) {
+    auto pkt = dequeue();
+    if (!pkt.has_value()) break;
+    bytes += pkt->size();
+    out.push_back(std::move(*pkt));
+    ++popped;
+  }
+  return popped;
+}
+
 bool DropTailQueue::enqueue(net::Packet&& pkt) {
-  if (bytes_ + pkt.size() > capacity_bytes_) return false;
+  // bytes_ <= capacity is an invariant, so compare against the
+  // remaining headroom instead of summing — `bytes_ + size` could wrap
+  // for an effectively-unbounded capacity of SIZE_MAX.
+  if (pkt.size() > capacity_bytes_ - bytes_) {
+    note_drop(pkt);
+    return false;
+  }
   bytes_ += pkt.size();
   queue_.push_back(std::move(pkt));
   return true;
@@ -15,6 +36,30 @@ std::optional<net::Packet> DropTailQueue::dequeue() {
   queue_.pop_front();
   bytes_ -= pkt.size();
   return pkt;
+}
+
+std::size_t DropTailQueue::dequeue_burst(std::size_t max_packets,
+                                         std::size_t max_bytes,
+                                         std::vector<net::Packet>& out) {
+  std::size_t popped = 0;
+  std::size_t taken = 0;
+  while (popped < max_packets && taken < max_bytes && !queue_.empty()) {
+    net::Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    bytes_ -= pkt.size();
+    taken += pkt.size();
+    out.push_back(std::move(pkt));
+    ++popped;
+  }
+  return popped;
+}
+
+void DropTailQueue::requeue_front(std::vector<net::Packet>&& pkts) {
+  for (auto it = pkts.rbegin(); it != pkts.rend(); ++it) {
+    bytes_ += it->size();
+    queue_.push_front(std::move(*it));
+  }
+  pkts.clear();
 }
 
 }  // namespace nn::sim

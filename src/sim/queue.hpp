@@ -5,14 +5,27 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "net/packet.hpp"
 
 namespace nn::sim {
+
+/// Packets a discipline rejected on enqueue, with their bytes. The
+/// byte counter is exact: a rejected packet never perturbs
+/// byte_count(), it is only tallied here.
+struct QueueDropStats {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+
+  friend bool operator==(const QueueDropStats&,
+                         const QueueDropStats&) noexcept = default;
+};
 
 class QueueDisc {
  public:
@@ -22,9 +35,45 @@ class QueueDisc {
   virtual bool enqueue(net::Packet&& pkt) = 0;
   virtual std::optional<net::Packet> dequeue() = 0;
 
+  /// Bulk dequeue for batch-aware links: pops packets exactly as
+  /// repeated dequeue() would and appends them to `out`, stopping when
+  /// `max_packets` have been popped, the queue empties, or the bytes
+  /// popped so far reach `max_bytes` (the packet that crosses the
+  /// bound is included, mirroring a link that finishes serializing the
+  /// frame it started). Returns the number of packets popped. The
+  /// default loops dequeue(); disciplines override it to skip the
+  /// per-packet scheduling rescan.
+  virtual std::size_t dequeue_burst(std::size_t max_packets,
+                                    std::size_t max_bytes,
+                                    std::vector<net::Packet>& out);
+
+  /// Returns packets to the head of the queue: afterwards dequeue()
+  /// yields them, in order, before anything still queued. Only valid
+  /// with a suffix of the packets obtained from the most recent
+  /// dequeue_burst(), before any other queue operation — the
+  /// burst-abort path of a batch-aware link, which un-commits the
+  /// not-yet-serialized tail of a train when a new arrival must
+  /// compete with it. Restores scheduler state (WFQ deficits etc.)
+  /// exactly, as if the suffix had never been popped.
+  virtual void requeue_front(std::vector<net::Packet>&& pkts) = 0;
+
   [[nodiscard]] virtual std::size_t packet_count() const noexcept = 0;
   [[nodiscard]] virtual std::size_t byte_count() const noexcept = 0;
   [[nodiscard]] bool empty() const noexcept { return packet_count() == 0; }
+
+  [[nodiscard]] const QueueDropStats& drop_stats() const noexcept {
+    return drop_stats_;
+  }
+
+ protected:
+  /// enqueue() implementations call this on the reject path.
+  void note_drop(const net::Packet& pkt) noexcept {
+    drop_stats_.packets += 1;
+    drop_stats_.bytes += pkt.size();
+  }
+
+ private:
+  QueueDropStats drop_stats_;
 };
 
 /// Plain FIFO with a byte-capacity drop-tail bound.
@@ -35,6 +84,9 @@ class DropTailQueue final : public QueueDisc {
 
   bool enqueue(net::Packet&& pkt) override;
   std::optional<net::Packet> dequeue() override;
+  std::size_t dequeue_burst(std::size_t max_packets, std::size_t max_bytes,
+                            std::vector<net::Packet>& out) override;
+  void requeue_front(std::vector<net::Packet>&& pkts) override;
   [[nodiscard]] std::size_t packet_count() const noexcept override {
     return queue_.size();
   }

@@ -143,26 +143,46 @@ void TraceWorkload::start() {
   if (started_) return;
   started_ = true;
   if (trace_.empty()) return;
-  engine_.schedule_at(replay_time(0), [this] { emit_due(); });
+  engine_.schedule_at(next_wakeup(), [this] { emit_due(); });
+}
+
+SimTime TraceWorkload::next_wakeup() const noexcept {
+  const SimTime r = replay_time(next_);
+  if (config_.batch_window <= 0) return r;
+  // Wakeups land on global multiples of the window (the first one
+  // strictly after the next record), so separately batched workloads
+  // flush at the same instants and a burst link can merge their
+  // windows in exact stamp order (Link buffers and sorts same-instant
+  // past-stamped arrivals).
+  return (r / config_.batch_window + 1) * config_.batch_window;
 }
 
 void TraceWorkload::emit_due() {
-  while (next_ < trace_.size() && replay_time(next_) <= engine_.now()) {
+  // Batched replay emits only strictly past records: every stamp then
+  // predates its emission instant, so burst links can recognize the
+  // whole window as a replay and merge it with other sources' windows
+  // in stamp order. A record landing exactly on the wake instant rides
+  // the next window. Unbatched replay wakes at the record's own time.
+  const SimTime horizon = engine_.now() - (config_.batch_window > 0 ? 1 : 0);
+  while (next_ < trace_.size() && replay_time(next_) <= horizon) {
+    const SimTime at = replay_time(next_);
     const TracePacket& rec = trace_[next_++];
     AppHeader h;
     h.flow_id = rec.flow_id;
     h.seq = flow_seq_[rec.flow_id]++;
-    h.sent_at = engine_.now();
+    h.sent_at = at;
     const std::size_t payload =
         rec.wire_size > config_.wire_overhead
             ? rec.wire_size - config_.wire_overhead
             : 0;
-    send_(rec.flow_id,
-          h.build_payload(std::max(payload, AppHeader::kSize)));
+    send_(rec.flow_id, h.build_payload(std::max(payload, AppHeader::kSize)),
+          at);
     ++sent_;
   }
   if (next_ < trace_.size()) {
-    engine_.schedule_at(replay_time(next_), [this] { emit_due(); });
+    // A batch window sleeps past the next record so a whole window of
+    // records comes due at once; their stamps carry the exact times.
+    engine_.schedule_at(next_wakeup(), [this] { emit_due(); });
   }
 }
 

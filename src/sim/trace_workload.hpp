@@ -84,8 +84,14 @@ struct ImixConfig {
 /// (raw UDP sender, neutralized session, ...) adds its own headers.
 class TraceWorkload {
  public:
+  /// `at` is the record's replay time — equal to the engine clock for
+  /// unbatched replay, and the record's own (past) instant when a
+  /// batch window hands a whole group over at once. Transports that
+  /// forward it into a stamped send (Host::transmit, Link::send) keep
+  /// the virtual timeline exact either way.
   using SendFn = std::function<void(std::uint16_t flow_id,
-                                    std::vector<std::uint8_t>&& payload)>;
+                                    std::vector<std::uint8_t>&& payload,
+                                    SimTime at)>;
 
   struct Config {
     SimTime start = 0;
@@ -97,6 +103,14 @@ class TraceWorkload {
     /// neutralized data-packet framing, IP (20) + shim base (12) +
     /// inner address (4).
     std::size_t wire_overhead = 36;
+    /// 0 replays each record at its own engine event. A positive window
+    /// wakes once per window and emits every record that came due,
+    /// stamped with its own replay time — one event per window instead
+    /// of one per packet, feeding burst-mode links whole stamped chains.
+    /// Wakeups land on global multiples of the window, so concurrently
+    /// batched workloads flush at the same instants and burst links
+    /// merge their windows in exact stamp order.
+    SimTime batch_window = 0;
   };
 
   /// The trace need not be sorted; records are replayed in timestamp
@@ -126,6 +140,7 @@ class TraceWorkload {
 
   void emit_due();
   [[nodiscard]] SimTime replay_time(std::size_t index) const noexcept;
+  [[nodiscard]] SimTime next_wakeup() const noexcept;
 };
 
 }  // namespace nn::sim

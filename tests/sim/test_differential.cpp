@@ -1,0 +1,294 @@
+// Differential-testing layer for batch-aware link delivery: the same
+// seeded workload runs through the Fig. 1 topology twice — once with
+// classic per-packet links (the baseline) and once with burst
+// coalescing — across workload shapes (fixed-size, IMIX, the committed
+// pcap capture), shard counts, queue disciplines, and congestion
+// levels. Every observable must be identical: per-flow delivery counts
+// and latency distributions, neutralizer service stats, and the
+// per-link wire stats (tx/drop packets and bytes) on every link of the
+// topology.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "qos/scheduler.hpp"
+#include "scenario/fig1.hpp"
+#include "sim/link.hpp"
+
+namespace nn::scenario {
+namespace {
+
+struct FlowSpec {
+  ScenarioHost Fig1::* from;
+  ScenarioHost Fig1::* to;
+  std::uint16_t flow_id;
+  double pps;
+};
+
+struct Outcome {
+  std::vector<Fig1::FlowResult> flows;
+  core::NeutralizerStats service;
+  // (tx_packets, tx_bytes, dropped_packets, dropped_bytes) per
+  // unidirectional link, in a fixed topology order.
+  std::vector<std::array<std::uint64_t, 4>> links;
+};
+
+void collect_link(Outcome& out, Fig1& fig, sim::NodeId a, sim::NodeId b) {
+  for (const auto [x, y] : {std::pair{a, b}, std::pair{b, a}}) {
+    const sim::Link* link = fig.net.link_between(x, y);
+    ASSERT_NE(link, nullptr);
+    out.links.push_back({link->stats().tx_packets, link->stats().tx_bytes,
+                         link->stats().dropped_packets,
+                         link->stats().dropped_bytes});
+  }
+}
+
+Outcome run_scenario(Fig1Config cfg, const std::vector<FlowSpec>& flows,
+                     sim::SimTime duration) {
+  Fig1 fig(std::move(cfg));
+  for (const FlowSpec& f : flows) {
+    fig.schedule_voip(VoipMode::kNeutralized, fig.*(f.from), fig.*(f.to),
+                      f.flow_id, f.pps, 10 * sim::kMillisecond, duration);
+  }
+  fig.engine.run_until(duration + sim::kSecond);
+  Outcome out;
+  for (const FlowSpec& f : flows) {
+    out.flows.push_back(fig.collect(fig.*(f.to), f.flow_id));
+  }
+  out.service = fig.service_stats();
+  collect_link(out, fig, fig.ann.node->id(), fig.att_access->id());
+  collect_link(out, fig, fig.bob.node->id(), fig.att_access->id());
+  collect_link(out, fig, fig.att_voip.node->id(), fig.att_access->id());
+  collect_link(out, fig, fig.att_access->id(), fig.att_peering->id());
+  const sim::NodeId box_id = fig.box != nullptr
+                                 ? fig.box->id()
+                                 : fig.sharded_box->id();
+  collect_link(out, fig, fig.att_peering->id(), box_id);
+  collect_link(out, fig, box_id, fig.cogent_core->id());
+  collect_link(out, fig, fig.cogent_core->id(), fig.vonage.node->id());
+  collect_link(out, fig, fig.cogent_core->id(), fig.google.node->id());
+  collect_link(out, fig, fig.cogent_core->id(), fig.youtube.node->id());
+  return out;
+}
+
+void expect_identical(const Outcome& classic, const Outcome& burst,
+                      const std::string& where) {
+  ASSERT_EQ(classic.flows.size(), burst.flows.size()) << where;
+  for (std::size_t i = 0; i < classic.flows.size(); ++i) {
+    const auto& c = classic.flows[i];
+    const auto& b = burst.flows[i];
+    EXPECT_EQ(c.received, b.received) << where << " flow " << i;
+    // Latencies derive from delivery stamps; identical stamps make the
+    // derived doubles bit-identical, so compare exactly.
+    EXPECT_EQ(c.mean_latency_ms, b.mean_latency_ms) << where << " flow " << i;
+    EXPECT_EQ(c.p95_latency_ms, b.p95_latency_ms) << where << " flow " << i;
+    EXPECT_EQ(c.loss, b.loss) << where << " flow " << i;
+    EXPECT_EQ(c.mos, b.mos) << where << " flow " << i;
+  }
+  EXPECT_EQ(classic.service.key_setups, burst.service.key_setups) << where;
+  EXPECT_EQ(classic.service.data_forwarded, burst.service.data_forwarded)
+      << where;
+  EXPECT_EQ(classic.service.data_returned, burst.service.data_returned)
+      << where;
+  EXPECT_EQ(classic.service.rejected, burst.service.rejected) << where;
+  ASSERT_EQ(classic.links.size(), burst.links.size()) << where;
+  for (std::size_t i = 0; i < classic.links.size(); ++i) {
+    EXPECT_EQ(classic.links[i], burst.links[i]) << where << " link " << i;
+  }
+}
+
+void run_differential(Fig1Config base, const std::vector<FlowSpec>& flows,
+                      sim::SimTime duration, const std::string& where) {
+  base.link_burst_packets = 1;
+  const Outcome classic = run_scenario(base, flows, duration);
+  for (const std::size_t window : {4, 32}) {
+    Fig1Config bcfg = base;
+    bcfg.link_burst_packets = window;
+    const Outcome burst = run_scenario(bcfg, flows, duration);
+    expect_identical(classic, burst,
+                     where + "/window=" + std::to_string(window));
+  }
+}
+
+// Two concurrent flows from ONE source host: every link then carries a
+// single ingress stream whose stamps arrive in monotonic order, which
+// is the burst mode's exactness regime (docs/ARCHITECTURE.md). Flows
+// from different hosts interleave in virtual time across separately-
+// coalesced trains, and a contended downstream link then serves them
+// in train order rather than stamp order — counts stay identical but
+// individual waits can shift (see MultiSourceMergeKeepsCounts below).
+const std::vector<FlowSpec> kTwoFlows = {
+    {&Fig1::ann, &Fig1::google, 1, 997},
+    {&Fig1::ann, &Fig1::youtube, 2, 1409},
+};
+
+TEST(Differential, FixedSizeAcrossShardCounts) {
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{2}, std::size_t{4},
+                                   std::size_t{8}}) {
+    Fig1Config cfg;
+    cfg.box_shards = shards;
+    cfg.att_uplink_bps = 12e6;  // congested: queueing and trains form
+    run_differential(cfg, kTwoFlows, sim::kSecond / 4,
+                     "fixed/shards=" + std::to_string(shards));
+  }
+}
+
+TEST(Differential, ServiceCostStampedEmissions) {
+  // Non-zero service times make the boxes emit future-stamped packets;
+  // both the fixed-latency single box and the per-shard serial servers
+  // must behave identically under coalesced delivery.
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{2}}) {
+    Fig1Config cfg;
+    cfg.box_shards = shards;
+    cfg.att_uplink_bps = 12e6;
+    cfg.box_costs.data_path = sim::SimTime{8311};  // ~120 kpps, non-resonant
+    cfg.box_costs.key_setup = 41 * sim::kMicrosecond;
+    run_differential(cfg, kTwoFlows, sim::kSecond / 4,
+                     "cost/shards=" + std::to_string(shards));
+  }
+}
+
+TEST(Differential, ImixUnderQueueDisciplines) {
+  struct Discipline {
+    std::string name;
+    sim::QueueFactory factory;
+  };
+  const Discipline disciplines[] = {
+      {"droptail", nullptr},
+      {"prio",
+       [] { return std::make_unique<qos::StrictPriorityQueue>(48 * 1024); }},
+      {"wfq",
+       [] {
+         return std::make_unique<qos::WfqQueue>(
+             std::vector<std::uint32_t>{4, 2, 1}, 48 * 1024);
+       }},
+  };
+  for (const Discipline& d : disciplines) {
+    Fig1Config cfg;
+    cfg.workload = WorkloadKind::kImix;
+    cfg.box_shards = 4;
+    cfg.att_uplink_bps = 10e6;
+    cfg.att_uplink_queue = d.factory;
+    run_differential(cfg, kTwoFlows, sim::kSecond / 4, "imix/" + d.name);
+  }
+}
+
+TEST(Differential, PcapReplayAcrossShardCounts) {
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{2}}) {
+    Fig1Config cfg;
+    cfg.workload = WorkloadKind::kPcap;
+    cfg.pcap_path = NN_PCAP_FIXTURE;
+    cfg.box_shards = shards;
+    cfg.att_uplink_bps = 12e6;
+    run_differential(cfg, kTwoFlows, sim::kSecond / 4,
+                     "pcap/shards=" + std::to_string(shards));
+  }
+}
+
+TEST(Differential, BatchedPlainReplayStaysExact) {
+  // Windowed trace replay (one engine event per window, records past-
+  // stamped) + burst links must reproduce the per-record, per-packet
+  // baseline exactly for plain transports, which thread the stamp all
+  // the way through (source -> Host::transmit -> Link::send).
+  auto run_plain = [&](std::size_t window, sim::SimTime batch) {
+    Fig1Config cfg;
+    cfg.workload = WorkloadKind::kImix;
+    cfg.att_uplink_bps = 12e6;
+    cfg.link_burst_packets = window;
+    cfg.source_batch_window = batch;
+    Fig1 fig(cfg);
+    fig.schedule_voip(VoipMode::kPlain, fig.ann, fig.google, 1, 997,
+                      10 * sim::kMillisecond, sim::kSecond / 4);
+    fig.schedule_voip(VoipMode::kPlain, fig.ann, fig.youtube, 2, 1409,
+                      10 * sim::kMillisecond, sim::kSecond / 4);
+    fig.engine.run_until(sim::kSecond + sim::kSecond / 4);
+    Outcome out;
+    out.flows.push_back(fig.collect(fig.google, 1));
+    out.flows.push_back(fig.collect(fig.youtube, 2));
+    out.service = fig.service_stats();
+    collect_link(out, fig, fig.ann.node->id(), fig.att_access->id());
+    collect_link(out, fig, fig.att_access->id(), fig.att_peering->id());
+    collect_link(out, fig, fig.cogent_core->id(), fig.google.node->id());
+    return out;
+  };
+  const Outcome classic = run_plain(1, 0);
+  for (const sim::SimTime batch :
+       {2 * sim::kMillisecond, 5 * sim::kMillisecond}) {
+    const Outcome burst = run_plain(32, batch);
+    expect_identical(classic, burst,
+                     "plain-batched/batch=" + std::to_string(batch));
+  }
+}
+
+TEST(Differential, MultiSourceMergeKeepsCounts) {
+  // Flows from different hosts ride separately-coalesced trains, so a
+  // shared downstream link sees their stamps interleaved across train
+  // boundaries and may serve them in train order instead of global
+  // stamp order. Burst mode still moves exactly the same packets —
+  // delivery counts, loss, service stats, and per-link wire counters
+  // stay identical — but individual queue waits can shift by up to a
+  // train's serialization time, so latency gets a bound, not equality.
+  const std::vector<FlowSpec> cross_flows = {
+      {&Fig1::ann, &Fig1::google, 1, 997},
+      {&Fig1::bob, &Fig1::youtube, 2, 1409},
+  };
+  Fig1Config base;
+  base.att_uplink_bps = 12e6;
+  base.link_burst_packets = 1;
+  const Outcome classic = run_scenario(base, cross_flows, sim::kSecond / 4);
+  Fig1Config bcfg = base;
+  bcfg.link_burst_packets = 32;
+  const Outcome burst = run_scenario(bcfg, cross_flows, sim::kSecond / 4);
+
+  ASSERT_EQ(classic.flows.size(), burst.flows.size());
+  for (std::size_t i = 0; i < classic.flows.size(); ++i) {
+    const auto& c = classic.flows[i];
+    const auto& b = burst.flows[i];
+    EXPECT_EQ(c.received, b.received) << "flow " << i;
+    EXPECT_EQ(c.loss, b.loss) << "flow " << i;
+    EXPECT_NEAR(c.mean_latency_ms, b.mean_latency_ms, 0.25) << "flow " << i;
+    EXPECT_NEAR(c.p95_latency_ms, b.p95_latency_ms, 1.0) << "flow " << i;
+  }
+  EXPECT_EQ(classic.service.key_setups, burst.service.key_setups);
+  EXPECT_EQ(classic.service.data_forwarded, burst.service.data_forwarded);
+  EXPECT_EQ(classic.service.data_returned, burst.service.data_returned);
+  EXPECT_EQ(classic.service.rejected, burst.service.rejected);
+  ASSERT_EQ(classic.links.size(), burst.links.size());
+  for (std::size_t i = 0; i < classic.links.size(); ++i) {
+    EXPECT_EQ(classic.links[i], burst.links[i]) << "link " << i;
+  }
+}
+
+TEST(Differential, BurstModeSpendsFewerEngineEvents) {
+  // The point of the mode: same wire behavior, fewer engine events on a
+  // congested path.
+  const std::vector<FlowSpec> flows = kTwoFlows;
+  Fig1Config cfg;
+  cfg.att_uplink_bps = 12e6;
+
+  auto count_events = [&](std::size_t window) {
+    Fig1Config c = cfg;
+    c.link_burst_packets = window;
+    Fig1 fig(c);
+    for (const FlowSpec& f : flows) {
+      fig.schedule_voip(VoipMode::kNeutralized, fig.*(f.from), fig.*(f.to),
+                        f.flow_id, f.pps, 10 * sim::kMillisecond,
+                        sim::kSecond / 4);
+    }
+    fig.engine.run_until(sim::kSecond / 4 + sim::kSecond);
+    return fig.engine.executed();
+  };
+  const std::size_t classic_events = count_events(1);
+  const std::size_t burst_events = count_events(32);
+  EXPECT_LT(burst_events, classic_events);
+}
+
+}  // namespace
+}  // namespace nn::scenario

@@ -1,0 +1,237 @@
+// Burst-mode Link tests: scripted timing exactness, a randomized
+// single-link differential against per-packet mode (the baseline burst
+// coalescing must reproduce byte-for-byte, stamp-for-stamp, drop-for-
+// drop), and the engine-event economics the mode exists for.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "qos/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/link.hpp"
+#include "sim/queue.hpp"
+
+namespace nn::sim {
+namespace {
+
+net::Packet make_pkt(std::uint32_t tag, std::size_t payload,
+                     net::Dscp dscp = net::Dscp::kBestEffort) {
+  std::vector<std::uint8_t> body(payload, 0);
+  for (std::size_t i = 0; i < body.size() && i < 4; ++i) {
+    body[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  }
+  return net::make_udp_packet(net::Ipv4Addr(1, 1, 1, 1),
+                              net::Ipv4Addr(2, 2, 2, 2), 7, 9, body, dscp);
+}
+
+struct Send {
+  SimTime at;
+  net::Packet pkt;
+};
+
+struct LoggedDelivery {
+  SimTime at;
+  std::vector<std::uint8_t> bytes;
+
+  friend bool operator==(const LoggedDelivery&,
+                         const LoggedDelivery&) = default;
+};
+
+struct RunResult {
+  std::vector<LoggedDelivery> deliveries;
+  LinkStats stats;
+  QueueDropStats queue_drops;
+  std::size_t executed = 0;
+};
+
+/// Replays `sends` through one link and logs every delivery with its
+/// arrival stamp. Per-packet mode logs at the delivery event's own
+/// time; burst mode logs the per-packet stamps a single train event
+/// carries — the differential asserts they are the same thing.
+RunResult run_link(const LinkConfig& cfg, const std::vector<Send>& sends) {
+  Engine e;
+  RunResult result;
+  Link link(e, cfg, [&](net::Packet&& pkt) {
+    result.deliveries.push_back({e.now(), std::move(pkt.bytes)});
+  });
+  link.set_burst_deliver([&](std::span<Delivery> train) {
+    for (Delivery& d : train) {
+      result.deliveries.push_back({d.at, std::move(d.pkt.bytes)});
+    }
+  });
+  for (const Send& s : sends) {
+    e.schedule_at(s.at, [&link, p = s.pkt]() mutable {
+      link.send(std::move(p));
+    });
+  }
+  e.run();
+  result.stats = link.stats();
+  result.queue_drops = link.queue().drop_stats();
+  result.executed = e.executed();
+  return result;
+}
+
+void expect_equivalent(const RunResult& classic, const RunResult& burst,
+                       const std::string& where) {
+  ASSERT_EQ(classic.deliveries.size(), burst.deliveries.size()) << where;
+  for (std::size_t i = 0; i < classic.deliveries.size(); ++i) {
+    EXPECT_EQ(classic.deliveries[i].at, burst.deliveries[i].at)
+        << where << " delivery " << i;
+    EXPECT_EQ(classic.deliveries[i].bytes, burst.deliveries[i].bytes)
+        << where << " delivery " << i;
+  }
+  EXPECT_EQ(classic.stats.tx_packets, burst.stats.tx_packets) << where;
+  EXPECT_EQ(classic.stats.tx_bytes, burst.stats.tx_bytes) << where;
+  EXPECT_EQ(classic.stats.dropped_packets, burst.stats.dropped_packets)
+      << where;
+  EXPECT_EQ(classic.stats.dropped_bytes, burst.stats.dropped_bytes) << where;
+  EXPECT_TRUE(classic.queue_drops == burst.queue_drops) << where;
+}
+
+TEST(LinkBurst, TrainKeepsExactPerPacketStamps) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;  // 1 byte per microsecond
+  cfg.propagation = 5 * kMillisecond;
+  std::vector<Send> sends;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    sends.push_back({0, make_pkt(i, 72)});  // 100 bytes each
+  }
+  const auto classic = run_link(cfg, sends);
+  cfg.burst_packets = 64;
+  const auto burst = run_link(cfg, sends);
+
+  // Serialization back-to-back: 100/200/300 us, plus 5 ms propagation.
+  ASSERT_EQ(burst.deliveries.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(burst.deliveries[i].at,
+              static_cast<SimTime>(i + 1) * 100 * kMicrosecond +
+                  5 * kMillisecond);
+  }
+  expect_equivalent(classic, burst, "three back-to-back");
+  // The queued pair coalesces: one event delivers the two-packet train.
+  EXPECT_EQ(classic.stats.delivery_events, 3u);
+  EXPECT_EQ(burst.stats.delivery_events, 2u);
+  EXPECT_EQ(burst.stats.max_train, 2u);
+}
+
+TEST(LinkBurst, BurstByteCapSplitsTrains) {
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.propagation = 0;
+  cfg.burst_packets = 64;
+  cfg.burst_bytes = 150;  // every 100-byte packet crosses the cap alone
+  std::vector<Send> sends;
+  for (std::uint32_t i = 0; i < 6; ++i) sends.push_back({0, make_pkt(i, 72)});
+  const auto burst = run_link(cfg, sends);
+  ASSERT_EQ(burst.deliveries.size(), 6u);
+  // The cap admits the crossing packet, so trains carry at most 2.
+  EXPECT_LE(burst.stats.max_train, 2u);
+  LinkConfig classic_cfg = cfg;
+  classic_cfg.burst_packets = 1;
+  classic_cfg.burst_bytes = SIZE_MAX;
+  expect_equivalent(run_link(classic_cfg, sends), burst, "byte-capped");
+}
+
+TEST(LinkBurst, RandomizedDifferentialAcrossDisciplines) {
+  struct Scenario {
+    std::string name;
+    QueueFactory factory;  // nullptr = default drop-tail
+    std::size_t queue_bytes;
+  };
+  const Scenario scenarios[] = {
+      {"droptail-roomy", nullptr, 256 * 1024},
+      {"droptail-tight", nullptr, 3000},
+      {"prio",
+       [] { return std::make_unique<qos::StrictPriorityQueue>(4000); }, 0},
+      {"wfq",
+       [] {
+         return std::make_unique<qos::WfqQueue>(
+             std::vector<std::uint32_t>{4, 2, 1}, 4000);
+       },
+       0},
+  };
+  constexpr net::Dscp kDscps[] = {net::Dscp::kBestEffort, net::Dscp::kAf21,
+                                  net::Dscp::kExpeditedForwarding};
+
+  std::mt19937 rng(0xB0257);
+  std::uniform_int_distribution<std::size_t> payload(0, 1472);
+  std::uniform_int_distribution<SimTime> gap(0, 60 * kMicrosecond);
+  std::uniform_int_distribution<int> coin(0, 99);
+
+  for (const Scenario& sc : scenarios) {
+    for (const double bps : {8e6, 1e9}) {
+      for (const SimTime prop : {SimTime{0}, 2 * kMillisecond}) {
+        std::vector<Send> sends;
+        SimTime t = 0;
+        for (std::uint32_t i = 0; i < 400; ++i) {
+          // Half the arrivals ride the previous instant (back-to-back
+          // trains); the rest open random gaps, some of which land
+          // mid-train and force aborts.
+          if (coin(rng) >= 50) t += gap(rng);
+          sends.push_back(
+              {t, make_pkt(i, payload(rng), kDscps[i % std::size(kDscps)])});
+        }
+        LinkConfig cfg;
+        cfg.bandwidth_bps = bps;
+        cfg.propagation = prop;
+        cfg.queue_factory = sc.factory;
+        if (sc.queue_bytes > 0) cfg.queue_bytes = sc.queue_bytes;
+        const auto classic = run_link(cfg, sends);
+        for (const std::size_t window : {2, 8, 64}) {
+          LinkConfig bcfg = cfg;
+          bcfg.burst_packets = window;
+          const auto burst = run_link(bcfg, sends);
+          expect_equivalent(classic, burst,
+                            sc.name + "/bps=" + std::to_string(bps) +
+                                "/prop=" + std::to_string(prop) +
+                                "/window=" + std::to_string(window));
+        }
+      }
+    }
+  }
+}
+
+TEST(LinkBurst, CongestedLinkAmortizesEngineEvents) {
+  // A saturating same-instant blast: classic mode spends 2 events per
+  // packet, burst mode roughly 2 per train.
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.propagation = kMillisecond;
+  cfg.queue_bytes = 10 * 1024 * 1024;
+  std::vector<Send> sends;
+  for (std::uint32_t i = 0; i < 512; ++i) sends.push_back({0, make_pkt(i, 72)});
+  const auto classic = run_link(cfg, sends);
+  cfg.burst_packets = 64;
+  const auto burst = run_link(cfg, sends);
+  expect_equivalent(classic, burst, "blast");
+
+  const std::size_t classic_link_events = classic.executed - sends.size();
+  const std::size_t burst_link_events = burst.executed - sends.size();
+  EXPECT_EQ(classic_link_events, 2 * sends.size());
+  EXPECT_LT(burst_link_events, classic_link_events / 8);
+}
+
+TEST(LinkBurst, UncongestedLinkCostsOneEventPerPacket) {
+  // Spaced arrivals never queue, so the delivery event doubles as the
+  // free event: exactly one engine event per packet.
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e6;
+  cfg.propagation = kMillisecond;
+  cfg.burst_packets = 64;
+  std::vector<Send> sends;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    sends.push_back({static_cast<SimTime>(i) * 10 * kMillisecond,
+                     make_pkt(i, 72)});
+  }
+  const auto burst = run_link(cfg, sends);
+  EXPECT_EQ(burst.deliveries.size(), 100u);
+  EXPECT_EQ(burst.executed - sends.size(), sends.size());
+  EXPECT_EQ(burst.stats.trains, 100u);
+}
+
+}  // namespace
+}  // namespace nn::sim

@@ -1,0 +1,243 @@
+// QueueDisc conformance suite: for every discipline in the tree
+// (DropTailQueue, qos::StrictPriorityQueue, qos::WfqQueue),
+// dequeue_burst must be observationally identical to repeated
+// dequeue() under the same caps — including with enqueues interleaved
+// between bursts and byte-capacity drops — and requeue_front must
+// restore the exact future the queue would have had if the requeued
+// suffix had never been popped (for WFQ that includes the DRR deficits
+// and round-robin cursor).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "qos/scheduler.hpp"
+#include "sim/queue.hpp"
+
+namespace nn::sim {
+namespace {
+
+constexpr net::Dscp kDscps[] = {
+    net::Dscp::kBestEffort, net::Dscp::kAf11,
+    net::Dscp::kAf21,       net::Dscp::kAf31,
+    net::Dscp::kAf41,       net::Dscp::kExpeditedForwarding,
+};
+
+net::Packet make_pkt(std::uint32_t tag, std::size_t payload, net::Dscp dscp) {
+  // The tag rides in the payload so byte-compare failures identify the
+  // exact packet that diverged.
+  std::vector<std::uint8_t> body(payload, 0);
+  for (std::size_t i = 0; i < body.size() && i < 4; ++i) {
+    body[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  }
+  return net::make_udp_packet(net::Ipv4Addr(1, 1, 1, 1),
+                              net::Ipv4Addr(2, 2, 2, 2), 7, 9, body, dscp);
+}
+
+struct QueueParam {
+  std::string name;
+  std::function<std::unique_ptr<QueueDisc>()> make;
+};
+
+class QueueConformance : public ::testing::TestWithParam<QueueParam> {};
+
+/// Pops from `q` with plain dequeue() using dequeue_burst's stop rule.
+std::vector<net::Packet> reference_burst(QueueDisc& q, std::size_t max_packets,
+                                         std::size_t max_bytes) {
+  std::vector<net::Packet> out;
+  std::size_t taken = 0;
+  while (out.size() < max_packets && taken < max_bytes) {
+    auto pkt = q.dequeue();
+    if (!pkt.has_value()) break;
+    taken += pkt->size();
+    out.push_back(std::move(*pkt));
+  }
+  return out;
+}
+
+void expect_same_packets(const std::vector<net::Packet>& a,
+                         const std::vector<net::Packet>& b,
+                         const std::string& where) {
+  ASSERT_EQ(a.size(), b.size()) << where;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bytes, b[i].bytes) << where << " packet " << i;
+  }
+}
+
+TEST_P(QueueConformance, BurstEqualsRepeatedDequeueUnderInterleaving) {
+  auto burst_q = GetParam().make();
+  auto ref_q = GetParam().make();
+
+  std::mt19937 rng(0xC04F);
+  std::uniform_int_distribution<std::size_t> payload(0, 1472);
+  std::uniform_int_distribution<std::size_t> burst_len(2, 40);
+  std::uniform_int_distribution<int> coin(0, 99);
+  std::uint32_t tag = 0;
+
+  for (int round = 0; round < 400; ++round) {
+    // A gust of enqueues, identical on both queues; capacity rejects
+    // must agree packet-for-packet.
+    const int gust = coin(rng) % 12;
+    for (int g = 0; g < gust; ++g) {
+      const std::size_t size = payload(rng);
+      const net::Dscp dscp = kDscps[tag % std::size(kDscps)];
+      net::Packet pkt = make_pkt(tag, size, dscp);
+      net::Packet twin{pkt};
+      ++tag;
+      const bool accepted = burst_q->enqueue(std::move(pkt));
+      const bool ref_accepted = ref_q->enqueue(std::move(twin));
+      ASSERT_EQ(accepted, ref_accepted) << "round " << round;
+    }
+    // Then a burst with randomized caps, byte cap sometimes binding.
+    const std::size_t max_packets = burst_len(rng);
+    const std::size_t max_bytes =
+        coin(rng) < 50 ? SIZE_MAX : (payload(rng) + 1) * 3;
+    std::vector<net::Packet> got;
+    burst_q->dequeue_burst(max_packets, max_bytes, got);
+    const auto want = reference_burst(*ref_q, max_packets, max_bytes);
+    expect_same_packets(got, want, "round " + std::to_string(round));
+    ASSERT_EQ(burst_q->packet_count(), ref_q->packet_count());
+    ASSERT_EQ(burst_q->byte_count(), ref_q->byte_count());
+    ASSERT_TRUE(burst_q->drop_stats() == ref_q->drop_stats())
+        << "round " << round;
+  }
+}
+
+TEST_P(QueueConformance, RequeueRestoresTheExactFuture) {
+  std::mt19937 rng(0x5EED);
+  std::uniform_int_distribution<std::size_t> payload(0, 600);
+  std::uniform_int_distribution<std::size_t> pick(0, 30);
+
+  for (int round = 0; round < 200; ++round) {
+    auto q = GetParam().make();
+    auto ref = GetParam().make();
+    const std::size_t fill = 5 + pick(rng);
+    for (std::size_t i = 0; i < fill; ++i) {
+      const std::size_t size = payload(rng);
+      const net::Dscp dscp = kDscps[(i * 7 + static_cast<std::size_t>(round)) %
+                                    std::size(kDscps)];
+      net::Packet pkt =
+          make_pkt(static_cast<std::uint32_t>(i), size, dscp);
+      net::Packet twin{pkt};
+      const bool a = q->enqueue(std::move(pkt));
+      const bool b = ref->enqueue(std::move(twin));
+      ASSERT_EQ(a, b);
+    }
+
+    // Burst k packets, hand a suffix of s back, then drain both queues
+    // dry. q's total output must equal ref's: burst prefix, then
+    // everything else in the order the untouched ref queue yields it.
+    std::vector<net::Packet> burst;
+    const std::size_t k = 1 + pick(rng) % fill;
+    q->dequeue_burst(k, SIZE_MAX, burst);
+    const std::size_t popped = burst.size();
+    const std::size_t s = popped == 0 ? 0 : pick(rng) % (popped + 1);
+
+    std::vector<net::Packet> q_order;
+    for (std::size_t i = 0; i + s < popped; ++i) {
+      q_order.push_back(std::move(burst[i]));
+    }
+    std::vector<net::Packet> suffix;
+    for (std::size_t i = popped - s; i < popped; ++i) {
+      suffix.push_back(std::move(burst[i]));
+    }
+    q->requeue_front(std::move(suffix));
+    while (auto pkt = q->dequeue()) q_order.push_back(std::move(*pkt));
+
+    std::vector<net::Packet> ref_order;
+    for (std::size_t i = 0; i + s < popped; ++i) {
+      ref_order.push_back(std::move(*ref->dequeue()));
+    }
+    while (auto pkt = ref->dequeue()) ref_order.push_back(std::move(*pkt));
+
+    expect_same_packets(q_order, ref_order, "round " + std::to_string(round));
+    EXPECT_EQ(q->packet_count(), 0u);
+    EXPECT_EQ(q->byte_count(), 0u);
+  }
+}
+
+TEST_P(QueueConformance, BurstEdgeCaps) {
+  auto q = GetParam().make();
+  std::vector<net::Packet> out;
+
+  // Zero caps take nothing.
+  ASSERT_TRUE(q->enqueue(make_pkt(1, 100, net::Dscp::kBestEffort)));
+  EXPECT_EQ(q->dequeue_burst(0, SIZE_MAX, out), 0u);
+  EXPECT_EQ(q->dequeue_burst(10, 0, out), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(q->packet_count(), 1u);
+
+  // The packet that crosses max_bytes is included (caps are "stop
+  // after", not "fit under"), matching the reference stop rule.
+  ASSERT_TRUE(q->enqueue(make_pkt(2, 100, net::Dscp::kBestEffort)));
+  const std::size_t first = q->byte_count() / 2;
+  EXPECT_EQ(q->dequeue_burst(10, first + 1, out), 2u);
+  EXPECT_EQ(q->packet_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDisciplines, QueueConformance,
+    ::testing::Values(
+        QueueParam{"DropTail",
+                   [] { return std::make_unique<DropTailQueue>(64 * 1024); }},
+        QueueParam{"DropTailTight",
+                   [] { return std::make_unique<DropTailQueue>(4000); }},
+        QueueParam{"StrictPriority",
+                   [] {
+                     return std::make_unique<qos::StrictPriorityQueue>(8000);
+                   }},
+        QueueParam{"Wfq",
+                   [] {
+                     return std::make_unique<qos::WfqQueue>(
+                         std::vector<std::uint32_t>{4, 2, 1}, 8000);
+                   }}),
+    [](const ::testing::TestParamInfo<QueueParam>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// DropTailQueue reject-path exactness (the enqueue byte-accounting fix):
+// a rejected packet must leave occupancy untouched and be tallied
+// exactly in drop_stats, and an unbounded queue must never reject even
+// when `bytes + size` would overflow the naive comparison.
+
+TEST(DropTailQueueStats, RejectedPacketIsCountedExactly) {
+  DropTailQueue q(100);
+  net::Packet fits = make_pkt(1, 50, net::Dscp::kBestEffort);    // 78 bytes
+  net::Packet reject = make_pkt(2, 72, net::Dscp::kBestEffort);  // 100 bytes
+  const std::size_t reject_size = reject.size();
+  ASSERT_TRUE(q.enqueue(std::move(fits)));
+  const std::size_t occupancy = q.byte_count();
+  ASSERT_FALSE(q.enqueue(std::move(reject)));
+  EXPECT_EQ(q.byte_count(), occupancy);
+  EXPECT_EQ(q.packet_count(), 1u);
+  EXPECT_EQ(q.drop_stats().packets, 1u);
+  EXPECT_EQ(q.drop_stats().bytes, reject_size);
+}
+
+TEST(DropTailQueueStats, UnboundedCapacityNeverRejects) {
+  DropTailQueue q(SIZE_MAX);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(q.enqueue(make_pkt(static_cast<std::uint32_t>(i), 1400,
+                                   net::Dscp::kBestEffort)));
+  }
+  EXPECT_EQ(q.drop_stats().packets, 0u);
+}
+
+TEST(DropTailQueueStats, PacketLargerThanCapacityRejectsCleanly) {
+  DropTailQueue q(10);
+  net::Packet big = make_pkt(1, 100, net::Dscp::kBestEffort);
+  const std::size_t size = big.size();
+  EXPECT_FALSE(q.enqueue(std::move(big)));
+  EXPECT_EQ(q.byte_count(), 0u);
+  EXPECT_EQ(q.drop_stats().packets, 1u);
+  EXPECT_EQ(q.drop_stats().bytes, size);
+}
+
+}  // namespace
+}  // namespace nn::sim

@@ -168,9 +168,10 @@ TEST(TraceWorkload, ReplaysSizesFlowsAndTimingThroughTheEngine) {
   FlowSink sink;
   std::vector<std::pair<SimTime, std::size_t>> seen;
   TraceWorkload wl(engine, trace, cfg,
-                   [&](std::uint16_t, std::vector<std::uint8_t>&& payload) {
-                     seen.emplace_back(engine.now(), payload.size());
-                     sink.on_payload(payload, engine.now());
+                   [&](std::uint16_t, std::vector<std::uint8_t>&& payload,
+                       SimTime at) {
+                     seen.emplace_back(at, payload.size());
+                     sink.on_payload(payload, at);
                    });
   wl.start();
   wl.start();  // idempotent
@@ -201,9 +202,8 @@ TEST(TraceWorkload, TimeScaleStretchesTheSchedule) {
   cfg.time_scale = 3.0;
   std::vector<SimTime> at;
   TraceWorkload wl(engine, trace, cfg,
-                   [&](std::uint16_t, std::vector<std::uint8_t>&&) {
-                     at.push_back(engine.now());
-                   });
+                   [&](std::uint16_t, std::vector<std::uint8_t>&&,
+                       SimTime when) { at.push_back(when); });
   wl.start();
   engine.run();
   ASSERT_EQ(at.size(), 1u);

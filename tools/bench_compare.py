@@ -16,7 +16,14 @@ also how the baseline file nests its snapshots.
 What is compared
 ----------------
 Headline benchmarks only (the table below): `items_per_second` of each,
-current >= baseline * (1 - threshold). Absolute numbers are hardware-
+current >= baseline * (1 - threshold). Two machine-independent gate
+kinds ride along for suites that define them: counter ceilings
+(COUNTER_CEILINGS — e.g. bench_sim's burst delivery must stay at or
+under 2 engine events per packet, an absolute structural bound) and
+same-run speedups (SPEEDUPS — e.g. burst-mode Fig. 1 replay must beat
+per-packet mode by the stated factor within one artifact, so hardware
+cancels out; the floor gets the same leniency threshold as the
+baseline comparison). Absolute numbers are hardware-
 dependent, so regenerate the baseline when the reference machine
 changes; the committed snapshot intentionally comes from a slow box so
 faster CI runners compare against a lenient floor and the check catches
@@ -63,6 +70,29 @@ HEADLINES = {
         "BM_RuntimeForward/1/manual_time",
         "BM_RuntimeForward/4/manual_time",
         "BM_RuntimeForwardImix/4/manual_time",
+    ],
+    "bench_sim": [
+        "BM_LinkDeliveryEvents/burst/manual_time",
+        "BM_Fig1ImixSim/burst/manual_time",
+    ],
+}
+
+# (name, counter, ceiling): the counter must stay at or below the
+# ceiling. Absolute and machine-independent — these encode structural
+# claims (event-amortization), not throughput, so no threshold applies.
+COUNTER_CEILINGS = {
+    "bench_sim": [
+        ("BM_LinkDeliveryEvents/burst/manual_time", "events_per_packet", 2.0),
+        ("BM_Fig1ImixSim/burst/manual_time", "events_per_packet", 2.0),
+    ],
+}
+
+# (fast, slow, factor): within one artifact, items_per_second of `fast`
+# must be >= factor * that of `slow` (after the leniency threshold).
+SPEEDUPS = {
+    "bench_sim": [
+        ("BM_Fig1ImixSim/burst/manual_time",
+         "BM_Fig1ImixSim/perpacket/manual_time", 2.0),
     ],
 }
 
@@ -146,6 +176,49 @@ def main():
                   f"(floor {floor / 1e6:.2f})")
             if cur_v < floor:
                 failures.append(f"{suite}:{name}")
+
+        for name, counter, ceiling in COUNTER_CEILINGS.get(suite, []):
+            entry = current.get(name)
+            if entry is None or entry.get("error_occurred"):
+                print(f"[      FAIL] {suite}:{name}: missing or errored "
+                      f"(needed for {counter} ceiling)")
+                failures.append(f"{suite}:{name}:{counter}")
+                continue
+            value = entry.get(counter)
+            if value is None:
+                print(f"[      FAIL] {suite}:{name}: no {counter} counter "
+                      f"in this run")
+                failures.append(f"{suite}:{name}:{counter}")
+                continue
+            checked += 1
+            verdict = "ok" if value <= ceiling else "REGRESSION"
+            print(f"[{verdict:>10}] {suite}:{name}: {counter}="
+                  f"{value:.3f} (ceiling {ceiling})")
+            if value > ceiling:
+                failures.append(f"{suite}:{name}:{counter}")
+
+        for fast, slow, factor in SPEEDUPS.get(suite, []):
+            rates = []
+            for name in (fast, slow):
+                entry = current.get(name)
+                rate = None if entry is None or entry.get("error_occurred") \
+                    else entry.get("items_per_second")
+                if not rate:
+                    print(f"[      FAIL] {suite}:{name}: missing, errored, "
+                          f"or rateless (needed for the {fast} speedup)")
+                    failures.append(f"{suite}:{fast}:speedup")
+                    break
+                rates.append(rate)
+            if len(rates) != 2:
+                continue
+            ratio = rates[0] / rates[1]
+            floor = factor * (1.0 - args.threshold)
+            checked += 1
+            verdict = "ok" if ratio >= floor else "REGRESSION"
+            print(f"[{verdict:>10}] {suite}:{fast}: {ratio:.2f}x over "
+                  f"{slow} (floor {floor:.2f}x, target {factor}x)")
+            if ratio < floor:
+                failures.append(f"{suite}:{fast}:speedup")
 
     print(f"\n{checked} headline counter(s) checked, "
           f"{len(failures)} failure(s)")
