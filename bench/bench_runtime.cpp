@@ -3,13 +3,30 @@
 // reports the critical path, i.e. what an ideal parallel deployment
 // *would* do — this benchmark actually runs the worker threads and
 // measures aggregate Mpps end to end: dispatch hash, SPSC hand-off,
-// per-worker process_batch, backpressure and all. On a machine with
-// enough cores the 4-thread row should hold >= 2x the 1-thread row on
-// the batch-64 112-byte workload (the PR's acceptance line); on a
-// single-core host the rows collapse to ~1x and the interesting signal
-// is that threading overhead stays small. context.num_cpus in the JSON
-// output says which machine you are looking at (tools/bench_compare.py
-// skips thread-scaling checks when cores < threads).
+// per-worker process_batch, backpressure and all.
+//
+// Three families:
+//   BM_RuntimeForward[Imix]/M — the PR 5 shape: ONE ingress port fed
+//     from the bench thread, M workers. bench_runtime showed this
+//     single dispatcher is the ceiling (flat Mpps from 1 to 8 workers).
+//   BM_RuntimeForwardMQ/Q/M — the RSS shape: Q ingress ports, each
+//     driven by its own producer thread, M workers over the Q x M ring
+//     fabric. On a machine with >= Q+M cores the 2-queue rows must
+//     beat the single-dispatcher headline — that is this PR's
+//     acceptance line, gated in tools/bench_compare.py as a same-run
+//     speedup so runner speed cancels out.
+//   BM_UdpIngest/Q — the real-I/O front end: packets leave through
+//     actual UDP sockets on loopback and re-enter through UdpIngestor's
+//     SO_REUSEPORT socket per queue (recvmmsg batches), so the rate
+//     includes the kernel socket path. Items = datagrams that made it
+//     through the whole pipe (kernel drops under blast are excluded
+//     from the count, reported via the drop counter).
+//
+// On a single-core host the thread rows collapse to ~1x and the
+// interesting signal is that threading overhead stays small;
+// context.num_cpus in the JSON output says which machine you are
+// looking at (tools/bench_compare.py skips thread-scaling checks when
+// cores are insufficient).
 //
 // Closed loop: survivors are recycled into the worker arenas
 // (collect_egress=false), and each iteration's input packets are
@@ -17,10 +34,13 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <thread>
 #include <vector>
 
 #include "core/replay.hpp"
+#include "net/udp.hpp"
 #include "runtime/shard_runtime.hpp"
+#include "runtime/udp_ingest.hpp"
 #include "sim/trace_workload.hpp"
 
 namespace {
@@ -69,12 +89,13 @@ std::vector<net::Packet> flow_templates(bool imix) {
 
 void runtime_forward_body(benchmark::State& state, bool imix) {
   const std::size_t threads = static_cast<std::size_t>(state.range(0));
-  runtime::RuntimeOptions options;
-  options.ring_capacity = 2048;
-  options.max_batch = 64;
-  options.collect_egress = false;  // closed loop: survivors recycle
+  runtime::RuntimeConfig config;
+  config.ring_capacity = 2048;
+  config.max_batch = 64;
+  config.collect_egress = false;  // closed loop: survivors recycle
   runtime::ShardRuntime runtime(threads, service_config(), root_key(),
-                                options);
+                                config);
+  runtime::IngressPort ingress = runtime.port(0);
 
   const auto tmpls = flow_templates(imix);
   std::uint64_t iter_bytes = 0;
@@ -91,9 +112,7 @@ void runtime_forward_body(benchmark::State& state, bool imix) {
       wave.push_back(net::Packet(tmpls[i % tmpls.size()]));
     }
     const auto start = std::chrono::steady_clock::now();
-    for (auto& pkt : wave) {
-      runtime.submit(std::move(pkt), 0);
-    }
+    ingress.submit_burst(wave, 0);
     runtime.flush();
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - start;
@@ -133,25 +152,170 @@ BENCHMARK(BM_RuntimeForwardImix)
     ->Arg(8)
     ->UseManualTime();
 
+// Multi-queue RSS ingestion: Q producer threads, each owning one
+// IngressPort, submit disjoint slices of the wave concurrently into
+// the Q x M ring fabric. This is the row that must clear the
+// single-dispatcher ceiling on a multi-core runner.
+void BM_RuntimeForwardMQ(benchmark::State& state) {
+  const std::size_t queues = static_cast<std::size_t>(state.range(0));
+  const std::size_t workers = static_cast<std::size_t>(state.range(1));
+  runtime::RuntimeConfig config;
+  config.ingress_queues = queues;
+  config.ring_capacity = 2048;
+  config.max_batch = 64;
+  config.collect_egress = false;
+  runtime::ShardRuntime runtime(workers, service_config(), root_key(),
+                                config);
+
+  const auto tmpls = flow_templates(false);
+  // Per-queue waves, refilled untimed each iteration.
+  std::vector<std::vector<net::Packet>> waves(queues);
+  const std::size_t per_queue = kPacketsPerIter / queues;
+  for (auto& w : waves) w.reserve(per_queue);
+
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < queues; ++q) {
+      waves[q].clear();
+      for (std::size_t i = 0; i < per_queue; ++i) {
+        waves[q].push_back(
+            net::Packet(tmpls[(q * per_queue + i) % tmpls.size()]));
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> producers;
+    producers.reserve(queues);
+    for (std::size_t q = 0; q < queues; ++q) {
+      producers.emplace_back([&runtime, &waves, q, workers] {
+        (void)runtime::pin_current_thread(runtime::placement_cpu_for_ingress(
+            runtime.config(), q, workers));
+        runtime.port(q).submit_burst(waves[q], 0);
+      });
+    }
+    for (auto& t : producers) t.join();
+    runtime.flush();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    state.SetIterationTime(elapsed.count());
+  }
+  runtime.stop();
+  const std::uint64_t expect =
+      state.iterations() * static_cast<std::uint64_t>(per_queue * queues);
+  if (runtime.aggregate_stats().data_forwarded != expect) {
+    state.SkipWithError("not every packet was forwarded");
+    return;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(expect));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(expect) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["queues"] = static_cast<double>(queues);
+  state.counters["threads"] = static_cast<double>(workers);
+}
+BENCHMARK(BM_RuntimeForwardMQ)
+    ->Args({2, 2})
+    ->Args({2, 4})
+    ->Args({4, 4})
+    ->UseManualTime();
+
 // The dispatch + SPSC hand-off cost alone, with the consumer draining
-// and discarding as fast as it can: the per-packet toll the dispatcher
+// and discarding as fast as it can: the per-packet toll one ingress
 // thread pays before any neutralization happens. Single worker so the
 // number is a clean producer-side figure.
 void BM_RuntimeDispatchHandoff(benchmark::State& state) {
-  runtime::RuntimeOptions options;
-  options.ring_capacity = 4096;
-  options.collect_egress = false;
+  runtime::RuntimeConfig config;
+  config.ring_capacity = 4096;
+  config.collect_egress = false;
   core::NeutralizerConfig cfg = service_config();
-  runtime::ShardRuntime runtime(1, cfg, root_key(), options);
+  runtime::ShardRuntime runtime(1, cfg, root_key(), config);
+  runtime::IngressPort ingress = runtime.port(0);
   // Garbage packets (too short to parse) are rejected by the worker in
   // one branch — the measurement is the hand-off, not the datapath.
   const net::Packet junk{std::vector<std::uint8_t>(16, 0)};
   for (auto _ : state) {
-    runtime.submit(net::Packet(junk), 0);
+    ingress.submit(net::Packet(junk), 0);
   }
   runtime.flush();
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RuntimeDispatchHandoff);
+
+// Socket-path ingestion rate: a sender thread blasts the 112-byte
+// workload through real loopback UDP datagrams; UdpIngestor's per-queue
+// SO_REUSEPORT sockets recvmmsg them into the ring fabric. Items are
+// the packets that completed the whole kernel->ring->worker pipe.
+void BM_UdpIngest(benchmark::State& state) {
+  const std::size_t queues = static_cast<std::size_t>(state.range(0));
+  runtime::RuntimeConfig config;
+  config.ingress_queues = queues;
+  config.ring_capacity = 4096;
+  config.max_batch = 64;
+  config.collect_egress = false;
+  runtime::ShardRuntime runtime(queues, service_config(), root_key(),
+                                config);
+  runtime::UdpIngestConfig icfg;
+  icfg.rcvbuf_bytes = 8 << 20;
+  runtime::UdpIngestor ingest(runtime, icfg);
+  ingest.start();
+  if (!ingest.running()) {
+    state.SkipWithError("UDP ingestor failed to start (no loopback?)");
+    return;
+  }
+
+  const auto tmpls = flow_templates(false);
+  constexpr std::size_t kBurst = 16384;
+  // Several sender sockets: SO_REUSEPORT spreads load by 4-tuple hash,
+  // so one source socket would pin every datagram to one queue.
+  std::vector<net::UdpSocket> senders;
+  for (std::size_t s = 0; s < 4 * queues; ++s) {
+    auto sock = net::UdpSocket::open();
+    if (!sock.valid()) {
+      state.SkipWithError("cannot open sender socket");
+      return;
+    }
+    senders.push_back(std::move(sock));
+  }
+  const net::Ipv4Addr loop(127, 0, 0, 1);
+
+  std::uint64_t received_total = 0;
+  double seconds = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = ingest.stats_total().submitted;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      const auto& pkt = tmpls[i % tmpls.size()];
+      (void)senders[i % senders.size()].send_to(loop, ingest.port(),
+                                                pkt.view());
+    }
+    // Quiesce: wait until the ingest counter stops moving and every
+    // accepted packet has been processed. Kernel-dropped datagrams
+    // (receiver outrun under blast) simply never arrive.
+    std::uint64_t last = ingest.stats_total().submitted;
+    for (int stable = 0; stable < 3;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const std::uint64_t now_count = ingest.stats_total().submitted;
+      stable = now_count == last ? stable + 1 : 0;
+      last = now_count;
+    }
+    runtime.flush();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    state.SetIterationTime(elapsed.count());
+    seconds += elapsed.count();
+    received_total += last - before;
+  }
+  ingest.stop();
+  runtime.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(received_total));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(received_total) / 1e6, benchmark::Counter::kIsRate);
+  state.counters["queues"] = static_cast<double>(queues);
+  const std::uint64_t sent =
+      state.iterations() * static_cast<std::uint64_t>(kBurst);
+  state.counters["kernel_drop_frac"] =
+      sent == 0 ? 0.0
+                : static_cast<double>(sent - received_total) /
+                      static_cast<double>(sent);
+  (void)seconds;
+}
+BENCHMARK(BM_UdpIngest)->Arg(1)->Arg(2)->UseManualTime();
 
 }  // namespace

@@ -1,16 +1,19 @@
 // Threaded shard runtime demo: pushes the paper's 112-byte workload
-// through ShardRuntime at 1/2/4/8 worker threads and prints the
-// per-thread scaling table — real threads, real SPSC rings, wall-clock
-// time. On a multi-core host the table shows aggregate Mpps climbing
-// with the thread count; on a single core it shows the runtime's
-// overhead staying honest (rows ~1x). Exits nonzero if any packet is
-// lost or any configuration's output stats diverge — the scaling must
-// never cost a byte of correctness.
+// through ShardRuntime and prints two scaling tables — real threads,
+// real SPSC rings, wall-clock time. The first table is the PR 5 shape
+// (one ingress port, 1/2/4/8 workers); the second is the RSS shape
+// (Q ingress ports, each driven by its own producer thread, over the
+// Q x M ring fabric), which is where the single-dispatcher ceiling
+// lifts. On a single core every row shows ~1x — the interesting signal
+// there is the runtime's overhead staying honest. Exits nonzero if any
+// packet is lost or any configuration's output stats diverge — the
+// scaling must never cost a byte of correctness.
 //
 // Build & run:  ./build/examples/runtime_throughput [packets]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "core/replay.hpp"
@@ -44,24 +47,43 @@ struct RunResult {
   std::vector<std::uint64_t> per_worker;
 };
 
-RunResult run_config(std::size_t threads,
+RunResult run_config(std::size_t queues, std::size_t threads,
                      const std::vector<net::Packet>& tmpls,
                      std::size_t packets) {
-  runtime::RuntimeOptions options;
-  options.ring_capacity = 2048;
-  options.max_batch = 64;
-  options.collect_egress = false;  // closed loop
+  runtime::RuntimeConfig config;
+  config.ingress_queues = queues;
+  config.ring_capacity = 2048;
+  config.max_batch = 64;
+  config.collect_egress = false;  // closed loop
   runtime::ShardRuntime runtime(threads, service_config(), root_key(),
-                                options);
+                                config);
 
-  std::vector<net::Packet> wave;
-  wave.reserve(packets);
-  for (std::size_t i = 0; i < packets; ++i) {
-    wave.push_back(net::Packet(tmpls[i % tmpls.size()]));
+  // Pre-built per-queue waves so the timed region is submission only.
+  const std::size_t per_queue = packets / queues;
+  std::vector<std::vector<net::Packet>> waves(queues);
+  for (std::size_t q = 0; q < queues; ++q) {
+    waves[q].reserve(per_queue);
+    for (std::size_t i = 0; i < per_queue; ++i) {
+      waves[q].push_back(
+          net::Packet(tmpls[(q * per_queue + i) % tmpls.size()]));
+    }
   }
 
   const auto start = std::chrono::steady_clock::now();
-  for (auto& pkt : wave) runtime.submit(std::move(pkt), 0);
+  if (queues == 1) {
+    runtime.port(0).submit_burst(waves[0], 0);
+  } else {
+    std::vector<std::thread> producers;
+    producers.reserve(queues);
+    for (std::size_t q = 0; q < queues; ++q) {
+      producers.emplace_back([&runtime, &waves, q, threads] {
+        (void)runtime::pin_current_thread(runtime::placement_cpu_for_ingress(
+            runtime.config(), q, threads));
+        runtime.port(q).submit_burst(waves[q], 0);
+      });
+    }
+    for (auto& t : producers) t.join();
+  }
   runtime.flush();
   const std::chrono::duration<double> elapsed =
       std::chrono::steady_clock::now() - start;
@@ -74,6 +96,30 @@ RunResult run_config(std::size_t threads,
   for (const auto& w : stats.workers) r.per_worker.push_back(w.processed);
   runtime.stop();
   return r;
+}
+
+bool print_row(std::size_t queues, std::size_t threads, const RunResult& r,
+               std::size_t expected, double base_mpps) {
+  const double mpps = static_cast<double>(expected) / r.seconds / 1e6;
+  std::printf("  %2zu x %-2zu   %10.2f   %7.2f   %6.2fx   %15llu\n", queues,
+              threads, r.seconds * 1e3, mpps,
+              base_mpps > 0 ? mpps / base_mpps : 1.0,
+              static_cast<unsigned long long>(r.blocked_waits));
+  bool ok = true;
+  if (r.forwarded != expected) {
+    std::fprintf(stderr, "FAIL: %zux%zu forwarded %llu of %zu packets\n",
+                 queues, threads,
+                 static_cast<unsigned long long>(r.forwarded), expected);
+    ok = false;
+  }
+  std::uint64_t sum = 0;
+  for (const auto p : r.per_worker) sum += p;
+  if (sum != expected) {
+    std::fprintf(stderr, "FAIL: per-worker processed counts sum to %llu\n",
+                 static_cast<unsigned long long>(sum));
+    ok = false;
+  }
+  return ok;
 }
 
 }  // namespace
@@ -93,36 +139,31 @@ int main(int argc, char** argv) {
   std::printf("threaded shard runtime: %zu x 112B packets, %u hardware "
               "core(s)\n\n",
               packets, std::thread::hardware_concurrency());
-  std::printf("  threads      wall ms      Mpps   speedup   ring-full waits\n");
+  std::printf("single ingress port (PR 5 shape):\n");
+  std::printf("  Q x M        wall ms      Mpps   speedup   ring-full waits\n");
 
   double base_mpps = 0;
   bool ok = true;
   for (const std::size_t threads : {1, 2, 4, 8}) {
-    const RunResult r = run_config(threads, tmpls, packets);
-    const double mpps =
-        static_cast<double>(packets) / r.seconds / 1e6;
-    if (threads == 1) base_mpps = mpps;
-    std::printf("  %7zu   %10.2f   %7.2f   %6.2fx   %15llu\n", threads,
-                r.seconds * 1e3, mpps, mpps / base_mpps,
-                static_cast<unsigned long long>(r.blocked_waits));
-    if (r.forwarded != packets) {
-      std::fprintf(stderr,
-                   "FAIL: %zu threads forwarded %llu of %zu packets\n",
-                   threads, static_cast<unsigned long long>(r.forwarded),
-                   packets);
-      ok = false;
+    const RunResult r = run_config(1, threads, tmpls, packets);
+    if (threads == 1) {
+      base_mpps = static_cast<double>(packets) / r.seconds / 1e6;
     }
-    std::uint64_t sum = 0;
-    for (const auto p : r.per_worker) sum += p;
-    if (sum != packets) {
-      std::fprintf(stderr, "FAIL: per-worker processed counts sum to %llu\n",
-                   static_cast<unsigned long long>(sum));
-      ok = false;
-    }
+    ok = print_row(1, threads, r, packets, base_mpps) && ok;
   }
+
+  std::printf("\nmulti-queue ingress (RSS shape, Q producer threads):\n");
+  std::printf("  Q x M        wall ms      Mpps   speedup   ring-full waits\n");
+  for (const auto& [queues, threads] :
+       {std::pair<std::size_t, std::size_t>{2, 2}, {2, 4}, {4, 4}}) {
+    const std::size_t expected = (packets / queues) * queues;
+    const RunResult r = run_config(queues, threads, tmpls, packets);
+    ok = print_row(queues, threads, r, expected, base_mpps) && ok;
+  }
+
   if (!ok) return 1;
   std::printf(
-      "\nEvery configuration processed every packet; the thread count only\n"
-      "chooses how many cores share the (stateless) work.\n");
+      "\nEvery configuration processed every packet; queues choose how many\n"
+      "producers feed the box, threads how many cores share the work.\n");
   return 0;
 }

@@ -94,12 +94,20 @@ void ShardedNeutralizerBox::join_service_anycast(sim::Network& net) {
   }
 }
 
+void ShardedNeutralizerBox::back_with_runtime(runtime::RuntimeConfig config) {
+  config.collect_egress = true;  // the box re-emits the survivors
+  runtime_ = std::make_unique<runtime::ShardRuntime>(
+      cluster_.shard_count(), cluster_.config(), root_key_, config);
+}
+
 void ShardedNeutralizerBox::consume_at(net::Packet&& pkt, sim::SimTime at) {
   // §3.4 inbound leg: dynamic-address translation, served by shard 0
   // where the (deliberate, per-session) allocator state lives.
   if (pkt.size() >= net::kIpv4HeaderSize) {
-    if (cluster_.owns_dynamic(net::packet_dst(pkt))) {
-      auto translated = cluster_.translate_dynamic(std::move(pkt));
+    if (owns_dynamic(net::packet_dst(pkt))) {
+      auto translated =
+          runtime_ ? runtime_->shard_mut(0).translate_dynamic(std::move(pkt))
+                   : cluster_.translate_dynamic(std::move(pkt));
       if (translated.has_value()) send(std::move(*translated), at);
       return;
     }
@@ -124,6 +132,11 @@ void ShardedNeutralizerBox::drain_all() {
     const sim::SimTime at = pending_[i].at;
     std::size_t j = i;
     while (j < pending_.size() && pending_[j].at == at) ++j;
+    if (runtime_) {
+      drain_group_on_runtime(i, j, at);
+      i = j;
+      continue;
+    }
     for (std::size_t k = i; k < j; ++k) {
       cluster_.enqueue(std::move(pending_[k].pkt));
     }
@@ -142,6 +155,35 @@ void ShardedNeutralizerBox::drain_all() {
   }
   pending_.clear();
   drained_.clear();
+}
+
+// One stamp group on the backing runtime: submit through the ingress
+// ports (round-robin when there are several), flush to quiescence, and
+// emit each worker's egress from the shard position the in-process
+// drain would have used. With one ingress queue the per-shard lane is
+// a single FIFO, so the emission sequence is byte-identical to the
+// in-process path.
+void ShardedNeutralizerBox::drain_group_on_runtime(std::size_t first,
+                                                   std::size_t last,
+                                                   sim::SimTime at) {
+  std::vector<std::size_t> burst(runtime_->worker_count(), 0);
+  const std::size_t queues = runtime_->ingress_queues();
+  for (std::size_t k = first; k < last; ++k) {
+    burst[cluster_.shard_for(pending_[k].pkt)] += 1;
+    runtime_->port((k - first) % queues)
+        .submit(std::move(pending_[k].pkt), at);
+  }
+  runtime_->flush();
+  for (std::size_t s = 0; s < runtime_->worker_count(); ++s) {
+    if (burst[s] == 0) continue;
+    batch_stats_.batches += 1;
+    batch_stats_.batched_packets += burst[s];
+    batch_stats_.max_batch =
+        std::max<std::uint64_t>(batch_stats_.max_batch, burst[s]);
+    auto& egress = runtime_->shard_egress(s);
+    for (auto& pkt : egress) emit_from_shard(s, std::move(pkt), at);
+    egress.clear();
+  }
 }
 
 void ShardedNeutralizerBox::emit_from_shard(std::size_t shard,

@@ -23,6 +23,7 @@
 #include "core/box.hpp"
 #include "core/neutralizer.hpp"
 #include "net/arena.hpp"
+#include "runtime/shard_runtime.hpp"
 #include "sim/network.hpp"
 #include "sim/node.hpp"
 
@@ -131,16 +132,39 @@ class ShardedNeutralizerBox final : public sim::Router {
       : Router(std::move(name)),
         cluster_(shard_count, config, root_key),
         costs_(costs),
+        root_key_(root_key),
         shard_busy_until_(cluster_.shard_count(), 0) {}
+
+  /// Switches the box to execute its drains on a real ShardRuntime
+  /// (one worker thread per shard) through the IngressPort surface
+  /// instead of the in-process cluster. The sim thread submits each
+  /// stamp group through the ports, flushes, and emits the per-shard
+  /// egress exactly where the in-process drain would have — so with
+  /// the default single ingress queue the emitted wire bytes are
+  /// identical to the in-process mode, packet for packet
+  /// (tests/core/test_sharded_box.cpp pins this). With
+  /// `config.ingress_queues > 1` the sim thread round-robins the ports
+  /// and per-shard output is multiset-identical but may interleave
+  /// differently. Must be called before any traffic reaches the box;
+  /// `collect_egress` is forced on (the box needs the survivors).
+  /// Throws std::invalid_argument on an invalid RuntimeConfig.
+  void back_with_runtime(runtime::RuntimeConfig config = {});
+
+  /// The backing runtime, or nullptr when running in-process.
+  [[nodiscard]] runtime::ShardRuntime* backing_runtime() noexcept {
+    return runtime_.get();
+  }
 
   /// The hosted cluster (for per-shard inspection in tests/examples).
   [[nodiscard]] ShardedNeutralizer& cluster() noexcept { return cluster_; }
   [[nodiscard]] const ShardedNeutralizer& cluster() const noexcept {
     return cluster_;
   }
-  /// Sum of every shard's NeutralizerStats.
+  /// Sum of every shard's NeutralizerStats (from the backing runtime
+  /// when one is attached — the in-process cluster is idle then).
   [[nodiscard]] NeutralizerStats aggregate_stats() const {
-    return cluster_.aggregate_stats();
+    return runtime_ ? runtime_->aggregate_stats()
+                    : cluster_.aggregate_stats();
   }
   /// Aggregate over all shard drains: one "batch" per shard per instant.
   [[nodiscard]] const BoxBatchStats& batch_stats() const noexcept {
@@ -157,7 +181,7 @@ class ShardedNeutralizerBox final : public sim::Router {
 
  protected:
   [[nodiscard]] bool is_local_destination(net::Ipv4Addr dst) const override {
-    return dst == anycast_addr() || cluster_.owns_dynamic(dst) ||
+    return dst == anycast_addr() || owns_dynamic(dst) ||
            sim::Router::is_local_destination(dst);
   }
   void consume_at(net::Packet&& pkt, sim::SimTime at) override;
@@ -165,6 +189,8 @@ class ShardedNeutralizerBox final : public sim::Router {
  private:
   ShardedNeutralizer cluster_;
   BoxCosts costs_;
+  crypto::AesKey root_key_;  // kept for deferred runtime construction
+  std::unique_ptr<runtime::ShardRuntime> runtime_;
   BoxBatchStats batch_stats_;
   // Per-shard serial-server horizon: the time the shard's core frees up.
   std::vector<sim::SimTime> shard_busy_until_;
@@ -174,7 +200,18 @@ class ShardedNeutralizerBox final : public sim::Router {
   std::vector<sim::Delivery> pending_;
   std::vector<net::Packet> drained_;  // scratch, reused across drains
 
+  // Shard-0 dynamic-address state, wherever it lives (runtime worker 0
+  // when backed, cluster shard 0 otherwise). Safe off the worker
+  // threads: the runtime is quiescent between instants (every drain
+  // ends with flush()).
+  [[nodiscard]] bool owns_dynamic(net::Ipv4Addr dst) const noexcept {
+    return runtime_ ? runtime_->shard(0).owns_dynamic(dst)
+                    : cluster_.owns_dynamic(dst);
+  }
+
   void drain_all();
+  void drain_group_on_runtime(std::size_t first, std::size_t last,
+                              sim::SimTime at);
   void emit_from_shard(std::size_t shard, net::Packet&& pkt, sim::SimTime at);
 };
 

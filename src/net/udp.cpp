@@ -1,0 +1,250 @@
+#include "net/udp.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NN_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+#else
+#define NN_HAVE_SOCKETS 0
+#endif
+
+namespace nn::net {
+
+namespace {
+
+constexpr std::size_t kMaxDatagram = 65535;
+
+#if NN_HAVE_SOCKETS
+sockaddr_in make_sockaddr(Ipv4Addr addr, std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(addr.value());
+  return sa;
+}
+#endif
+
+}  // namespace
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), error_(std::move(other.error_)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+UdpSocket::~UdpSocket() { close(); }
+
+bool UdpSocket::supported() noexcept { return NN_HAVE_SOCKETS != 0; }
+
+void UdpSocket::close() noexcept {
+#if NN_HAVE_SOCKETS
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+}
+
+UdpSocket UdpSocket::open() {
+  UdpSocket s;
+#if NN_HAVE_SOCKETS
+  s.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (s.fd_ < 0) s.error_ = std::strerror(errno);
+#else
+  s.error_ = "sockets unavailable on this platform";
+#endif
+  return s;
+}
+
+UdpSocket UdpSocket::bind_loopback(std::uint16_t port, bool reuse_port) {
+  UdpSocket s = open();
+#if NN_HAVE_SOCKETS
+  if (!s.valid()) return s;
+  if (reuse_port) {
+    const int one = 1;
+#ifdef SO_REUSEPORT
+    if (::setsockopt(s.fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) !=
+        0) {
+      s.error_ = std::string("SO_REUSEPORT: ") + std::strerror(errno);
+      s.close();
+      return s;
+    }
+#else
+    (void)one;
+    s.error_ = "SO_REUSEPORT unsupported";
+    s.close();
+    return s;
+#endif
+  }
+  const sockaddr_in sa = make_sockaddr(Ipv4Addr(127, 0, 0, 1), port);
+  if (::bind(s.fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    s.error_ = std::string("bind: ") + std::strerror(errno);
+    s.close();
+  }
+#else
+  (void)port;
+  (void)reuse_port;
+#endif
+  return s;
+}
+
+std::uint16_t UdpSocket::local_port() const noexcept {
+#if NN_HAVE_SOCKETS
+  if (fd_ < 0) return 0;
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return 0;
+  }
+  return ntohs(sa.sin_port);
+#else
+  return 0;
+#endif
+}
+
+bool UdpSocket::set_recv_buffer(int bytes) noexcept {
+#if NN_HAVE_SOCKETS
+  return fd_ >= 0 && ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &bytes,
+                                  sizeof(bytes)) == 0;
+#else
+  (void)bytes;
+  return false;
+#endif
+}
+
+bool UdpSocket::set_recv_timeout_ms(int ms) noexcept {
+#if NN_HAVE_SOCKETS
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return fd_ >= 0 &&
+         ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
+#else
+  (void)ms;
+  return false;
+#endif
+}
+
+bool UdpSocket::send_to(Ipv4Addr addr, std::uint16_t port,
+                        std::span<const std::uint8_t> payload) noexcept {
+#if NN_HAVE_SOCKETS
+  if (fd_ < 0) return false;
+  const sockaddr_in sa = make_sockaddr(addr, port);
+  const ssize_t n =
+      ::sendto(fd_, payload.data(), payload.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  return n == static_cast<ssize_t>(payload.size());
+#else
+  (void)addr;
+  (void)port;
+  (void)payload;
+  return false;
+#endif
+}
+
+std::size_t UdpSocket::send_batch(
+    Ipv4Addr addr, std::uint16_t port,
+    std::span<const std::span<const std::uint8_t>> bufs) {
+#if NN_HAVE_SOCKETS && defined(__linux__)
+  if (fd_ < 0 || bufs.empty()) return 0;
+  const sockaddr_in sa = make_sockaddr(addr, port);
+  std::vector<mmsghdr> msgs(bufs.size());
+  std::vector<iovec> iovs(bufs.size());
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    iovs[i].iov_base = const_cast<std::uint8_t*>(bufs[i].data());
+    iovs[i].iov_len = bufs[i].size();
+    msgs[i] = mmsghdr{};
+    msgs[i].msg_hdr.msg_name =
+        const_cast<void*>(static_cast<const void*>(&sa));
+    msgs[i].msg_hdr.msg_namelen = sizeof(sa);
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  std::size_t sent = 0;
+  while (sent < msgs.size()) {
+    const int n = ::sendmmsg(fd_, msgs.data() + sent,
+                             static_cast<unsigned>(msgs.size() - sent), 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  return sent;
+#else
+  std::size_t sent = 0;
+  for (const auto& b : bufs) {
+    if (!send_to(addr, port, b)) break;
+    ++sent;
+  }
+  return sent;
+#endif
+}
+
+std::size_t UdpSocket::recv_batch(std::vector<UdpDatagram>& out,
+                                  std::size_t max) {
+  out.clear();
+  if (fd_ < 0 || max == 0) return 0;
+#if NN_HAVE_SOCKETS && defined(__linux__)
+  std::vector<std::vector<std::uint8_t>> bufs(max);
+  std::vector<mmsghdr> msgs(max);
+  std::vector<iovec> iovs(max);
+  std::vector<sockaddr_in> froms(max);
+  for (std::size_t i = 0; i < max; ++i) {
+    bufs[i].resize(kMaxDatagram);
+    iovs[i].iov_base = bufs[i].data();
+    iovs[i].iov_len = bufs[i].size();
+    msgs[i] = mmsghdr{};
+    msgs[i].msg_hdr.msg_name = &froms[i];
+    msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  // MSG_WAITFORONE: block for the first datagram (bounded by
+  // SO_RCVTIMEO), then return with whatever else is already queued.
+  const int n = ::recvmmsg(fd_, msgs.data(), static_cast<unsigned>(max),
+                           MSG_WAITFORONE, nullptr);
+  if (n <= 0) return 0;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    UdpDatagram d;
+    bufs[static_cast<std::size_t>(i)].resize(msgs[i].msg_len);
+    d.bytes = std::move(bufs[static_cast<std::size_t>(i)]);
+    d.source = Ipv4Addr(ntohl(froms[static_cast<std::size_t>(i)]
+                                  .sin_addr.s_addr));
+    d.source_port = ntohs(froms[static_cast<std::size_t>(i)].sin_port);
+    out.push_back(std::move(d));
+  }
+  return out.size();
+#elif NN_HAVE_SOCKETS
+  std::vector<std::uint8_t> buf(kMaxDatagram);
+  sockaddr_in from{};
+  socklen_t fromlen = sizeof(from);
+  const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                               reinterpret_cast<sockaddr*>(&from), &fromlen);
+  if (n <= 0) return 0;
+  UdpDatagram d;
+  buf.resize(static_cast<std::size_t>(n));
+  d.bytes = std::move(buf);
+  d.source = Ipv4Addr(ntohl(from.sin_addr.s_addr));
+  d.source_port = ntohs(from.sin_port);
+  out.push_back(std::move(d));
+  return 1;
+#else
+  (void)max;
+  return 0;
+#endif
+}
+
+}  // namespace nn::net

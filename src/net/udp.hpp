@@ -1,0 +1,85 @@
+// Thin RAII wrapper over a POSIX UDP socket, scoped to exactly what the
+// runtime's loopback front end needs: SO_REUSEPORT group binding (the
+// kernel's software RSS — it hashes the 4-tuple across every socket
+// bound to the same port), recvmmsg()/sendmmsg() batches, and a receive
+// timeout so a blocking reader can poll a stop flag.
+//
+// Deliberately not a general networking layer: IPv4 only, datagrams
+// only, no connect(). On non-Linux POSIX systems the batch calls
+// degrade to a recvfrom()/sendto() loop; on platforms without sockets
+// the whole type compiles but open() reports failure, so callers (and
+// tests) gate on UdpSocket::supported().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/addr.hpp"
+
+namespace nn::net {
+
+/// One datagram hand-back from UdpSocket::recv_batch.
+struct UdpDatagram {
+  std::vector<std::uint8_t> bytes;
+  Ipv4Addr source;
+  std::uint16_t source_port = 0;
+};
+
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  ~UdpSocket();
+
+  /// True when this build has a socket layer at all.
+  static bool supported() noexcept;
+
+  /// Unbound send-side socket.
+  static UdpSocket open();
+
+  /// Socket bound to 127.0.0.1:`port` (port 0 = kernel-assigned; read
+  /// the outcome with local_port()). When `reuse_port` is set the
+  /// SO_REUSEPORT option is applied before bind so several sockets can
+  /// share the port and split the datagram stream.
+  static UdpSocket bind_loopback(std::uint16_t port, bool reuse_port);
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Port this socket is bound to (0 if unbound/invalid).
+  [[nodiscard]] std::uint16_t local_port() const noexcept;
+
+  /// Last socket-layer error message, for logs and SkipWithError.
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// SO_RCVBUF request (kernel may clamp; best effort).
+  bool set_recv_buffer(int bytes) noexcept;
+  /// SO_RCVTIMEO so recv_batch wakes up to poll stop flags.
+  bool set_recv_timeout_ms(int ms) noexcept;
+
+  /// Sends one datagram to addr:port. Returns false on any error.
+  bool send_to(Ipv4Addr addr, std::uint16_t port,
+               std::span<const std::uint8_t> payload) noexcept;
+
+  /// Sends many datagrams to the same destination with sendmmsg where
+  /// available; returns how many the kernel accepted.
+  std::size_t send_batch(Ipv4Addr addr, std::uint16_t port,
+                         std::span<const std::span<const std::uint8_t>> bufs);
+
+  /// Receives up to `max` datagrams (recvmmsg where available),
+  /// blocking up to the configured receive timeout for the first one.
+  /// Returns 0 on timeout; out is cleared then filled.
+  std::size_t recv_batch(std::vector<UdpDatagram>& out, std::size_t max);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string error_;
+};
+
+}  // namespace nn::net

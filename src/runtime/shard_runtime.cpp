@@ -1,7 +1,9 @@
 #include "runtime/shard_runtime.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <stdexcept>
 
 #include "core/sharded_box.hpp"
 
@@ -14,25 +16,12 @@ namespace nn::runtime {
 
 namespace {
 
-/// Best-effort pinning of the calling thread to `cpu`; failures are
-/// ignored (a container may expose fewer CPUs than advertised, and a
-/// mis-pinned worker is merely slower, never wrong).
-void pin_current_thread(std::size_t cpu) {
-#if defined(__linux__)
-  cpu_set_t set;
-  CPU_ZERO(&set);
-  CPU_SET(cpu, &set);
-  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
-#else
-  (void)cpu;
-#endif
-}
-
-/// Idle backoff shared by the dispatcher's waits and the worker's empty
-/// polls: stay on cheap yields while the counterpart is likely mid-
-/// burst, drop to a short sleep once the queue has clearly gone quiet —
-/// essential on single-core hosts, where a spinning thread would stall
-/// the very thread it is waiting on for a whole scheduling quantum.
+/// Idle backoff shared by the ports' blocking waits and the workers'
+/// empty polls: stay on cheap yields while the counterpart is likely
+/// mid-burst, drop to a short sleep once the queue has clearly gone
+/// quiet — essential on single-core hosts, where a spinning thread
+/// would stall the very thread it is waiting on for a whole scheduling
+/// quantum.
 struct Backoff {
   unsigned spins = 0;
   void pause() {
@@ -45,30 +34,109 @@ struct Backoff {
   void reset() { spins = 0; }
 };
 
+/// Single-writer counter bump: the only writer is the owning thread,
+/// so load+store (no lock prefix) beats fetch_add on the hot path.
+inline void bump(std::atomic<std::uint64_t>& c, std::uint64_t by,
+                 std::memory_order publish_order) noexcept {
+  c.store(c.load(std::memory_order_relaxed) + by, publish_order);
+}
+
 }  // namespace
+
+bool pin_current_thread(int cpu) noexcept {
+  if (cpu < 0) return true;  // "do not pin" is trivially successful
+#if defined(__linux__)
+  if (cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  return false;  // no affinity support on this platform: surfaced, not hidden
+#endif
+}
+
+int placement_cpu_for_worker(const RuntimeConfig& cfg, std::size_t m,
+                             std::size_t workers) noexcept {
+  (void)workers;
+  if (!cfg.worker_cpus.empty()) {
+    return cfg.worker_cpus[m % cfg.worker_cpus.size()];
+  }
+  if (cfg.placement == PlacementPolicy::kNone) return -1;
+  const unsigned cpus = std::thread::hardware_concurrency();
+  return cpus == 0 ? static_cast<int>(m) : static_cast<int>(m % cpus);
+}
+
+int placement_cpu_for_ingress(const RuntimeConfig& cfg, std::size_t q,
+                              std::size_t workers) noexcept {
+  if (cfg.placement == PlacementPolicy::kNone) return -1;
+  const unsigned cpus = std::thread::hardware_concurrency();
+  return cpus == 0 ? static_cast<int>(workers + q)
+                   : static_cast<int>((workers + q) % cpus);
+}
+
+std::string RuntimeConfig::validate(std::size_t worker_count) const {
+  if (worker_count == 0) {
+    return "RuntimeConfig: worker_count must be >= 1 "
+           "(the cluster needs at least one worker core)";
+  }
+  if (ingress_queues == 0) {
+    return "RuntimeConfig: ingress_queues must be >= 1 "
+           "(every packet enters through an IngressPort)";
+  }
+  if (ingress_queues > kMaxIngressQueues) {
+    return "RuntimeConfig: ingress_queues must be <= " +
+           std::to_string(kMaxIngressQueues) +
+           " (kMaxIngressQueues; got " + std::to_string(ingress_queues) + ")";
+  }
+  if (ring_capacity == 0) {
+    return "RuntimeConfig: ring_capacity must be >= 1 "
+           "(it is rounded up to a power of two)";
+  }
+  if (max_batch == 0) {
+    return "RuntimeConfig: max_batch must be >= 1 "
+           "(a zero-packet burst would livelock the worker drain loop)";
+  }
+  if (!worker_cpus.empty() && worker_cpus.size() != worker_count) {
+    return "RuntimeConfig: worker_cpus must name exactly one CPU per worker "
+           "(" + std::to_string(worker_cpus.size()) + " entries for " +
+           std::to_string(worker_count) + " workers)";
+  }
+  for (const int cpu : worker_cpus) {
+    if (cpu < 0) {
+      return "RuntimeConfig: worker_cpus entries must be >= 0 "
+             "(use PlacementPolicy::kNone to leave threads unpinned)";
+    }
+  }
+  return {};
+}
 
 ShardRuntime::ShardRuntime(std::size_t worker_count,
                            const core::NeutralizerConfig& config,
                            const crypto::AesKey& root_key,
-                           RuntimeOptions options)
-    : options_(options) {
-  if (options_.max_batch == 0) options_.max_batch = 1;  // 0 would livelock
-  const std::size_t n = worker_count == 0 ? 1 : worker_count;
-  workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    // Worker state (Neutralizer, arena, backend binding inside the AES
-    // contexts) is fully constructed here, on the control thread,
-    // before any worker thread exists — the std::thread constructor in
-    // start() is the happens-before edge that publishes it.
-    workers_.push_back(std::make_unique<Worker>(config, root_key, options_));
+                           RuntimeConfig config_in)
+    : config_(std::move(config_in)) {
+  const std::string err = config_.validate(worker_count);
+  if (!err.empty()) throw std::invalid_argument(err);
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    // Worker state (Neutralizer, arena, ring fabric, backend binding
+    // inside the AES contexts) is fully constructed here, on the
+    // control thread, before any worker thread exists — the
+    // std::thread constructor in start() is the happens-before edge
+    // that publishes it.
+    workers_.push_back(std::make_unique<Worker>(config, root_key, config_));
   }
-  if (options_.start_workers) start();
+  if (config_.start_workers) start();
 }
 
 ShardRuntime::~ShardRuntime() { stop(); }
 
 void ShardRuntime::start() {
-  if (started_ || stopped_) return;
+  // A blocking submit on a full ring may call start() from any port
+  // thread; the mutex serializes the (cold) launch path.
+  std::lock_guard<std::mutex> lock(start_mutex_);
+  if (started_ || stopped_.load(std::memory_order_acquire)) return;
   started_ = true;
   for (std::size_t i = 0; i < workers_.size(); ++i) {
     Worker& w = *workers_[i];
@@ -76,21 +144,27 @@ void ShardRuntime::start() {
   }
 }
 
+IngressPort ShardRuntime::port(std::size_t q) noexcept {
+  assert(q < config_.ingress_queues && "port(q): no such ingress queue");
+  return IngressPort(this, q);
+}
+
 std::size_t ShardRuntime::shard_for(const net::Packet& pkt) const noexcept {
   return core::shard_for_packet(pkt, workers_.size());
 }
 
-bool ShardRuntime::submit(net::Packet&& pkt, sim::SimTime now) {
-  assert(!stopped_ && "submit() after stop()");
-  if (stopped_) return false;
+bool ShardRuntime::submit_on_queue(std::size_t queue, net::Packet&& pkt,
+                                   sim::SimTime now) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
   Worker& w = *workers_[shard_for(pkt)];
-  Ingress slot{std::move(pkt), now};
-  if (!w.ring.try_push(std::move(slot))) {
-    if (options_.backpressure == BackpressurePolicy::kDrop) {
-      ++w.dropped;
+  Lane& lane = *w.lanes[queue];
+  Ingress slot{std::move(pkt), now, static_cast<std::uint32_t>(queue)};
+  if (!lane.ring.try_push(std::move(slot))) {
+    if (config_.backpressure == BackpressurePolicy::kDrop) {
+      bump(lane.dropped, 1, std::memory_order_relaxed);
       return false;  // slot (and the packet in it) destroyed here
     }
-    ++w.blocked_waits;
+    bump(lane.blocked_waits, 1, std::memory_order_relaxed);
     // Blocking on a full ring only ends when a worker drains it — make
     // sure the workers exist even under start_workers=false (start()
     // is idempotent), or this loop would spin forever.
@@ -98,17 +172,48 @@ bool ShardRuntime::submit(net::Packet&& pkt, sim::SimTime now) {
     Backoff backoff;
     do {
       backoff.pause();
-    } while (!w.ring.try_push(std::move(slot)));
+    } while (!lane.ring.try_push(std::move(slot)));
   }
-  ++w.submitted;
+  bump(lane.submitted, 1, std::memory_order_relaxed);
+  return true;
+}
+
+bool IngressPort::submit(net::Packet&& pkt, sim::SimTime now) {
+  assert(valid() && "submit() on a null IngressPort");
+  return runtime_->submit_on_queue(queue_, std::move(pkt), now);
+}
+
+std::size_t IngressPort::submit_burst(std::span<net::Packet> pkts,
+                                      sim::SimTime now) {
+  assert(valid() && "submit_burst() on a null IngressPort");
+  std::size_t accepted = 0;
+  for (net::Packet& pkt : pkts) {
+    if (runtime_->submit_on_queue(queue_, std::move(pkt), now)) ++accepted;
+  }
+  return accepted;
+}
+
+void IngressPort::flush() {
+  assert(valid() && "flush() on a null IngressPort");
+  runtime_->start();
+  Backoff backoff;
+  while (!runtime_->queue_quiescent(queue_)) backoff.pause();
+}
+
+bool ShardRuntime::queue_quiescent(std::size_t queue) const noexcept {
+  for (const auto& w : workers_) {
+    const Lane& lane = *w->lanes[queue];
+    if (lane.processed.load(std::memory_order_acquire) !=
+        lane.submitted.load(std::memory_order_relaxed)) {
+      return false;
+    }
+  }
   return true;
 }
 
 bool ShardRuntime::quiescent() const noexcept {
-  for (const auto& w : workers_) {
-    if (w->processed.load(std::memory_order_acquire) != w->submitted) {
-      return false;
-    }
+  for (std::size_t q = 0; q < config_.ingress_queues; ++q) {
+    if (!queue_quiescent(q)) return false;
   }
   return true;
 }
@@ -120,51 +225,82 @@ void ShardRuntime::flush() {
 }
 
 void ShardRuntime::stop() {
-  if (stopped_) return;
-  // Workers only exit once their ring is empty, so packets in flight at
-  // the moment stop() is called are still processed — shutdown loses
-  // nothing submit() accepted. Never-started workers are launched first
-  // for the same reason.
+  if (stopped_.load(std::memory_order_acquire)) return;
+  // Workers only exit once every one of their rings is empty, so
+  // packets in flight at the moment stop() is called are still
+  // processed — shutdown loses nothing any port accepted.
+  // Never-started workers are launched first for the same reason.
   start();
   stop_flag_.store(true, std::memory_order_release);
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
-  stopped_ = true;
+  stopped_.store(true, std::memory_order_release);
   assert(quiescent());
 }
 
 void ShardRuntime::worker_loop(Worker& w, std::size_t index) {
-  if (options_.pin_threads) {
-    const unsigned cpus = std::thread::hardware_concurrency();
-    pin_current_thread(cpus == 0 ? index : index % cpus);
+  const int want = placement_cpu_for_worker(config_, index, workers_.size());
+  if (want >= 0) {
+    const bool ok = pin_current_thread(want);
+    w.pinned_cpu.store(ok ? want : -1, std::memory_order_relaxed);
+    w.affinity_failed.store(!ok, std::memory_order_relaxed);
   }
-  w.staging.resize(options_.max_batch);
+  const std::size_t queues = config_.ingress_queues;
+  w.staging.resize(config_.max_batch);
+  w.lane_counts.assign(queues, 0);
+  // Rotating scan start keeps one busy queue from starving the others
+  // when a single pop fills max_batch.
+  std::size_t scan_from = 0;
   Backoff backoff;
   for (;;) {
-    const std::size_t n = w.ring.pop_batch(w.staging.data(), w.staging.size());
-    if (n == 0) {
-      // The stop flag is checked only when the ring reads empty, and
-      // the flag is raised before join: once we observe it here there
-      // will be no further pushes, so draining-then-exit is race-free.
-      if (stop_flag_.load(std::memory_order_acquire) && w.ring.empty()) break;
+    std::size_t got = 0;
+    for (std::size_t k = 0; k < queues && got < config_.max_batch; ++k) {
+      const std::size_t q = queues > 1 ? (scan_from + k) % queues : 0;
+      got += w.lanes[q]->ring.pop_batch(w.staging.data() + got,
+                                        config_.max_batch - got);
+    }
+    if (queues > 1) scan_from = (scan_from + 1) % queues;
+    if (got == 0) {
+      // The stop flag is checked only when every ring reads empty, and
+      // the flag is raised only once the ports are quiet (stop()'s
+      // contract): observing it here with empty rings means there is
+      // nothing left to drain, so exiting is race-free.
+      if (stop_flag_.load(std::memory_order_acquire)) {
+        bool empty = true;
+        for (const auto& lane : w.lanes) empty = empty && lane->ring.empty();
+        if (empty) break;
+      }
       backoff.pause();
       continue;
     }
     backoff.reset();
-    // Split the burst wherever the arrival timestamp changes: a single
-    // process_batch call sees one `now`, and epoch validation must match
-    // what the serial path would have decided per packet.
+    // Stamp-order merge across the worker's rings: pop_batch kept each
+    // ring's FIFO order, the stable sort interleaves the rings by
+    // arrival timestamp without reordering any single port's stream.
+    // With one queue the burst is already in submission order.
+    if (queues > 1 && got > 1) {
+      std::stable_sort(w.staging.begin(),
+                       w.staging.begin() + static_cast<std::ptrdiff_t>(got),
+                       [](const Ingress& a, const Ingress& b) {
+                         return a.now < b.now;
+                       });
+    }
+    // Split the merged burst wherever the arrival timestamp changes: a
+    // single process_batch call sees one `now`, and epoch validation
+    // must match what the serial path would have decided per packet.
     std::size_t i = 0;
-    while (i < n) {
+    while (i < got) {
       const sim::SimTime now = w.staging[i].now;
       w.pending.clear();
-      while (i < n && w.staging[i].now == now) {
+      std::fill(w.lane_counts.begin(), w.lane_counts.end(), 0);
+      while (i < got && w.staging[i].now == now) {
+        ++w.lane_counts[w.staging[i].queue];
         w.pending.push_back(std::move(w.staging[i++].pkt));
       }
       const std::uint64_t burst = w.pending.size();
       std::size_t out = 0;
-      if (options_.collect_egress) {
+      if (config_.collect_egress) {
         out = w.service.drain_into(w.pending, now, &w.arena, w.egress);
       } else {
         // Closed-loop mode: survivors go straight back to the arena so
@@ -177,16 +313,21 @@ void ShardRuntime::worker_loop(Worker& w, std::size_t index) {
         w.pending.clear();
         out = kept;
       }
-      w.survivors.fetch_add(out, std::memory_order_relaxed);
-      w.batches.fetch_add(1, std::memory_order_relaxed);
+      bump(w.survivors, out, std::memory_order_relaxed);
+      bump(w.batches, 1, std::memory_order_relaxed);
       std::uint64_t seen = w.max_batch.load(std::memory_order_relaxed);
       while (burst > seen && !w.max_batch.compare_exchange_weak(
                                  seen, burst, std::memory_order_relaxed)) {
       }
-      // Published last: pairs with the acquire in quiescent(), making
-      // everything above — egress contents included — visible to the
-      // control thread once the counts meet.
-      w.processed.fetch_add(burst, std::memory_order_release);
+      // Published last, one release per contributing lane: pairs with
+      // the acquire in queue_quiescent(), making everything above —
+      // egress contents included — visible to whoever observes the
+      // counts meet.
+      for (std::size_t q = 0; q < queues; ++q) {
+        if (w.lane_counts[q] == 0) continue;
+        bump(w.lanes[q]->processed, w.lane_counts[q],
+             std::memory_order_release);
+      }
     }
   }
 }
@@ -226,6 +367,11 @@ const core::Neutralizer& ShardRuntime::shard(std::size_t i) const {
   return workers_[i]->service;
 }
 
+core::Neutralizer& ShardRuntime::shard_mut(std::size_t i) {
+  assert_quiescent();
+  return workers_[i]->service;
+}
+
 net::PacketArena& ShardRuntime::arena(std::size_t i) {
   assert_quiescent();
   return workers_[i]->arena;
@@ -234,15 +380,31 @@ net::PacketArena& ShardRuntime::arena(std::size_t i) {
 RuntimeStats ShardRuntime::stats() const {
   RuntimeStats s;
   s.workers.reserve(workers_.size());
+  s.queues.resize(config_.ingress_queues);
   for (const auto& w : workers_) {
     WorkerCounters c;
-    c.submitted = w->submitted;
-    c.dropped = w->dropped;
-    c.blocked_waits = w->blocked_waits;
-    c.processed = w->processed.load(std::memory_order_acquire);
+    for (std::size_t q = 0; q < config_.ingress_queues; ++q) {
+      const Lane& lane = *w->lanes[q];
+      const std::uint64_t submitted =
+          lane.submitted.load(std::memory_order_relaxed);
+      const std::uint64_t dropped =
+          lane.dropped.load(std::memory_order_relaxed);
+      const std::uint64_t blocked =
+          lane.blocked_waits.load(std::memory_order_relaxed);
+      c.submitted += submitted;
+      c.dropped += dropped;
+      c.blocked_waits += blocked;
+      c.processed += lane.processed.load(std::memory_order_acquire);
+      s.queues[q].submitted += submitted;
+      s.queues[q].dropped += dropped;
+      s.queues[q].blocked_waits += blocked;
+    }
     c.survivors = w->survivors.load(std::memory_order_relaxed);
     c.batches = w->batches.load(std::memory_order_relaxed);
     c.max_batch = w->max_batch.load(std::memory_order_relaxed);
+    c.pinned_cpu = w->pinned_cpu.load(std::memory_order_relaxed);
+    c.affinity_failures =
+        w->affinity_failed.load(std::memory_order_relaxed) ? 1 : 0;
     s.workers.push_back(c);
   }
   return s;

@@ -1,18 +1,37 @@
-// ShardRuntime: the neutralizer cluster on real cores.
+// ShardRuntime: the neutralizer cluster on real cores, fed through
+// multiple RSS-style ingress queues.
 //
 // PR 3's ShardedNeutralizer proved the semantics — N shards sharing one
-// root key are byte-exactly equivalent to a single box — but executed
-// every shard serially on one core. This subsystem supplies the missing
-// half: a dispatcher thread hashes each packet with the same
-// shard_for_packet flow hash the simulated cluster uses and hands it to
-// one of N worker threads over a bounded SPSC ring; each worker owns a
-// private Neutralizer + PacketArena and drains its ring in bursts
-// through the same Neutralizer::drain_into seam the simulator drives.
+// root key are byte-exactly equivalent to a single box — and PR 5 first
+// executed it on worker threads behind a single dispatcher. That lone
+// dispatcher was the ceiling (bench_runtime: flat Mpps from 1 to 8
+// workers), exactly the bottleneck a real NIC solves with RSS: several
+// hardware RX queues, each owned by one core, all hashing flows with
+// the same function. This runtime emulates that shape:
 //
-//          submit()                try_push              drain_into
-//   caller ───────► dispatcher ──┬─[SpscRing 0]─► worker 0 ─► egress 0
-//        (shard_for_packet hash) ├─[SpscRing 1]─► worker 1 ─► egress 1
-//                                └─[SpscRing N]─► worker N ─► egress N
+//   * Q ingress queues, each exposed as an IngressPort handle obtained
+//     from port(q). Each port is a single-producer lane bundle: exactly
+//     one thread may drive a given port at a time (the "one dispatcher
+//     thread per RX queue" rule, stated instead of hidden).
+//   * M workers, each owning a private Neutralizer + PacketArena.
+//   * A Q x M ring fabric: one bounded SPSC ring per (queue, worker)
+//     pair, so no ring ever gains a second producer or consumer and the
+//     lock-free ring stays exactly as simple as the single-queue one.
+//
+//     port(0) ─► producer 0 ──┬─[ring 0,0]──► worker 0 ─► egress 0
+//                             └─[ring 0,1]─┐   merge by arrival stamp,
+//     port(1) ─► producer 1 ──┬─[ring 1,0]─┼─► split bursts on stamp
+//                             └─[ring 1,1]─┘   change, drain_into
+//                 shard_for_packet() picks the worker (= shard)
+//
+//   * On drain a worker pops a burst from each of its Q rings and
+//     stable-merges by arrival timestamp, so a packet with an earlier
+//     stamp is never processed after a later-stamped one *within a
+//     drain*, and bursts still split on stamp changes — epoch checks
+//     match the serial path packet-for-packet. Across ports the only
+//     ordering guarantee is the one real RSS gives: per-port FIFO.
+//     With one ingress queue the per-shard processing order is exactly
+//     the submission order, byte-identical to the serial cluster.
 //
 // Ownership handoff (asserted where stated, documented in net/arena.hpp):
 //   * A Packet's buffer belongs to whichever thread holds the Packet;
@@ -21,27 +40,35 @@
 //     on the control thread before the worker thread starts (the
 //     std::thread constructor is the happens-before edge) and may be
 //     touched by the control thread again only at quiescence: after
-//     flush()/stop() returned, when the worker's processed count
-//     (release) has been observed to equal the submitted count
+//     flush()/stop() returned, when every lane's processed count
+//     (release) has been observed to equal its submitted count
 //     (acquire). Accessors assert that.
 //
-// Quiescence protocol: the dispatcher counts submissions per worker
-// (plain, single-threaded); each worker publishes its processed count
-// with a release store after appending the burst's survivors to its
-// egress. flush() spins (yield + short sleep) until the counts meet.
-// stop() additionally raises the stop flag; workers drain whatever is
-// already queued, then exit — no packet that submit() accepted is ever
-// dropped by shutdown. The destructor calls stop().
+// Quiescence protocol: each port's producer thread counts submissions
+// per lane; each worker publishes per-lane processed counts with a
+// release store after appending the burst's survivors to its egress.
+// flush() spins (yield + short sleep) until every lane's counts meet;
+// IngressPort::flush() waits on that port's lanes only. stop()
+// additionally raises the stop flag; workers drain whatever is already
+// queued in *all* their rings, then exit — no packet any port accepted
+// is ever dropped by shutdown. The destructor calls stop().
 //
-// Backpressure: when a worker's ring is full the dispatcher either
-// spin-waits for space (kBlock, the default — lossless, paces the
-// caller to the slowest shard) or drops the packet and reports it
-// (kDrop, what a line-rate NIC queue would do), counted per worker.
+// Backpressure: when a lane's ring is full the submitting port either
+// spin-waits for space (kBlock, the default — lossless, paces that
+// port to the slowest shard) or drops the packet and reports it
+// (kDrop, what a line-rate NIC queue would do), counted per lane.
+//
+// The single-dispatcher surface from PR 5 survives as sugar:
+// ShardRuntime::submit(pkt, now) is exactly port(0).submit(pkt, now)
+// and is deprecated in favor of the explicit handle.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -58,17 +85,36 @@ enum class BackpressurePolicy : std::uint8_t {
   kDrop,   // submit() drops and returns false when the ring is full
 };
 
-struct RuntimeOptions {
-  /// Per-worker ring slots (rounded up to a power of two). Bounds the
-  /// dispatcher→worker in-flight window per shard.
+/// How runtime threads map onto CPUs. Pinning keeps each worker's
+/// arena and key caches hot in one core's private cache; it is always
+/// best-effort, but failures are *surfaced* in RuntimeStats
+/// (WorkerCounters::pinned_cpu / affinity_failures) rather than
+/// silently ignored, so a NUMA or cgroup misconfiguration is visible.
+enum class PlacementPolicy : std::uint8_t {
+  kNone,     // never touch thread affinity
+  kCompact,  // worker m -> CPU m % ncpu; ingress thread q -> CPU
+             // (workers + q) % ncpu — workers first, then dispatchers,
+             // so on a big enough machine every thread owns a core
+};
+
+/// Every runtime knob in one validated place. The constructor calls
+/// validate() and throws std::invalid_argument with the exact error
+/// string below — no silent clamping (the old RuntimeOptions clamped
+/// max_batch=0 to 1 in place; now it is a configuration error).
+struct RuntimeConfig {
+  /// Ingress queues (RSS RX queues). port(q) for q in [0, ingress_queues).
+  std::size_t ingress_queues = 1;
+  /// Per-(queue,worker) ring slots (rounded up to a power of two).
+  /// Bounds the in-flight window per lane.
   std::size_t ring_capacity = 1024;
   /// Largest burst a worker feeds one process_batch call.
   std::size_t max_batch = 64;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
-  /// Pin worker i to CPU (i mod hardware_concurrency). Best-effort
-  /// (Linux only, failures ignored) — keeps per-worker arenas and key
-  /// caches hot in one core's private cache.
-  bool pin_threads = true;
+  PlacementPolicy placement = PlacementPolicy::kCompact;
+  /// Explicit per-worker CPU map (NUMA-aware deployments). Empty means
+  /// "use `placement`"; otherwise it must name one CPU per worker, and
+  /// a pin that fails at runtime shows up in RuntimeStats.
+  std::vector<int> worker_cpus;
   /// Keep every survivor in the worker's egress vector (the collect /
   /// verify mode). When false survivors are recycled straight into the
   /// worker's arena — the closed-loop mode benchmarks run, where wire
@@ -80,25 +126,56 @@ struct RuntimeOptions {
   /// which implies it) launches them later. Lets tests fill rings
   /// deterministically before any worker runs.
   bool start_workers = true;
+
+  /// Hard cap on ingress_queues — far above any sane deployment, it
+  /// exists so a garbage value fails validation instead of allocating
+  /// an absurd ring fabric.
+  static constexpr std::size_t kMaxIngressQueues = 256;
+
+  /// Empty string when the configuration is usable with `worker_count`
+  /// workers; otherwise a human-readable description of the first
+  /// problem found (the exact message the constructor throws with).
+  [[nodiscard]] std::string validate(std::size_t worker_count) const;
 };
 
-/// Per-worker counters. Dispatcher-side fields are exact; worker-side
-/// fields are published with relaxed atomics and are exact once the
+/// Deprecated alias from the single-dispatcher era; new code should
+/// spell RuntimeConfig.
+using RuntimeOptions = RuntimeConfig;
+
+/// Per-worker counters. Producer-side fields (submitted/dropped/
+/// blocked_waits, summed over the worker's lanes) are exact once the
+/// submitting ports are quiet; worker-side fields are exact once the
 /// runtime is quiescent (flush()/stop() returned).
 struct WorkerCounters {
-  std::uint64_t submitted = 0;      // packets the dispatcher enqueued
+  std::uint64_t submitted = 0;      // packets ports enqueued to this worker
   std::uint64_t dropped = 0;        // kDrop ring-full rejections
   std::uint64_t blocked_waits = 0;  // kBlock ring-full wait episodes
   std::uint64_t processed = 0;      // packets fully handled by the worker
   std::uint64_t survivors = 0;      // packets that produced wire output
   std::uint64_t batches = 0;        // process_batch calls
   std::uint64_t max_batch = 0;      // largest single burst
+  /// CPU the worker thread is actually pinned to, -1 when unpinned
+  /// (PlacementPolicy::kNone or a failed pin).
+  int pinned_cpu = -1;
+  /// 1 when a requested pin failed (observable NUMA/affinity
+  /// misconfiguration), 0 otherwise.
+  std::uint64_t affinity_failures = 0;
+};
+
+/// Per-ingress-queue counters: the same producer-side numbers sliced
+/// by port instead of by worker.
+struct QueueCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t blocked_waits = 0;
 };
 
 struct RuntimeStats {
   std::vector<WorkerCounters> workers;
+  std::vector<QueueCounters> queues;
   [[nodiscard]] WorkerCounters total() const noexcept {
     WorkerCounters t;
+    t.pinned_cpu = -1;  // meaningless in aggregate
     for (const WorkerCounters& w : workers) {
       t.submitted += w.submitted;
       t.dropped += w.dropped;
@@ -107,17 +184,64 @@ struct RuntimeStats {
       t.survivors += w.survivors;
       t.batches += w.batches;
       t.max_batch = t.max_batch > w.max_batch ? t.max_batch : w.max_batch;
+      t.affinity_failures += w.affinity_failures;
     }
     return t;
   }
 };
 
+class ShardRuntime;
+
+/// Handle to one ingress queue of a ShardRuntime — the explicit form
+/// of what used to be ShardRuntime::submit()'s hidden single-caller
+/// constraint. A port is a lightweight view (copyable, trivially
+/// destructible); all copies address the same queue and together count
+/// as ONE producer: at any moment at most one thread may be calling
+/// submit()/submit_burst() on a given queue. Distinct queues are fully
+/// independent and may be driven concurrently from distinct threads —
+/// that is the whole point.
+class IngressPort {
+ public:
+  IngressPort() = default;  // null handle; valid() is false
+
+  [[nodiscard]] bool valid() const noexcept { return runtime_ != nullptr; }
+  [[nodiscard]] std::size_t queue() const noexcept { return queue_; }
+
+  /// Dispatches one packet through this queue. `now` is the packet's
+  /// arrival timestamp, forwarded to the worker's drain so epoch checks
+  /// behave exactly as on the serial path; timestamps must be
+  /// non-decreasing per port. Returns false iff the packet was dropped
+  /// (kDrop policy with a full ring, or the runtime is stopped).
+  bool submit(net::Packet&& pkt, sim::SimTime now = 0);
+
+  /// Dispatches a whole burst (each packet moved-from on acceptance);
+  /// returns how many were accepted. Under kBlock that is all of them
+  /// (or the count accepted before stop()); under kDrop ring-full
+  /// packets are dropped individually and counted, exactly as if
+  /// submit() had been called per packet.
+  std::size_t submit_burst(std::span<net::Packet> pkts, sim::SimTime now = 0);
+
+  /// Blocks until every packet *this port* accepted has been processed
+  /// (workers are started if they were not yet). Other ports' packets
+  /// may still be in flight; ShardRuntime::flush() waits for all.
+  void flush();
+
+ private:
+  friend class ShardRuntime;
+  IngressPort(ShardRuntime* runtime, std::size_t queue) noexcept
+      : runtime_(runtime), queue_(queue) {}
+
+  ShardRuntime* runtime_ = nullptr;
+  std::size_t queue_ = 0;
+};
+
 class ShardRuntime {
  public:
   /// `worker_count` workers (>= 1), all sharing `root_key` exactly like
-  /// the shards of a ShardedNeutralizer.
+  /// the shards of a ShardedNeutralizer. Throws std::invalid_argument
+  /// with RuntimeConfig::validate()'s message on a bad configuration.
   ShardRuntime(std::size_t worker_count, const core::NeutralizerConfig& config,
-               const crypto::AesKey& root_key, RuntimeOptions options = {});
+               const crypto::AesKey& root_key, RuntimeConfig config_in = {});
   ~ShardRuntime();  // stop(): drains queued packets, joins workers
 
   ShardRuntime(const ShardRuntime&) = delete;
@@ -126,32 +250,47 @@ class ShardRuntime {
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();
   }
-  [[nodiscard]] const RuntimeOptions& options() const noexcept {
-    return options_;
+  [[nodiscard]] std::size_t ingress_queues() const noexcept {
+    return config_.ingress_queues;
+  }
+  [[nodiscard]] const RuntimeConfig& config() const noexcept {
+    return config_;
+  }
+  /// Deprecated spelling of config() from the single-dispatcher era.
+  [[nodiscard]] const RuntimeConfig& options() const noexcept {
+    return config_;
   }
 
-  /// Launches the worker threads; idempotent, no-op after stop().
+  /// Launches the worker threads; idempotent, thread-safe, no-op after
+  /// stop().
   void start();
+
+  /// The ingress handle for queue q (< ingress_queues()). See
+  /// IngressPort for the one-producer-per-queue rule.
+  [[nodiscard]] IngressPort port(std::size_t q) noexcept;
 
   /// Where the dispatch hash sends `pkt` — same function, same answer
   /// as ShardedNeutralizer::shard_for.
   [[nodiscard]] std::size_t shard_for(const net::Packet& pkt) const noexcept;
 
-  /// Dispatches one packet (single caller thread — the dispatcher role).
-  /// `now` is the packet's arrival timestamp, forwarded to the worker's
-  /// drain so epoch checks behave exactly as on the serial path;
-  /// timestamps must be non-decreasing in submission order. Returns
-  /// false iff the packet was dropped (kDrop policy, ring full, or the
-  /// runtime is already stopped).
-  bool submit(net::Packet&& pkt, sim::SimTime now = 0);
+  /// Single-dispatcher compatibility shim: exactly port(0).submit().
+  /// \deprecated Use port(0) (or a dedicated port per ingress thread).
+  [[deprecated("ShardRuntime::submit() is port(0) sugar; use port(q)")]]
+  bool submit(net::Packet&& pkt, sim::SimTime now = 0) {
+    return port(0).submit(std::move(pkt), now);
+  }
 
-  /// Blocks until every accepted packet has been processed (workers are
-  /// started if they were not yet). On return the runtime is quiescent
-  /// and every accessor below is exact.
+  /// Blocks until every packet accepted by every port has been
+  /// processed (workers are started if they were not yet). On return
+  /// the runtime is quiescent and every accessor below is exact —
+  /// provided no port is being driven concurrently, in which case
+  /// quiescence is a moving target and the wait is best-effort.
   void flush();
 
-  /// Drains everything already queued, then joins the workers.
-  /// Idempotent; submit() after stop() rejects. The destructor calls it.
+  /// Drains everything already queued on every lane, then joins the
+  /// workers. Idempotent; submissions after stop() are rejected. Ports
+  /// must be quiet (no concurrent submit) when stop() is called. The
+  /// destructor calls it.
   void stop();
 
   /// True when every accepted packet has been processed and published.
@@ -159,8 +298,11 @@ class ShardRuntime {
 
   // --- quiescence-gated accessors (assert quiescent()) ---------------
 
-  /// Worker i's wire output in processing order — byte-identical to the
-  /// same shard's drain output on the serial ShardedNeutralizer.
+  /// Worker i's wire output in processing order. With one ingress
+  /// queue this is byte-identical to the same shard's drain output on
+  /// the serial ShardedNeutralizer; with several queues the per-shard
+  /// *set* of packets is identical but the interleaving across ports
+  /// is the merge order (per-port FIFO, like hardware RSS).
   [[nodiscard]] std::vector<net::Packet>& shard_egress(std::size_t i);
   /// All shards' egress merged in shard-major order (shard 0's stream,
   /// then shard 1's, ...) — the same aggregate order the serial
@@ -170,63 +312,107 @@ class ShardRuntime {
   /// Sum of every worker's NeutralizerStats.
   [[nodiscard]] core::NeutralizerStats aggregate_stats() const;
   [[nodiscard]] const core::Neutralizer& shard(std::size_t i) const;
+  /// Mutable shard access (e.g. §3.4 dynamic-address translation from
+  /// a sim adapter between instants); same quiescence contract.
+  [[nodiscard]] core::Neutralizer& shard_mut(std::size_t i);
   [[nodiscard]] net::PacketArena& arena(std::size_t i);
 
-  /// Counter snapshot: dispatcher-side fields exact, worker-side fields
-  /// exact at quiescence (relaxed reads otherwise).
+  /// Counter snapshot: producer-side fields exact once the submitting
+  /// ports are quiet, worker-side fields exact at quiescence (relaxed
+  /// reads otherwise).
   [[nodiscard]] RuntimeStats stats() const;
 
  private:
-  // One slot of the dispatcher→worker ring: the packet plus its arrival
+  friend class IngressPort;
+
+  // One slot of the port→worker ring: the packet, its arrival
   // timestamp (workers split bursts on timestamp changes so a burst
-  // never spans an epoch-visible instant).
+  // never spans an epoch-visible instant), and the source queue (so
+  // the worker credits the right lane's processed counter).
   struct Ingress {
     net::Packet pkt;
     sim::SimTime now = 0;
+    std::uint32_t queue = 0;
+  };
+
+  // One (queue, worker) edge of the fabric: an SPSC ring plus its
+  // counters. The queue's producer thread is the only writer of the
+  // producer-side counters (single-writer relaxed atomics, so stats()
+  // may read them from anywhere); the worker is the only writer of
+  // `processed`, released after the burst's survivors are visible —
+  // that release/acquire pair is what makes reading worker state from
+  // the control thread safe at quiescence.
+  struct Lane {
+    explicit Lane(std::size_t ring_capacity) : ring(ring_capacity) {}
+    SpscRing<Ingress> ring;
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> blocked_waits{0};
+    alignas(kCacheLine) std::atomic<std::uint64_t> processed{0};
   };
 
   struct Worker {
     Worker(const core::NeutralizerConfig& config,
-           const crypto::AesKey& root_key, const RuntimeOptions& opt)
-        : service(config, root_key),
-          arena(opt.arena_max_free),
-          ring(opt.ring_capacity) {}
+           const crypto::AesKey& root_key, const RuntimeConfig& cfg)
+        : service(config, root_key), arena(cfg.arena_max_free) {
+      lanes.reserve(cfg.ingress_queues);
+      for (std::size_t q = 0; q < cfg.ingress_queues; ++q) {
+        lanes.push_back(std::make_unique<Lane>(cfg.ring_capacity));
+      }
+    }
 
     core::Neutralizer service;
     net::PacketArena arena;
-    SpscRing<Ingress> ring;
-    std::vector<net::Packet> pending;  // worker-local burst staging
-    std::vector<net::Packet> egress;   // survivors, processing order
-    std::vector<Ingress> staging;      // ring pop buffer
+    std::vector<std::unique_ptr<Lane>> lanes;  // one per ingress queue
+    std::vector<net::Packet> pending;   // worker-local burst staging
+    std::vector<net::Packet> egress;    // survivors, processing order
+    std::vector<Ingress> staging;       // ring pop + merge buffer
+    std::vector<std::uint64_t> lane_counts;  // per-group credit scratch
 
-    // Dispatcher-owned (single producer thread, never touched by the
-    // worker): exact without synchronization.
-    std::uint64_t submitted = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t blocked_waits = 0;
-
-    // Worker-published. `processed` is the quiescence signal: released
-    // after the burst's survivors are in `egress`, acquired by
-    // flush()/quiescent() — that pair is what makes reading `egress`
-    // and `service` from the control thread safe afterwards.
-    std::atomic<std::uint64_t> processed{0};
+    // Worker-published aggregates (relaxed; exact at quiescence).
     std::atomic<std::uint64_t> survivors{0};
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> max_batch{0};
+    // Affinity outcome, published at thread start (relaxed).
+    std::atomic<int> pinned_cpu{-1};
+    std::atomic<bool> affinity_failed{false};
 
     std::thread thread;
   };
 
-  RuntimeOptions options_;
+  RuntimeConfig config_;
   // unique_ptr keeps worker addresses stable across the vector (threads
   // hold references) and lets Worker carry atomics (non-movable).
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stop_flag_{false};
-  bool started_ = false;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
+  // start() may now be reached from several port threads at once (a
+  // blocking submit on a full ring starts the workers); the mutex makes
+  // the launch race-free. Cold path only.
+  std::mutex start_mutex_;
+  bool started_ = false;  // guarded by start_mutex_
 
+  bool submit_on_queue(std::size_t queue, net::Packet&& pkt,
+                       sim::SimTime now);
+  bool queue_quiescent(std::size_t queue) const noexcept;
   void worker_loop(Worker& w, std::size_t index);
   void assert_quiescent() const;
 };
+
+/// CPU the placement policy assigns to worker `m` of `workers`, or -1
+/// for "do not pin". Exposed so ingress front ends (UdpIngestor) can
+/// place their queue threads consistently: queue q maps to
+/// placement_cpu_for_ingress(cfg, q, workers).
+[[nodiscard]] int placement_cpu_for_worker(const RuntimeConfig& cfg,
+                                           std::size_t m,
+                                           std::size_t workers) noexcept;
+[[nodiscard]] int placement_cpu_for_ingress(const RuntimeConfig& cfg,
+                                            std::size_t q,
+                                            std::size_t workers) noexcept;
+
+/// Best-effort pin of the calling thread to `cpu` (no-op, returning
+/// true, when cpu < 0). Returns false when the platform call fails —
+/// callers surface that in their stats rather than swallowing it.
+bool pin_current_thread(int cpu) noexcept;
 
 }  // namespace nn::runtime

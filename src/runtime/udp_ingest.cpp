@@ -1,0 +1,109 @@
+#include "runtime/udp_ingest.hpp"
+
+#include "net/ip.hpp"
+#include "net/packet.hpp"
+
+namespace nn::runtime {
+
+UdpIngestor::UdpIngestor(ShardRuntime& runtime, UdpIngestConfig config)
+    : runtime_(runtime), config_(config) {
+  queues_.reserve(runtime_.ingress_queues());
+  for (std::size_t q = 0; q < runtime_.ingress_queues(); ++q) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+}
+
+UdpIngestor::~UdpIngestor() { stop(); }
+
+bool UdpIngestor::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  if (!net::UdpSocket::supported()) {
+    error_ = "sockets unavailable on this platform";
+    return false;
+  }
+  stop_flag_.store(false, std::memory_order_release);
+
+  // First socket establishes the port (possibly kernel-assigned); the
+  // rest join the SO_REUSEPORT group on the same port. REUSEPORT must
+  // be set on every member including the first, or the later binds
+  // fail with EADDRINUSE.
+  std::uint16_t port = config_.udp_port;
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    net::UdpSocket sock = net::UdpSocket::bind_loopback(port, true);
+    if (!sock.valid()) {
+      error_ = "queue " + std::to_string(q) + ": " + sock.error();
+      for (auto& entry : queues_) entry->socket.close();
+      return false;
+    }
+    sock.set_recv_buffer(config_.rcvbuf_bytes);
+    sock.set_recv_timeout_ms(config_.recv_timeout_ms);
+    if (q == 0) port = sock.local_port();
+    queues_[q]->socket = std::move(sock);
+  }
+  port_ = port;
+
+  running_.store(true, std::memory_order_release);
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    queues_[q]->thread = std::thread([this, q] { reader_loop(q); });
+  }
+  return true;
+}
+
+void UdpIngestor::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_flag_.store(true, std::memory_order_release);
+  for (auto& entry : queues_) {
+    if (entry->thread.joinable()) entry->thread.join();
+  }
+  for (auto& entry : queues_) entry->socket.close();
+  running_.store(false, std::memory_order_release);
+}
+
+void UdpIngestor::reader_loop(std::size_t q) {
+  Queue& queue = *queues_[q];
+  (void)pin_current_thread(placement_cpu_for_ingress(
+      runtime_.config(), q, runtime_.worker_count()));
+  IngressPort ingress = runtime_.port(q);
+  std::vector<net::UdpDatagram> batch;
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    const std::size_t n = queue.socket.recv_batch(batch, config_.recv_batch);
+    if (n == 0) continue;  // timeout tick: re-check the stop flag
+    queue.datagrams.fetch_add(n, std::memory_order_relaxed);
+    for (auto& dgram : batch) {
+      if (dgram.bytes.size() < net::kIpv4HeaderSize) {
+        queue.runts.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      net::Packet pkt{std::move(dgram.bytes)};
+      if (ingress.submit(std::move(pkt), 0)) {
+        queue.submitted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        queue.rejected.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+UdpQueueStats UdpIngestor::stats(std::size_t q) const {
+  const Queue& queue = *queues_.at(q);
+  UdpQueueStats s;
+  s.datagrams = queue.datagrams.load(std::memory_order_relaxed);
+  s.submitted = queue.submitted.load(std::memory_order_relaxed);
+  s.rejected = queue.rejected.load(std::memory_order_relaxed);
+  s.runts = queue.runts.load(std::memory_order_relaxed);
+  return s;
+}
+
+UdpQueueStats UdpIngestor::stats_total() const {
+  UdpQueueStats total;
+  for (std::size_t q = 0; q < queues_.size(); ++q) {
+    const UdpQueueStats s = stats(q);
+    total.datagrams += s.datagrams;
+    total.submitted += s.submitted;
+    total.rejected += s.rejected;
+    total.runts += s.runts;
+  }
+  return total;
+}
+
+}  // namespace nn::runtime

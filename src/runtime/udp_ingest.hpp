@@ -1,0 +1,100 @@
+// UDP loopback front end for the threaded shard runtime: the first
+// ingestion path where packets arrive from the kernel instead of from
+// a simulator loop. One SO_REUSEPORT socket per ingress queue — the
+// kernel hashes each datagram's 4-tuple across the group, which is
+// exactly the NIC-RSS role the ring fabric was shaped for — and one
+// reader thread per socket that recvmmsg()s batches and feeds them
+// into `runtime.port(q)`. Each datagram payload is one serialized IPv4
+// packet (packet-in-UDP encapsulation), the same framing the pcap
+// fixtures use.
+//
+// Threading contract: reader thread q is the only driver of port(q),
+// satisfying IngressPort's one-thread-per-queue rule. The owner must
+// not touch those ports between start() and stop().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/udp.hpp"
+#include "runtime/shard_runtime.hpp"
+
+namespace nn::runtime {
+
+struct UdpIngestConfig {
+  /// UDP port to bind on 127.0.0.1; 0 lets the kernel pick (read the
+  /// result from UdpIngestor::port()).
+  std::uint16_t udp_port = 0;
+  /// SO_RCVBUF request per socket; loopback blasts overrun the 208 KiB
+  /// default long before the runtime is the bottleneck.
+  int rcvbuf_bytes = 4 << 20;
+  /// Reader wake-up period; bounds stop() latency.
+  int recv_timeout_ms = 50;
+  /// Max datagrams per recvmmsg() call.
+  std::size_t recv_batch = 64;
+};
+
+/// Per-queue ingestion counters (socket side; ring-side counters live
+/// in RuntimeStats::queues).
+struct UdpQueueStats {
+  std::uint64_t datagrams = 0;   ///< received from the kernel
+  std::uint64_t submitted = 0;   ///< accepted by the ingress ring
+  std::uint64_t rejected = 0;    ///< ring refused (kDrop) or runtime stopped
+  std::uint64_t runts = 0;       ///< datagram shorter than an IPv4 header
+};
+
+class UdpIngestor {
+ public:
+  /// Binds one socket per `runtime.ingress_queues()`. The runtime
+  /// reference must outlive the ingestor.
+  UdpIngestor(ShardRuntime& runtime, UdpIngestConfig config = {});
+  ~UdpIngestor();
+
+  UdpIngestor(const UdpIngestor&) = delete;
+  UdpIngestor& operator=(const UdpIngestor&) = delete;
+
+  /// Spawns the reader threads. Returns false (with error() set) if
+  /// any socket failed to bind — e.g. no SO_REUSEPORT on this kernel.
+  bool start();
+  /// Signals the readers, joins them, leaves counters readable.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound UDP port (all sockets share it), 0 before start().
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] std::size_t queue_count() const noexcept {
+    return queues_.size();
+  }
+  [[nodiscard]] UdpQueueStats stats(std::size_t q) const;
+  [[nodiscard]] UdpQueueStats stats_total() const;
+
+ private:
+  struct Queue {
+    net::UdpSocket socket;
+    std::thread thread;
+    std::atomic<std::uint64_t> datagrams{0};
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> runts{0};
+  };
+
+  void reader_loop(std::size_t q);
+
+  ShardRuntime& runtime_;
+  UdpIngestConfig config_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<bool> running_{false};
+  std::uint16_t port_ = 0;
+  std::string error_;
+};
+
+}  // namespace nn::runtime

@@ -378,6 +378,51 @@ TEST_F(ShardedBoxTest, ShardedBoxMatchesBatchDrainingBoxOnABurst) {
             plain.plain->batch_stats().batched_packets);
 }
 
+TEST_F(ShardedBoxTest, RuntimeBackedBoxEmitsIdenticalWireBytes) {
+  // Same topology, same traffic, twice: once with the in-process
+  // cluster, once with the drains executed on a real ShardRuntime via
+  // the IngressPort surface (one worker thread per shard). With the
+  // default single ingress queue each shard's lane is one FIFO, so the
+  // runtime-backed box must emit the exact same wire bytes in the
+  // exact same order — not just the same multiset.
+  ShardedHarness inproc(4);
+  ShardedHarness backed(4);
+  backed.sharded->back_with_runtime();
+  ASSERT_NE(backed.sharded->backing_runtime(), nullptr);
+  const MasterKeySchedule sched(test_root());
+
+  for (auto* h : {&inproc, &backed}) {
+    crypto::ChaChaRng flow_rng(42);
+    for (int i = 0; i < 16; ++i) {
+      const std::uint64_t nonce = flow_rng.next_u64();
+      const auto ks = crypto::derive_source_key(sched.current_key(0), nonce,
+                                                kAnn.value());
+      h->ann->transmit(make_forward(nonce, ks, kAnn, kGoogle));
+      if (i % 3 == 0) {
+        h->google->transmit(make_return(nonce, kGoogle, kAnn));
+      }
+      if (i % 5 == 0) {
+        h->ann->transmit(make_forward(nonce, ks, kAnn, kOutsider));  // drop
+      }
+    }
+    h->engine.run();
+  }
+
+  // Exact sequence equality, arrival instants included.
+  ASSERT_EQ(inproc.at_google.size(), backed.at_google.size());
+  EXPECT_EQ(inproc.at_google, backed.at_google);
+  EXPECT_EQ(inproc.at_ann, backed.at_ann);
+  EXPECT_EQ(inproc.google_arrivals, backed.google_arrivals);
+  EXPECT_EQ(backed.sharded->aggregate_stats(),
+            inproc.sharded->aggregate_stats());
+  EXPECT_EQ(backed.sharded->batch_stats().batches,
+            inproc.sharded->batch_stats().batches);
+  EXPECT_EQ(backed.sharded->batch_stats().batched_packets,
+            inproc.sharded->batch_stats().batched_packets);
+  EXPECT_EQ(backed.sharded->batch_stats().max_batch,
+            inproc.sharded->batch_stats().max_batch);
+}
+
 TEST_F(ShardedBoxTest, ShardsServeABurstInParallel) {
   // Each shard is a serial server: a same-instant burst of K packets
   // finishes after K×cost on one shard, but after max-shard-load×cost

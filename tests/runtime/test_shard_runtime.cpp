@@ -3,8 +3,10 @@
 // shard-count equivalence, to a single box) over mixed workloads, IMIX
 // traces, and the committed pcap fixture, including across a master-key
 // rotation; backpressure must drop (or block) exactly as configured;
-// and shutdown must never lose a packet submit() accepted. This suite
-// is what the ThreadSanitizer CI job runs.
+// and shutdown must never lose a packet a port accepted. This suite
+// drives the single-ingress-queue path (port(0)); the multi-queue /
+// multi-producer fabric is covered by test_ingress_port.cpp. Both are
+// what the ThreadSanitizer CI job runs.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -162,15 +164,16 @@ std::vector<std::vector<net::Packet>> serial_reference(
 void expect_runtime_matches_serial(std::size_t shards,
                                    const std::vector<TimedWave>& waves,
                                    const core::NeutralizerConfig& cfg,
-                                   RuntimeOptions options) {
+                                   RuntimeConfig options) {
   SCOPED_TRACE(testing::Message() << "shards=" << shards);
   core::ShardedNeutralizer serial(shards, cfg, test_root());
   const auto expected = serial_reference(serial, waves);
 
   ShardRuntime runtime(shards, cfg, test_root(), options);
+  IngressPort ingress = runtime.port(0);
   for (const TimedWave& wave : waves) {
     for (const net::Packet& pkt : wave.packets) {
-      ASSERT_TRUE(runtime.submit(net::Packet(pkt), wave.at));
+      ASSERT_TRUE(ingress.submit(net::Packet(pkt), wave.at));
     }
   }
   runtime.flush();
@@ -218,7 +221,7 @@ TEST_F(ShardRuntimeTest, ByteIdentityMixedWorkloadAcrossRotation) {
   }
   waves.push_back({rotation + 5, std::move(second)});
 
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.max_batch = 16;  // force several bursts per worker
   for (const std::size_t shards : {1, 2, 4, 8}) {
     expect_runtime_matches_serial(shards, waves, test_config(), options);
@@ -231,7 +234,7 @@ TEST_F(ShardRuntimeTest, ByteIdentityDynAddrPinnedToWorkerZero) {
   crypto::ChaChaRng rng(0xD7);
   std::vector<TimedWave> waves;
   waves.push_back({1, mixed_wave(rng, onetime_->pub, 8, 1, 0, true)});
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.max_batch = 8;
   // The dyn-addr allocator is deliberate per-session state on shard 0;
   // dispatch pins every request there, so allocation order — and thus
@@ -259,7 +262,7 @@ TEST_F(ShardRuntimeTest, ByteIdentityImixTrace) {
     waves[0].packets.push_back(core::synth_forward_packet(
         sched, kAnycast, customer, rec.flow_id, rec.wire_size));
   }
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.max_batch = 32;
   for (const std::size_t shards : {1, 4}) {
     expect_runtime_matches_serial(shards, waves, test_config(), options);
@@ -283,7 +286,7 @@ TEST_F(ShardRuntimeTest, ByteIdentityPcapFixtureReplay) {
     waves[0].packets.push_back(core::synth_forward_packet(
         sched, kAnycast, customer, rec.flow_id, rec.wire_size));
   }
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.max_batch = 8;
   for (const std::size_t shards : {1, 2, 4, 8}) {
     expect_runtime_matches_serial(shards, waves, test_config(), options);
@@ -302,14 +305,15 @@ TEST_F(ShardRuntimeTest, QueueFullDropsExactlyAndKeepsPrefixSemantics) {
         sched, kAnycast, Ipv4Addr(20, 0, 0, 10), f, 112));
   }
 
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.ring_capacity = 8;
   options.backpressure = BackpressurePolicy::kDrop;
   options.start_workers = false;
   ShardRuntime runtime(1, test_config(), test_root(), options);
+  IngressPort ingress = runtime.port(0);
   std::size_t accepted = 0;
   for (auto& pkt : packets) {
-    if (runtime.submit(net::Packet(pkt), 0)) ++accepted;
+    if (ingress.submit(net::Packet(pkt), 0)) ++accepted;
   }
   EXPECT_EQ(accepted, 8u);
   EXPECT_EQ(runtime.stats().workers[0].dropped, 12u);
@@ -332,15 +336,16 @@ TEST_F(ShardRuntimeTest, BlockingBackpressureLosesNothing) {
   // A ring far smaller than the workload: the dispatcher must wait for
   // space rather than drop, and every packet still comes out processed.
   const core::MasterKeySchedule sched(test_root());
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.ring_capacity = 16;
   options.backpressure = BackpressurePolicy::kBlock;
   options.collect_egress = false;  // closed loop; counts are the check
   ShardRuntime runtime(2, test_config(), test_root(), options);
+  IngressPort ingress = runtime.port(0);
 
   constexpr std::size_t kCount = 4000;
   for (std::size_t i = 0; i < kCount; ++i) {
-    ASSERT_TRUE(runtime.submit(
+    ASSERT_TRUE(ingress.submit(
         core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
                                    static_cast<std::uint16_t>(i % 64), 112),
         0));
@@ -358,12 +363,13 @@ TEST_F(ShardRuntimeTest, StopWithPacketsInFlightDrainsEverything) {
   // stop() without a flush: whatever submit() accepted must still be
   // processed before the workers exit — shutdown loses nothing.
   const core::MasterKeySchedule sched(test_root());
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.ring_capacity = 4096;
   ShardRuntime runtime(4, test_config(), test_root(), options);
+  IngressPort ingress = runtime.port(0);
   constexpr std::size_t kCount = 2000;
   for (std::size_t i = 0; i < kCount; ++i) {
-    ASSERT_TRUE(runtime.submit(
+    ASSERT_TRUE(ingress.submit(
         core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
                                    static_cast<std::uint16_t>(i % 128), 112),
         0));
@@ -375,7 +381,7 @@ TEST_F(ShardRuntimeTest, StopWithPacketsInFlightDrainsEverything) {
   EXPECT_EQ(runtime.aggregate_stats().data_forwarded, kCount);
 
   // After stop the runtime rejects instead of losing packets silently.
-  EXPECT_FALSE(runtime.submit(
+  EXPECT_FALSE(ingress.submit(
       core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10), 1,
                                  112),
       0));
@@ -388,8 +394,9 @@ TEST_F(ShardRuntimeTest, DestructorAloneShutsDownCleanly) {
   const core::MasterKeySchedule sched(test_root());
   {
     ShardRuntime runtime(3, test_config(), test_root());
+    IngressPort ingress = runtime.port(0);
     for (std::uint16_t f = 0; f < 300; ++f) {
-      ASSERT_TRUE(runtime.submit(
+      ASSERT_TRUE(ingress.submit(
           core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
                                      f, 112),
           0));
@@ -399,20 +406,31 @@ TEST_F(ShardRuntimeTest, DestructorAloneShutsDownCleanly) {
   SUCCEED();
 }
 
-TEST_F(ShardRuntimeTest, ZeroMaxBatchIsClampedNotLivelocked) {
+TEST_F(ShardRuntimeTest, DeprecatedSubmitIsPortZeroSugar) {
+  // The PR 5 single-dispatcher surface survives as a documented
+  // compatibility shim: ShardRuntime::submit() is exactly
+  // port(0).submit(), deprecated in favor of the explicit handle.
   const core::MasterKeySchedule sched(test_root());
-  RuntimeOptions options;
-  options.max_batch = 0;  // would make pop_batch a no-op without the clamp
-  ShardRuntime runtime(2, test_config(), test_root(), options);
-  EXPECT_EQ(runtime.options().max_batch, 1u);
-  for (std::uint16_t f = 0; f < 50; ++f) {
+  ShardRuntime runtime(2, test_config(), test_root());
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  for (std::uint16_t f = 0; f < 40; ++f) {
     ASSERT_TRUE(runtime.submit(
         core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
                                    f, 112),
         0));
   }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
   runtime.flush();
-  EXPECT_EQ(runtime.stats().total().processed, 50u);
+  const auto stats = runtime.stats();
+  EXPECT_EQ(stats.total().processed, 40u);
+  // Everything went through queue 0 — the shim really is port(0).
+  ASSERT_EQ(stats.queues.size(), 1u);
+  EXPECT_EQ(stats.queues[0].submitted, 40u);
 }
 
 TEST_F(ShardRuntimeTest, BlockingSubmitStartsWorkersWhenRingFills) {
@@ -420,13 +438,14 @@ TEST_F(ShardRuntimeTest, BlockingSubmitStartsWorkersWhenRingFills) {
   // launch the workers itself rather than wait forever for a consumer
   // that does not exist.
   const core::MasterKeySchedule sched(test_root());
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.ring_capacity = 8;
   options.backpressure = BackpressurePolicy::kBlock;
   options.start_workers = false;
   ShardRuntime runtime(1, test_config(), test_root(), options);
+  IngressPort ingress = runtime.port(0);
   for (std::uint16_t f = 0; f < 64; ++f) {
-    ASSERT_TRUE(runtime.submit(
+    ASSERT_TRUE(ingress.submit(
         core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
                                    f, 112),
         0));
@@ -441,7 +460,7 @@ TEST_F(ShardRuntimeTest, BlockingSubmitStartsWorkersWhenRingFills) {
 TEST_F(ShardRuntimeTest, DispatchMatchesSerialClusterHash) {
   const core::MasterKeySchedule sched(test_root());
   core::ShardedNeutralizer serial(4, test_config(), test_root());
-  RuntimeOptions options;
+  RuntimeConfig options;
   options.start_workers = false;
   ShardRuntime runtime(4, test_config(), test_root(), options);
   for (std::uint16_t f = 0; f < 64; ++f) {

@@ -34,11 +34,12 @@ A headline entry that is missing, errored (Google Benchmark's
 SkipWithError leaves error_occurred=true and exits 0), or reports a
 zero rate is a FAILURE, not a skip — those are exactly the silent
 breakages the gate exists to catch. The one legitimate skip: thread-
-scaling entries (BM_Runtime*/N) where the *current* run's
-context.num_cpus < N — a 4-thread row measured on one core is a
-statement about the host, not the code. (A baseline taken on fewer
-cores still gates; its floor is just lenient.) Checking nothing at all
-is likewise a failure.
+scaling entries where the *current* run's context.num_cpus is below
+what the row needs (N workers for BM_Runtime*/N, Q+M threads for
+BM_RuntimeForwardMQ/Q/M, 2Q+1 for BM_UdpIngest/Q — see cores_needed)
+— a 4-thread row measured on one core is a statement about the host,
+not the code. (A baseline taken on fewer cores still gates; its floor
+is just lenient.) Checking nothing at all is likewise a failure.
 """
 
 import argparse
@@ -70,6 +71,8 @@ HEADLINES = {
         "BM_RuntimeForward/1/manual_time",
         "BM_RuntimeForward/4/manual_time",
         "BM_RuntimeForwardImix/4/manual_time",
+        "BM_RuntimeForwardMQ/2/2/manual_time",
+        "BM_UdpIngest/1/manual_time",
     ],
     "bench_sim": [
         "BM_LinkDeliveryEvents/burst/manual_time",
@@ -94,10 +97,41 @@ SPEEDUPS = {
         ("BM_Fig1ImixSim/burst/manual_time",
          "BM_Fig1ImixSim/perpacket/manual_time", 2.0),
     ],
+    # The PR 7 acceptance line: two ingress queues must clear the
+    # single-dispatcher path at the same worker count. Same-run, so
+    # runner speed cancels; skipped (like any thread row) when the
+    # machine lacks the cores to host both producers and both workers.
+    "bench_runtime": [
+        ("BM_RuntimeForwardMQ/2/2/manual_time",
+         "BM_RuntimeForward/2/manual_time", 1.0),
+    ],
 }
 
-# BM_RuntimeForward*/N rows need >= N cores to mean anything.
+# Thread-scaling rows are only meaningful with enough cores to host
+# every thread the row spawns.
+MQ_ROW = re.compile(r"^BM_RuntimeForwardMQ/(\d+)/(\d+)(/|$)")
+UDP_ROW = re.compile(r"^BM_UdpIngest/(\d+)(/|$)")
 THREADED = re.compile(r"^BM_Runtime\w*/(\d+)(/|$)")
+
+
+def cores_needed(name):
+    """Minimum num_cpus for the row to measure the code, not the host.
+
+    Returns None for rows with no thread-count requirement.
+    MQ rows run Q producer + M worker threads; the UDP rows run Q
+    socket readers + Q workers + the sender; plain runtime rows run N
+    workers fed from the (otherwise idle) bench thread.
+    """
+    m = MQ_ROW.match(name)
+    if m:
+        return int(m.group(1)) + int(m.group(2))
+    m = UDP_ROW.match(name)
+    if m:
+        return 2 * int(m.group(1)) + 1
+    m = THREADED.match(name)
+    if m:
+        return int(m.group(1))
+    return None
 
 
 def load_suite(doc):
@@ -147,9 +181,8 @@ def main():
                       f"{current[name].get('error_message', '?')}")
                 failures.append(f"{suite}:{name}")
                 continue
-            threaded = THREADED.match(name)
-            if threaded:
-                need = int(threaded.group(1))
+            need = cores_needed(name)
+            if need is not None:
                 cur_cpus = cur_ctx.get("num_cpus", 0)
                 if cur_cpus < need:
                     print(f"[skip] {suite}:{name}: needs {need} cores, "
@@ -198,6 +231,13 @@ def main():
                 failures.append(f"{suite}:{name}:{counter}")
 
         for fast, slow, factor in SPEEDUPS.get(suite, []):
+            need = max((n for n in (cores_needed(fast), cores_needed(slow))
+                        if n is not None), default=None)
+            if need is not None and cur_ctx.get("num_cpus", 0) < need:
+                print(f"[skip] {suite}:{fast} vs {slow}: speedup needs "
+                      f"{need} cores, this machine has "
+                      f"{cur_ctx.get('num_cpus', 0)}")
+                continue
             rates = []
             for name in (fast, slow):
                 entry = current.get(name)
