@@ -29,7 +29,7 @@
 // cores are insufficient).
 //
 // Closed loop: survivors are recycled into the worker arenas
-// (collect_egress=false), and each iteration's input packets are
+// (EgressMode::kRecycle), and each iteration's input packets are
 // copied from per-flow templates outside the timed region.
 #include <benchmark/benchmark.h>
 
@@ -40,6 +40,7 @@
 #include "core/replay.hpp"
 #include "net/udp.hpp"
 #include "runtime/shard_runtime.hpp"
+#include "runtime/udp_egress.hpp"
 #include "runtime/udp_ingest.hpp"
 #include "sim/trace_workload.hpp"
 
@@ -92,7 +93,7 @@ void runtime_forward_body(benchmark::State& state, bool imix) {
   runtime::RuntimeConfig config;
   config.ring_capacity = 2048;
   config.max_batch = 64;
-  config.collect_egress = false;  // closed loop: survivors recycle
+  config.egress = runtime::EgressMode::kRecycle;  // survivors recycle
   runtime::ShardRuntime runtime(threads, service_config(), root_key(),
                                 config);
   runtime::IngressPort ingress = runtime.port(0);
@@ -163,7 +164,7 @@ void BM_RuntimeForwardMQ(benchmark::State& state) {
   config.ingress_queues = queues;
   config.ring_capacity = 2048;
   config.max_batch = 64;
-  config.collect_egress = false;
+  config.egress = runtime::EgressMode::kRecycle;
   runtime::ShardRuntime runtime(workers, service_config(), root_key(),
                                 config);
 
@@ -223,7 +224,7 @@ BENCHMARK(BM_RuntimeForwardMQ)
 void BM_RuntimeDispatchHandoff(benchmark::State& state) {
   runtime::RuntimeConfig config;
   config.ring_capacity = 4096;
-  config.collect_egress = false;
+  config.egress = runtime::EgressMode::kRecycle;
   core::NeutralizerConfig cfg = service_config();
   runtime::ShardRuntime runtime(1, cfg, root_key(), config);
   runtime::IngressPort ingress = runtime.port(0);
@@ -248,7 +249,7 @@ void BM_UdpIngest(benchmark::State& state) {
   config.ingress_queues = queues;
   config.ring_capacity = 4096;
   config.max_batch = 64;
-  config.collect_egress = false;
+  config.egress = runtime::EgressMode::kRecycle;
   runtime::ShardRuntime runtime(queues, service_config(), root_key(),
                                 config);
   runtime::UdpIngestConfig icfg;
@@ -317,5 +318,102 @@ void BM_UdpIngest(benchmark::State& state) {
   (void)seconds;
 }
 BENCHMARK(BM_UdpIngest)->Arg(1)->Arg(2)->UseManualTime();
+
+// The closed appliance loop: datagrams enter through UdpIngestor's
+// sockets, cross the ring fabric, and the survivors leave through
+// UdpEgressor's sendmmsg batches to a sink socket — receive,
+// neutralize, transmit, all inside the timed region. Items are the
+// datagrams that completed the WHOLE loop (the transmitted counter);
+// kernel drops under blast show up in kernel_drop_frac, exactly as in
+// BM_UdpIngest. Q ingress queues, Q workers, one transmit thread.
+void BM_UdpAppliance(benchmark::State& state) {
+  const std::size_t queues = static_cast<std::size_t>(state.range(0));
+  runtime::RuntimeConfig config;
+  config.ingress_queues = queues;
+  config.ring_capacity = 4096;
+  config.max_batch = 64;
+  config.egress = runtime::EgressMode::kForward;
+  runtime::ShardRuntime runtime(queues, service_config(), root_key(),
+                                config);
+  runtime::UdpIngestConfig icfg;
+  icfg.rcvbuf_bytes = 8 << 20;
+  runtime::UdpIngestor ingest(runtime, icfg);
+
+  // The sink is never drained: loopback sends into a full receive
+  // buffer still count as kernel-accepted, which is the cost being
+  // measured (the transmit path, not a receiver).
+  net::UdpSocket sink = net::UdpSocket::bind_loopback(0, false);
+  if (!sink.valid()) {
+    state.SkipWithError("cannot bind sink socket");
+    return;
+  }
+  runtime::UdpEgressConfig ecfg;
+  ecfg.dest_port = sink.local_port();
+  ecfg.tx_threads = 1;
+  runtime::UdpEgressor egress(runtime, ecfg);
+  if (!egress.start()) {
+    state.SkipWithError(("egress: " + egress.error()).c_str());
+    return;
+  }
+  ingest.start();
+  if (!ingest.running()) {
+    state.SkipWithError("UDP ingestor failed to start (no loopback?)");
+    return;
+  }
+
+  const auto tmpls = flow_templates(false);
+  constexpr std::size_t kBurst = 16384;
+  std::vector<net::UdpSocket> senders;
+  for (std::size_t s = 0; s < 4 * queues; ++s) {
+    auto sock = net::UdpSocket::open();
+    if (!sock.valid()) {
+      state.SkipWithError("cannot open sender socket");
+      return;
+    }
+    senders.push_back(std::move(sock));
+  }
+  const net::Ipv4Addr loop(127, 0, 0, 1);
+
+  std::uint64_t completed_total = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = egress.stats_total().transmitted;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      const auto& pkt = tmpls[i % tmpls.size()];
+      (void)senders[i % senders.size()].send_to(loop, ingest.port(),
+                                                pkt.view());
+    }
+    // Quiesce the whole pipe: ingest counter stable, every accepted
+    // packet processed, every survivor handed to the kernel.
+    std::uint64_t last = ingest.stats_total().submitted;
+    for (int stable = 0; stable < 3;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      const std::uint64_t now_count = ingest.stats_total().submitted;
+      stable = now_count == last ? stable + 1 : 0;
+      last = now_count;
+    }
+    runtime.flush();
+    egress.flush();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    state.SetIterationTime(elapsed.count());
+    completed_total += egress.stats_total().transmitted - before;
+  }
+  ingest.stop();
+  egress.stop();
+  runtime.stop();
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed_total));
+  state.counters["Mpps"] = benchmark::Counter(
+      static_cast<double>(completed_total) / 1e6,
+      benchmark::Counter::kIsRate);
+  state.counters["queues"] = static_cast<double>(queues);
+  const std::uint64_t sent =
+      state.iterations() * static_cast<std::uint64_t>(kBurst);
+  state.counters["kernel_drop_frac"] =
+      sent == 0 ? 0.0
+                : static_cast<double>(sent - completed_total) /
+                      static_cast<double>(sent);
+}
+BENCHMARK(BM_UdpAppliance)->Arg(1)->Arg(2)->UseManualTime();
 
 }  // namespace

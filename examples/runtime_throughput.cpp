@@ -54,7 +54,7 @@ RunResult run_config(std::size_t queues, std::size_t threads,
   config.ingress_queues = queues;
   config.ring_capacity = 2048;
   config.max_batch = 64;
-  config.collect_egress = false;  // closed loop
+  config.egress = runtime::EgressMode::kRecycle;  // closed loop
   runtime::ShardRuntime runtime(threads, service_config(), root_key(),
                                 config);
 

@@ -95,7 +95,7 @@ void ShardedNeutralizerBox::join_service_anycast(sim::Network& net) {
 }
 
 void ShardedNeutralizerBox::back_with_runtime(runtime::RuntimeConfig config) {
-  config.collect_egress = true;  // the box re-emits the survivors
+  config.egress = runtime::EgressMode::kCollect;  // the box re-emits survivors
   runtime_ = std::make_unique<runtime::ShardRuntime>(
       cluster_.shard_count(), cluster_.config(), root_key_, config);
 }

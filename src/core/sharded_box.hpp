@@ -146,7 +146,7 @@ class ShardedNeutralizerBox final : public sim::Router {
   /// `config.ingress_queues > 1` the sim thread round-robins the ports
   /// and per-shard output is multiset-identical but may interleave
   /// differently. Must be called before any traffic reaches the box;
-  /// `collect_egress` is forced on (the box needs the survivors).
+  /// `egress` is forced to kCollect (the box needs the survivors).
   /// Throws std::invalid_argument on an invalid RuntimeConfig.
   void back_with_runtime(runtime::RuntimeConfig config = {});
 

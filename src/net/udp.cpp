@@ -19,8 +19,6 @@ namespace nn::net {
 
 namespace {
 
-constexpr std::size_t kMaxDatagram = 65535;
-
 #if NN_HAVE_SOCKETS
 sockaddr_in make_sockaddr(Ipv4Addr addr, std::uint16_t port) {
   sockaddr_in sa{};
@@ -126,6 +124,16 @@ bool UdpSocket::set_recv_buffer(int bytes) noexcept {
 #endif
 }
 
+bool UdpSocket::set_send_buffer(int bytes) noexcept {
+#if NN_HAVE_SOCKETS
+  return fd_ >= 0 && ::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &bytes,
+                                  sizeof(bytes)) == 0;
+#else
+  (void)bytes;
+  return false;
+#endif
+}
+
 bool UdpSocket::set_recv_timeout_ms(int ms) noexcept {
 #if NN_HAVE_SOCKETS
   timeval tv{};
@@ -174,14 +182,11 @@ std::size_t UdpSocket::send_batch(
     msgs[i].msg_hdr.msg_iov = &iovs[i];
     msgs[i].msg_hdr.msg_iovlen = 1;
   }
-  std::size_t sent = 0;
-  while (sent < msgs.size()) {
-    const int n = ::sendmmsg(fd_, msgs.data() + sent,
-                             static_cast<unsigned>(msgs.size() - sent), 0);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
-  return sent;
+  return drive_send_batch(msgs.size(), [&](std::size_t first,
+                                           std::size_t count) {
+    return ::sendmmsg(fd_, msgs.data() + first, static_cast<unsigned>(count),
+                      0);
+  });
 #else
   std::size_t sent = 0;
   for (const auto& b : bufs) {
@@ -193,16 +198,17 @@ std::size_t UdpSocket::send_batch(
 }
 
 std::size_t UdpSocket::recv_batch(std::vector<UdpDatagram>& out,
-                                  std::size_t max) {
+                                  std::size_t max,
+                                  std::size_t max_datagram_bytes) {
   out.clear();
-  if (fd_ < 0 || max == 0) return 0;
+  if (fd_ < 0 || max == 0 || max_datagram_bytes == 0) return 0;
 #if NN_HAVE_SOCKETS && defined(__linux__)
   std::vector<std::vector<std::uint8_t>> bufs(max);
   std::vector<mmsghdr> msgs(max);
   std::vector<iovec> iovs(max);
   std::vector<sockaddr_in> froms(max);
   for (std::size_t i = 0; i < max; ++i) {
-    bufs[i].resize(kMaxDatagram);
+    bufs[i].resize(max_datagram_bytes);
     iovs[i].iov_base = bufs[i].data();
     iovs[i].iov_len = bufs[i].size();
     msgs[i] = mmsghdr{};
@@ -218,24 +224,39 @@ std::size_t UdpSocket::recv_batch(std::vector<UdpDatagram>& out,
   if (n <= 0) return 0;
   out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
     UdpDatagram d;
-    bufs[static_cast<std::size_t>(i)].resize(msgs[i].msg_len);
-    d.bytes = std::move(bufs[static_cast<std::size_t>(i)]);
-    d.source = Ipv4Addr(ntohl(froms[static_cast<std::size_t>(i)]
-                                  .sin_addr.s_addr));
-    d.source_port = ntohs(froms[static_cast<std::size_t>(i)].sin_port);
+    // The kernel raises MSG_TRUNC in the per-message msg_flags when
+    // the datagram did not fit the buffer; msg_len is then the stored
+    // (clipped) length. Flag it so callers reject instead of parsing.
+    d.truncated = (msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0;
+    const std::size_t stored =
+        msgs[i].msg_len < bufs[idx].size() ? msgs[i].msg_len
+                                           : bufs[idx].size();
+    bufs[idx].resize(stored);
+    d.bytes = std::move(bufs[idx]);
+    d.source = Ipv4Addr(ntohl(froms[idx].sin_addr.s_addr));
+    d.source_port = ntohs(froms[idx].sin_port);
     out.push_back(std::move(d));
   }
   return out.size();
 #elif NN_HAVE_SOCKETS
-  std::vector<std::uint8_t> buf(kMaxDatagram);
+  std::vector<std::uint8_t> buf(max_datagram_bytes);
   sockaddr_in from{};
   socklen_t fromlen = sizeof(from);
-  const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+  // MSG_TRUNC (where the platform has it) makes recvfrom return the
+  // datagram's real length even when the buffer clipped it, which is
+  // how truncation is detected on the fallback path.
+  int flags = 0;
+#ifdef MSG_TRUNC
+  flags |= MSG_TRUNC;
+#endif
+  const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), flags,
                                reinterpret_cast<sockaddr*>(&from), &fromlen);
   if (n <= 0) return 0;
   UdpDatagram d;
-  buf.resize(static_cast<std::size_t>(n));
+  d.truncated = static_cast<std::size_t>(n) > buf.size();
+  buf.resize(d.truncated ? buf.size() : static_cast<std::size_t>(n));
   d.bytes = std::move(buf);
   d.source = Ipv4Addr(ntohl(from.sin_addr.s_addr));
   d.source_port = ntohs(from.sin_port);
@@ -243,6 +264,7 @@ std::size_t UdpSocket::recv_batch(std::vector<UdpDatagram>& out,
   return 1;
 #else
   (void)max;
+  (void)max_datagram_bytes;
   return 0;
 #endif
 }

@@ -11,6 +11,7 @@
 // tests) gate on UdpSocket::supported().
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -20,12 +21,45 @@
 
 namespace nn::net {
 
+/// Largest payload an IPv4 UDP datagram can carry; the default receive
+/// buffer size, so nothing is ever kernel-truncated unless the caller
+/// asks for smaller buffers.
+inline constexpr std::size_t kMaxUdpDatagram = 65535;
+
 /// One datagram hand-back from UdpSocket::recv_batch.
 struct UdpDatagram {
   std::vector<std::uint8_t> bytes;
   Ipv4Addr source;
   std::uint16_t source_port = 0;
+  /// True when the kernel clipped the datagram to fit the receive
+  /// buffer (per-message MSG_TRUNC). `bytes` then holds a prefix of
+  /// the real payload — callers must reject it, never parse it.
+  bool truncated = false;
 };
+
+/// Send-loop seam shared by UdpSocket::send_batch and its unit tests:
+/// drives a sendmmsg-style call until all `total` messages are handed
+/// to the kernel. `send_some(first, count)` must attempt messages
+/// [first, first+count) and return how many the kernel accepted, or a
+/// negative value with errno set. EINTR is retried (nothing was sent);
+/// a partial send resumes from `first + n` so no delivered datagram is
+/// ever sent twice. Returns how many messages were delivered — equal
+/// to `total` unless a non-EINTR error (or a zero-progress return)
+/// stopped the loop early.
+template <typename SendSome>
+std::size_t drive_send_batch(std::size_t total, SendSome&& send_some) {
+  std::size_t sent = 0;
+  while (sent < total) {
+    const int n = send_some(sent, total - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted before any delivery
+      break;                         // real error: report what made it
+    }
+    if (n == 0) break;  // defensive: never spin without forward progress
+    sent += static_cast<std::size_t>(n);
+  }
+  return sent;
+}
 
 class UdpSocket {
  public:
@@ -58,6 +92,8 @@ class UdpSocket {
 
   /// SO_RCVBUF request (kernel may clamp; best effort).
   bool set_recv_buffer(int bytes) noexcept;
+  /// SO_SNDBUF request (kernel may clamp; best effort).
+  bool set_send_buffer(int bytes) noexcept;
   /// SO_RCVTIMEO so recv_batch wakes up to poll stop flags.
   bool set_recv_timeout_ms(int ms) noexcept;
 
@@ -66,14 +102,20 @@ class UdpSocket {
                std::span<const std::uint8_t> payload) noexcept;
 
   /// Sends many datagrams to the same destination with sendmmsg where
-  /// available; returns how many the kernel accepted.
+  /// available; returns how many the kernel accepted. EINTR is retried
+  /// and partial batches resume without re-sending delivered datagrams
+  /// (drive_send_batch above is the loop, exposed for unit tests).
   std::size_t send_batch(Ipv4Addr addr, std::uint16_t port,
                          std::span<const std::span<const std::uint8_t>> bufs);
 
   /// Receives up to `max` datagrams (recvmmsg where available),
   /// blocking up to the configured receive timeout for the first one.
-  /// Returns 0 on timeout; out is cleared then filled.
-  std::size_t recv_batch(std::vector<UdpDatagram>& out, std::size_t max);
+  /// Returns 0 on timeout; out is cleared then filled. Each receive
+  /// buffer is `max_datagram_bytes` long; a datagram that did not fit
+  /// comes back clipped with its `truncated` flag set (per-message
+  /// MSG_TRUNC) so callers can reject it instead of parsing a prefix.
+  std::size_t recv_batch(std::vector<UdpDatagram>& out, std::size_t max,
+                         std::size_t max_datagram_bytes = kMaxUdpDatagram);
 
   void close() noexcept;
 

@@ -75,6 +75,16 @@ int placement_cpu_for_ingress(const RuntimeConfig& cfg, std::size_t q,
                    : static_cast<int>((workers + q) % cpus);
 }
 
+int placement_cpu_for_egress(const RuntimeConfig& cfg, std::size_t t,
+                             std::size_t workers,
+                             std::size_t ingress) noexcept {
+  if (cfg.placement == PlacementPolicy::kNone) return -1;
+  const unsigned cpus = std::thread::hardware_concurrency();
+  const std::size_t slot = workers + ingress + t;
+  return cpus == 0 ? static_cast<int>(slot)
+                   : static_cast<int>(slot % cpus);
+}
+
 std::string RuntimeConfig::validate(std::size_t worker_count) const {
   if (worker_count == 0) {
     return "RuntimeConfig: worker_count must be >= 1 "
@@ -154,11 +164,12 @@ std::size_t ShardRuntime::shard_for(const net::Packet& pkt) const noexcept {
 }
 
 bool ShardRuntime::submit_on_queue(std::size_t queue, net::Packet&& pkt,
-                                   sim::SimTime now) {
+                                   sim::SimTime now, EgressEndpoint reply) {
   if (stopped_.load(std::memory_order_acquire)) return false;
   Worker& w = *workers_[shard_for(pkt)];
   Lane& lane = *w.lanes[queue];
-  Ingress slot{std::move(pkt), now, static_cast<std::uint32_t>(queue)};
+  Ingress slot{std::move(pkt), now, static_cast<std::uint32_t>(queue),
+               reply};
   if (!lane.ring.try_push(std::move(slot))) {
     if (config_.backpressure == BackpressurePolicy::kDrop) {
       bump(lane.dropped, 1, std::memory_order_relaxed);
@@ -178,9 +189,10 @@ bool ShardRuntime::submit_on_queue(std::size_t queue, net::Packet&& pkt,
   return true;
 }
 
-bool IngressPort::submit(net::Packet&& pkt, sim::SimTime now) {
+bool IngressPort::submit(net::Packet&& pkt, sim::SimTime now,
+                         EgressEndpoint reply) {
   assert(valid() && "submit() on a null IngressPort");
-  return runtime_->submit_on_queue(queue_, std::move(pkt), now);
+  return runtime_->submit_on_queue(queue_, std::move(pkt), now, reply);
 }
 
 std::size_t IngressPort::submit_burst(std::span<net::Packet> pkts,
@@ -188,9 +200,34 @@ std::size_t IngressPort::submit_burst(std::span<net::Packet> pkts,
   assert(valid() && "submit_burst() on a null IngressPort");
   std::size_t accepted = 0;
   for (net::Packet& pkt : pkts) {
-    if (runtime_->submit_on_queue(queue_, std::move(pkt), now)) ++accepted;
+    if (runtime_->submit_on_queue(queue_, std::move(pkt), now, {})) {
+      ++accepted;
+    }
   }
   return accepted;
+}
+
+EgressLane ShardRuntime::egress_lane(std::size_t w) noexcept {
+  assert(config_.egress == EgressMode::kForward &&
+         "egress_lane(): runtime is not in EgressMode::kForward");
+  assert(w < workers_.size() && "egress_lane(w): no such worker");
+  return EgressLane(this, w);
+}
+
+std::size_t EgressLane::pop_burst(std::vector<EgressItem>& out,
+                                  std::size_t max) {
+  assert(valid() && "pop_burst() on a null EgressLane");
+  auto& ring = runtime_->workers_[lane_]->tx_ring;
+  const std::size_t base = out.size();
+  out.resize(base + max);
+  const std::size_t got = ring.pop_batch(out.data() + base, max);
+  out.resize(base + got);
+  return got;
+}
+
+std::size_t EgressLane::size_approx() const noexcept {
+  assert(valid() && "size_approx() on a null EgressLane");
+  return runtime_->workers_[lane_]->tx_ring.size_approx();
 }
 
 void IngressPort::flush() {
@@ -289,36 +326,24 @@ void ShardRuntime::worker_loop(Worker& w, std::size_t index) {
     // Split the merged burst wherever the arrival timestamp changes: a
     // single process_batch call sees one `now`, and epoch validation
     // must match what the serial path would have decided per packet.
+    // In kForward mode the burst also splits on reply-endpoint changes
+    // so every sub-burst's survivors share one reflect destination
+    // (batch boundaries never change output bytes, so the extra splits
+    // cost throughput only, never correctness — and unrecorded
+    // endpoints are all equal, so rewrite-mode feeds keep full bursts).
+    const bool forward = config_.egress == EgressMode::kForward;
     std::size_t i = 0;
     while (i < got) {
       const sim::SimTime now = w.staging[i].now;
+      const EgressEndpoint reply = w.staging[i].reply;
       w.pending.clear();
       std::fill(w.lane_counts.begin(), w.lane_counts.end(), 0);
-      while (i < got && w.staging[i].now == now) {
+      while (i < got && w.staging[i].now == now &&
+             (!forward || w.staging[i].reply == reply)) {
         ++w.lane_counts[w.staging[i].queue];
         w.pending.push_back(std::move(w.staging[i++].pkt));
       }
-      const std::uint64_t burst = w.pending.size();
-      std::size_t out = 0;
-      if (config_.collect_egress) {
-        out = w.service.drain_into(w.pending, now, &w.arena, w.egress);
-      } else {
-        // Closed-loop mode: survivors go straight back to the arena so
-        // benchmarks can run indefinitely without accumulating output.
-        const std::size_t kept = w.service.process_batch(
-            {w.pending.data(), w.pending.size()}, now, &w.arena);
-        for (std::size_t k = 0; k < kept; ++k) {
-          w.arena.release(std::move(w.pending[k]));
-        }
-        w.pending.clear();
-        out = kept;
-      }
-      bump(w.survivors, out, std::memory_order_relaxed);
-      bump(w.batches, 1, std::memory_order_relaxed);
-      std::uint64_t seen = w.max_batch.load(std::memory_order_relaxed);
-      while (burst > seen && !w.max_batch.compare_exchange_weak(
-                                 seen, burst, std::memory_order_relaxed)) {
-      }
+      emit_burst(w, now, reply);
       // Published last, one release per contributing lane: pairs with
       // the acquire in queue_quiescent(), making everything above —
       // egress contents included — visible to whoever observes the
@@ -329,6 +354,58 @@ void ShardRuntime::worker_loop(Worker& w, std::size_t index) {
              std::memory_order_release);
       }
     }
+  }
+}
+
+void ShardRuntime::emit_burst(Worker& w, sim::SimTime now,
+                              EgressEndpoint reply) {
+  const std::uint64_t burst = w.pending.size();
+  std::size_t out = 0;
+  switch (config_.egress) {
+    case EgressMode::kCollect:
+      out = w.service.drain_into(w.pending, now, &w.arena, w.egress);
+      break;
+    case EgressMode::kRecycle: {
+      // Closed-loop mode: survivors go straight back to the arena so
+      // benchmarks can run indefinitely without accumulating output.
+      const std::size_t kept = w.service.process_batch(
+          {w.pending.data(), w.pending.size()}, now, &w.arena);
+      for (std::size_t k = 0; k < kept; ++k) {
+        w.arena.release(std::move(w.pending[k]));
+      }
+      w.pending.clear();
+      out = kept;
+      break;
+    }
+    case EgressMode::kForward: {
+      // Appliance mode: survivors go to this worker's egress lane in
+      // processing order. The lane obeys the runtime's backpressure
+      // policy: kBlock paces the worker to its transmit thread (so a
+      // live consumer must be draining the lane), kDrop sheds and
+      // counts, like a full NIC TX queue.
+      w.scratch_egress.clear();
+      out = w.service.drain_into(w.pending, now, &w.arena, w.scratch_egress);
+      for (net::Packet& pkt : w.scratch_egress) {
+        EgressItem item{std::move(pkt), reply};
+        if (w.tx_ring.try_push(std::move(item))) continue;
+        if (config_.backpressure == BackpressurePolicy::kDrop) {
+          bump(w.egress_dropped, 1, std::memory_order_relaxed);
+          continue;
+        }
+        Backoff backoff;
+        do {
+          backoff.pause();
+        } while (!w.tx_ring.try_push(std::move(item)));
+      }
+      w.scratch_egress.clear();
+      break;
+    }
+  }
+  bump(w.survivors, out, std::memory_order_relaxed);
+  bump(w.batches, 1, std::memory_order_relaxed);
+  std::uint64_t seen = w.max_batch.load(std::memory_order_relaxed);
+  while (burst > seen && !w.max_batch.compare_exchange_weak(
+                             seen, burst, std::memory_order_relaxed)) {
   }
 }
 
@@ -400,6 +477,7 @@ RuntimeStats ShardRuntime::stats() const {
       s.queues[q].blocked_waits += blocked;
     }
     c.survivors = w->survivors.load(std::memory_order_relaxed);
+    c.egress_dropped = w->egress_dropped.load(std::memory_order_relaxed);
     c.batches = w->batches.load(std::memory_order_relaxed);
     c.max_batch = w->max_batch.load(std::memory_order_relaxed);
     c.pinned_cpu = w->pinned_cpu.load(std::memory_order_relaxed);

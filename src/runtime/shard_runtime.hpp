@@ -58,9 +58,21 @@
 // port to the slowest shard) or drops the packet and reports it
 // (kDrop, what a line-rate NIC queue would do), counted per lane.
 //
-// The single-dispatcher surface from PR 5 survives as sugar:
-// ShardRuntime::submit(pkt, now) is exactly port(0).submit(pkt, now)
-// and is deprecated in favor of the explicit handle.
+// Egress is a mode choice (EgressMode): collect survivors in per-worker
+// vectors (verify), recycle them into the worker arena (closed-loop
+// benches), or forward them into per-worker egress lanes — the same
+// SPSC fabric run in the opposite direction, one ring per worker whose
+// producer is that worker and whose consumer is one transmit thread
+// (EgressLane is the consumer handle; UdpEgressor in udp_egress.hpp is
+// the socket-backed consumer that closes the appliance loop).
+//
+// Header changelog:
+//   * PR 8 removed ShardRuntime::submit(pkt, now) — the deprecated
+//     port(0) sugar from the PR 5 single-dispatcher era. Spell it
+//     runtime.port(0).submit(pkt, now); behavior is identical.
+//   * PR 8 replaced RuntimeConfig::collect_egress (bool) with the
+//     three-valued RuntimeConfig::egress (EgressMode): the old `true`
+//     is kCollect, the old `false` is kRecycle, and kForward is new.
 #pragma once
 
 #include <atomic>
@@ -83,6 +95,34 @@ namespace nn::runtime {
 enum class BackpressurePolicy : std::uint8_t {
   kBlock,  // submit() waits for ring space (lossless)
   kDrop,   // submit() drops and returns false when the ring is full
+};
+
+/// What a worker does with a burst's survivors.
+enum class EgressMode : std::uint8_t {
+  kCollect,  // append to the worker's egress vector (verify mode)
+  kRecycle,  // release straight into the worker's arena (closed loop —
+             // benchmarks that would otherwise accumulate wire output)
+  kForward,  // push into the worker's egress lane for a transmit
+             // thread to drain (the appliance mode; see EgressLane)
+};
+
+/// Where a forwarded survivor should be transmitted when the egress
+/// consumer runs in reflect-to-source mode: the UDP endpoint the
+/// originating datagram came from, recorded at ingress and carried
+/// through the fabric with the packet. A default-constructed endpoint
+/// (port 0) means "nothing recorded" — rewrite-mode consumers ignore
+/// it entirely.
+struct EgressEndpoint {
+  net::Ipv4Addr addr{};
+  std::uint16_t port = 0;
+  friend bool operator==(const EgressEndpoint&,
+                         const EgressEndpoint&) = default;
+};
+
+/// One survivor handed from a worker to its egress lane.
+struct EgressItem {
+  net::Packet pkt;
+  EgressEndpoint reply;
 };
 
 /// How runtime threads map onto CPUs. Pinning keeps each worker's
@@ -115,11 +155,12 @@ struct RuntimeConfig {
   /// "use `placement`"; otherwise it must name one CPU per worker, and
   /// a pin that fails at runtime shows up in RuntimeStats.
   std::vector<int> worker_cpus;
-  /// Keep every survivor in the worker's egress vector (the collect /
-  /// verify mode). When false survivors are recycled straight into the
-  /// worker's arena — the closed-loop mode benchmarks run, where wire
-  /// output would otherwise accumulate without bound.
-  bool collect_egress = true;
+  /// What workers do with survivors: collect for inspection (default),
+  /// recycle into the arena (closed-loop benches), or forward into the
+  /// per-worker egress lanes (the appliance path — a consumer must be
+  /// draining every lane, or kBlock workers stall on a full lane
+  /// exactly like a port on a full ingress ring).
+  EgressMode egress = EgressMode::kCollect;
   /// Freelist bound for each worker's PacketArena.
   std::size_t arena_max_free = 4096;
   /// When false the ctor does not launch threads; start() (or flush(),
@@ -152,6 +193,8 @@ struct WorkerCounters {
   std::uint64_t blocked_waits = 0;  // kBlock ring-full wait episodes
   std::uint64_t processed = 0;      // packets fully handled by the worker
   std::uint64_t survivors = 0;      // packets that produced wire output
+  std::uint64_t egress_dropped = 0;  // survivors lost to a full egress
+                                     // lane (kDrop policy, kForward mode)
   std::uint64_t batches = 0;        // process_batch calls
   std::uint64_t max_batch = 0;      // largest single burst
   /// CPU the worker thread is actually pinned to, -1 when unpinned
@@ -182,6 +225,7 @@ struct RuntimeStats {
       t.blocked_waits += w.blocked_waits;
       t.processed += w.processed;
       t.survivors += w.survivors;
+      t.egress_dropped += w.egress_dropped;
       t.batches += w.batches;
       t.max_batch = t.max_batch > w.max_batch ? t.max_batch : w.max_batch;
       t.affinity_failures += w.affinity_failures;
@@ -210,9 +254,14 @@ class IngressPort {
   /// Dispatches one packet through this queue. `now` is the packet's
   /// arrival timestamp, forwarded to the worker's drain so epoch checks
   /// behave exactly as on the serial path; timestamps must be
-  /// non-decreasing per port. Returns false iff the packet was dropped
-  /// (kDrop policy with a full ring, or the runtime is stopped).
-  bool submit(net::Packet&& pkt, sim::SimTime now = 0);
+  /// non-decreasing per port. `reply` is the reflect-to-source endpoint
+  /// carried to the egress lanes in kForward mode (leave defaulted when
+  /// nothing downstream reflects — identical endpoints never force a
+  /// burst split, so the default costs nothing). Returns false iff the
+  /// packet was dropped (kDrop policy with a full ring, or the runtime
+  /// is stopped).
+  bool submit(net::Packet&& pkt, sim::SimTime now = 0,
+              EgressEndpoint reply = {});
 
   /// Dispatches a whole burst (each packet moved-from on acceptance);
   /// returns how many were accepted. Under kBlock that is all of them
@@ -233,6 +282,39 @@ class IngressPort {
 
   ShardRuntime* runtime_ = nullptr;
   std::size_t queue_ = 0;
+};
+
+/// Consumer handle for one worker's egress lane (kForward mode) — the
+/// mirror of IngressPort: a lightweight copyable view where all copies
+/// address the same lane and together count as ONE consumer; at any
+/// moment at most one thread may be calling pop_burst() on a given
+/// lane. Distinct lanes are fully independent. Items pop in the exact
+/// order the worker processed them, so transmitting a lane FIFO
+/// preserves that shard's wire-output order on the wire.
+class EgressLane {
+ public:
+  EgressLane() = default;  // null handle; valid() is false
+
+  [[nodiscard]] bool valid() const noexcept { return runtime_ != nullptr; }
+  [[nodiscard]] std::size_t lane() const noexcept { return lane_; }
+
+  /// Pops up to `max` survivors into `out` (appended; not cleared).
+  /// Returns how many were popped — 0 when the lane is currently
+  /// empty, which is definitive only once the runtime is quiescent or
+  /// stopped.
+  std::size_t pop_burst(std::vector<EgressItem>& out, std::size_t max);
+
+  /// Approximate occupancy (exact from the consumer side when the
+  /// producing worker is quiescent).
+  [[nodiscard]] std::size_t size_approx() const noexcept;
+
+ private:
+  friend class ShardRuntime;
+  EgressLane(ShardRuntime* runtime, std::size_t lane) noexcept
+      : runtime_(runtime), lane_(lane) {}
+
+  ShardRuntime* runtime_ = nullptr;
+  std::size_t lane_ = 0;
 };
 
 class ShardRuntime {
@@ -269,16 +351,14 @@ class ShardRuntime {
   /// IngressPort for the one-producer-per-queue rule.
   [[nodiscard]] IngressPort port(std::size_t q) noexcept;
 
+  /// The egress handle for worker w's survivor lane (kForward mode
+  /// only — asserts on any other EgressMode). See EgressLane for the
+  /// one-consumer-per-lane rule.
+  [[nodiscard]] EgressLane egress_lane(std::size_t w) noexcept;
+
   /// Where the dispatch hash sends `pkt` — same function, same answer
   /// as ShardedNeutralizer::shard_for.
   [[nodiscard]] std::size_t shard_for(const net::Packet& pkt) const noexcept;
-
-  /// Single-dispatcher compatibility shim: exactly port(0).submit().
-  /// \deprecated Use port(0) (or a dedicated port per ingress thread).
-  [[deprecated("ShardRuntime::submit() is port(0) sugar; use port(q)")]]
-  bool submit(net::Packet&& pkt, sim::SimTime now = 0) {
-    return port(0).submit(std::move(pkt), now);
-  }
 
   /// Blocks until every packet accepted by every port has been
   /// processed (workers are started if they were not yet). On return
@@ -324,15 +404,18 @@ class ShardRuntime {
 
  private:
   friend class IngressPort;
+  friend class EgressLane;
 
   // One slot of the port→worker ring: the packet, its arrival
   // timestamp (workers split bursts on timestamp changes so a burst
-  // never spans an epoch-visible instant), and the source queue (so
-  // the worker credits the right lane's processed counter).
+  // never spans an epoch-visible instant), the source queue (so the
+  // worker credits the right lane's processed counter), and the
+  // reflect-to-source endpoint forwarded to the egress lane.
   struct Ingress {
     net::Packet pkt;
     sim::SimTime now = 0;
     std::uint32_t queue = 0;
+    EgressEndpoint reply;
   };
 
   // One (queue, worker) edge of the fabric: an SPSC ring plus its
@@ -354,7 +437,12 @@ class ShardRuntime {
   struct Worker {
     Worker(const core::NeutralizerConfig& config,
            const crypto::AesKey& root_key, const RuntimeConfig& cfg)
-        : service(config, root_key), arena(cfg.arena_max_free) {
+        : service(config, root_key),
+          arena(cfg.arena_max_free),
+          // The egress lane exists only in kForward mode; a 1-slot
+          // stub keeps the member unconditional without the memory.
+          tx_ring(cfg.egress == EgressMode::kForward ? cfg.ring_capacity
+                                                     : 1) {
       lanes.reserve(cfg.ingress_queues);
       for (std::size_t q = 0; q < cfg.ingress_queues; ++q) {
         lanes.push_back(std::make_unique<Lane>(cfg.ring_capacity));
@@ -364,13 +452,18 @@ class ShardRuntime {
     core::Neutralizer service;
     net::PacketArena arena;
     std::vector<std::unique_ptr<Lane>> lanes;  // one per ingress queue
+    // Survivor lane (kForward): this worker is the single producer,
+    // one transmit thread the single consumer (EgressLane handle).
+    SpscRing<EgressItem> tx_ring;
     std::vector<net::Packet> pending;   // worker-local burst staging
     std::vector<net::Packet> egress;    // survivors, processing order
+    std::vector<net::Packet> scratch_egress;  // kForward drain buffer
     std::vector<Ingress> staging;       // ring pop + merge buffer
     std::vector<std::uint64_t> lane_counts;  // per-group credit scratch
 
     // Worker-published aggregates (relaxed; exact at quiescence).
     std::atomic<std::uint64_t> survivors{0};
+    std::atomic<std::uint64_t> egress_dropped{0};
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::uint64_t> max_batch{0};
     // Affinity outcome, published at thread start (relaxed).
@@ -392,10 +485,11 @@ class ShardRuntime {
   std::mutex start_mutex_;
   bool started_ = false;  // guarded by start_mutex_
 
-  bool submit_on_queue(std::size_t queue, net::Packet&& pkt,
-                       sim::SimTime now);
+  bool submit_on_queue(std::size_t queue, net::Packet&& pkt, sim::SimTime now,
+                       EgressEndpoint reply);
   bool queue_quiescent(std::size_t queue) const noexcept;
   void worker_loop(Worker& w, std::size_t index);
+  void emit_burst(Worker& w, sim::SimTime now, EgressEndpoint reply);
   void assert_quiescent() const;
 };
 
@@ -409,6 +503,12 @@ class ShardRuntime {
 [[nodiscard]] int placement_cpu_for_ingress(const RuntimeConfig& cfg,
                                             std::size_t q,
                                             std::size_t workers) noexcept;
+/// CPU for transmit thread `t`: after the workers and the ingress
+/// threads, so a big enough machine gives every stage its own core —
+/// worker 0..M-1, ingress M..M+Q-1, tx M+Q..M+Q+T-1 (all mod ncpu).
+[[nodiscard]] int placement_cpu_for_egress(const RuntimeConfig& cfg,
+                                           std::size_t t, std::size_t workers,
+                                           std::size_t ingress) noexcept;
 
 /// Best-effort pin of the calling thread to `cpu` (no-op, returning
 /// true, when cpu < 0). Returns false when the platform call fails —

@@ -1,0 +1,229 @@
+#include "runtime/udp_egress.hpp"
+
+#include <chrono>
+
+namespace nn::runtime {
+
+namespace {
+
+/// Same yield-then-sleep idle wait the ingest side uses: cheap while
+/// the producer is likely mid-burst, kind to single-core hosts once
+/// the lanes have clearly gone quiet.
+struct Backoff {
+  unsigned spins = 0;
+  void pause() {
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  void reset() { spins = 0; }
+};
+
+}  // namespace
+
+UdpEgressor::UdpEgressor(ShardRuntime& runtime, UdpEgressConfig config)
+    : runtime_(runtime), config_(config) {
+  lanes_.reserve(runtime_.worker_count());
+  for (std::size_t w = 0; w < runtime_.worker_count(); ++w) {
+    lanes_.push_back(std::make_unique<TxLane>());
+  }
+}
+
+UdpEgressor::~UdpEgressor() { stop(); }
+
+bool UdpEgressor::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  if (!net::UdpSocket::supported()) {
+    error_ = "sockets unavailable on this platform";
+    return false;
+  }
+  if (runtime_.config().egress != EgressMode::kForward) {
+    error_ = "runtime is not in EgressMode::kForward";
+    return false;
+  }
+  if (config_.mode == UdpEgressConfig::Mode::kRewrite &&
+      config_.dest_port == 0) {
+    error_ = "kRewrite mode needs a dest_port (there is no default next hop)";
+    return false;
+  }
+  if (config_.tx_threads == 0 || config_.tx_threads > lanes_.size()) {
+    error_ = "tx_threads must be in [1, worker_count]";
+    return false;
+  }
+  if (config_.send_batch == 0) {
+    error_ = "send_batch must be >= 1";
+    return false;
+  }
+  stop_flag_.store(false, std::memory_order_release);
+
+  // One bound socket per lane: binding (port 0, kernel-assigned) gives
+  // each shard's output stream a distinct, queryable source port.
+  for (std::size_t w = 0; w < lanes_.size(); ++w) {
+    net::UdpSocket sock = net::UdpSocket::bind_loopback(0, false);
+    if (!sock.valid()) {
+      error_ = "lane " + std::to_string(w) + ": " + sock.error();
+      for (auto& lane : lanes_) lane->socket.close();
+      return false;
+    }
+    sock.set_send_buffer(config_.sndbuf_bytes);
+    lanes_[w]->socket = std::move(sock);
+    lanes_[w]->lane = runtime_.egress_lane(w);
+  }
+
+  running_.store(true, std::memory_order_release);
+  threads_.reserve(config_.tx_threads);
+  for (std::size_t t = 0; t < config_.tx_threads; ++t) {
+    threads_.emplace_back([this, t] { tx_loop(t); });
+  }
+  return true;
+}
+
+void UdpEgressor::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_flag_.store(true, std::memory_order_release);
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  for (auto& lane : lanes_) lane->socket.close();
+  running_.store(false, std::memory_order_release);
+}
+
+void UdpEgressor::flush() {
+  Backoff backoff;
+  for (;;) {
+    bool done = true;
+    for (const auto& lane : lanes_) {
+      if (!lane->lane.valid()) continue;
+      if (lane->lane.size_approx() != 0) {
+        done = false;
+        break;
+      }
+      // Empty lane is not enough: a tx thread may hold popped items it
+      // has not finished sending. popped is bumped *before* the send
+      // and the outcome counters after it, so reading the outcome sum
+      // first and popped second makes popped == settled proof that
+      // nothing is in flight (settled only chases popped, and a stale
+      // settled read can only make the test fail, never pass early).
+      const std::uint64_t settled =
+          lane->transmitted.load(std::memory_order_seq_cst) +
+          lane->send_failures.load(std::memory_order_seq_cst);
+      const std::uint64_t popped =
+          lane->popped.load(std::memory_order_seq_cst);
+      if (popped != settled) {
+        done = false;
+        break;
+      }
+    }
+    if (done) return;
+    backoff.pause();
+  }
+}
+
+void UdpEgressor::tx_loop(std::size_t t) {
+  (void)pin_current_thread(placement_cpu_for_egress(
+      runtime_.config(), t, runtime_.worker_count(),
+      runtime_.ingress_queues()));
+  std::vector<EgressItem> items;
+  Backoff backoff;
+  for (;;) {
+    // Drain-then-exit, like the ingest readers: read the flag before
+    // the sweep, and only exit after a sweep in which every owned lane
+    // came up empty — a survivor a worker pushed before runtime.stop()
+    // returned is always transmitted, never stranded.
+    const bool stopping = stop_flag_.load(std::memory_order_acquire);
+    bool idle = true;
+    for (std::size_t w = t; w < lanes_.size(); w += config_.tx_threads) {
+      TxLane& lane = *lanes_[w];
+      items.clear();
+      if (lane.lane.pop_burst(items, config_.send_batch) == 0) continue;
+      idle = false;
+      // Popped is published before any send so flush() can tell "lane
+      // empty because everything was sent" from "lane empty but a
+      // batch is mid-send" (see the ordering argument there).
+      lane.popped.store(
+          lane.popped.load(std::memory_order_relaxed) + items.size(),
+          std::memory_order_seq_cst);
+      // Group consecutive items that share a destination into one
+      // sendmmsg series. In kRewrite mode every destination is equal,
+      // so the whole burst is one group; in kReflect mode the worker
+      // already split bursts on reply changes, so groups stay long.
+      std::size_t first = 0;
+      for (std::size_t i = 1; i <= items.size(); ++i) {
+        if (i < items.size() && items[i].reply == items[first].reply) {
+          continue;
+        }
+        send_group(lane, items, first, i - first);
+        first = i;
+      }
+    }
+    if (idle) {
+      if (stopping) break;
+      backoff.pause();
+    } else {
+      backoff.reset();
+    }
+  }
+}
+
+void UdpEgressor::send_group(TxLane& lane,
+                             const std::vector<EgressItem>& items,
+                             std::size_t first, std::size_t count) {
+  net::Ipv4Addr addr = config_.dest_addr;
+  std::uint16_t port = config_.dest_port;
+  if (config_.mode == UdpEgressConfig::Mode::kReflect) {
+    const EgressEndpoint& reply = items[first].reply;
+    if (reply.port == 0) {
+      // Nothing recorded at ingest — unreflectable, surfaced as
+      // failures rather than guessed at.
+      lane.send_failures.store(
+          lane.send_failures.load(std::memory_order_relaxed) + count,
+          std::memory_order_relaxed);
+      return;
+    }
+    addr = reply.addr;
+    port = reply.port;
+  }
+  std::vector<std::span<const std::uint8_t>> bufs;
+  bufs.reserve(count);
+  for (std::size_t i = first; i < first + count; ++i) {
+    bufs.push_back(items[i].pkt.view());
+  }
+  const std::size_t sent = lane.socket.send_batch(addr, port, bufs);
+  lane.transmitted.store(
+      lane.transmitted.load(std::memory_order_relaxed) + sent,
+      std::memory_order_relaxed);
+  if (sent < count) {
+    lane.send_failures.store(
+        lane.send_failures.load(std::memory_order_relaxed) + (count - sent),
+        std::memory_order_relaxed);
+  }
+}
+
+std::uint16_t UdpEgressor::lane_source_port(std::size_t w) const {
+  return lanes_.at(w)->socket.local_port();
+}
+
+UdpEgressStats UdpEgressor::stats(std::size_t w) const {
+  const TxLane& lane = *lanes_.at(w);
+  UdpEgressStats s;
+  s.popped = lane.popped.load(std::memory_order_acquire);
+  s.transmitted = lane.transmitted.load(std::memory_order_relaxed);
+  s.send_failures = lane.send_failures.load(std::memory_order_relaxed);
+  return s;
+}
+
+UdpEgressStats UdpEgressor::stats_total() const {
+  UdpEgressStats total;
+  for (std::size_t w = 0; w < lanes_.size(); ++w) {
+    const UdpEgressStats s = stats(w);
+    total.popped += s.popped;
+    total.transmitted += s.transmitted;
+    total.send_failures += s.send_failures;
+  }
+  return total;
+}
+
+}  // namespace nn::runtime

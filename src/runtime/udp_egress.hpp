@@ -1,0 +1,139 @@
+// UDP loopback back end for the threaded shard runtime — the mirror of
+// UdpIngestor, closing the appliance loop: receive, neutralize,
+// transmit. The runtime runs in EgressMode::kForward, so each worker
+// pushes its survivors (in processing order) into a per-worker egress
+// lane; the egressor owns every lane's consumer side and ships bursts
+// with UdpSocket::send_batch (sendmmsg) to a configurable destination.
+//
+// Lane → socket mapping: one bound socket per lane, so every shard's
+// output stream leaves through its own source port (read it back with
+// lane_source_port(w)). That keeps the wire attribution exact — a
+// receiver can demultiplex the transmitted stream per shard by source
+// port and check byte-identity against the in-process collected egress
+// — and it means a lane's datagrams are sent on a single socket in
+// lane FIFO order, so the kernel preserves each shard's output order
+// on loopback.
+//
+// Threading contract: transmit thread t owns lanes {w : w % tx_threads
+// == t} — each lane has exactly one consumer (EgressLane's rule), each
+// socket one sender. Threads are placed after the workers and ingress
+// readers via placement_cpu_for_egress. Shutdown mirrors ingest:
+// stop() raises the flag and the threads drain-then-exit, so every
+// survivor a worker handed to a lane is transmitted (or counted as a
+// send failure) before the thread joins. Call order for a clean
+// appliance teardown: quiet the feeds, runtime.flush(), then
+// egressor.flush()/stop(), then runtime.stop() — while workers might
+// still block on a full lane (kBlock), a live egressor must be
+// draining.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/udp.hpp"
+#include "runtime/shard_runtime.hpp"
+
+namespace nn::runtime {
+
+struct UdpEgressConfig {
+  /// Where survivors go on the wire.
+  enum class Mode : std::uint8_t {
+    kRewrite,  // every datagram to dest_addr:dest_port (next-hop mode)
+    kReflect,  // each datagram back to the endpoint its originating
+               // datagram came from (EgressItem::reply — the ingest
+               // side must run with UdpIngestConfig::record_reply)
+  };
+  Mode mode = Mode::kRewrite;
+  /// kRewrite destination. dest_port == 0 is a start() error in
+  /// kRewrite mode (there is no "default" next hop).
+  net::Ipv4Addr dest_addr = net::Ipv4Addr(127, 0, 0, 1);
+  std::uint16_t dest_port = 0;
+  /// Transmit threads; must be in [1, runtime.worker_count()]. Lanes
+  /// are striped across threads (lane w -> thread w % tx_threads).
+  std::size_t tx_threads = 1;
+  /// Max datagrams per sendmmsg() call.
+  std::size_t send_batch = 64;
+  /// SO_SNDBUF request per lane socket.
+  int sndbuf_bytes = 4 << 20;
+};
+
+/// Per-lane transmit counters. Exact once the egressor is stopped (or
+/// flush() returned with the producers quiet); relaxed reads otherwise.
+struct UdpEgressStats {
+  std::uint64_t popped = 0;         ///< survivors taken off the lane
+  std::uint64_t transmitted = 0;    ///< datagrams the kernel accepted
+  std::uint64_t send_failures = 0;  ///< send errors + unreflectable
+                                    ///< items (kReflect with no reply
+                                    ///< endpoint recorded)
+};
+
+class UdpEgressor {
+ public:
+  /// The runtime must be configured with EgressMode::kForward and must
+  /// outlive the egressor.
+  UdpEgressor(ShardRuntime& runtime, UdpEgressConfig config = {});
+  ~UdpEgressor();
+
+  UdpEgressor(const UdpEgressor&) = delete;
+  UdpEgressor& operator=(const UdpEgressor&) = delete;
+
+  /// Opens one bound socket per worker lane and spawns the transmit
+  /// threads. Returns false with error() set on a bad configuration
+  /// (runtime not in kForward mode, kRewrite without a dest_port,
+  /// tx_threads out of range) or a socket failure.
+  bool start();
+
+  /// Blocks until every survivor currently in the lanes has been
+  /// popped and handed to the kernel (or counted as a failure).
+  /// Meaningful only while the producers are quiet — i.e. after
+  /// runtime.flush() — otherwise the wait is best-effort.
+  void flush();
+
+  /// Signals the transmit threads, lets them drain their lanes, joins
+  /// them, closes the sockets. Counters stay readable. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return lanes_.size();
+  }
+  /// Source port lane w's datagrams leave from (0 before start()) —
+  /// the per-shard demultiplexing key on the receive side.
+  [[nodiscard]] std::uint16_t lane_source_port(std::size_t w) const;
+
+  [[nodiscard]] UdpEgressStats stats(std::size_t w) const;
+  [[nodiscard]] UdpEgressStats stats_total() const;
+
+ private:
+  struct TxLane {
+    net::UdpSocket socket;
+    EgressLane lane;  // consumer handle; this egressor is the consumer
+    std::atomic<std::uint64_t> popped{0};
+    std::atomic<std::uint64_t> transmitted{0};
+    std::atomic<std::uint64_t> send_failures{0};
+  };
+
+  void tx_loop(std::size_t t);
+  /// Sends items[first, first+count) — all sharing one destination —
+  /// as one sendmmsg batch series on `lane`'s socket.
+  void send_group(TxLane& lane, const std::vector<EgressItem>& items,
+                  std::size_t first, std::size_t count);
+
+  ShardRuntime& runtime_;
+  UdpEgressConfig config_;
+  std::vector<std::unique_ptr<TxLane>> lanes_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<bool> running_{false};
+  std::string error_;
+};
+
+}  // namespace nn::runtime

@@ -65,17 +65,38 @@ void UdpIngestor::reader_loop(std::size_t q) {
       runtime_.config(), q, runtime_.worker_count()));
   IngressPort ingress = runtime_.port(q);
   std::vector<net::UdpDatagram> batch;
-  while (!stop_flag_.load(std::memory_order_acquire)) {
-    const std::size_t n = queue.socket.recv_batch(batch, config_.recv_batch);
-    if (n == 0) continue;  // timeout tick: re-check the stop flag
+  for (;;) {
+    // Drain-then-exit: read the stop flag *before* the receive, so a
+    // batch the kernel hands us after the flag was raised is still the
+    // product of a pre-flag receive decision — every received datagram
+    // below is always fully accounted (submitted/rejected/runt/
+    // truncated) before the next flag check, and the loop only exits
+    // on an empty read, i.e. once the socket has nothing queued left.
+    const bool stopping = stop_flag_.load(std::memory_order_acquire);
+    const std::size_t n = queue.socket.recv_batch(
+        batch, config_.recv_batch, config_.max_datagram_bytes);
+    if (n == 0) {
+      if (stopping) break;
+      continue;  // timeout tick: re-check the stop flag
+    }
     queue.datagrams.fetch_add(n, std::memory_order_relaxed);
     for (auto& dgram : batch) {
+      if (dgram.truncated) {
+        // The kernel clipped the payload to fit our buffer; a prefix
+        // of a packet must never be parsed as a packet.
+        queue.truncated.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       if (dgram.bytes.size() < net::kIpv4HeaderSize) {
         queue.runts.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
+      const EgressEndpoint reply =
+          config_.record_reply
+              ? EgressEndpoint{dgram.source, dgram.source_port}
+              : EgressEndpoint{};
       net::Packet pkt{std::move(dgram.bytes)};
-      if (ingress.submit(std::move(pkt), 0)) {
+      if (ingress.submit(std::move(pkt), 0, reply)) {
         queue.submitted.fetch_add(1, std::memory_order_relaxed);
       } else {
         queue.rejected.fetch_add(1, std::memory_order_relaxed);
@@ -91,6 +112,7 @@ UdpQueueStats UdpIngestor::stats(std::size_t q) const {
   s.submitted = queue.submitted.load(std::memory_order_relaxed);
   s.rejected = queue.rejected.load(std::memory_order_relaxed);
   s.runts = queue.runts.load(std::memory_order_relaxed);
+  s.truncated = queue.truncated.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -102,6 +124,7 @@ UdpQueueStats UdpIngestor::stats_total() const {
     total.submitted += s.submitted;
     total.rejected += s.rejected;
     total.runts += s.runts;
+    total.truncated += s.truncated;
   }
   return total;
 }

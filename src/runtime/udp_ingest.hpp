@@ -36,6 +36,15 @@ struct UdpIngestConfig {
   int recv_timeout_ms = 50;
   /// Max datagrams per recvmmsg() call.
   std::size_t recv_batch = 64;
+  /// Receive buffer per datagram. The default accepts any UDP datagram;
+  /// smaller values make the kernel truncate oversize ones, which the
+  /// reader counts (`truncated`) and rejects instead of parsing.
+  std::size_t max_datagram_bytes = net::kMaxUdpDatagram;
+  /// When set, each datagram's source endpoint is recorded and carried
+  /// to the egress lanes as the reflect-to-source reply (kForward
+  /// mode). Off by default: distinct endpoints split worker bursts, so
+  /// rewrite-mode appliances should not pay for what they ignore.
+  bool record_reply = false;
 };
 
 /// Per-queue ingestion counters (socket side; ring-side counters live
@@ -45,6 +54,7 @@ struct UdpQueueStats {
   std::uint64_t submitted = 0;   ///< accepted by the ingress ring
   std::uint64_t rejected = 0;    ///< ring refused (kDrop) or runtime stopped
   std::uint64_t runts = 0;       ///< datagram shorter than an IPv4 header
+  std::uint64_t truncated = 0;   ///< kernel-clipped datagrams (MSG_TRUNC)
 };
 
 class UdpIngestor {
@@ -60,7 +70,13 @@ class UdpIngestor {
   /// Spawns the reader threads. Returns false (with error() set) if
   /// any socket failed to bind — e.g. no SO_REUSEPORT on this kernel.
   bool start();
-  /// Signals the readers, joins them, leaves counters readable.
+  /// Signals the readers, joins them, leaves counters readable. Each
+  /// reader drains its socket before exiting — it keeps calling
+  /// recv_batch() after observing the stop flag until a read comes back
+  /// empty — so every datagram the kernel had already queued when
+  /// stop() was called is still submitted (or counted as
+  /// rejected/runt/truncated), never silently dropped between a
+  /// successful receive and the flag check.
   void stop();
 
   [[nodiscard]] bool running() const noexcept {
@@ -84,6 +100,7 @@ class UdpIngestor {
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> rejected{0};
     std::atomic<std::uint64_t> runts{0};
+    std::atomic<std::uint64_t> truncated{0};
   };
 
   void reader_loop(std::size_t q);

@@ -1,0 +1,152 @@
+// UdpSocket hardening coverage: the drive_send_batch seam (EINTR
+// retry, partial-send resume) exercised with injected short returns,
+// and kernel truncation (MSG_TRUNC) surfaced through recv_batch
+// against a real loopback socket.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/udp.hpp"
+
+namespace nn::net {
+namespace {
+
+const Ipv4Addr kLoopback(127, 0, 0, 1);
+
+TEST(DriveSendBatch, DeliversEverythingInOneCall) {
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  const std::size_t sent =
+      drive_send_batch(8, [&](std::size_t first, std::size_t count) {
+        calls.emplace_back(first, count);
+        return static_cast<int>(count);
+      });
+  EXPECT_EQ(sent, 8u);
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], std::make_pair(std::size_t{0}, std::size_t{8}));
+}
+
+TEST(DriveSendBatch, PartialSendsResumeFromOffsetWithoutResending) {
+  // The kernel accepts 3, then 2, then the rest: every retry must start
+  // exactly where the previous call left off — a datagram handed to
+  // the kernel is never sent twice.
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  const int script[] = {3, 2, 5};
+  std::size_t turn = 0;
+  const std::size_t sent =
+      drive_send_batch(10, [&](std::size_t first, std::size_t count) {
+        calls.emplace_back(first, count);
+        return script[turn++];
+      });
+  EXPECT_EQ(sent, 10u);
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 10}, {3, 7}, {5, 5}};
+  EXPECT_EQ(calls, expected);
+}
+
+TEST(DriveSendBatch, RetriesEintrWithoutLosingPosition) {
+  // EINTR means the call was interrupted before delivering anything:
+  // retry the same slice, then carry on.
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  std::size_t turn = 0;
+  const std::size_t sent =
+      drive_send_batch(6, [&](std::size_t first, std::size_t count) {
+        calls.emplace_back(first, count);
+        switch (turn++) {
+          case 0:
+            return 4;
+          case 1:
+            errno = EINTR;
+            return -1;
+          default:
+            return static_cast<int>(count);
+        }
+      });
+  EXPECT_EQ(sent, 6u);
+  const std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 6}, {4, 2}, {4, 2}};
+  EXPECT_EQ(calls, expected);
+}
+
+TEST(DriveSendBatch, HardErrorStopsAndReportsDeliveredCount) {
+  std::size_t turn = 0;
+  const std::size_t sent =
+      drive_send_batch(10, [&](std::size_t, std::size_t) {
+        if (turn++ == 0) return 7;
+        errno = EMSGSIZE;
+        return -1;
+      });
+  EXPECT_EQ(sent, 7u);  // what made it, not zero and not total
+  EXPECT_EQ(turn, 2u);
+}
+
+TEST(DriveSendBatch, ZeroProgressBreaksInsteadOfSpinning) {
+  std::size_t turn = 0;
+  const std::size_t sent = drive_send_batch(4, [&](std::size_t, std::size_t) {
+    ++turn;
+    return 0;
+  });
+  EXPECT_EQ(sent, 0u);
+  EXPECT_EQ(turn, 1u);  // one look, no livelock
+}
+
+TEST(UdpTruncationTest, OversizeDatagramComesBackFlaggedAndClipped) {
+  if (!UdpSocket::supported()) GTEST_SKIP() << "no socket layer";
+  UdpSocket rx = UdpSocket::bind_loopback(0, false);
+  ASSERT_TRUE(rx.valid()) << rx.error();
+  rx.set_recv_timeout_ms(2000);
+  UdpSocket tx = UdpSocket::open();
+  ASSERT_TRUE(tx.valid()) << tx.error();
+
+  std::vector<std::uint8_t> big(200);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i);
+  }
+  ASSERT_TRUE(tx.send_to(kLoopback, rx.local_port(), big));
+
+  // A 16-byte receive buffer forces the kernel to clip: the datagram
+  // must come back truncated-flagged with exactly the 16-byte prefix,
+  // never silently parsed as a short datagram.
+  std::vector<UdpDatagram> got;
+  ASSERT_EQ(rx.recv_batch(got, 4, 16), 1u);
+  EXPECT_TRUE(got[0].truncated);
+  ASSERT_EQ(got[0].bytes.size(), 16u);
+  EXPECT_TRUE(std::equal(got[0].bytes.begin(), got[0].bytes.end(),
+                         big.begin()));
+
+  // A datagram that fits the same small buffer is untouched.
+  const std::vector<std::uint8_t> small = {9, 8, 7};
+  ASSERT_TRUE(tx.send_to(kLoopback, rx.local_port(), small));
+  ASSERT_EQ(rx.recv_batch(got, 4, 16), 1u);
+  EXPECT_FALSE(got[0].truncated);
+  EXPECT_EQ(got[0].bytes, small);
+}
+
+TEST(UdpTruncationTest, DefaultBufferNeverTruncates) {
+  if (!UdpSocket::supported()) GTEST_SKIP() << "no socket layer";
+  UdpSocket rx = UdpSocket::bind_loopback(0, false);
+  ASSERT_TRUE(rx.valid()) << rx.error();
+  rx.set_recv_timeout_ms(2000);
+  UdpSocket tx = UdpSocket::open();
+  ASSERT_TRUE(tx.valid()) << tx.error();
+  const std::vector<std::uint8_t> payload(1400, 0xAB);
+  ASSERT_TRUE(tx.send_to(kLoopback, rx.local_port(), payload));
+  std::vector<UdpDatagram> got;
+  ASSERT_EQ(rx.recv_batch(got, 4), 1u);
+  EXPECT_FALSE(got[0].truncated);
+  EXPECT_EQ(got[0].bytes, payload);
+}
+
+TEST(UdpSocketOptionTest, SendBufferRequestSucceedsOnValidSocket) {
+  if (!UdpSocket::supported()) GTEST_SKIP() << "no socket layer";
+  UdpSocket s = UdpSocket::open();
+  ASSERT_TRUE(s.valid()) << s.error();
+  EXPECT_TRUE(s.set_send_buffer(1 << 20));
+  UdpSocket closed;
+  EXPECT_FALSE(closed.set_send_buffer(1 << 20));
+}
+
+}  // namespace
+}  // namespace nn::net

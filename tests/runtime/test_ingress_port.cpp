@@ -240,7 +240,7 @@ TEST_F(IngressPortTest, BlockModeConcurrentPortsLoseNothing) {
   cfg.ingress_queues = kQueues;
   cfg.ring_capacity = 16;
   cfg.backpressure = BackpressurePolicy::kBlock;
-  cfg.collect_egress = false;  // closed loop; the counters are the check
+  cfg.egress = runtime::EgressMode::kRecycle;  // the counters are the check
   ShardRuntime runtime(2, test_config(), test_root(), cfg);
 
   std::vector<std::thread> producers;
@@ -276,7 +276,7 @@ TEST_F(IngressPortTest, StopWithPacketsInFlightAcrossPorts) {
   RuntimeConfig cfg;
   cfg.ingress_queues = kQueues;
   cfg.ring_capacity = 4096;
-  cfg.collect_egress = false;
+  cfg.egress = runtime::EgressMode::kRecycle;
   ShardRuntime runtime(4, test_config(), test_root(), cfg);
 
   std::vector<std::uint64_t> accepted(kQueues, 0);

@@ -339,7 +339,7 @@ TEST_F(ShardRuntimeTest, BlockingBackpressureLosesNothing) {
   RuntimeConfig options;
   options.ring_capacity = 16;
   options.backpressure = BackpressurePolicy::kBlock;
-  options.collect_egress = false;  // closed loop; counts are the check
+  options.egress = runtime::EgressMode::kRecycle;  // counts are the check
   ShardRuntime runtime(2, test_config(), test_root(), options);
   IngressPort ingress = runtime.port(0);
 
@@ -406,31 +406,113 @@ TEST_F(ShardRuntimeTest, DestructorAloneShutsDownCleanly) {
   SUCCEED();
 }
 
-TEST_F(ShardRuntimeTest, DeprecatedSubmitIsPortZeroSugar) {
-  // The PR 5 single-dispatcher surface survives as a documented
-  // compatibility shim: ShardRuntime::submit() is exactly
-  // port(0).submit(), deprecated in favor of the explicit handle.
+TEST_F(ShardRuntimeTest, ForwardModeLanesMatchCollectEgress) {
+  // kForward is kCollect with the survivors routed through the lanes:
+  // draining every lane after flush() must yield, per shard, exactly
+  // the packets kCollect would have put in shard_egress(), in the same
+  // order. (ShardRuntime::submit() — the old port(0) sugar this test
+  // once exercised — is gone; see the header changelog.)
   const core::MasterKeySchedule sched(test_root());
-  ShardRuntime runtime(2, test_config(), test_root());
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  for (std::uint16_t f = 0; f < 40; ++f) {
-    ASSERT_TRUE(runtime.submit(
-        core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
-                                   f, 112),
-        0));
+  std::vector<net::Packet> wave;
+  for (std::uint16_t f = 0; f < 60; ++f) {
+    wave.push_back(core::synth_forward_packet(sched, kAnycast,
+                                              Ipv4Addr(20, 0, 0, 10), f, 112));
   }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+
+  RuntimeConfig collect_cfg;
+  collect_cfg.egress = runtime::EgressMode::kCollect;
+  ShardRuntime collect(2, test_config(), test_root(), collect_cfg);
+  for (const auto& pkt : wave) {
+    ASSERT_TRUE(collect.port(0).submit(net::Packet(pkt), 0));
+  }
+  collect.flush();
+
+  RuntimeConfig forward_cfg;
+  forward_cfg.egress = runtime::EgressMode::kForward;
+  ShardRuntime forward(2, test_config(), test_root(), forward_cfg);
+  for (const auto& pkt : wave) {
+    ASSERT_TRUE(forward.port(0).submit(net::Packet(pkt), 0));
+  }
+  forward.flush();
+
+  for (std::size_t w = 0; w < 2; ++w) {
+    EgressLane lane = forward.egress_lane(w);
+    std::vector<EgressItem> items;
+    while (lane.pop_burst(items, 16) > 0) {
+    }
+    const auto& expected = collect.shard_egress(w);
+    ASSERT_EQ(items.size(), expected.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(items[i].pkt, expected[i]);
+      // Nothing recorded a reply endpoint, so every item carries the
+      // default (port 0) one.
+      EXPECT_EQ(items[i].reply, EgressEndpoint{});
+    }
+  }
+  const auto total = forward.stats().total();
+  EXPECT_EQ(total.survivors, wave.size());
+  EXPECT_EQ(total.egress_dropped, 0u);
+}
+
+TEST_F(ShardRuntimeTest, ForwardModeCarriesReplyEndpoints) {
+  // Reply endpoints recorded at submit() ride the fabric with the
+  // packet and come out attached to that packet's survivor — the exact
+  // per-datagram attribution reflect-to-source transmit needs.
+  const core::MasterKeySchedule sched(test_root());
+  RuntimeConfig cfg;
+  cfg.egress = runtime::EgressMode::kForward;
+  ShardRuntime runtime(1, test_config(), test_root(), cfg);
+  IngressPort ingress = runtime.port(0);
+  constexpr std::size_t kCount = 32;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const EgressEndpoint reply{Ipv4Addr(10, 0, 0, 1),
+                               static_cast<std::uint16_t>(1000 + i)};
+    ASSERT_TRUE(ingress.submit(
+        core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10),
+                                   static_cast<std::uint16_t>(i), 112),
+        0, reply));
+  }
   runtime.flush();
-  const auto stats = runtime.stats();
-  EXPECT_EQ(stats.total().processed, 40u);
-  // Everything went through queue 0 — the shim really is port(0).
-  ASSERT_EQ(stats.queues.size(), 1u);
-  EXPECT_EQ(stats.queues[0].submitted, 40u);
+
+  // One worker, one port: lane order is submission order, and every
+  // synth forward packet yields exactly one survivor.
+  std::vector<EgressItem> items;
+  EgressLane lane = runtime.egress_lane(0);
+  while (lane.pop_burst(items, 8) > 0) {
+  }
+  ASSERT_EQ(items.size(), kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(items[i].reply.addr, Ipv4Addr(10, 0, 0, 1));
+    EXPECT_EQ(items[i].reply.port, 1000 + i);
+  }
+}
+
+TEST_F(ShardRuntimeTest, ForwardModeDropPolicyCountsFullLane) {
+  // kDrop + a 1-slot lane and no consumer: the first survivor lands in
+  // the lane, the rest are shed and counted — the TX-queue-full
+  // behavior, surfaced instead of silently lost.
+  const core::MasterKeySchedule sched(test_root());
+  RuntimeConfig cfg;
+  cfg.egress = runtime::EgressMode::kForward;
+  cfg.backpressure = BackpressurePolicy::kDrop;
+  cfg.ring_capacity = 1;
+  ShardRuntime runtime(1, test_config(), test_root(), cfg);
+  IngressPort ingress = runtime.port(0);
+  for (std::uint16_t f = 0; f < 3; ++f) {
+    // One at a time with a flush between, so the 1-slot *ingress* ring
+    // never drops — only the egress lane can.
+    ASSERT_TRUE(ingress.submit(
+        core::synth_forward_packet(sched, kAnycast, Ipv4Addr(20, 0, 0, 10), f,
+                                   112),
+        0));
+    runtime.flush();
+  }
+  const auto total = runtime.stats().total();
+  EXPECT_EQ(total.processed, 3u);
+  EXPECT_EQ(total.survivors, 3u);
+  EXPECT_EQ(total.egress_dropped, 2u);
+  std::vector<EgressItem> items;
+  EXPECT_EQ(runtime.egress_lane(0).pop_burst(items, 8), 1u);
 }
 
 TEST_F(ShardRuntimeTest, BlockingSubmitStartsWorkersWhenRingFills) {

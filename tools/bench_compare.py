@@ -36,7 +36,8 @@ zero rate is a FAILURE, not a skip — those are exactly the silent
 breakages the gate exists to catch. The one legitimate skip: thread-
 scaling entries where the *current* run's context.num_cpus is below
 what the row needs (N workers for BM_Runtime*/N, Q+M threads for
-BM_RuntimeForwardMQ/Q/M, 2Q+1 for BM_UdpIngest/Q — see cores_needed)
+BM_RuntimeForwardMQ/Q/M, 2Q+1 for BM_UdpIngest/Q, 2Q+2 for
+BM_UdpAppliance/Q — see cores_needed)
 — a 4-thread row measured on one core is a statement about the host,
 not the code. (A baseline taken on fewer cores still gates; its floor
 is just lenient.) Checking nothing at all is likewise a failure.
@@ -73,6 +74,7 @@ HEADLINES = {
         "BM_RuntimeForwardImix/4/manual_time",
         "BM_RuntimeForwardMQ/2/2/manual_time",
         "BM_UdpIngest/1/manual_time",
+        "BM_UdpAppliance/1/manual_time",
     ],
     "bench_sim": [
         "BM_LinkDeliveryEvents/burst/manual_time",
@@ -111,6 +113,7 @@ SPEEDUPS = {
 # every thread the row spawns.
 MQ_ROW = re.compile(r"^BM_RuntimeForwardMQ/(\d+)/(\d+)(/|$)")
 UDP_ROW = re.compile(r"^BM_UdpIngest/(\d+)(/|$)")
+APPLIANCE_ROW = re.compile(r"^BM_UdpAppliance/(\d+)(/|$)")
 THREADED = re.compile(r"^BM_Runtime\w*/(\d+)(/|$)")
 
 
@@ -118,8 +121,9 @@ def cores_needed(name):
     """Minimum num_cpus for the row to measure the code, not the host.
 
     Returns None for rows with no thread-count requirement.
-    MQ rows run Q producer + M worker threads; the UDP rows run Q
-    socket readers + Q workers + the sender; plain runtime rows run N
+    MQ rows run Q producer + M worker threads; the UDP ingest rows run
+    Q socket readers + Q workers + the sender; the appliance rows add
+    one transmit thread on top of that; plain runtime rows run N
     workers fed from the (otherwise idle) bench thread.
     """
     m = MQ_ROW.match(name)
@@ -128,6 +132,9 @@ def cores_needed(name):
     m = UDP_ROW.match(name)
     if m:
         return 2 * int(m.group(1)) + 1
+    m = APPLIANCE_ROW.match(name)
+    if m:
+        return 2 * int(m.group(1)) + 2
     m = THREADED.match(name)
     if m:
         return int(m.group(1))
