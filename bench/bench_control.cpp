@@ -1,0 +1,243 @@
+// Control-plane scale (§3.2 + §3.4): key-setup throughput through the
+// batched prepass, session churn through the dynamic-address control
+// plane, and the epoch-rekey storm over a million resident sessions.
+//
+// Headline counters (gated by tools/bench_compare.py):
+//   * BM_KeySetupBatch/64      — setups/sec through process_batch
+//   * BM_RekeyStorm/1048576    — sessions rekeyed/sec at 1M resident,
+//                                with storm_allocs (must stay 0: the
+//                                storm is allocation-free) and
+//                                bytes_per_session (capped relative to
+//                                the baseline — the memory ceiling).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "crypto/chacha.hpp"
+#include "net/shim.hpp"
+#include "sim/session_churn.hpp"
+#include "util/bytes.hpp"
+
+// ---- global allocation counter ----------------------------------------
+// Counts every operator-new in the process; benchmarks snapshot it
+// around their hot region. Same technique as the churn soak test.
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace nn;
+
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+
+core::NeutralizerConfig service_config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  return cfg;
+}
+
+crypto::AesKey root_key() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+// ---- key-setup throughput ---------------------------------------------
+// N distinct-source setups per batch: every packet takes the minting
+// prepass (batched CMAC) and the scratch-arena RSA path. This is the
+// "setups/sec per shard" headline — shards share nothing, so a cluster
+// multiplies it by the shard count.
+void BM_KeySetupBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  crypto::ChaChaRng rng(1);
+  const auto onetime = crypto::rsa_generate(rng, 512, 3);
+  const auto pub = onetime.pub.serialize();
+  core::Neutralizer service(service_config(), root_key());
+
+  std::vector<net::Packet> templates;
+  templates.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::ShimHeader shim;
+    shim.type = net::ShimType::kKeySetup;
+    shim.nonce = 0x42 + i;
+    templates.push_back(net::make_shim_packet(
+        net::Ipv4Addr(static_cast<std::uint32_t>(0x0A010000 + i)), kAnycast,
+        shim, pub));
+  }
+
+  std::vector<net::Packet> batch;
+  batch.reserve(n);
+  net::PacketArena arena;
+  for (auto _ : state) {
+    batch.clear();
+    for (const auto& t : templates) batch.push_back(t);
+    const std::size_t out =
+        service.process_batch({batch.data(), batch.size()}, 0, &arena);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.counters["setups_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_KeySetupBatch)->Arg(64)->Arg(256);
+
+// ---- session churn ----------------------------------------------------
+// Replays a churn_schedule against the real control plane: arrivals are
+// full kDynAddrRequest packets through Neutralizer::process, renewals
+// and departures hit the control APIs, storms rekey the population, and
+// every event runs the lease collector — the same event loop the Fig. 1
+// scenario drives, minus the simulated topology.
+void BM_SessionChurn(benchmark::State& state) {
+  sim::SessionChurnConfig ccfg;
+  ccfg.sessions = static_cast<std::size_t>(state.range(0));
+  ccfg.arrivals_per_second = 2e6;
+  ccfg.poisson = true;
+  ccfg.lease = 2 * sim::kMillisecond;
+  ccfg.renew_probability = 0.6;
+  ccfg.max_renewals = 3;
+  ccfg.rekey_interval = 5 * sim::kMillisecond;
+  ccfg.horizon = 50 * sim::kMillisecond;
+  ccfg.seed = 7;
+  const auto schedule = sim::churn_schedule(ccfg);
+
+  auto cfg = service_config();
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("100.64.0.0/10");
+  cfg.dyn_lease = ccfg.lease;
+
+  std::vector<std::uint32_t> addr_of(ccfg.sessions, 0);
+  std::size_t peak = 0;
+  std::size_t pool_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Neutralizer service(cfg, root_key());
+    service.dynamic_allocator()->reserve(ccfg.sessions);
+    std::fill(addr_of.begin(), addr_of.end(), 0);
+    state.ResumeTiming();
+
+    for (const auto& ev : schedule) {
+      service.expire_dynamic_sessions(ev.at);
+      switch (ev.kind) {
+        case sim::SessionEvent::Kind::kArrive: {
+          net::ShimHeader shim;
+          shim.type = net::ShimType::kDynAddrRequest;
+          shim.nonce = ev.session;
+          auto resp = service.process(
+              net::make_shim_packet(
+                  net::Ipv4Addr(0x14000000 +
+                                static_cast<std::uint32_t>(ev.session & 0xFFFF)),
+                  kAnycast, shim, {}),
+              ev.at);
+          if (resp.has_value()) {
+            const auto parsed = net::parse_packet(resp->view());
+            ByteReader r(parsed.payload);
+            addr_of[ev.session] = r.u32();
+          }
+          break;
+        }
+        case sim::SessionEvent::Kind::kRenew:
+          if (addr_of[ev.session] != 0) {
+            service.renew_dynamic(net::Ipv4Addr(addr_of[ev.session]), ev.at);
+          }
+          break;
+        case sim::SessionEvent::Kind::kDepart:
+          if (addr_of[ev.session] != 0) {
+            service.release_dynamic(net::Ipv4Addr(addr_of[ev.session]));
+            addr_of[ev.session] = 0;
+          }
+          break;
+        case sim::SessionEvent::Kind::kRekeyStorm:
+          service.rekey_dynamic_sessions(ev.at);
+          break;
+      }
+      peak = std::max(peak, service.dynamic_sessions());
+    }
+    pool_bytes = service.dynamic_allocator()->memory_bytes();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(schedule.size()));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(schedule.size()),
+      benchmark::Counter::kIsRate);
+  state.counters["sessions_peak"] = static_cast<double>(peak);
+  if (peak > 0) {
+    state.counters["bytes_per_session"] =
+        static_cast<double>(pool_bytes) / static_cast<double>(peak);
+  }
+}
+BENCHMARK(BM_SessionChurn)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+// ---- the million-session rekey storm ----------------------------------
+// Builds the resident population once, then measures full-population
+// epoch rekeys: every iteration advances the master-key epoch and
+// re-derives all N session keys through the batched key-derivation
+// seam. storm_allocs counts operator-new calls inside the timed region
+// (gated to 0 — the storm must be allocation-free at any population);
+// bytes_per_session is the resident footprint the compare tool caps.
+void BM_RekeyStorm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto cfg = service_config();
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("10.0.0.0/8");
+  core::Neutralizer service(cfg, root_key());
+  auto* alloc = service.dynamic_allocator();
+  alloc->reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alloc->allocate(
+        net::Ipv4Addr(0x14000000 + static_cast<std::uint32_t>(i & 0xFFFF)));
+  }
+
+  const sim::SimTime rotation = service.config().rotation_period;
+  sim::SimTime now = rotation;
+  // Warm the derivation scratch (first storm may size buffers).
+  service.rekey_dynamic_sessions(now);
+
+  std::uint64_t rekeyed = 0;
+  std::uint64_t storm_allocs = 0;
+  for (auto _ : state) {
+    now += rotation;  // next epoch: every resident session is stale
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    rekeyed += service.rekey_dynamic_sessions(now);
+    storm_allocs +=
+        g_news.load(std::memory_order_relaxed) - before;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rekeyed));
+  state.counters["sessions_resident"] =
+      static_cast<double>(service.dynamic_sessions());
+  state.counters["storm_allocs"] = static_cast<double>(storm_allocs);
+  state.counters["bytes_per_session"] =
+      static_cast<double>(alloc->memory_bytes()) / static_cast<double>(n);
+}
+BENCHMARK(BM_RekeyStorm)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+}  // namespace

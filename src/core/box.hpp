@@ -57,6 +57,9 @@ class NeutralizerBox final : public sim::Router {
   [[nodiscard]] const Neutralizer& service() const noexcept {
     return service_;
   }
+  /// Mutable service access for the §3.4 control plane (renew/release/
+  /// expire/rekey between packets).
+  [[nodiscard]] Neutralizer& service() noexcept { return service_; }
   /// Opt-in batch drain: instead of running the service once per
   /// delivery event, arrivals are parked and the whole burst is drained
   /// through Neutralizer::process_batch at the end of the simulated

@@ -1,5 +1,6 @@
 #include "core/dynamic_addr.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nn::core {
@@ -14,30 +15,103 @@ DynamicAddressAllocator::DynamicAddressAllocator(net::Ipv4Prefix pool)
 }
 
 std::optional<net::Ipv4Addr> DynamicAddressAllocator::allocate(
-    net::Ipv4Addr customer) {
-  if (mapping_.size() >= capacity_) return std::nullopt;
-  // Linear probe from next_offset_ (wrapping) until a free slot.
-  for (std::uint32_t i = 0; i < capacity_; ++i) {
-    const std::uint32_t offset = 1 + (next_offset_ - 1 + i) % capacity_;
-    const net::Ipv4Addr candidate = pool_.at(offset);
-    if (!mapping_.contains(candidate)) {
-      mapping_[candidate] = customer;
-      next_offset_ = 1 + offset % capacity_;
-      return candidate;
-    }
+    net::Ipv4Addr customer, sim::SimTime now, sim::SimTime lease) {
+  // Fresh offsets first (delays address reuse — an observer correlating
+  // dynamic addresses across sessions sees every address once before
+  // any repeats), then the recycled stack. Both are O(1).
+  std::uint32_t offset;
+  if (next_fresh_ <= capacity_) {
+    offset = next_fresh_++;
+  } else if (!free_offsets_.empty()) {
+    offset = free_offsets_.back();
+    free_offsets_.pop_back();
+  } else {
+    ++counters_.rejected;  // pool exhausted
+    return std::nullopt;
   }
-  return std::nullopt;
+  const net::Ipv4Addr dyn = pool_.at(offset);
+  SessionRecord* rec = table_.insert(dyn.value());
+  // Offsets are handed out exactly once between releases, so the key
+  // cannot already be resident.
+  rec->customer = customer.value();
+  if (lease > 0) {
+    rec->expiry = now + lease;
+    arm_lease(dyn.value(), rec->expiry);
+  }
+  ++counters_.allocated;
+  return dyn;
 }
 
 std::optional<net::Ipv4Addr> DynamicAddressAllocator::resolve(
     net::Ipv4Addr dynamic) const {
-  const auto it = mapping_.find(dynamic);
-  if (it == mapping_.end()) return std::nullopt;
-  return it->second;
+  const SessionRecord* rec = table_.find(dynamic.value());
+  if (rec == nullptr) return std::nullopt;
+  return net::Ipv4Addr(rec->customer);
 }
 
-void DynamicAddressAllocator::release(net::Ipv4Addr dynamic) {
-  mapping_.erase(dynamic);
+bool DynamicAddressAllocator::release(net::Ipv4Addr dynamic) {
+  if (!table_.erase(dynamic.value())) return false;
+  free_offsets_.push_back(dynamic.value() & ~pool_.mask());
+  ++counters_.released;
+  // Any armed lease entry for this address goes stale; expire_due()
+  // skips it when it surfaces.
+  return true;
+}
+
+bool DynamicAddressAllocator::renew(net::Ipv4Addr dynamic, sim::SimTime now,
+                                    sim::SimTime lease) {
+  SessionRecord* rec = table_.find(dynamic.value());
+  if (rec == nullptr) return false;
+  rec->expiry = lease > 0 ? now + lease : SessionRecord::kNoExpiry;
+  if (lease > 0) arm_lease(dynamic.value(), rec->expiry);
+  ++counters_.renewed;
+  return true;
+}
+
+std::size_t DynamicAddressAllocator::expire_due(sim::SimTime now) {
+  std::size_t expired = 0;
+  while (!lease_heap_.empty() && lease_heap_.front().expiry <= now) {
+    const LeaseEntry due = lease_heap_.front();
+    std::pop_heap(lease_heap_.begin(), lease_heap_.end(), LeaseLater{});
+    lease_heap_.pop_back();
+    // Lazy invalidation: the record may have been released, renewed
+    // (newer deadline), or released-and-reallocated (kNoExpiry or a
+    // different deadline) since this entry was armed.
+    const SessionRecord* rec = table_.find(due.dyn_value);
+    if (rec == nullptr || rec->expiry != due.expiry) continue;
+    table_.erase(due.dyn_value);
+    free_offsets_.push_back(due.dyn_value & ~pool_.mask());
+    ++counters_.expired;
+    ++expired;
+  }
+  return expired;
+}
+
+std::optional<sim::SimTime> DynamicAddressAllocator::next_expiry()
+    const noexcept {
+  if (lease_heap_.empty()) return std::nullopt;
+  return lease_heap_.front().expiry;
+}
+
+void DynamicAddressAllocator::arm_lease(std::uint32_t dyn_value,
+                                        sim::SimTime expiry) {
+  lease_heap_.push_back({expiry, dyn_value});
+  std::push_heap(lease_heap_.begin(), lease_heap_.end(), LeaseLater{});
+}
+
+void DynamicAddressAllocator::reserve(std::size_t n) {
+  table_.reserve(n);
+  free_offsets_.reserve(n);
+  // Stale entries (renewals, releases) pile up until their old deadline
+  // passes; give the heap headroom so a renew-heavy steady state stays
+  // off the heap too.
+  lease_heap_.reserve(2 * n);
+}
+
+std::size_t DynamicAddressAllocator::memory_bytes() const noexcept {
+  return table_.memory_bytes() +
+         free_offsets_.capacity() * sizeof(std::uint32_t) +
+         lease_heap_.capacity() * sizeof(LeaseEntry);
 }
 
 }  // namespace nn::core

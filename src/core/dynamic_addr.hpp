@@ -7,16 +7,39 @@
 //
 // Unlike the datapath, this is deliberately stateful — it exists only
 // for customers that opt into RSVP-style sessions, and the state is
-// per-session, not per-packet.
+// per-session, not per-packet. Sessions live in an open-addressing
+// SessionTable (slab records, no per-session heap nodes); address
+// assignment is O(1) — a bump cursor over never-used offsets plus a
+// LIFO stack of recycled ones — replacing the seed's O(capacity)
+// linear probe. Leases are optional: allocate with a lease duration and
+// expire_due() retires overdue sessions off a lazy min-heap, so the
+// packet path never scans the population.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
+#include "core/session_table.hpp"
 #include "net/addr.hpp"
+#include "sim/engine.hpp"
 
 namespace nn::core {
+
+/// Exact lifecycle accounting: at any instant
+///   allocated == released + expired + active_sessions()
+/// (renewed and rejected count events, not residents). The churn soak
+/// asserts this identity after hours of compressed arrivals.
+struct DynSessionCounters {
+  std::uint64_t allocated = 0;
+  std::uint64_t released = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t renewed = 0;
+  std::uint64_t rejected = 0;  ///< pool exhausted
+
+  friend bool operator==(const DynSessionCounters&,
+                         const DynSessionCounters&) = default;
+};
 
 class DynamicAddressAllocator {
  public:
@@ -26,26 +49,76 @@ class DynamicAddressAllocator {
 
   /// Allocates a fresh dynamic address mapped to `customer`; nullopt
   /// when the pool is exhausted. One customer may hold many sessions.
-  [[nodiscard]] std::optional<net::Ipv4Addr> allocate(
-      net::Ipv4Addr customer);
+  /// `lease` > 0 arms an expiry at `now + lease` (collected by
+  /// expire_due); 0 allocates an unleased session.
+  [[nodiscard]] std::optional<net::Ipv4Addr> allocate(net::Ipv4Addr customer,
+                                                      sim::SimTime now = 0,
+                                                      sim::SimTime lease = 0);
 
   /// Resolves a dynamic address back to the real customer (neutralizer
   /// internal use only — this mapping is the secret).
   [[nodiscard]] std::optional<net::Ipv4Addr> resolve(
       net::Ipv4Addr dynamic) const;
 
-  void release(net::Ipv4Addr dynamic);
+  /// Releases a resident session; false if `dynamic` is not resident.
+  bool release(net::Ipv4Addr dynamic);
+
+  /// Extends a leased (or unleased) session to expire at `now + lease`;
+  /// false if `dynamic` is not resident. lease == 0 clears the lease.
+  bool renew(net::Ipv4Addr dynamic, sim::SimTime now, sim::SimTime lease);
+
+  /// Retires every session whose lease deadline is <= `now`; returns
+  /// how many. O(expired log heap) — independent of the resident count.
+  std::size_t expire_due(sim::SimTime now);
+
+  /// Earliest armed lease deadline, or nullopt when none is armed
+  /// (lets callers schedule the next sweep instead of polling).
+  [[nodiscard]] std::optional<sim::SimTime> next_expiry() const noexcept;
+
+  /// Pre-sizes table, offset stack, and lease heap for `n` resident
+  /// sessions: churn below that population is then allocation-free.
+  void reserve(std::size_t n);
 
   [[nodiscard]] std::size_t active_sessions() const noexcept {
-    return mapping_.size();
+    return table_.size();
   }
   [[nodiscard]] const net::Ipv4Prefix& pool() const noexcept { return pool_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const DynSessionCounters& counters() const noexcept {
+    return counters_;
+  }
+  /// Resident footprint in bytes (table + allocator bookkeeping) — the
+  /// bytes/session numerator.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// The session table itself (per-record state: lease deadline,
+  /// session key, key epoch). The epoch-rekey storm iterates here.
+  [[nodiscard]] SessionTable& table() noexcept { return table_; }
+  [[nodiscard]] const SessionTable& table() const noexcept { return table_; }
 
  private:
+  // Lease deadlines are a lazy min-heap: renew/release leave the old
+  // entry in place and expire_due() skips entries whose deadline no
+  // longer matches the live record (or whose session is gone).
+  struct LeaseEntry {
+    sim::SimTime expiry = 0;
+    std::uint32_t dyn_value = 0;
+  };
+  struct LeaseLater {
+    bool operator()(const LeaseEntry& a, const LeaseEntry& b) const noexcept {
+      return a.expiry > b.expiry;
+    }
+  };
+
+  void arm_lease(std::uint32_t dyn_value, sim::SimTime expiry);
+
   net::Ipv4Prefix pool_;
-  std::uint32_t next_offset_ = 1;
   std::uint32_t capacity_;
-  std::unordered_map<net::Ipv4Addr, net::Ipv4Addr> mapping_;
+  std::uint32_t next_fresh_ = 1;  // first never-used host offset
+  std::vector<std::uint32_t> free_offsets_;
+  SessionTable table_;
+  std::vector<LeaseEntry> lease_heap_;
+  DynSessionCounters counters_;
 };
 
 }  // namespace nn::core

@@ -6,7 +6,7 @@ namespace nn::core {
 
 MasterKeySchedule::MasterKeySchedule(const crypto::AesKey& root,
                                      sim::SimTime rotation_period)
-    : root_(root), rotation_period_(rotation_period) {
+    : root_(root), rotation_period_(rotation_period), root_keyed_(root) {
   if (rotation_period <= 0) {
     throw std::invalid_argument("MasterKeySchedule: rotation must be > 0");
   }
@@ -20,12 +20,17 @@ std::uint16_t MasterKeySchedule::epoch_at(sim::SimTime now) const noexcept {
 }
 
 crypto::AesKey MasterKeySchedule::derive(std::uint16_t epoch) const {
+  for (const auto& slot : memo_) {
+    if (slot && slot->first == epoch) return slot->second;
+  }
   std::array<std::uint8_t, 8> msg = {'K', 'M', 'E', 'P',
                                      0,   0,   static_cast<std::uint8_t>(epoch >> 8),
                                      static_cast<std::uint8_t>(epoch)};
-  const crypto::AesBlock tag = crypto::Cmac(root_).mac(msg);
+  const crypto::AesBlock tag = root_keyed_.mac(msg);
   crypto::AesKey out;
   std::copy(tag.begin(), tag.end(), out.begin());
+  memo_[next_memo_] = {epoch, out};
+  next_memo_ = (next_memo_ + 1) % memo_.size();
   return out;
 }
 

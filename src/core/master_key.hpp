@@ -13,8 +13,11 @@
 // epoch (grace window for in-flight packets across a rotation).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <utility>
 
 #include "crypto/aes_modes.hpp"
 #include "sim/engine.hpp"
@@ -45,6 +48,18 @@ class MasterKeySchedule {
  private:
   crypto::AesKey root_;
   sim::SimTime rotation_period_;
+  crypto::Cmac root_keyed_;
+  // The root-keyed CMAC (one AES key schedule, built once) and a small
+  // epoch-key memo: the datapath asks for the same one or two epochs
+  // thousands of times per batch, and the seed's derive() rebuilt a
+  // full Cmac per call. Two slots cover the current + previous grace
+  // window; eviction is round-robin. Mutable memo in a const API —
+  // a schedule is confined to one thread (each Neutralizer shard and
+  // each host owns its own), like every other mutable cache here.
+  mutable std::array<std::optional<std::pair<std::uint16_t, crypto::AesKey>>,
+                     2>
+      memo_;
+  mutable std::size_t next_memo_ = 0;
 
   [[nodiscard]] crypto::AesKey derive(std::uint16_t epoch) const;
 };

@@ -21,14 +21,14 @@ namespace {
 // replica, or any shard of a ShardedNeutralizerBox, answers a given
 // request byte-identically within an epoch, and replayed requests are
 // answered idempotently instead of minting throwaway keys.
-crypto::ChaChaRng mint_rng(const crypto::Cmac& keyed_master, char tag,
-                           std::uint32_t addr, std::uint64_t request_nonce) {
-  // Same one-block layout as the key-derivation messages in
-  // aes_modes.cpp — value ‖ addr ‖ 4-byte tag — with the tag in the
-  // trailing position, where the attacker-chosen request nonce can
-  // never reach: "NNM?" vs "NNKS"/"NNKL" keeps the minting PRF
-  // domain-separated from live session keys under the same keyed CMAC.
-  std::array<std::uint8_t, 16> block{};
+// Same one-block layout as the key-derivation messages in
+// aes_modes.cpp — value ‖ addr ‖ 4-byte tag — with the tag in the
+// trailing position, where the attacker-chosen request nonce can
+// never reach: "NNM?" vs "NNKS"/"NNKL" keeps the minting PRF
+// domain-separated from live session keys under the same keyed CMAC.
+crypto::AesBlock mint_block(char tag, std::uint32_t addr,
+                            std::uint64_t request_nonce) {
+  crypto::AesBlock block{};
   for (int i = 0; i < 8; ++i) {
     block[static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(request_nonce >> (56 - 8 * i));
@@ -41,11 +41,27 @@ crypto::ChaChaRng mint_rng(const crypto::Cmac& keyed_master, char tag,
   block[13] = 'N';
   block[14] = 'M';
   block[15] = static_cast<std::uint8_t>(tag);
-  const crypto::AesBlock seed = keyed_master.mac(block);
+  return block;
+}
+
+crypto::ChaChaRng rng_from_seed(const crypto::AesBlock& seed) {
   std::array<std::uint8_t, 32> key{};
   std::copy(seed.begin(), seed.end(), key.begin());
   std::copy(seed.begin(), seed.end(), key.begin() + 16);
   return crypto::ChaChaRng(key);
+}
+
+// Per-request randomness in the RFC 6979 spirit: everything the
+// service mints (nonces, RSA padding) is a PRF of the epoch master key
+// and the request, never a draw from replica-local RNG state, so any
+// replica or shard answers a given request byte-identically within an
+// epoch. The PRF is one CMAC over mint_block(); the batch prepass runs
+// that CMAC through Cmac::mac_single_blocks for a whole batch of
+// control packets at once, and this scalar form stays for process()
+// and rekey stamping.
+crypto::ChaChaRng mint_rng(const crypto::Cmac& keyed_master, char tag,
+                           std::uint32_t addr, std::uint64_t request_nonce) {
+  return rng_from_seed(keyed_master.mac(mint_block(tag, addr, request_nonce)));
 }
 
 }  // namespace
@@ -66,24 +82,27 @@ Neutralizer::Neutralizer(const NeutralizerConfig& config,
 
 const crypto::Cmac& Neutralizer::keyed_master(
     std::uint16_t epoch, const crypto::AesKey& km) const {
-  if (const auto it = cmac_cache_.find(epoch); it != cmac_cache_.end()) {
-    return it->second;
-  }
-  // Evict only epochs outside the grace window around the one being
-  // admitted (admission is already window-checked, so anything further
-  // than one epoch away is stale). Never wholesale-clear: BatchKeyCache
-  // holds pointers to the in-window entries across a batch, and
-  // unordered_map guarantees reference stability for everything but
-  // the erased nodes.
-  for (auto it = cmac_cache_.begin(); it != cmac_cache_.end();) {
-    const int distance = static_cast<int>(it->first) - static_cast<int>(epoch);
-    if (distance < -1 || distance > 1) {
-      it = cmac_cache_.erase(it);
-    } else {
-      ++it;
+  // Fixed-slot LRU, no heap. Safety of the BatchKeyCache pointers: a
+  // batch touches at most two distinct epochs (the window at its single
+  // `now`), so the victim is always a slot no live batch references —
+  // see the member comment in neutralizer.hpp.
+  EpochCmacSlot* victim = nullptr;
+  for (auto& s : cmac_slots_) {
+    if (s.keyed.has_value() && s.epoch == epoch) {
+      s.stamp = ++cmac_stamp_;
+      return *s.keyed;
+    }
+    // Victim preference: any empty slot, else the stalest stamp.
+    if (victim == nullptr ||
+        (victim->keyed.has_value() &&
+         (!s.keyed.has_value() || s.stamp < victim->stamp))) {
+      victim = &s;
     }
   }
-  return cmac_cache_.emplace(epoch, crypto::Cmac(km)).first->second;
+  victim->epoch = epoch;
+  victim->stamp = ++cmac_stamp_;
+  victim->keyed.emplace(km);
+  return *victim->keyed;
 }
 
 const crypto::Cmac* Neutralizer::resolve_keyed(std::uint16_t epoch,
@@ -178,11 +197,15 @@ void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
   req_idx_scratch_.clear();
   req_keyed_scratch_.clear();
   addr_req_scratch_.clear();
+  addr_idx_scratch_.clear();
+  mint_block_scratch_.clear();
+  mint_idx_scratch_.clear();
 
   // Pass 1: collect one derivation request per data packet whose
-  // handler will reach session_key(). Packets the prepass skips (other
-  // types, parse failures, return packets from non-customers) simply
-  // take the scalar path inside their handler.
+  // handler will reach session_key(), and one minting block per control
+  // packet (setup/lease) the handler will answer. Packets the prepass
+  // skips (other types, parse failures, return packets from
+  // non-customers) simply take the scalar path inside their handler.
   for (std::size_t i = 0; i < batch.size(); ++i) {
     net::Ipv4Addr outside_addr;
     std::uint16_t epoch;
@@ -202,6 +225,26 @@ void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
         outside_addr = net::Ipv4Addr(view.inner_addr());
         crypt_addr = view.src().value();  // customer address to hide
         return_direction = true;
+      } else if (type == ShimType::kKeySetup) {
+        // The rate limiter is consumed here, in batch order — exactly
+        // the sequence of draws the scalar handlers would make, since
+        // only setups consume and the whole batch shares one `now`.
+        if (setup_limiter_.has_value() &&
+            !setup_limiter_->try_consume(1, now)) {
+          auto& pre = pre_scratch_[i].emplace();
+          pre.rate_limited = true;
+          continue;
+        }
+        mint_block_scratch_.push_back(
+            mint_block('S', view.src().value(), view.nonce()));
+        mint_idx_scratch_.push_back(i);
+        continue;
+      } else if (type == ShimType::kKeyLease) {
+        if (!config_.customer_space.contains(view.src())) continue;
+        mint_block_scratch_.push_back(
+            mint_block('L', view.src().value(), view.nonce()));
+        mint_idx_scratch_.push_back(i);
+        continue;
       } else {
         continue;
       }
@@ -224,27 +267,62 @@ void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
     req_keyed_scratch_.push_back(keyed);
     addr_req_scratch_.push_back(
         {crypto::AesKey{}, nonce, return_direction, crypt_addr});
+    addr_idx_scratch_.push_back(i);
+  }
+
+  // Pass 1b: batch-mint the control packets. One mac_single_blocks
+  // sweep under the minting (current-epoch) keyed CMAC produces every
+  // seed; the nonce is the seed-RNG's first draw, and the session key
+  // joins the same derive_keys_batch groups as the data packets. The
+  // minting block encodes (tag, addr) at fixed offsets, so the request
+  // parameters are read back out of it rather than re-parsed.
+  if (!mint_block_scratch_.empty()) {
+    const auto& [epoch, km] = minting_key(now, cache);
+    const crypto::Cmac& keyed = keyed_master(epoch, km);
+    mint_seed_scratch_.resize(mint_block_scratch_.size());
+    keyed.mac_single_blocks(mint_block_scratch_.data(),
+                            mint_seed_scratch_.data(),
+                            mint_block_scratch_.size());
+    for (std::size_t k = 0; k < mint_seed_scratch_.size(); ++k) {
+      const crypto::AesBlock& blk = mint_block_scratch_[k];
+      const std::uint32_t src = (std::uint32_t{blk[8]} << 24) |
+                                (std::uint32_t{blk[9]} << 16) |
+                                (std::uint32_t{blk[10]} << 8) |
+                                std::uint32_t{blk[11]};
+      const bool lease = blk[15] == 'L';
+      const std::size_t i = mint_idx_scratch_[k];
+      auto& pre = pre_scratch_[i].emplace();
+      pre.mint_seed = mint_seed_scratch_[k];
+      pre.mint_nonce = rng_from_seed(mint_seed_scratch_[k]).next_u64();
+      req_scratch_.push_back({pre.mint_nonce, src, lease});
+      req_idx_scratch_.push_back(i);
+      req_keyed_scratch_.push_back(&keyed);
+    }
   }
 
   // Pass 2: batch-derive per keyed master. At any fixed `now` at most
-  // two epochs validate, so this outer loop runs at most twice.
+  // two epochs validate (and minting uses the current one), so this
+  // outer loop runs at most twice. Consumed entries are nulled so each
+  // group is derived exactly once.
   for (std::size_t start = 0; start < req_scratch_.size(); ++start) {
-    if (pre_scratch_[req_idx_scratch_[start]].has_value()) continue;
     const crypto::Cmac* keyed = req_keyed_scratch_[start];
+    if (keyed == nullptr) continue;
     group_req_scratch_.clear();
     group_idx_scratch_.clear();
     for (std::size_t j = start; j < req_scratch_.size(); ++j) {
       if (req_keyed_scratch_[j] == keyed) {
         group_req_scratch_.push_back(req_scratch_[j]);
         group_idx_scratch_.push_back(req_idx_scratch_[j]);
+        req_keyed_scratch_[j] = nullptr;
       }
     }
     group_key_scratch_.resize(group_req_scratch_.size());
     crypto::derive_keys_batch(*keyed, group_req_scratch_,
                               group_key_scratch_.data());
     for (std::size_t j = 0; j < group_idx_scratch_.size(); ++j) {
-      pre_scratch_[group_idx_scratch_[j]].emplace(
-          Prederived{group_key_scratch_[j], std::nullopt});
+      auto& pre = pre_scratch_[group_idx_scratch_[j]];
+      if (!pre.has_value()) pre.emplace();
+      pre->ks = group_key_scratch_[j];
     }
   }
 
@@ -254,12 +332,12 @@ void Neutralizer::prederive_batch_keys(std::span<net::Packet> batch,
   // pipeline. Each packet is keyed by its own session key, so this is
   // the one stage the single-key batch entry points cannot cover.
   for (std::size_t j = 0; j < addr_req_scratch_.size(); ++j) {
-    addr_req_scratch_[j].ks = *pre_scratch_[req_idx_scratch_[j]]->ks;
+    addr_req_scratch_[j].ks = *pre_scratch_[addr_idx_scratch_[j]]->ks;
   }
   addr_out_scratch_.resize(addr_req_scratch_.size());
   crypto::crypt_address_batch(addr_req_scratch_, addr_out_scratch_.data());
   for (std::size_t j = 0; j < addr_req_scratch_.size(); ++j) {
-    pre_scratch_[req_idx_scratch_[j]]->crypted = addr_out_scratch_[j];
+    pre_scratch_[addr_idx_scratch_[j]]->crypted = addr_out_scratch_[j];
   }
 }
 
@@ -303,7 +381,7 @@ std::optional<net::Packet> Neutralizer::process_one(net::Packet&& pkt,
         ++stats_.rejected;
         return std::nullopt;
       }
-      return handle_dyn_request(parsed, arena);
+      return handle_dyn_request(parsed, now, cache, arena);
     }
     case ShimType::kKeySetupResponse:
     case ShimType::kKeyLeaseResponse:
@@ -315,17 +393,29 @@ std::optional<net::Packet> Neutralizer::process_one(net::Packet&& pkt,
 }
 
 std::optional<net::Packet> Neutralizer::handle_dyn_request(
-    const net::ParsedPacket& p, net::PacketArena* arena) {
+    const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache,
+    net::PacketArena* arena) {
   if (!allocator_.has_value() ||
       !config_.customer_space.contains(p.ip.src)) {
     ++stats_.rejected;
     return std::nullopt;
   }
-  const auto dyn = allocator_->allocate(p.ip.src);
+  const auto dyn = allocator_->allocate(p.ip.src, now, config_.dyn_lease);
   if (!dyn.has_value()) {
-    ++stats_.rejected;  // pool exhausted
+    ++stats_.rejected;  // pool exhausted: counted, never grown
+    ++stats_.dyn_rejected;
     return std::nullopt;
   }
+  // Seed the session record's key material. Per-session keys follow
+  // the same PRF convention as everything else: Ks = CMAC(KM_epoch,
+  // dyn_addr ‖ customer), so any replica sharing the root re-derives
+  // them — and the epoch-rekey storm refreshes them in bulk.
+  const auto& [epoch, km] = minting_key(now, cache);
+  const crypto::Cmac& keyed = keyed_master(epoch, km);
+  SessionRecord* rec = allocator_->table().find(dyn->value());
+  rec->session_key =
+      crypto::derive_source_key(keyed, dyn->value(), p.ip.src.value());
+  rec->key_epoch = epoch;
   ByteWriter msg(4);
   msg.u32(dyn->value());
   ShimHeader shim;
@@ -334,6 +424,63 @@ std::optional<net::Packet> Neutralizer::handle_dyn_request(
   ++stats_.dyn_allocated;
   return net::make_shim_packet(config_.anycast_addr, p.ip.src, shim,
                                msg.view(), p.ip.dscp, 64, arena);
+}
+
+bool Neutralizer::release_dynamic(net::Ipv4Addr dynamic) {
+  if (!allocator_.has_value() || !allocator_->release(dynamic)) return false;
+  ++stats_.dyn_released;
+  return true;
+}
+
+bool Neutralizer::renew_dynamic(net::Ipv4Addr dynamic, sim::SimTime now) {
+  if (!allocator_.has_value() ||
+      !allocator_->renew(dynamic, now, config_.dyn_lease)) {
+    return false;
+  }
+  ++stats_.dyn_renewed;
+  return true;
+}
+
+std::size_t Neutralizer::expire_dynamic_sessions(sim::SimTime now) {
+  if (!allocator_.has_value()) return 0;
+  const std::size_t n = allocator_->expire_due(now);
+  stats_.dyn_expired += n;
+  return n;
+}
+
+std::size_t Neutralizer::rekey_dynamic_sessions(sim::SimTime now) {
+  if (!allocator_.has_value()) return 0;
+  BatchKeyCache cache;
+  const auto& [epoch, km] = minting_key(now, cache);
+  const crypto::Cmac& keyed = keyed_master(epoch, km);
+  // Fixed stack chunks through the batched derivation seam: a storm
+  // over N resident sessions costs ceil(N / kChunk) batch calls and
+  // zero heap traffic, whatever N is.
+  constexpr std::size_t kChunk = 256;
+  std::array<crypto::KeyDeriveRequest, kChunk> reqs;
+  std::array<crypto::AesKey, kChunk> fresh;
+  std::array<SessionRecord*, kChunk> recs;
+  std::size_t n = 0;
+  std::size_t total = 0;
+  const auto flush = [&] {
+    if (n == 0) return;
+    crypto::derive_keys_batch(keyed, {reqs.data(), n}, fresh.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      recs[i]->session_key = fresh[i];
+      recs[i]->key_epoch = epoch;
+    }
+    total += n;
+    n = 0;
+  };
+  allocator_->table().for_each([&](SessionRecord& rec) {
+    if (rec.key_epoch == epoch) return;  // already current
+    reqs[n] = {rec.dyn_value, rec.customer, false};
+    recs[n] = &rec;
+    if (++n == kChunk) flush();
+  });
+  flush();
+  stats_.sessions_rekeyed += total;
+  return total;
 }
 
 std::optional<net::Packet> Neutralizer::translate_dynamic(net::Packet&& pkt) {
@@ -364,7 +511,16 @@ std::optional<net::Packet> Neutralizer::translate_dynamic(net::Packet&& pkt) {
 std::optional<net::Packet> Neutralizer::handle_key_setup(
     const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache,
     net::PacketArena* arena) {
-  if (setup_limiter_.has_value() && !setup_limiter_->try_consume(1, now)) {
+  // On the batched path the prepass already consumed the limiter (in
+  // batch order) and minted (nonce, Ks) through the batch CMAC entry
+  // points; the scalar path does both here.
+  const Prederived* pre = cache.pre;
+  if (pre != nullptr && pre->rate_limited) {
+    ++stats_.setup_rate_limited;
+    return std::nullopt;
+  }
+  if (pre == nullptr && setup_limiter_.has_value() &&
+      !setup_limiter_->try_consume(1, now)) {
     ++stats_.setup_rate_limited;  // shed before any RSA work
     return std::nullopt;
   }
@@ -379,12 +535,17 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
   // Mint the symmetric key. It is never stored: any replica recomputes
   // it from (epoch, nonce, srcIP) when data packets arrive.
   const auto& [epoch, km] = minting_key(now, cache);
-  const crypto::Cmac& keyed = keyed_master(epoch, km);
-  crypto::ChaChaRng rng = mint_rng(keyed, 'S', p.ip.src.value(),
-                                   p.shim->nonce);
+  crypto::ChaChaRng rng =
+      pre != nullptr && pre->mint_seed.has_value()
+          ? rng_from_seed(*pre->mint_seed)
+          : mint_rng(keyed_master(epoch, km), 'S', p.ip.src.value(),
+                     p.shim->nonce);
   const std::uint64_t nonce = rng.next_u64();
   const crypto::AesKey ks =
-      crypto::derive_source_key(keyed, nonce, p.ip.src.value());
+      pre != nullptr && pre->ks.has_value()
+          ? *pre->ks
+          : crypto::derive_source_key(keyed_master(epoch, km), nonce,
+                                      p.ip.src.value());
 
   if (config_.offload_enabled && !config_.offload_helper.is_unspecified()) {
     // §3.2 offload: hand (nonce, Ks) and the source's public key to a
@@ -403,13 +564,15 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
   }
 
   // Normal path: RSA-encrypt (nonce ‖ Ks) under the one-time key. For
-  // e = 3 this is two modular multiplications (§3.2).
+  // e = 3 this is two modular multiplications (§3.2). The bigint
+  // temporaries and the ciphertext live in member scratch, so a warm
+  // setup path performs no heap allocation.
   ByteWriter msg(24);
   msg.u64(nonce);
   msg.raw(ks);
-  std::vector<std::uint8_t> ciphertext;
   try {
-    ciphertext = crypto::rsa_encrypt(rng, source_key, msg.view());
+    crypto::rsa_encrypt_into(rng, source_key, msg.view(), rsa_scratch_,
+                             ciphertext_scratch_);
   } catch (const std::invalid_argument&) {
     ++stats_.rejected;  // degenerate public key
     return std::nullopt;
@@ -421,7 +584,7 @@ std::optional<net::Packet> Neutralizer::handle_key_setup(
   shim.nonce = p.shim->nonce;
   ++stats_.key_setups;
   return net::make_shim_packet(config_.anycast_addr, p.ip.src, shim,
-                               ciphertext, p.ip.dscp, 64, arena);
+                               ciphertext_scratch_, p.ip.dscp, 64, arena);
 }
 
 std::optional<net::Packet> Neutralizer::handle_key_lease(
@@ -432,10 +595,17 @@ std::optional<net::Packet> Neutralizer::handle_key_lease(
     return std::nullopt;
   }
   const auto& [epoch, km] = minting_key(now, cache);
-  const crypto::Cmac& keyed = keyed_master(epoch, km);
-  const std::uint64_t nonce =
-      mint_rng(keyed, 'L', p.ip.src.value(), p.shim->nonce).next_u64();
-  const crypto::AesKey ks = crypto::derive_lease_key(keyed, nonce);
+  const Prederived* pre = cache.pre;
+  std::uint64_t nonce;
+  crypto::AesKey ks;
+  if (pre != nullptr && pre->mint_seed.has_value() && pre->ks.has_value()) {
+    nonce = pre->mint_nonce;
+    ks = *pre->ks;
+  } else {
+    const crypto::Cmac& keyed = keyed_master(epoch, km);
+    nonce = mint_rng(keyed, 'L', p.ip.src.value(), p.shim->nonce).next_u64();
+    ks = crypto::derive_lease_key(keyed, nonce);
+  }
 
   ByteWriter msg(24);
   msg.u64(nonce);

@@ -34,8 +34,6 @@
 #include <utility>
 #include <vector>
 
-#include <unordered_map>
-
 #include "core/dynamic_addr.hpp"
 #include "core/master_key.hpp"
 #include "crypto/aes_modes.hpp"
@@ -69,6 +67,10 @@ struct NeutralizerConfig {
   /// inbound packets addressed to them. This is deliberate, opt-in,
   /// per-*session* state — the packet datapath stays stateless.
   std::optional<net::Ipv4Prefix> dynamic_pool;
+  /// Lease duration for dynamic-address sessions; 0 = sessions live
+  /// until released. Leased sessions are retired in bulk by
+  /// expire_dynamic_sessions(), never scanned on the packet path.
+  sim::SimTime dyn_lease = 0;
 };
 
 struct NeutralizerStats {
@@ -80,6 +82,11 @@ struct NeutralizerStats {
   std::uint64_t offloaded = 0;
   std::uint64_t dyn_allocated = 0;
   std::uint64_t dyn_translated = 0;
+  std::uint64_t dyn_released = 0;
+  std::uint64_t dyn_renewed = 0;
+  std::uint64_t dyn_expired = 0;
+  std::uint64_t dyn_rejected = 0;  // pool exhausted (also counted rejected)
+  std::uint64_t sessions_rekeyed = 0;
   std::uint64_t setup_rate_limited = 0;
   std::uint64_t rejected = 0;  // malformed, bad epoch, non-customer, …
 
@@ -92,6 +99,11 @@ struct NeutralizerStats {
     offloaded += o.offloaded;
     dyn_allocated += o.dyn_allocated;
     dyn_translated += o.dyn_translated;
+    dyn_released += o.dyn_released;
+    dyn_renewed += o.dyn_renewed;
+    dyn_expired += o.dyn_expired;
+    dyn_rejected += o.dyn_rejected;
+    sessions_rekeyed += o.sessions_rekeyed;
     setup_rate_limited += o.setup_rate_limited;
     rejected += o.rejected;
     return *this;
@@ -169,15 +181,52 @@ class Neutralizer {
     return allocator_ ? allocator_->active_sessions() : 0;
   }
 
+  // ---- §3.4 session control plane -------------------------------------
+  // Lifecycle operations on dynamic-address sessions. These are control
+  // actions, not packets; the sim scenario (scenario/fig1.*) drives them
+  // from SessionChurnWorkload events, and every one is O(1) or
+  // O(affected sessions) — never O(resident population) — so a
+  // million-session box absorbs churn without scanning.
+
+  /// Releases a dynamic-address session; false if `dynamic` is unknown.
+  bool release_dynamic(net::Ipv4Addr dynamic);
+  /// Extends a session's lease by config().dyn_lease from `now`; false
+  /// if `dynamic` is unknown. No-op (true) for unleased deployments.
+  bool renew_dynamic(net::Ipv4Addr dynamic, sim::SimTime now);
+  /// Retires every session whose lease expired at or before `now`;
+  /// returns how many were collected.
+  std::size_t expire_dynamic_sessions(sim::SimTime now);
+  /// Epoch-rekey storm (§3.2 rotation meets §3.4 sessions): re-derives
+  /// the session key of every resident session not already at the
+  /// current epoch, batched through crypto::derive_keys_batch in fixed
+  /// stack chunks — allocation-free regardless of population. Returns
+  /// the number of sessions rekeyed.
+  std::size_t rekey_dynamic_sessions(sim::SimTime now);
+
+  [[nodiscard]] DynamicAddressAllocator* dynamic_allocator() noexcept {
+    return allocator_.has_value() ? &*allocator_ : nullptr;
+  }
+  [[nodiscard]] const DynamicAddressAllocator* dynamic_allocator()
+      const noexcept {
+    return allocator_.has_value() ? &*allocator_ : nullptr;
+  }
+
  private:
   // Everything the batch prepass derived ahead of the per-packet loop.
-  // `ks == nullopt` memoizes an epoch rejection; `crypted` is the
-  // packet's address transform (decrypted true destination for
-  // DataForward, encrypted customer address for DataReturn), computed
-  // through the multi-key ECB pipeline when the key was prederived.
+  // `ks == nullopt` memoizes a rejection (bad epoch for data packets,
+  // rate limit for setups); `crypted` is the packet's address transform
+  // (decrypted true destination for DataForward, encrypted customer
+  // address for DataReturn), computed through the multi-key ECB
+  // pipeline when the key was prederived. For control packets (setup /
+  // lease) the prepass batch-mints: `mint_seed` is the CMAC'd minting
+  // block (the setup handler reconstructs its padding RNG from it) and
+  // `mint_nonce` the first draw, with `ks` the minted session key.
   struct Prederived {
     std::optional<crypto::AesKey> ks;
     std::optional<std::uint32_t> crypted;
+    std::optional<crypto::AesBlock> mint_seed;
+    std::uint64_t mint_nonce = 0;
+    bool rate_limited = false;
   };
 
   // Per-batch memo of everything the datapath derives from the clock:
@@ -209,9 +258,19 @@ class Neutralizer {
   MasterKeySchedule keys_;
   NeutralizerStats stats_;
   // Keyed-CMAC cache per epoch (the datapath's per-packet "hash" then
-  // skips the AES key schedule). Bounded: epochs are admitted only
-  // inside the current/previous grace window.
-  mutable std::unordered_map<std::uint16_t, crypto::Cmac> cmac_cache_;
+  // skips the AES key schedule). Four fixed LRU slots, no heap: at any
+  // fixed `now` at most two epochs validate (current + previous) and a
+  // batch runs at a single `now`, so the two slots a batch touches are
+  // always the two most recently stamped — eviction can only hit an
+  // epoch no batch has referenced since, which keeps the Cmac pointers
+  // BatchKeyCache holds stable for the batch's whole lifetime.
+  struct EpochCmacSlot {
+    std::uint16_t epoch = 0;
+    std::uint64_t stamp = 0;
+    std::optional<crypto::Cmac> keyed;
+  };
+  mutable std::array<EpochCmacSlot, 4> cmac_slots_;
+  mutable std::uint64_t cmac_stamp_ = 0;
   std::optional<DynamicAddressAllocator> allocator_;
   std::optional<qos::TokenBucket> setup_limiter_;
   // Prepass scratch, reused across process_batch() calls so the steady
@@ -226,10 +285,20 @@ class Neutralizer {
   std::vector<crypto::KeyDeriveRequest> group_req_scratch_;
   std::vector<std::size_t> group_idx_scratch_;
   std::vector<crypto::AesKey> group_key_scratch_;
-  // Address-crypt requests, 1:1 with req_scratch_ (ks filled in after
-  // key derivation), and their batched results.
+  // Address-crypt requests (data packets only — control requests mint
+  // but never transform an address), their batch indices, and results.
   std::vector<crypto::AddressCryptRequest> addr_req_scratch_;
+  std::vector<std::size_t> addr_idx_scratch_;
   std::vector<std::uint32_t> addr_out_scratch_;
+  // Minting blocks/seeds for the control packets of the current batch
+  // (setups + leases), CMAC'd in one mac_single_blocks sweep.
+  std::vector<crypto::AesBlock> mint_block_scratch_;
+  std::vector<crypto::AesBlock> mint_seed_scratch_;
+  std::vector<std::size_t> mint_idx_scratch_;
+  // RSA scratch: bigint temporaries + padded block + ciphertext, reused
+  // across setups so the control path stops allocating once warm.
+  crypto::RsaScratch rsa_scratch_;
+  std::vector<std::uint8_t> ciphertext_scratch_;
 
   [[nodiscard]] const crypto::Cmac& keyed_master(std::uint16_t epoch,
                                                  const crypto::AesKey& km)
@@ -260,7 +329,8 @@ class Neutralizer {
   [[nodiscard]] std::optional<net::Packet> handle_data_return(
       net::Packet&& pkt, sim::SimTime now, BatchKeyCache& cache);
   [[nodiscard]] std::optional<net::Packet> handle_dyn_request(
-      const net::ParsedPacket& p, net::PacketArena* arena);
+      const net::ParsedPacket& p, sim::SimTime now, BatchKeyCache& cache,
+      net::PacketArena* arena);
 
   /// Epoch window check + keyed-CMAC lookup shared by the scalar path
   /// and the batch prepass; nullptr when the epoch does not validate at

@@ -1,0 +1,217 @@
+// Open-addressing session table for the §3.4 control plane.
+//
+// The datapath is stateless, but dynamic-address sessions are deliberate
+// per-session state, and at production scale ("10M+ concurrent sessions",
+// ROADMAP) the node-based std::unordered_map that seeded this layer is
+// the wrong shape: one heap allocation per session, pointer-chasing on
+// every packet-path lookup, and ~56 bytes of node overhead before the
+// record itself. This table applies the net::PacketArena idiom to
+// session records instead of packet buffers:
+//
+//   * Records live in a slab (one contiguous vector), recycled through a
+//     freelist exactly like arena buffers — erase parks the slot,
+//     insert reuses it, and steady-state churn touches the heap never.
+//   * The index is a flat power-of-two bucket array of u32 slot ids
+//     probed linearly; deletion uses backward-shift compaction (no
+//     tombstones), so probe chains stay short under brutal churn.
+//   * Growth policy: buckets double at 7/8 load; slab grows by vector
+//     doubling. reserve() front-loads both so a sized deployment never
+//     rehashes. Rehashing relocates only the u32 index — records never
+//     move — and is observationally invisible (pinned by
+//     tests/core/test_session_table.cpp across forced rehash points).
+//
+// Single-threaded by design, like the Neutralizer shard that owns it
+// (the allocator lives on shard 0; see core/sharded_box.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "crypto/aes.hpp"
+#include "sim/engine.hpp"
+
+namespace nn::core {
+
+/// One resident dynamic-address session. Value-type, slab-resident: the
+/// table owns the storage and hands out pointers that stay valid until
+/// the record is erased or the slab grows (callers that cache pointers
+/// across inserts must reserve() first, same contract as std::vector).
+struct SessionRecord {
+  /// No lease: the session lives until released.
+  static constexpr sim::SimTime kNoExpiry =
+      std::numeric_limits<sim::SimTime>::max();
+
+  std::uint32_t dyn_value = 0;  ///< the dynamic address (table key)
+  std::uint32_t customer = 0;   ///< the hidden real customer address
+  sim::SimTime expiry = kNoExpiry;
+  std::uint16_t key_epoch = 0;  ///< epoch session_key was derived under
+  crypto::AesKey session_key{};
+};
+
+struct SessionTableStats {
+  /// Records that had to extend the slab (cf. PacketArenaStats::
+  /// heap_allocations); everything else came off the freelist.
+  std::uint64_t slab_growths = 0;
+  std::uint64_t freelist_reuses = 0;
+  std::uint64_t rehashes = 0;
+};
+
+class SessionTable {
+ public:
+  explicit SessionTable(std::size_t initial_buckets = 16) {
+    std::size_t n = 16;
+    while (n < initial_buckets) n <<= 1;
+    buckets_.assign(n, kEmpty);
+  }
+
+  /// Inserts a fresh record for `key` and returns it (fields default-
+  /// initialized except dyn_value). Returns nullptr if `key` is already
+  /// present — sessions are unique by dynamic address.
+  SessionRecord* insert(std::uint32_t key) {
+    if ((size_ + 1) * 8 > buckets_.size() * 7) rehash(buckets_.size() * 2);
+    std::size_t b = home(key);
+    for (;; b = next(b)) {
+      const std::uint32_t slot = buckets_[b];
+      if (slot == kEmpty) break;
+      if (slab_[slot].dyn_value == key) return nullptr;
+    }
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      ++stats_.freelist_reuses;
+      slab_[slot] = SessionRecord{};
+    } else {
+      slot = static_cast<std::uint32_t>(slab_.size());
+      if (slab_.size() == slab_.capacity()) ++stats_.slab_growths;
+      slab_.emplace_back();
+    }
+    slab_[slot].dyn_value = key;
+    buckets_[b] = slot;
+    ++size_;
+    return &slab_[slot];
+  }
+
+  [[nodiscard]] SessionRecord* find(std::uint32_t key) noexcept {
+    for (std::size_t b = home(key);; b = next(b)) {
+      const std::uint32_t slot = buckets_[b];
+      if (slot == kEmpty) return nullptr;
+      if (slab_[slot].dyn_value == key) return &slab_[slot];
+    }
+  }
+  [[nodiscard]] const SessionRecord* find(std::uint32_t key) const noexcept {
+    return const_cast<SessionTable*>(this)->find(key);
+  }
+
+  /// Erases `key`; the record's slot is parked on the freelist. Probe
+  /// chains are repaired by backward-shift compaction, so lookups never
+  /// step over tombstones no matter how long the churn runs.
+  bool erase(std::uint32_t key) noexcept {
+    std::size_t b = home(key);
+    for (;; b = next(b)) {
+      const std::uint32_t slot = buckets_[b];
+      if (slot == kEmpty) return false;
+      if (slab_[slot].dyn_value == key) break;
+    }
+    free_slots_.push_back(buckets_[b]);
+    // Backward shift: pull every displaced follower into the hole.
+    std::size_t hole = b;
+    for (std::size_t j = next(b);; j = next(j)) {
+      const std::uint32_t slot = buckets_[j];
+      if (slot == kEmpty) break;
+      const std::size_t h = home(slab_[slot].dyn_value);
+      // The entry at j may move into the hole iff its home position is
+      // cyclically outside (hole, j] — i.e. it probed past the hole.
+      if (distance(h, j) >= distance(hole, j)) {
+        buckets_[hole] = slot;
+        hole = j;
+      }
+    }
+    buckets_[hole] = kEmpty;
+    --size_;
+    return true;
+  }
+
+  /// Pre-sizes both the slab and the bucket array for `n` resident
+  /// sessions so steady-state churn below `n` never touches the heap.
+  /// Not counted in stats().rehashes — that counter observes growth
+  /// forced by load, and a reserved deployment must read 0 there.
+  void reserve(std::size_t n) {
+    slab_.reserve(n);
+    free_slots_.reserve(n);
+    std::size_t want = buckets_.size();
+    while (n * 8 > want * 7) want <<= 1;
+    if (want > buckets_.size()) resize_index(want);
+  }
+
+  /// Visits every resident record (index order — membership is exact,
+  /// visit order depends on the bucket layout; the epoch-rekey storm
+  /// iterates here and derives each record independently, so order
+  /// never reaches an observable result).
+  template <typename F>
+  void for_each(F&& fn) {
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      if (buckets_[b] != kEmpty) fn(slab_[buckets_[b]]);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  /// Resident footprint: slab + index + freelist, the bytes/session
+  /// numerator bench_control reports.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return slab_.capacity() * sizeof(SessionRecord) +
+           buckets_.capacity() * sizeof(std::uint32_t) +
+           free_slots_.capacity() * sizeof(std::uint32_t);
+  }
+  [[nodiscard]] const SessionTableStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::size_t home(std::uint32_t key) const noexcept {
+    // SplitMix64 finalizer — same spread the shard dispatch hash uses.
+    std::uint64_t z = key + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(z ^ (z >> 31)) & (buckets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t next(std::size_t b) const noexcept {
+    return (b + 1) & (buckets_.size() - 1);
+  }
+  /// Cyclic probe distance from `from` to `to`.
+  [[nodiscard]] std::size_t distance(std::size_t from,
+                                     std::size_t to) const noexcept {
+    return (to - from) & (buckets_.size() - 1);
+  }
+
+  void rehash(std::size_t new_buckets) {
+    ++stats_.rehashes;
+    resize_index(new_buckets);
+  }
+
+  void resize_index(std::size_t new_buckets) {
+    std::vector<std::uint32_t> old = std::move(buckets_);
+    buckets_.assign(new_buckets, kEmpty);
+    for (const std::uint32_t slot : old) {
+      if (slot == kEmpty) continue;
+      std::size_t b = home(slab_[slot].dyn_value);
+      while (buckets_[b] != kEmpty) b = next(b);
+      buckets_[b] = slot;
+    }
+  }
+
+  std::vector<std::uint32_t> buckets_;
+  std::vector<SessionRecord> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t size_ = 0;
+  SessionTableStats stats_;
+};
+
+}  // namespace nn::core

@@ -32,14 +32,29 @@ BigUInt BigUInt::from_bytes_be(std::span<const std::uint8_t> bytes) {
 }
 
 std::vector<std::uint8_t> BigUInt::to_bytes_be(std::size_t min_len) const {
+  std::vector<std::uint8_t> out;
+  write_bytes_be(min_len, out);
+  return out;
+}
+
+void BigUInt::assign_bytes_be(std::span<const std::uint8_t> bytes) {
+  w_.assign((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t pos = bytes.size() - 1 - i;
+    w_[pos / 8] |= static_cast<u64>(bytes[i]) << (8 * (pos % 8));
+  }
+  normalize();
+}
+
+void BigUInt::write_bytes_be(std::size_t min_len,
+                             std::vector<std::uint8_t>& out) const {
   const std::size_t nbytes = (bit_length() + 7) / 8;
   const std::size_t len = std::max(nbytes, min_len);
-  std::vector<std::uint8_t> out(len, 0);
+  out.assign(len, 0);
   for (std::size_t pos = 0; pos < nbytes; ++pos) {
     out[len - 1 - pos] =
         static_cast<std::uint8_t>(w_[pos / 8] >> (8 * (pos % 8)));
   }
-  return out;
 }
 
 BigUInt BigUInt::from_hex(std::string_view hex) {
@@ -248,6 +263,153 @@ BigUIntDivMod BigUInt::divmod(const BigUInt& a, const BigUInt& b) {
   remainder = remainder >> static_cast<std::size_t>(shift);
   quotient.normalize();
   return {quotient, remainder};
+}
+
+// ---------------------------------------------------------------------------
+// BigIntScratch: allocation-free small-exponent modular exponentiation
+// ---------------------------------------------------------------------------
+
+namespace {
+std::size_t sig_words(const u64* w, std::size_t n) noexcept {
+  while (n > 0 && w[n - 1] == 0) --n;
+  return n;
+}
+}  // namespace
+
+bool BigIntScratch::pow_u64_mod(const BigUInt& base, u64 e, const BigUInt& n,
+                                BigUInt& out) {
+  const std::size_t k = n.w_.size();
+  // k < 2 keeps the Algorithm D digit estimation (which reads v[n-2])
+  // in range; base >= n is refused so the fallback path reproduces
+  // rsa_public_op's domain error.
+  if (k < 2 || k > kMaxWords) return false;
+  if (base >= n) return false;
+  k_ = k;
+  shift_ = __builtin_clzll(n.w_.back());
+  // vn_ = n << shift_: the top bit lands at bit 63, so it stays k words.
+  for (std::size_t i = k; i-- > 0;) {
+    vn_[i] = shift_ ? (n.w_[i] << shift_) |
+                          (i > 0 ? n.w_[i - 1] >> (64 - shift_) : 0)
+                    : n.w_[i];
+  }
+  // Right-to-left square-and-multiply — the same ladder rsa_public_op
+  // walks, so the arithmetic (and hence the bytes) is identical.
+  std::size_t blen = base.w_.size();
+  std::copy(base.w_.begin(), base.w_.end(), base_.begin());
+  acc_[0] = 1;
+  std::size_t alen = 1;
+  while (e > 0) {
+    if (e & 1) {
+      mulmod(acc_.data(), alen, base_.data(), blen, acc_.data());
+      alen = sig_words(acc_.data(), k_);
+    }
+    e >>= 1;
+    if (e) {
+      mulmod(base_.data(), blen, base_.data(), blen, base_.data());
+      blen = sig_words(base_.data(), k_);
+    }
+  }
+  out.w_.assign(acc_.begin(), acc_.begin() + static_cast<std::ptrdiff_t>(alen));
+  return true;
+}
+
+void BigIntScratch::mulmod(const u64* a, std::size_t alen, const u64* b,
+                           std::size_t blen, u64* dest) {
+  if (alen == 0 || blen == 0) {
+    std::fill(dest, dest + k_, 0);
+    return;
+  }
+  // prod_ = a * b (schoolbook, same as BigUInt::operator*).
+  std::fill(prod_.begin(),
+            prod_.begin() + static_cast<std::ptrdiff_t>(alen + blen), 0);
+  for (std::size_t i = 0; i < alen; ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < blen; ++j) {
+      const u128 cur = static_cast<u128>(a[i]) * b[j] + prod_[i + j] + carry;
+      prod_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    prod_[i + blen] = carry;
+  }
+  const std::size_t plen = sig_words(prod_.data(), alen + blen);
+  if (plen < k_) {
+    // Fewer words than the modulus means the product is already
+    // reduced.
+    std::copy(prod_.begin(), prod_.begin() + static_cast<std::ptrdiff_t>(plen),
+              dest);
+    std::fill(dest + plen, dest + k_, 0);
+    return;
+  }
+  // u_ = prod_ << shift_, with a spill word and Algorithm D's extra
+  // top digit. Uses (a << s) mod (n << s) == (a mod n) << s, so the
+  // modulus normalization is paid once in pow_u64_mod, not per call.
+  const std::size_t ulen = plen + 2;
+  if (shift_) {
+    u_[0] = prod_[0] << shift_;
+    for (std::size_t i = 1; i < plen; ++i) {
+      u_[i] = (prod_[i] << shift_) | (prod_[i - 1] >> (64 - shift_));
+    }
+    u_[plen] = prod_[plen - 1] >> (64 - shift_);
+  } else {
+    std::copy(prod_.begin(), prod_.begin() + static_cast<std::ptrdiff_t>(plen),
+              u_.begin());
+    u_[plen] = 0;
+  }
+  u_[plen + 1] = 0;
+
+  // Quotient-free Algorithm D: identical digit estimation and
+  // multiply-subtract as BigUInt::divmod, but no quotient is stored —
+  // u_[0..k_) ends as the (shifted) remainder.
+  const std::size_t m = ulen - 1 - k_;
+  const u64* v = vn_.data();
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const u128 num = (static_cast<u128>(u_[j + k_]) << 64) | u_[j + k_ - 1];
+    u64 qhat, rhat;
+    if (u_[j + k_] >= v[k_ - 1]) {
+      qhat = ~u64{0};
+      rhat = static_cast<u64>(num - static_cast<u128>(qhat) * v[k_ - 1]);
+    } else {
+      qhat = static_cast<u64>(num / v[k_ - 1]);
+      rhat = static_cast<u64>(num % v[k_ - 1]);
+    }
+    while (static_cast<u128>(qhat) * v[k_ - 2] >
+           ((static_cast<u128>(rhat) << 64) | u_[j + k_ - 2])) {
+      --qhat;
+      const u128 next = static_cast<u128>(rhat) + v[k_ - 1];
+      if (next >> 64) break;
+      rhat = static_cast<u64>(next);
+    }
+    __extension__ typedef __int128 i128;
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const u128 product = static_cast<u128>(qhat) * v[i];
+      const i128 t = static_cast<i128>(static_cast<u128>(u_[i + j])) - borrow -
+                     static_cast<u64>(product);
+      u_[i + j] = static_cast<u64>(t);
+      borrow = static_cast<u64>(product >> 64) - static_cast<u64>(t >> 64);
+    }
+    const i128 top = static_cast<i128>(static_cast<u128>(u_[j + k_])) - borrow;
+    u_[j + k_] = static_cast<u64>(top);
+    if (top < 0) {
+      u128 add_carry = 0;
+      for (std::size_t i = 0; i < k_; ++i) {
+        const u128 sum = static_cast<u128>(u_[i + j]) + v[i] + add_carry;
+        u_[i + j] = static_cast<u64>(sum);
+        add_carry = sum >> 64;
+      }
+      u_[j + k_] += static_cast<u64>(add_carry);
+    }
+  }
+
+  // Denormalize the remainder (it occupies u_[0..k_) entirely).
+  if (shift_) {
+    for (std::size_t i = 0; i < k_; ++i) {
+      dest[i] = (u_[i] >> shift_) |
+                (i + 1 < k_ ? u_[i + 1] << (64 - shift_) : 0);
+    }
+  } else {
+    std::copy(u_.begin(), u_.begin() + static_cast<std::ptrdiff_t>(k_), dest);
+  }
 }
 
 std::uint64_t BigUInt::mod_u64(u64 m) const {

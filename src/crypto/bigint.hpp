@@ -13,6 +13,7 @@
 // constant-time ladder.
 #pragma once
 
+#include <array>
 #include <compare>
 #include <cstdint>
 #include <span>
@@ -39,6 +40,13 @@ class BigUInt {
   /// Exports big-endian, left-padded with zeros to at least `min_len`.
   [[nodiscard]] std::vector<std::uint8_t> to_bytes_be(
       std::size_t min_len = 0) const;
+
+  /// In-place variants of the byte conversions: same results, but the
+  /// destination's existing capacity is reused, so a warm caller (the
+  /// neutralizer's key-setup path) performs no allocation.
+  void assign_bytes_be(std::span<const std::uint8_t> bytes);
+  void write_bytes_be(std::size_t min_len,
+                      std::vector<std::uint8_t>& out) const;
 
   static BigUInt from_hex(std::string_view hex);
   [[nodiscard]] std::string to_hex() const;
@@ -109,6 +117,7 @@ class BigUInt {
 
   void normalize() noexcept;
   friend class Montgomery;
+  friend class BigIntScratch;
 };
 
 struct BigUIntDivMod {
@@ -134,6 +143,40 @@ inline BigUInt operator%(const BigUInt& a, const BigUInt& b) {
 /// requirement).
 [[nodiscard]] BigUInt random_prime(Rng& rng, std::size_t bits,
                                    std::uint64_t coprime_e = 0);
+
+/// Fixed-capacity workspace for small-exponent modular exponentiation
+/// (the neutralizer's e = 3 RSA public operation). All temporaries —
+/// the product, the normalized modulus, and the Knuth-D dividend — live
+/// in member arrays sized for 2048-bit operands, so a warm caller's
+/// exponentiations touch the heap never. The remainder is computed by
+/// a quotient-free Algorithm D pass over a pre-shifted modulus, using
+/// the identity (a << s) mod (n << s) == (a mod n) << s.
+class BigIntScratch {
+ public:
+  /// 2048-bit operand ceiling — covers every key size this repo mints
+  /// (512-bit one-time keys, 1024-bit e2e/onion keys).
+  static constexpr std::size_t kMaxWords = 32;
+
+  /// out = base^e mod n. Returns false — leaving `out` untouched — when
+  /// the operands don't fit this workspace (n under 2 or over kMaxWords
+  /// words, or base >= n); the caller falls back to the general path,
+  /// which also reproduces rsa_public_op's domain errors.
+  bool pow_u64_mod(const BigUInt& base, std::uint64_t e, const BigUInt& n,
+                   BigUInt& out);
+
+ private:
+  /// dest[0..k_) = (a[0..alen) * b[0..blen)) mod n, via prod_/u_.
+  void mulmod(const std::uint64_t* a, std::size_t alen, const std::uint64_t* b,
+              std::size_t blen, std::uint64_t* dest);
+
+  std::size_t k_ = 0;  // modulus word count
+  int shift_ = 0;      // normalization shift (clz of the top word)
+  std::array<std::uint64_t, kMaxWords> vn_{};          // modulus << shift_
+  std::array<std::uint64_t, 2 * kMaxWords> prod_{};    // raw product
+  std::array<std::uint64_t, 2 * kMaxWords + 2> u_{};   // shifted dividend
+  std::array<std::uint64_t, kMaxWords> acc_{};         // running result
+  std::array<std::uint64_t, kMaxWords> base_{};        // running base power
+};
 
 /// Montgomery context for repeated multiplications mod one odd modulus
 /// (exposed because Miller–Rabin and RSA-CRT reuse it across many

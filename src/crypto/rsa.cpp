@@ -88,12 +88,12 @@ BigUInt crt_combine(const RsaPrivateKey& key, const BigUInt& m1,
   return m2 + h * key.q;
 }
 
-std::vector<std::uint8_t> pkcs1_pad(Rng& rng, std::span<const std::uint8_t> msg,
-                                    std::size_t k) {
+void pkcs1_pad_into(Rng& rng, std::span<const std::uint8_t> msg,
+                    std::size_t k, std::vector<std::uint8_t>& block) {
   if (msg.size() + 11 > k) {
     throw std::invalid_argument("rsa_encrypt: message too long for modulus");
   }
-  std::vector<std::uint8_t> block(k, 0);
+  block.assign(k, 0);
   block[0] = 0x00;
   block[1] = 0x02;
   const std::size_t pad_len = k - 3 - msg.size();
@@ -107,7 +107,6 @@ std::vector<std::uint8_t> pkcs1_pad(Rng& rng, std::span<const std::uint8_t> msg,
   block[2 + pad_len] = 0x00;
   std::copy(msg.begin(), msg.end(), block.begin() + 3 +
                                         static_cast<std::ptrdiff_t>(pad_len));
-  return block;
 }
 
 std::optional<std::vector<std::uint8_t>> pkcs1_unpad(
@@ -139,10 +138,27 @@ BigUInt rsa_private_op(const RsaPrivateKey& key, const BigUInt& c) {
 
 std::vector<std::uint8_t> rsa_encrypt(Rng& rng, const RsaPublicKey& key,
                                       std::span<const std::uint8_t> msg) {
+  RsaScratch scratch;
+  std::vector<std::uint8_t> out;
+  rsa_encrypt_into(rng, key, msg, scratch, out);
+  return out;
+}
+
+void rsa_encrypt_into(Rng& rng, const RsaPublicKey& key,
+                      std::span<const std::uint8_t> msg, RsaScratch& scratch,
+                      std::vector<std::uint8_t>& out) {
   const std::size_t k = key.modulus_bytes();
-  const auto block = pkcs1_pad(rng, msg, k);
-  const BigUInt m = BigUInt::from_bytes_be(block);
-  return rsa_public_op(key, m).to_bytes_be(k);
+  pkcs1_pad_into(rng, msg, k, scratch.block);
+  scratch.m.assign_bytes_be(scratch.block);
+  // Small exponents (the neutralizer's e = 3) run entirely inside the
+  // fixed scratch workspace; anything it refuses — oversized modulus,
+  // m >= n, big exponent — falls back to the general path, which is
+  // the same math and raises the same errors rsa_encrypt always has.
+  const bool scratch_ok =
+      key.e < BigUInt{1 << 20} &&
+      scratch.math.pow_u64_mod(scratch.m, key.e.low_u64(), key.n, scratch.c);
+  if (!scratch_ok) scratch.c = rsa_public_op(key, scratch.m);
+  scratch.c.write_bytes_be(k, out);
 }
 
 std::optional<std::vector<std::uint8_t>> rsa_decrypt(

@@ -72,6 +72,26 @@ struct RsaPrivateKey {
 [[nodiscard]] std::vector<std::uint8_t> rsa_encrypt(
     Rng& rng, const RsaPublicKey& key, std::span<const std::uint8_t> msg);
 
+/// Reusable workspace for rsa_encrypt_into: the padded block, both
+/// bigint operands, and the exponentiation temporaries. One per
+/// encrypting thread (the Neutralizer owns one per instance).
+struct RsaScratch {
+  BigIntScratch math;
+  std::vector<std::uint8_t> block;
+  BigUInt m;
+  BigUInt c;
+};
+
+/// rsa_encrypt writing the ciphertext into `out` (capacity reused), all
+/// temporaries drawn from `scratch`: byte-identical to rsa_encrypt —
+/// same padding draws from `rng`, same exceptions — with zero heap
+/// allocation once the scratch and `out` are warm (for exponents under
+/// 2^20 and moduli up to 2048 bits; larger fall back to the allocating
+/// path, still correct).
+void rsa_encrypt_into(Rng& rng, const RsaPublicKey& key,
+                      std::span<const std::uint8_t> msg, RsaScratch& scratch,
+                      std::vector<std::uint8_t>& out);
+
 /// Decrypt + unpad; nullopt on malformed padding (treat as a dropped
 /// packet, never as a distinguishable error, to avoid oracle behavior).
 [[nodiscard]] std::optional<std::vector<std::uint8_t>> rsa_decrypt(

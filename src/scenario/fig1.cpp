@@ -1,8 +1,10 @@
 #include "scenario/fig1.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "crypto/chacha.hpp"
+#include "util/bytes.hpp"
 
 namespace nn::scenario {
 
@@ -35,6 +37,7 @@ void Fig1::wire(ScenarioHost& sh, bool inside, std::uint64_t seed,
   // burst-mode link delivered its whole train in one engine event, so
   // latency metrics are identical across delivery modes.
   sh.node->set_stamped_handler([shp](net::Packet&& pkt, sim::SimTime at) {
+    if (shp->shim_tap && shp->shim_tap(pkt, at)) return;
     net::ParsedPacket p;
     try {
       p = net::parse_packet(pkt.view());
@@ -71,6 +74,8 @@ Fig1::Fig1(Fig1Config config) : config_(std::move(config)) {
   core::NeutralizerConfig ncfg;
   ncfg.anycast_addr = kAnycast;
   ncfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  ncfg.dynamic_pool = config_.dynamic_pool;
+  ncfg.dyn_lease = config_.dyn_lease;
   crypto::AesKey root;
   root.fill(0xD0);
   sim::Router* box_router = nullptr;
@@ -338,6 +343,108 @@ Fig1::FlowResult Fig1::collect(const ScenarioHost& to,
 core::NeutralizerStats Fig1::service_stats() const {
   return box != nullptr ? box->service().stats()
                         : sharded_box->aggregate_stats();
+}
+
+core::Neutralizer& Fig1::control_service() {
+  if (box != nullptr) return box->service();
+  // Dynamic-address requests pin to shard 0 (core/sharded_box.cpp), so
+  // that is where the session state lives — on runtime worker 0 when
+  // the box is runtime-backed.
+  if (auto* rt = sharded_box->backing_runtime()) return rt->shard_mut(0);
+  return sharded_box->cluster().shard(0);
+}
+
+std::optional<net::Ipv4Addr> Fig1::churn_address(std::uint64_t session) const {
+  if (session >= churn_addr_.size() || churn_addr_[session] == 0) {
+    return std::nullopt;
+  }
+  return net::Ipv4Addr(churn_addr_[session]);
+}
+
+void Fig1::schedule_session_churn(ScenarioHost& from) {
+  if (!config_.dynamic_pool.has_value() ||
+      !config_.session_churn.has_value()) {
+    throw std::logic_error(
+        "schedule_session_churn: set Fig1Config::dynamic_pool and "
+        "::session_churn first");
+  }
+  if (churn_ != nullptr) {
+    throw std::logic_error("schedule_session_churn: already scheduled");
+  }
+  churn_addr_.assign(config_.session_churn->sessions, 0);
+
+  // Capture every kDynAddrResponse addressed to `from` before the host
+  // stack sees it, recording session id (the request nonce) -> address.
+  Fig1* self = this;
+  from.shim_tap = [self](const net::Packet& pkt, sim::SimTime) {
+    net::ParsedPacket p;
+    try {
+      p = net::parse_packet(pkt.view());
+    } catch (const ParseError&) {
+      return false;
+    }
+    if (!p.shim.has_value() ||
+        p.shim->type != net::ShimType::kDynAddrResponse ||
+        p.payload.size() != 4) {
+      return false;
+    }
+    const std::uint64_t session = p.shim->nonce;
+    if (session < self->churn_addr_.size()) {
+      ByteReader r(p.payload);
+      self->churn_addr_[session] = r.u32();
+      ++self->churn_counters_.responses;
+    }
+    return true;
+  };
+
+  sim::Host* src = from.node;
+  sim::SessionChurnWorkload::Config wcfg;
+  wcfg.batch_window = config_.churn_batch_window;
+  churn_ = std::make_unique<sim::SessionChurnWorkload>(
+      engine, sim::churn_schedule(*config_.session_churn), wcfg,
+      [self, src](const sim::SessionEvent& event, sim::SimTime at) {
+        core::Neutralizer& service = self->control_service();
+        // Collect lapsed leases first so an event at the same instant
+        // sees post-expiry state, like a server running its lease
+        // collector ahead of each control message.
+        service.expire_dynamic_sessions(at);
+        switch (event.kind) {
+          case sim::SessionEvent::Kind::kArrive: {
+            net::ShimHeader shim;
+            shim.type = net::ShimType::kDynAddrRequest;
+            shim.nonce = event.session;
+            src->transmit(
+                net::make_shim_packet(src->address(), kAnycast, shim, {}),
+                at);
+            ++self->churn_counters_.arrivals;
+            break;
+          }
+          case sim::SessionEvent::Kind::kRenew: {
+            const auto addr = self->churn_address(event.session);
+            if (addr.has_value() && service.renew_dynamic(*addr, at)) {
+              ++self->churn_counters_.renews;
+            } else {
+              ++self->churn_counters_.unmapped;
+            }
+            break;
+          }
+          case sim::SessionEvent::Kind::kDepart: {
+            const auto addr = self->churn_address(event.session);
+            if (addr.has_value() && service.release_dynamic(*addr)) {
+              self->churn_addr_[event.session] = 0;
+              ++self->churn_counters_.departs;
+            } else {
+              ++self->churn_counters_.unmapped;
+            }
+            break;
+          }
+          case sim::SessionEvent::Kind::kRekeyStorm:
+            service.rekey_dynamic_sessions(at);
+            ++self->churn_counters_.storms;
+            break;
+        }
+      });
+  churn_->start();
 }
 
 Fig1::FlowResult Fig1::run_voip(VoipMode mode, ScenarioHost& from,

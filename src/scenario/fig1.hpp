@@ -21,6 +21,7 @@
 #include "host/host.hpp"
 #include "sim/isp.hpp"
 #include "sim/network.hpp"
+#include "sim/session_churn.hpp"
 #include "sim/trace_workload.hpp"
 #include "sim/workload.hpp"
 
@@ -64,6 +65,10 @@ struct ScenarioHost {
   sim::FlowSink sink;
   // Receiver side of a kE2eOnly flow (shared-key session).
   std::optional<host::E2eSession> plain_rx;
+  /// Pre-hook run before the normal stamped handler; return true to
+  /// consume the packet (how schedule_session_churn captures
+  /// kDynAddrResponse messages without disturbing the host stack).
+  std::function<bool(const net::Packet& pkt, sim::SimTime at)> shim_tap;
 
   [[nodiscard]] net::Ipv4Addr addr() const { return node->address(); }
 };
@@ -103,6 +108,15 @@ struct Fig1Config {
   /// Exact for kPlain/kE2eOnly transports (they thread the stamp);
   /// kNeutralized departures shift to the window boundary.
   sim::SimTime source_batch_window = 0;
+  /// §3.4 dynamic-address pool handed to the box. Setting it enables
+  /// the session control plane (and schedule_session_churn).
+  std::optional<net::Ipv4Prefix> dynamic_pool;
+  /// Lease stamped on dynamic allocations (0 = leases never expire).
+  sim::SimTime dyn_lease = 0;
+  /// Session-scale churn schedule replayed by schedule_session_churn.
+  std::optional<sim::SessionChurnConfig> session_churn;
+  /// Batch window for the churn replay (SessionChurnWorkload::Config).
+  sim::SimTime churn_batch_window = 0;
 };
 
 class Fig1 {
@@ -147,6 +161,42 @@ class Fig1 {
   /// across shards for a sharded box).
   [[nodiscard]] core::NeutralizerStats service_stats() const;
 
+  /// The Neutralizer instance owning the §3.4 session state, regardless
+  /// of box flavor: the classic box's service, shard 0 of a sharded
+  /// cluster (dynamic-address requests pin there), or runtime worker
+  /// 0's shard when the sharded box is runtime-backed (safe between
+  /// instants — the runtime is quiescent then).
+  [[nodiscard]] core::Neutralizer& control_service();
+
+  /// Per-event outcome counters of the churn replay.
+  struct ChurnCounters {
+    std::uint64_t arrivals = 0;  ///< kArrive requests transmitted
+    std::uint64_t responses = 0; ///< kDynAddrResponse messages captured
+    std::uint64_t renews = 0;    ///< successful renew_dynamic calls
+    std::uint64_t departs = 0;   ///< successful release_dynamic calls
+    std::uint64_t storms = 0;    ///< rekey storms run
+    std::uint64_t unmapped = 0;  ///< renew/depart before/after residency
+  };
+
+  /// Schedules the Fig1Config::session_churn replay from `from`
+  /// (without advancing time): kArrive transmits a dynamic-address
+  /// request through the topology, a shim_tap on `from` captures the
+  /// response, and renew/depart/storm events drive control_service()
+  /// directly. Requires dynamic_pool and session_churn to be set.
+  void schedule_session_churn(ScenarioHost& from);
+
+  [[nodiscard]] const ChurnCounters& churn_counters() const noexcept {
+    return churn_counters_;
+  }
+  /// The replaying workload (null until schedule_session_churn).
+  [[nodiscard]] sim::SessionChurnWorkload* churn_workload() noexcept {
+    return churn_.get();
+  }
+  /// The dynamic address session `id` currently holds (unset when the
+  /// response has not arrived or the session departed).
+  [[nodiscard]] std::optional<net::Ipv4Addr> churn_address(
+      std::uint64_t session) const;
+
   /// schedule_voip + run to completion + collect, for one-at-a-time
   /// experiments.
   FlowResult run_voip(VoipMode mode, ScenarioHost& from, ScenarioHost& to,
@@ -159,6 +209,11 @@ class Fig1 {
   std::vector<std::unique_ptr<sim::TraceWorkload>> trace_sources_;
   std::optional<net::PcapFile> pcap_;  // kPcap capture, parsed once
   std::uint64_t e2e_seed_ = 900;
+  std::unique_ptr<sim::SessionChurnWorkload> churn_;
+  // Session id -> resident dynamic address (0 = none; pool addresses
+  // are never 0.0.0.0). Dense ids, so a flat vector.
+  std::vector<std::uint32_t> churn_addr_;
+  ChurnCounters churn_counters_;
 
   void wire(ScenarioHost& sh, bool inside, std::uint64_t seed,
             const crypto::RsaPrivateKey& identity);

@@ -1,0 +1,144 @@
+#include "sim/session_churn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace nn::sim {
+
+namespace {
+
+// Per-session RNG stream: the stream for session `id` depends only on
+// (seed, id), so adding or removing other sessions — or changing the
+// arrival process — never perturbs an existing session's lifecycle.
+// The multiplier is SplitMix64's odd MCG constant; +1 keeps session 0
+// from collapsing onto the bare seed.
+SplitMix64 session_rng(std::uint64_t seed, std::uint64_t id) {
+  return SplitMix64(seed ^ (0x5851F42D4C957F2DULL * (id + 1)));
+}
+
+}  // namespace
+
+std::vector<SessionEvent> churn_schedule(const SessionChurnConfig& config) {
+  if (config.rekey_interval > 0 && config.horizon <= 0) {
+    throw std::invalid_argument(
+        "churn_schedule: rekey storms need a horizon to stop at");
+  }
+  std::vector<SessionEvent> events;
+  if (config.sessions > 0 && config.arrivals_per_second > 0) {
+    // Generous guess: arrive + a few renewals + an ending per session.
+    events.reserve(config.sessions * 3);
+    const double mean_ns = 1e9 / config.arrivals_per_second;
+    SplitMix64 arrivals(config.seed);
+    double clock = 0;
+    for (std::uint64_t id = 0; id < config.sessions; ++id) {
+      const SimTime arrive = static_cast<SimTime>(std::llround(clock));
+      clock += config.poisson ? arrivals.exponential(mean_ns) : mean_ns;
+      if (config.horizon > 0 && arrive >= config.horizon) break;
+      events.push_back({arrive, SessionEvent::Kind::kArrive, id});
+      if (config.lease <= 0) continue;  // permanent session
+
+      SplitMix64 rng = session_rng(config.seed, id);
+      SimTime held_since = arrive;
+      std::size_t renewals = 0;
+      for (;;) {
+        const SimTime expiry = held_since + config.lease;
+        if (renewals < config.max_renewals &&
+            rng.chance(config.renew_probability)) {
+          // Uniform in [expiry - jitter*lease, expiry), clamped strictly
+          // between the previous event and the expiry so a renewal can
+          // never race its own lease collection.
+          const double back =
+              rng.uniform_double() * config.renewal_jitter *
+              static_cast<double>(config.lease);
+          SimTime renew_at = expiry - static_cast<SimTime>(std::llround(back));
+          renew_at = std::clamp(renew_at, held_since + 1, expiry - 1);
+          if (config.horizon > 0 && renew_at >= config.horizon) break;
+          events.push_back({renew_at, SessionEvent::Kind::kRenew, id});
+          held_since = renew_at;
+          ++renewals;
+          continue;
+        }
+        if (rng.chance(config.depart_probability)) {
+          // Explicit release strictly before the lease would lapse,
+          // drawn from the same window as renewals.
+          const double back =
+              rng.uniform_double() * config.renewal_jitter *
+              static_cast<double>(config.lease);
+          SimTime depart_at = expiry - static_cast<SimTime>(std::llround(back));
+          depart_at = std::clamp(depart_at, held_since + 1, expiry - 1);
+          if (!(config.horizon > 0 && depart_at >= config.horizon)) {
+            events.push_back({depart_at, SessionEvent::Kind::kDepart, id});
+          }
+        }
+        // Else: lapse silently — the server's expire_due() collects it.
+        break;
+      }
+    }
+  }
+  if (config.rekey_interval > 0) {
+    for (SimTime at = config.rekey_interval; at <= config.horizon;
+         at += config.rekey_interval) {
+      events.push_back({at, SessionEvent::Kind::kRekeyStorm, 0});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SessionEvent& a, const SessionEvent& b) {
+                     return a.at < b.at;
+                   });
+  return events;
+}
+
+SessionChurnWorkload::SessionChurnWorkload(Engine& engine,
+                                           std::vector<SessionEvent> schedule,
+                                           Config config, OpFn op)
+    : engine_(engine),
+      schedule_(std::move(schedule)),
+      config_(config),
+      op_(std::move(op)) {
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const SessionEvent& a, const SessionEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+SimTime SessionChurnWorkload::replay_time(std::size_t index) const noexcept {
+  return config_.start + schedule_[index].at;
+}
+
+void SessionChurnWorkload::start() {
+  if (started_) return;
+  started_ = true;
+  if (schedule_.empty()) return;
+  engine_.schedule_at(next_wakeup(), [this] { emit_due(); });
+}
+
+SimTime SessionChurnWorkload::next_wakeup() const noexcept {
+  const SimTime r = replay_time(next_);
+  if (config_.batch_window <= 0) return r;
+  // Same global alignment as TraceWorkload: wakeups land on multiples
+  // of the window so a churn workload and a batched packet workload
+  // flush at the same instants.
+  return (r / config_.batch_window + 1) * config_.batch_window;
+}
+
+void SessionChurnWorkload::emit_due() {
+  // Mirrors TraceWorkload::emit_due: batched replay hands over only
+  // strictly past events (stamped with their own times); unbatched
+  // replay wakes at each event's own instant.
+  const SimTime horizon = engine_.now() - (config_.batch_window > 0 ? 1 : 0);
+  while (next_ < schedule_.size() && replay_time(next_) <= horizon) {
+    const SimTime at = replay_time(next_);
+    const SessionEvent& event = schedule_[next_++];
+    op_(event, at);
+    ++delivered_;
+  }
+  if (next_ < schedule_.size()) {
+    engine_.schedule_at(next_wakeup(), [this] { emit_due(); });
+  }
+}
+
+}  // namespace nn::sim

@@ -1,0 +1,123 @@
+// Session-scale churn workloads for the §3.4 control plane.
+//
+// The data-path workloads (trace_workload.hpp) exercise packets; this
+// one exercises *state*: a deterministic arrival/departure process over
+// up to millions of dynamic-address sessions, with configurable lease
+// lifetimes, renewal jitter, explicit-release vs lapse-and-expire
+// endings, and epoch-rekey storms that hit every resident session in
+// the same instant. The schedule is a pure function of its config —
+// per-session randomness is keyed by (seed, session id), so the same
+// config produces the same lifecycle for session k no matter how many
+// other sessions interleave — which is what lets the churn soak assert
+// byte-identity across 1/2/4/8-shard deployments.
+//
+// SessionChurnWorkload replays a schedule on a sim::Engine through an
+// OpFn, exactly like TraceWorkload replays packets through a SendFn;
+// scenario/fig1.* wires the OpFn to dynamic-address requests, renewals,
+// releases, and Neutralizer::rekey_dynamic_sessions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace nn::sim {
+
+/// One control-plane event. `session` is the workload's own session id
+/// (dense, 0-based) — the scenario maps it to whatever handle the
+/// control plane hands back (the dynamic address).
+struct SessionEvent {
+  enum class Kind : std::uint8_t {
+    kArrive,      ///< session requests a dynamic address
+    kRenew,       ///< session renews its lease before expiry
+    kDepart,      ///< session releases its address explicitly
+    kRekeyStorm,  ///< every resident session rekeys (session unused)
+  };
+
+  SimTime at = 0;
+  Kind kind = Kind::kArrive;
+  std::uint64_t session = 0;
+
+  friend bool operator==(const SessionEvent&, const SessionEvent&) = default;
+};
+
+/// Configuration for churn_schedule(). Lifecycle of one session:
+/// arrive; while the lease holds, renew with `renew_probability` (at a
+/// jittered instant strictly before expiry) up to `max_renewals` times;
+/// then either depart explicitly (`depart_probability`) or lapse and
+/// let the server's lease collector expire it. `lease == 0` makes
+/// sessions permanent (arrive-only — how the benches build a resident
+/// population). Storms fire on every multiple of `rekey_interval` up to
+/// `horizon`.
+struct SessionChurnConfig {
+  std::size_t sessions = 0;
+  double arrivals_per_second = 1000;
+  bool poisson = false;  ///< false = CBR arrival spacing
+  SimTime lease = 0;
+  double renew_probability = 0.5;
+  /// Renewals fire uniformly inside [expiry - jitter·lease, expiry).
+  double renewal_jitter = 0.25;
+  std::size_t max_renewals = 4;
+  /// Of the sessions that stop renewing: fraction that release
+  /// explicitly; the rest lapse (exercising the expiry path).
+  double depart_probability = 0.5;
+  SimTime rekey_interval = 0;  ///< 0 = no storms
+  /// Events at or beyond `horizon` are dropped (sessions still alive
+  /// stay resident — the reconciliation tail). 0 = unbounded, in which
+  /// case `rekey_interval` must be 0 too (no storm stop condition).
+  SimTime horizon = 0;
+  std::uint64_t seed = 1;
+};
+
+/// Deterministic schedule: same config, same events (sorted by time,
+/// ties in generation order).
+[[nodiscard]] std::vector<SessionEvent> churn_schedule(
+    const SessionChurnConfig& config);
+
+/// Replays a schedule on the engine. Transport-agnostic like
+/// TraceWorkload: each due event is handed to the OpFn with its replay
+/// time (`at` equals the engine clock unbatched; batched windows hand
+/// over past-stamped groups, same contract as TraceWorkload::SendFn).
+class SessionChurnWorkload {
+ public:
+  using OpFn = std::function<void(const SessionEvent& event, SimTime at)>;
+
+  struct Config {
+    SimTime start = 0;
+    /// 0 = one engine event per schedule entry; positive = wake on
+    /// global multiples of the window and deliver everything due,
+    /// stamped with its own time (see TraceWorkload::Config).
+    SimTime batch_window = 0;
+  };
+
+  /// The schedule need not be sorted; events replay in time order
+  /// (ties keep schedule order).
+  SessionChurnWorkload(Engine& engine, std::vector<SessionEvent> schedule,
+                       Config config, OpFn op);
+
+  /// Schedules the replay. Idempotent like TraceWorkload::start().
+  void start();
+
+  /// Events handed to the OpFn so far.
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::size_t schedule_size() const noexcept {
+    return schedule_.size();
+  }
+
+ private:
+  Engine& engine_;
+  std::vector<SessionEvent> schedule_;
+  Config config_;
+  OpFn op_;
+  std::size_t next_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool started_ = false;
+
+  void emit_due();
+  [[nodiscard]] SimTime replay_time(std::size_t index) const noexcept;
+  [[nodiscard]] SimTime next_wakeup() const noexcept;
+};
+
+}  // namespace nn::sim

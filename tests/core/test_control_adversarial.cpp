@@ -1,0 +1,207 @@
+// Adversarial control-plane workloads (ISSUE 9 satellite): a key-setup
+// flood shed by the §3.6 pushback machinery in front of a rate-limited
+// neutralizer, with every packet accounted for exactly; and state
+// exhaustion — an attacker filling the §3.4 session table to capacity —
+// answered by graceful, counted rejection and full recovery once
+// sessions are released or expire.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "crypto/chacha.hpp"
+#include "crypto/rsa.hpp"
+#include "net/packet.hpp"
+#include "net/shim.hpp"
+#include "pushback/pushback.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::core {
+namespace {
+
+using net::Ipv4Addr;
+
+const Ipv4Addr kAnycast(200, 0, 0, 1);
+
+crypto::AesKey test_root() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+net::Packet make_key_setup(Ipv4Addr src, std::uint64_t nonce,
+                           std::span<const std::uint8_t> pub) {
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kKeySetup;
+  shim.nonce = nonce;
+  return net::make_shim_packet(src, kAnycast, shim, pub);
+}
+
+net::Packet dyn_request(Ipv4Addr customer, std::uint64_t session) {
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kDynAddrRequest;
+  shim.nonce = session;
+  return net::make_shim_packet(customer, kAnycast, shim, {});
+}
+
+// A spoofed-source key-setup flood at ~80x the protected capacity.
+// Pushback flags the (anycast, kKeySetup) aggregate and sheds most of
+// the flood before it reaches the service; the service's own setup
+// limiter bounds the RSA work of whatever leaks through. The exact
+// accounting identity is the point: every flood packet is either a
+// pushback drop, a rate-limit drop, or a served setup.
+TEST(ControlAdversarial, SetupFloodShedWithExactAccounting) {
+  pushback::PushbackPolicy::Config pcfg;
+  pcfg.capacity_bps = 100e3;
+  pcfg.detect_fraction = 0.5;
+  pcfg.window = 10 * sim::kMillisecond;
+  pcfg.limit_bps = 10e3;
+  pushback::PushbackPolicy policy(pcfg);
+
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  cfg.setup_rate_limit = 500;  // setups/second the replica will serve
+  Neutralizer service(cfg, test_root());
+
+  crypto::ChaChaRng rng(3);
+  const auto onetime = crypto::rsa_generate(rng, 512, 3);
+  const auto pub = onetime.pub.serialize();
+
+  // ~100-byte setups every 100µs = ~8 Mbps against 100 kbps capacity.
+  constexpr int kFlood = 2000;
+  std::uint64_t reached_service = 0;
+  std::uint64_t responses = 0;
+  for (int i = 0; i < kFlood; ++i) {
+    const auto now = static_cast<sim::SimTime>(i) * 100 * sim::kMicrosecond;
+    auto pkt = make_key_setup(
+        Ipv4Addr(0x33000000u + static_cast<std::uint32_t>(i)),
+        static_cast<std::uint64_t>(i), pub);
+    if (policy.process(pkt, now).drop) continue;
+    ++reached_service;
+    if (service.process(std::move(pkt), now).has_value()) ++responses;
+  }
+
+  const auto& pstats = policy.stats();
+  const auto& sstats = service.stats();
+  // Every flood packet accounted for, exactly once.
+  EXPECT_EQ(static_cast<std::uint64_t>(kFlood),
+            pstats.limited_drops + reached_service);
+  EXPECT_EQ(reached_service, sstats.key_setups + sstats.setup_rate_limited);
+  EXPECT_EQ(responses, sstats.key_setups);
+
+  // The aggregate was flagged and the vast majority of the flood was
+  // shed before the service saw it.
+  EXPECT_GE(pstats.aggregates_flagged, 1u);
+  EXPECT_TRUE(policy.is_limited(pushback::AggregateKey{
+      kAnycast.value(),
+      static_cast<std::uint8_t>(net::ShimType::kKeySetup)}));
+  EXPECT_LT(reached_service, static_cast<std::uint64_t>(kFlood) / 4);
+  // The replica's own limiter held served setups near the configured
+  // rate (0.2s of flood at 500/s, plus the limiter's burst allowance).
+  EXPECT_LE(sstats.key_setups, 700u);
+  EXPECT_GT(sstats.key_setups, 0u);
+}
+
+// State exhaustion: a /26 pool holds 63 sessions. Fill it, then keep
+// attacking — every further request is rejected gracefully (no
+// response, counted, service keeps running) and legitimate traffic
+// through resident sessions is unaffected. Releasing sessions restores
+// capacity immediately.
+TEST(ControlAdversarial, StateExhaustionRejectsGracefullyAndRecovers) {
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("172.16.5.0/26");
+  Neutralizer service(cfg, test_root());
+  ASSERT_NE(service.dynamic_allocator(), nullptr);
+  const std::uint32_t capacity = service.dynamic_allocator()->capacity();
+  ASSERT_EQ(capacity, 63u);
+
+  std::vector<Ipv4Addr> granted;
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    auto resp = service.process(
+        dyn_request(Ipv4Addr(0x14000000u + i), i), 0);
+    ASSERT_TRUE(resp.has_value()) << "request " << i;
+    const auto parsed = net::parse_packet(resp->view());
+    ByteReader r(parsed.payload);
+    granted.emplace_back(r.u32());
+  }
+  EXPECT_EQ(service.dynamic_sessions(), capacity);
+
+  // The attack continues past capacity: counted rejection, no crash,
+  // no response packets to amplify with.
+  constexpr std::uint32_t kOverflow = 50;
+  for (std::uint32_t i = 0; i < kOverflow; ++i) {
+    EXPECT_FALSE(service
+                     .process(dyn_request(Ipv4Addr(0x14000100u + i),
+                                          1000 + i),
+                              0)
+                     .has_value());
+  }
+  EXPECT_EQ(service.stats().dyn_rejected, kOverflow);
+  EXPECT_EQ(service.dynamic_allocator()->counters().rejected, kOverflow);
+  EXPECT_EQ(service.dynamic_sessions(), capacity);
+
+  // Resident sessions still translate while the pool is under attack.
+  auto probe = net::make_udp_packet(Ipv4Addr(66, 6, 6, 6), granted.front(),
+                                    700, 800,
+                                    std::vector<std::uint8_t>{9, 9});
+  EXPECT_TRUE(service.translate_dynamic(std::move(probe)).has_value());
+
+  // Release a handful; the freed capacity is reusable immediately.
+  constexpr std::uint32_t kFreed = 5;
+  for (std::uint32_t i = 0; i < kFreed; ++i) {
+    ASSERT_TRUE(service.release_dynamic(granted[i]));
+  }
+  for (std::uint32_t i = 0; i < kFreed; ++i) {
+    EXPECT_TRUE(service
+                    .process(dyn_request(Ipv4Addr(0x14000200u + i),
+                                         2000 + i),
+                             0)
+                    .has_value());
+  }
+  EXPECT_EQ(service.dynamic_sessions(), capacity);
+
+  // Exact lifecycle reconciliation after the whole campaign.
+  const auto& c = service.dynamic_allocator()->counters();
+  EXPECT_EQ(c.allocated, static_cast<std::uint64_t>(capacity) + kFreed);
+  EXPECT_EQ(c.allocated, c.released + c.expired + service.dynamic_sessions());
+}
+
+// Lease-based recovery from exhaustion: when the attacker's sessions
+// are leased, the pool heals itself — expiry retires the squatters in
+// bulk and the counters reconcile without any manual release.
+TEST(ControlAdversarial, LeasedPoolHealsAfterExhaustion) {
+  NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("172.16.5.0/26");
+  cfg.dyn_lease = 5 * sim::kMillisecond;
+  Neutralizer service(cfg, test_root());
+  const std::uint32_t capacity = service.dynamic_allocator()->capacity();
+
+  for (std::uint32_t i = 0; i < capacity + 10; ++i) {
+    (void)service.process(dyn_request(Ipv4Addr(0x14000000u + i), i), 0);
+  }
+  EXPECT_EQ(service.dynamic_sessions(), capacity);
+  EXPECT_EQ(service.stats().dyn_rejected, 10u);
+
+  // Past the lease horizon the squatters all expire at once …
+  EXPECT_EQ(service.expire_dynamic_sessions(cfg.dyn_lease), capacity);
+  EXPECT_EQ(service.dynamic_sessions(), 0u);
+
+  // … and the full pool is immediately grantable again.
+  for (std::uint32_t i = 0; i < capacity; ++i) {
+    EXPECT_TRUE(service
+                    .process(dyn_request(Ipv4Addr(0x14000300u + i), 5000 + i),
+                             cfg.dyn_lease)
+                    .has_value());
+  }
+  const auto& c = service.dynamic_allocator()->counters();
+  EXPECT_EQ(c.allocated, c.released + c.expired + service.dynamic_sessions());
+  EXPECT_EQ(c.expired, static_cast<std::uint64_t>(capacity));
+}
+
+}  // namespace
+}  // namespace nn::core

@@ -120,6 +120,61 @@ TEST(BigUIntStress, MontgomeryAgreesWithDivisionReduction) {
   }
 }
 
+TEST(BigUIntStress, ScratchPowAgreesWithModExp) {
+  // The fixed-workspace exponentiation behind the neutralizer's scratch
+  // RSA path must agree with the general mod_exp for every (base, e, n)
+  // it accepts, across odd and even moduli and word-count boundaries.
+  SplitMix64 rng(8);
+  BigIntScratch scratch;
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t nbits = 128 + rng.uniform(1921);  // 2..32 words
+    BigUInt n = BigUInt::random_bits(rng, nbits);
+    if (rng.chance(0.5)) n.set_bit(0);  // odd (RSA-like) half the time
+    const BigUInt base = BigUInt::random_below(rng, n);
+    const std::uint64_t e = 1 + rng.uniform(1 << 20);
+    BigUInt out;
+    ASSERT_TRUE(scratch.pow_u64_mod(base, e, n, out)) << "i=" << i;
+    EXPECT_EQ(out, BigUInt::mod_exp(base, BigUInt{e}, n)) << "i=" << i;
+  }
+}
+
+TEST(BigUIntStress, ScratchPowRejectsOutOfDomainOperands) {
+  SplitMix64 rng(9);
+  BigIntScratch scratch;
+  const BigUInt sentinel{0xDEAD};
+  // base >= n falls back to the general path (which reports the
+  // domain error); out must be left untouched.
+  const BigUInt n = BigUInt::random_bits(rng, 512);
+  BigUInt out = sentinel;
+  EXPECT_FALSE(scratch.pow_u64_mod(n, 3, n, out));
+  EXPECT_EQ(out, sentinel);
+  // Single-word and oversized moduli don't fit the workspace.
+  out = sentinel;
+  EXPECT_FALSE(scratch.pow_u64_mod(BigUInt{2}, 3, BigUInt{97}, out));
+  EXPECT_EQ(out, sentinel);
+  const BigUInt huge = BigUInt::random_bits(
+      rng, (BigIntScratch::kMaxWords + 1) * 64);
+  out = sentinel;
+  EXPECT_FALSE(scratch.pow_u64_mod(BigUInt{2}, 3, huge, out));
+  EXPECT_EQ(out, sentinel);
+}
+
+TEST(BigUIntStress, ScratchPowReusableAcrossModuli) {
+  // One scratch, many key sizes interleaved — the workspace re-sizes
+  // its view of the modulus on every call.
+  SplitMix64 rng(10);
+  BigIntScratch scratch;
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t nbits = (i % 2 == 0) ? 512 : 1024;
+    BigUInt n = BigUInt::random_bits(rng, nbits);
+    n.set_bit(0);
+    const BigUInt base = BigUInt::random_below(rng, n);
+    BigUInt out;
+    ASSERT_TRUE(scratch.pow_u64_mod(base, 3, n, out));
+    EXPECT_EQ(out, (base * base * base) % n);
+  }
+}
+
 TEST(BigUIntStress, RsaRoundTripManyKeys) {
   // Whole-stack agreement across fresh keys (keygen exercises division,
   // gcd, inverse, Montgomery, and primality together).

@@ -162,6 +162,49 @@ TEST(RsaGenerate, E65537Works) {
   EXPECT_EQ(rsa_private_op(key, rsa_public_op(key.pub, m)), m);
 }
 
+TEST_F(RsaTest, EncryptIntoMatchesAllocatingPath) {
+  // The scratch path the neutralizer's control plane runs must be
+  // byte-identical to rsa_encrypt: same padding draws, same ciphertext.
+  RsaScratch scratch;
+  std::vector<std::uint8_t> out;
+  for (int i = 0; i < 16; ++i) {
+    ChaChaRng rng_a(100 + i);
+    ChaChaRng rng_b(100 + i);
+    std::vector<std::uint8_t> msg(1 + static_cast<std::size_t>(i) * 3,
+                                  static_cast<std::uint8_t>(0x10 + i));
+    const auto ref = rsa_encrypt(rng_a, key512_->pub, msg);
+    // Scratch and output are deliberately reused across messages of
+    // different lengths — state bleed between calls would show up as a
+    // mismatch or a failed decrypt.
+    rsa_encrypt_into(rng_b, key512_->pub, msg, scratch, out);
+    EXPECT_EQ(out, ref) << "message " << i;
+    const auto pt = rsa_decrypt(*key512_, out);
+    ASSERT_TRUE(pt.has_value());
+    EXPECT_EQ(*pt, msg);
+  }
+}
+
+TEST_F(RsaTest, EncryptIntoMatchesOnStrongKeys) {
+  // 1024-bit moduli stay inside the fixed-size workspace too.
+  RsaScratch scratch;
+  std::vector<std::uint8_t> out;
+  ChaChaRng rng_a(77);
+  ChaChaRng rng_b(77);
+  const std::vector<std::uint8_t> msg(32, 0xE2);
+  const auto ref = rsa_encrypt(rng_a, key1024_->pub, msg);
+  rsa_encrypt_into(rng_b, key1024_->pub, msg, scratch, out);
+  EXPECT_EQ(out, ref);
+}
+
+TEST_F(RsaTest, EncryptIntoReproducesDomainErrors) {
+  RsaScratch scratch;
+  std::vector<std::uint8_t> out{0xAB};
+  ChaChaRng rng(78);
+  std::vector<std::uint8_t> msg(key512_->pub.max_message_bytes() + 1, 0);
+  EXPECT_THROW(rsa_encrypt_into(rng, key512_->pub, msg, scratch, out),
+               std::invalid_argument);
+}
+
 TEST(RsaOps, RangeChecks) {
   ChaChaRng rng(13);
   const auto key = rsa_generate(rng, 128, 3);

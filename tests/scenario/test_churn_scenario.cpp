@@ -1,0 +1,143 @@
+// Scenario-level session churn (ISSUE 9): SessionChurnWorkload replayed
+// over the Fig. 1 topology — arrivals cross real links as
+// kDynAddrRequest packets, responses are captured at the customer, and
+// renew/depart/storm events drive the box's control plane. The outcome
+// counters must reconcile exactly, and the replay must be independent
+// of the box flavor (single vs sharded).
+#include <gtest/gtest.h>
+
+#include "scenario/fig1.hpp"
+
+namespace nn::scenario {
+namespace {
+
+sim::SessionChurnConfig small_churn() {
+  sim::SessionChurnConfig cfg;
+  cfg.sessions = 300;
+  cfg.arrivals_per_second = 50e3;
+  cfg.poisson = true;
+  cfg.lease = 3 * sim::kMillisecond;
+  cfg.renew_probability = 0.6;
+  cfg.renewal_jitter = 0.3;
+  cfg.max_renewals = 2;
+  cfg.depart_probability = 0.5;
+  cfg.rekey_interval = 5 * sim::kMillisecond;
+  cfg.horizon = 15 * sim::kMillisecond;
+  cfg.seed = 0xF161;
+  return cfg;
+}
+
+Fig1Config churn_fig_config(std::size_t shards) {
+  Fig1Config cfg;
+  cfg.box_shards = shards;
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("172.16.0.0/20");
+  cfg.dyn_lease = small_churn().lease;
+  cfg.session_churn = small_churn();
+  return cfg;
+}
+
+TEST(ChurnScenario, ReplayReconcilesExactly) {
+  Fig1 fig(churn_fig_config(0));
+  fig.schedule_session_churn(fig.google);
+  ASSERT_NE(fig.churn_workload(), nullptr);
+  fig.engine.run();
+
+  const auto& c = fig.churn_counters();
+  // Every schedule event was delivered and every arrival was answered
+  // (the /20 pool holds 4095 sessions — no rejections at this scale).
+  EXPECT_EQ(fig.churn_workload()->delivered(),
+            fig.churn_workload()->schedule_size());
+  EXPECT_GT(c.arrivals, 0u);
+  EXPECT_EQ(c.responses, c.arrivals);
+  EXPECT_EQ(c.storms, 3u);  // horizon / rekey_interval
+
+  // Exact lifecycle reconciliation at the box.
+  auto& service = fig.control_service();
+  const auto* alloc = service.dynamic_allocator();
+  ASSERT_NE(alloc, nullptr);
+  const auto& k = alloc->counters();
+  EXPECT_EQ(k.allocated, c.responses);
+  EXPECT_EQ(k.allocated, k.released + k.expired + service.dynamic_sessions());
+  EXPECT_EQ(k.released, c.departs);
+  EXPECT_EQ(k.rejected, 0u);
+  // Renewals that found a resident session succeeded at the box too.
+  EXPECT_EQ(k.renewed, c.renews);
+
+  // churn_address agrees with the box's own residency view.
+  std::size_t mapped = 0;
+  for (std::uint64_t id = 0; id < small_churn().sessions; ++id) {
+    const auto addr = fig.churn_address(id);
+    if (!addr.has_value()) continue;
+    ++mapped;
+    // A mapped address the box already expired is fine (the scenario
+    // only clears on depart) — but a *resident* one must resolve.
+    if (service.owns_dynamic(*addr) &&
+        alloc->resolve(*addr).has_value()) {
+      EXPECT_EQ(*alloc->resolve(*addr), fig.google.addr());
+    }
+  }
+  EXPECT_GT(mapped, 0u);
+}
+
+TEST(ChurnScenario, ShardedBoxReplaysIdentically) {
+  // The same churn schedule through a 4-shard box: dynamic-address
+  // requests pin to shard 0, so every counter — scenario-side and
+  // box-side — lands exactly where the single box put it.
+  Fig1 single(churn_fig_config(0));
+  single.schedule_session_churn(single.google);
+  single.engine.run();
+
+  Fig1 sharded(churn_fig_config(4));
+  sharded.schedule_session_churn(sharded.google);
+  sharded.engine.run();
+
+  const auto& a = single.churn_counters();
+  const auto& b = sharded.churn_counters();
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.renews, b.renews);
+  EXPECT_EQ(a.departs, b.departs);
+  EXPECT_EQ(a.storms, b.storms);
+  EXPECT_EQ(a.unmapped, b.unmapped);
+
+  EXPECT_EQ(single.control_service().dynamic_sessions(),
+            sharded.control_service().dynamic_sessions());
+  EXPECT_EQ(single.control_service().dynamic_allocator()->counters(),
+            sharded.control_service().dynamic_allocator()->counters());
+  EXPECT_EQ(single.service_stats(), sharded.service_stats());
+
+  // And the surviving address assignments are identical.
+  for (std::uint64_t id = 0; id < small_churn().sessions; ++id) {
+    EXPECT_EQ(single.churn_address(id), sharded.churn_address(id))
+        << "session " << id;
+  }
+}
+
+TEST(ChurnScenario, BatchWindowDeliversFullSchedule) {
+  // Window-batched replay coalesces engine events but may not lose or
+  // duplicate churn events.
+  auto cfg = churn_fig_config(0);
+  cfg.churn_batch_window = sim::kMillisecond;
+  Fig1 fig(cfg);
+  fig.schedule_session_churn(fig.google);
+  fig.engine.run();
+  EXPECT_EQ(fig.churn_workload()->delivered(),
+            fig.churn_workload()->schedule_size());
+  const auto& c = fig.churn_counters();
+  EXPECT_EQ(c.responses, c.arrivals);
+  auto& service = fig.control_service();
+  const auto& k = service.dynamic_allocator()->counters();
+  EXPECT_EQ(k.allocated, k.released + k.expired + service.dynamic_sessions());
+}
+
+TEST(ChurnScenario, RequiresChurnConfiguration) {
+  Fig1 plain;  // no dynamic_pool / session_churn
+  EXPECT_THROW(plain.schedule_session_churn(plain.google), std::logic_error);
+
+  Fig1 ready(churn_fig_config(0));
+  ready.schedule_session_churn(ready.google);
+  EXPECT_THROW(ready.schedule_session_churn(ready.google), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nn::scenario

@@ -80,6 +80,10 @@ HEADLINES = {
         "BM_LinkDeliveryEvents/burst/manual_time",
         "BM_Fig1ImixSim/burst/manual_time",
     ],
+    "bench_control": [
+        "BM_KeySetupBatch/64",
+        "BM_RekeyStorm/1048576",
+    ],
 }
 
 # (name, counter, ceiling): the counter must stay at or below the
@@ -89,6 +93,23 @@ COUNTER_CEILINGS = {
     "bench_sim": [
         ("BM_LinkDeliveryEvents/burst/manual_time", "events_per_packet", 2.0),
         ("BM_Fig1ImixSim/burst/manual_time", "events_per_packet", 2.0),
+    ],
+    "bench_control": [
+        # The epoch-rekey storm over a million resident sessions must
+        # not allocate: the whole point of the arena-backed session
+        # table is that full-population control sweeps run on
+        # preallocated state.
+        ("BM_RekeyStorm/1048576", "storm_allocs", 0.0),
+    ],
+}
+
+# (name, counter): the counter must stay at or below baseline * (1 +
+# threshold) — a *relative* ceiling for footprint-style counters where
+# growth, not shrinkage, is the regression (e.g. resident bytes per
+# session: a node-based table sneaking back in would blow it).
+COUNTER_MAXIMA = {
+    "bench_control": [
+        ("BM_RekeyStorm/1048576", "bytes_per_session"),
     ],
 }
 
@@ -235,6 +256,29 @@ def main():
             print(f"[{verdict:>10}] {suite}:{name}: {counter}="
                   f"{value:.3f} (ceiling {ceiling})")
             if value > ceiling:
+                failures.append(f"{suite}:{name}:{counter}")
+
+        for name, counter in COUNTER_MAXIMA.get(suite, []):
+            entry = current.get(name)
+            if entry is None or entry.get("error_occurred"):
+                print(f"[      FAIL] {suite}:{name}: missing or errored "
+                      f"(needed for the {counter} maximum)")
+                failures.append(f"{suite}:{name}:{counter}")
+                continue
+            value = entry.get(counter)
+            base_v = base.get(name, {}).get(counter)
+            if value is None or base_v is None:
+                print(f"[      FAIL] {suite}:{name}: {counter} missing "
+                      f"(run: {value}, baseline: {base_v}) — regenerate "
+                      f"BENCH_baseline.json?")
+                failures.append(f"{suite}:{name}:{counter}")
+                continue
+            cap = base_v * (1.0 + args.threshold)
+            checked += 1
+            verdict = "ok" if value <= cap else "REGRESSION"
+            print(f"[{verdict:>10}] {suite}:{name}: {counter}="
+                  f"{value:.1f} vs baseline {base_v:.1f} (cap {cap:.1f})")
+            if value > cap:
                 failures.append(f"{suite}:{name}:{counter}")
 
         for fast, slow, factor in SPEEDUPS.get(suite, []):
