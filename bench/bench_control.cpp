@@ -138,6 +138,10 @@ void BM_SessionChurn(benchmark::State& state) {
   std::vector<std::uint32_t> addr_of(ccfg.sessions, 0);
   std::size_t peak = 0;
   std::size_t pool_bytes = 0;
+  double load_factor = 0;
+  std::size_t max_probe = 0;
+  std::uint64_t rehashes = 0;
+  std::size_t table_bytes = 0;
   for (auto _ : state) {
     state.PauseTiming();
     core::Neutralizer service(cfg, root_key());
@@ -182,7 +186,12 @@ void BM_SessionChurn(benchmark::State& state) {
       }
       peak = std::max(peak, service.dynamic_sessions());
     }
-    pool_bytes = service.dynamic_allocator()->memory_bytes();
+    const auto* alloc = service.dynamic_allocator();
+    pool_bytes = alloc->memory_bytes();
+    load_factor = alloc->table().load_factor();
+    max_probe = alloc->table().max_probe_length();
+    rehashes = alloc->table().stats().rehashes;
+    table_bytes = alloc->table().memory_bytes();
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(schedule.size()));
@@ -195,6 +204,13 @@ void BM_SessionChurn(benchmark::State& state) {
     state.counters["bytes_per_session"] =
         static_cast<double>(pool_bytes) / static_cast<double>(peak);
   }
+  // Table-depth diagnostics (end-of-run): occupancy, worst probe chain,
+  // and load-forced rehashes (reserve() pre-sizes, so this reads 0 —
+  // the compare tool holds it there).
+  state.counters["table_load_factor"] = load_factor;
+  state.counters["table_max_probe"] = static_cast<double>(max_probe);
+  state.counters["table_rehashes"] = static_cast<double>(rehashes);
+  state.counters["table_memory_bytes"] = static_cast<double>(table_bytes);
 }
 BENCHMARK(BM_SessionChurn)->Arg(20000)->Unit(benchmark::kMillisecond);
 
@@ -237,6 +253,13 @@ void BM_RekeyStorm(benchmark::State& state) {
   state.counters["storm_allocs"] = static_cast<double>(storm_allocs);
   state.counters["bytes_per_session"] =
       static_cast<double>(alloc->memory_bytes()) / static_cast<double>(n);
+  state.counters["table_load_factor"] = alloc->table().load_factor();
+  state.counters["table_max_probe"] =
+      static_cast<double>(alloc->table().max_probe_length());
+  state.counters["table_rehashes"] =
+      static_cast<double>(alloc->table().stats().rehashes);
+  state.counters["table_memory_bytes"] =
+      static_cast<double>(alloc->table().memory_bytes());
 }
 BENCHMARK(BM_RekeyStorm)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
 

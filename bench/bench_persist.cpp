@@ -1,0 +1,274 @@
+// Persistence subsystem scale (crash-consistent snapshot + journal):
+//
+//   * BM_Snapshot/1048576  — serialize a million resident sessions
+//                            (items/sec = sessions/sec; bytes/sec is
+//                            the streaming GB/s figure), with
+//                            bytes_per_session_disk — the on-disk
+//                            footprint the compare tool caps.
+//   * BM_Restore/1048576   — parse + validate + rebuild from that
+//                            snapshot into a cold box.
+//   * BM_JournalAppend     — WAL appends/sec under group commit, with
+//                            journal_allocs gated to 0: steady-state
+//                            journaling must never touch the heap.
+//   * BM_SessionChurnPlain / BM_SessionChurnJournaled — the same churn
+//                            replay with and without a commit-per-event
+//                            journal; the compare tool holds the
+//                            journaled rate to >=0.7x plain (same-run,
+//                            so hardware cancels), bounding the
+//                            control-plane durability tax at its
+//                            worst-case commit frequency.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "net/shim.hpp"
+#include "persist/io.hpp"
+#include "persist/journal.hpp"
+#include "persist/recover.hpp"
+#include "persist/state.hpp"
+#include "sim/session_churn.hpp"
+#include "util/bytes.hpp"
+
+// ---- global allocation counter (one definition per bench binary) ------
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace nn;
+
+const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+
+core::NeutralizerConfig service_config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("10.0.0.0/8");
+  return cfg;
+}
+
+crypto::AesKey root_key() {
+  crypto::AesKey k;
+  k.fill(0xD0);
+  return k;
+}
+
+// Builds an n-session resident population, the same way BM_RekeyStorm
+// does (allocator-direct: the serialization benches measure the
+// persistence path, not request parsing).
+void populate(core::Neutralizer& service, std::size_t n) {
+  auto* alloc = service.dynamic_allocator();
+  alloc->reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    alloc->allocate(
+        net::Ipv4Addr(0x14000000 + static_cast<std::uint32_t>(i & 0xFFFF)));
+  }
+}
+
+// ---- snapshot serialization -------------------------------------------
+void BM_Snapshot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Neutralizer service(service_config(), root_key());
+  populate(service, n);
+
+  std::uint64_t written = 0;
+  for (auto _ : state) {
+    persist::NullSink sink;
+    persist::save_neutralizer(service, sink);
+    written = sink.written();
+    benchmark::DoNotOptimize(written);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(written));
+  state.counters["sessions_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+  state.counters["bytes_per_session_disk"] =
+      static_cast<double>(written) / static_cast<double>(n);
+}
+BENCHMARK(BM_Snapshot)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+// ---- snapshot restore -------------------------------------------------
+void BM_Restore(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Neutralizer service(service_config(), root_key());
+  populate(service, n);
+  persist::MemorySink sink;
+  persist::save_neutralizer(service, sink);
+  const auto bytes = sink.take();
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Neutralizer cold(service_config(), root_key());
+    state.ResumeTiming();
+    persist::MemorySource source(bytes);
+    persist::load_neutralizer(cold, source);
+    benchmark::DoNotOptimize(cold.dynamic_sessions());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes.size()));
+  state.counters["sessions_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(n),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Restore)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+// ---- journal appends --------------------------------------------------
+void BM_JournalAppend(benchmark::State& state) {
+  persist::NullSink sink;
+  persist::JournalWriter writer(sink, {.group_commit_records = 256});
+  // Warm the batch buffer: the first group sizes it, after which
+  // appends (and the group commits they trigger) are heap-free.
+  for (int i = 0; i < 256; ++i) {
+    writer.append({persist::JournalOp::kArrive, 0, 0x14000001u, 1});
+  }
+
+  std::uint64_t appends = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    writer.append({persist::JournalOp::kRenew,
+                   static_cast<sim::SimTime>(appends), 0x0A000001u, appends});
+    allocs += g_news.load(std::memory_order_relaxed) - before;
+    ++appends;
+  }
+  writer.commit();
+  state.SetItemsProcessed(static_cast<int64_t>(appends));
+  state.counters["appends_per_sec"] = benchmark::Counter(
+      static_cast<double>(appends), benchmark::Counter::kIsRate);
+  state.counters["journal_allocs"] = static_cast<double>(allocs);
+}
+BENCHMARK(BM_JournalAppend);
+
+// ---- churn with and without the WAL -----------------------------------
+// Identical event loops; the journaled variant appends every mutation
+// and group-commits at each event boundary (the box's end-of-instant
+// quiescence point) — the worst-case commit frequency, so the measured
+// gap upper-bounds the real durability tax.
+void run_churn(benchmark::State& state, bool journaled) {
+  sim::SessionChurnConfig ccfg;
+  ccfg.sessions = static_cast<std::size_t>(state.range(0));
+  ccfg.arrivals_per_second = 2e6;
+  ccfg.poisson = true;
+  ccfg.lease = 2 * sim::kMillisecond;
+  ccfg.renew_probability = 0.6;
+  ccfg.max_renewals = 3;
+  ccfg.rekey_interval = 5 * sim::kMillisecond;
+  ccfg.horizon = 50 * sim::kMillisecond;
+  ccfg.seed = 7;
+  const auto schedule = sim::churn_schedule(ccfg);
+
+  auto cfg = service_config();
+  cfg.dyn_lease = ccfg.lease;
+
+  std::vector<std::uint32_t> addr_of(ccfg.sessions, 0);
+  std::uint64_t journal_bytes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Neutralizer service(cfg, root_key());
+    service.dynamic_allocator()->reserve(ccfg.sessions);
+    std::fill(addr_of.begin(), addr_of.end(), 0);
+    persist::NullSink sink;
+    persist::ControlJournal journal(sink);
+    state.ResumeTiming();
+
+    for (const auto& ev : schedule) {
+      service.expire_dynamic_sessions(ev.at);
+      switch (ev.kind) {
+        case sim::SessionEvent::Kind::kArrive: {
+          net::ShimHeader shim;
+          shim.type = net::ShimType::kDynAddrRequest;
+          shim.nonce = ev.session;
+          const net::Ipv4Addr customer(
+              0x14000000 + static_cast<std::uint32_t>(ev.session & 0xFFFF));
+          if (journaled) journal.arrive(customer, ev.session, ev.at);
+          auto resp = service.process(
+              net::make_shim_packet(customer, kAnycast, shim, {}), ev.at);
+          if (resp.has_value()) {
+            const auto parsed = net::parse_packet(resp->view());
+            ByteReader r(parsed.payload);
+            addr_of[ev.session] = r.u32();
+          }
+          break;
+        }
+        case sim::SessionEvent::Kind::kRenew:
+          if (addr_of[ev.session] != 0) {
+            const net::Ipv4Addr dyn(addr_of[ev.session]);
+            if (service.renew_dynamic(dyn, ev.at) && journaled) {
+              journal.renew(dyn, ev.at);
+            }
+          }
+          break;
+        case sim::SessionEvent::Kind::kDepart:
+          if (addr_of[ev.session] != 0) {
+            const net::Ipv4Addr dyn(addr_of[ev.session]);
+            if (service.release_dynamic(dyn) && journaled) {
+              journal.depart(dyn, ev.at);
+            }
+            addr_of[ev.session] = 0;
+          }
+          break;
+        case sim::SessionEvent::Kind::kRekeyStorm:
+          service.rekey_dynamic_sessions(ev.at);
+          if (journaled) journal.rekey_storm(ev.at);
+          break;
+      }
+      if (journaled) journal.commit();
+    }
+    journal_bytes = journal.writer().bytes_written();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(schedule.size()));
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(schedule.size()),
+      benchmark::Counter::kIsRate);
+  if (journaled) {
+    state.counters["journal_bytes_per_event"] =
+        static_cast<double>(journal_bytes) /
+        static_cast<double>(schedule.size());
+  }
+}
+
+void BM_SessionChurnPlain(benchmark::State& state) {
+  run_churn(state, /*journaled=*/false);
+}
+void BM_SessionChurnJournaled(benchmark::State& state) {
+  run_churn(state, /*journaled=*/true);
+}
+BENCHMARK(BM_SessionChurnPlain)->Arg(20000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SessionChurnJournaled)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+}  // namespace

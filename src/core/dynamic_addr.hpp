@@ -18,11 +18,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/session_table.hpp"
 #include "net/addr.hpp"
 #include "sim/engine.hpp"
+
+namespace nn::persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace nn::persist
 
 namespace nn::core {
 
@@ -96,6 +102,29 @@ class DynamicAddressAllocator {
   [[nodiscard]] SessionTable& table() noexcept { return table_; }
   [[nodiscard]] const SessionTable& table() const noexcept { return table_; }
 
+  // --- persistence hooks (defined in persist/state.cpp) ---------------
+  //
+  // export_state writes 'DALC' (cursor + counters + pool fingerprint),
+  // 'DFRE' (the recycled-offset stack, order preserved — it is LIFO
+  // state), then delegates to the table's 'SREC' chunks. Restoring is
+  // chunk-at-a-time so core::Neutralizer can drive one SnapshotReader
+  // over its own chunks and the allocator's: feed each payload through
+  // restore_chunk() and call finish_restore() once — it rebuilds the
+  // lease heap and cross-checks counters against the accounting
+  // identity before declaring the state live. restore_state() is the
+  // standalone loop over a reader that holds only allocator chunks.
+
+  void export_state(persist::SnapshotWriter& writer) const;
+  void restore_state(persist::SnapshotReader& reader);
+  /// True if `tag` belongs to the allocator ('DALC'/'DFRE'/'SREC') and
+  /// the payload was consumed. 'DALC' must arrive first — it resets the
+  /// allocator to empty and pre-sizes everything that follows.
+  bool restore_chunk(std::uint32_t tag, std::span<const std::uint8_t> payload);
+  /// Validates the restored state (residency/freelist conservation,
+  /// duplicate or out-of-pool offsets, the counter identity) and
+  /// rebuilds the lease heap. Throws persist::StateError on any lie.
+  void finish_restore();
+
  private:
   // Lease deadlines are a lazy min-heap: renew/release leave the old
   // entry in place and expire_due() skips entries whose deadline no
@@ -119,6 +148,12 @@ class DynamicAddressAllocator {
   SessionTable table_;
   std::vector<LeaseEntry> lease_heap_;
   DynSessionCounters counters_;
+
+  // Restore-in-progress bookkeeping ('DALC' declares what finish_restore
+  // must find).
+  bool restoring_ = false;
+  std::uint64_t restore_expect_resident_ = 0;
+  std::uint64_t restore_expect_free_ = 0;
 };
 
 }  // namespace nn::core

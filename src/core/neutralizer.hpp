@@ -42,6 +42,11 @@
 #include "net/packet.hpp"
 #include "qos/token_bucket.hpp"
 
+namespace nn::persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace nn::persist
+
 namespace nn::core {
 
 struct NeutralizerConfig {
@@ -210,6 +215,22 @@ class Neutralizer {
       const noexcept {
     return allocator_.has_value() ? &*allocator_ : nullptr;
   }
+
+  // ---- crash-consistent persistence (defined in persist/state.cpp) ----
+  // export_state streams the whole control-plane state — a config
+  // fingerprint ('NCFG'), the service counters ('NSTA'), then the
+  // allocator's chunks — into an open SnapshotWriter (the caller owns
+  // finish()). restore_state consumes a SnapshotReader to the end chunk
+  // and overwrites the live control-plane state; it throws
+  // persist::StateError when the snapshot was taken by an incompatibly
+  // configured or differently-keyed box. Both run at quiescence points
+  // only (after flush()/end-of-instant), like every other cross-thread
+  // peek at this class. Datapath state is untouched: the datapath is
+  // stateless by design, which is exactly why snapshot + journal replay
+  // can make a restarted box byte-identical to an uncrashed one.
+
+  void export_state(persist::SnapshotWriter& writer) const;
+  void restore_state(persist::SnapshotReader& reader);
 
  private:
   // Everything the batch prepass derived ahead of the per-packet loop.

@@ -27,10 +27,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "crypto/aes.hpp"
 #include "sim/engine.hpp"
+
+namespace nn::persist {
+class SnapshotWriter;
+}  // namespace nn::persist
 
 namespace nn::core {
 
@@ -156,6 +161,12 @@ class SessionTable {
       if (buckets_[b] != kEmpty) fn(slab_[buckets_[b]]);
     }
   }
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      if (buckets_[b] != kEmpty) fn(slab_[buckets_[b]]);
+    }
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] std::size_t bucket_count() const noexcept {
@@ -171,6 +182,32 @@ class SessionTable {
   [[nodiscard]] const SessionTableStats& stats() const noexcept {
     return stats_;
   }
+  /// Occupancy of the bucket array (0..7/8 by the growth policy).
+  [[nodiscard]] double load_factor() const noexcept {
+    return static_cast<double>(size_) / static_cast<double>(buckets_.size());
+  }
+  /// Longest probe chain any resident key rides (1 = every key sits at
+  /// home). On-demand scan over the index — diagnostics, not the packet
+  /// path.
+  [[nodiscard]] std::size_t max_probe_length() const noexcept {
+    std::size_t worst = 0;
+    for (std::size_t b = 0; b < buckets_.size(); ++b) {
+      const std::uint32_t slot = buckets_[b];
+      if (slot == kEmpty) continue;
+      const std::size_t len = distance(home(slab_[slot].dyn_value), b) + 1;
+      if (len > worst) worst = len;
+    }
+    return worst;
+  }
+
+  /// Streams every resident record out as fixed-size 'SREC' chunks.
+  /// Defined in persist/state.cpp with the rest of the state hooks.
+  void export_state(persist::SnapshotWriter& writer) const;
+  /// Restores the records of one 'SREC' chunk payload into the table
+  /// (additive — reserve() first, then feed chunks in file order).
+  /// Throws persist::FormatError / persist::StateError on malformed or
+  /// duplicate records.
+  void restore_records(std::span<const std::uint8_t> payload);
 
  private:
   static constexpr std::uint32_t kEmpty = 0xFFFFFFFFu;

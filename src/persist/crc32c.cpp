@@ -1,0 +1,74 @@
+#include "persist/crc32c.hpp"
+
+#include <array>
+
+namespace nn::persist {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+constexpr Tables build_tables() {
+  Tables tb{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+    tb.t[0][i] = c;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = tb.t[0][i];
+    for (std::size_t j = 1; j < 8; ++j) {
+      c = tb.t[0][c & 0xFF] ^ (c >> 8);
+      tb.t[j][i] = c;
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = build_tables();
+
+std::uint32_t advance(std::uint32_t crc,
+                      std::span<const std::uint8_t> data) noexcept {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  // Slice-by-8 over aligned-enough middles; head/tail bytewise. The
+  // 64-bit load is assembled from bytes, so alignment and endianness
+  // never matter (the compiler folds it into one load on LE targets).
+  while (n >= 8) {
+    const std::uint64_t word =
+        (static_cast<std::uint64_t>(p[0])) |
+        (static_cast<std::uint64_t>(p[1]) << 8) |
+        (static_cast<std::uint64_t>(p[2]) << 16) |
+        (static_cast<std::uint64_t>(p[3]) << 24) |
+        (static_cast<std::uint64_t>(p[4]) << 32) |
+        (static_cast<std::uint64_t>(p[5]) << 40) |
+        (static_cast<std::uint64_t>(p[6]) << 48) |
+        (static_cast<std::uint64_t>(p[7]) << 56);
+    const std::uint64_t x = word ^ crc;
+    crc = kTables.t[7][x & 0xFF] ^ kTables.t[6][(x >> 8) & 0xFF] ^
+          kTables.t[5][(x >> 16) & 0xFF] ^ kTables.t[4][(x >> 24) & 0xFF] ^
+          kTables.t[3][(x >> 32) & 0xFF] ^ kTables.t[2][(x >> 40) & 0xFF] ^
+          kTables.t[1][(x >> 48) & 0xFF] ^ kTables.t[0][(x >> 56) & 0xFF];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace
+
+void Crc32c::update(std::span<const std::uint8_t> data) noexcept {
+  state_ = advance(state_, data);
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data) noexcept {
+  return ~advance(~std::uint32_t{0}, data);
+}
+
+}  // namespace nn::persist

@@ -1,0 +1,64 @@
+#include "persist/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+namespace nn::persist {
+
+namespace {
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  throw IoError(op + " '" + path + "': " + std::strerror(errno));
+}
+}  // namespace
+
+FileSink::FileSink(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) throw_errno("persist: cannot create", path);
+}
+
+FileSink::~FileSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void FileSink::write(std::span<const std::uint8_t> bytes) {
+  if (file_ == nullptr) {
+    throw IoError("persist: write to closed sink '" + path_ + "'");
+  }
+  if (bytes.empty()) return;
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    throw_errno("persist: short write to", path_);
+  }
+}
+
+void FileSink::flush() {
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    throw_errno("persist: flush of", path_);
+  }
+}
+
+void FileSink::close() {
+  if (file_ == nullptr) return;
+  flush();
+  std::fclose(file_);
+  file_ = nullptr;
+}
+
+FileSource::FileSource(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) throw_errno("persist: cannot open", path);
+}
+
+FileSource::~FileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::size_t FileSource::read(std::span<std::uint8_t> out) {
+  if (out.empty()) return 0;
+  const std::size_t n = std::fread(out.data(), 1, out.size(), file_);
+  if (n < out.size() && std::ferror(file_) != 0) {
+    throw_errno("persist: read from", path_);
+  }
+  return n;
+}
+
+}  // namespace nn::persist

@@ -1,0 +1,159 @@
+// Byte-stream abstraction for the persistence layer (snapshot +
+// journal): a ByteSink absorbs sequential writes, a ByteSource yields
+// sequential reads. Two backends each — in-memory (tests, benches, the
+// crash injector) and stdio files (the real appliance) — so every
+// format above this seam is exercised without touching a filesystem.
+//
+// Error taxonomy (all under persist::Error):
+//   IoError      the medium failed (open/read/write/flush)
+//   FormatError  the bytes are not a valid snapshot/journal (bad magic,
+//                version skew, CRC mismatch, truncation, absurd length)
+//   StateError   the bytes are valid but do not fit the live object
+//                (config fingerprint mismatch, missing chunk, duplicate
+//                restore)
+// Loaders throw with exact, actionable messages; they never exhibit UB
+// on hostile input (pinned by tests/persist/test_loader_fuzz.cpp under
+// the ASan/UBSan CI job).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nn::persist {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+class FormatError : public Error {
+ public:
+  explicit FormatError(const std::string& what) : Error(what) {}
+};
+
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Sequential write target. Implementations may buffer; flush() must
+/// make every byte written so far durable-as-the-medium-allows (for
+/// FileSink that is fflush; fsync-grade durability is the deployment's
+/// mount options, not this layer's contract).
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void write(std::span<const std::uint8_t> bytes) = 0;
+  virtual void flush() {}
+};
+
+/// Sequential read source. read() fills as much of `out` as it can and
+/// returns the byte count — short only at end of stream.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  [[nodiscard]] virtual std::size_t read(std::span<std::uint8_t> out) = 0;
+};
+
+/// Growable in-memory sink. `bytes()` is the stream so far; move the
+/// vector out (or wrap it in a MemorySource) to feed a loader.
+class MemorySink final : public ByteSink {
+ public:
+  void write(std::span<const std::uint8_t> b) override {
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+  void clear() noexcept { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Byte-counting sink that discards its input — the serialization-rate
+/// benchmarks use it so the medium never shadows the encoder.
+class NullSink final : public ByteSink {
+ public:
+  void write(std::span<const std::uint8_t> b) override {
+    written_ += b.size();
+  }
+  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+
+ private:
+  std::uint64_t written_ = 0;
+};
+
+/// Reads from a caller-owned byte buffer (non-owning view).
+class MemorySource final : public ByteSource {
+ public:
+  explicit MemorySource(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] std::size_t read(std::span<std::uint8_t> out) override {
+    const std::size_t n = std::min(out.size(), data_.size() - pos_);
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(pos_), n,
+                out.begin());
+    pos_ += n;
+    return n;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// stdio-backed sink; creates/truncates `path`. Move-only.
+class FileSink final : public ByteSink {
+ public:
+  explicit FileSink(const std::string& path);
+  FileSink(FileSink&& o) noexcept : file_(o.file_), path_(std::move(o.path_)) {
+    o.file_ = nullptr;
+  }
+  FileSink& operator=(FileSink&&) = delete;
+  ~FileSink() override;
+
+  void write(std::span<const std::uint8_t> bytes) override;
+  void flush() override;
+  /// Flushes and closes; further writes throw. Idempotent.
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// stdio-backed source over an existing file. Move-only.
+class FileSource final : public ByteSource {
+ public:
+  explicit FileSource(const std::string& path);
+  FileSource(FileSource&& o) noexcept
+      : file_(o.file_), path_(std::move(o.path_)) {
+    o.file_ = nullptr;
+  }
+  FileSource& operator=(FileSource&&) = delete;
+  ~FileSource() override;
+
+  [[nodiscard]] std::size_t read(std::span<std::uint8_t> out) override;
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace nn::persist

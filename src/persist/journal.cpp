@@ -1,0 +1,197 @@
+#include "persist/journal.hpp"
+
+#include <array>
+#include <string>
+
+#include "persist/crc32c.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::persist {
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) noexcept {
+  put_u32(p, static_cast<std::uint32_t>(v >> 32));
+  put_u32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(get_u32(p)) << 32) | get_u32(p + 4);
+}
+
+}  // namespace
+
+JournalWriter::JournalWriter(ByteSink& sink, JournalConfig config)
+    : sink_(sink), config_(config) {
+  if (config_.group_commit_records == 0 ||
+      config_.group_commit_records > kMaxBatchRecords) {
+    throw StateError("journal: group_commit_records must be in [1, " +
+                     std::to_string(kMaxBatchRecords) + "]");
+  }
+  std::array<std::uint8_t, 12> header{};
+  put_u32(header.data(), kJournalMagic);
+  header[4] = static_cast<std::uint8_t>(kJournalVersion >> 8);
+  header[5] = static_cast<std::uint8_t>(kJournalVersion);
+  header[6] = 0;  // flags
+  header[7] = 0;
+  put_u32(header.data() + 8, crc32c({header.data(), 8}));
+  sink_.write(header);
+  bytes_written_ = header.size();
+  batch_.reserve(config_.group_commit_records * kJournalRecordBytes);
+}
+
+void JournalWriter::append(const JournalRecord& record) {
+  std::array<std::uint8_t, kJournalRecordBytes> rec{};
+  rec[0] = static_cast<std::uint8_t>(record.op);
+  put_u64(rec.data() + 1, static_cast<std::uint64_t>(record.at));
+  put_u32(rec.data() + 9, record.addr);
+  put_u64(rec.data() + 13, record.nonce);
+  batch_.insert(batch_.end(), rec.begin(), rec.end());
+  ++pending_;
+  ++appended_;
+  if (pending_ >= config_.group_commit_records) commit();
+}
+
+void JournalWriter::commit() {
+  if (pending_ == 0) return;
+  std::array<std::uint8_t, 16> head{};
+  put_u32(head.data(), kJournalBatchMarker);
+  put_u32(head.data() + 4, static_cast<std::uint32_t>(batch_.size()));
+  put_u64(head.data() + 8, appended_ - pending_);  // first_seq
+  // count lives in its own word so the reader can sanity-check both.
+  std::array<std::uint8_t, 4> count{};
+  put_u32(count.data(), static_cast<std::uint32_t>(pending_));
+  Crc32c crc;
+  crc.update(head);
+  crc.update(count);
+  crc.update(batch_);
+  std::array<std::uint8_t, 4> trailer{};
+  put_u32(trailer.data(), crc.value());
+  sink_.write(head);
+  sink_.write(count);
+  sink_.write(batch_);
+  sink_.write(trailer);
+  sink_.flush();
+  bytes_written_ +=
+      head.size() + count.size() + batch_.size() + trailer.size();
+  batch_.clear();  // capacity kept — steady-state appends stay heap-free
+  pending_ = 0;
+  ++batches_;
+}
+
+JournalReader::JournalReader(ByteSource& source, TornTail policy)
+    : source_(source), policy_(policy) {
+  std::array<std::uint8_t, 12> header{};
+  if (source_.read(header) != header.size()) {
+    throw FormatError("journal: truncated file header");
+  }
+  if (get_u32(header.data()) != kJournalMagic) {
+    throw FormatError("journal: bad magic 0x" + to_hex({header.data(), 4}) +
+                      " (expected 'NNJL')");
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>((header[4] << 8) | header[5]);
+  if (version != kJournalVersion) {
+    throw FormatError("journal: unsupported version " +
+                      std::to_string(version) + " (this build reads version " +
+                      std::to_string(kJournalVersion) + ")");
+  }
+  if (get_u32(header.data() + 8) != crc32c({header.data(), 8})) {
+    throw FormatError("journal: file header CRC mismatch");
+  }
+}
+
+bool JournalReader::load_batch() {
+  std::array<std::uint8_t, 16> head{};
+  const std::size_t got = source_.read(head);
+  if (got == 0) return false;  // clean end-of-log
+  const auto torn = [&](const char* what) -> bool {
+    if (policy_ == TornTail::kTolerate) {
+      torn_ = true;
+      return false;
+    }
+    throw FormatError(std::string("journal: torn batch (truncated ") + what +
+                      ") after " + std::to_string(records_) + " record(s)");
+  };
+  if (got < head.size()) return torn("batch header");
+  if (get_u32(head.data()) != kJournalBatchMarker) {
+    throw FormatError("journal: bad batch marker at batch " +
+                      std::to_string(batches_));
+  }
+  const std::uint32_t payload_len = get_u32(head.data() + 4);
+  const std::uint64_t first_seq = get_u64(head.data() + 8);
+  std::array<std::uint8_t, 4> count_word{};
+  if (source_.read(count_word) < count_word.size()) {
+    return torn("record count");
+  }
+  const std::uint32_t count = get_u32(count_word.data());
+  if (count == 0 || count > kMaxBatchRecords ||
+      payload_len != static_cast<std::uint64_t>(count) * kJournalRecordBytes) {
+    throw FormatError("journal: batch " + std::to_string(batches_) +
+                      " declares " + std::to_string(count) + " record(s) in " +
+                      std::to_string(payload_len) + " payload bytes");
+  }
+  if (first_seq != records_) {
+    throw FormatError("journal: batch " + std::to_string(batches_) +
+                      " starts at sequence " + std::to_string(first_seq) +
+                      ", expected " + std::to_string(records_) +
+                      " (spliced or reordered log)");
+  }
+  batch_.resize(payload_len);
+  if (source_.read(batch_) < batch_.size()) return torn("batch payload");
+  std::array<std::uint8_t, 4> trailer{};
+  if (source_.read(trailer) < trailer.size()) return torn("batch CRC");
+  Crc32c crc;
+  crc.update(head);
+  crc.update(count_word);
+  crc.update(batch_);
+  if (get_u32(trailer.data()) != crc.value()) {
+    // A fully-present batch with a wrong CRC is bit rot, not a torn
+    // write — never tolerated.
+    throw FormatError("journal: CRC mismatch in batch " +
+                      std::to_string(batches_));
+  }
+  batch_pos_ = 0;
+  ++batches_;
+  return true;
+}
+
+std::optional<JournalRecord> JournalReader::next() {
+  if (done_) return std::nullopt;
+  if (batch_pos_ >= batch_.size()) {
+    if (!load_batch()) {
+      done_ = true;
+      return std::nullopt;
+    }
+  }
+  const std::uint8_t* p = batch_.data() + batch_pos_;
+  batch_pos_ += kJournalRecordBytes;
+  JournalRecord rec;
+  const std::uint8_t op = p[0];
+  if (op < static_cast<std::uint8_t>(JournalOp::kArrive) ||
+      op > static_cast<std::uint8_t>(JournalOp::kRekeyStorm)) {
+    throw FormatError("journal: unknown op " + std::to_string(op) +
+                      " in record " + std::to_string(records_));
+  }
+  rec.op = static_cast<JournalOp>(op);
+  rec.at = static_cast<sim::SimTime>(get_u64(p + 1));
+  rec.addr = get_u32(p + 9);
+  rec.nonce = get_u64(p + 13);
+  ++records_;
+  return rec;
+}
+
+}  // namespace nn::persist

@@ -1,0 +1,156 @@
+// Append-only journal (WAL) of control-plane mutations. Between
+// snapshots, every session-lifecycle operation the box performs —
+// arrive / renew / depart / epoch-rekey marker — is appended here, so
+// persist::recover() can rebuild the exact post-crash state as
+//
+//     latest valid snapshot  +  replay of the committed journal tail.
+//
+// Group commit keeps the appends off the packet path: append() only
+// serializes into an in-memory batch buffer (zero steady-state
+// allocation once warm), and the batch reaches the ByteSink as one
+// CRC-sealed unit on commit() — called at the box's quiescence points
+// (end-of-instant / flush()) or automatically when the batch fills.
+// Crash consistency is commit-granular: a record is durable iff its
+// batch was committed; an in-flight batch lost to a crash simply never
+// happened (the client never saw a response the journal does not
+// cover, because commit precedes response release at the quiescence
+// point).
+//
+// Layout (big-endian):
+//
+//   file header   magic 'NNJL' u32 | version u16 | flags u16 |
+//                 crc32c(first 8 bytes) u32
+//   batch         marker 'NNJB' u32 | payload_len u32 | first_seq u64 |
+//                 count u32 | count × record |
+//                 crc32c(marker ‖ … ‖ records) u32
+//   record        op u8 | at u64 | addr u32 | nonce u64   (21 bytes)
+//
+// The reader distinguishes two failure shapes deliberately: a batch cut
+// short by end-of-file is a *torn tail* — the classic crash-mid-write
+// artifact, tolerated under TornTail::kTolerate as "end of log" — while
+// a CRC mismatch on a fully-present batch, a bad marker, a sequence
+// discontinuity, or version skew is corruption and always throws
+// FormatError.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "persist/io.hpp"
+#include "sim/engine.hpp"
+
+namespace nn::persist {
+
+inline constexpr std::uint32_t kJournalMagic = 0x4E4E4A4Cu;   // 'NNJL'
+inline constexpr std::uint32_t kJournalBatchMarker = 0x4E4E4A42u;  // 'NNJB'
+inline constexpr std::uint16_t kJournalVersion = 1;
+inline constexpr std::size_t kJournalRecordBytes = 21;
+/// Absurd-batch guard, same spirit as kMaxChunkLen.
+inline constexpr std::uint32_t kMaxBatchRecords = 1u << 20;
+
+/// Control-plane mutations the journal captures. Field meaning per op:
+///   kArrive      addr = requesting customer, nonce = request id
+///   kRenew       addr = resident dynamic address
+///   kDepart      addr = resident dynamic address
+///   kRekeyStorm  epoch marker; only `at` is meaningful
+enum class JournalOp : std::uint8_t {
+  kArrive = 1,
+  kRenew = 2,
+  kDepart = 3,
+  kRekeyStorm = 4,
+};
+
+struct JournalRecord {
+  JournalOp op = JournalOp::kArrive;
+  sim::SimTime at = 0;
+  std::uint32_t addr = 0;
+  std::uint64_t nonce = 0;
+
+  friend bool operator==(const JournalRecord&,
+                         const JournalRecord&) = default;
+};
+
+struct JournalConfig {
+  /// append() seals and writes the pending batch when it reaches this
+  /// many records (explicit commit() flushes earlier). Group size
+  /// trades commit frequency against replay granularity, never
+  /// correctness.
+  std::size_t group_commit_records = 256;
+};
+
+class JournalWriter {
+ public:
+  /// Writes the file header immediately.
+  explicit JournalWriter(ByteSink& sink, JournalConfig config = {});
+
+  /// Buffers one record; auto-commits a full group.
+  void append(const JournalRecord& record);
+  /// Seals the pending batch (if any) and flushes the sink. Call at
+  /// quiescence points — a record is recoverable only once committed.
+  void commit();
+
+  [[nodiscard]] std::uint64_t records_appended() const noexcept {
+    return appended_;
+  }
+  [[nodiscard]] std::uint64_t batches_committed() const noexcept {
+    return batches_;
+  }
+  [[nodiscard]] std::size_t pending_records() const noexcept {
+    return pending_;
+  }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+
+ private:
+  ByteSink& sink_;
+  JournalConfig config_;
+  std::vector<std::uint8_t> batch_;  // serialized records, reused
+  std::size_t pending_ = 0;
+  std::uint64_t appended_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// What to do with a batch cut short by end-of-file.
+enum class TornTail : std::uint8_t {
+  kReject,    ///< throw FormatError (strict integrity audit)
+  kTolerate,  ///< treat as end-of-log (crash recovery semantics)
+};
+
+class JournalReader {
+ public:
+  /// Reads and validates the file header.
+  explicit JournalReader(ByteSource& source,
+                         TornTail policy = TornTail::kReject);
+
+  /// Next committed record, or nullopt at end-of-log (clean EOF, or a
+  /// tolerated torn tail — check torn()). Throws FormatError on any
+  /// corruption that is not a pure tail truncation.
+  std::optional<JournalRecord> next();
+
+  /// True once a torn tail was encountered and tolerated.
+  [[nodiscard]] bool torn() const noexcept { return torn_; }
+  [[nodiscard]] std::uint64_t records_read() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t batches_read() const noexcept {
+    return batches_;
+  }
+
+ private:
+  ByteSource& source_;
+  TornTail policy_;
+  std::vector<std::uint8_t> batch_;  // current batch's records
+  std::size_t batch_pos_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t batches_ = 0;
+  bool done_ = false;
+  bool torn_ = false;
+
+  /// Loads the next batch into batch_; false at end-of-log.
+  bool load_batch();
+};
+
+}  // namespace nn::persist

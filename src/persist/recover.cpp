@@ -1,0 +1,71 @@
+#include "persist/recover.hpp"
+
+#include <string>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "net/shim.hpp"
+#include "persist/state.hpp"
+
+namespace nn::persist {
+
+RecoverStats recover(core::Neutralizer& service, ByteSource& snapshot,
+                     ByteSource* journal, RecoverConfig config) {
+  load_neutralizer(service, snapshot);
+  RecoverStats stats;
+  stats.sessions_restored = service.dynamic_sessions();
+  if (journal == nullptr) return stats;
+
+  JournalReader reader(*journal, config.torn_tail);
+  while (auto record = reader.next()) {
+    // The live box ran its lease collector ahead of every control
+    // message (scenario/fig1.cpp does exactly this); replay must too,
+    // or a recycled address could come back in a different order.
+    service.expire_dynamic_sessions(record->at);
+    switch (record->op) {
+      case JournalOp::kArrive: {
+        net::ShimHeader shim;
+        shim.type = net::ShimType::kDynAddrRequest;
+        shim.nonce = record->nonce;
+        auto response = service.process(
+            net::make_shim_packet(net::Ipv4Addr(record->addr),
+                                  service.config().anycast_addr, shim, {}),
+            record->at);
+        // The response (if any) was already delivered before the crash;
+        // determinism guarantees it carried these same bytes.
+        (void)response;
+        ++stats.arrivals_replayed;
+        break;
+      }
+      case JournalOp::kRenew:
+        if (!service.renew_dynamic(net::Ipv4Addr(record->addr), record->at)) {
+          throw StateError(
+              "recover: journaled renew for unknown session " +
+              net::Ipv4Addr(record->addr).to_string() +
+              " (journal does not continue this snapshot)");
+        }
+        ++stats.renews_replayed;
+        break;
+      case JournalOp::kDepart:
+        if (!service.release_dynamic(net::Ipv4Addr(record->addr))) {
+          throw StateError(
+              "recover: journaled depart for unknown session " +
+              net::Ipv4Addr(record->addr).to_string() +
+              " (journal does not continue this snapshot)");
+        }
+        ++stats.departs_replayed;
+        break;
+      case JournalOp::kRekeyStorm:
+        service.rekey_dynamic_sessions(record->at);
+        ++stats.storms_replayed;
+        break;
+    }
+    stats.last_at = record->at;
+  }
+  stats.journal_records = reader.records_read();
+  stats.journal_batches = reader.batches_read();
+  stats.torn_tail = reader.torn();
+  return stats;
+}
+
+}  // namespace nn::persist

@@ -1,0 +1,85 @@
+// Crash recovery: latest valid snapshot + replay of the committed
+// journal tail = the exact control-plane state of the box that crashed.
+//
+// Replay is re-execution, not patching. Every value the control plane
+// mints is a deterministic function of (root key, epoch, request) —
+// session keys are CMAC PRFs, dynamic addresses come off a deterministic
+// cursor/LIFO stack — so feeding each journaled mutation back through
+// the real handlers (process() for arrivals, renew/release/rekey for the
+// rest, with the lease collector run at each record's timestamp exactly
+// as the live box ran it) reproduces byte-for-byte the addresses, keys,
+// and counters the crashed box held. The crash differential test
+// (tests/persist/test_crash_recover.cpp) pins this end to end: a box
+// crash-recovered at an arbitrary event boundary answers the rest of
+// the workload byte-identically to one that never crashed.
+//
+// ControlJournal is the write half: a typed wrapper over JournalWriter
+// that the scenario layer calls once per control-plane mutation, with
+// commit() at the end-of-instant quiescence point (group commit).
+#pragma once
+
+#include "core/neutralizer.hpp"
+#include "persist/journal.hpp"
+
+namespace nn::persist {
+
+/// Typed append API over the WAL — one call per control-plane mutation,
+/// recorded *after* the handler succeeded (journal and state then agree
+/// record-for-record; an arrival the box rejected is journaled too,
+/// because replaying it recreates the same rejection and counters).
+class ControlJournal {
+ public:
+  explicit ControlJournal(ByteSink& sink, JournalConfig config = {})
+      : writer_(sink, config) {}
+
+  void arrive(net::Ipv4Addr customer, std::uint64_t request_id,
+              sim::SimTime at) {
+    writer_.append({JournalOp::kArrive, at, customer.value(), request_id});
+  }
+  void renew(net::Ipv4Addr dynamic, sim::SimTime at) {
+    writer_.append({JournalOp::kRenew, at, dynamic.value(), 0});
+  }
+  void depart(net::Ipv4Addr dynamic, sim::SimTime at) {
+    writer_.append({JournalOp::kDepart, at, dynamic.value(), 0});
+  }
+  void rekey_storm(sim::SimTime at) {
+    writer_.append({JournalOp::kRekeyStorm, at, 0, 0});
+  }
+  /// Group commit — call at end-of-instant / flush().
+  void commit() { writer_.commit(); }
+
+  [[nodiscard]] JournalWriter& writer() noexcept { return writer_; }
+
+ private:
+  JournalWriter writer_;
+};
+
+struct RecoverConfig {
+  /// Crash semantics by default: a batch the crash cut short never
+  /// committed, so it never happened. kReject turns any torn tail into
+  /// a FormatError (integrity audit of a file that should be complete).
+  TornTail torn_tail = TornTail::kTolerate;
+};
+
+struct RecoverStats {
+  std::uint64_t sessions_restored = 0;  ///< resident after the snapshot
+  std::uint64_t journal_batches = 0;
+  std::uint64_t journal_records = 0;
+  std::uint64_t arrivals_replayed = 0;
+  std::uint64_t renews_replayed = 0;
+  std::uint64_t departs_replayed = 0;
+  std::uint64_t storms_replayed = 0;
+  bool torn_tail = false;       ///< tail was torn and tolerated
+  sim::SimTime last_at = 0;     ///< timestamp of the last replayed record
+};
+
+/// Rebuilds `service` from `snapshot` and, when non-null, replays the
+/// committed tail of `journal` through the real control-plane handlers.
+/// Throws FormatError/StateError exactly as the loaders underneath do;
+/// additionally throws StateError when a journaled renew/depart names a
+/// session the replayed state does not hold (journal and snapshot are
+/// from different histories).
+RecoverStats recover(core::Neutralizer& service, ByteSource& snapshot,
+                     ByteSource* journal, RecoverConfig config = {});
+
+}  // namespace nn::persist

@@ -1,0 +1,185 @@
+#include "persist/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "persist/crc32c.hpp"
+
+namespace nn::persist {
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::string tag_name(std::uint32_t tag) {
+  std::string s;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    const char c = static_cast<char>((tag >> shift) & 0xFF);
+    s.push_back((c >= 0x20 && c < 0x7F) ? c : '?');
+  }
+  return s;
+}
+
+}  // namespace
+
+SnapshotWriter::SnapshotWriter(ByteSink& sink) : sink_(sink) {
+  std::array<std::uint8_t, 12> header{};
+  put_u32(header.data(), kSnapshotMagic);
+  header[4] = static_cast<std::uint8_t>(kSnapshotVersion >> 8);
+  header[5] = static_cast<std::uint8_t>(kSnapshotVersion);
+  header[6] = 0;  // flags
+  header[7] = 0;
+  put_u32(header.data() + 8, crc32c({header.data(), 8}));
+  sink_.write(header);
+  bytes_written_ = header.size();
+}
+
+ByteWriter& SnapshotWriter::begin_chunk(std::uint32_t tag) {
+  if (finished_) {
+    throw StateError("snapshot: begin_chunk after finish()");
+  }
+  if (chunk_.has_value()) {
+    throw StateError("snapshot: begin_chunk with a chunk already open");
+  }
+  chunk_tag_ = tag;
+  chunk_.emplace(std::move(scratch_));
+  return *chunk_;
+}
+
+void SnapshotWriter::end_chunk() {
+  if (!chunk_.has_value()) {
+    throw StateError("snapshot: end_chunk without an open chunk");
+  }
+  emit_chunk(chunk_tag_, chunk_->view());
+  // Recover the payload buffer's capacity for the next chunk.
+  scratch_ = chunk_->take();
+  chunk_.reset();
+  ++chunks_;
+}
+
+void SnapshotWriter::finish() {
+  if (chunk_.has_value()) {
+    throw StateError("snapshot: finish() with a chunk still open");
+  }
+  if (finished_) return;
+  std::array<std::uint8_t, 4> count{};
+  put_u32(count.data(), chunks_);
+  emit_chunk(kEndTag, count);
+  finished_ = true;
+  sink_.flush();
+}
+
+void SnapshotWriter::emit_chunk(std::uint32_t tag,
+                                std::span<const std::uint8_t> payload) {
+  if (payload.size() > kMaxChunkLen) {
+    throw StateError("snapshot: chunk payload exceeds kMaxChunkLen");
+  }
+  std::array<std::uint8_t, 8> head{};
+  put_u32(head.data(), tag);
+  put_u32(head.data() + 4, static_cast<std::uint32_t>(payload.size()));
+  Crc32c crc;
+  crc.update(head);
+  crc.update(payload);
+  std::array<std::uint8_t, 4> trailer{};
+  put_u32(trailer.data(), crc.value());
+  sink_.write(head);
+  sink_.write(payload);
+  sink_.write(trailer);
+  bytes_written_ += head.size() + payload.size() + trailer.size();
+}
+
+SnapshotReader::SnapshotReader(ByteSource& source) : source_(source) {
+  std::array<std::uint8_t, 12> header{};
+  read_exact(header, "file header");
+  const std::uint32_t magic = get_u32(header.data());
+  if (magic != kSnapshotMagic) {
+    throw FormatError("snapshot: bad magic 0x" + to_hex({header.data(), 4}) +
+                      " (expected 'NNSN')");
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>((header[4] << 8) | header[5]);
+  if (version != kSnapshotVersion) {
+    throw FormatError("snapshot: unsupported version " +
+                      std::to_string(version) + " (this build reads version " +
+                      std::to_string(kSnapshotVersion) + ")");
+  }
+  if (get_u32(header.data() + 8) != crc32c({header.data(), 8})) {
+    throw FormatError("snapshot: file header CRC mismatch");
+  }
+}
+
+std::optional<SnapshotReader::Chunk> SnapshotReader::next() {
+  if (finished_) return std::nullopt;
+  std::array<std::uint8_t, 8> head{};
+  read_exact(head, "chunk header");
+  const std::uint32_t tag = get_u32(head.data());
+  const std::uint32_t len = get_u32(head.data() + 4);
+  if (len > kMaxChunkLen) {
+    throw FormatError("snapshot: chunk '" + tag_name(tag) +
+                      "' declares absurd length " + std::to_string(len));
+  }
+  // Fill scratch_ in bounded steps rather than pre-sizing to `len`: the
+  // length word is untrusted until the CRC check, and a corrupt (but
+  // sub-kMaxChunkLen) value must not be able to commandeer a gigabyte
+  // of zero-filled heap before the truncation is even noticed.
+  scratch_.clear();
+  while (scratch_.size() < len) {
+    const std::size_t step =
+        std::min<std::size_t>(len - scratch_.size(), std::size_t{1} << 20);
+    const std::size_t have = scratch_.size();
+    scratch_.resize(have + step);
+    if (source_.read({scratch_.data() + have, step}) != step) {
+      throw FormatError("snapshot: truncated chunk payload");
+    }
+  }
+  std::array<std::uint8_t, 4> trailer{};
+  read_exact(trailer, "chunk CRC");
+  Crc32c crc;
+  crc.update(head);
+  crc.update(scratch_);
+  if (get_u32(trailer.data()) != crc.value()) {
+    throw FormatError("snapshot: CRC mismatch in chunk '" + tag_name(tag) +
+                      "' (#" + std::to_string(chunks_) + ")");
+  }
+  if (tag == kEndTag) {
+    if (len != 4) {
+      throw FormatError("snapshot: end chunk has length " +
+                        std::to_string(len) + " (expected 4)");
+    }
+    if (get_u32(scratch_.data()) != chunks_) {
+      throw FormatError("snapshot: end chunk counts " +
+                        std::to_string(get_u32(scratch_.data())) +
+                        " chunks, file has " + std::to_string(chunks_));
+    }
+    // Anything after the end chunk is not ours.
+    std::uint8_t probe = 0;
+    if (source_.read({&probe, 1}) != 0) {
+      throw FormatError("snapshot: trailing bytes after end chunk");
+    }
+    finished_ = true;
+    return std::nullopt;
+  }
+  ++chunks_;
+  return Chunk{tag, scratch_};
+}
+
+void SnapshotReader::read_exact(std::span<std::uint8_t> out,
+                                const char* what) {
+  if (source_.read(out) != out.size()) {
+    throw FormatError(std::string("snapshot: truncated ") + what);
+  }
+}
+
+}  // namespace nn::persist

@@ -1,0 +1,121 @@
+// Versioned, CRC-protected, chunked snapshot container — the on-disk
+// format a restarted neutralizer box rebuilds its session state from.
+//
+// Layout (all integers big-endian, like every wire format here):
+//
+//   file header   magic 'NNSN' u32 | version u16 | flags u16 |
+//                 crc32c(first 8 bytes) u32
+//   chunk         tag u32 | payload_len u32 | payload bytes |
+//                 crc32c(tag ‖ payload_len ‖ payload) u32
+//   ...           (any number of chunks, any tags)
+//   end chunk     tag 'NEND', payload = u32 chunk count so far
+//
+// The container knows nothing about what the chunks mean — the state
+// hooks (core::SessionTable::export_state and friends, defined in
+// persist/state.cpp) own their tags. Contract highlights:
+//
+//   * Streaming: a chunk is buffered in a reused scratch ByteWriter and
+//     flushed to the ByteSink whole, so exporting a million sessions
+//     costs a bounded working set and zero steady-state allocation once
+//     the scratch is warm (records go out in fixed-size SREC chunks).
+//   * Every loader failure is a typed persist::FormatError with an
+//     exact message; truncation anywhere (header, chunk header, payload,
+//     CRC, missing end chunk) is detected, a flipped bit anywhere is
+//     caught by the per-chunk CRC, and a version bump is rejected
+//     before any payload is interpreted. Hostile input never reaches
+//     undefined behavior (tests/persist/test_loader_fuzz.cpp).
+//   * Snapshots are taken at quiescence points only — after flush() /
+//     end-of-instant, when no batch is in flight — the same contract as
+//     every other cross-thread read of neutralizer state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "persist/io.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::persist {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x4E4E534Eu;  // 'NNSN'
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+/// Absurd-length guard: no chunk this codebase writes approaches it, so
+/// a declared length beyond the cap is corruption, not data.
+inline constexpr std::uint32_t kMaxChunkLen = 1u << 30;
+
+/// Four-character chunk tag, e.g. chunk_tag("SREC").
+constexpr std::uint32_t chunk_tag(const char (&s)[5]) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3]));
+}
+
+inline constexpr std::uint32_t kEndTag = chunk_tag("NEND");
+
+class SnapshotWriter {
+ public:
+  /// Writes the file header immediately.
+  explicit SnapshotWriter(ByteSink& sink);
+
+  /// Opens a chunk; write the payload through the returned ByteWriter
+  /// (scratch reused across chunks). One chunk open at a time.
+  ByteWriter& begin_chunk(std::uint32_t tag);
+  /// Seals the open chunk: CRC computed, bytes pushed to the sink.
+  void end_chunk();
+  /// Writes the end chunk and flushes the sink. No chunks may follow.
+  void finish();
+
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept {
+    return bytes_written_;
+  }
+  [[nodiscard]] std::uint32_t chunks_written() const noexcept {
+    return chunks_;
+  }
+
+ private:
+  ByteSink& sink_;
+  std::optional<ByteWriter> chunk_;
+  std::vector<std::uint8_t> scratch_;  // payload buffer recycled per chunk
+  std::uint32_t chunk_tag_ = 0;
+  std::uint32_t chunks_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  bool finished_ = false;
+
+  void emit_chunk(std::uint32_t tag, std::span<const std::uint8_t> payload);
+};
+
+class SnapshotReader {
+ public:
+  /// Reads and validates the file header; throws FormatError on bad
+  /// magic, version skew, truncation, or a corrupted header CRC.
+  explicit SnapshotReader(ByteSource& source);
+
+  struct Chunk {
+    std::uint32_t tag = 0;
+    /// Valid until the next next() call (scratch-backed).
+    std::span<const std::uint8_t> payload;
+  };
+
+  /// Next chunk, or nullopt exactly once after a valid end chunk.
+  /// Throws FormatError on truncation, CRC mismatch, absurd lengths,
+  /// trailing garbage after the end chunk, or a chunk-count mismatch in
+  /// the end chunk.
+  std::optional<Chunk> next();
+
+  /// True once the end chunk has been consumed.
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] std::uint32_t chunks_read() const noexcept { return chunks_; }
+
+ private:
+  ByteSource& source_;
+  std::vector<std::uint8_t> scratch_;
+  std::uint32_t chunks_ = 0;
+  bool finished_ = false;
+
+  void read_exact(std::span<std::uint8_t> out, const char* what);
+};
+
+}  // namespace nn::persist

@@ -1,0 +1,473 @@
+// State hooks: how the core control-plane classes serialize themselves
+// into the chunked snapshot container and rebuild from it. Lives here —
+// not in core/ — so the core headers only ever forward-declare persist
+// types; being member functions, the hooks still reach the private
+// representation they must capture exactly.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_addr.hpp"
+#include "core/neutralizer.hpp"
+#include "core/session_table.hpp"
+#include "persist/state.hpp"
+#include "util/bytes.hpp"
+
+namespace nn {
+namespace {
+
+std::string tag_name(std::uint32_t tag) {
+  std::string s;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    const char c = static_cast<char>((tag >> shift) & 0xFF);
+    s.push_back((c >= 0x20 && c < 0x7F) ? c : '?');
+  }
+  return s;
+}
+
+/// ByteReader overruns inside a chunk mean the chunk body lies about its
+/// own layout — surface that as a format problem, not a parse one.
+[[noreturn]] void malformed(const char* tag) {
+  throw persist::FormatError(std::string("snapshot: malformed '") + tag +
+                             "' chunk");
+}
+
+}  // namespace
+
+namespace core {
+
+// --------------------------------------------------------------------
+// SessionTable
+// --------------------------------------------------------------------
+
+void SessionTable::export_state(persist::SnapshotWriter& writer) const {
+  // Scan from just past the first empty bucket (one always exists at
+  // <= 7/8 load) so every probe cluster is visited from its true start
+  // and never split across the scan origin. Restoring then re-inserts
+  // each cluster in position order, which reproduces the exact bucket
+  // layout — making the exported bytes a pure function of the resident
+  // state, not of the insertion history (the round-trip identity and
+  // golden-fixture tests pin this).
+  std::size_t origin = 0;
+  while (origin < buckets_.size() && buckets_[origin] != kEmpty) ++origin;
+  std::size_t pending = 0;
+  ByteWriter* w = nullptr;
+  for (std::size_t i = 1; i <= buckets_.size(); ++i) {
+    const std::size_t b = (origin + i) & (buckets_.size() - 1);
+    if (buckets_[b] == kEmpty) continue;
+    if (w == nullptr) w = &writer.begin_chunk(persist::kTagSessionRecords);
+    const SessionRecord& rec = slab_[buckets_[b]];
+    w->u32(rec.dyn_value)
+        .u32(rec.customer)
+        .u64(static_cast<std::uint64_t>(rec.expiry))
+        .u16(rec.key_epoch)
+        .raw(rec.session_key);
+    if (++pending == persist::kSessionRecordsPerChunk) {
+      writer.end_chunk();
+      w = nullptr;
+      pending = 0;
+    }
+  }
+  if (w != nullptr) writer.end_chunk();
+}
+
+void SessionTable::restore_records(std::span<const std::uint8_t> payload) {
+  if (payload.size() % persist::kSessionRecordBytes != 0) {
+    throw persist::FormatError(
+        "snapshot: 'SREC' chunk length " + std::to_string(payload.size()) +
+        " is not a multiple of " + std::to_string(persist::kSessionRecordBytes));
+  }
+  ByteReader r(payload);
+  while (!r.empty()) {
+    const std::uint32_t dyn = r.u32();
+    SessionRecord* rec = insert(dyn);
+    if (rec == nullptr) {
+      throw persist::StateError(
+          "snapshot: duplicate session record for dynamic address " +
+          net::Ipv4Addr(dyn).to_string());
+    }
+    rec->customer = r.u32();
+    const std::uint64_t expiry = r.u64();
+    if (expiry > static_cast<std::uint64_t>(SessionRecord::kNoExpiry)) {
+      throw persist::StateError(
+          "snapshot: session expiry out of range for dynamic address " +
+          net::Ipv4Addr(dyn).to_string());
+    }
+    rec->expiry = static_cast<sim::SimTime>(expiry);
+    rec->key_epoch = r.u16();
+    const auto key = r.take(rec->session_key.size());
+    std::copy(key.begin(), key.end(), rec->session_key.begin());
+  }
+}
+
+// --------------------------------------------------------------------
+// DynamicAddressAllocator
+// --------------------------------------------------------------------
+
+void DynamicAddressAllocator::export_state(
+    persist::SnapshotWriter& writer) const {
+  {
+    ByteWriter& w = writer.begin_chunk(persist::kTagAllocator);
+    w.u32(pool_.base().value())
+        .u8(static_cast<std::uint8_t>(pool_.length()))
+        .u32(capacity_)
+        .u32(next_fresh_)
+        .u64(counters_.allocated)
+        .u64(counters_.released)
+        .u64(counters_.expired)
+        .u64(counters_.renewed)
+        .u64(counters_.rejected)
+        .u64(table_.size())
+        .u64(free_offsets_.size());
+    writer.end_chunk();
+  }
+  ByteWriter* w = nullptr;
+  std::size_t pending = 0;
+  for (const std::uint32_t offset : free_offsets_) {
+    if (w == nullptr) w = &writer.begin_chunk(persist::kTagFreeList);
+    w->u32(offset);
+    if (++pending == persist::kFreeOffsetsPerChunk) {
+      writer.end_chunk();
+      w = nullptr;
+      pending = 0;
+    }
+  }
+  if (w != nullptr) writer.end_chunk();
+  table_.export_state(writer);
+}
+
+bool DynamicAddressAllocator::restore_chunk(
+    std::uint32_t tag, std::span<const std::uint8_t> payload) {
+  if (tag == persist::kTagAllocator) {
+    if (restoring_) {
+      throw persist::StateError("snapshot: duplicate 'DALC' chunk");
+    }
+    if (payload.size() != 69) malformed("DALC");
+    ByteReader r(payload);
+    const net::Ipv4Addr base{r.u32()};
+    const int length = r.u8();
+    if (length > 32 || net::Ipv4Prefix(base, length) != pool_) {
+      throw persist::StateError(
+          "snapshot: dynamic pool mismatch (snapshot " + base.to_string() +
+          "/" + std::to_string(length) + ", this box " + pool_.to_string() +
+          ")");
+    }
+    if (r.u32() != capacity_) {
+      throw persist::StateError("snapshot: dynamic pool capacity mismatch");
+    }
+    const std::uint32_t next_fresh = r.u32();
+    if (next_fresh < 1 || next_fresh > capacity_ + 1) {
+      throw persist::StateError("snapshot: allocator cursor " +
+                                std::to_string(next_fresh) +
+                                " outside [1, capacity+1]");
+    }
+    DynSessionCounters counters;
+    counters.allocated = r.u64();
+    counters.released = r.u64();
+    counters.expired = r.u64();
+    counters.renewed = r.u64();
+    counters.rejected = r.u64();
+    const std::uint64_t resident = r.u64();
+    const std::uint64_t free_depth = r.u64();
+    // Conservation: every offset the cursor ever passed is resident or
+    // recycled, exactly once.
+    if (resident + free_depth != next_fresh - 1) {
+      throw persist::StateError(
+          "snapshot: allocator conservation violated (" +
+          std::to_string(resident) + " resident + " +
+          std::to_string(free_depth) + " free != " +
+          std::to_string(next_fresh - 1) + " handed out)");
+    }
+    if (counters.allocated != counters.released + counters.expired + resident) {
+      throw persist::StateError(
+          "snapshot: allocator counters violate the accounting identity "
+          "(allocated != released + expired + resident)");
+    }
+    // Reset to empty, then pre-size: the restore path must not rehash.
+    table_ = SessionTable{};
+    free_offsets_.clear();
+    lease_heap_.clear();
+    next_fresh_ = next_fresh;
+    counters_ = counters;
+    reserve(static_cast<std::size_t>(resident));
+    free_offsets_.reserve(static_cast<std::size_t>(free_depth));
+    restoring_ = true;
+    restore_expect_resident_ = resident;
+    restore_expect_free_ = free_depth;
+    return true;
+  }
+  if (tag == persist::kTagFreeList) {
+    if (!restoring_) {
+      throw persist::StateError("snapshot: 'DFRE' chunk before 'DALC'");
+    }
+    if (payload.size() % 4 != 0) malformed("DFRE");
+    ByteReader r(payload);
+    while (!r.empty()) {
+      const std::uint32_t offset = r.u32();
+      if (offset < 1 || offset >= next_fresh_) {
+        throw persist::StateError("snapshot: recycled offset " +
+                                  std::to_string(offset) +
+                                  " outside [1, cursor)");
+      }
+      if (free_offsets_.size() >= restore_expect_free_) {
+        throw persist::StateError(
+            "snapshot: more recycled offsets than 'DALC' declared");
+      }
+      free_offsets_.push_back(offset);
+    }
+    return true;
+  }
+  if (tag == persist::kTagSessionRecords) {
+    if (!restoring_) {
+      throw persist::StateError("snapshot: 'SREC' chunk before 'DALC'");
+    }
+    table_.restore_records(payload);
+    if (table_.size() > restore_expect_resident_) {
+      throw persist::StateError(
+          "snapshot: more session records than 'DALC' declared");
+    }
+    return true;
+  }
+  return false;
+}
+
+void DynamicAddressAllocator::finish_restore() {
+  if (!restoring_) {
+    throw persist::StateError("snapshot: missing 'DALC' chunk");
+  }
+  restoring_ = false;
+  if (table_.size() != restore_expect_resident_) {
+    throw persist::StateError(
+        "snapshot: 'DALC' declares " +
+        std::to_string(restore_expect_resident_) + " resident session(s), " +
+        "records restore " + std::to_string(table_.size()));
+  }
+  if (free_offsets_.size() != restore_expect_free_) {
+    throw persist::StateError(
+        "snapshot: 'DALC' declares " + std::to_string(restore_expect_free_) +
+        " recycled offset(s), free list restores " +
+        std::to_string(free_offsets_.size()));
+  }
+  // Each handed-out offset must appear exactly once across {resident,
+  // recycled}. Counts already match next_fresh_ - 1, so detecting any
+  // duplicate proves the partition.
+  std::vector<char> seen(next_fresh_, 0);
+  for (const std::uint32_t offset : free_offsets_) {
+    if (seen[offset] != 0) {
+      throw persist::StateError("snapshot: recycled offset " +
+                                std::to_string(offset) + " listed twice");
+    }
+    seen[offset] = 1;
+  }
+  bool bad_member = false;
+  bool bad_overlap = false;
+  table_.for_each([&](const SessionRecord& rec) {
+    if (!pool_.contains(net::Ipv4Addr(rec.dyn_value))) {
+      bad_member = true;
+      return;
+    }
+    const std::uint32_t offset = rec.dyn_value & ~pool_.mask();
+    if (offset < 1 || offset >= next_fresh_ || seen[offset] != 0) {
+      bad_overlap = true;
+      return;
+    }
+    seen[offset] = 1;
+    if (rec.expiry != SessionRecord::kNoExpiry) {
+      arm_lease(rec.dyn_value, rec.expiry);
+    }
+  });
+  if (bad_member) {
+    throw persist::StateError(
+        "snapshot: session record outside the dynamic pool");
+  }
+  if (bad_overlap) {
+    throw persist::StateError(
+        "snapshot: session record collides with the cursor or free list");
+  }
+}
+
+void DynamicAddressAllocator::restore_state(persist::SnapshotReader& reader) {
+  while (auto chunk = reader.next()) {
+    if (!restore_chunk(chunk->tag, chunk->payload)) {
+      throw persist::StateError("snapshot: unrecognized chunk '" +
+                                tag_name(chunk->tag) + "'");
+    }
+  }
+  finish_restore();
+}
+
+// --------------------------------------------------------------------
+// Neutralizer
+// --------------------------------------------------------------------
+
+namespace {
+
+/// Root-key fingerprint: the first 8 bytes of the epoch-0 master key.
+/// Enough to refuse a snapshot from a differently-keyed domain without
+/// ever writing key material a single CMAC inversion could expose more
+/// of than one epoch key prefix.
+std::uint64_t root_fingerprint(const MasterKeySchedule& keys) {
+  const crypto::AesKey k0 = keys.current_key(0);
+  std::uint64_t fp = 0;
+  for (int i = 0; i < 8; ++i) {
+    fp = (fp << 8) | k0[static_cast<std::size_t>(i)];
+  }
+  return fp;
+}
+
+}  // namespace
+
+void Neutralizer::export_state(persist::SnapshotWriter& writer) const {
+  {
+    ByteWriter& w = writer.begin_chunk(persist::kTagConfig);
+    w.u64(root_fingerprint(keys_))
+        .u32(config_.anycast_addr.value())
+        .u32(config_.customer_space.base().value())
+        .u8(static_cast<std::uint8_t>(config_.customer_space.length()))
+        .u64(static_cast<std::uint64_t>(config_.rotation_period))
+        .u64(static_cast<std::uint64_t>(config_.dyn_lease))
+        .u8(config_.dynamic_pool.has_value() ? 1 : 0)
+        .u32(config_.dynamic_pool ? config_.dynamic_pool->base().value() : 0)
+        .u8(config_.dynamic_pool
+                ? static_cast<std::uint8_t>(config_.dynamic_pool->length())
+                : 0);
+    writer.end_chunk();
+  }
+  {
+    ByteWriter& w = writer.begin_chunk(persist::kTagStats);
+    w.u64(stats_.key_setups)
+        .u64(stats_.key_leases)
+        .u64(stats_.data_forwarded)
+        .u64(stats_.data_returned)
+        .u64(stats_.rekeys_stamped)
+        .u64(stats_.offloaded)
+        .u64(stats_.dyn_allocated)
+        .u64(stats_.dyn_translated)
+        .u64(stats_.dyn_released)
+        .u64(stats_.dyn_renewed)
+        .u64(stats_.dyn_expired)
+        .u64(stats_.dyn_rejected)
+        .u64(stats_.sessions_rekeyed)
+        .u64(stats_.setup_rate_limited)
+        .u64(stats_.rejected);
+    writer.end_chunk();
+  }
+  if (allocator_.has_value()) allocator_->export_state(writer);
+}
+
+void Neutralizer::restore_state(persist::SnapshotReader& reader) {
+  bool saw_config = false;
+  bool saw_stats = false;
+  while (auto chunk = reader.next()) {
+    if (!saw_config) {
+      if (chunk->tag != persist::kTagConfig) {
+        throw persist::StateError(
+            "snapshot: first chunk must be 'NCFG', found '" +
+            tag_name(chunk->tag) + "'");
+      }
+      if (chunk->payload.size() != 39) malformed("NCFG");
+      ByteReader r(chunk->payload);
+      if (r.u64() != root_fingerprint(keys_)) {
+        throw persist::StateError(
+            "snapshot: root key fingerprint mismatch — snapshot taken by a "
+            "differently-keyed box");
+      }
+      const char* mismatch = nullptr;
+      if (net::Ipv4Addr(r.u32()) != config_.anycast_addr) {
+        mismatch = "anycast address";
+      }
+      const net::Ipv4Addr cust_base{r.u32()};
+      const int cust_len = r.u8();
+      if (mismatch == nullptr &&
+          (cust_len > 32 ||
+           net::Ipv4Prefix(cust_base, cust_len) != config_.customer_space)) {
+        mismatch = "customer space";
+      }
+      if (r.u64() != static_cast<std::uint64_t>(config_.rotation_period) &&
+          mismatch == nullptr) {
+        mismatch = "rotation period";
+      }
+      if (r.u64() != static_cast<std::uint64_t>(config_.dyn_lease) &&
+          mismatch == nullptr) {
+        mismatch = "lease duration";
+      }
+      const bool has_pool = r.u8() != 0;
+      const net::Ipv4Addr pool_base{r.u32()};
+      const int pool_len = r.u8();
+      if (mismatch == nullptr) {
+        if (has_pool != config_.dynamic_pool.has_value()) {
+          mismatch = "dynamic pool";
+        } else if (has_pool &&
+                   (pool_len > 32 || net::Ipv4Prefix(pool_base, pool_len) !=
+                                         *config_.dynamic_pool)) {
+          mismatch = "dynamic pool";
+        }
+      }
+      if (mismatch != nullptr) {
+        throw persist::StateError(std::string("snapshot: config mismatch (") +
+                                  mismatch + ")");
+      }
+      saw_config = true;
+      continue;
+    }
+    if (chunk->tag == persist::kTagConfig) {
+      throw persist::StateError("snapshot: duplicate 'NCFG' chunk");
+    }
+    if (chunk->tag == persist::kTagStats) {
+      if (saw_stats) {
+        throw persist::StateError("snapshot: duplicate 'NSTA' chunk");
+      }
+      if (chunk->payload.size() != 15 * 8) malformed("NSTA");
+      ByteReader r(chunk->payload);
+      stats_.key_setups = r.u64();
+      stats_.key_leases = r.u64();
+      stats_.data_forwarded = r.u64();
+      stats_.data_returned = r.u64();
+      stats_.rekeys_stamped = r.u64();
+      stats_.offloaded = r.u64();
+      stats_.dyn_allocated = r.u64();
+      stats_.dyn_translated = r.u64();
+      stats_.dyn_released = r.u64();
+      stats_.dyn_renewed = r.u64();
+      stats_.dyn_expired = r.u64();
+      stats_.dyn_rejected = r.u64();
+      stats_.sessions_rekeyed = r.u64();
+      stats_.setup_rate_limited = r.u64();
+      stats_.rejected = r.u64();
+      saw_stats = true;
+      continue;
+    }
+    if (allocator_.has_value() &&
+        allocator_->restore_chunk(chunk->tag, chunk->payload)) {
+      continue;
+    }
+    throw persist::StateError("snapshot: unrecognized chunk '" +
+                              tag_name(chunk->tag) + "'");
+  }
+  if (!saw_config) {
+    throw persist::StateError("snapshot: missing 'NCFG' chunk");
+  }
+  if (!saw_stats) {
+    throw persist::StateError("snapshot: missing 'NSTA' chunk");
+  }
+  if (allocator_.has_value()) allocator_->finish_restore();
+}
+
+}  // namespace core
+
+namespace persist {
+
+void save_neutralizer(const core::Neutralizer& service, ByteSink& sink) {
+  SnapshotWriter writer(sink);
+  service.export_state(writer);
+  writer.finish();
+}
+
+void load_neutralizer(core::Neutralizer& service, ByteSource& source) {
+  SnapshotReader reader(source);
+  service.restore_state(reader);
+}
+
+}  // namespace persist
+}  // namespace nn

@@ -1,0 +1,56 @@
+// Chunk vocabulary + whole-box convenience entry points for the session
+// control plane's snapshot format. The container (persist/snapshot.hpp)
+// is tag-agnostic; this header is where the tags mean something:
+//
+//   'NCFG'  config fingerprint (39 bytes): root-key fingerprint u64,
+//           anycast u32, customer space u32+u8, rotation u64, lease u64,
+//           has_pool u8, pool u32+u8. Restore refuses a snapshot taken
+//           by an incompatibly configured or differently-keyed box.
+//   'NSTA'  NeutralizerStats, 15 × u64 in declaration order.
+//   'DALC'  allocator cursor state (69 bytes): pool u32+u8, capacity
+//           u32, next_fresh u32, 5 × u64 counters, resident u64,
+//           free-stack depth u64. Always first of the allocator chunks —
+//           it resets the allocator and pre-sizes what follows.
+//   'DFRE'  recycled-offset stack, u32 offsets in stack order (LIFO
+//           order is allocator state: the next allocation pops the
+//           back). Split across chunks at kFreeOffsetsPerChunk.
+//   'SREC'  resident session records, kSessionRecordBytes each:
+//           dyn u32 | customer u32 | expiry u64 | epoch u16 | key 16B.
+//           Split across chunks at kSessionRecordsPerChunk.
+//
+// The hooks themselves are member functions of the core classes
+// (declared in their headers, defined in persist/state.cpp so the core
+// headers never include persist ones). save_neutralizer() /
+// load_neutralizer() wrap a whole writer/reader lifecycle around them.
+#pragma once
+
+#include "persist/io.hpp"
+#include "persist/snapshot.hpp"
+
+namespace nn::core {
+class Neutralizer;
+}  // namespace nn::core
+
+namespace nn::persist {
+
+inline constexpr std::uint32_t kTagConfig = chunk_tag("NCFG");
+inline constexpr std::uint32_t kTagStats = chunk_tag("NSTA");
+inline constexpr std::uint32_t kTagAllocator = chunk_tag("DALC");
+inline constexpr std::uint32_t kTagFreeList = chunk_tag("DFRE");
+inline constexpr std::uint32_t kTagSessionRecords = chunk_tag("SREC");
+
+inline constexpr std::size_t kSessionRecordBytes = 34;
+inline constexpr std::size_t kSessionRecordsPerChunk = 4096;
+inline constexpr std::size_t kFreeOffsetsPerChunk = 1u << 16;
+
+/// Snapshots the box's entire control-plane state into `sink` (header,
+/// state chunks, end chunk, flush). Quiescence-point only.
+void save_neutralizer(const core::Neutralizer& service, ByteSink& sink);
+
+/// Restores a snapshot into `service`, overwriting its control-plane
+/// state. Throws FormatError on damaged bytes and StateError on a
+/// config/root-key mismatch; on throw the target's control-plane state
+/// is unspecified — discard the box or restore again.
+void load_neutralizer(core::Neutralizer& service, ByteSource& source);
+
+}  // namespace nn::persist

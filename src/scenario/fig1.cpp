@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/chacha.hpp"
+#include "persist/state.hpp"
 #include "util/bytes.hpp"
 
 namespace nn::scenario {
@@ -400,6 +401,8 @@ void Fig1::schedule_session_churn(ScenarioHost& from) {
   sim::Host* src = from.node;
   sim::SessionChurnWorkload::Config wcfg;
   wcfg.batch_window = config_.churn_batch_window;
+  wcfg.crash_after = config_.churn_crash_after;
+  wcfg.on_crash = config_.churn_on_crash;
   churn_ = std::make_unique<sim::SessionChurnWorkload>(
       engine, sim::churn_schedule(*config_.session_churn), wcfg,
       [self, src](const sim::SessionEvent& event, sim::SimTime at) {
@@ -445,6 +448,14 @@ void Fig1::schedule_session_churn(ScenarioHost& from) {
         }
       });
   churn_->start();
+}
+
+void Fig1::export_control_state(persist::ByteSink& sink) {
+  persist::save_neutralizer(control_service(), sink);
+}
+
+void Fig1::restore_control_state(persist::ByteSource& source) {
+  persist::load_neutralizer(control_service(), source);
 }
 
 Fig1::FlowResult Fig1::run_voip(VoipMode mode, ScenarioHost& from,

@@ -19,6 +19,7 @@
 #include "core/sharded_box.hpp"
 #include "host/e2e.hpp"
 #include "host/host.hpp"
+#include "persist/io.hpp"
 #include "sim/isp.hpp"
 #include "sim/network.hpp"
 #include "sim/session_churn.hpp"
@@ -117,6 +118,14 @@ struct Fig1Config {
   std::optional<sim::SessionChurnConfig> session_churn;
   /// Batch window for the churn replay (SessionChurnWorkload::Config).
   sim::SimTime churn_batch_window = 0;
+  /// Crash-drill fault injection, passed through to the churn replay
+  /// (SessionChurnWorkload::Config::crash_after / on_crash): after
+  /// exactly `churn_crash_after` delivered events, `churn_on_crash`
+  /// fires once, between events — the natural place to checkpoint via
+  /// Fig1::export_control_state and resurrect via restore_control_state.
+  /// 0 = never.
+  std::uint64_t churn_crash_after = 0;
+  std::function<void(sim::SimTime now)> churn_on_crash;
 };
 
 class Fig1 {
@@ -196,6 +205,17 @@ class Fig1 {
   /// response has not arrived or the session departed).
   [[nodiscard]] std::optional<net::Ipv4Addr> churn_address(
       std::uint64_t session) const;
+
+  /// Snapshots the §3.4 control plane (control_service()) into `sink`:
+  /// header, state chunks, end chunk, flush. Same quiescence contract
+  /// as control_service() itself — between instants only. The crash
+  /// drills pair this with SessionChurnWorkload::Config::on_crash to
+  /// checkpoint and resurrect the box mid-churn.
+  void export_control_state(persist::ByteSink& sink);
+  /// Restores a snapshot over the live control plane (throws
+  /// persist::FormatError/StateError exactly as persist::
+  /// load_neutralizer does).
+  void restore_control_state(persist::ByteSource& source);
 
   /// schedule_voip + run to completion + collect, for one-at-a-time
   /// experiments.

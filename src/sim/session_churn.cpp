@@ -132,6 +132,14 @@ void SessionChurnWorkload::emit_due() {
   const SimTime horizon = engine_.now() - (config_.batch_window > 0 ? 1 : 0);
   while (next_ < schedule_.size() && replay_time(next_) <= horizon) {
     const SimTime at = replay_time(next_);
+    if (!crashed_ && config_.crash_after > 0 && config_.on_crash &&
+        delivered_ == config_.crash_after) {
+      // Fires between events: the previous instant's group commit is
+      // durable, the upcoming event was never journaled — the sharpest
+      // possible crash point.
+      crashed_ = true;
+      config_.on_crash(at);
+    }
     const SessionEvent& event = schedule_[next_++];
     op_(event, at);
     ++delivered_;

@@ -90,6 +90,15 @@ class SessionChurnWorkload {
     /// global multiples of the window and deliver everything due,
     /// stamped with its own time (see TraceWorkload::Config).
     SimTime batch_window = 0;
+    /// Fault injection for the persistence subsystem: after exactly
+    /// `crash_after` events have been delivered, `on_crash` fires once
+    /// (before the next event is handed over). The callback typically
+    /// tears the box down and crash-recovers it from snapshot +
+    /// journal; delivery then continues against the recovered box, so
+    /// a differential against an uncrashed run covers the whole
+    /// post-recovery tail. 0 = never.
+    std::uint64_t crash_after = 0;
+    std::function<void(SimTime now)> on_crash;
   };
 
   /// The schedule need not be sorted; events replay in time order
@@ -114,6 +123,7 @@ class SessionChurnWorkload {
   std::size_t next_ = 0;
   std::uint64_t delivered_ = 0;
   bool started_ = false;
+  bool crashed_ = false;
 
   void emit_due();
   [[nodiscard]] SimTime replay_time(std::size_t index) const noexcept;

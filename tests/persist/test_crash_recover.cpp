@@ -1,0 +1,357 @@
+// The crash differential: a box that snapshots mid-churn, journals its
+// control-plane mutations, "crashes" at a randomized event boundary,
+// and is rebuilt by persist::recover() must answer the remainder of the
+// workload byte-identically to a box that never crashed — and reconcile
+// its lifecycle accounting exactly. Parameterized over seeds and over
+// 1- vs 4-shard deployments (dynamic-address traffic pins to shard 0,
+// so shard 0 is what checkpoints and recovers).
+//
+// The group-commit tests pin the durability boundary: records lost
+// mid-batch simply never happened, a torn final batch rolls back to the
+// last commit, and a journal spliced onto a foreign snapshot is
+// rejected as such.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "core/sharded_box.hpp"
+#include "net/packet.hpp"
+#include "persist/io.hpp"
+#include "persist/recover.hpp"
+#include "persist/state.hpp"
+#include "persist_test_util.hpp"
+#include "sim/session_churn.hpp"
+#include "util/bytes.hpp"
+
+namespace nn {
+namespace {
+
+using persist_test::box_config;
+using persist_test::customer_of;
+using persist_test::dyn_request;
+using persist_test::expect_same_control_state;
+using persist_test::populate;
+using persist_test::root_key;
+
+// Self-contained SplitMix64 step for deriving snapshot/crash points
+// from the test seed — varied per seed, deterministic per run.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+sim::SessionChurnConfig crash_soak(std::uint64_t seed) {
+  sim::SessionChurnConfig cfg;
+  cfg.sessions = 600;
+  cfg.arrivals_per_second = 1e6;
+  cfg.poisson = true;
+  cfg.lease = 2 * sim::kMillisecond;
+  cfg.renew_probability = 0.6;
+  cfg.renewal_jitter = 0.3;
+  cfg.max_renewals = 3;
+  cfg.depart_probability = 0.5;
+  cfg.rekey_interval = 4 * sim::kMillisecond;
+  cfg.horizon = 20 * sim::kMillisecond;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_same_bytes(const net::Packet& a, const net::Packet& b,
+                       std::size_t event_index) {
+  ASSERT_EQ(a.view().size(), b.view().size()) << "event " << event_index;
+  ASSERT_TRUE(std::equal(a.view().begin(), a.view().end(), b.view().begin()))
+      << "event " << event_index;
+}
+
+// Deployment adapter so the same driver covers the single box and the
+// sharded cluster (where arrivals go through enqueue/drain like real
+// ingest, and the control plane is shard 0).
+struct Deployment {
+  virtual ~Deployment() = default;
+  virtual core::Neutralizer& control() = 0;
+  virtual std::optional<net::Packet> arrive(std::uint64_t session,
+                                            sim::SimTime at) = 0;
+};
+
+struct SingleBox final : Deployment {
+  core::Neutralizer service{box_config(), root_key()};
+  core::Neutralizer& control() override { return service; }
+  std::optional<net::Packet> arrive(std::uint64_t session,
+                                    sim::SimTime at) override {
+    return service.process(dyn_request(customer_of(session), session), at);
+  }
+};
+
+struct ShardedBox final : Deployment {
+  core::ShardedNeutralizer cluster;
+  std::vector<net::Packet> drained;
+  explicit ShardedBox(std::size_t shards)
+      : cluster(shards, box_config(), root_key()) {}
+  core::Neutralizer& control() override { return cluster.shard(0); }
+  std::optional<net::Packet> arrive(std::uint64_t session,
+                                    sim::SimTime at) override {
+    EXPECT_EQ(cluster.enqueue(dyn_request(customer_of(session), session)), 0u);
+    drained.clear();
+    cluster.drain_shard(0, at, drained);
+    if (drained.empty()) return std::nullopt;
+    return std::move(drained.front());
+  }
+};
+
+std::unique_ptr<Deployment> make_deployment(std::size_t shards) {
+  if (shards <= 1) return std::make_unique<SingleBox>();
+  return std::make_unique<ShardedBox>(shards);
+}
+
+// Applies one churn event exactly as scenario/fig1.cpp does (lease
+// collector first, then the handler), journaling each mutation the box
+// actually performed. Returns the arrival response, if any.
+std::optional<net::Packet> drive_event(Deployment& d,
+                                       const sim::SessionEvent& ev,
+                                       std::vector<std::uint32_t>& addr_of,
+                                       persist::ControlJournal* journal) {
+  core::Neutralizer& service = d.control();
+  service.expire_dynamic_sessions(ev.at);
+  switch (ev.kind) {
+    case sim::SessionEvent::Kind::kArrive: {
+      // Arrivals journal unconditionally: replaying a rejected request
+      // recreates the same rejection (and its counters).
+      if (journal != nullptr) {
+        journal->arrive(customer_of(ev.session), ev.session, ev.at);
+      }
+      auto resp = d.arrive(ev.session, ev.at);
+      if (resp.has_value()) {
+        const auto parsed = net::parse_packet(resp->view());
+        ByteReader r(parsed.payload);
+        addr_of[ev.session] = r.u32();
+      }
+      return resp;
+    }
+    case sim::SessionEvent::Kind::kRenew: {
+      if (addr_of[ev.session] == 0) return std::nullopt;
+      const net::Ipv4Addr dyn(addr_of[ev.session]);
+      if (service.renew_dynamic(dyn, ev.at) && journal != nullptr) {
+        journal->renew(dyn, ev.at);
+      }
+      return std::nullopt;
+    }
+    case sim::SessionEvent::Kind::kDepart: {
+      if (addr_of[ev.session] == 0) return std::nullopt;
+      const net::Ipv4Addr dyn(addr_of[ev.session]);
+      if (service.release_dynamic(dyn) && journal != nullptr) {
+        journal->depart(dyn, ev.at);
+      }
+      addr_of[ev.session] = 0;
+      return std::nullopt;
+    }
+    case sim::SessionEvent::Kind::kRekeyStorm:
+      service.rekey_dynamic_sessions(ev.at);
+      if (journal != nullptr) journal->rekey_storm(ev.at);
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+class CrashRecoverDifferential
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {
+};
+
+TEST_P(CrashRecoverDifferential, RecoveredBoxIsByteIdenticalToUncrashed) {
+  const auto [seed, shards] = GetParam();
+  const auto schedule = sim::churn_schedule(crash_soak(seed));
+  const std::size_t n = schedule.size();
+  ASSERT_GE(n, 8u);
+  // Snapshot in the second quarter, crash strictly after it.
+  const std::size_t snap_at = n / 4 + mix64(seed) % (n / 4);
+  const std::size_t crash_at = snap_at + 1 + mix64(seed * 3 + 1) % (n - snap_at - 1);
+
+  // `live` is the box that never crashes; it also *is* the pre-crash
+  // history (determinism: the crashed box performed these same
+  // mutations, so journaling live's actions journals the crashed
+  // box's).
+  auto live = make_deployment(shards);
+  std::vector<std::uint32_t> addr_of(crash_soak(seed).sessions, 0);
+
+  for (std::size_t i = 0; i < snap_at; ++i) {
+    drive_event(*live, schedule[i], addr_of, nullptr);
+  }
+
+  persist::MemorySink snap_sink;
+  persist::save_neutralizer(live->control(), snap_sink);
+  const std::uint64_t resident_at_snapshot = live->control().dynamic_sessions();
+
+  persist::MemorySink journal_sink;
+  persist::ControlJournal journal(journal_sink);
+  for (std::size_t i = snap_at; i < crash_at; ++i) {
+    drive_event(*live, schedule[i], addr_of, &journal);
+    journal.commit();  // end-of-instant quiescence: every event durable
+  }
+
+  // -- crash -- rebuild from the snapshot + committed journal tail.
+  auto recovered = make_deployment(shards);
+  persist::MemorySource snap_src(snap_sink.bytes());
+  persist::MemorySource journal_src(journal_sink.bytes());
+  const auto stats =
+      persist::recover(recovered->control(), snap_src, &journal_src);
+
+  EXPECT_EQ(stats.sessions_restored, resident_at_snapshot);
+  EXPECT_EQ(stats.journal_records, journal.writer().records_appended());
+  EXPECT_EQ(stats.arrivals_replayed + stats.renews_replayed +
+                stats.departs_replayed + stats.storms_replayed,
+            stats.journal_records);
+  EXPECT_FALSE(stats.torn_tail);
+
+  // State at the crash point must match the box that never crashed.
+  expect_same_control_state(live->control(), recovered->control());
+
+  // The post-recovery tail: both boxes answer every remaining event,
+  // and every wire response is byte-identical.
+  std::vector<std::uint32_t> addr_of_recovered = addr_of;
+  for (std::size_t i = crash_at; i < n; ++i) {
+    auto ref = drive_event(*live, schedule[i], addr_of, nullptr);
+    auto got = drive_event(*recovered, schedule[i], addr_of_recovered, nullptr);
+    ASSERT_EQ(ref.has_value(), got.has_value()) << "event " << i;
+    if (ref.has_value()) expect_same_bytes(*ref, *got, i);
+    ASSERT_EQ(live->control().dynamic_sessions(),
+              recovered->control().dynamic_sessions())
+        << "event " << i;
+  }
+  EXPECT_EQ(addr_of, addr_of_recovered);
+  expect_same_control_state(live->control(), recovered->control());
+
+  // Exact lifecycle reconciliation on the recovered box.
+  const auto& c = recovered->control().dynamic_allocator()->counters();
+  EXPECT_EQ(c.allocated,
+            c.released + c.expired + recovered->control().dynamic_sessions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndShards, CrashRecoverDifferential,
+    ::testing::Combine(::testing::Values(0x51ACu, 0x52ACu, 0x53ACu),
+                       ::testing::Values(std::size_t{1}, std::size_t{4})));
+
+// Commit-granular durability: records buffered past the last group
+// commit are lost by a crash — and that loss is exact, not approximate.
+TEST(CrashRecover, MidBatchCrashRollsBackToLastGroupCommit) {
+  core::Neutralizer live(box_config(), root_key());
+  populate(live, 100);
+  persist::MemorySink snap_sink;
+  persist::save_neutralizer(live, snap_sink);
+
+  persist::MemorySink journal_sink;
+  persist::ControlJournal journal(journal_sink,
+                                  {.group_commit_records = 4});
+  for (std::uint64_t s = 100; s < 110; ++s) {
+    journal.arrive(customer_of(s), s, 0);
+    ASSERT_TRUE(live.process(dyn_request(customer_of(s), s), 0).has_value());
+  }
+  // 10 appends, group 4: batches at 4 and 8 committed themselves; the
+  // last 2 records sit in the in-memory batch — the crash eats them.
+  ASSERT_EQ(journal.writer().batches_committed(), 2u);
+  ASSERT_EQ(journal.writer().pending_records(), 2u);
+
+  core::Neutralizer recovered(box_config(), root_key());
+  persist::MemorySource snap_src(snap_sink.bytes());
+  persist::MemorySource journal_src(journal_sink.bytes());
+  const auto stats = persist::recover(recovered, snap_src, &journal_src);
+  EXPECT_EQ(stats.sessions_restored, 100u);
+  EXPECT_EQ(stats.arrivals_replayed, 8u);
+  EXPECT_FALSE(stats.torn_tail);  // clean batch boundary, not a tear
+
+  // The recovered box equals one that only ever saw the durable 108.
+  core::Neutralizer reference(box_config(), root_key());
+  populate(reference, 108);
+  expect_same_control_state(recovered, reference);
+}
+
+TEST(CrashRecover, TornFinalBatchToleratedUnderCrashSemantics) {
+  core::Neutralizer live(box_config(), root_key());
+  populate(live, 50);
+  persist::MemorySink snap_sink;
+  persist::save_neutralizer(live, snap_sink);
+
+  persist::MemorySink journal_sink;
+  persist::ControlJournal journal(journal_sink,
+                                  {.group_commit_records = 4});
+  for (std::uint64_t s = 50; s < 60; ++s) {
+    journal.arrive(customer_of(s), s, 0);
+    live.process(dyn_request(customer_of(s), s), 0);
+  }
+  journal.commit();  // final batch: records 8..9 (2 records)
+  auto bytes = journal_sink.take();
+  bytes.resize(bytes.size() - 3);  // crash mid-write tears the tail
+
+  core::Neutralizer recovered(box_config(), root_key());
+  persist::MemorySource snap_src(snap_sink.bytes());
+  persist::MemorySource torn_src(bytes);
+  const auto stats = persist::recover(recovered, snap_src, &torn_src,
+                                      {.torn_tail = persist::TornTail::kTolerate});
+  EXPECT_EQ(stats.arrivals_replayed, 8u);
+  EXPECT_TRUE(stats.torn_tail);
+
+  core::Neutralizer reference(box_config(), root_key());
+  populate(reference, 58);
+  expect_same_control_state(recovered, reference);
+
+  // Strict integrity audit of the same file refuses the tear.
+  core::Neutralizer strict(box_config(), root_key());
+  persist::MemorySource snap_src2(snap_sink.bytes());
+  persist::MemorySource torn_src2(bytes);
+  EXPECT_THROW(persist::recover(strict, snap_src2, &torn_src2,
+                                {.torn_tail = persist::TornTail::kReject}),
+               persist::FormatError);
+}
+
+TEST(CrashRecover, JournalFromForeignHistoryRejected) {
+  core::Neutralizer live(box_config(), root_key());
+  populate(live, 10);
+  persist::MemorySink snap_sink;
+  persist::save_neutralizer(live, snap_sink);
+
+  // A journal that departs an address the snapshot never allocated:
+  // snapshot and journal are from different histories.
+  persist::MemorySink journal_sink;
+  persist::ControlJournal journal(journal_sink);
+  journal.depart(net::Ipv4Addr(172, 16, 0xEE, 0xEE), 0);
+  journal.commit();
+
+  core::Neutralizer recovered(box_config(), root_key());
+  persist::MemorySource snap_src(snap_sink.bytes());
+  persist::MemorySource journal_src(journal_sink.bytes());
+  try {
+    persist::recover(recovered, snap_src, &journal_src);
+    FAIL() << "recover accepted a journal from a foreign history";
+  } catch (const persist::StateError& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("journal does not continue this snapshot"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CrashRecover, SnapshotAloneRestoresWithoutJournal) {
+  core::Neutralizer live(box_config(), root_key());
+  populate(live, 25);
+  persist::MemorySink snap_sink;
+  persist::save_neutralizer(live, snap_sink);
+
+  core::Neutralizer recovered(box_config(), root_key());
+  persist::MemorySource snap_src(snap_sink.bytes());
+  const auto stats = persist::recover(recovered, snap_src, nullptr);
+  EXPECT_EQ(stats.sessions_restored, 25u);
+  EXPECT_EQ(stats.journal_records, 0u);
+  expect_same_control_state(live, recovered);
+}
+
+}  // namespace
+}  // namespace nn

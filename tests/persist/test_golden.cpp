@@ -1,0 +1,114 @@
+// Format-stability test: a committed golden snapshot, produced by a
+// fixed op script, must load in every future build — and the same
+// script must still serialize to the identical bytes. This is the
+// tripwire for accidental format changes: if the layout, the chunk
+// order, the canonical record order, or the key derivation shifts, this
+// test fails before any real snapshot in the field stops loading
+// (intentional format changes bump kSnapshotVersion and regenerate).
+//
+// Regenerate (from the build dir, after an intentional change):
+//
+//   NN_REGEN_GOLDEN=1 ./tests/nn_test_persist --gtest_filter='Golden.*'
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "persist/io.hpp"
+#include "persist/state.hpp"
+#include "persist_test_util.hpp"
+
+#ifndef NN_GOLDEN_FIXTURE
+#error "tests/CMakeLists.txt must define NN_GOLDEN_FIXTURE"
+#endif
+
+namespace nn {
+namespace {
+
+using persist_test::box_config;
+using persist_test::customer_of;
+using persist_test::dyn_request;
+using persist_test::expect_same_control_state;
+using persist_test::populate;
+using persist_test::root_key;
+
+// The fixed script behind the committed fixture. Every value a
+// snapshot contains is a deterministic function of this history (keys
+// are CMAC PRFs of the root key, addresses come off a deterministic
+// cursor/LIFO stack), so the exported bytes are reproducible across
+// builds and platforms — that reproducibility is what this test pins.
+void golden_script(core::Neutralizer& box) {
+  const auto addrs = populate(box, 40, sim::kMillisecond);
+  for (std::size_t i = 0; i < 8; ++i) {
+    box.release_dynamic(addrs[i]);  // populates the free list
+  }
+  for (std::size_t i = 8; i < 16; ++i) {
+    box.renew_dynamic(addrs[i], sim::kMillisecond + sim::kMillisecond / 2);
+  }
+  box.rekey_dynamic_sessions(2 * sim::kMillisecond);  // epoch bump
+  for (std::uint64_t s = 40; s < 50; ++s) {  // recycles freed addresses
+    box.process(dyn_request(customer_of(s), s), 2 * sim::kMillisecond);
+  }
+}
+
+std::vector<std::uint8_t> export_bytes(const core::Neutralizer& box) {
+  persist::MemorySink sink;
+  persist::save_neutralizer(box, sink);
+  return sink.take();
+}
+
+std::vector<std::uint8_t> read_fixture() {
+  persist::FileSource file(NN_GOLDEN_FIXTURE);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const std::size_t got = file.read(buf);
+    bytes.insert(bytes.end(), buf, buf + got);
+    if (got < sizeof buf) break;
+  }
+  return bytes;
+}
+
+TEST(Golden, FixtureMatchesScriptByteForByte) {
+  core::Neutralizer box(box_config(), root_key());
+  golden_script(box);
+  const auto current = export_bytes(box);
+
+  if (std::getenv("NN_REGEN_GOLDEN") != nullptr) {
+    persist::FileSink out(NN_GOLDEN_FIXTURE);
+    out.write(current);
+    out.flush();
+    GTEST_SKIP() << "regenerated " << NN_GOLDEN_FIXTURE << " ("
+                 << current.size() << " bytes)";
+  }
+
+  const auto golden = read_fixture();
+  ASSERT_EQ(golden.size(), current.size())
+      << "snapshot format drifted — if intentional, bump kSnapshotVersion "
+         "and regenerate (see file header comment)";
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    ASSERT_EQ(golden[i], current[i]) << "first divergence at byte " << i;
+  }
+}
+
+TEST(Golden, FixtureRestoresIntoTodaysBox) {
+  if (std::getenv("NN_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "regeneration run";
+  }
+  const auto golden = read_fixture();
+  core::Neutralizer restored(box_config(), root_key());
+  persist::MemorySource src(golden);
+  persist::load_neutralizer(restored, src);
+
+  // The restored box equals a freshly scripted one, and keeps serving:
+  // 42 resident (40 + 10 recycled-or-fresh − 8 released), epoch 1.
+  core::Neutralizer reference(box_config(), root_key());
+  golden_script(reference);
+  expect_same_control_state(reference, restored);
+  EXPECT_EQ(restored.dynamic_sessions(), 42u);
+}
+
+}  // namespace
+}  // namespace nn

@@ -1,0 +1,316 @@
+// Journal (WAL) format tests: round-trip, group-commit boundaries,
+// commit-granular durability, and the two failure shapes the reader
+// must keep apart — torn tails (tolerated under crash semantics) vs
+// corruption (always FormatError). The torn-tail sweep truncates a
+// known-good log at *every* byte boundary and checks both policies at
+// each point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "persist/crc32c.hpp"
+#include "persist/io.hpp"
+#include "persist/journal.hpp"
+#include "persist/recover.hpp"
+
+namespace nn::persist {
+namespace {
+
+JournalRecord rec(JournalOp op, sim::SimTime at, std::uint32_t addr,
+                  std::uint64_t nonce) {
+  JournalRecord r;
+  r.op = op;
+  r.at = at;
+  r.addr = addr;
+  r.nonce = nonce;
+  return r;
+}
+
+std::vector<JournalRecord> sample_records(std::size_t n) {
+  std::vector<JournalRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto op = static_cast<JournalOp>(1 + (i % 4));
+    out.push_back(rec(op, static_cast<sim::SimTime>(i) * sim::kMillisecond,
+                      0xAC100000u + static_cast<std::uint32_t>(i),
+                      0x1000u + i));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> serialize(const std::vector<JournalRecord>& records,
+                                    std::size_t group) {
+  MemorySink sink;
+  JournalWriter writer(sink, {.group_commit_records = group});
+  for (const auto& r : records) writer.append(r);
+  writer.commit();
+  return sink.take();
+}
+
+std::vector<JournalRecord> read_all(std::span<const std::uint8_t> bytes,
+                                    TornTail policy, bool* torn = nullptr,
+                                    std::uint64_t* batches = nullptr) {
+  MemorySource source(bytes);
+  JournalReader reader(source, policy);
+  std::vector<JournalRecord> out;
+  while (auto r = reader.next()) out.push_back(*r);
+  if (torn != nullptr) *torn = reader.torn();
+  if (batches != nullptr) *batches = reader.batches_read();
+  return out;
+}
+
+// Patches the batch CRC trailer after a surgical edit. `batch_off` is
+// the file offset of the batch marker, `batch_len` the full batch size
+// including the trailer.
+void reseal_batch(std::vector<std::uint8_t>& bytes, std::size_t batch_off,
+                  std::size_t batch_len) {
+  const std::size_t covered = batch_len - 4;
+  const std::uint32_t crc = crc32c({bytes.data() + batch_off, covered});
+  std::uint8_t* t = bytes.data() + batch_off + covered;
+  t[0] = static_cast<std::uint8_t>(crc >> 24);
+  t[1] = static_cast<std::uint8_t>(crc >> 16);
+  t[2] = static_cast<std::uint8_t>(crc >> 8);
+  t[3] = static_cast<std::uint8_t>(crc);
+}
+
+constexpr std::size_t kHeaderBytes = 12;
+// marker+len (8) + first_seq (8) + count (4) + records + crc (4)
+constexpr std::size_t batch_bytes(std::size_t records) {
+  return 24 + records * kJournalRecordBytes;
+}
+
+TEST(Journal, RoundTripsAcrossGroupBoundaries) {
+  const auto records = sample_records(10);
+  const auto bytes = serialize(records, /*group=*/4);
+  ASSERT_EQ(bytes.size(),
+            kHeaderBytes + 2 * batch_bytes(4) + batch_bytes(2));
+
+  bool torn = true;
+  std::uint64_t batches = 0;
+  const auto got = read_all(bytes, TornTail::kReject, &torn, &batches);
+  EXPECT_EQ(got, records);
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(batches, 3u);
+}
+
+TEST(Journal, AppendAutoCommitsFullGroups) {
+  MemorySink sink;
+  JournalWriter writer(sink, {.group_commit_records = 2});
+  writer.append(rec(JournalOp::kArrive, 0, 1, 1));
+  EXPECT_EQ(writer.pending_records(), 1u);
+  EXPECT_EQ(writer.batches_committed(), 0u);
+  writer.append(rec(JournalOp::kArrive, 0, 2, 2));
+  EXPECT_EQ(writer.pending_records(), 0u);
+  EXPECT_EQ(writer.batches_committed(), 1u);
+  EXPECT_EQ(writer.bytes_written(), sink.bytes().size());
+  // Empty commit is a no-op, not an empty batch.
+  writer.commit();
+  EXPECT_EQ(writer.batches_committed(), 1u);
+}
+
+TEST(Journal, UncommittedRecordsAreInvisible) {
+  MemorySink sink;
+  JournalWriter writer(sink, {.group_commit_records = 256});
+  const auto records = sample_records(3);
+  for (const auto& r : records) writer.append(r);
+  // Not committed: the sink holds only the file header, so a reader
+  // sees a clean empty log — exactly what a crash here would leave.
+  EXPECT_EQ(read_all(sink.bytes(), TornTail::kReject).size(), 0u);
+
+  writer.commit();
+  EXPECT_EQ(read_all(sink.bytes(), TornTail::kReject), records);
+}
+
+TEST(Journal, WriterRejectsAbsurdGroupSize) {
+  MemorySink sink;
+  EXPECT_THROW(JournalWriter(sink, {.group_commit_records = 0}), StateError);
+  EXPECT_THROW(
+      JournalWriter(sink, {.group_commit_records = kMaxBatchRecords + 1}),
+      StateError);
+}
+
+// The crash-artifact sweep: truncate a two-batch log at every byte
+// boundary. Under kTolerate every cut is "end of log" at the last
+// whole batch; under kReject every mid-batch cut throws.
+TEST(Journal, TornTailSweepAtEveryTruncationPoint) {
+  const auto records = sample_records(6);
+  const auto bytes = serialize(records, /*group=*/3);
+  const std::size_t batch1_end = kHeaderBytes + batch_bytes(3);
+  ASSERT_EQ(bytes.size(), batch1_end + batch_bytes(3));
+
+  for (std::size_t len = kHeaderBytes; len < bytes.size(); ++len) {
+    const std::span<const std::uint8_t> cut(bytes.data(), len);
+    bool torn = false;
+    const auto got = read_all(cut, TornTail::kTolerate, &torn);
+    const std::size_t expect = len >= batch1_end ? 3u : 0u;
+    EXPECT_EQ(got.size(), expect) << "truncated to " << len;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], records[i]) << "truncated to " << len;
+    }
+    const bool boundary = len == kHeaderBytes || len == batch1_end;
+    EXPECT_EQ(torn, !boundary) << "truncated to " << len;
+
+    if (boundary) {
+      // Clean batch boundary: even the strict policy accepts it.
+      EXPECT_EQ(read_all(cut, TornTail::kReject).size(), expect);
+    } else {
+      try {
+        read_all(cut, TornTail::kReject);
+        FAIL() << "kReject accepted a torn log truncated to " << len;
+      } catch (const FormatError& e) {
+        EXPECT_NE(std::string(e.what()).find("torn batch"),
+                  std::string::npos)
+            << e.what();
+      }
+    }
+  }
+}
+
+TEST(Journal, BitFlipInFullBatchIsCorruptionNotTornTail) {
+  auto bytes = serialize(sample_records(3), /*group=*/3);
+  bytes[kHeaderBytes + 20 + 5] ^= 0x01;  // inside record 0's timestamp
+  for (const TornTail policy : {TornTail::kReject, TornTail::kTolerate}) {
+    try {
+      read_all(bytes, policy);
+      FAIL() << "reader accepted a bit-flipped batch";
+    } catch (const FormatError& e) {
+      EXPECT_NE(std::string(e.what()).find("CRC mismatch in batch 0"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Journal, SplicedLogRejectedBySequenceCheck) {
+  const auto bytes = serialize(sample_records(6), /*group=*/3);
+  // Replay batch 0 (sequence 0..2) after batch 1: a spliced/reordered
+  // log whose every batch is individually CRC-valid.
+  auto spliced = bytes;
+  spliced.insert(spliced.end(), bytes.begin() + kHeaderBytes,
+                 bytes.begin() + kHeaderBytes + batch_bytes(3));
+  try {
+    read_all(spliced, TornTail::kTolerate);
+    FAIL() << "reader accepted a spliced log";
+  } catch (const FormatError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("starts at sequence 0, expected 6"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("spliced or reordered"), std::string::npos) << what;
+  }
+}
+
+TEST(Journal, UnknownOpRejected) {
+  auto bytes = serialize(sample_records(1), /*group=*/1);
+  bytes[kHeaderBytes + 20] = 9;  // record 0's op byte
+  reseal_batch(bytes, kHeaderBytes, batch_bytes(1));
+  try {
+    read_all(bytes, TornTail::kTolerate);
+    FAIL() << "reader accepted an unknown op";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown op 9"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Journal, CountPayloadMismatchRejected) {
+  auto bytes = serialize(sample_records(2), /*group=*/2);
+  bytes[kHeaderBytes + 19] = 3;  // count word says 3, payload_len says 2
+  reseal_batch(bytes, kHeaderBytes, batch_bytes(2));
+  try {
+    read_all(bytes, TornTail::kTolerate);
+    FAIL() << "reader accepted a count/payload mismatch";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find("declares 3 record(s) in 42"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Journal, BadBatchMarkerRejected) {
+  auto bytes = serialize(sample_records(1), /*group=*/1);
+  bytes[kHeaderBytes] = 0x00;
+  for (const TornTail policy : {TornTail::kReject, TornTail::kTolerate}) {
+    try {
+      read_all(bytes, policy);
+      FAIL() << "reader accepted a bad batch marker";
+    } catch (const FormatError& e) {
+      EXPECT_NE(std::string(e.what()).find("bad batch marker"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Journal, HeaderErrorsAreExact) {
+  const auto good = serialize(sample_records(1), /*group=*/1);
+
+  {
+    auto bytes = good;
+    bytes[0] = 0x4D;  // 'M'
+    try {
+      read_all(bytes, TornTail::kReject);
+      FAIL() << "reader accepted a bad magic";
+    } catch (const FormatError& e) {
+      EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    auto bytes = good;
+    bytes[5] = 2;  // version 2; fix the header CRC so only skew remains
+    const std::uint32_t crc = crc32c({bytes.data(), 8});
+    bytes[8] = static_cast<std::uint8_t>(crc >> 24);
+    bytes[9] = static_cast<std::uint8_t>(crc >> 16);
+    bytes[10] = static_cast<std::uint8_t>(crc >> 8);
+    bytes[11] = static_cast<std::uint8_t>(crc);
+    try {
+      read_all(bytes, TornTail::kReject);
+      FAIL() << "reader accepted a version-skewed journal";
+    } catch (const FormatError& e) {
+      EXPECT_NE(std::string(e.what())
+                    .find("unsupported version 2 (this build reads version 1)"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    auto bytes = good;
+    bytes[10] ^= 0x40;  // header CRC bit flip
+    EXPECT_THROW(read_all(bytes, TornTail::kReject), FormatError);
+  }
+  {
+    // A header cut short is a truncated file, not an empty log.
+    std::vector<std::uint8_t> bytes(good.begin(), good.begin() + 7);
+    EXPECT_THROW(read_all(bytes, TornTail::kTolerate), FormatError);
+  }
+}
+
+TEST(ControlJournal, TypedAppendsMapToRecords) {
+  MemorySink sink;
+  ControlJournal journal(sink);
+  journal.arrive(net::Ipv4Addr(20, 0, 0, 7), /*request_id=*/42,
+                 3 * sim::kMillisecond);
+  journal.renew(net::Ipv4Addr(172, 16, 0, 1), 4 * sim::kMillisecond);
+  journal.depart(net::Ipv4Addr(172, 16, 0, 2), 5 * sim::kMillisecond);
+  journal.rekey_storm(6 * sim::kMillisecond);
+  journal.commit();
+  EXPECT_EQ(journal.writer().records_appended(), 4u);
+  EXPECT_EQ(journal.writer().batches_committed(), 1u);
+
+  const auto got = read_all(sink.bytes(), TornTail::kReject);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], rec(JournalOp::kArrive, 3 * sim::kMillisecond,
+                        net::Ipv4Addr(20, 0, 0, 7).value(), 42));
+  EXPECT_EQ(got[1], rec(JournalOp::kRenew, 4 * sim::kMillisecond,
+                        net::Ipv4Addr(172, 16, 0, 1).value(), 0));
+  EXPECT_EQ(got[2], rec(JournalOp::kDepart, 5 * sim::kMillisecond,
+                        net::Ipv4Addr(172, 16, 0, 2).value(), 0));
+  EXPECT_EQ(got[3], rec(JournalOp::kRekeyStorm, 6 * sim::kMillisecond, 0, 0));
+}
+
+}  // namespace
+}  // namespace nn::persist

@@ -1,0 +1,222 @@
+// Adversarial loader fuzz, in the style of tests/net/test_shim_fuzz:
+// whatever bytes a crash, a bad disk, or an attacker leaves behind, the
+// persistence loaders must either restore cleanly or throw a typed
+// persist::Error — never crash, never corrupt the target box silently.
+//
+//   * truncation sweep: every prefix of a valid snapshot/journal
+//   * single-bit flips: every bit of both files is CRC-covered, so
+//     EVERY flip must be detected (this is the strongest claim the
+//     format makes, and it is exhaustively checked here)
+//   * mutation soup: seeded random edits (overwrites, truncations,
+//     duplicated slices, zeroed spans) — accept-or-typed-error
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "persist/io.hpp"
+#include "persist/journal.hpp"
+#include "persist/recover.hpp"
+#include "persist/state.hpp"
+#include "persist_test_util.hpp"
+
+namespace nn {
+namespace {
+
+using persist_test::box_config;
+using persist_test::customer_of;
+using persist_test::populate;
+using persist_test::root_key;
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// A small but complete snapshot: resident sessions, a non-empty free
+// list (releases), and a rekeyed epoch, so every chunk kind is present.
+std::vector<std::uint8_t> snapshot_bytes(std::size_t sessions = 24) {
+  core::Neutralizer box(box_config(), root_key());
+  const auto addrs = populate(box, sessions);
+  for (std::size_t i = 0; i < sessions / 4; ++i) {
+    box.release_dynamic(addrs[i]);
+  }
+  box.rekey_dynamic_sessions(sim::kMillisecond);
+  persist::MemorySink sink;
+  persist::save_neutralizer(box, sink);
+  return sink.take();
+}
+
+std::vector<std::uint8_t> journal_bytes() {
+  persist::MemorySink sink;
+  persist::ControlJournal journal(sink, {.group_commit_records = 3});
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    journal.arrive(customer_of(s), s, static_cast<sim::SimTime>(s));
+  }
+  journal.rekey_storm(9);
+  journal.commit();
+  return sink.take();
+}
+
+// True if the bytes restored cleanly; throws anything that is not a
+// persist::Error straight through (that would be a contract violation
+// and fails the test at the gtest layer).
+bool try_restore(std::span<const std::uint8_t> bytes) {
+  core::Neutralizer box(box_config(), root_key());
+  persist::MemorySource source(bytes);
+  try {
+    persist::load_neutralizer(box, source);
+    return true;
+  } catch (const persist::Error&) {
+    return false;
+  }
+}
+
+bool try_read_journal(std::span<const std::uint8_t> bytes,
+                      persist::TornTail policy) {
+  persist::MemorySource source(bytes);
+  try {
+    persist::JournalReader reader(source, policy);
+    while (reader.next().has_value()) {
+    }
+    return true;
+  } catch (const persist::Error&) {
+    return false;
+  }
+}
+
+TEST(LoaderFuzz, SnapshotTruncationSweepAlwaysTypedError) {
+  const auto bytes = snapshot_bytes();
+  ASSERT_TRUE(try_restore(bytes));
+  // No strict prefix of a valid snapshot is a valid snapshot: the end
+  // chunk (and its count) make completeness detectable.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(try_restore({bytes.data(), len})) << "prefix " << len;
+  }
+}
+
+TEST(LoaderFuzz, SnapshotEveryBitFlipDetected) {
+  const auto bytes = snapshot_bytes(/*sessions=*/6);
+  ASSERT_TRUE(try_restore(bytes));
+  auto work = bytes;
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      work[byte] = bytes[byte] ^ static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(try_restore(work))
+          << "flip went undetected at byte " << byte << " bit " << bit;
+      work[byte] = bytes[byte];
+    }
+  }
+}
+
+TEST(LoaderFuzz, JournalEveryBitFlipDetected) {
+  const auto bytes = journal_bytes();
+  ASSERT_TRUE(try_read_journal(bytes, persist::TornTail::kReject));
+  auto work = bytes;
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      work[byte] = bytes[byte] ^ static_cast<std::uint8_t>(1u << bit);
+      // A CRC mismatch on present bytes is corruption under either
+      // policy — tolerate only forgives truncation, never bit rot.
+      EXPECT_FALSE(try_read_journal(work, persist::TornTail::kReject))
+          << "flip went undetected at byte " << byte << " bit " << bit;
+      EXPECT_FALSE(try_read_journal(work, persist::TornTail::kTolerate))
+          << "flip tolerated at byte " << byte << " bit " << bit;
+      work[byte] = bytes[byte];
+    }
+  }
+}
+
+// Seeded mutation soup over both formats. Journals read under
+// kTolerate may legitimately accept a mutation that only shortens the
+// tail; everything else must be accept-or-typed-error, never UB (the
+// ASan/UBSan CI job runs this file for exactly that reason).
+TEST(LoaderFuzz, MutationSoupNeverEscapesTypedErrors) {
+  const auto snapshot = snapshot_bytes();
+  const auto journal = journal_bytes();
+  std::uint64_t state = 0xF0022DD5u;
+  const auto rnd = [&](std::uint64_t bound) {
+    state = mix64(state);
+    return bound == 0 ? 0 : state % bound;
+  };
+
+  for (int round = 0; round < 400; ++round) {
+    auto work = (round % 2 == 0) ? snapshot : journal;
+    const std::uint64_t edits = 1 + rnd(4);
+    for (std::uint64_t e = 0; e < edits; ++e) {
+      switch (rnd(4)) {
+        case 0:  // overwrite a byte
+          work[rnd(work.size())] = static_cast<std::uint8_t>(rnd(256));
+          break;
+        case 1:  // truncate
+          work.resize(rnd(work.size() + 1));
+          break;
+        case 2: {  // duplicate a slice onto another position
+          if (work.size() < 8) break;
+          const std::size_t len = 1 + rnd(16);
+          const std::size_t from = rnd(work.size() - 1);
+          const std::size_t to = rnd(work.size() - 1);
+          for (std::size_t i = 0; i + from < work.size() &&
+                                  i + to < work.size() && i < len;
+               ++i) {
+            work[to + i] = work[from + i];
+          }
+          break;
+        }
+        default: {  // zero a span
+          if (work.empty()) break;
+          const std::size_t at = rnd(work.size());
+          const std::size_t len = 1 + rnd(8);
+          for (std::size_t i = at; i < work.size() && i < at + len; ++i) {
+            work[i] = 0;
+          }
+          break;
+        }
+      }
+      if (work.empty()) break;
+    }
+    if (round % 2 == 0) {
+      try_restore(work);  // accept or persist::Error; anything else throws
+    } else {
+      try_read_journal(work, persist::TornTail::kReject);
+      try_read_journal(work, persist::TornTail::kTolerate);
+    }
+  }
+}
+
+TEST(LoaderFuzz, RecoverSurvivesMutatedPairs) {
+  const auto snapshot = snapshot_bytes();
+  const auto journal = journal_bytes();
+  std::uint64_t state = 0xC4A5Eu;
+  const auto rnd = [&](std::uint64_t bound) {
+    state = mix64(state);
+    return bound == 0 ? 0 : state % bound;
+  };
+  for (int round = 0; round < 100; ++round) {
+    auto snap = snapshot;
+    auto jrnl = journal;
+    // Mutate one of the pair; recover() must reject cleanly (typed
+    // error) or complete — journals against a healthy snapshot may
+    // also fail the continuity check, which is StateError, also typed.
+    if (round % 2 == 0) {
+      snap[rnd(snap.size())] ^= static_cast<std::uint8_t>(1 + rnd(255));
+    } else {
+      jrnl[rnd(jrnl.size())] ^= static_cast<std::uint8_t>(1 + rnd(255));
+    }
+    core::Neutralizer box(box_config(), root_key());
+    persist::MemorySource snap_src(snap);
+    persist::MemorySource jrnl_src(jrnl);
+    try {
+      persist::recover(box, snap_src, &jrnl_src);
+    } catch (const persist::Error&) {
+      // expected shape for a detected mutation
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nn

@@ -1,0 +1,422 @@
+// Snapshot container + state-hook tests: round-trips through memory and
+// file backends, writer-misuse guards, exact typed loader errors, the
+// scratch-reuse allocation contract, and semantic state equality for a
+// control plane restored into a fresh box.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/neutralizer.hpp"
+#include "persist/crc32c.hpp"
+#include "persist/journal.hpp"
+#include "persist/snapshot.hpp"
+#include "persist/state.hpp"
+#include "persist_test_util.hpp"
+#include "util/bytes.hpp"
+
+// ---- global allocation counter (same technique as bench_control) ------
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace nn::persist {
+namespace {
+
+using persist_test::box_config;
+using persist_test::expect_same_control_state;
+using persist_test::populate;
+using persist_test::root_key;
+
+std::vector<std::uint8_t> payload_of(std::size_t n, std::uint8_t fill) {
+  return std::vector<std::uint8_t>(n, fill);
+}
+
+TEST(SnapshotContainer, RoundTripsChunks) {
+  MemorySink sink;
+  SnapshotWriter writer(sink);
+  writer.begin_chunk(chunk_tag("AAAA")).u32(0xDEADBEEF).u8(7);
+  writer.end_chunk();
+  writer.begin_chunk(chunk_tag("BBBB")).raw(payload_of(1000, 0x5A));
+  writer.end_chunk();
+  writer.begin_chunk(chunk_tag("CCCC"));  // empty payload is legal
+  writer.end_chunk();
+  writer.finish();
+  EXPECT_EQ(writer.chunks_written(), 3u);
+  EXPECT_EQ(writer.bytes_written(), sink.bytes().size());
+
+  MemorySource source(sink.bytes());
+  SnapshotReader reader(source);
+  auto c1 = reader.next();
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->tag, chunk_tag("AAAA"));
+  ByteReader r1(c1->payload);
+  EXPECT_EQ(r1.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r1.u8(), 7u);
+  auto c2 = reader.next();
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->tag, chunk_tag("BBBB"));
+  EXPECT_EQ(c2->payload.size(), 1000u);
+  auto c3 = reader.next();
+  ASSERT_TRUE(c3.has_value());
+  EXPECT_EQ(c3->payload.size(), 0u);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.finished());
+  EXPECT_EQ(reader.chunks_read(), 3u);
+  EXPECT_EQ(source.position(), sink.bytes().size());
+}
+
+TEST(SnapshotContainer, WriterMisuseThrowsStateError) {
+  MemorySink sink;
+  SnapshotWriter writer(sink);
+  EXPECT_THROW(writer.end_chunk(), StateError);
+  writer.begin_chunk(chunk_tag("AAAA"));
+  EXPECT_THROW(writer.begin_chunk(chunk_tag("BBBB")), StateError);
+  EXPECT_THROW(writer.finish(), StateError);
+  writer.end_chunk();
+  writer.finish();
+  writer.finish();  // idempotent
+  EXPECT_THROW(writer.begin_chunk(chunk_tag("CCCC")), StateError);
+}
+
+std::vector<std::uint8_t> valid_container() {
+  MemorySink sink;
+  SnapshotWriter writer(sink);
+  writer.begin_chunk(chunk_tag("AAAA")).raw(payload_of(64, 0x11));
+  writer.end_chunk();
+  writer.finish();
+  MemorySink moved;
+  moved.write(sink.bytes());
+  return moved.take();
+}
+
+void expect_format_error(const std::vector<std::uint8_t>& bytes,
+                         const std::string& needle) {
+  MemorySource source(bytes);
+  try {
+    SnapshotReader reader(source);
+    while (reader.next().has_value()) {
+    }
+    FAIL() << "expected FormatError containing \"" << needle << "\"";
+  } catch (const FormatError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(SnapshotContainer, ExactLoaderErrors) {
+  const auto good = valid_container();
+
+  auto bad_magic = good;
+  bad_magic[0] = 'X';
+  expect_format_error(bad_magic, "bad magic");
+
+  // Version bump with the header CRC fixed up: must be rejected for the
+  // version, not the CRC.
+  auto skewed = good;
+  skewed[5] = 2;
+  const std::uint32_t fixed = crc32c({skewed.data(), 8});
+  skewed[8] = static_cast<std::uint8_t>(fixed >> 24);
+  skewed[9] = static_cast<std::uint8_t>(fixed >> 16);
+  skewed[10] = static_cast<std::uint8_t>(fixed >> 8);
+  skewed[11] = static_cast<std::uint8_t>(fixed);
+  expect_format_error(skewed, "unsupported version 2");
+
+  auto bad_header_crc = good;
+  bad_header_crc[9] ^= 0x01;
+  expect_format_error(bad_header_crc, "file header CRC mismatch");
+
+  auto flipped_payload = good;
+  flipped_payload[12 + 8 + 5] ^= 0x80;  // inside chunk 0's payload
+  expect_format_error(flipped_payload, "CRC mismatch in chunk 'AAAA'");
+
+  auto truncated = good;
+  truncated.resize(truncated.size() - 3);
+  expect_format_error(truncated, "truncated");
+
+  auto trailing = good;
+  trailing.push_back(0x00);
+  expect_format_error(trailing, "trailing bytes after end chunk");
+
+  // Absurd declared length in the first chunk header (CRC fixed up so
+  // the length guard is what fires).
+  auto absurd = good;
+  absurd[16] = 0xFF;  // length = 0xFF000040…
+  expect_format_error(absurd, "absurd length");
+}
+
+TEST(SnapshotContainer, EndChunkCountMismatchRejected) {
+  // Hand-build: header + end chunk claiming 5 chunks in an empty file.
+  MemorySink sink;
+  SnapshotWriter writer(sink);
+  writer.finish();
+  auto bytes = sink.bytes();
+  // End chunk payload starts after header(12) + chunk head(8).
+  bytes[20] = 0;
+  bytes[21] = 0;
+  bytes[22] = 0;
+  bytes[23] = 5;
+  // Fix the end chunk's CRC (covers head + payload).
+  const std::uint32_t fixed = crc32c({bytes.data() + 12, 12});
+  bytes[24] = static_cast<std::uint8_t>(fixed >> 24);
+  bytes[25] = static_cast<std::uint8_t>(fixed >> 16);
+  bytes[26] = static_cast<std::uint8_t>(fixed >> 8);
+  bytes[27] = static_cast<std::uint8_t>(fixed);
+  expect_format_error(bytes, "end chunk counts 5 chunks, file has 0");
+}
+
+TEST(SnapshotContainer, FileBackendRoundTrips) {
+  const std::string path = ::testing::TempDir() + "nn_snapshot_rt.bin";
+  const auto bytes = valid_container();
+  {
+    FileSink file(path);
+    file.write(bytes);
+    file.close();
+  }
+  FileSource file(path);
+  std::vector<std::uint8_t> back(bytes.size() + 16);
+  const std::size_t got = file.read(back);
+  ASSERT_EQ(got, bytes.size());
+  back.resize(got);
+  EXPECT_EQ(back, bytes);
+  EXPECT_THROW(FileSource("/nonexistent/nn_persist_nope"), IoError);
+}
+
+TEST(SnapshotContainer, ScratchIsReusedAcrossChunks) {
+  NullSink sink;
+  SnapshotWriter writer(sink);
+  const auto chunk = payload_of(32 * 1024, 0xC3);
+  writer.begin_chunk(chunk_tag("WARM")).raw(chunk);
+  writer.end_chunk();  // scratch now holds the payload capacity
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 64; ++i) {
+    writer.begin_chunk(chunk_tag("DATA")).raw(chunk);
+    writer.end_chunk();
+  }
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed) - before, 0u)
+      << "chunk emission after warmup touched the heap";
+}
+
+TEST(JournalWriterAlloc, WarmAppendsAreAllocationFree) {
+  NullSink sink;
+  JournalConfig cfg;
+  cfg.group_commit_records = 64;
+  JournalWriter journal(sink, cfg);
+  for (int i = 0; i < 64; ++i) {
+    journal.append({JournalOp::kRenew, i, 7u, 0});
+  }
+  journal.commit();  // batch buffer capacity is now warm
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) {
+    journal.append({JournalOp::kRenew, 100 + i, 7u, 0});
+  }
+  journal.commit();
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed) - before, 0u)
+      << "steady-state journaling touched the heap";
+}
+
+// ---- control-plane state round-trips --------------------------------
+
+TEST(StateSnapshot, NeutralizerRoundTripsSemantically) {
+  core::Neutralizer original(box_config(), root_key());
+  const auto addrs = populate(original, 500, sim::kMillisecond);
+  ASSERT_EQ(addrs.size(), 500u);
+  // Mixed lifecycle so counters, leases, and the free stack are all
+  // non-trivial: release some, renew others, storm once.
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(original.release_dynamic(addrs[i]));
+  }
+  for (std::size_t i = 100; i < 200; ++i) {
+    ASSERT_TRUE(original.renew_dynamic(addrs[i], 2 * sim::kMillisecond));
+  }
+  original.rekey_dynamic_sessions(original.config().rotation_period + 1);
+
+  MemorySink sink;
+  save_neutralizer(original, sink);
+
+  core::Neutralizer restored(box_config(), root_key());
+  MemorySource source(sink.bytes());
+  load_neutralizer(restored, source);
+  expect_same_control_state(original, restored);
+  // The restore pre-sizes from the chunk counts — never rehashes.
+  EXPECT_EQ(restored.dynamic_allocator()->table().stats().rehashes, 0u);
+
+  // Behavioral equality going forward: translation of a live session,
+  // expiry of the remaining leases, and the next fresh allocation all
+  // match the original box exactly.
+  auto probe = net::make_udp_packet(net::Ipv4Addr(66, 6, 6, 6), addrs[300],
+                                    700, 800,
+                                    std::vector<std::uint8_t>{1, 2, 3});
+  auto t1 = original.translate_dynamic(net::Packet(probe));
+  auto t2 = restored.translate_dynamic(std::move(probe));
+  ASSERT_TRUE(t1.has_value() && t2.has_value());
+  EXPECT_TRUE(std::equal(t1->view().begin(), t1->view().end(),
+                         t2->view().begin(), t2->view().end()));
+  EXPECT_EQ(original.expire_dynamic_sessions(10 * sim::kSecond),
+            restored.expire_dynamic_sessions(10 * sim::kSecond));
+  const auto a1 = populate(original, 1, 10 * sim::kSecond);
+  const auto a2 = populate(restored, 1, 10 * sim::kSecond);
+  ASSERT_EQ(a1.size(), 1u);
+  ASSERT_EQ(a2.size(), 1u);
+  EXPECT_EQ(a1.front(), a2.front()) << "recycled-address order diverged";
+  expect_same_control_state(original, restored);
+}
+
+TEST(StateSnapshot, ExportRoundTripOverLiveBoxIsIdentity) {
+  // Restore over a *dirty* box of the same config: the snapshot fully
+  // overwrites the control plane. Export bytes of one box are
+  // deterministic, so export -> restore -> export is byte-identity.
+  core::Neutralizer box(box_config(), root_key());
+  populate(box, 300, 0);
+  MemorySink first;
+  save_neutralizer(box, first);
+
+  populate(box, 50, sim::kMillisecond);  // dirty it further
+  MemorySource source(first.bytes());
+  load_neutralizer(box, source);
+  MemorySink second;
+  save_neutralizer(box, second);
+  EXPECT_EQ(first.bytes(), second.bytes());
+}
+
+TEST(StateSnapshot, RefusesForeignSnapshots) {
+  core::Neutralizer original(box_config(), root_key());
+  populate(original, 10, 0);
+  MemorySink sink;
+  save_neutralizer(original, sink);
+
+  {
+    core::Neutralizer other_key(box_config(), root_key(0x77));
+    MemorySource source(sink.bytes());
+    try {
+      load_neutralizer(other_key, source);
+      FAIL() << "expected StateError";
+    } catch (const StateError& e) {
+      EXPECT_NE(std::string(e.what()).find("root key fingerprint mismatch"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    auto cfg = box_config();
+    cfg.anycast_addr = net::Ipv4Addr(201, 0, 0, 1);
+    core::Neutralizer other_cfg(cfg, root_key());
+    MemorySource source(sink.bytes());
+    try {
+      load_neutralizer(other_cfg, source);
+      FAIL() << "expected StateError";
+    } catch (const StateError& e) {
+      EXPECT_NE(std::string(e.what()).find("config mismatch (anycast address)"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    auto cfg = box_config();
+    cfg.dynamic_pool = net::Ipv4Prefix::from_string("172.17.0.0/16");
+    core::Neutralizer other_pool(cfg, root_key());
+    MemorySource source(sink.bytes());
+    EXPECT_THROW(load_neutralizer(other_pool, source), StateError);
+  }
+}
+
+TEST(StateSnapshot, RejectsInconsistentAllocatorState) {
+  // Hand-built allocator chunks that lie: a duplicate session record.
+  const auto pool = net::Ipv4Prefix::from_string("172.16.0.0/16");
+  const auto build = [&](std::uint64_t resident, std::uint64_t free_depth,
+                         std::uint32_t next_fresh,
+                         const std::vector<std::uint32_t>& record_addrs,
+                         std::uint64_t allocated) {
+    MemorySink sink;
+    SnapshotWriter writer(sink);
+    writer.begin_chunk(kTagAllocator)
+        .u32(pool.base().value())
+        .u8(16)
+        .u32(~pool.mask())
+        .u32(next_fresh)
+        .u64(allocated)  // allocated
+        .u64(0)          // released
+        .u64(0)          // expired
+        .u64(0)          // renewed
+        .u64(0)          // rejected
+        .u64(resident)
+        .u64(free_depth);
+    writer.end_chunk();
+    if (!record_addrs.empty()) {
+      ByteWriter& w = writer.begin_chunk(kTagSessionRecords);
+      for (const std::uint32_t a : record_addrs) {
+        w.u32(a).u32(0x14000001u).u64(
+            static_cast<std::uint64_t>(core::SessionRecord::kNoExpiry));
+        w.u16(0).raw(crypto::AesKey{});
+      }
+      writer.end_chunk();
+    }
+    writer.finish();
+    return sink.take();
+  };
+  const std::uint32_t a1 = pool.base().value() + 1;
+  const std::uint32_t a2 = pool.base().value() + 2;
+
+  {
+    // Duplicate record.
+    const auto bytes = build(2, 0, 3, {a1, a1}, 2);
+    core::DynamicAddressAllocator alloc(pool);
+    MemorySource source(bytes);
+    SnapshotReader reader(source);
+    EXPECT_THROW(alloc.restore_state(reader), StateError);
+  }
+  {
+    // Conservation violation: cursor says 2 handed out, chunks say 1.
+    const auto bytes = build(2, 0, 2, {a1, a2}, 2);
+    core::DynamicAddressAllocator alloc(pool);
+    MemorySource source(bytes);
+    SnapshotReader reader(source);
+    EXPECT_THROW(alloc.restore_state(reader), StateError);
+  }
+  {
+    // Counter identity violation: allocated != released+expired+resident.
+    const auto bytes = build(2, 0, 3, {a1, a2}, 5);
+    core::DynamicAddressAllocator alloc(pool);
+    MemorySource source(bytes);
+    SnapshotReader reader(source);
+    EXPECT_THROW(alloc.restore_state(reader), StateError);
+  }
+  {
+    // The honest version of the same state restores fine.
+    const auto bytes = build(2, 0, 3, {a1, a2}, 2);
+    core::DynamicAddressAllocator alloc(pool);
+    MemorySource source(bytes);
+    SnapshotReader reader(source);
+    alloc.restore_state(reader);
+    EXPECT_EQ(alloc.active_sessions(), 2u);
+    EXPECT_TRUE(alloc.resolve(net::Ipv4Addr(a1)).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace nn::persist

@@ -1,0 +1,128 @@
+// Scenario-level crash drill: mid-churn, on the Fig. 1 topology, the
+// box checkpoints its §3.4 control plane (Fig1::export_control_state),
+// suffers a simulated amnesia event, and is resurrected from the
+// snapshot (restore_control_state) — after which the run must be
+// indistinguishable, counter for counter and address for address, from
+// a run that never crashed. The crash point is injected between churn
+// events via Fig1Config::churn_crash_after / churn_on_crash
+// (SessionChurnWorkload's fault hook), which is exactly the quiescence
+// boundary the persistence contract promises.
+#include <gtest/gtest.h>
+
+#include "persist/io.hpp"
+#include "scenario/fig1.hpp"
+
+namespace nn::scenario {
+namespace {
+
+sim::SessionChurnConfig drill_churn() {
+  sim::SessionChurnConfig cfg;
+  cfg.sessions = 300;
+  cfg.arrivals_per_second = 50e3;
+  cfg.poisson = true;
+  cfg.lease = 3 * sim::kMillisecond;
+  cfg.renew_probability = 0.6;
+  cfg.renewal_jitter = 0.3;
+  cfg.max_renewals = 2;
+  cfg.depart_probability = 0.5;
+  cfg.rekey_interval = 5 * sim::kMillisecond;
+  cfg.horizon = 15 * sim::kMillisecond;
+  cfg.seed = 0xC4A5;
+  return cfg;
+}
+
+Fig1Config drill_config(std::size_t shards) {
+  Fig1Config cfg;
+  cfg.box_shards = shards;
+  cfg.dynamic_pool = net::Ipv4Prefix::from_string("172.16.0.0/20");
+  cfg.dyn_lease = drill_churn().lease;
+  cfg.session_churn = drill_churn();
+  return cfg;
+}
+
+class CrashDrill : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CrashDrill, CheckpointAndResurrectIsInvisible) {
+  const std::size_t shards = GetParam();
+
+  // Reference: the same schedule with no crash.
+  Fig1 ref(drill_config(shards));
+  ref.schedule_session_churn(ref.google);
+  ref.engine.run();
+
+  // Drill: crash halfway through the schedule. The callback snapshots
+  // the control plane, pollutes it (the part of the crashed box's
+  // state that dies with it), and restores — proving the restore
+  // actually rewrites state rather than riding on what was left.
+  const std::size_t half = sim::churn_schedule(drill_churn()).size() / 2;
+  ASSERT_GT(half, 0u);
+
+  Fig1* live = nullptr;
+  bool fired = false;
+  auto cfg = drill_config(shards);
+  cfg.churn_crash_after = half;
+  cfg.churn_on_crash = [&](sim::SimTime now) {
+    fired = true;
+    ASSERT_NE(live, nullptr);
+    persist::MemorySink checkpoint;
+    live->export_control_state(checkpoint);
+    const auto resident = live->control_service().dynamic_sessions();
+
+    // Amnesia stand-in: foreign sessions the checkpoint never saw.
+    for (std::uint64_t s = 9000; s < 9010; ++s) {
+      net::ShimHeader shim;
+      shim.type = net::ShimType::kDynAddrRequest;
+      shim.nonce = s;
+      live->control_service().process(
+          net::make_shim_packet(net::Ipv4Addr(20, 0, 0x99, 0x99), kAnycast,
+                                shim, {}),
+          now);
+    }
+    ASSERT_NE(live->control_service().dynamic_sessions(), resident);
+
+    persist::MemorySource source(checkpoint.bytes());
+    live->restore_control_state(source);
+    ASSERT_EQ(live->control_service().dynamic_sessions(), resident);
+  };
+  Fig1 drilled(cfg);
+  live = &drilled;
+  drilled.schedule_session_churn(drilled.google);
+  drilled.engine.run();
+  ASSERT_TRUE(fired);
+
+  // The drill must be invisible end to end.
+  EXPECT_EQ(drilled.churn_workload()->delivered(),
+            drilled.churn_workload()->schedule_size());
+  const auto& a = ref.churn_counters();
+  const auto& b = drilled.churn_counters();
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.renews, b.renews);
+  EXPECT_EQ(a.departs, b.departs);
+  EXPECT_EQ(a.storms, b.storms);
+  EXPECT_EQ(a.unmapped, b.unmapped);
+
+  auto& ref_service = ref.control_service();
+  auto& drill_service = drilled.control_service();
+  EXPECT_EQ(ref_service.stats(), drill_service.stats());
+  EXPECT_EQ(ref_service.dynamic_sessions(), drill_service.dynamic_sessions());
+  EXPECT_EQ(ref_service.dynamic_allocator()->counters(),
+            drill_service.dynamic_allocator()->counters());
+
+  // Exact lifecycle reconciliation post-recovery.
+  const auto& k = drill_service.dynamic_allocator()->counters();
+  EXPECT_EQ(k.allocated,
+            k.released + k.expired + drill_service.dynamic_sessions());
+
+  // And the surviving address assignments are identical.
+  for (std::uint64_t id = 0; id < drill_churn().sessions; ++id) {
+    EXPECT_EQ(ref.churn_address(id), drilled.churn_address(id))
+        << "session " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BoxFlavors, CrashDrill,
+                         ::testing::Values(std::size_t{0}, std::size_t{4}));
+
+}  // namespace
+}  // namespace nn::scenario

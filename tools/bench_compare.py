@@ -40,7 +40,9 @@ BM_RuntimeForwardMQ/Q/M, 2Q+1 for BM_UdpIngest/Q, 2Q+2 for
 BM_UdpAppliance/Q — see cores_needed)
 — a 4-thread row measured on one core is a statement about the host,
 not the code. (A baseline taken on fewer cores still gates; its floor
-is just lenient.) Checking nothing at all is likewise a failure.
+is just lenient.) Every skipped row prints its reason inline and is
+re-listed with it in the end-of-run summary, so a skip can never pass
+for coverage. Checking nothing at all is likewise a failure.
 """
 
 import argparse
@@ -84,6 +86,11 @@ HEADLINES = {
         "BM_KeySetupBatch/64",
         "BM_RekeyStorm/1048576",
     ],
+    "bench_persist": [
+        "BM_Snapshot/1048576",
+        "BM_Restore/1048576",
+        "BM_JournalAppend",
+    ],
 }
 
 # (name, counter, ceiling): the counter must stay at or below the
@@ -101,6 +108,11 @@ COUNTER_CEILINGS = {
         # preallocated state.
         ("BM_RekeyStorm/1048576", "storm_allocs", 0.0),
     ],
+    "bench_persist": [
+        # Steady-state WAL appends must stay off the heap — the batch
+        # buffer is sized by the first group and recycled forever after.
+        ("BM_JournalAppend", "journal_allocs", 0.0),
+    ],
 }
 
 # (name, counter): the counter must stay at or below baseline * (1 +
@@ -110,6 +122,11 @@ COUNTER_CEILINGS = {
 COUNTER_MAXIMA = {
     "bench_control": [
         ("BM_RekeyStorm/1048576", "bytes_per_session"),
+    ],
+    "bench_persist": [
+        # On-disk footprint per resident session: format bloat (a
+        # fatter record, a chattier container) is the regression here.
+        ("BM_Snapshot/1048576", "bytes_per_session_disk"),
     ],
 }
 
@@ -127,6 +144,14 @@ SPEEDUPS = {
     "bench_runtime": [
         ("BM_RuntimeForwardMQ/2/2/manual_time",
          "BM_RuntimeForward/2/manual_time", 1.0),
+    ],
+    # Durability tax bound: churn with a commit-per-event WAL (the
+    # worst-case commit frequency — one CRC-sealed batch per control
+    # event) must hold >= 0.7x the plain replay rate (same artifact,
+    # hardware cancels). Measured ~0.73x on the reference box.
+    "bench_persist": [
+        ("BM_SessionChurnJournaled/20000",
+         "BM_SessionChurnPlain/20000", 0.7),
     ],
 }
 
@@ -180,7 +205,14 @@ def main():
 
     baseline = json.loads(args.baseline.read_text())
     failures = []
+    skips = []
     checked = 0
+
+    def skip(row, reason):
+        """Every skipped row states its reason, inline and in the
+        summary — a silent skip is indistinguishable from coverage."""
+        skips.append((row, reason))
+        print(f"[skip] {row}: {reason}")
 
     for artifact in args.artifacts:
         suite = artifact.stem
@@ -213,9 +245,10 @@ def main():
             if need is not None:
                 cur_cpus = cur_ctx.get("num_cpus", 0)
                 if cur_cpus < need:
-                    print(f"[skip] {suite}:{name}: needs {need} cores, "
-                          f"this machine has {cur_cpus} "
-                          f"(baseline: {base_ctx.get('num_cpus', 0)})")
+                    skip(f"{suite}:{name}",
+                         f"thread-scaling row needs {need} cores, this "
+                         f"machine has {cur_cpus} (baseline: "
+                         f"{base_ctx.get('num_cpus', 0)})")
                     continue
             cur_v = current[name].get("items_per_second")
             base_v = base[name].get("items_per_second")
@@ -285,9 +318,9 @@ def main():
             need = max((n for n in (cores_needed(fast), cores_needed(slow))
                         if n is not None), default=None)
             if need is not None and cur_ctx.get("num_cpus", 0) < need:
-                print(f"[skip] {suite}:{fast} vs {slow}: speedup needs "
-                      f"{need} cores, this machine has "
-                      f"{cur_ctx.get('num_cpus', 0)}")
+                skip(f"{suite}:{fast} vs {slow}",
+                     f"speedup needs {need} cores, this machine has "
+                     f"{cur_ctx.get('num_cpus', 0)}")
                 continue
             rates = []
             for name in (fast, slow):
@@ -312,7 +345,9 @@ def main():
                 failures.append(f"{suite}:{fast}:speedup")
 
     print(f"\n{checked} headline counter(s) checked, "
-          f"{len(failures)} failure(s)")
+          f"{len(skips)} skipped, {len(failures)} failure(s)")
+    for row, reason in skips:
+        print(f"  SKIP {row}: {reason}")
     if failures:
         for f in failures:
             print(f"  FAIL {f}", file=sys.stderr)
